@@ -1,0 +1,309 @@
+package parabb
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/exp"
+	"repro/internal/gantt"
+	"repro/internal/gen"
+	"repro/internal/improve"
+	"repro/internal/listsched"
+	"repro/internal/periodic"
+	"repro/internal/platform"
+	"repro/internal/portfolio"
+	"repro/internal/preemptive"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/taskgraph"
+)
+
+// Model types.
+type (
+	// Time is the discrete time unit used throughout the library.
+	Time = taskgraph.Time
+	// TaskID identifies a task within one Graph.
+	TaskID = taskgraph.TaskID
+	// Task is the static description ⟨c, φ, d, T⟩ of one real-time task.
+	Task = taskgraph.Task
+	// Channel is a communication channel on a precedence arc.
+	Channel = taskgraph.Channel
+	// Graph is the directed acyclic task graph.
+	Graph = taskgraph.Graph
+	// Platform is the homogeneous shared-bus multiprocessor.
+	Platform = platform.Platform
+	// Proc identifies a processor.
+	Proc = platform.Proc
+	// Schedule maps tasks to (processor, start, finish).
+	Schedule = sched.Schedule
+	// Placement is one task's slot in a Schedule.
+	Placement = sched.Placement
+)
+
+// Solver types.
+type (
+	// Params is the Kohler–Steiglitz parameter tuple of the B&B solver.
+	Params = core.Params
+	// ParallelParams configures the multi-core solver.
+	ParallelParams = core.ParallelParams
+	// Result is a solver outcome: schedule, cost, optimality, statistics.
+	Result = core.Result
+	// Stats are the search-effort counters of one run.
+	Stats = core.Stats
+	// ResourceBounds is RB = ⟨TIMELIMIT, MAXSZAS, MAXSZDB⟩.
+	ResourceBounds = core.ResourceBounds
+	// SelectionRule is the vertex selection rule S.
+	SelectionRule = core.SelectionRule
+	// BranchingRule is the vertex branching rule B.
+	BranchingRule = core.BranchingRule
+	// BoundFunc is the lower-bound cost function L.
+	BoundFunc = core.BoundFunc
+	// ChildOrder controls how freshly generated children enter the
+	// active set.
+	ChildOrder = core.ChildOrder
+	// LLBTieBreak selects the plateau order of the LLB heap.
+	LLBTieBreak = core.LLBTieBreak
+)
+
+// Workload and experiment types.
+type (
+	// WorkloadParams is the §4.1 random-workload specification.
+	WorkloadParams = gen.Params
+	// WorkloadGenerator draws random task graphs.
+	WorkloadGenerator = gen.Generator
+	// ExperimentConfig is the §5 run protocol.
+	ExperimentConfig = exp.Config
+	// Figure is an evaluated experiment (series of aggregated points).
+	Figure = exp.Figure
+	// PeriodicExpansion is a hyperperiod-unrolled periodic task system.
+	PeriodicExpansion = periodic.Expansion
+)
+
+// Re-exported enumerations of the parameter tuple.
+const (
+	SelectLIFO = core.SelectLIFO
+	SelectLLB  = core.SelectLLB
+	SelectFIFO = core.SelectFIFO
+
+	BranchBFn = core.BranchBFn
+	BranchDF  = core.BranchDF
+	BranchBF1 = core.BranchBF1
+
+	BoundLB0  = core.BoundLB0
+	BoundLB1  = core.BoundLB1
+	BoundNone = core.BoundNone
+
+	TieOldest  = core.TieOldest
+	TieDeepest = core.TieDeepest
+
+	ChildrenByLowerBound = core.ChildrenByLowerBound
+	ChildrenAsGenerated  = core.ChildrenAsGenerated
+
+	UpperBoundEDF   = core.UpperBoundEDF
+	UpperBoundFixed = core.UpperBoundFixed
+
+	// NoProc marks an unassigned task; NoTask an absent task reference.
+	NoProc = platform.NoProc
+	NoTask = taskgraph.NoTask
+
+	// Infinity dominates every legitimate schedule instant.
+	Infinity = taskgraph.Infinity
+)
+
+// NewGraph returns an empty task graph with a capacity hint of n tasks.
+func NewGraph(n int) *Graph { return taskgraph.New(n) }
+
+// LoadGraph reads a JSON-encoded task graph.
+func LoadGraph(r io.Reader) (*Graph, error) { return taskgraph.ReadJSON(r) }
+
+// LoadGraphFile reads a JSON-encoded task graph from a file.
+func LoadGraphFile(path string) (*Graph, error) { return taskgraph.LoadFile(path) }
+
+// NewPlatform returns the paper's shared-bus platform with m processors and
+// a nominal communication delay of one time unit per data item.
+func NewPlatform(m int) Platform { return platform.New(m) }
+
+// Solve runs the sequential parametrized branch-and-bound search. The zero
+// Params is the paper's recommended exact configuration.
+func Solve(g *Graph, p Platform, params Params) (Result, error) {
+	return core.Solve(g, p, params)
+}
+
+// SolveParallel runs the multi-core branch-and-bound search.
+func SolveParallel(g *Graph, p Platform, params ParallelParams) (Result, error) {
+	return core.SolveParallel(g, p, params)
+}
+
+// SolveIDA runs the cost-bounded iterative-deepening search: exact results
+// with O(n) memory (no active set at all), trading bounded re-expansion of
+// shallow vertices — the memory-frugal third regime beside LIFO and LLB.
+func SolveIDA(g *Graph, p Platform, params Params) (Result, error) {
+	return core.SolveIDA(g, p, params)
+}
+
+// EDF runs the greedy Earliest-Deadline-First baseline of §4.4 and returns
+// its schedule and maximum lateness.
+func EDF(g *Graph, p Platform) (*Schedule, Time, error) {
+	res, err := edf.Schedule(g, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Lmax, nil
+}
+
+// DefaultWorkload returns the paper's §4.1 workload parameters.
+func DefaultWorkload() WorkloadParams { return gen.Defaults() }
+
+// NewWorkload returns a deterministic random task-graph generator.
+func NewWorkload(p WorkloadParams, seed int64) *WorkloadGenerator { return gen.New(p, seed) }
+
+// SlicingPolicy selects the deadline-assignment rule; see the constants.
+type SlicingPolicy = deadline.Policy
+
+// Slicing policies for AssignDeadlines.
+const (
+	// SliceEqualSlack gives every task on a path an equal slack share
+	// (the experiment default).
+	SliceEqualSlack = deadline.EqualSlack
+	// SliceProportional stretches every window by the laxity factor.
+	SliceProportional = deadline.Proportional
+)
+
+// AssignDeadlines derives per-task arrival times and deadlines by the §4.2
+// end-to-end slicing with the given laxity ratio and policy, in place.
+func AssignDeadlines(g *Graph, laxity float64, pol SlicingPolicy) error {
+	return deadline.Assign(g, laxity, pol)
+}
+
+// RandomWorkload draws one graph and assigns deadlines — the full §4.1/§4.2
+// pipeline in one call.
+func RandomWorkload(p WorkloadParams, seed int64) (*Graph, error) {
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, p.Laxity, deadline.EqualSlack); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Unroll expands a periodic task system over one hyperperiod into an
+// ordinary task graph schedulable by Solve.
+func Unroll(g *Graph) (*PeriodicExpansion, error) { return periodic.Unroll(g) }
+
+// PeriodicParams specifies a UUniFast periodic task set.
+type PeriodicParams = gen.PeriodicParams
+
+// DefaultPeriodic returns a harmonic-menu UUniFast specification.
+func DefaultPeriodic() PeriodicParams { return gen.DefaultPeriodic() }
+
+// Utilization returns Σ c_i/T_i over a graph's periodic tasks.
+func Utilization(g *Graph) float64 { return gen.Utilization(g) }
+
+// DefaultExperiment returns the paper's §5 experiment protocol;
+// QuickExperiment a reduced one for smoke runs.
+func DefaultExperiment() ExperimentConfig { return exp.Default() }
+
+// QuickExperiment returns a reduced experiment protocol.
+func QuickExperiment() ExperimentConfig { return exp.Quick() }
+
+// RunExperiment evaluates one of the paper's experiments by ID: "fig3a",
+// "fig3b", "fig3c", "fig3c-scaled", "disc-parallelism", "disc-ccr", "disc-upperbound",
+// "disc-memory".
+func RunExperiment(id string, cfg ExperimentConfig) (Figure, error) {
+	runner, err := exp.ByName(id)
+	if err != nil {
+		return Figure{}, err
+	}
+	return runner(cfg)
+}
+
+// Experiments lists the available experiment IDs in presentation order.
+func Experiments() []string { return exp.All() }
+
+// ImproveOptions tunes the local-search post-optimizer.
+type ImproveOptions = improve.Options
+
+// ImproveResult reports a local-search outcome.
+type ImproveResult = improve.Result
+
+// Improve hill-climbs from any complete valid schedule (EDF output, a
+// truncated B&B incumbent, a hand-written table) over task reassignments
+// and adjacent reorderings; the result is never worse than the input.
+func Improve(s *Schedule, opts ImproveOptions) (ImproveResult, error) {
+	return improve.Improve(s, opts)
+}
+
+// SimReport is the outcome of a discrete-event schedule execution.
+type SimReport = sim.Report
+
+// Simulate executes a complete schedule on the discrete-event platform
+// simulator (explicit serializing shared bus) and reports real message
+// deliveries, utilizations, and any violations of the nominal-delay model.
+func Simulate(s *Schedule) (*SimReport, error) { return sim.Run(s) }
+
+// ListPolicy selects a list-scheduling priority rule.
+type ListPolicy = listsched.Policy
+
+// List-scheduling policies.
+const (
+	ListHLFET      = listsched.HLFET
+	ListLeastSlack = listsched.LeastSlack
+	ListEDF        = listsched.EDF
+)
+
+// ListSchedule runs a polynomial-time list scheduler with the given
+// priority policy over the §4.3 operation.
+func ListSchedule(g *Graph, p Platform, pol ListPolicy) (*Schedule, Time, error) {
+	res, err := listsched.Schedule(g, p, pol)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Schedule, res.Lmax, nil
+}
+
+// AnalysisReport carries a-priori workload bounds (demand + path).
+type AnalysisReport = analysis.Report
+
+// Analyze computes certified a-priori bounds for a workload on a platform:
+// utilization, the interval-demand and precedence-path lower bounds on the
+// optimal Lmax, and an infeasibility certificate when the bound is
+// positive.
+func Analyze(g *Graph, p Platform) (*AnalysisReport, error) {
+	return analysis.Analyze(g, p)
+}
+
+// PortfolioOptions configures the anytime pipeline; PortfolioResult its
+// outcome.
+type (
+	PortfolioOptions = portfolio.Options
+	PortfolioResult  = portfolio.Result
+)
+
+// SolveAnytime runs the full pipeline: certified bounds → greedy portfolio
+// → local search → warm-started exact search under the given budget. The
+// result is never worse than the cheapest stage and reports the optimality
+// status (proven, bound-matched, or the remaining gap).
+func SolveAnytime(g *Graph, p Platform, opts PortfolioOptions) (PortfolioResult, error) {
+	return portfolio.Solve(g, p, opts)
+}
+
+// PreemptiveResult is an optimal preemptive single-machine schedule.
+type PreemptiveResult = preemptive.Result
+
+// PreemptiveSchedule computes the optimal preemptive single-machine
+// schedule for 1|pmtn,prec,r_j|Lmax (Baker et al., the paper's reference
+// [12] — the commutative scheduling operation its related work builds on).
+func PreemptiveSchedule(g *Graph) (*PreemptiveResult, error) {
+	return preemptive.Schedule(g)
+}
+
+// GanttText renders a schedule as a terminal chart of the given width.
+func GanttText(s *Schedule, width int) string { return gantt.Text(s, width) }
+
+// GanttSVG renders a schedule as a standalone SVG document.
+func GanttSVG(s *Schedule) string { return gantt.SVG(s) }
+
+// GanttJSON renders a schedule as a JSON trace.
+func GanttJSON(s *Schedule) ([]byte, error) { return gantt.JSON(s) }

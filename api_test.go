@@ -1,0 +1,244 @@
+package parabb_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	parabb "repro"
+)
+
+// buildPipeline returns the three-stage pipeline from the package docs.
+func buildPipeline(t *testing.T) *parabb.Graph {
+	t.Helper()
+	g := parabb.NewGraph(3)
+	a := g.AddTask(parabb.Task{Name: "sense", Exec: 4, Deadline: 20})
+	b := g.AddTask(parabb.Task{Name: "plan", Exec: 7, Deadline: 30})
+	c := g.AddTask(parabb.Task{Name: "act", Exec: 3, Deadline: 40})
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 1)
+	return g
+}
+
+func TestFacadeQuickStartFlow(t *testing.T) {
+	g := buildPipeline(t)
+	res, err := parabb.Solve(g, parabb.NewPlatform(2), parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Schedule == nil {
+		t.Fatalf("unexpected result: optimal=%v", res.Optimal)
+	}
+	// Chain of 14 work units, all on one processor, windows 20/30/40:
+	// finishes 4, 11, 14 → latenesses −16, −19, −26 → Lmax −16.
+	if res.Cost != -16 {
+		t.Fatalf("cost %d, want -16\n%s", res.Cost, res.Schedule)
+	}
+	if out := parabb.GanttText(res.Schedule, 60); !strings.Contains(out, "sense") {
+		t.Fatalf("gantt missing task name:\n%s", out)
+	}
+	if svg := parabb.GanttSVG(res.Schedule); !strings.Contains(svg, "<svg") {
+		t.Fatal("SVG rendering broken")
+	}
+	if _, err := parabb.GanttJSON(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEDFAndParallelAgree(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := parabb.NewPlatform(3)
+
+	_, edfCost, err := parabb.EDF(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := parabb.SolveParallel(g, plat, parabb.ParallelParams{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cost > edfCost {
+		t.Fatalf("optimal %d worse than EDF %d", seq.Cost, edfCost)
+	}
+	if par.Cost != seq.Cost {
+		t.Fatalf("parallel %d != sequential %d", par.Cost, seq.Cost)
+	}
+}
+
+func TestFacadeWorkloadPipeline(t *testing.T) {
+	wp := parabb.DefaultWorkload()
+	g, err := parabb.RandomWorkload(wp, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() < wp.NMin || g.NumTasks() > wp.NMax {
+		t.Fatalf("workload size %d outside spec", g.NumTasks())
+	}
+	// Round-trip through the codec facade.
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parabb.LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != g.NumTasks() {
+		t.Fatal("codec round trip changed the graph")
+	}
+}
+
+func TestFacadePeriodic(t *testing.T) {
+	g := parabb.NewGraph(2)
+	a := g.AddTask(parabb.Task{Name: "s", Exec: 2, Deadline: 9, Period: 10})
+	b := g.AddTask(parabb.Task{Name: "f", Exec: 3, Deadline: 10, Period: 10})
+	g.MustAddEdge(a, b, 1)
+	ex, err := parabb.Unroll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Hyperperiod != 10 || ex.Graph.NumTasks() != 2 {
+		t.Fatalf("expansion wrong: H=%d n=%d", ex.Hyperperiod, ex.Graph.NumTasks())
+	}
+	res, err := parabb.Solve(ex.Graph, parabb.NewPlatform(1), parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 0 {
+		t.Fatalf("trivially schedulable system got Lmax=%d", res.Cost)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := parabb.Experiments()
+	if len(ids) != 9 {
+		t.Fatalf("expected 9 experiments, got %v", ids)
+	}
+	cfg := parabb.QuickExperiment()
+	cfg.Runs = 2
+	cfg.Adaptive = false
+	cfg.Procs = []int{2}
+	cfg.Workload.NMin, cfg.Workload.NMax = 6, 7
+	cfg.Workload.DepthMin, cfg.Workload.DepthMax = 3, 4
+	fig, err := parabb.RunExperiment("fig3a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig3a" || len(fig.Series) == 0 {
+		t.Fatal("experiment produced no series")
+	}
+	if _, err := parabb.RunExperiment("bogus", cfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeListScheduleAndImprove(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := parabb.NewPlatform(2)
+	opt, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []parabb.ListPolicy{parabb.ListHLFET, parabb.ListLeastSlack, parabb.ListEDF} {
+		s, lmax, err := parabb.ListSchedule(g, plat, pol)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if lmax < opt.Cost {
+			t.Fatalf("%v beat the optimum", pol)
+		}
+		imp, err := parabb.Improve(s, parabb.ImproveOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imp.Cost > lmax || imp.Cost < opt.Cost {
+			t.Fatalf("%v improve out of range: %d (greedy %d, opt %d)", pol, imp.Cost, lmax, opt.Cost)
+		}
+	}
+}
+
+func TestFacadeSimulateAndPreemptive(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 654)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := parabb.NewPlatform(2)
+	res, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parabb.Simulate(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != res.Schedule.Makespan() {
+		t.Fatal("simulation disagrees on makespan")
+	}
+	pre, err := parabb.PreemptiveSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preemptive one machine vs non-preemptive two machines: no fixed
+	// ordering in general, but both must be internally consistent.
+	if pre.Lmax == parabb.Infinity {
+		t.Fatal("preemptive relaxation returned no result")
+	}
+}
+
+func TestFacadeIDAAndAnytimeAgree(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 987)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := parabb.NewPlatform(3)
+	seq, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ida, err := parabb.SolveIDA(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ida.Cost != seq.Cost {
+		t.Fatalf("IDA %d != Solve %d", ida.Cost, seq.Cost)
+	}
+	any, err := parabb.SolveAnytime(g, plat, parabb.PortfolioOptions{Budget: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any.Cost != seq.Cost {
+		t.Fatalf("anytime %d != Solve %d", any.Cost, seq.Cost)
+	}
+	if any.Lower > any.Cost {
+		t.Fatal("bound above cost")
+	}
+}
+
+func TestFacadePeriodicGenerator(t *testing.T) {
+	gen := parabb.NewWorkload(parabb.DefaultWorkload(), 5)
+	ts, err := gen.PeriodicTaskSet(parabb.DefaultPeriodic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := parabb.Utilization(ts); u <= 0 || u > 1.2 {
+		t.Fatalf("utilization %v out of band", u)
+	}
+	ex, err := parabb.Unroll(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Graph.NumTasks() < ts.NumTasks() {
+		t.Fatal("unroll shrank the task set")
+	}
+}

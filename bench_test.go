@@ -1,0 +1,387 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the corresponding internal/exp runner
+// under a reduced protocol (fixed runs, short per-run budget) and reports
+// the figure's headline quantity as custom metrics, so `go test -bench`
+// output doubles as a miniature reproduction of the paper:
+//
+//	vertices/op   mean generated vertices of the named variant
+//	ratio         the figure's comparison ratio (see each benchmark's doc)
+package parabb_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	parabb "repro"
+)
+
+// benchConfig is the reduced protocol used by all experiment benchmarks:
+// enough runs for a stable mean over one bench iteration, short per-run
+// budgets so a full -bench=. pass stays in the minutes.
+func benchConfig(runs int) parabb.ExperimentConfig {
+	cfg := parabb.QuickExperiment()
+	cfg.Runs = runs
+	cfg.Adaptive = false
+	cfg.TimeLimit = 2 * time.Second
+	cfg.Procs = []int{2, 3, 4}
+	cfg.Seed = 1997
+	return cfg
+}
+
+func reportSeries(b *testing.B, fig parabb.Figure, variant string, metric string) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if s.Variant != variant {
+			continue
+		}
+		for _, p := range s.Points {
+			b.ReportMetric(p.Vertices.Mean(), fmt.Sprintf("%s_m%g", metric, p.X))
+		}
+	}
+}
+
+// BenchmarkFig3a reproduces Figure 3(a): vertex selection rule LLB vs LIFO.
+// Metrics: mean generated vertices per processor count for both rules and
+// the LLB/LIFO ratio (paper: >= one order of magnitude on contested
+// workloads).
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("fig3a", benchConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, fig, "S=LLB", "llb")
+			reportSeries(b, fig, "S=LIFO", "lifo")
+			if r, err := fig.VertexRatio("S=LLB", "S=LIFO"); err == nil {
+				for j, v := range r {
+					b.ReportMetric(v, fmt.Sprintf("ratio_m%d", j+2))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3b reproduces Figure 3(b): lower bound LB0 vs LB1.
+// Metric ratio_m*: vertices(LB0)/vertices(LB1) per processor count
+// (paper: ≈ half an order of magnitude at m=2, converging with m).
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("fig3b", benchConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, fig, "L=LB0", "lb0")
+			reportSeries(b, fig, "L=LB1", "lb1")
+			if r, err := fig.VertexRatio("L=LB0", "L=LB1"); err == nil {
+				for j, v := range r {
+					b.ReportMetric(v, fmt.Sprintf("ratio_m%d", j+2))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3c reproduces Figure 3(c): approximation strategies.
+// Metrics: mean vertices for DF, BF1, BFn(BR=10%) and BFn(BR=0)
+// (paper: DF < BF1 << BFn(10%) <= BFn(0)).
+func BenchmarkFig3c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("fig3c", benchConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, fig, "B=DF", "df")
+			reportSeries(b, fig, "B=BF1", "bf1")
+			reportSeries(b, fig, "BFn BR=10%", "br10")
+			reportSeries(b, fig, "BFn BR=0%", "opt")
+		}
+	}
+}
+
+// BenchmarkDiscussionParallelism reproduces the first §6 experiment: the
+// LB0/LB1 vertex ratio as graph parallelism grows (paper: the ratio grows).
+func BenchmarkDiscussionParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(8)
+		fig, err := parabb.RunExperiment("disc-parallelism", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if r, err := fig.VertexRatio("L=LB0", "L=LB1"); err == nil {
+				for j, v := range r {
+					b.ReportMetric(v, fmt.Sprintf("ratio_w%d", j))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDiscussionCCR reproduces the second §6 experiment: search effort
+// vs CCR (paper: lower CCR ⇒ fewer vertices).
+func BenchmarkDiscussionCCR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("disc-ccr", benchConfig(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, fig, "B&B (LIFO,LB1)", "ccr")
+		}
+	}
+}
+
+// BenchmarkDiscussionUpperBound reproduces the third §6 experiment: naive
+// vs EDF-seeded initial upper bound (paper: EDF seed ⇒ >200% improvement,
+// i.e. ratio >= ~3).
+func BenchmarkDiscussionUpperBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("disc-upperbound", benchConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if r, err := fig.VertexRatio("LLB U=naive", "LLB U=EDF"); err == nil {
+				for j, v := range r {
+					b.ReportMetric(v, fmt.Sprintf("ratio_m%d", j+2))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDiscussionMemory reproduces the §6 memory observation: the
+// active-set high-water mark of LLB vs LIFO (the thrashing mechanism).
+func BenchmarkDiscussionMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := parabb.RunExperiment("disc-memory", benchConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range fig.Series {
+				for _, p := range s.Points {
+					name := "as_lifo"
+					if s.Variant == "S=LLB" {
+						name = "as_llb"
+					}
+					b.ReportMetric(p.MaxAS.Mean(), fmt.Sprintf("%s_m%g", name, p.X))
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-solve micro-benchmarks on a fixed contested workload.
+
+func contestedWorkload(b *testing.B) *parabb.Graph {
+	b.Helper()
+	// Seed chosen so EDF is suboptimal and the search is non-trivial but
+	// sub-second for every configuration below.
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 4041)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchSolve(b *testing.B, params parabb.Params) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	params.Resources.TimeLimit = 30 * time.Second
+	b.ResetTimer()
+	var gen int64
+	for i := 0; i < b.N; i++ {
+		res, err := parabb.Solve(g, plat, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen = res.Stats.Generated
+	}
+	b.ReportMetric(float64(gen), "vertices/op")
+}
+
+func BenchmarkSolveLIFO(b *testing.B) { benchSolve(b, parabb.Params{}) }
+func BenchmarkSolveLLB(b *testing.B) {
+	benchSolve(b, parabb.Params{Selection: parabb.SelectLLB})
+}
+func BenchmarkSolveLB0(b *testing.B) {
+	benchSolve(b, parabb.Params{Bound: parabb.BoundLB0})
+}
+func BenchmarkSolveDF(b *testing.B) {
+	benchSolve(b, parabb.Params{Branching: parabb.BranchDF})
+}
+func BenchmarkSolveBF1(b *testing.B) {
+	benchSolve(b, parabb.Params{Branching: parabb.BranchBF1})
+}
+func BenchmarkSolveBR10(b *testing.B) { benchSolve(b, parabb.Params{BR: 0.10}) }
+func BenchmarkEDFBaseline(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := parabb.EDF(g, plat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures wall-clock scaling of the parallel
+// solver on one contested instance.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parabb.SolveParallel(g, plat, parabb.ParallelParams{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices documented in DESIGN.md).
+
+// BenchmarkAblationChildOrder: LIFO with lower-bound-ordered children (the
+// default greedy dive) vs plain generation order.
+func BenchmarkAblationChildOrder(b *testing.B) {
+	for name, order := range map[string]parabb.Params{
+		"byLowerBound": {},
+		"asGenerated":  {ChildOrder: parabb.ChildrenAsGenerated},
+	} {
+		b.Run(name, func(b *testing.B) { benchSolve(b, order) })
+	}
+}
+
+// BenchmarkAblationLLBTie: the LLB plateau tie-break — paper-faithful
+// oldest-first vs the modern deepest-first fix. The gap explains the
+// paper's C1 result.
+func BenchmarkAblationLLBTie(b *testing.B) {
+	for name, p := range map[string]parabb.Params{
+		"oldest":  {Selection: parabb.SelectLLB, LLBTie: parabb.TieOldest},
+		"deepest": {Selection: parabb.SelectLLB, LLBTie: parabb.TieDeepest},
+	} {
+		b.Run(name, func(b *testing.B) { benchSolve(b, p) })
+	}
+}
+
+// BenchmarkAblationDominance: the optional vertex domination rule D.
+func BenchmarkAblationDominance(b *testing.B) {
+	for name, p := range map[string]parabb.Params{
+		"off": {},
+		"on":  {Dominance: true},
+	} {
+		b.Run(name, func(b *testing.B) { benchSolve(b, p) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension benchmarks: the anytime pipeline and its stages.
+
+// BenchmarkPortfolio measures the full anytime pipeline (bounds → greedy →
+// local search → warm-started exact) on the contested workload.
+func BenchmarkPortfolio(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := parabb.SolveAnytime(g, plat, parabb.PortfolioOptions{
+			Budget: 30 * time.Second, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Cost), "Lmax")
+			b.ReportMetric(float64(res.Search.Generated), "vertices/op")
+		}
+	}
+}
+
+// BenchmarkImprove measures the local-search stage alone, from the EDF
+// schedule.
+func BenchmarkImprove(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	start, _, err := parabb.EDF(g, plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parabb.Improve(start, parabb.ImproveOptions{Seed: 1, Kicks: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the a-priori bound computation.
+func BenchmarkAnalyze(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parabb.Analyze(g, plat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreemptiveRelaxation measures the optimal preemptive
+// single-machine scheduler (reference [12]).
+func BenchmarkPreemptiveRelaxation(b *testing.B) {
+	g := contestedWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parabb.PreemptiveSchedule(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures the discrete-event executor on an optimal
+// schedule.
+func BenchmarkSimulate(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	res, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parabb.Simulate(res.Schedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveIDA measures the iterative-deepening regime on the
+// contested workload (compare with BenchmarkSolveLIFO/LLB: near-LIFO
+// vertex counts at O(n) memory).
+func BenchmarkSolveIDA(b *testing.B) {
+	g := contestedWorkload(b)
+	plat := parabb.NewPlatform(3)
+	b.ResetTimer()
+	var gen int64
+	for i := 0; i < b.N; i++ {
+		res, err := parabb.SolveIDA(g, plat, parabb.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen = res.Stats.Generated
+	}
+	b.ReportMetric(float64(gen), "vertices/op")
+}

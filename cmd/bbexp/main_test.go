@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("2, 3,4")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("parseProcs: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "2,,3"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseRules(t *testing.T) {
+	var p core.Params
+	if err := parseRules(&p, "llb", "df", "lb0"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Selection != core.SelectLLB || p.Branching != core.BranchDF || p.Bound != core.BoundLB0 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if err := parseRules(&p, "fifo", "bf1", "none"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Selection != core.SelectFIFO || p.Branching != core.BranchBF1 || p.Bound != core.BoundNone {
+		t.Fatalf("parsed %+v", p)
+	}
+	for _, bad := range [][3]string{
+		{"best", "bfn", "lb1"},
+		{"lifo", "dfs", "lb1"},
+		{"lifo", "bfn", "lb9"},
+	} {
+		if err := parseRules(&p, bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("accepted %v", bad)
+		}
+	}
+}

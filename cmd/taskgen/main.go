@@ -1,0 +1,126 @@
+// Command taskgen generates random task graphs per the paper's §4.1
+// workload model and writes them as JSON (one file per graph, or stdout for
+// a single graph).
+//
+// Usage:
+//
+//	taskgen [flags]
+//
+//	-n int          number of graphs to generate (default 1)
+//	-seed int       RNG seed (default 1)
+//	-out string     output file prefix; graph i goes to <prefix><i>.json.
+//	                empty prefix with -n 1 writes to stdout
+//	-tasks string   task count range "min:max" (default "12:16")
+//	-depth string   graph depth range "min:max" (default "8:12")
+//	-exec int       mean execution time (default 20)
+//	-jitter float   relative execution/message jitter (default 0.99)
+//	-ccr float      communication-to-computation ratio (default 1.0)
+//	-laxity float   end-to-end laxity ratio for deadline slicing
+//	                (default 1.5); 0 skips deadline assignment
+//	-dot            also print the DOT rendering to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func parseRange(s string) (lo, hi int, err error) {
+	if _, err = fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q (want \"min:max\")", s)
+	}
+	return lo, hi, nil
+}
+
+func main() {
+	var (
+		count   = flag.Int("n", 1, "number of graphs to generate")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output file prefix (stdout when empty and -n 1)")
+		tasks   = flag.String("tasks", "12:16", "task count range min:max")
+		depth   = flag.String("depth", "8:12", "graph depth range min:max")
+		exec    = flag.Int64("exec", 20, "mean execution time")
+		jitter  = flag.Float64("jitter", 0.99, "relative execution/message jitter")
+		ccr     = flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+		laxity  = flag.Float64("laxity", 1.5, "laxity ratio (0 skips deadline assignment)")
+		dot     = flag.Bool("dot", false, "also print DOT rendering to stderr")
+		slicing = flag.String("slicing", "equal", "deadline slicing policy: equal, proportional")
+		format  = flag.String("format", "json", "output format: json, stg")
+	)
+	flag.Parse()
+
+	p := gen.Defaults()
+	var err error
+	if p.NMin, p.NMax, err = parseRange(*tasks); err != nil {
+		fatal(err)
+	}
+	if p.DepthMin, p.DepthMax, err = parseRange(*depth); err != nil {
+		fatal(err)
+	}
+	p.MeanExec = taskgraph.Time(*exec)
+	p.ExecJitter = *jitter
+	p.CCR = *ccr
+	if *laxity > 0 {
+		p.Laxity = *laxity
+	}
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+	if *format != "json" && *format != "stg" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	var slicingPolicy deadline.Policy
+	switch *slicing {
+	case "equal":
+		slicingPolicy = deadline.EqualSlack
+	case "proportional":
+		slicingPolicy = deadline.Proportional
+	default:
+		fatal(fmt.Errorf("unknown slicing policy %q", *slicing))
+	}
+	if *count > 1 && *out == "" {
+		fatal(fmt.Errorf("-n %d requires -out prefix", *count))
+	}
+
+	g := gen.New(p, *seed)
+	for i := 0; i < *count; i++ {
+		tg := g.Graph()
+		if *laxity > 0 {
+			if err := deadline.Assign(tg, *laxity, slicingPolicy); err != nil {
+				fatal(err)
+			}
+		}
+		if *dot {
+			fmt.Fprint(os.Stderr, tg.DOT())
+		}
+		if *out == "" {
+			var err error
+			if *format == "stg" {
+				err = tg.WriteSTG(os.Stdout)
+			} else {
+				err = tg.WriteJSON(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		path := fmt.Sprintf("%s%d.%s", *out, i, *format)
+		if err := tg.SaveFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d tasks, %d arcs, depth %d, parallelism %.2f\n",
+			path, tg.NumTasks(), tg.NumEdges(), tg.Depth(), tg.Parallelism())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskgen:", strings.TrimPrefix(err.Error(), "taskgen: "))
+	os.Exit(1)
+}

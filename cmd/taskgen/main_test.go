@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange("12:16")
+	if err != nil || lo != 12 || hi != 16 {
+		t.Fatalf("parseRange: %d %d %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "12", "12-16", "a:b"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

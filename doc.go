@@ -1,0 +1,51 @@
+// Package parabb is a production-quality Go implementation of the
+// parametrized branch-and-bound multiprocessor scheduler of
+//
+//	Jan Jonsson and Kang G. Shin, "A Parametrized Branch-and-Bound
+//	Strategy for Scheduling Precedence-Constrained Tasks on a
+//	Multiprocessor System", Proc. ICPP 1997, pp. 158–165.
+//
+// The library schedules precedence-constrained real-time tasks
+// non-preemptively on a homogeneous shared-bus multiprocessor so that the
+// maximum task lateness Lmax = max{f_i − D_i} is minimized, and reproduces
+// the paper's entire experimental evaluation.
+//
+// # Quick start
+//
+//	g := parabb.NewGraph(3)
+//	a := g.AddTask(parabb.Task{Name: "sense", Exec: 4, Deadline: 20})
+//	b := g.AddTask(parabb.Task{Name: "plan", Exec: 7, Deadline: 30})
+//	c := g.AddTask(parabb.Task{Name: "act", Exec: 3, Deadline: 40})
+//	g.MustAddEdge(a, b, 2) // 2 data items from sense to plan
+//	g.MustAddEdge(b, c, 1)
+//
+//	res, err := parabb.Solve(g, parabb.NewPlatform(2), parabb.Params{})
+//	if err != nil { ... }
+//	fmt.Println(res.Cost)          // optimal maximum lateness
+//	fmt.Print(parabb.GanttText(res.Schedule, 72))
+//
+// The zero Params value is the paper's recommended exact configuration:
+// LIFO vertex selection, BFn branching, the contention-aware lower bound
+// LB1, an EDF-seeded upper bound, and BR = 0 (proven optimum). Every knob
+// of the Kohler–Steiglitz 9-tuple ⟨B,S,E,F,D,L,U,BR,RB⟩ is a field of
+// Params; see the package documentation of repro/internal/core for the
+// full taxonomy.
+//
+// # Package map
+//
+//	internal/taskgraph  task/DAG model, analyses, codecs
+//	internal/platform   processors + shared-bus communication model
+//	internal/gen        the paper's §4.1 random workload generator
+//	internal/deadline   the §4.2 end-to-end deadline slicing
+//	internal/sched      the §4.3 non-preemptive scheduling operation
+//	internal/edf        the §4.4 greedy EDF baseline
+//	internal/core       the parametrized B&B (sequential and parallel)
+//	internal/bruteforce exhaustive search (test oracle and baseline)
+//	internal/periodic   hyperperiod unrolling for periodic task systems
+//	internal/exp        experiment harness regenerating every figure
+//	internal/stats      confidence intervals, the §5 stop rule
+//	internal/gantt      text/SVG/JSON schedule rendering
+//
+// This facade re-exports the stable surface of those packages so that
+// downstream users import a single path.
+package parabb

@@ -1,0 +1,166 @@
+package parabb_test
+
+import (
+	"fmt"
+	"time"
+
+	parabb "repro"
+)
+
+// ExampleSolve schedules a three-stage pipeline on two processors and
+// proves the optimal maximum lateness.
+func ExampleSolve() {
+	g := parabb.NewGraph(3)
+	a := g.AddTask(parabb.Task{Name: "sense", Exec: 4, Deadline: 20})
+	b := g.AddTask(parabb.Task{Name: "plan", Exec: 7, Deadline: 30})
+	c := g.AddTask(parabb.Task{Name: "act", Exec: 3, Deadline: 40})
+	g.MustAddEdge(a, b, 2)
+	g.MustAddEdge(b, c, 1)
+
+	res, err := parabb.Solve(g, parabb.NewPlatform(2), parabb.Params{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Lmax:", res.Cost)
+	fmt.Println("optimal:", res.Optimal)
+	// Output:
+	// Lmax: -16
+	// optimal: true
+}
+
+// ExampleSolve_parametrized shows how the Kohler–Steiglitz knobs map onto
+// Params: an approximate depth-first search with a 10% guarantee budget.
+func ExampleSolve_parametrized() {
+	g := parabb.NewGraph(2)
+	a := g.AddTask(parabb.Task{Name: "u", Exec: 5, Deadline: 10})
+	b := g.AddTask(parabb.Task{Name: "v", Exec: 5, Deadline: 20})
+	g.MustAddEdge(a, b, 1)
+
+	res, err := parabb.Solve(g, parabb.NewPlatform(2), parabb.Params{
+		Selection: parabb.SelectLIFO,
+		Branching: parabb.BranchDF,
+		Bound:     parabb.BoundLB1,
+		BR:        0.10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Lmax:", res.Cost)
+	fmt.Println("proven optimal:", res.Optimal) // DF is approximate
+	// Output:
+	// Lmax: -5
+	// proven optimal: false
+}
+
+// ExampleEDF contrasts the greedy baseline with the exact solver.
+func ExampleEDF() {
+	g := parabb.NewGraph(2)
+	g.AddTask(parabb.Task{Name: "tight", Exec: 5, Deadline: 20})
+	g.AddTask(parabb.Task{Name: "loose", Exec: 5, Deadline: 30})
+
+	_, lmax, err := parabb.EDF(g, parabb.NewPlatform(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("EDF Lmax:", lmax)
+	// Output:
+	// EDF Lmax: -15
+}
+
+// ExampleRandomWorkload draws one paper-style workload (§4.1 parameters,
+// §4.2 deadline slicing) deterministically from a seed.
+func ExampleRandomWorkload() {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks in [12,16]:", g.NumTasks() >= 12 && g.NumTasks() <= 16)
+	fmt.Println("depth in [8,12]:", g.Depth() >= 8 && g.Depth() <= 12)
+	// Output:
+	// tasks in [12,16]: true
+	// depth in [8,12]: true
+}
+
+// ExampleUnroll expands a periodic task over its hyperperiod.
+func ExampleUnroll() {
+	g := parabb.NewGraph(2)
+	g.AddTask(parabb.Task{Name: "fast", Exec: 2, Deadline: 9, Period: 10})
+	g.AddTask(parabb.Task{Name: "slow", Exec: 3, Deadline: 14, Period: 15})
+
+	ex, err := parabb.Unroll(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hyperperiod:", ex.Hyperperiod)
+	fmt.Println("invocations:", ex.Graph.NumTasks())
+	// Output:
+	// hyperperiod: 30
+	// invocations: 5
+}
+
+// ExampleGanttText renders a two-processor schedule for a terminal.
+func ExampleGanttText() {
+	g := parabb.NewGraph(2)
+	g.AddTask(parabb.Task{Name: "A", Exec: 4, Deadline: 10})
+	g.AddTask(parabb.Task{Name: "B", Exec: 4, Deadline: 10})
+	res, err := parabb.Solve(g, parabb.NewPlatform(2), parabb.Params{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(parabb.GanttText(res.Schedule, 24))
+	// Output:
+	// time 0..4, 2 processors, Lmax=-6
+	// p0  |[A=====================]|
+	// p1  |[B=====================]|
+}
+
+// ExampleAnalyze certifies infeasibility without running any search.
+func ExampleAnalyze() {
+	g := parabb.NewGraph(3)
+	for i := 0; i < 3; i++ {
+		g.AddTask(parabb.Task{Name: string(rune('a' + i)), Exec: 10, Deadline: 12})
+	}
+	rep, err := parabb.Analyze(g, parabb.NewPlatform(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("certified lower bound on Lmax:", rep.Lower)
+	fmt.Println("provably infeasible:", rep.Infeasible())
+	// Output:
+	// certified lower bound on Lmax: 18
+	// provably infeasible: true
+}
+
+// ExampleSolveIDA shows the memory-frugal exact regime.
+func ExampleSolveIDA() {
+	g := parabb.NewGraph(2)
+	a := g.AddTask(parabb.Task{Name: "u", Exec: 5, Deadline: 10})
+	b := g.AddTask(parabb.Task{Name: "v", Exec: 5, Deadline: 20})
+	g.MustAddEdge(a, b, 1)
+	res, err := parabb.SolveIDA(g, parabb.NewPlatform(2), parabb.Params{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Lmax:", res.Cost, "optimal:", res.Optimal)
+	// Output:
+	// Lmax: -5 optimal: true
+}
+
+// ExampleSolveAnytime runs the full bounds→greedy→improve→exact pipeline.
+func ExampleSolveAnytime() {
+	g := parabb.NewGraph(3)
+	a := g.AddTask(parabb.Task{Name: "a", Exec: 4, Deadline: 8})
+	b := g.AddTask(parabb.Task{Name: "b", Exec: 4, Deadline: 16})
+	c := g.AddTask(parabb.Task{Name: "c", Exec: 4, Deadline: 24})
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	res, err := parabb.SolveAnytime(g, parabb.NewPlatform(2), parabb.PortfolioOptions{
+		Budget: time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Lmax:", res.Cost, "proven optimal:", res.Optimal)
+	// Output:
+	// Lmax: -4 proven optimal: true
+}

@@ -1,0 +1,107 @@
+// Approximation: the practical engineering question behind the paper's
+// contribution C3 — how much schedule quality do you give up, and how much
+// search do you save, when you cannot afford the exact algorithm?
+//
+// The program draws paper-style random workloads and runs the whole
+// strategy ladder on each: exact BFn, near-optimal BFn with BR=10%
+// (bounded suboptimality), the fixed-order approximations DF and BF1, the
+// parallel exact solver, and greedy EDF. It then prints the aggregate
+// quality/effort trade-off.
+//
+//	go run ./examples/approximation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	parabb "repro"
+)
+
+type rung struct {
+	name   string
+	params parabb.Params
+	par    bool
+}
+
+func main() {
+	ladder := []rung{
+		{name: "BFn BR=0% (optimal)", params: parabb.Params{}},
+		{name: "BFn BR=0% (parallel x4)", params: parabb.Params{}, par: true},
+		{name: "BFn BR=10% (guaranteed)", params: parabb.Params{BR: 0.10}},
+		{name: "B=BF1 (approximate)", params: parabb.Params{Branching: parabb.BranchBF1}},
+		{name: "B=DF (approximate)", params: parabb.Params{Branching: parabb.BranchDF}},
+	}
+
+	const runs = 12
+	wp := parabb.DefaultWorkload()
+	plat := parabb.NewPlatform(3)
+
+	type agg struct {
+		vertices, latenessSum int64
+		worstGap              parabb.Time
+		elapsed               time.Duration
+	}
+	results := make([]agg, len(ladder))
+	var edfLatenessSum int64
+	var optLatenessSum int64
+
+	for i := 0; i < runs; i++ {
+		g, err := parabb.RandomWorkload(wp, int64(9000+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, edfLmax, err := parabb.EDF(g, plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		edfLatenessSum += int64(edfLmax)
+
+		var opt parabb.Time
+		for r, rg := range ladder {
+			params := rg.params
+			params.Resources.TimeLimit = 30 * time.Second
+			start := time.Now()
+			var res parabb.Result
+			if rg.par {
+				res, err = parabb.SolveParallel(g, plat, parabb.ParallelParams{Params: params, Workers: 4})
+			} else {
+				res, err = parabb.Solve(g, plat, params)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r == 0 {
+				opt = res.Cost
+				optLatenessSum += int64(opt)
+			}
+			results[r].vertices += res.Stats.Generated
+			results[r].latenessSum += int64(res.Cost)
+			results[r].elapsed += time.Since(start)
+			if gap := res.Cost - opt; gap > results[r].worstGap {
+				results[r].worstGap = gap
+			}
+		}
+	}
+
+	fmt.Printf("strategy ladder over %d random paper workloads (m=3):\n\n", runs)
+	fmt.Printf("%-26s %14s %12s %12s %12s\n",
+		"strategy", "avg vertices", "avg Lmax", "worst gap", "total time")
+	for r, rg := range ladder {
+		fmt.Printf("%-26s %14d %12.1f %12d %12v\n",
+			rg.name,
+			results[r].vertices/runs,
+			float64(results[r].latenessSum)/runs,
+			results[r].worstGap,
+			results[r].elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("%-26s %14d %12.1f\n", "EDF greedy (reference)", 0,
+		float64(edfLatenessSum)/runs)
+
+	fmt.Println("\nreading the ladder (paper C3):")
+	fmt.Println("  - BR=10% keeps lateness within its guarantee at a fraction of the search;")
+	fmt.Println("  - DF/BF1 collapse the task-order dimension entirely: massive savings,")
+	fmt.Println("    no guarantee — DF can even lose to greedy EDF on small machines;")
+	fmt.Println("  - the parallel solver buys wall-clock speed, never quality.")
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestAnalyzeDiamond(t *testing.T) {
+	g := taskgraph.Diamond() // work 12, cp 9, all D=100
+	rep, err := Analyze(g, platform.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalWork != 12 || rep.CriticalPath != 9 {
+		t.Fatalf("work/cp = %d/%d", rep.TotalWork, rep.CriticalPath)
+	}
+	// Path bound: d finishes no earlier than 9 → lateness >= -91.
+	if rep.PathLmax != -91 {
+		t.Fatalf("PathLmax = %d, want -91", rep.PathLmax)
+	}
+	if rep.Infeasible() {
+		t.Fatal("loose diamond flagged infeasible")
+	}
+}
+
+func TestDemandBoundDetectsOverload(t *testing.T) {
+	// Three tasks of length 10 all windowed in [0, 12] on one processor:
+	// demand 30 over capacity 12 → overflow 18 → Lmax >= 18.
+	g := taskgraph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddTask(taskgraph.Task{Exec: 10, Deadline: 12})
+	}
+	rep, err := Analyze(g, platform.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DemandLmax != 18 {
+		t.Fatalf("DemandLmax = %d, want 18", rep.DemandLmax)
+	}
+	if !rep.Infeasible() {
+		t.Fatal("overload not certified infeasible")
+	}
+	// On two processors the overflow halves: (30-24)/2 = 3.
+	rep2, err := Analyze(g, platform.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.DemandLmax != 3 {
+		t.Fatalf("m=2 DemandLmax = %d, want 3", rep2.DemandLmax)
+	}
+	// Three processors: one task each, feasible.
+	rep3, err := Analyze(g, platform.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Infeasible() {
+		t.Fatal("m=3 flagged infeasible")
+	}
+}
+
+func TestDemandBoundUsesSubIntervals(t *testing.T) {
+	// A loose horizon with a packed sub-interval: two length-10 tasks in
+	// [20, 31) plus an easy task elsewhere. The binding interval is the
+	// middle one, not [0, horizon].
+	g := taskgraph.New(3)
+	g.AddTask(taskgraph.Task{Exec: 2, Phase: 0, Deadline: 100})
+	g.AddTask(taskgraph.Task{Exec: 10, Phase: 20, Deadline: 11})
+	g.AddTask(taskgraph.Task{Exec: 10, Phase: 20, Deadline: 11})
+	rep, err := Analyze(g, platform.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// demand 20 over [20,31): capacity 11 → overflow 9.
+	if rep.DemandLmax != 9 {
+		t.Fatalf("DemandLmax = %d, want 9", rep.DemandLmax)
+	}
+	if rep.CriticalInterval != [2]taskgraph.Time{20, 31} {
+		t.Fatalf("critical interval %v, want [20,31]", rep.CriticalInterval)
+	}
+}
+
+// TestLowerBoundsOptimalCost is the admissibility proof by testing: the
+// certified bound never exceeds the brute-force optimum.
+func TestLowerBoundsOptimalCost(t *testing.T) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 7
+	p.DepthMin, p.DepthMax = 3, 4
+	for _, laxity := range []float64{0.8, 1.0, 1.5} {
+		gg := gen.New(p, 19)
+		for i := 0; i < 15; i++ {
+			g := gg.Graph()
+			if err := deadline.Assign(g, laxity, deadline.EqualSlack); err != nil {
+				t.Fatal(err)
+			}
+			for m := 1; m <= 3; m++ {
+				plat := platform.New(m)
+				rep, err := Analyze(g, plat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt, err := bruteforce.Solve(g, plat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Lower > opt.Cost {
+					t.Fatalf("laxity %v graph %d m=%d: bound %d exceeds optimum %d\n%s",
+						laxity, i, m, rep.Lower, opt.Cost, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundTightOnSerializedWork: n equal tasks, shared deadline, one
+// processor — the bound is exact.
+func TestBoundTightOnSerializedWork(t *testing.T) {
+	g := taskgraph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddTask(taskgraph.Task{Exec: 5, Deadline: 5})
+	}
+	plat := platform.New(1)
+	rep, err := Analyze(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := bruteforce.Solve(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialized: finishes 5,10,15,20 vs D=5 → Lmax 15. Demand: 20 work in
+	// [0,5] → overflow 15.
+	if rep.Lower != 15 || opt.Cost != 15 {
+		t.Fatalf("bound %d, optimum %d, want both 15", rep.Lower, opt.Cost)
+	}
+}
+
+func TestPathBoundMatchesSolverLB0(t *testing.T) {
+	// The path bound equals the solver's root LB0 by construction; verify
+	// through the public interface: optimal cost of a communication-free
+	// chain equals the bound.
+	g := taskgraph.Chain(5, 10, 0)
+	if err := deadline.Assign(g, 1.0, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(2)
+	rep, err := Analyze(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(g, plat, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lower != res.Cost {
+		t.Fatalf("chain bound %d != optimal %d", rep.Lower, res.Cost)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(taskgraph.New(0), platform.New(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := Analyze(taskgraph.Diamond(), platform.Platform{M: 0}); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+	cyc := taskgraph.New(2)
+	a := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	b := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if _, err := Analyze(cyc, platform.New(1)); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Analyze(taskgraph.Diamond(), platform.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.String(); !strings.Contains(s, "work=12") || !strings.Contains(s, "feasibility unknown") {
+		t.Fatalf("String: %q", s)
+	}
+	over := taskgraph.New(2)
+	over.AddTask(taskgraph.Task{Exec: 10, Deadline: 10})
+	over.AddTask(taskgraph.Task{Exec: 10, Deadline: 10})
+	rep2, err := Analyze(over, platform.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep2.String(); !strings.Contains(s, "CERTIFIED INFEASIBLE") {
+		t.Fatalf("String: %q", s)
+	}
+}

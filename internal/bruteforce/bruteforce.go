@@ -1,0 +1,91 @@
+// Package bruteforce implements the exhaustive implicit enumerative search
+// that the paper's §1 contrasts branch-and-bound against: a depth-first
+// enumeration of ALL permutations of task-to-processor assignments and
+// schedule orderings under the §4.3 operation, with no bounding at all.
+//
+// Its complexity is the paper's n!·m^n worst case, so it is only usable for
+// very small systems — which is exactly its role here: the ground-truth
+// oracle that the branch-and-bound solver, the approximation rules and the
+// parallel solver are validated against, and the "no pruning" baseline in
+// ablation benchmarks.
+package bruteforce
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	// Schedule is one optimal complete schedule (the first encountered in
+	// the deterministic enumeration order).
+	Schedule *sched.Schedule
+
+	// Cost is the optimal maximum task lateness.
+	Cost taskgraph.Time
+
+	// Visited counts every partial or complete schedule enumerated,
+	// including the empty one: the size of the full search tree.
+	Visited int64
+
+	// Goals counts the complete schedules enumerated.
+	Goals int64
+}
+
+// Limit bounds the number of enumerated vertices; Solve fails when the tree
+// is larger. It exists to turn an accidental n=16 call into an error
+// instead of heat death.
+const Limit = 200_000_000
+
+// Solve exhaustively enumerates the solution space and returns the optimum.
+func Solve(g *taskgraph.Graph, p platform.Platform) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+	st := sched.NewState(g, p)
+	res := Result{Cost: taskgraph.Infinity}
+	n := g.NumTasks()
+	if n == 0 {
+		return Result{}, fmt.Errorf("bruteforce: empty graph")
+	}
+
+	var overflow bool
+	var rec func()
+	rec = func() {
+		if overflow {
+			return
+		}
+		res.Visited++
+		if res.Visited > Limit {
+			overflow = true
+			return
+		}
+		if st.NumPlaced() == n {
+			res.Goals++
+			if st.Lmax() < res.Cost {
+				res.Cost = st.Lmax()
+				res.Schedule = st.Snapshot()
+			}
+			return
+		}
+		ready := st.ReadyTasks(nil)
+		for _, id := range ready {
+			for q := 0; q < p.M; q++ {
+				st.Place(id, platform.Proc(q))
+				rec()
+				st.Undo()
+			}
+		}
+	}
+	rec()
+	if overflow {
+		return Result{}, fmt.Errorf("bruteforce: search tree exceeds %d vertices", Limit)
+	}
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func mkVertex(lb taskgraph.Time, seq uint64) *vertex {
+	return &vertex{lb: lb, seq: seq, level: int32(seq % 5)}
+}
+
+func TestStackSetLIFO(t *testing.T) {
+	s := &stackSet{}
+	for i := 0; i < 5; i++ {
+		s.push(mkVertex(taskgraph.Time(i), uint64(i)))
+	}
+	if s.len() != 5 {
+		t.Fatalf("len = %d", s.len())
+	}
+	for i := 4; i >= 0; i-- {
+		if got := s.pop(); got.seq != uint64(i) {
+			t.Fatalf("pop %d: seq %d", i, got.seq)
+		}
+	}
+}
+
+func TestQueueSetFIFO(t *testing.T) {
+	q := &queueSet{}
+	for i := 0; i < 5; i++ {
+		q.push(mkVertex(taskgraph.Time(i), uint64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		if got := q.pop(); got.seq != uint64(i) {
+			t.Fatalf("pop %d: seq %d", i, got.seq)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after draining", q.len())
+	}
+}
+
+func TestQueueSetCompaction(t *testing.T) {
+	q := &queueSet{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q.push(mkVertex(0, uint64(i)))
+	}
+	for i := 0; i < n-1; i++ {
+		q.pop()
+	}
+	if q.len() != 1 {
+		t.Fatalf("len = %d, want 1", q.len())
+	}
+	if got := q.pop(); got.seq != n-1 {
+		t.Fatalf("lost the tail after compaction: seq %d", got.seq)
+	}
+}
+
+func TestHeapSetOrdering(t *testing.T) {
+	h := &heapSet{}
+	lbs := []taskgraph.Time{5, -3, 7, -3, 0, 12, -9}
+	for i, lb := range lbs {
+		h.push(mkVertex(lb, uint64(i)))
+	}
+	var got []taskgraph.Time
+	for h.len() > 0 {
+		if h.peekBound() != h.vs[0].lb {
+			t.Fatal("peekBound disagrees with heap top")
+		}
+		got = append(got, h.pop().lb)
+	}
+	want := append([]taskgraph.Time(nil), lbs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapSetTieBreak(t *testing.T) {
+	h := &heapSet{}
+	h.tie = TieDeepest
+	a := &vertex{lb: 3, level: 1, seq: 1}
+	b := &vertex{lb: 3, level: 4, seq: 2} // deeper level wins ties
+	h.push(a)
+	h.push(b)
+	if got := h.pop(); got != b {
+		t.Fatal("tie not broken toward deeper level")
+	}
+	c := &vertex{lb: 3, level: 4, seq: 9} // same level: newer seq wins
+	h.push(c)
+	if got := h.pop(); got != c {
+		t.Fatal("tie not broken toward newer vertex")
+	}
+}
+
+func TestPruneAbove(t *testing.T) {
+	for name, as := range map[string]func() activeSet{
+		"stack": func() activeSet { return &stackSet{} },
+		"queue": func() activeSet { return &queueSet{} },
+		"heap":  func() activeSet { return &heapSet{} },
+	} {
+		s := as()
+		for i := 0; i < 10; i++ {
+			s.push(mkVertex(taskgraph.Time(i), uint64(i)))
+		}
+		removed := s.pruneAbove(6)
+		if removed != 4 {
+			t.Fatalf("%s: removed %d, want 4 (lb 6..9)", name, removed)
+		}
+		if s.len() != 6 {
+			t.Fatalf("%s: len %d, want 6", name, s.len())
+		}
+		for s.len() > 0 {
+			if v := s.pop(); v.lb >= 6 {
+				t.Fatalf("%s: vertex with lb %d survived pruneAbove(6)", name, v.lb)
+			}
+		}
+	}
+}
+
+func TestPruneAboveKeepsQueueOrder(t *testing.T) {
+	q := &queueSet{}
+	for i := 0; i < 6; i++ {
+		q.push(mkVertex(taskgraph.Time(i%3), uint64(i)))
+	}
+	q.pop() // advance head to exercise the head-relative compaction
+	q.pruneAbove(2)
+	var seqs []uint64
+	for q.len() > 0 {
+		seqs = append(seqs, q.pop().seq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i-1] > seqs[i] {
+			t.Fatalf("FIFO order broken after prune: %v", seqs)
+		}
+	}
+}
+
+func TestDropWorst(t *testing.T) {
+	for name, as := range map[string]func() activeSet{
+		"stack": func() activeSet { return &stackSet{} },
+		"queue": func() activeSet { return &queueSet{} },
+		"heap":  func() activeSet { return &heapSet{} },
+	} {
+		s := as()
+		lbs := []taskgraph.Time{4, -1, 9, 3, 9, 0}
+		for i, lb := range lbs {
+			s.push(mkVertex(lb, uint64(i)))
+		}
+		if got := s.dropWorst(); got.lb != 9 {
+			t.Fatalf("%s: dropped lb %d, want 9", name, got.lb)
+		}
+		if s.len() != 5 {
+			t.Fatalf("%s: len %d after drop", name, s.len())
+		}
+		// Remaining worst is the other 9.
+		if got := s.dropWorst(); got.lb != 9 {
+			t.Fatalf("%s: second drop lb %d, want 9", name, got.lb)
+		}
+	}
+}
+
+// TestHeapSetRandomizedInvariant cross-checks the heap against a sorted
+// reference under a random push/pop/prune/drop workload.
+func TestHeapSetRandomizedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := &heapSet{}
+	var ref []taskgraph.Time
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(ref) == 0:
+			lb := taskgraph.Time(rng.Intn(100) - 50)
+			h.push(mkVertex(lb, uint64(step)))
+			ref = append(ref, lb)
+		case op < 8:
+			sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+			if got := h.pop().lb; got != ref[0] {
+				t.Fatalf("step %d: pop lb %d, want %d", step, got, ref[0])
+			}
+			ref = ref[1:]
+		case op < 9:
+			limit := taskgraph.Time(rng.Intn(100) - 50)
+			h.pruneAbove(limit)
+			kept := ref[:0]
+			for _, lb := range ref {
+				if lb < limit {
+					kept = append(kept, lb)
+				}
+			}
+			ref = kept
+		default:
+			sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+			if got := h.dropWorst().lb; got != ref[len(ref)-1] {
+				t.Fatalf("step %d: dropWorst lb %d, want %d", step, got, ref[len(ref)-1])
+			}
+			ref = ref[:len(ref)-1]
+		}
+		if h.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, h.len(), len(ref))
+		}
+	}
+}
+
+func TestVertexPlacements(t *testing.T) {
+	root := &vertex{task: taskgraph.NoTask}
+	v1 := &vertex{parent: root, task: 3, proc: 0, start: 0, finish: 5, level: 1}
+	v2 := &vertex{parent: v1, task: 1, proc: 1, start: 2, finish: 9, level: 2}
+	pl := v2.placements(nil)
+	if len(pl) != 2 || pl[0].Task != 3 || pl[1].Task != 1 {
+		t.Fatalf("placements = %+v", pl)
+	}
+	if pl := root.placements(nil); len(pl) != 0 {
+		t.Fatalf("root placements = %+v", pl)
+	}
+	// Appending into a non-empty buffer only reverses the suffix.
+	buf := []struct{}{}
+	_ = buf
+	pre := v1.placements(nil)
+	combined := v2.placements(pre[:1])
+	if combined[0].Task != 3 || combined[1].Task != 3 || combined[2].Task != 1 {
+		t.Fatalf("suffix reversal wrong: %+v", combined)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// bounder computes the lower-bound cost functions L of §3.5 over a partial
+// schedule. It owns the scratch storage for the estimated finish times f̂,
+// so one bounder serves an entire search without allocating.
+//
+// Both functions propagate estimated finish times forward through the task
+// graph in topological order:
+//
+//	f̂_i = f_i                                     if τ_i is scheduled
+//	f̂_i = max over direct preds τ_j of
+//	        max(f̂_j, a_i [, ℓ_min]) + c_i         otherwise
+//	      (input tasks: max(a_i [, ℓ_min]) + c_i)
+//
+// where the ℓ_min term — the earliest instant ANY processor can accept a
+// new task under the append-only §4.3 operation — is included only by LB1.
+// Communication costs are optimistically zero (the tasks might share a
+// processor), keeping both bounds admissible. The vertex bound is then
+// L̂ = max{f̂_i − D_i} over ALL tasks, scheduled and not.
+type bounder struct {
+	g    *taskgraph.Graph
+	topo []taskgraph.TaskID
+	fhat []taskgraph.Time
+	mode BoundFunc
+}
+
+func newBounder(g *taskgraph.Graph, mode BoundFunc) *bounder {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		panic(err) // Solve validated the graph already
+	}
+	return &bounder{g: g, topo: topo, fhat: make([]taskgraph.Time, g.NumTasks()), mode: mode}
+}
+
+// bound returns the lower-bound cost of the partial schedule in st.
+func (b *bounder) bound(st *sched.State) taskgraph.Time {
+	// The lateness of the scheduled portion is exact and tracked by the
+	// state; BoundNone stops there (pure incumbent-cost pruning, for
+	// ablations).
+	l := st.Lmax()
+	if b.mode == BoundNone {
+		return l
+	}
+
+	var lmin taskgraph.Time
+	if b.mode == BoundLB1 {
+		lmin = st.EarliestProcFree()
+	}
+
+	for _, id := range b.topo {
+		if st.Placed(id) {
+			b.fhat[id] = st.Finish(id)
+			continue
+		}
+		t := b.g.Task(id)
+		floor := t.Arrival()
+		if b.mode == BoundLB1 && lmin > floor {
+			floor = lmin
+		}
+		est := floor + t.Exec
+		for _, pred := range b.g.Preds(id) {
+			ready := b.fhat[pred]
+			if ready < floor {
+				ready = floor
+			}
+			if ready+t.Exec > est {
+				est = ready + t.Exec
+			}
+		}
+		b.fhat[id] = est
+		if lat := est - t.AbsDeadline(); lat > l {
+			l = lat
+		}
+	}
+	return l
+}

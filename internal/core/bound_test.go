@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// completeGreedily finishes a partial schedule by placing every remaining
+// ready task on the processor with the earliest start, returning the final
+// Lmax. Any completion's cost upper-bounds the optimal completion cost, so
+// bounds must stay below it.
+func completeGreedily(st *sched.State, m int) taskgraph.Time {
+	for st.NumPlaced() < st.G.NumTasks() {
+		ready := st.ReadyTasks(nil)
+		id := ready[0]
+		best := platform.Proc(0)
+		bestStart := st.EST(id, 0)
+		for q := 1; q < m; q++ {
+			if s := st.EST(id, platform.Proc(q)); s < bestStart {
+				bestStart, best = s, platform.Proc(q)
+			}
+		}
+		st.Place(id, best)
+	}
+	return st.Lmax()
+}
+
+// TestBoundsAdmissibleAgainstOracle verifies the defining property of LB0
+// and LB1 on random partial schedules: the bound never exceeds the TRUE
+// optimal completion cost (computed by constrained brute force).
+func TestBoundsAdmissibleAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := smallWorkloads(t, 6, 31)
+	for gi, g := range graphs {
+		for _, m := range []int{1, 2} {
+			plat := platform.New(m)
+			st := sched.NewState(g, plat)
+			lb0 := newBounder(g, BoundLB0)
+			lb1 := newBounder(g, BoundLB1)
+
+			// Random partial prefix.
+			steps := rng.Intn(g.NumTasks())
+			for i := 0; i < steps; i++ {
+				ready := st.ReadyTasks(nil)
+				st.Place(ready[rng.Intn(len(ready))], platform.Proc(rng.Intn(m)))
+			}
+
+			b0, b1 := lb0.bound(st), lb1.bound(st)
+			if b1 < b0 {
+				t.Errorf("graph %d m=%d: LB1 (%d) weaker than LB0 (%d): contention term must only tighten",
+					gi, m, b1, b0)
+			}
+
+			// True optimal completion cost from this prefix.
+			opt := optimalCompletion(st, plat)
+			if b0 > opt {
+				t.Errorf("graph %d m=%d: LB0 (%d) exceeds optimal completion (%d) — inadmissible", gi, m, b0, opt)
+			}
+			if b1 > opt {
+				t.Errorf("graph %d m=%d: LB1 (%d) exceeds optimal completion (%d) — inadmissible", gi, m, b1, opt)
+			}
+
+			// A real completion (greedy) can never beat the bound either.
+			greedy := completeGreedily(st, m)
+			if b1 > greedy {
+				t.Errorf("graph %d m=%d: LB1 (%d) exceeds an actual completion (%d)", gi, m, b1, greedy)
+			}
+		}
+	}
+}
+
+// optimalCompletion exhaustively computes the best Lmax reachable from the
+// current partial schedule.
+func optimalCompletion(st *sched.State, plat platform.Platform) taskgraph.Time {
+	n := st.G.NumTasks()
+	best := taskgraph.Infinity
+	var rec func()
+	rec = func() {
+		if st.NumPlaced() == n {
+			if st.Lmax() < best {
+				best = st.Lmax()
+			}
+			return
+		}
+		for _, id := range st.ReadyTasks(nil) {
+			for q := 0; q < plat.M; q++ {
+				st.Place(id, platform.Proc(q))
+				rec()
+				st.Undo()
+			}
+		}
+	}
+	rec()
+	return best
+}
+
+func TestBoundExactAtGoal(t *testing.T) {
+	// At a goal vertex both bounds equal the true Lmax.
+	g := taskgraph.Diamond()
+	plat := platform.New(2)
+	st := sched.NewState(g, plat)
+	st.Place(0, 0)
+	st.Place(1, 1)
+	st.Place(2, 0)
+	st.Place(3, 0)
+	for _, mode := range []BoundFunc{BoundLB0, BoundLB1, BoundNone} {
+		b := newBounder(g, mode)
+		if got := b.bound(st); got != st.Lmax() {
+			t.Errorf("%v at goal = %d, want exact %d", mode, got, st.Lmax())
+		}
+	}
+}
+
+func TestBoundEmptyScheduleEqualsGraphBound(t *testing.T) {
+	// On the empty schedule, LB0 is the pure critical-path lateness bound:
+	// max over tasks of (longest arrival-respecting path lateness). For the
+	// Diamond (all D=100, no phases) that is cp(i) − 100 where cp(d)=9.
+	g := taskgraph.Diamond()
+	st := sched.NewState(g, platform.New(2))
+	b := newBounder(g, BoundLB0)
+	if got := b.bound(st); got != 9-100 {
+		t.Fatalf("LB0(empty) = %d, want -91", got)
+	}
+	// LB1's ℓ_min is 0 on an empty schedule — identical value here.
+	b1 := newBounder(g, BoundLB1)
+	if got := b1.bound(st); got != 9-100 {
+		t.Fatalf("LB1(empty) = %d, want -91", got)
+	}
+}
+
+func TestLB1TightensUnderContention(t *testing.T) {
+	// Fork-join with width 4 on 1 processor: after placing the fork task,
+	// every middle task must wait for the processor (ℓ_min = finish of
+	// fork), which LB0 ignores but LB1 exploits.
+	g := taskgraph.ForkJoin(4, 10, 0)
+	st := sched.NewState(g, platform.New(1))
+	st.Place(0, 0) // fork: [0,10)
+
+	lb0 := newBounder(g, BoundLB0).bound(st)
+	lb1 := newBounder(g, BoundLB1).bound(st)
+	if lb1 <= lb0 {
+		// With zero phases both see pred finish 10 — equal here; force the
+		// contention: place one middle task so ℓ_min rises past the others'
+		// data-ready times.
+		st.Place(1, 0) // [10,20): ℓ_min = 20
+		lb0 = newBounder(g, BoundLB0).bound(st)
+		lb1 = newBounder(g, BoundLB1).bound(st)
+		if lb1 <= lb0 {
+			t.Fatalf("LB1 (%d) not tighter than LB0 (%d) under processor contention", lb1, lb0)
+		}
+	}
+}
+
+// TestLB1SearchSmallerThanLB0 is the paper's C2 in miniature: both bounds
+// find the same optimum, and in aggregate the LB1 search explores no more
+// vertices than LB0. (Per-instance the tighter bound can occasionally lose
+// by steering the LIFO dive differently, so the assertion is on the total.)
+func TestLB1SearchSmallerThanLB0(t *testing.T) {
+	graphs := smallWorkloads(t, 8, 37)
+	var tot0, tot1 int64
+	for gi, g := range graphs {
+		for _, m := range []int{1, 2, 3} {
+			plat := platform.New(m)
+			r0 := mustSolve(t, g, plat, Params{Bound: BoundLB0})
+			r1 := mustSolve(t, g, plat, Params{Bound: BoundLB1})
+			if r0.Cost != r1.Cost {
+				t.Errorf("graph %d m=%d: LB0 and LB1 disagree on the optimum: %d vs %d",
+					gi, m, r0.Cost, r1.Cost)
+			}
+			tot0 += r0.Stats.Generated
+			tot1 += r1.Stats.Generated
+		}
+	}
+	if tot1 > tot0 {
+		t.Errorf("LB1 searched more vertices in total than LB0: %d > %d", tot1, tot0)
+	}
+}
+
+func BenchmarkBoundLB1(b *testing.B) {
+	g := paperWorkloads(b, 1, 41)[0]
+	st := sched.NewState(g, platform.New(3))
+	st.Place(st.ReadyTasks(nil)[0], 0)
+	bd := newBounder(g, BoundLB1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.bound(st)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// brancher implements the vertex branching rule B of §3.3: given the state
+// of the explored vertex, it decides WHICH ready tasks child vertices are
+// generated for. (Every such task is then paired with every processor by
+// the solver.)
+//
+//   - BFn branches on every ready task: exact, largest fan-out.
+//   - DF and BF1 branch on exactly one ready task — the one appearing first
+//     in a fixed traversal order of the task graph (depth-first for DF,
+//     ascending level for BF1) — collapsing the task-ordering dimension of
+//     the search space. Under a commutative scheduling operation this loses
+//     nothing; under the §4.3 operation it makes the rules approximate.
+type brancher struct {
+	rule BranchingRule
+	pos  []int // task → position in the fixed order (DF/BF1); nil for BFn
+}
+
+func newBrancher(g *taskgraph.Graph, rule BranchingRule) *brancher {
+	b := &brancher{rule: rule}
+	var order []taskgraph.TaskID
+	switch rule {
+	case BranchBFn:
+		return b
+	case BranchDF:
+		order = g.DepthFirstOrder()
+	case BranchBF1:
+		order = g.BreadthFirstOrder()
+	}
+	b.pos = make([]int, g.NumTasks())
+	for i, id := range order {
+		b.pos[id] = i
+	}
+	return b
+}
+
+// tasks appends the tasks to branch on to buf and returns it.
+func (b *brancher) tasks(st *sched.State, buf []taskgraph.TaskID) []taskgraph.TaskID {
+	buf = st.ReadyTasks(buf)
+	if b.rule == BranchBFn || len(buf) <= 1 {
+		return buf
+	}
+	best := buf[0]
+	for _, id := range buf[1:] {
+		if b.pos[id] < b.pos[best] {
+			best = id
+		}
+	}
+	buf[0] = best
+	return buf[:1]
+}

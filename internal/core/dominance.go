@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// domTable implements the optional vertex domination rule D of the
+// Kohler–Steiglitz parametrization. The paper deliberately leaves D unused
+// to keep its results general; this implementation is provided as an
+// extension (Params.Dominance) and is proven sound for the §4.3 operation:
+//
+// A previously seen partial schedule E dominates a new child C when both
+// schedule exactly the same TASK SET onto exactly the same PER-TASK
+// PROCESSORS, and every task finishes in E no later than in C. Any
+// completion sequence of C applied to E then starts (and finishes) every
+// remaining task no later — predecessor data is ready no later, and each
+// processor's append frontier (the maximum finish on it) is no later — so
+// E's best completion cost is <= C's, and C can be pruned. Pruning remains
+// sound even when E itself was later pruned by the bound: E's completions
+// were provably no better than the incumbent allowance, so C's aren't
+// either.
+//
+// The table is capped; once full it stops learning new states (pruning
+// against existing entries stays sound). Entries are replaced when a new
+// state dominates them, keeping the table frontier-minimal per key.
+type domTable struct {
+	n       int
+	entries map[domKey][]domEntry
+	size    int
+	maxSize int
+
+	// scratch for building candidate entries without allocation
+	finish []taskgraph.Time
+	procs  []platform.Proc
+}
+
+type domKey struct {
+	mask  uint64 // bit i set ⇔ task i scheduled
+	pHash uint64 // FNV-1a over the placed tasks' processors
+}
+
+type domEntry struct {
+	finish []taskgraph.Time // per placed task, in ascending task-ID order
+	procs  []platform.Proc  // same order (collision guard for pHash)
+}
+
+// maxDomEntries bounds the total number of stored entries (not keys).
+const maxDomEntries = 1 << 20
+
+func newDomTable(n int) *domTable {
+	return &domTable{
+		n:       n,
+		entries: make(map[domKey][]domEntry),
+		maxSize: maxDomEntries,
+		finish:  make([]taskgraph.Time, 0, n),
+		procs:   make([]platform.Proc, 0, n),
+	}
+}
+
+// dominated reports whether the state is dominated by a recorded one, and
+// records it otherwise (unless the table is full).
+func (d *domTable) dominated(st *sched.State) bool {
+	var key domKey
+	d.finish = d.finish[:0]
+	d.procs = d.procs[:0]
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	key.pHash = fnvOffset
+	for i := 0; i < d.n; i++ {
+		id := taskgraph.TaskID(i)
+		if !st.Placed(id) {
+			continue
+		}
+		key.mask |= 1 << uint(i)
+		d.finish = append(d.finish, st.Finish(id))
+		d.procs = append(d.procs, st.Proc(id))
+		key.pHash = (key.pHash ^ uint64(st.Proc(id))) * fnvPrime
+	}
+
+	bucket := d.entries[key]
+	for _, e := range bucket {
+		if !sameProcs(e.procs, d.procs) {
+			continue
+		}
+		if allLEQ(e.finish, d.finish) {
+			return true
+		}
+	}
+
+	if d.size >= d.maxSize {
+		return false
+	}
+	// Record the new state; drop entries it strictly dominates.
+	kept := bucket[:0]
+	for _, e := range bucket {
+		if sameProcs(e.procs, d.procs) && allLEQ(d.finish, e.finish) {
+			d.size--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	kept = append(kept, domEntry{
+		finish: append([]taskgraph.Time(nil), d.finish...),
+		procs:  append([]platform.Proc(nil), d.procs...),
+	})
+	d.size++
+	d.entries[key] = kept
+	return false
+}
+
+func sameProcs(a, b []platform.Proc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allLEQ(a, b []taskgraph.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func TestDomTableBasics(t *testing.T) {
+	g := taskgraph.Independent(3, 5)
+	plat := platform.New(2)
+	d := newDomTable(g.NumTasks())
+
+	st := sched.NewState(g, plat)
+	st.Place(0, 0) // finish 5 on p0
+	if d.dominated(st) {
+		t.Fatal("first sighting reported dominated")
+	}
+	// Same task set, same processor, same finish: dominated (<=).
+	st2 := sched.NewState(g, plat)
+	st2.Place(0, 0)
+	if !d.dominated(st2) {
+		t.Fatal("identical state not dominated")
+	}
+	// Same task set but a different processor: NOT dominated.
+	st3 := sched.NewState(g, plat)
+	st3.Place(0, 1)
+	if d.dominated(st3) {
+		t.Fatal("different assignment reported dominated")
+	}
+	// Different task set: NOT dominated.
+	st4 := sched.NewState(g, plat)
+	st4.Place(1, 0)
+	if d.dominated(st4) {
+		t.Fatal("different task set reported dominated")
+	}
+}
+
+func TestDomTableDirectionality(t *testing.T) {
+	// Tasks with phases force different finish times for the same
+	// (set, assignment) pair depending on placement order.
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 2, Phase: 0, Deadline: 50})
+	b := g.AddTask(taskgraph.Task{Exec: 2, Phase: 10, Deadline: 50})
+	plat := platform.New(1)
+
+	// Order a,b: finishes 2 and 12. Order b,a: finishes 14 and 12.
+	slow := sched.NewState(g, plat)
+	slow.Place(b, 0)
+	slow.Place(a, 0)
+
+	fast := sched.NewState(g, plat)
+	fast.Place(a, 0)
+	fast.Place(b, 0)
+
+	// Seen slow first: fast is NOT dominated (its finishes are smaller) and
+	// must replace the slow entry.
+	d := newDomTable(2)
+	if d.dominated(slow) {
+		t.Fatal("first state dominated")
+	}
+	if d.dominated(fast) {
+		t.Fatal("better state reported dominated by worse one")
+	}
+	// Now the worse state IS dominated by the recorded better one.
+	slow2 := sched.NewState(g, plat)
+	slow2.Place(b, 0)
+	slow2.Place(a, 0)
+	if !d.dominated(slow2) {
+		t.Fatal("worse state not dominated after better one recorded")
+	}
+	if d.size != 1 {
+		t.Fatalf("dominated entry not replaced: table size %d", d.size)
+	}
+}
+
+// TestDominancePreservesOptimality is the soundness proof by testing: with
+// the rule enabled the solver still returns the brute-force optimum, while
+// pruning at least some vertices on graphs with transpositions.
+func TestDominancePreservesOptimality(t *testing.T) {
+	graphs := smallWorkloads(t, 10, 43)
+	graphs = append(graphs, taskgraph.Independent(5, 7), taskgraph.ForkJoin(3, 5, 2))
+	var pruned int64
+	for gi, g := range graphs {
+		for _, m := range []int{1, 2} {
+			plat := platform.New(m)
+			want, err := bruteforce.Solve(g, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sel := range []SelectionRule{SelectLIFO, SelectLLB} {
+				res := mustSolve(t, g, plat, Params{Selection: sel, Dominance: true})
+				if res.Cost != want.Cost {
+					t.Errorf("graph %d m=%d %v+D: cost %d, oracle %d", gi, m, sel, res.Cost, want.Cost)
+				}
+				if !res.Optimal {
+					t.Errorf("graph %d m=%d %v+D: not flagged optimal", gi, m, sel)
+				}
+				pruned += res.Stats.DominancePruned
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Error("dominance rule never pruned anything across all workloads")
+	}
+}
+
+func TestDominanceReducesSearch(t *testing.T) {
+	// Independent equal tasks are the transposition-richest workload: many
+	// orders reach identical states.
+	g := taskgraph.Independent(6, 5)
+	plat := platform.New(2)
+	plain := mustSolve(t, g, plat, Params{})
+	dom := mustSolve(t, g, plat, Params{Dominance: true})
+	if dom.Cost != plain.Cost {
+		t.Fatalf("dominance changed the optimum: %d vs %d", dom.Cost, plain.Cost)
+	}
+	if dom.Stats.Generated >= plain.Stats.Generated {
+		t.Fatalf("dominance did not shrink the search: %d vs %d",
+			dom.Stats.Generated, plain.Stats.Generated)
+	}
+}
+
+func TestDominanceRejectsHugeGraphs(t *testing.T) {
+	g := taskgraph.Independent(64, 1)
+	if _, err := Solve(g, platform.New(2), Params{Dominance: true}); err == nil {
+		t.Fatal("dominance accepted a 64-task graph (mask is 63 bits)")
+	}
+}

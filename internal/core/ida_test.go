@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/deadline"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestIDAMatchesOracle(t *testing.T) {
+	graphs := smallWorkloads(t, 12, 71)
+	for gi, g := range graphs {
+		for _, m := range []int{1, 2, 3} {
+			plat := platform.New(m)
+			want, err := bruteforce.Solve(g, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bnd := range []BoundFunc{BoundLB0, BoundLB1} {
+				res, err := SolveIDA(g, plat, Params{Bound: bnd})
+				if err != nil {
+					t.Fatalf("graph %d m=%d: %v", gi, m, err)
+				}
+				if res.Cost != want.Cost {
+					t.Errorf("graph %d m=%d %v: IDA cost %d, oracle %d", gi, m, bnd, res.Cost, want.Cost)
+				}
+				if !res.Optimal {
+					t.Errorf("graph %d m=%d: not flagged optimal", gi, m)
+				}
+				if res.Schedule == nil || res.Schedule.Check() != nil {
+					t.Errorf("graph %d m=%d: missing/invalid schedule", gi, m)
+				}
+			}
+		}
+	}
+}
+
+func TestIDAMemoryIsLinear(t *testing.T) {
+	g := paperWorkloads(t, 1, 4041)[0] // contested instance
+	res, err := SolveIDA(g, platform.New(3), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxActiveSet != g.NumTasks() {
+		t.Fatalf("reported working set %d, want n=%d", res.Stats.MaxActiveSet, g.NumTasks())
+	}
+	// And it must still find the same optimum as the active-set solvers.
+	ref := mustSolve(t, g, platform.New(3), Params{})
+	if res.Cost != ref.Cost {
+		t.Fatalf("IDA cost %d != LIFO cost %d", res.Cost, ref.Cost)
+	}
+}
+
+func TestIDAApproximateAndBR(t *testing.T) {
+	graphs := smallWorkloads(t, 6, 73)
+	for gi, g := range graphs {
+		plat := platform.New(2)
+		opt := mustSolve(t, g, plat, Params{})
+		for _, p := range []Params{
+			{Branching: BranchDF},
+			{Branching: BranchBF1},
+			{BR: 0.2},
+		} {
+			res, err := SolveIDA(g, plat, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost < opt.Cost {
+				t.Errorf("graph %d %v: IDA beat the optimum", gi, p)
+			}
+			if res.Schedule == nil || res.Schedule.Check() != nil {
+				t.Errorf("graph %d %v: missing/invalid schedule", gi, p)
+			}
+			if p.BR > 0 {
+				absCost := res.Cost
+				if absCost < 0 {
+					absCost = -absCost
+				}
+				if float64(res.Cost-opt.Cost) > p.BR*float64(absCost) {
+					t.Errorf("graph %d: BR guarantee violated: %d vs %d", gi, res.Cost, opt.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestIDARejectsUnsupported(t *testing.T) {
+	g := taskgraph.Diamond()
+	plat := platform.New(2)
+	for i, p := range []Params{
+		{Dominance: true},
+		{Resources: ResourceBounds{MaxActiveSet: 5}},
+		{Resources: ResourceBounds{MaxChildren: 2}},
+		{Observer: func(Event) {}},
+		{BR: 2},
+	} {
+		if _, err := SolveIDA(g, plat, p); err == nil {
+			t.Errorf("unsupported params #%d accepted", i)
+		}
+	}
+	if _, err := SolveIDA(taskgraph.New(0), plat, Params{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestIDATimeLimit(t *testing.T) {
+	g := taskgraph.Independent(12, 10)
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveIDA(g, platform.New(3), Params{
+		Resources: ResourceBounds{TimeLimit: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut || res.Optimal {
+		t.Fatalf("timeout handling wrong: %+v", res.Stats)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no best-so-far after timeout")
+	}
+}
+
+func TestIDASeededAndFixedBounds(t *testing.T) {
+	g := smallWorkloads(t, 1, 79)[0]
+	plat := platform.New(2)
+	opt := mustSolve(t, g, plat, Params{})
+
+	// Seeded warm start.
+	res, err := SolveIDA(g, plat, Params{
+		UpperBound: UpperBoundSeeded, SeedSchedule: opt.Schedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != opt.Cost {
+		t.Fatalf("seeded IDA cost %d != %d", res.Cost, opt.Cost)
+	}
+
+	// A bound below the optimum: the paper's failure case.
+	fail, err := SolveIDA(g, plat, Params{
+		UpperBound: UpperBoundFixed, FixedUpperBound: opt.Cost - 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail.Schedule != nil {
+		t.Fatal("infeasible bound produced a schedule")
+	}
+}
+
+// TestIDANeverExpandsMoreThanLIFOWithLooseBound documents the re-expansion
+// trade-off: IDA re-expands shallow vertices per iteration, so its
+// generated count can exceed LIFO's, but by a factor bounded by the number
+// of distinct threshold values — check it stays within an order of
+// magnitude on contested instances.
+func TestIDAReexpansionBounded(t *testing.T) {
+	graphs := paperWorkloads(t, 4, 202)
+	for gi, g := range graphs {
+		plat := platform.New(3)
+		tl := ResourceBounds{TimeLimit: 10 * time.Second}
+		lifo := mustSolve(t, g, plat, Params{Resources: tl})
+		ida, err := SolveIDA(g, plat, Params{Resources: tl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lifo.Stats.TimedOut || ida.Stats.TimedOut {
+			continue
+		}
+		if ida.Cost != lifo.Cost {
+			t.Errorf("graph %d: IDA cost %d != LIFO %d", gi, ida.Cost, lifo.Cost)
+		}
+		if ida.Stats.Generated > 20*lifo.Stats.Generated {
+			t.Errorf("graph %d: IDA re-expansion blow-up: %d vs %d",
+				gi, ida.Stats.Generated, lifo.Stats.Generated)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/edf"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// ParallelParams configures SolveParallel. The embedded Params keep their
+// meaning with three restrictions, each rejected with an error: the
+// selection rule is fixed (every worker runs a LIFO dive over its own
+// stack), the domination rule is unsupported (a shared table would
+// serialize the workers), and the MAXSZAS/MAXSZDB resource bounds are
+// unsupported (their drop-the-worst semantics are inherently global).
+type ParallelParams struct {
+	Params
+
+	// Workers is the number of search goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// SolveParallel is the multi-core counterpart of Solve: a work-pool
+// parallel branch-and-bound with a shared atomic incumbent.
+//
+// Architecture: the root is expanded breadth-first until the frontier holds
+// a few vertices per worker (or the search finishes outright). The frontier
+// seeds a mutex-guarded global pool; each worker then runs the sequential
+// LIFO dive on a private stack with a private scheduling state, pruning
+// against the shared incumbent cost (an atomic int64, so the hot path never
+// takes a lock). Workers donate the bottom half of their stack to the pool
+// whenever it runs dry and park on a condition variable when no work
+// exists; the search terminates when all workers are parked.
+//
+// The returned cost is exactly the sequential optimum (for BFn, BR=0);
+// Stats are aggregated across workers and are NOT run-to-run deterministic
+// (vertex counts vary with interleaving, the cost never does).
+func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams) (Result, error) {
+	p := pp.Params
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := plat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+	if g.NumTasks() == 0 {
+		return Result{}, fmt.Errorf("core: empty task graph")
+	}
+	if p.Dominance {
+		return Result{}, fmt.Errorf("core: dominance rule is not supported by the parallel solver")
+	}
+	if p.Resources.MaxActiveSet != 0 || p.Resources.MaxChildren != 0 {
+		return Result{}, fmt.Errorf("core: MAXSZAS/MAXSZDB are not supported by the parallel solver")
+	}
+	if p.Observer != nil {
+		return Result{}, fmt.Errorf("core: the parallel solver does not support event observers")
+	}
+	if p.UseGlobalBound {
+		return Result{}, fmt.Errorf("core: the parallel solver does not support global-bound termination")
+	}
+	if p.Selection != SelectLIFO {
+		return Result{}, fmt.Errorf("core: parallel workers are LIFO by construction; got S=%v", p.Selection)
+	}
+	workers := pp.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ps := &parSolver{g: g, plat: plat, p: p, workers: workers}
+	switch p.UpperBound {
+	case UpperBoundEDF:
+		cost, schedule, err := edf.UpperBound(g, plat)
+		if err != nil {
+			return Result{}, err
+		}
+		ps.incCost.Store(int64(cost))
+		ps.edfInc = schedule
+	case UpperBoundFixed:
+		ps.incCost.Store(int64(p.FixedUpperBound))
+	case UpperBoundSeeded:
+		seed := p.SeedSchedule
+		if !seed.Complete() || seed.Graph != g {
+			return Result{}, fmt.Errorf("core: seed schedule incomplete or over a different graph")
+		}
+		if err := seed.Check(); err != nil {
+			return Result{}, fmt.Errorf("core: invalid seed schedule: %w", err)
+		}
+		ps.incCost.Store(int64(seed.Lmax()))
+		ps.edfInc = seed
+	}
+
+	start := time.Now()
+	if p.Resources.TimeLimit > 0 {
+		ps.deadline = start.Add(p.Resources.TimeLimit)
+	}
+	err := ps.run()
+	if err != nil {
+		return Result{}, err
+	}
+	ps.stats.Elapsed = time.Since(start)
+	return ps.result()
+}
+
+type parSolver struct {
+	g       *taskgraph.Graph
+	plat    platform.Platform
+	p       Params
+	workers int
+
+	incCost atomic.Int64
+	incMu   sync.Mutex
+	incSeq  []sched.Placement
+	edfInc  *sched.Schedule
+
+	pool     []*vertex
+	poolMu   sync.Mutex
+	poolCond *sync.Cond
+	idle     int
+	done     bool
+
+	deadline time.Time
+	timedOut atomic.Bool
+
+	stats     Stats
+	generated atomic.Int64
+	expanded  atomic.Int64
+	goals     atomic.Int64
+	prunedCh  atomic.Int64
+	updates   atomic.Int64
+}
+
+// pruneLimitAtomic mirrors solver.pruneLimit against the atomic incumbent.
+func (ps *parSolver) pruneLimitAtomic() taskgraph.Time {
+	c := taskgraph.Time(ps.incCost.Load())
+	if ps.p.BR == 0 || c >= taskgraph.Infinity/2 {
+		return c
+	}
+	abs := c
+	if abs < 0 {
+		abs = -abs
+	}
+	return c - taskgraph.Time(ps.p.BR*float64(abs))
+}
+
+func (ps *parSolver) run() error {
+	ps.poolCond = sync.NewCond(&ps.poolMu)
+
+	// Seed the pool by expanding breadth-first from the root with a
+	// throwaway sequential worker until the frontier is wide enough.
+	seedTarget := ps.workers * 8
+	w := newParWorker(ps)
+	frontier := []*vertex{{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}}
+	for len(frontier) > 0 && len(frontier) < seedTarget {
+		v := frontier[0]
+		frontier = frontier[1:]
+		kids, err := w.expand(v)
+		if err != nil {
+			return err
+		}
+		frontier = append(frontier, kids...)
+	}
+	if len(frontier) == 0 {
+		// The seeding pass already exhausted the search.
+		return nil
+	}
+	ps.pool = frontier
+
+	var wg sync.WaitGroup
+	errs := make([]error, ps.workers)
+	for i := 0; i < ps.workers; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			errs[idx] = newParWorker(ps).loop()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parWorker is one search goroutine's private machinery.
+type parWorker struct {
+	ps    *parSolver
+	st    *sched.State
+	bnd   *bounder
+	br    *brancher
+	stack []*vertex
+
+	plBuf    []sched.Placement
+	readyBuf []taskgraph.TaskID
+	seq      uint64
+	iter     int
+}
+
+func newParWorker(ps *parSolver) *parWorker {
+	return &parWorker{
+		ps:  ps,
+		st:  sched.NewState(ps.g, ps.plat),
+		bnd: newBounder(ps.g, ps.p.Bound),
+		br:  newBrancher(ps.g, ps.p.Branching),
+	}
+}
+
+// expand materializes v, generates its surviving children (ordered so the
+// most promising is LAST, ready for a stack pop), and handles goals.
+func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
+	ps := w.ps
+	w.plBuf = v.placements(w.plBuf[:0])
+	if err := w.st.Replay(w.plBuf); err != nil {
+		return nil, err
+	}
+	ps.expanded.Add(1)
+
+	n := int32(ps.g.NumTasks())
+	var kids []*vertex
+	w.readyBuf = w.br.tasks(w.st, w.readyBuf[:0])
+	for _, id := range w.readyBuf {
+		for q := 0; q < ps.plat.M; q++ {
+			pl := w.st.Place(id, platform.Proc(q))
+			lb := w.bnd.bound(w.st)
+			ps.generated.Add(1)
+			w.seq++
+
+			if v.level+1 == n {
+				ps.goals.Add(1)
+				w.tryAdoptIncumbent(lb)
+				w.st.Undo()
+				continue
+			}
+			if lb >= ps.pruneLimitAtomic() {
+				ps.prunedCh.Add(1)
+				w.st.Undo()
+				continue
+			}
+			kids = append(kids, &vertex{
+				parent: v, lb: lb, start: pl.Start, finish: pl.Finish,
+				seq: w.seq, task: id, proc: platform.Proc(q), level: v.level + 1,
+			})
+			w.st.Undo()
+		}
+	}
+	if ps.p.ChildOrder == ChildrenByLowerBound {
+		// Descending lb so the least-bound child is popped first.
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && kids[j-1].lb < kids[j].lb; j-- {
+				kids[j-1], kids[j] = kids[j], kids[j-1]
+			}
+		}
+	} else {
+		for i, j := 0, len(kids)-1; i < j; i, j = i+1, j-1 {
+			kids[i], kids[j] = kids[j], kids[i]
+		}
+	}
+	return kids, nil
+}
+
+// tryAdoptIncumbent installs a goal (the worker's current state) as the new
+// incumbent if it still improves on the shared cost.
+func (w *parWorker) tryAdoptIncumbent(cost taskgraph.Time) {
+	ps := w.ps
+	for {
+		cur := ps.incCost.Load()
+		if int64(cost) >= cur {
+			return
+		}
+		if ps.incCost.CompareAndSwap(cur, int64(cost)) {
+			break
+		}
+	}
+	ps.updates.Add(1)
+	ps.incMu.Lock()
+	// Another goal may have won the race with an even better cost since our
+	// CAS; only record the sequence if we still match the best cost.
+	if int64(cost) == ps.incCost.Load() {
+		ps.incSeq = append(ps.incSeq[:0], w.st.Placements()...)
+	}
+	ps.incMu.Unlock()
+}
+
+const donateThreshold = 64
+
+// loop is the worker main loop: pop locally, refill from or donate to the
+// shared pool, park when the system has no work.
+func (w *parWorker) loop() error {
+	ps := w.ps
+	for {
+		if ps.deadline != (time.Time{}) && w.iter&255 == 0 && time.Now().After(ps.deadline) {
+			ps.timedOut.Store(true)
+			ps.poolMu.Lock()
+			ps.done = true
+			ps.poolCond.Broadcast()
+			ps.poolMu.Unlock()
+			return nil
+		}
+		w.iter++
+
+		v := w.take()
+		if v == nil {
+			return nil // search complete
+		}
+		if v.lb >= ps.pruneLimitAtomic() {
+			continue
+		}
+		kids, err := w.expand(v)
+		if err != nil {
+			// Wake everyone so the error propagates instead of deadlocking.
+			ps.poolMu.Lock()
+			ps.done = true
+			ps.poolCond.Broadcast()
+			ps.poolMu.Unlock()
+			return err
+		}
+		w.stack = append(w.stack, kids...)
+
+		// Donate the bottom half of an oversized stack when peers starve.
+		if len(w.stack) > donateThreshold {
+			ps.poolMu.Lock()
+			if ps.idle > 0 && len(ps.pool) < ps.workers {
+				half := len(w.stack) / 2
+				ps.pool = append(ps.pool, w.stack[:half]...)
+				w.stack = append(w.stack[:0], w.stack[half:]...)
+				ps.poolCond.Broadcast()
+			}
+			ps.poolMu.Unlock()
+		}
+	}
+}
+
+// take returns the next vertex for this worker, or nil when the global
+// search is finished.
+func (w *parWorker) take() *vertex {
+	if n := len(w.stack); n > 0 {
+		v := w.stack[n-1]
+		w.stack[n-1] = nil
+		w.stack = w.stack[:n-1]
+		return v
+	}
+	ps := w.ps
+	ps.poolMu.Lock()
+	defer ps.poolMu.Unlock()
+	for {
+		if ps.done {
+			return nil
+		}
+		if n := len(ps.pool); n > 0 {
+			// Take up to a 1/workers share of the pool.
+			share := n / ps.workers
+			if share < 1 {
+				share = 1
+			}
+			w.stack = append(w.stack[:0], ps.pool[n-share:]...)
+			for i := n - share; i < n; i++ {
+				ps.pool[i] = nil
+			}
+			ps.pool = ps.pool[:n-share]
+			v := w.stack[len(w.stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
+			return v
+		}
+		ps.idle++
+		if ps.idle == ps.workers {
+			ps.done = true
+			ps.poolCond.Broadcast()
+			ps.idle--
+			return nil
+		}
+		ps.poolCond.Wait()
+		ps.idle--
+	}
+}
+
+func (ps *parSolver) result() (Result, error) {
+	ps.stats.Generated = ps.generated.Load()
+	ps.stats.Expanded = ps.expanded.Load()
+	ps.stats.Goals = ps.goals.Load()
+	ps.stats.PrunedChildren = ps.prunedCh.Load()
+	ps.stats.IncumbentUpdates = int(ps.updates.Load())
+	ps.stats.TimedOut = ps.timedOut.Load()
+
+	res := Result{Cost: taskgraph.Infinity, Params: ps.p, Stats: ps.stats}
+	switch {
+	case ps.incSeq != nil:
+		fresh := sched.NewState(ps.g, ps.plat)
+		if err := fresh.Replay(ps.incSeq); err != nil {
+			return Result{}, fmt.Errorf("core: parallel incumbent replay: %w", err)
+		}
+		res.Schedule = fresh.Snapshot()
+		res.Cost = fresh.Lmax()
+	case ps.edfInc != nil:
+		res.Schedule = ps.edfInc
+		res.Cost = taskgraph.Time(ps.incCost.Load())
+	}
+	exhausted := !ps.stats.TimedOut
+	res.Guarantee = exhausted && ps.p.Branching.Exact() && res.Schedule != nil
+	res.Optimal = res.Guarantee && ps.p.BR == 0
+	return res, nil
+}

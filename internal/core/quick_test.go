@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/platform"
+)
+
+// quickGraph draws one small deadline-assigned workload from an arbitrary
+// seed (n <= 8 so exact searches stay in the microsecond range).
+func quickGraph(seed int64) (*gen.Generator, error) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 8
+	p.DepthMin, p.DepthMax = 3, 5
+	return gen.New(p, seed), nil
+}
+
+// TestQuickSelectionRulesAgree: for arbitrary seeds, every exact
+// configuration finds the same optimal cost.
+func TestQuickSelectionRulesAgree(t *testing.T) {
+	f := func(seed int64, mSel uint8, tieSel bool) bool {
+		m := 1 + int(mSel%3)
+		gg, _ := quickGraph(seed)
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			return false
+		}
+		plat := platform.New(m)
+		tie := TieOldest
+		if tieSel {
+			tie = TieDeepest
+		}
+		ref, err := Solve(g, plat, Params{})
+		if err != nil {
+			return false
+		}
+		for _, p := range []Params{
+			{Selection: SelectLLB, LLBTie: tie},
+			{Selection: SelectFIFO},
+			{Bound: BoundLB0},
+			{ChildOrder: ChildrenAsGenerated},
+			{Dominance: true},
+		} {
+			res, err := Solve(g, plat, p)
+			if err != nil || res.Cost != ref.Cost || !res.Optimal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOptimumNeverWorseThanEDF and the approximate rules never better
+// than the optimum, for arbitrary seeds.
+func TestQuickStrategyOrdering(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		m := 1 + int(mSel%3)
+		gg, _ := quickGraph(seed)
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			return false
+		}
+		plat := platform.New(m)
+		opt, err := Solve(g, plat, Params{})
+		if err != nil {
+			return false
+		}
+		edfRes, err := edf.Schedule(g, plat)
+		if err != nil || opt.Cost > edfRes.Lmax {
+			return false
+		}
+		for _, p := range []Params{
+			{Branching: BranchDF},
+			{Branching: BranchBF1},
+			{BR: 0.2},
+		} {
+			res, err := Solve(g, plat, p)
+			if err != nil || res.Cost < opt.Cost {
+				return false
+			}
+			if res.Schedule == nil || res.Schedule.Check() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelMatchesSequential for arbitrary seeds and worker counts.
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64, mSel, wSel uint8) bool {
+		m := 1 + int(mSel%3)
+		workers := 1 + int(wSel%7)
+		gg, _ := quickGraph(seed)
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			return false
+		}
+		plat := platform.New(m)
+		seq, err := Solve(g, plat, Params{})
+		if err != nil {
+			return false
+		}
+		par, err := SolveParallel(g, plat, ParallelParams{Workers: workers})
+		if err != nil {
+			return false
+		}
+		return par.Cost == seq.Cost && par.Optimal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

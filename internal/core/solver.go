@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/edf"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Stats records the search-effort quantities the paper reports, plus the
+// internals that explain them.
+type Stats struct {
+	// Generated counts child vertices created and bounded — the paper's
+	// primary complexity measure ("number of generated active vertices").
+	Generated int64
+
+	// Expanded counts vertices selected and branched.
+	Expanded int64
+
+	// Goals counts complete schedules reached.
+	Goals int64
+
+	// PrunedChildren counts children discarded immediately by the
+	// elimination rule E against the incumbent cost.
+	PrunedChildren int64
+
+	// PrunedActive counts active-set vertices eliminated when the incumbent
+	// improved (the "AS" half of E_U/DBAS), plus vertices discarded lazily
+	// at selection time because the incumbent improved after their insertion.
+	PrunedActive int64
+
+	// DominancePruned counts children eliminated by the optional vertex
+	// domination rule D.
+	DominancePruned int64
+
+	// Dropped counts vertices lost to the resource bounds MAXSZAS/MAXSZDB.
+	// A nonzero value voids the optimality proof.
+	Dropped int64
+
+	// MaxActiveSet is the high-water mark of the active-set size.
+	MaxActiveSet int
+
+	// IncumbentUpdates counts strict improvements of the best solution.
+	IncumbentUpdates int
+
+	// MeanPopAge is the §6 memory-locality proxy: the mean "age" of a
+	// selected vertex — how many vertices were generated between its
+	// creation and its selection. Under LRU paging, young vertices live on
+	// resident pages and old ones have been evicted: LIFO's age stays
+	// near the branching factor (it explores what it just created), while
+	// LLB-oldest selects the most ancient frontier entries — the access
+	// pattern behind the paper's virtual-memory thrashing report. Zero
+	// when nothing beyond the root was expanded.
+	MeanPopAge float64
+
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+
+	// TimedOut reports whether RB.TimeLimit expired before exhaustion.
+	TimedOut bool
+}
+
+// Result is the outcome of one Solve run.
+type Result struct {
+	// Schedule is the best complete schedule found; nil when the search
+	// failed to find any complete solution below the initial upper bound
+	// (the paper's "best vertex is still the root" failure case).
+	Schedule *sched.Schedule
+
+	// Cost is Schedule's maximum task lateness (Infinity when nil).
+	Cost taskgraph.Time
+
+	// Optimal reports a PROVEN optimum: the search exhausted the solution
+	// space with an exact branching rule, BR = 0, and no resource losses.
+	Optimal bool
+
+	// Guarantee reports that Cost − Lopt <= BR·|Cost| is proven (always
+	// true when Optimal; true for exhausted BFn searches with BR > 0).
+	Guarantee bool
+
+	Stats  Stats
+	Params Params
+}
+
+type solver struct {
+	g    *taskgraph.Graph
+	plat platform.Platform
+	p    Params
+
+	st  *sched.State
+	bnd *bounder
+	br  *brancher
+	as  activeSet
+	dom *domTable
+
+	incCost taskgraph.Time
+	incSeq  []sched.Placement // nil ⇒ incumbent is the EDF seed (or nothing)
+	edfInc  *sched.Schedule   // EDF-seeded incumbent schedule, if any
+
+	seq           uint64
+	lost          bool // optimum potentially lost to resource bounds
+	provedByBound bool // terminated early because the incumbent met the global bound
+
+	popAgeSum float64
+	popAgeObs int64
+	deadline  time.Time
+	stats     Stats
+
+	// scratch
+	plBuf    []sched.Placement
+	readyBuf []taskgraph.TaskID
+	children []*vertex
+}
+
+// Solve runs the parametrized branch-and-bound algorithm of Figure 1.
+func Solve(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := plat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+	if g.NumTasks() == 0 {
+		return Result{}, fmt.Errorf("core: empty task graph")
+	}
+	if p.Dominance && g.NumTasks() > 63 {
+		return Result{}, fmt.Errorf("core: dominance rule supports at most 63 tasks, graph has %d", g.NumTasks())
+	}
+
+	s := &solver{
+		g: g, plat: plat, p: p,
+		st:  sched.NewState(g, plat),
+		bnd: newBounder(g, p.Bound),
+		br:  newBrancher(g, p.Branching),
+		as:  newActiveSet(p.Selection, p.LLBTie),
+	}
+	if p.Dominance {
+		s.dom = newDomTable(g.NumTasks())
+	}
+
+	// Step 1–2: initialize the incumbent ("best vertex") with the
+	// upper-bound solution cost U.
+	switch p.UpperBound {
+	case UpperBoundEDF:
+		cost, schedule, err := edf.UpperBound(g, plat)
+		if err != nil {
+			return Result{}, err
+		}
+		s.incCost, s.edfInc = cost, schedule
+	case UpperBoundFixed:
+		s.incCost = p.FixedUpperBound
+	case UpperBoundSeeded:
+		seed := p.SeedSchedule
+		if !seed.Complete() || seed.Graph != g {
+			return Result{}, fmt.Errorf("core: seed schedule incomplete or over a different graph")
+		}
+		if err := seed.Check(); err != nil {
+			return Result{}, fmt.Errorf("core: invalid seed schedule: %w", err)
+		}
+		s.incCost, s.edfInc = seed.Lmax(), seed
+	}
+
+	start := time.Now()
+	if p.Resources.TimeLimit > 0 {
+		s.deadline = start.Add(p.Resources.TimeLimit)
+	}
+	s.run()
+	s.stats.Elapsed = time.Since(start)
+
+	return s.result()
+}
+
+// pruneLimit returns the current elimination threshold: a vertex with
+// lb >= pruneLimit cannot improve the incumbent by more than the BR
+// allowance and is discarded. With BR = 0 this is exactly the incumbent
+// cost (E_U/DBAS: prune when L(v) >= L(v_u)).
+func (s *solver) pruneLimit() taskgraph.Time {
+	c := s.incCost
+	if s.p.BR == 0 || c >= taskgraph.Infinity/2 {
+		return c
+	}
+	abs := c
+	if abs < 0 {
+		abs = -abs
+	}
+	return c - taskgraph.Time(s.p.BR*float64(abs))
+}
+
+func (s *solver) run() {
+	// The root vertex carries the paper's cost U conceptually; operationally
+	// its bound is MinTime so that neither the elimination rule nor the LLB
+	// stop condition can discard the empty schedule itself.
+	root := &vertex{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}
+	s.as.push(root)
+
+	n := int32(s.g.NumTasks())
+	for iter := 0; s.as.len() > 0; iter++ {
+		if s.p.UseGlobalBound && s.incCost <= s.p.GlobalLowerBound {
+			s.provedByBound = true
+			return
+		}
+		if s.deadline != (time.Time{}) && iter&255 == 0 && time.Now().After(s.deadline) {
+			s.stats.TimedOut = true
+			return
+		}
+
+		// Step 4–5: select a vertex; stop or skip per the selection rule.
+		if s.p.Selection == SelectLLB && s.as.peekBound() >= s.pruneLimit() {
+			// LLB stop condition: the least lower bound can no longer beat
+			// the incumbent — optimality is proven right here.
+			return
+		}
+		v := s.as.pop()
+		if v.seq > 0 { // the root has no meaningful age
+			s.popAgeSum += float64(s.seq - v.seq)
+			s.popAgeObs++
+		}
+		if v.lb >= s.pruneLimit() {
+			// Stale vertex: inserted before the incumbent improved.
+			s.stats.PrunedActive++
+			continue
+		}
+
+		// Materialize the vertex's partial schedule.
+		s.plBuf = v.placements(s.plBuf[:0])
+		if err := s.st.Replay(s.plBuf); err != nil {
+			panic(err) // replay of our own placements cannot legally fail
+		}
+		s.stats.Expanded++
+		var parentSeq uint64
+		if v.parent != nil {
+			parentSeq = v.parent.seq
+		}
+		s.emit(EventExpand, v.seq, parentSeq, v.task, v.proc, v.level, v.lb)
+
+		// Step 6–7: branch and bound the children.
+		s.children = s.children[:0]
+		s.readyBuf = s.br.tasks(s.st, s.readyBuf[:0])
+		for _, id := range s.readyBuf {
+			for q := 0; q < s.plat.M; q++ {
+				pl := s.st.Place(id, platform.Proc(q))
+				lb := s.bnd.bound(s.st)
+				s.stats.Generated++
+				s.seq++
+
+				if v.level+1 == n {
+					// Goal vertex: never enters AS (§3.1 variant) — it
+					// either becomes the incumbent or dies.
+					s.stats.Goals++
+					s.emit(EventGoal, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+					if lb < s.incCost {
+						s.adoptIncumbent(lb)
+						s.emit(EventIncumbent, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+					}
+					s.st.Undo()
+					continue
+				}
+				if lb >= s.pruneLimit() {
+					s.stats.PrunedChildren++
+					s.emit(EventPrune, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+					s.st.Undo()
+					continue
+				}
+				if s.dom != nil && s.dom.dominated(s.st) {
+					s.stats.DominancePruned++
+					s.emit(EventDominated, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+					s.st.Undo()
+					continue
+				}
+				s.children = append(s.children, &vertex{
+					parent: v, lb: lb, start: pl.Start, finish: pl.Finish,
+					seq: s.seq, task: id, proc: platform.Proc(q), level: v.level + 1,
+				})
+				s.emit(EventGenerate, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+				s.st.Undo()
+			}
+		}
+
+		// Step 8–9: eliminate (MAXSZDB) and move the survivors into AS.
+		s.insertChildren()
+		if s.as.len() > s.stats.MaxActiveSet {
+			s.stats.MaxActiveSet = s.as.len()
+		}
+	}
+}
+
+// adoptIncumbent installs the goal at the current state as the new best
+// solution and applies the elimination rule E_U/DBAS to the active set.
+func (s *solver) adoptIncumbent(cost taskgraph.Time) {
+	s.incCost = cost
+	s.incSeq = append(s.incSeq[:0], s.st.Placements()...)
+	s.stats.IncumbentUpdates++
+	s.stats.PrunedActive += int64(s.as.pruneAbove(s.pruneLimit()))
+}
+
+// insertChildren applies MAXSZDB, orders the surviving children per
+// ChildOrder, pushes them, and enforces MAXSZAS.
+func (s *solver) insertChildren() {
+	kids := s.children
+	if max := s.p.Resources.MaxChildren; max > 0 && len(kids) > max {
+		// Keep the most promising children.
+		sort.Slice(kids, func(i, j int) bool { return kids[i].lb < kids[j].lb })
+		for _, k := range kids[max:] {
+			s.emit(EventDrop, k.seq, k.parent.seq, k.task, k.proc, k.level, k.lb)
+		}
+		s.stats.Dropped += int64(len(kids) - max)
+		s.lost = true
+		kids = kids[:max]
+	}
+
+	switch {
+	case s.p.ChildOrder == ChildrenByLowerBound && s.p.Selection == SelectLIFO:
+		// Pop order = ascending lb ⇒ push descending.
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].lb > kids[j].lb })
+	case s.p.ChildOrder == ChildrenByLowerBound:
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].lb < kids[j].lb })
+	case s.p.Selection == SelectLIFO:
+		// Pop order = generation order ⇒ push reversed.
+		for i, j := 0, len(kids)-1; i < j; i, j = i+1, j-1 {
+			kids[i], kids[j] = kids[j], kids[i]
+		}
+	}
+
+	maxAS := s.p.Resources.MaxActiveSet
+	for _, k := range kids {
+		s.as.push(k)
+		if maxAS > 0 && s.as.len() > maxAS {
+			dropped := s.as.dropWorst()
+			var dps uint64
+			if dropped.parent != nil {
+				dps = dropped.parent.seq
+			}
+			s.emit(EventDrop, dropped.seq, dps, dropped.task, dropped.proc, dropped.level, dropped.lb)
+			s.stats.Dropped++
+			// Dropping any vertex below the prune limit may lose the optimum.
+			if dropped.lb < s.pruneLimit() {
+				s.lost = true
+			}
+		}
+	}
+}
+
+func (s *solver) result() (Result, error) {
+	if s.popAgeObs > 0 {
+		s.stats.MeanPopAge = s.popAgeSum / float64(s.popAgeObs)
+	}
+	res := Result{Cost: taskgraph.Infinity, Params: s.p, Stats: s.stats}
+
+	switch {
+	case s.incSeq != nil:
+		fresh := sched.NewState(s.g, s.plat)
+		if err := fresh.Replay(s.incSeq); err != nil {
+			return Result{}, fmt.Errorf("core: incumbent replay: %w", err)
+		}
+		res.Schedule = fresh.Snapshot()
+		res.Cost = fresh.Lmax()
+		if res.Cost != s.incCost {
+			return Result{}, fmt.Errorf("core: incumbent cost drift: recorded %d, replayed %d", s.incCost, res.Cost)
+		}
+	case s.edfInc != nil:
+		res.Schedule = s.edfInc
+		res.Cost = s.incCost
+	}
+
+	exhausted := !s.stats.TimedOut && !s.lost
+	res.Guarantee = exhausted && s.p.Branching.Exact() && res.Schedule != nil
+	res.Optimal = res.Guarantee && s.p.BR == 0
+	if s.provedByBound && res.Schedule != nil {
+		// The incumbent met a certified external lower bound: optimal by
+		// that certificate, regardless of how the search was cut short.
+		res.Optimal, res.Guarantee = true, true
+	}
+	return res, nil
+}

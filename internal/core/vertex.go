@@ -1,0 +1,237 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// vertex is one node of the search tree: the scheduling of one specific
+// task on one specific processor, on top of the partial schedule
+// represented by its parent. A vertex stores only its own placement; the
+// full schedule state is rebuilt by replaying the ancestor chain
+// (materialize). This keeps vertices small (~64 bytes) so even the deep
+// frontiers of the LLB rule fit in memory.
+type vertex struct {
+	parent *vertex
+	lb     taskgraph.Time // lower bound on any completion of this vertex
+	start  taskgraph.Time
+	finish taskgraph.Time
+	seq    uint64 // generation counter: FIFO/LIFO age, LLB tie-break
+	task   taskgraph.TaskID
+	proc   platform.Proc
+	level  int32 // number of placed tasks
+}
+
+// placements reconstructs the placement sequence from the root (exclusive)
+// to v (inclusive), in placement order, appending into buf.
+func (v *vertex) placements(buf []sched.Placement) []sched.Placement {
+	start := len(buf)
+	for w := v; w.parent != nil; w = w.parent {
+		buf = append(buf, sched.Placement{Task: w.task, Proc: w.proc, Start: w.start, Finish: w.finish})
+	}
+	// Reverse the appended suffix into placement order.
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
+}
+
+// activeSet is the container AS of Figure 1, behind the selection rule S.
+// Implementations must be deterministic.
+type activeSet interface {
+	push(*vertex)
+	// pop removes and returns the vertex dictated by the selection rule.
+	// It must only be called on a non-empty set.
+	pop() *vertex
+	// peekBound returns the lower bound of the vertex pop would return.
+	peekBound() taskgraph.Time
+	len() int
+	// pruneAbove removes every vertex with lb >= limit (the elimination
+	// rule E applied to AS) and returns how many were removed.
+	pruneAbove(limit taskgraph.Time) int
+	// dropWorst removes the vertex with the LARGEST lower bound (resource
+	// bound MAXSZAS) and returns it.
+	dropWorst() *vertex
+}
+
+// ---------------------------------------------------------------- stack --
+
+// stackSet implements LIFO selection.
+type stackSet struct{ vs []*vertex }
+
+func (s *stackSet) push(v *vertex) { s.vs = append(s.vs, v) }
+func (s *stackSet) pop() *vertex {
+	v := s.vs[len(s.vs)-1]
+	s.vs[len(s.vs)-1] = nil
+	s.vs = s.vs[:len(s.vs)-1]
+	return v
+}
+func (s *stackSet) peekBound() taskgraph.Time { return s.vs[len(s.vs)-1].lb }
+func (s *stackSet) len() int                  { return len(s.vs) }
+
+func (s *stackSet) pruneAbove(limit taskgraph.Time) int {
+	kept := s.vs[:0]
+	for _, v := range s.vs {
+		if v.lb < limit {
+			kept = append(kept, v)
+		}
+	}
+	removed := len(s.vs) - len(kept)
+	for i := len(kept); i < len(s.vs); i++ {
+		s.vs[i] = nil
+	}
+	s.vs = kept
+	return removed
+}
+
+func (s *stackSet) dropWorst() *vertex {
+	worst := 0
+	for i, v := range s.vs {
+		if v.lb > s.vs[worst].lb {
+			worst = i
+		}
+	}
+	v := s.vs[worst]
+	s.vs = append(s.vs[:worst], s.vs[worst+1:]...)
+	return v
+}
+
+// ---------------------------------------------------------------- queue --
+
+// queueSet implements FIFO selection with an amortized-O(1) ring-free
+// queue: popped slots are nil'd and the head index advances; the backing
+// array is compacted when the head outgrows half the slice.
+type queueSet struct {
+	vs   []*vertex
+	head int
+}
+
+func (q *queueSet) push(v *vertex) { q.vs = append(q.vs, v) }
+func (q *queueSet) pop() *vertex {
+	v := q.vs[q.head]
+	q.vs[q.head] = nil
+	q.head++
+	if q.head > len(q.vs)/2 && q.head > 1024 {
+		q.vs = append(q.vs[:0], q.vs[q.head:]...)
+		q.head = 0
+	}
+	return v
+}
+func (q *queueSet) peekBound() taskgraph.Time { return q.vs[q.head].lb }
+func (q *queueSet) len() int                  { return len(q.vs) - q.head }
+
+func (q *queueSet) pruneAbove(limit taskgraph.Time) int {
+	kept := q.vs[:0]
+	for _, v := range q.vs[q.head:] {
+		if v.lb < limit {
+			kept = append(kept, v)
+		}
+	}
+	removed := (len(q.vs) - q.head) - len(kept)
+	for i := len(kept); i < len(q.vs); i++ {
+		q.vs[i] = nil
+	}
+	q.vs = kept
+	q.head = 0
+	return removed
+}
+
+func (q *queueSet) dropWorst() *vertex {
+	worst := q.head
+	for i := q.head; i < len(q.vs); i++ {
+		if q.vs[i].lb > q.vs[worst].lb {
+			worst = i
+		}
+	}
+	v := q.vs[worst]
+	q.vs = append(q.vs[:worst], q.vs[worst+1:]...)
+	return v
+}
+
+// ----------------------------------------------------------------- heap --
+
+// heapSet implements LLB selection: a binary min-heap on the lower bound
+// with a configurable plateau tie-break (see LLBTieBreak). Both tie-breaks
+// are fully deterministic.
+type heapSet struct {
+	vs  []*vertex
+	tie LLBTieBreak
+}
+
+func (h *heapSet) Len() int { return len(h.vs) }
+func (h *heapSet) Less(i, j int) bool {
+	a, b := h.vs[i], h.vs[j]
+	if a.lb != b.lb {
+		return a.lb < b.lb
+	}
+	if h.tie == TieOldest {
+		return a.seq < b.seq
+	}
+	if a.level != b.level {
+		return a.level > b.level
+	}
+	return a.seq > b.seq
+}
+func (h *heapSet) Swap(i, j int)      { h.vs[i], h.vs[j] = h.vs[j], h.vs[i] }
+func (h *heapSet) Push(x interface{}) { h.vs = append(h.vs, x.(*vertex)) }
+func (h *heapSet) Pop() interface{} {
+	v := h.vs[len(h.vs)-1]
+	h.vs[len(h.vs)-1] = nil
+	h.vs = h.vs[:len(h.vs)-1]
+	return v
+}
+
+func (h *heapSet) push(v *vertex)            { heap.Push(h, v) }
+func (h *heapSet) pop() *vertex              { return heap.Pop(h).(*vertex) }
+func (h *heapSet) peekBound() taskgraph.Time { return h.vs[0].lb }
+func (h *heapSet) len() int                  { return len(h.vs) }
+
+func (h *heapSet) pruneAbove(limit taskgraph.Time) int {
+	kept := h.vs[:0]
+	for _, v := range h.vs {
+		if v.lb < limit {
+			kept = append(kept, v)
+		}
+	}
+	removed := len(h.vs) - len(kept)
+	for i := len(kept); i < len(h.vs); i++ {
+		h.vs[i] = nil
+	}
+	h.vs = kept
+	heap.Init(h)
+	return removed
+}
+
+func (h *heapSet) dropWorst() *vertex {
+	worst := 0
+	for i, v := range h.vs {
+		if v.lb > h.vs[worst].lb {
+			worst = i
+		}
+	}
+	v := h.vs[worst]
+	n := len(h.vs) - 1
+	h.vs[worst] = h.vs[n]
+	h.vs[n] = nil
+	h.vs = h.vs[:n]
+	if worst < n {
+		heap.Fix(h, worst)
+	}
+	return v
+}
+
+// newActiveSet returns the container for the selection rule.
+func newActiveSet(s SelectionRule, tie LLBTieBreak) activeSet {
+	switch s {
+	case SelectLIFO:
+		return &stackSet{}
+	case SelectFIFO:
+		return &queueSet{}
+	case SelectLLB:
+		return &heapSet{tie: tie}
+	}
+	panic("core: unknown selection rule")
+}

@@ -1,0 +1,241 @@
+// Package deadline implements the end-to-end deadline assignment of the
+// paper's §4.2, after the "slicing" technique of Jonsson & Shin (ICDCS'97):
+// each series of direct successors between an input–output task pair is
+// assigned non-overlapping execution windows — slices — of the pair's
+// end-to-end deadline, so that individual tasks can then be scheduled
+// independently of one another.
+//
+// The concrete slicing rule is proportional-to-execution-time: writing
+// from(i) for the largest accumulated execution time over all input→τ_i
+// paths (inclusive), a task's window is
+//
+//	a_i = ⌊laxity · (from(i) − c_i)⌋      D_i = ⌊laxity · from(i)⌋
+//
+// which simultaneously slices EVERY input–output pair's end-to-end deadline
+// (the pair's accumulated workload times the laxity ratio): along any path
+// the predecessor's window ends no later than the successor's begins, and
+// each window is at least c_i long whenever laxity >= 1. A final forward
+// pass clamps windows monotonically so the non-overlap invariant also holds
+// for laxity < 1 (overloaded by construction), where windows shrink to
+// exactly c_i.
+//
+// Channel windows are derived afterwards: a message's arrival is its
+// producer's absolute deadline and its relative deadline is the slack until
+// its consumer's arrival.
+package deadline
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// Policy selects how an end-to-end deadline is sliced into per-task
+// execution windows. Reference [16] of the paper describes slicing
+// abstractly ("non-overlapping execution windows of the end-to-end
+// deadline"); both concrete rules below instantiate it.
+type Policy int
+
+const (
+	// EqualSlack gives every task on a path an equal share of the path's
+	// slack: task τ_i's window is c_i plus s, where the per-task slack
+	//
+	//	s = (laxity − 1) · CP / hops(CP)
+	//
+	// is anchored at the critical path (CP = largest accumulated execution
+	// time, hops = number of tasks along it). Every task then has the same
+	// best-case lateness −s, so no single short task pins Lmax — the
+	// shape the paper's lateness comparisons rely on. This is the policy
+	// used by the experiment harness.
+	EqualSlack Policy = iota
+
+	// Proportional stretches every window by the laxity factor: task τ_i's
+	// window is laxity · c_i, placed at laxity times its longest-prefix
+	// offset. Simple and exactly ratio-faithful on every input–output
+	// pair, but the shortest task's window (laxity·c_min) dominates Lmax.
+	Proportional
+)
+
+func (p Policy) String() string {
+	switch p {
+	case EqualSlack:
+		return "equal-slack"
+	case Proportional:
+		return "proportional"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Assign rewrites every task's Phase (arrival) and relative Deadline in
+// place by slicing with the given laxity ratio and policy, then derives
+// channel windows. The graph must be acyclic. Periods are left untouched.
+func Assign(g *taskgraph.Graph, laxity float64, pol Policy) error {
+	switch pol {
+	case Proportional:
+		return assignProportional(g, laxity)
+	case EqualSlack:
+		return assignEqualSlack(g, laxity)
+	}
+	return fmt.Errorf("deadline: unknown policy %d", pol)
+}
+
+func assignProportional(g *taskgraph.Graph, laxity float64) error {
+	if laxity <= 0 {
+		return fmt.Errorf("deadline: non-positive laxity %v", laxity)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	n := g.NumTasks()
+	aAbs := make([]taskgraph.Time, n)
+	dAbs := make([]taskgraph.Time, n)
+
+	for _, id := range order {
+		t := g.Task(id)
+		from := g.LongestFromInput(id)
+		arr := taskgraph.Time(laxity * float64(from-t.Exec))
+		ddl := taskgraph.Time(laxity * float64(from))
+		// Monotonic clamp: never start a window before every predecessor's
+		// window has closed (no-op for laxity >= 1).
+		for _, pred := range g.Preds(id) {
+			if dAbs[pred] > arr {
+				arr = dAbs[pred]
+			}
+		}
+		if ddl < arr+t.Exec {
+			ddl = arr + t.Exec
+		}
+		aAbs[id], dAbs[id] = arr, ddl
+	}
+
+	// Install task windows. Mutating Phase/Deadline through TaskPtr does
+	// not invalidate the graph's analysis cache, but the analyses used here
+	// (LongestFromInput) depend only on Exec and structure, which slicing
+	// does not touch — so the cache stays correct by construction.
+	install(g, aAbs, dAbs)
+	return nil
+}
+
+// assignEqualSlack implements the EqualSlack policy. Writing count(i) for
+// the largest number of tasks on any input→τ_i path and from(i) for the
+// largest accumulated execution time, windows are
+//
+//	D_i = from(i) + ⌊s·count(i)⌋        a_i ≈ D_i − c_i − ⌊s⌋
+//
+// clamped monotonically so that D_pred <= a_succ on every arc and every
+// window holds its task. Because from and count are both monotone along
+// arcs (by +c_i and +1 respectively), the windows are non-overlapping by
+// construction; the clamp only absorbs integer truncation and laxity < 1.
+func assignEqualSlack(g *taskgraph.Graph, laxity float64) error {
+	if laxity <= 0 {
+		return fmt.Errorf("deadline: non-positive laxity %v", laxity)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	n := g.NumTasks()
+
+	// count(i): longest path from any input, in tasks.
+	count := make([]int, n)
+	maxFrom, maxHops := taskgraph.Time(0), 1
+	for _, id := range order {
+		c := 1
+		for _, pred := range g.Preds(id) {
+			if count[pred]+1 > c {
+				c = count[pred] + 1
+			}
+		}
+		count[id] = c
+		if from := g.LongestFromInput(id); from > maxFrom || (from == maxFrom && c > maxHops) {
+			maxFrom, maxHops = from, c
+		}
+	}
+	s := 0.0
+	if maxHops > 0 {
+		s = (laxity - 1) * float64(maxFrom) / float64(maxHops)
+	}
+	if s < 0 {
+		s = 0 // laxity < 1: no slack to distribute; windows shrink to c_i
+	}
+
+	aAbs := make([]taskgraph.Time, n)
+	dAbs := make([]taskgraph.Time, n)
+	for _, id := range order {
+		t := g.Task(id)
+		ddl := g.LongestFromInput(id) + taskgraph.Time(s*float64(count[id]))
+		arr := ddl - t.Exec - taskgraph.Time(s)
+		if arr < 0 {
+			arr = 0
+		}
+		for _, pred := range g.Preds(id) {
+			if dAbs[pred] > arr {
+				arr = dAbs[pred]
+			}
+		}
+		if ddl < arr+t.Exec {
+			ddl = arr + t.Exec
+		}
+		aAbs[id], dAbs[id] = arr, ddl
+	}
+	install(g, aAbs, dAbs)
+	return nil
+}
+
+// install writes task windows and derives channel windows.
+func install(g *taskgraph.Graph, aAbs, dAbs []taskgraph.Time) {
+	for id := 0; id < g.NumTasks(); id++ {
+		t := g.TaskPtr(taskgraph.TaskID(id))
+		t.Phase = aAbs[id]
+		t.Deadline = dAbs[id] - aAbs[id]
+	}
+	for _, c := range g.Channels() {
+		ch, _ := g.ChannelPtr(c.Src, c.Dst)
+		ch.Arrival = dAbs[c.Src]
+		slack := aAbs[c.Dst] - dAbs[c.Src]
+		if slack < 0 {
+			slack = 0
+		}
+		ch.Deadline = slack
+	}
+}
+
+// EndToEnd returns the end-to-end deadline implied by the slicing for the
+// whole graph: the latest output-task absolute deadline. For a graph with a
+// single input–output pair this is laxity × (accumulated workload of the
+// pair's longest series), the quantity the paper's laxity ratio refers to.
+func EndToEnd(g *taskgraph.Graph) taskgraph.Time {
+	var d taskgraph.Time
+	for _, id := range g.Outputs() {
+		if abs := g.Task(id).AbsDeadline(); abs > d {
+			d = abs
+		}
+	}
+	return d
+}
+
+// Check verifies the slicing invariants on an assigned graph and is used by
+// tests and by the experiment harness as a workload sanity gate:
+//
+//   - every window holds its task: d_i >= c_i;
+//   - windows along every arc do not overlap: D_src <= a_dst;
+//   - every input task's window opens at or after time 0.
+func Check(g *taskgraph.Graph) error {
+	for _, t := range g.Tasks() {
+		if t.Deadline < t.Exec {
+			return fmt.Errorf("deadline: task %d window %d < exec %d", t.ID, t.Deadline, t.Exec)
+		}
+		if t.Phase < 0 {
+			return fmt.Errorf("deadline: task %d negative arrival %d", t.ID, t.Phase)
+		}
+	}
+	for _, c := range g.Channels() {
+		src, dst := g.Task(c.Src), g.Task(c.Dst)
+		if src.AbsDeadline() > dst.Arrival() {
+			return fmt.Errorf("deadline: windows overlap on arc %d→%d: D_src=%d > a_dst=%d",
+				c.Src, c.Dst, src.AbsDeadline(), dst.Arrival())
+		}
+	}
+	return nil
+}

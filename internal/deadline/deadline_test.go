@@ -1,0 +1,160 @@
+package deadline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func TestAssignChain(t *testing.T) {
+	// Chain of three tasks with exec 10 each, laxity 1.5:
+	// from = 10, 20, 30 → windows [0,15), [15,30), [30,45).
+	g := taskgraph.Chain(3, 10, 5)
+	if err := Assign(g, 1.5, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ a, d taskgraph.Time }{{0, 15}, {15, 30}, {30, 45}}
+	for i, w := range want {
+		task := g.Task(taskgraph.TaskID(i))
+		if task.Arrival() != w.a || task.AbsDeadline() != w.d {
+			t.Fatalf("task %d window [%d,%d), want [%d,%d)", i, task.Arrival(), task.AbsDeadline(), w.a, w.d)
+		}
+	}
+	if err := Check(g); err != nil {
+		t.Fatal(err)
+	}
+	if e2e := EndToEnd(g); e2e != 45 {
+		t.Fatalf("end-to-end deadline %d, want 45 = 1.5 × 30", e2e)
+	}
+}
+
+func TestAssignLaxityRatioHolds(t *testing.T) {
+	// For any graph, the latest output deadline must be laxity × critical
+	// path length (within integer truncation).
+	for _, laxity := range []float64{1.0, 1.5, 2.0, 3.0} {
+		g := taskgraph.LadderGraph(4, 7, 2)
+		if err := Assign(g, laxity, Proportional); err != nil {
+			t.Fatal(err)
+		}
+		want := taskgraph.Time(laxity * float64(g.CriticalPathLength()))
+		if got := EndToEnd(g); got != want {
+			t.Fatalf("laxity %v: end-to-end %d, want %d", laxity, got, want)
+		}
+	}
+}
+
+func TestAssignDiamond(t *testing.T) {
+	// Diamond a(2)→b(3),c(5)→d(2): from = 2,5,7,9. Laxity 2 →
+	// a:[0,4) b:[4,10) c:[4,14) d:[14,18).
+	g := taskgraph.Diamond()
+	if err := Assign(g, 2.0, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	want := map[taskgraph.TaskID][2]taskgraph.Time{
+		0: {0, 4}, 1: {4, 10}, 2: {4, 14}, 3: {14, 18},
+	}
+	for id, w := range want {
+		task := g.Task(id)
+		if task.Arrival() != w[0] || task.AbsDeadline() != w[1] {
+			t.Fatalf("task %d window [%d,%d), want [%d,%d)",
+				id, task.Arrival(), task.AbsDeadline(), w[0], w[1])
+		}
+	}
+}
+
+func TestAssignInvariantsOnRandomWorkloads(t *testing.T) {
+	g := gen.New(gen.Defaults(), 123)
+	for i := 0; i < 100; i++ {
+		tg := g.Graph()
+		if err := Assign(tg, 1.5, Proportional); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := Check(tg); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := tg.Validate(); err != nil {
+			t.Fatalf("graph %d invalid after assignment: %v", i, err)
+		}
+	}
+}
+
+func TestAssignTightLaxityStillNonOverlapping(t *testing.T) {
+	// laxity < 1 makes the workload infeasible by construction, but the
+	// windows must still be structurally sound (clamped to exactly c_i).
+	g := gen.New(gen.Defaults(), 9)
+	for i := 0; i < 50; i++ {
+		tg := g.Graph()
+		if err := Assign(tg, 0.5, Proportional); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := Check(tg); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestAssignChannelWindows(t *testing.T) {
+	g := taskgraph.Chain(2, 10, 4)
+	if err := Assign(g, 2.0, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	// Windows: [0,20), [20,40). Message exists at D_src=20, must deliver by
+	// a_dst=20 → zero slack.
+	c, _ := g.Channel(0, 1)
+	if c.Arrival != 20 || c.Deadline != 0 {
+		t.Fatalf("channel window arrival=%d deadline=%d, want 20, 0", c.Arrival, c.Deadline)
+	}
+
+	// With a fork, the slack can be positive: a(2)→b(3), a(2)→c(5); laxity 2.
+	// Windows: a [0,4), b [4,10), c [4,14). Arc a→b: arrival 4, slack 0.
+	d := taskgraph.Diamond()
+	if err := Assign(d, 2.0, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := d.Channel(0, 1)
+	if ab.Arrival != 4 || ab.Deadline != 0 {
+		t.Fatalf("a→b window arrival=%d deadline=%d, want 4, 0", ab.Arrival, ab.Deadline)
+	}
+	// Arc b→d: D_b=10, a_d=14 → slack 4.
+	bd, _ := d.Channel(1, 3)
+	if bd.Arrival != 10 || bd.Deadline != 4 {
+		t.Fatalf("b→d window arrival=%d deadline=%d, want 10, 4", bd.Arrival, bd.Deadline)
+	}
+}
+
+func TestAssignRejectsBadInput(t *testing.T) {
+	g := taskgraph.Diamond()
+	if err := Assign(g, 0, Proportional); err == nil {
+		t.Fatal("laxity 0 accepted")
+	}
+	if err := Assign(g, -1, Proportional); err == nil {
+		t.Fatal("negative laxity accepted")
+	}
+	cyc := taskgraph.New(2)
+	a := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	b := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if err := Assign(cyc, 1.5, Proportional); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	g := taskgraph.Chain(2, 10, 0)
+	if err := Assign(g, 1.5, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	g.TaskPtr(1).Phase = 5 // opens before predecessor's window closes (15)
+	if err := Check(g); err == nil {
+		t.Fatal("overlapping windows accepted")
+	}
+
+	g2 := taskgraph.Chain(1, 10, 0)
+	g2.TaskPtr(0).Deadline = 20
+	g2.TaskPtr(0).Exec = 30
+	if err := Check(g2); err == nil {
+		t.Fatal("window shorter than exec accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package deadline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+func TestEqualSlackChain(t *testing.T) {
+	// Chain of three tasks with exec 10, laxity 1.5: CP=30 over 3 hops →
+	// s = 0.5·30/3 = 5. Windows: [0,15), [15,30), [30,45) — identical to
+	// proportional on a uniform chain, which is the sanity anchor.
+	g := taskgraph.Chain(3, 10, 5)
+	if err := Assign(g, 1.5, EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ a, d taskgraph.Time }{{0, 15}, {15, 30}, {30, 45}}
+	for i, w := range want {
+		task := g.Task(taskgraph.TaskID(i))
+		if task.Arrival() != w.a || task.AbsDeadline() != w.d {
+			t.Fatalf("task %d window [%d,%d), want [%d,%d)",
+				i, task.Arrival(), task.AbsDeadline(), w.a, w.d)
+		}
+	}
+	if err := Check(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSlackUniformFloor(t *testing.T) {
+	// A chain with very unequal execution times: proportional slicing gives
+	// the c=1 task a window of 1.5 ticks (floor −0 after truncation),
+	// equal-slack gives every task the same slack s.
+	g := taskgraph.New(3)
+	a := g.AddTask(taskgraph.Task{Exec: 30, Deadline: 1})
+	b := g.AddTask(taskgraph.Task{Exec: 1, Deadline: 1})
+	c := g.AddTask(taskgraph.Task{Exec: 29, Deadline: 1})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+
+	if err := Assign(g, 1.5, EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	// CP = 60 over 3 hops → s = 10. Every window is c_i + 10.
+	for _, id := range []taskgraph.TaskID{a, b, c} {
+		task := g.Task(id)
+		if got := task.Deadline - task.Exec; got != 10 {
+			t.Fatalf("task %d slack %d, want uniform 10", id, got)
+		}
+	}
+
+	// Under proportional slicing the same graph gives the short task a
+	// window of ~1.5 ticks — the degenerate floor EqualSlack avoids.
+	g2 := taskgraph.New(3)
+	a2 := g2.AddTask(taskgraph.Task{Exec: 30, Deadline: 1})
+	b2 := g2.AddTask(taskgraph.Task{Exec: 1, Deadline: 1})
+	c2 := g2.AddTask(taskgraph.Task{Exec: 29, Deadline: 1})
+	g2.MustAddEdge(a2, b2, 0)
+	g2.MustAddEdge(b2, c2, 0)
+	if err := Assign(g2, 1.5, Proportional); err != nil {
+		t.Fatal(err)
+	}
+	short := g2.Task(b2)
+	if short.Deadline-short.Exec >= 10 {
+		t.Fatalf("proportional gave the short task slack %d; fixture no longer contrasts the policies",
+			short.Deadline-short.Exec)
+	}
+}
+
+func TestEqualSlackInvariantsOnRandomWorkloads(t *testing.T) {
+	g := gen.New(gen.Defaults(), 321)
+	for i := 0; i < 100; i++ {
+		tg := g.Graph()
+		if err := Assign(tg, 1.5, EqualSlack); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := Check(tg); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := tg.Validate(); err != nil {
+			t.Fatalf("graph %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestEqualSlackCriticalPathAnchor(t *testing.T) {
+	// The critical-path output task's deadline must be laxity × CP (within
+	// integer truncation of the per-hop shares).
+	g := gen.New(gen.Defaults(), 77)
+	for i := 0; i < 20; i++ {
+		tg := g.Graph()
+		if err := Assign(tg, 1.5, EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		cp := tg.CriticalPathLength()
+		want := taskgraph.Time(1.5 * float64(cp))
+		got := EndToEnd(tg)
+		// Truncation loses at most one tick per hop (depth <= 12).
+		if got > want || got < want-12 {
+			t.Fatalf("graph %d: end-to-end %d, want within [%d,%d]", i, got, want-12, want)
+		}
+	}
+}
+
+func TestEqualSlackTightLaxity(t *testing.T) {
+	g := gen.New(gen.Defaults(), 11)
+	for i := 0; i < 30; i++ {
+		tg := g.Graph()
+		if err := Assign(tg, 0.7, EqualSlack); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if err := Check(tg); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestAssignRejectsUnknownPolicy(t *testing.T) {
+	g := taskgraph.Diamond()
+	if err := Assign(g, 1.5, Policy(99)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if EqualSlack.String() != "equal-slack" || Proportional.String() != "proportional" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy String empty")
+	}
+}

@@ -1,0 +1,236 @@
+// Package dispatch studies what happens when a static schedule meets the
+// run time: tasks rarely consume their full worst-case execution time, and
+// the §2.2 WCET model guarantees nothing about what a dispatcher should do
+// with the slack. The package implements the two classic time-driven
+// dispatching disciplines for table schedules and measures their behaviour
+// under execution-time jitter:
+//
+//	TableDriven — every task starts exactly at its scheduled s_i (the
+//	    literal reading of the paper's time-driven model). Robust by
+//	    construction: actual execution times <= WCET can never cause a
+//	    lateness above the static Lmax, and inter-processor message
+//	    timings are preserved exactly.
+//	WorkConserving — each processor starts its next scheduled task as soon
+//	    as the task's inputs are available (with actual finish times and
+//	    nominal message costs) and the processor is free, keeping the
+//	    static task order and assignment. Opportunistic: it can only
+//	    start tasks EARLIER than the table, so precedence stays safe and
+//	    per-task completions never exceed the table's — but downstream
+//	    effects (earlier bus traffic) are outside the §2.1 nominal model,
+//	    which is why avionics tables are dispatched literally.
+//
+// Execute returns the realized lateness per task so robustness studies can
+// sweep jitter levels (see Sweep).
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Discipline selects the dispatcher.
+type Discipline int
+
+const (
+	// TableDriven starts every task exactly at its scheduled instant.
+	TableDriven Discipline = iota
+	// WorkConserving starts tasks as soon as data and processor allow,
+	// preserving the static order and assignment.
+	WorkConserving
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case TableDriven:
+		return "table-driven"
+	case WorkConserving:
+		return "work-conserving"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// Execution is the realized run of one task.
+type Execution struct {
+	Task   taskgraph.TaskID
+	Proc   platform.Proc
+	Start  taskgraph.Time
+	Finish taskgraph.Time
+	Actual taskgraph.Time // realized execution time (<= WCET)
+}
+
+// Outcome is one dispatched run of a schedule.
+type Outcome struct {
+	Discipline Discipline
+	Lmax       taskgraph.Time
+	Makespan   taskgraph.Time
+	Runs       []Execution
+}
+
+// Execute dispatches the complete, valid schedule with the given actual
+// execution times (actual[i] in [1, c_i]; pass nil to use the WCETs).
+func Execute(s *sched.Schedule, d Discipline, actual []taskgraph.Time) (*Outcome, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("dispatch: incomplete schedule")
+	}
+	if err := s.Check(); err != nil {
+		return nil, fmt.Errorf("dispatch: invalid schedule: %w", err)
+	}
+	g, p := s.Graph, s.Platform
+	n := g.NumTasks()
+	if actual == nil {
+		actual = make([]taskgraph.Time, n)
+		for _, t := range g.Tasks() {
+			actual[t.ID] = t.Exec
+		}
+	}
+	if len(actual) != n {
+		return nil, fmt.Errorf("dispatch: %d actual times for %d tasks", len(actual), n)
+	}
+	for _, t := range g.Tasks() {
+		if actual[t.ID] < 1 || actual[t.ID] > t.Exec {
+			return nil, fmt.Errorf("dispatch: task %d actual time %d outside [1, %d]",
+				t.ID, actual[t.ID], t.Exec)
+		}
+	}
+
+	out := &Outcome{Discipline: d, Lmax: taskgraph.MinTime}
+	finish := make([]taskgraph.Time, n)
+
+	// Static per-processor order by scheduled start.
+	perProc := make([][]sched.Placement, p.M)
+	for _, pl := range s.Placements() {
+		perProc[pl.Proc] = append(perProc[pl.Proc], pl)
+	}
+
+	switch d {
+	case TableDriven:
+		for _, pl := range s.Placements() {
+			f := pl.Start + actual[pl.Task]
+			finish[pl.Task] = f
+			out.Runs = append(out.Runs, Execution{
+				Task: pl.Task, Proc: pl.Proc, Start: pl.Start, Finish: f, Actual: actual[pl.Task],
+			})
+		}
+	case WorkConserving:
+		// Process tasks in a topological-compatible order across
+		// processors: repeatedly dispatch the next-in-order task (per
+		// processor) whose predecessors have all run.
+		idx := make([]int, p.M)
+		procFree := make([]taskgraph.Time, p.M)
+		ran := make([]bool, n)
+		remaining := n
+		for remaining > 0 {
+			progress := false
+			for q := 0; q < p.M; q++ {
+				for idx[q] < len(perProc[q]) {
+					pl := perProc[q][idx[q]]
+					ready := true
+					start := g.Task(pl.Task).Arrival()
+					for _, pred := range g.Preds(pl.Task) {
+						if !ran[pred] {
+							ready = false
+							break
+						}
+						at := finish[pred] + p.CommCost(s.Proc(pred), pl.Proc, g.MessageSize(pred, pl.Task))
+						if at > start {
+							start = at
+						}
+					}
+					if !ready {
+						break
+					}
+					if procFree[q] > start {
+						start = procFree[q]
+					}
+					f := start + actual[pl.Task]
+					finish[pl.Task] = f
+					procFree[q] = f
+					ran[pl.Task] = true
+					out.Runs = append(out.Runs, Execution{
+						Task: pl.Task, Proc: pl.Proc, Start: start, Finish: f, Actual: actual[pl.Task],
+					})
+					idx[q]++
+					remaining--
+					progress = true
+				}
+			}
+			if !progress {
+				return nil, fmt.Errorf("dispatch: cross-processor order deadlock (schedule order inconsistent)")
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dispatch: unknown discipline %d", d)
+	}
+
+	sort.Slice(out.Runs, func(i, j int) bool {
+		if out.Runs[i].Start != out.Runs[j].Start {
+			return out.Runs[i].Start < out.Runs[j].Start
+		}
+		return out.Runs[i].Task < out.Runs[j].Task
+	})
+	for _, t := range g.Tasks() {
+		if finish[t.ID] > out.Makespan {
+			out.Makespan = finish[t.ID]
+		}
+		if l := finish[t.ID] - t.AbsDeadline(); l > out.Lmax {
+			out.Lmax = l
+		}
+	}
+	return out, nil
+}
+
+// JitterStats aggregates a robustness sweep.
+type JitterStats struct {
+	Discipline Discipline
+	JitterFrac float64 // expected fraction of WCET actually consumed
+	Runs       int
+
+	MeanLmax     float64
+	WorstLmax    taskgraph.Time
+	MeanMakespan float64
+}
+
+// Sweep executes the schedule repeatedly with actual execution times drawn
+// uniformly from [ceil(frac·c_i), c_i] and reports aggregate lateness —
+// the robustness profile of the table under early completions.
+func Sweep(s *sched.Schedule, d Discipline, frac float64, runs int, seed int64) (*JitterStats, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("dispatch: jitter fraction %v outside (0,1]", frac)
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("dispatch: runs %d < 1", runs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := s.Graph
+	st := &JitterStats{Discipline: d, JitterFrac: frac, Runs: runs, WorstLmax: taskgraph.MinTime}
+	actual := make([]taskgraph.Time, g.NumTasks())
+	for r := 0; r < runs; r++ {
+		for _, t := range g.Tasks() {
+			lo := taskgraph.Time(float64(t.Exec)*frac + 0.999)
+			if lo < 1 {
+				lo = 1
+			}
+			if lo > t.Exec {
+				lo = t.Exec
+			}
+			actual[t.ID] = lo + taskgraph.Time(rng.Int63n(int64(t.Exec-lo+1)))
+		}
+		out, err := Execute(s, d, actual)
+		if err != nil {
+			return nil, err
+		}
+		st.MeanLmax += float64(out.Lmax)
+		st.MeanMakespan += float64(out.Makespan)
+		if out.Lmax > st.WorstLmax {
+			st.WorstLmax = out.Lmax
+		}
+	}
+	st.MeanLmax /= float64(runs)
+	st.MeanMakespan /= float64(runs)
+	return st, nil
+}

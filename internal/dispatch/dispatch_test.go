@@ -1,0 +1,191 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func solved(t testing.TB, seed int64, m int) *sched.Schedule {
+	t.Helper()
+	g := gen.New(gen.Defaults(), seed).Graph()
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(g, platform.New(m), core.Params{Branching: core.BranchBF1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule
+}
+
+func TestExecuteAtWCETMatchesTable(t *testing.T) {
+	s := solved(t, 11, 3)
+	for _, d := range []Discipline{TableDriven, WorkConserving} {
+		out, err := Execute(s, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At full WCET both disciplines reproduce the static schedule.
+		if out.Lmax != s.Lmax() {
+			t.Fatalf("%v at WCET: Lmax %d != static %d", d, out.Lmax, s.Lmax())
+		}
+		if out.Makespan != s.Makespan() {
+			t.Fatalf("%v at WCET: makespan %d != static %d", d, out.Makespan, s.Makespan())
+		}
+		for _, run := range out.Runs {
+			if run.Start != s.Start(run.Task) || run.Finish != s.Finish(run.Task) {
+				t.Fatalf("%v at WCET: task %d ran [%d,%d), table says [%d,%d)",
+					d, run.Task, run.Start, run.Finish, s.Start(run.Task), s.Finish(run.Task))
+			}
+		}
+	}
+}
+
+func TestTableDrivenRobustUnderJitter(t *testing.T) {
+	// With actual <= WCET, table-driven finishes can only move earlier:
+	// realized Lmax <= static Lmax, always.
+	rng := rand.New(rand.NewSource(5))
+	for seed := int64(1); seed <= 10; seed++ {
+		s := solved(t, seed, 2)
+		g := s.Graph
+		actual := make([]taskgraph.Time, g.NumTasks())
+		for _, task := range g.Tasks() {
+			actual[task.ID] = 1 + taskgraph.Time(rng.Int63n(int64(task.Exec)))
+		}
+		out, err := Execute(s, TableDriven, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Lmax > s.Lmax() {
+			t.Fatalf("seed %d: table-driven jittered Lmax %d exceeds static %d",
+				seed, out.Lmax, s.Lmax())
+		}
+		for _, run := range out.Runs {
+			if run.Start != s.Start(run.Task) {
+				t.Fatalf("seed %d: table-driven moved a start", seed)
+			}
+			if run.Finish > s.Finish(run.Task) {
+				t.Fatalf("seed %d: task %d finished later than the table", seed, run.Task)
+			}
+		}
+	}
+}
+
+func TestWorkConservingNeverLaterThanTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(20); seed <= 30; seed++ {
+		s := solved(t, seed, 3)
+		g := s.Graph
+		actual := make([]taskgraph.Time, g.NumTasks())
+		for _, task := range g.Tasks() {
+			actual[task.ID] = 1 + taskgraph.Time(rng.Int63n(int64(task.Exec)))
+		}
+		out, err := Execute(s, WorkConserving, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finish := map[taskgraph.TaskID]taskgraph.Time{}
+		for _, run := range out.Runs {
+			finish[run.Task] = run.Finish
+		}
+		for _, task := range g.Tasks() {
+			if finish[task.ID] > s.Finish(task.ID) {
+				t.Fatalf("seed %d: work-conserving finished task %d at %d, table at %d",
+					seed, task.ID, finish[task.ID], s.Finish(task.ID))
+			}
+		}
+		if out.Lmax > s.Lmax() {
+			t.Fatalf("seed %d: work-conserving Lmax regressed", seed)
+		}
+	}
+}
+
+func TestWorkConservingExploitsSlack(t *testing.T) {
+	// A two-task chain where the first finishes early: work-conserving
+	// starts the successor immediately, table-driven waits.
+	g := taskgraph.Chain(2, 10, 0)
+	st := sched.NewState(g, platform.New(1))
+	st.Place(0, 0)
+	st.Place(1, 0)
+	s := st.Snapshot()
+
+	actual := []taskgraph.Time{3, 10}
+	tab, err := Execute(s, TableDriven, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Execute(s, WorkConserving, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Makespan != 20 {
+		t.Fatalf("table makespan %d, want 20 (starts pinned)", tab.Makespan)
+	}
+	if wc.Makespan != 13 {
+		t.Fatalf("work-conserving makespan %d, want 13", wc.Makespan)
+	}
+}
+
+func TestExecuteValidatesInputs(t *testing.T) {
+	s := solved(t, 3, 2)
+	n := s.Graph.NumTasks()
+	if _, err := Execute(s, TableDriven, make([]taskgraph.Time, n+1)); err == nil {
+		t.Fatal("wrong actual length accepted")
+	}
+	bad := make([]taskgraph.Time, n)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[0] = s.Graph.Task(0).Exec + 1 // above WCET
+	if _, err := Execute(s, TableDriven, bad); err == nil {
+		t.Fatal("actual above WCET accepted")
+	}
+	bad[0] = 0
+	if _, err := Execute(s, TableDriven, bad); err == nil {
+		t.Fatal("zero actual accepted")
+	}
+	if _, err := Execute(s, Discipline(9), nil); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+	incomplete := sched.NewSchedule(s.Graph, s.Platform)
+	if _, err := Execute(incomplete, TableDriven, nil); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := solved(t, 9, 2)
+	full, err := Sweep(s, TableDriven, 1.0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frac = 1: actual == WCET every run, zero variance.
+	if full.MeanLmax != float64(s.Lmax()) || full.WorstLmax != s.Lmax() {
+		t.Fatalf("frac=1 sweep: %+v vs static %d", full, s.Lmax())
+	}
+
+	jit, err := Sweep(s, WorkConserving, 0.5, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.WorstLmax > s.Lmax() {
+		t.Fatalf("work-conserving worst Lmax %d exceeds static %d", jit.WorstLmax, s.Lmax())
+	}
+	if jit.MeanMakespan >= float64(s.Makespan()) {
+		t.Fatalf("jittered mean makespan %v did not improve on %d", jit.MeanMakespan, s.Makespan())
+	}
+
+	if _, err := Sweep(s, TableDriven, 0, 5, 1); err == nil {
+		t.Fatal("zero jitter fraction accepted")
+	}
+	if _, err := Sweep(s, TableDriven, 0.5, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package exp is the experiment framework that regenerates every figure of
+// the paper's evaluation (§5, Figure 3a–c) and the complementary §6
+// experiments. It plays the role FEAST [15] played for the authors:
+// parameter sweeps, paired workload generation, the confidence-interval
+// stop rule, censoring of timed-out runs, and table/CSV rendering.
+//
+// Every experiment is a Figure: a set of named variants (B&B parameter
+// tuples or the EDF reference) evaluated over a sweep dimension (processor
+// count, CCR, graph parallelism, …) on PAIRED workloads — all variants see
+// exactly the same random graphs, so variant differences are not drowned by
+// workload variance.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/gen"
+)
+
+// Config controls workload generation and the run protocol of one
+// experiment.
+type Config struct {
+	// Workload is the random task-graph specification (defaults: §4.1).
+	Workload gen.Params
+
+	// Slicing selects the deadline-assignment policy instantiating the
+	// §4.2 end-to-end slicing (default: deadline.EqualSlack).
+	Slicing deadline.Policy
+
+	// Procs is the platform sweep for the Figure 3 experiments.
+	Procs []int
+
+	// Runs is the number of workload instances per sweep point when
+	// Adaptive is false, and the minimum number when it is true.
+	Runs int
+
+	// Adaptive enables the paper's §5 stop rule: keep adding instances
+	// until the confidence intervals are tight enough (VerticesConf within
+	// VerticesErr relative error, LatenessConf within LatenessErr) or
+	// MaxRuns is reached.
+	Adaptive bool
+	MaxRuns  int
+
+	// VerticesConf/VerticesErr: confidence level and relative error target
+	// for the generated-vertices average (paper: 0.90 and 0.10).
+	VerticesConf, VerticesErr float64
+
+	// LatenessConf/LatenessErr: confidence level and relative error target
+	// for the maximum-lateness average (paper: 0.95 and 0.005). Lateness
+	// averages can legitimately sit near zero, where a relative target is
+	// unattainable; LatenessEps is the absolute fallback half-width.
+	LatenessConf, LatenessErr, LatenessEps float64
+
+	// TimeLimit is the per-run search budget (the paper's TIMELIMIT, 4 h on
+	// a SPARCstation-4). Runs that exceed it are censored: removed from the
+	// averages and counted in Point.Censored, exactly as in §5.
+	TimeLimit time.Duration
+
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Default returns the paper's experiment protocol with a laptop-scale time
+// limit and a bounded adaptive run count.
+func Default() Config {
+	return Config{
+		Workload:     gen.Defaults(),
+		Procs:        []int{2, 3, 4},
+		Runs:         20,
+		Adaptive:     true,
+		MaxRuns:      200,
+		VerticesConf: 0.90, VerticesErr: 0.10,
+		LatenessConf: 0.95, LatenessErr: 0.005, LatenessEps: 1.0,
+		TimeLimit: 10 * time.Second,
+		Seed:      1997,
+	}
+}
+
+// Quick returns a reduced protocol for tests and benchmarks: fixed small
+// run counts, short time limit.
+func Quick() Config {
+	c := Default()
+	c.Runs = 8
+	c.Adaptive = false
+	c.TimeLimit = 2 * time.Second
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if len(c.Procs) == 0 {
+		return fmt.Errorf("exp: empty processor sweep")
+	}
+	for _, m := range c.Procs {
+		if m < 1 || m > 127 {
+			return fmt.Errorf("exp: bad processor count %d", m)
+		}
+	}
+	if c.Runs < 1 {
+		return fmt.Errorf("exp: Runs %d < 1", c.Runs)
+	}
+	if c.Adaptive && c.MaxRuns < c.Runs {
+		return fmt.Errorf("exp: MaxRuns %d < Runs %d", c.MaxRuns, c.Runs)
+	}
+	if c.TimeLimit < 0 {
+		return fmt.Errorf("exp: negative time limit")
+	}
+	return nil
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Variant is one curve in a figure: either the EDF greedy reference or a
+// B&B parameter tuple.
+type Variant struct {
+	Name   string
+	EDF    bool
+	Params core.Params
+}
+
+// EDFVariant is the greedy reference included in every Figure 3 plot.
+func EDFVariant() Variant { return Variant{Name: "EDF", EDF: true} }

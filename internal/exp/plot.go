@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotSVG renders the figure as a standalone SVG document with the paper's
+// layout: the generated-vertices series on a log10 y-axis (upper panel) and
+// the maximum-lateness series on a linear y-axis (lower panel), one
+// polyline per variant with markers and a shared legend. Purely
+// deterministic and dependency-free; drop the output into any browser.
+func (f Figure) PlotSVG() string {
+	const (
+		w        = 560
+		panelH   = 240
+		marginL  = 64
+		marginR  = 16
+		marginT  = 34
+		gap      = 56
+		tickLen  = 4
+		legendDY = 14
+	)
+	h := marginT + 2*panelH + gap + 40
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s — %s</text>`+"\n", marginL, f.ID, xmlEscape(f.Title))
+
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+	// Collect the x domain.
+	var xs []float64
+	if len(f.Series) > 0 {
+		for _, p := range f.Series[0].Points {
+			xs = append(xs, p.X)
+		}
+	}
+	if len(xs) == 0 {
+		b.WriteString(`<text x="20" y="40">no data</text></svg>`)
+		return b.String()
+	}
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	xPix := func(x float64) float64 {
+		return marginL + (x-xMin)/(xMax-xMin)*float64(w-marginL-marginR)
+	}
+
+	panel := func(top int, title string, value func(Point) float64, logScale bool) {
+		// y domain over all series.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				v := value(p)
+				if logScale && v <= 0 {
+					continue
+				}
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+		if logScale {
+			lo, hi = math.Log10(lo), math.Log10(hi)
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		pad := (hi - lo) * 0.08
+		lo, hi = lo-pad, hi+pad
+		yPix := func(v float64) float64 {
+			if logScale {
+				v = math.Log10(math.Max(v, 1e-9))
+			}
+			return float64(top+panelH) - (v-lo)/(hi-lo)*float64(panelH)
+		}
+
+		// Frame and axis labels.
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`+"\n",
+			marginL, top, w-marginL-marginR, panelH)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", marginL, top-6, xmlEscape(title))
+		// y ticks: 4 evenly spaced.
+		for i := 0; i <= 4; i++ {
+			v := lo + (hi-lo)*float64(i)/4
+			y := float64(top+panelH) - float64(panelH)*float64(i)/4
+			label := fmt.Sprintf("%.3g", v)
+			if logScale {
+				label = fmt.Sprintf("1e%.1f", v)
+			}
+			fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888"/>`+"\n",
+				marginL-tickLen, y, marginL, y)
+			fmt.Fprintf(&b, `<text x="4" y="%.1f" fill="#444">%s</text>`+"\n", y+4, label)
+		}
+		// x ticks at the sweep points.
+		for _, x := range xs {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#888"/>`+"\n",
+				xPix(x), top+panelH, xPix(x), top+panelH+tickLen)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#444">%.3g</text>`+"\n",
+				xPix(x)-6, top+panelH+16, x)
+		}
+		// Series.
+		for si, s := range f.Series {
+			color := colors[si%len(colors)]
+			var pts []string
+			for _, p := range s.Points {
+				v := value(p)
+				if logScale && v <= 0 {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(p.X), yPix(v)))
+			}
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+			for _, pt := range pts {
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.6" fill="%s"/>`+"\n",
+					strings.Split(pt, ",")[0], strings.Split(pt, ",")[1], color)
+			}
+		}
+	}
+
+	panel(marginT, "generated vertices (log scale)", func(p Point) float64 { return p.Vertices.Mean() }, true)
+	panel(marginT+panelH+gap, "maximum task lateness", func(p Point) float64 { return p.Lateness.Mean() }, false)
+
+	// Legend.
+	lx, ly := marginL+8, marginT+14
+	for si, s := range f.Series {
+		color := colors[si%len(colors)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly+si*legendDY-4, lx+18, ly+si*legendDY-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+24, ly+si*legendDY, xmlEscape(s.Variant))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

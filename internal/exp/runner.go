@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/taskgraph"
+)
+
+// Point aggregates one variant's observations at one sweep position.
+type Point struct {
+	Variant string
+	X       float64 // sweep coordinate (processor count, CCR, …)
+
+	Vertices stats.Sample // generated vertices (EDF: scheduling steps)
+	Lateness stats.Sample // maximum task lateness
+	MaxAS    stats.Sample // active-set high-water mark (0 for EDF)
+
+	// Censored counts runs removed because they exceeded the time limit
+	// (§5 protocol). Runs counts the retained ones.
+	Censored int
+	Runs     int
+}
+
+// Series is one variant's curve across the sweep.
+type Series struct {
+	Variant string
+	Points  []Point
+}
+
+// Figure is a fully evaluated experiment.
+type Figure struct {
+	ID     string // e.g. "fig3a"
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// instance is one generated workload: the graph is shared by all variants
+// at one sweep position (paired comparison).
+type instance struct {
+	g *taskgraph.Graph
+}
+
+// sweepPoint describes one x-position of a sweep: how to generate its
+// workloads and which platform to schedule on.
+type sweepPoint struct {
+	x        float64
+	workload gen.Params
+	laxity   float64
+	procs    int
+}
+
+// runSweep evaluates all variants over the sweep positions under the
+// config's run protocol and returns one Series per variant.
+func runSweep(cfg Config, variants []Variant, pts []sweepPoint) ([]Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(variants))
+	for i, v := range variants {
+		series[i] = Series{Variant: v.Name, Points: make([]Point, len(pts))}
+		for j := range pts {
+			series[i].Points[j] = Point{Variant: v.Name, X: pts[j].x}
+		}
+	}
+
+	for j, pt := range pts {
+		// Every sweep position gets its own deterministic generator so
+		// positions can be evaluated (or re-evaluated) independently.
+		gg := gen.New(pt.workload, cfg.Seed+int64(j)*7919)
+		plat := platform.New(pt.procs)
+
+		run := 0
+		for {
+			run++
+			if run > cfg.maxRuns() {
+				break
+			}
+			g := gg.Graph()
+			if err := deadline.Assign(g, pt.laxity, cfg.Slicing); err != nil {
+				return nil, err
+			}
+			for i, v := range variants {
+				p := &series[i].Points[j]
+				if err := runVariant(cfg, v, g, plat, p); err != nil {
+					return nil, err
+				}
+			}
+			if run >= cfg.Runs && (!cfg.Adaptive || converged(cfg, series, j)) {
+				break
+			}
+		}
+		for i := range series {
+			cfg.logf("exp: %s x=%v: %d runs (%d censored), mean vertices %.0f",
+				series[i].Variant, pt.x, series[i].Points[j].Runs,
+				series[i].Points[j].Censored, series[i].Points[j].Vertices.Mean())
+		}
+	}
+	return series, nil
+}
+
+func (c Config) maxRuns() int {
+	if c.Adaptive {
+		return c.MaxRuns
+	}
+	return c.Runs
+}
+
+// converged applies the §5 stop rule across every variant at position j.
+func converged(cfg Config, series []Series, j int) bool {
+	for i := range series {
+		p := &series[i].Points[j]
+		if !p.Vertices.WithinRelativeError(cfg.VerticesConf, cfg.VerticesErr, 1.0) {
+			return false
+		}
+		if !p.Lateness.WithinRelativeError(cfg.LatenessConf, cfg.LatenessErr, cfg.LatenessEps) {
+			return false
+		}
+	}
+	return true
+}
+
+func runVariant(cfg Config, v Variant, g *taskgraph.Graph, plat platform.Platform, p *Point) error {
+	if v.EDF {
+		res, err := edf.Schedule(g, plat)
+		if err != nil {
+			return err
+		}
+		p.Vertices.AddInt(int64(res.Steps))
+		p.Lateness.AddInt(int64(res.Lmax))
+		p.MaxAS.AddInt(0)
+		p.Runs++
+		return nil
+	}
+
+	params := v.Params
+	params.Resources.TimeLimit = cfg.TimeLimit
+	res, err := core.Solve(g, plat, params)
+	if err != nil {
+		return err
+	}
+	if res.Stats.TimedOut {
+		p.Censored++
+		return nil
+	}
+	if res.Schedule == nil {
+		return fmt.Errorf("exp: variant %q found no schedule (U too tight?)", v.Name)
+	}
+	p.Vertices.AddInt(res.Stats.Generated)
+	p.Lateness.AddInt(int64(res.Cost))
+	p.MaxAS.AddInt(int64(res.Stats.MaxActiveSet))
+	p.Runs++
+	return nil
+}
+
+// procSweep builds the Figure 3 sweep: x = processor count, workload fixed.
+func procSweep(cfg Config) []sweepPoint {
+	pts := make([]sweepPoint, len(cfg.Procs))
+	for i, m := range cfg.Procs {
+		pts[i] = sweepPoint{
+			x:        float64(m),
+			workload: cfg.Workload,
+			laxity:   cfg.Workload.Laxity,
+			procs:    m,
+		}
+	}
+	return pts
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the PAPER'S SHAPES on a reduced deterministic protocol:
+// full-size §4.1 workloads, fixed seed, modest run counts, generous
+// directional margins. They are the executable form of EXPERIMENTS.md.
+// Everything here is deterministic (fixed seeds, sequential solver), so a
+// failure is a regression, not flake.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("timing-sensitive shape test (TimeLimit censoring) skipped under -race")
+	}
+}
+
+func shapeConfig() Config {
+	c := Quick()
+	c.Runs = 12
+	c.TimeLimit = 4 * time.Second
+	c.Seed = 1997
+	c.Procs = []int{2, 3}
+	return c
+}
+
+func medians(s Series) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Vertices.Median()
+	}
+	return out
+}
+
+func TestShapeC1LIFOBeatsLLB(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (seconds)")
+	}
+	fig, err := Fig3a(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	llb, _ := fig.SeriesByName("S=LLB")
+	lifo, _ := fig.SeriesByName("S=LIFO")
+	ml, mf := medians(llb), medians(lifo)
+	for i := range ml {
+		// Median LLB must exceed median LIFO by a clear factor at every m.
+		if ml[i] < 2*mf[i] {
+			t.Errorf("m=%v: median LLB %v not >= 2x median LIFO %v", llb.Points[i].X, ml[i], mf[i])
+		}
+		// The memory gap is the starkest part of C1.
+		if llb.Points[i].MaxAS.Mean() < 50*lifo.Points[i].MaxAS.Mean() {
+			t.Errorf("m=%v: LLB active set %v not >= 50x LIFO %v",
+				llb.Points[i].X, llb.Points[i].MaxAS.Mean(), lifo.Points[i].MaxAS.Mean())
+		}
+	}
+	// Exact searches tie on lateness; EDF is worse.
+	edf, _ := fig.SeriesByName("EDF")
+	for i := range ml {
+		// Lateness equality needs uncensored pairing (a censored run drops
+		// from one sample only).
+		if llb.Points[i].Censored == 0 && lifo.Points[i].Censored == 0 &&
+			llb.Points[i].Lateness.Mean() != lifo.Points[i].Lateness.Mean() {
+			t.Errorf("m=%v: exact latenesses differ", llb.Points[i].X)
+		}
+		if lifo.Points[i].Lateness.Mean() >= edf.Points[i].Lateness.Mean() {
+			t.Errorf("m=%v: optimal lateness not better than EDF", llb.Points[i].X)
+		}
+	}
+}
+
+func TestShapeC2LB1NotWorseAndWinsAtM2(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (seconds)")
+	}
+	fig, err := Fig3b(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb0, _ := fig.SeriesByName("L=LB0")
+	lb1, _ := fig.SeriesByName("L=LB1")
+	m0, m1 := medians(lb0), medians(lb1)
+	if m1[0] > m0[0] {
+		t.Errorf("m=2: LB1 median %v worse than LB0 %v", m1[0], m0[0])
+	}
+	if m0[0] < 1.2*m1[0] {
+		t.Errorf("m=2: LB1 advantage below 1.2x (LB0 %v vs LB1 %v)", m0[0], m1[0])
+	}
+	// Convergence with m: the ratio at m=3 is no larger than at m=2.
+	if m1[1] > 0 && m0[1]/m1[1] > m0[0]/m1[0] {
+		t.Errorf("LB1 advantage grew with m: %v->%v", m0[0]/m1[0], m0[1]/m1[1])
+	}
+}
+
+func TestShapeC3ApproximationLadder(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (seconds)")
+	}
+	fig, err := Fig3c(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, _ := fig.SeriesByName("B=DF")
+	bf1, _ := fig.SeriesByName("B=BF1")
+	opt, _ := fig.SeriesByName("BFn BR=0%")
+	mdf, mbf, mopt := medians(df), medians(bf1), medians(opt)
+	for i := range mopt {
+		if mdf[i] >= mopt[i] || mbf[i] >= mopt[i] {
+			t.Errorf("m=%v: approximations not cheaper than exact (%v/%v vs %v)",
+				opt.Points[i].X, mdf[i], mbf[i], mopt[i])
+		}
+		if mopt[i] < 3*mdf[i] {
+			t.Errorf("m=%v: exact/DF ratio below 3x (%v vs %v)", opt.Points[i].X, mopt[i], mdf[i])
+		}
+		if df.Points[i].Lateness.Mean() < opt.Points[i].Lateness.Mean() {
+			t.Errorf("m=%v: DF lateness better than optimal", opt.Points[i].X)
+		}
+	}
+}
+
+func TestShapeParallelismGrowsLB1Advantage(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (tens of seconds)")
+	}
+	cfg := shapeConfig()
+	cfg.Runs = 10
+	fig, err := DiscussionParallelism(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb0, _ := fig.SeriesByName("L=LB0")
+	lb1, _ := fig.SeriesByName("L=LB1")
+	m0, m1 := medians(lb0), medians(lb1)
+	first := m0[0] / m1[0]
+	last := m0[len(m0)-1] / m1[len(m1)-1]
+	if last < first {
+		t.Errorf("LB1 advantage shrank with width: %v -> %v", first, last)
+	}
+	if last < 1.3 {
+		t.Errorf("LB1 advantage at max width only %v, want >= 1.3", last)
+	}
+}
+
+func TestShapeCCRMedianGrows(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (tens of seconds)")
+	}
+	cfg := shapeConfig()
+	cfg.Runs = 10
+	fig, err := DiscussionCCR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, _ := fig.SeriesByName("B&B (LIFO,LB1)")
+	med := medians(bb)
+	// The paper's regime: CCR 0.1 -> 0.5 -> 1.0 strictly harder.
+	if !(med[0] < med[1] && med[1] < med[2]) {
+		t.Errorf("median vertices not increasing over CCR 0.1/0.5/1.0: %v", med[:3])
+	}
+}
+
+func TestShapeEDFSeedHelpsLLB(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("shape regression (tens of seconds)")
+	}
+	cfg := shapeConfig()
+	cfg.Runs = 10
+	cfg.Procs = []int{2}
+	fig, err := DiscussionUpperBound(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, _ := fig.SeriesByName("LLB U=EDF")
+	naive, _ := fig.SeriesByName("LLB U=naive")
+	if naive.Points[0].Vertices.Median() < seeded.Points[0].Vertices.Median() {
+		t.Errorf("naive U median %v below EDF-seeded %v",
+			naive.Points[0].Vertices.Median(), seeded.Points[0].Vertices.Median())
+	}
+	if naive.Points[0].MaxAS.Mean() < 1.5*seeded.Points[0].MaxAS.Mean() {
+		t.Errorf("naive U active set %v not >= 1.5x seeded %v",
+			naive.Points[0].MaxAS.Mean(), seeded.Points[0].MaxAS.Mean())
+	}
+}

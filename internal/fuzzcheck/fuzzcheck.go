@@ -1,0 +1,236 @@
+// Package fuzzcheck is the repository's differential testing harness: it
+// streams random workloads through every solver configuration and
+// cross-checks the results against one another and against the structural
+// invariants, reporting the first discrepancy with a reproducer seed.
+//
+// The checked equivalences, per instance:
+//
+//	oracle    brute-force optimum (small instances only)
+//	exact     Solve{LIFO, LLB, FIFO} × {LB0, LB1} all equal, == oracle
+//	ida       SolveIDA == exact
+//	parallel  SolveParallel == exact
+//	approx    DF, BF1, BR>0, list schedulers, EDF, improve: >= exact,
+//	          valid schedules, BR within its guarantee
+//	bounds    analysis.Lower <= exact
+//
+// It backs `go test` (small budgets) and cmd/bbfuzz (open-ended runs).
+package fuzzcheck
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/improve"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Config bounds one fuzz campaign.
+type Config struct {
+	// Instances is the number of random workloads to check.
+	Instances int
+
+	// Seed selects the campaign; instance i uses Seed+i.
+	Seed int64
+
+	// MaxTasks caps the instance size (5..MaxTasks tasks; the oracle is
+	// only consulted up to 8 tasks).
+	MaxTasks int
+
+	// Procs is the largest processor count exercised (1..Procs).
+	Procs int
+
+	// Budget bounds each exact solve; instances that time out are skipped
+	// (counted in Result.Skipped).
+	Budget time.Duration
+
+	// Logf, when non-nil, receives one line per instance.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultConfig returns a laptop-scale campaign.
+func DefaultConfig() Config {
+	return Config{Instances: 50, Seed: 1, MaxTasks: 8, Procs: 3, Budget: 5 * time.Second}
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Checked int
+	Skipped int
+}
+
+// Run executes the campaign, stopping at the first discrepancy. The error
+// message always embeds the reproducer seed.
+func Run(cfg Config) (Result, error) {
+	if cfg.Instances < 1 || cfg.MaxTasks < 5 || cfg.Procs < 1 {
+		return Result{}, fmt.Errorf("fuzzcheck: bad config %+v", cfg)
+	}
+	var res Result
+	for i := 0; i < cfg.Instances; i++ {
+		seed := cfg.Seed + int64(i)
+		ok, err := checkInstance(cfg, seed)
+		if err != nil {
+			return res, fmt.Errorf("fuzzcheck: seed %d: %w", seed, err)
+		}
+		if ok {
+			res.Checked++
+		} else {
+			res.Skipped++
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("fuzzcheck: seed %d done (%d checked, %d skipped)", seed, res.Checked, res.Skipped)
+		}
+	}
+	return res, nil
+}
+
+func checkInstance(cfg Config, seed int64) (bool, error) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, cfg.MaxTasks
+	p.DepthMin, p.DepthMax = 2, 5
+	p.CCR = float64(seed%4) / 2.0 // 0, 0.5, 1.0, 1.5 across seeds
+	gg := gen.New(p, seed)
+	g := gg.Graph()
+	laxity := 0.8 + float64(seed%5)*0.25 // 0.8 .. 1.8
+	pol := deadline.EqualSlack
+	if seed%2 == 1 {
+		pol = deadline.Proportional
+	}
+	if err := deadline.Assign(g, laxity, pol); err != nil {
+		return false, err
+	}
+
+	m := 1 + int(seed)%cfg.Procs
+	plat := platform.New(m)
+	tl := core.ResourceBounds{TimeLimit: cfg.Budget}
+
+	ref, err := core.Solve(g, plat, core.Params{Resources: tl})
+	if err != nil {
+		return false, err
+	}
+	if ref.Stats.TimedOut {
+		return false, nil // too hard for the budget: skip, don't fail
+	}
+	if ref.Schedule == nil || ref.Schedule.Check() != nil {
+		return false, fmt.Errorf("reference solve produced no valid schedule")
+	}
+
+	// Oracle (small instances).
+	if g.NumTasks() <= 8 && m <= 2 {
+		want, err := bruteforce.Solve(g, plat)
+		if err != nil {
+			return false, err
+		}
+		if ref.Cost != want.Cost {
+			return false, fmt.Errorf("LIFO %d != oracle %d", ref.Cost, want.Cost)
+		}
+	}
+
+	// Exact family.
+	for _, params := range []core.Params{
+		{Selection: core.SelectLLB, Resources: tl},
+		{Selection: core.SelectLLB, LLBTie: core.TieDeepest, Resources: tl},
+		{Selection: core.SelectFIFO, Resources: tl},
+		{Bound: core.BoundLB0, Resources: tl},
+		{ChildOrder: core.ChildrenAsGenerated, Resources: tl},
+		{Dominance: true, Resources: tl},
+	} {
+		r, err := core.Solve(g, plat, params)
+		if err != nil {
+			return false, err
+		}
+		if r.Stats.TimedOut {
+			return false, nil
+		}
+		if r.Cost != ref.Cost {
+			return false, fmt.Errorf("%v cost %d != reference %d", params, r.Cost, ref.Cost)
+		}
+	}
+	ida, err := core.SolveIDA(g, plat, core.Params{Resources: tl})
+	if err != nil {
+		return false, err
+	}
+	if !ida.Stats.TimedOut && ida.Cost != ref.Cost {
+		return false, fmt.Errorf("IDA cost %d != reference %d", ida.Cost, ref.Cost)
+	}
+	par, err := core.SolveParallel(g, plat, core.ParallelParams{
+		Params: core.Params{Resources: tl}, Workers: 4,
+	})
+	if err != nil {
+		return false, err
+	}
+	if !par.Stats.TimedOut && par.Cost != ref.Cost {
+		return false, fmt.Errorf("parallel cost %d != reference %d", par.Cost, ref.Cost)
+	}
+
+	// Bounds.
+	rep, err := analysis.Analyze(g, plat)
+	if err != nil {
+		return false, err
+	}
+	if rep.Lower > ref.Cost {
+		return false, fmt.Errorf("analysis bound %d above optimum %d", rep.Lower, ref.Cost)
+	}
+
+	// Approximate family: never better than exact, always valid.
+	check := func(name string, cost taskgraph.Time, s interface{ Check() error }) error {
+		if cost < ref.Cost {
+			return fmt.Errorf("%s cost %d beats the optimum %d", name, cost, ref.Cost)
+		}
+		if err := s.Check(); err != nil {
+			return fmt.Errorf("%s produced an invalid schedule: %v", name, err)
+		}
+		return nil
+	}
+	for _, br := range []core.BranchingRule{core.BranchDF, core.BranchBF1} {
+		r, err := core.Solve(g, plat, core.Params{Branching: br, Resources: tl})
+		if err != nil {
+			return false, err
+		}
+		if err := check(br.String(), r.Cost, r.Schedule); err != nil {
+			return false, err
+		}
+	}
+	brRun, err := core.Solve(g, plat, core.Params{BR: 0.25, Resources: tl})
+	if err != nil {
+		return false, err
+	}
+	absCost := brRun.Cost
+	if absCost < 0 {
+		absCost = -absCost
+	}
+	if float64(brRun.Cost-ref.Cost) > 0.25*float64(absCost) {
+		return false, fmt.Errorf("BR guarantee violated: %d vs %d", brRun.Cost, ref.Cost)
+	}
+	for _, pol := range listsched.Policies() {
+		r, err := listsched.Schedule(g, plat, pol)
+		if err != nil {
+			return false, err
+		}
+		if err := check(pol.String(), r.Lmax, r.Schedule); err != nil {
+			return false, err
+		}
+	}
+	edfRun, err := edf.Schedule(g, plat)
+	if err != nil {
+		return false, err
+	}
+	imp, err := improve.Improve(edfRun.Schedule, improve.Options{Seed: seed, Kicks: 2})
+	if err != nil {
+		return false, err
+	}
+	if err := check("improve", imp.Cost, imp.Schedule); err != nil {
+		return false, err
+	}
+	if imp.Cost > edfRun.Lmax {
+		return false, fmt.Errorf("improve regressed EDF: %d > %d", imp.Cost, edfRun.Lmax)
+	}
+	return true, nil
+}

@@ -1,0 +1,50 @@
+package fuzzcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaignClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instances = 30
+	cfg.Budget = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked < 25 {
+		t.Fatalf("only %d of 30 instances fully checked (%d skipped)", res.Checked, res.Skipped)
+	}
+}
+
+func TestCampaignSecondSeedRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instances = 15
+	cfg.Seed = 10_000
+	cfg.Procs = 2
+	var lines int
+	cfg.Logf = func(string, ...interface{}) { lines++ }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != cfg.Instances {
+		t.Fatalf("Logf called %d times, want %d", lines, cfg.Instances)
+	}
+	if res.Checked+res.Skipped != cfg.Instances {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	for _, cfg := range []Config{
+		{Instances: 0, MaxTasks: 8, Procs: 2},
+		{Instances: 1, MaxTasks: 3, Procs: 2},
+		{Instances: 1, MaxTasks: 8, Procs: 0},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}

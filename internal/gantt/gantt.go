@@ -1,0 +1,172 @@
+// Package gantt renders multiprocessor schedules for humans: a fixed-width
+// text chart for terminals, an SVG chart for documents, and a JSON trace
+// for external tooling. All renderers are deterministic and dependency-free.
+package gantt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// Text renders the schedule as one row of fixed-width lanes per processor,
+// at most width columns wide (minimum 20). Each placement is drawn as a
+// bracketed box carrying the task name when it fits. Idle time is dots.
+func Text(s *sched.Schedule, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	span := s.Makespan()
+	if span == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / float64(span)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d, %d processors, Lmax=%d\n", span, s.Platform.M, s.Lmax())
+	for q := 0; q < s.Platform.M; q++ {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, pl := range s.Placements() {
+			if int(pl.Proc) != q {
+				continue
+			}
+			lo := int(float64(pl.Start) * scale)
+			hi := int(float64(pl.Finish) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			label := taskLabel(s, pl)
+			for i := lo; i < hi; i++ {
+				switch {
+				case i == lo:
+					lane[i] = '['
+				case i == hi-1:
+					lane[i] = ']'
+				default:
+					lane[i] = '='
+				}
+			}
+			// Overlay the label if the box can hold it.
+			if hi-lo >= len(label)+2 {
+				copy(lane[lo+1:], label)
+			}
+		}
+		fmt.Fprintf(&b, "p%-2d |%s|\n", q, lane)
+	}
+	return b.String()
+}
+
+func taskLabel(s *sched.Schedule, pl sched.Placement) string {
+	name := s.Graph.Task(pl.Task).Name
+	if name == "" {
+		name = fmt.Sprintf("t%d", pl.Task)
+	}
+	return name
+}
+
+// SVG renders the schedule as a standalone SVG document: one lane per
+// processor, boxes per task with name and interval tooltips, and a time
+// axis. Late tasks (finish past the absolute deadline) are drawn in a
+// distinct fill.
+func SVG(s *sched.Schedule) string {
+	const (
+		laneH   = 34
+		laneGap = 8
+		marginL = 44
+		marginT = 28
+		pxPerT  = 6.0
+		minW    = 260
+	)
+	span := s.Makespan()
+	w := int(float64(span)*pxPerT) + marginL + 20
+	if w < minW {
+		w = minW
+	}
+	h := marginT + s.Platform.M*(laneH+laneGap) + 24
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="16">schedule: %d tasks, Lmax=%d</text>`+"\n",
+		marginL, s.NumPlaced(), s.Lmax())
+
+	for q := 0; q < s.Platform.M; q++ {
+		y := marginT + q*(laneH+laneGap)
+		fmt.Fprintf(&b, `<text x="6" y="%d">p%d</text>`+"\n", y+laneH/2+4, q)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4" stroke="#999"/>`+"\n",
+			marginL, y, w-marginL-10, laneH)
+	}
+	for _, pl := range s.Placements() {
+		y := marginT + int(pl.Proc)*(laneH+laneGap)
+		x := marginL + int(float64(pl.Start)*pxPerT)
+		bw := int(float64(pl.Finish-pl.Start) * pxPerT)
+		if bw < 2 {
+			bw = 2
+		}
+		fill := "#8fbcd4"
+		if pl.Finish > s.Graph.Task(pl.Task).AbsDeadline() {
+			fill = "#d48f8f" // late
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#335"><title>%s [%d,%d) p%d</title></rect>`+"\n",
+			x, y+3, bw, laneH-6, fill, taskLabel(s, pl), pl.Start, pl.Finish, pl.Proc)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+3, y+laneH/2+4, taskLabel(s, pl))
+	}
+	// Time axis ticks every ~10% of the span.
+	step := span / 10
+	if step < 1 {
+		step = 1
+	}
+	axisY := marginT + s.Platform.M*(laneH+laneGap) + 12
+	for t := int64(0); t <= int64(span); t += int64(step) {
+		x := marginL + int(float64(t)*pxPerT)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#666">%d</text>`+"\n", x, axisY, t)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Trace is the JSON export format: placements plus derived per-task
+// lateness, sorted by (proc, start).
+type Trace struct {
+	Processors int          `json:"processors"`
+	Makespan   int64        `json:"makespan"`
+	Lmax       int64        `json:"lmax"`
+	Entries    []TraceEntry `json:"entries"`
+}
+
+// TraceEntry is one placement in a Trace.
+type TraceEntry struct {
+	Task     int32  `json:"task"`
+	Name     string `json:"name,omitempty"`
+	Proc     int    `json:"proc"`
+	Start    int64  `json:"start"`
+	Finish   int64  `json:"finish"`
+	Deadline int64  `json:"deadline"`
+	Lateness int64  `json:"lateness"`
+}
+
+// JSON renders the schedule as an indented JSON trace.
+func JSON(s *sched.Schedule) ([]byte, error) {
+	tr := Trace{
+		Processors: s.Platform.M,
+		Makespan:   int64(s.Makespan()),
+		Lmax:       int64(s.Lmax()),
+	}
+	for _, pl := range s.Placements() {
+		t := s.Graph.Task(pl.Task)
+		tr.Entries = append(tr.Entries, TraceEntry{
+			Task: int32(pl.Task), Name: t.Name, Proc: int(pl.Proc),
+			Start: int64(pl.Start), Finish: int64(pl.Finish),
+			Deadline: int64(t.AbsDeadline()),
+			Lateness: int64(pl.Finish - t.AbsDeadline()),
+		})
+	}
+	return json.MarshalIndent(tr, "", "  ")
+}

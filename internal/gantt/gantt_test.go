@@ -1,0 +1,108 @@
+package gantt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func sampleSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	g := taskgraph.Diamond()
+	st := sched.NewState(g, platform.New(2))
+	st.Place(0, 0)
+	st.Place(2, 0)
+	st.Place(1, 1)
+	st.Place(3, 0)
+	s := st.Snapshot()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTextChart(t *testing.T) {
+	s := sampleSchedule(t)
+	out := Text(s, 60)
+	if !strings.Contains(out, "p0 ") || !strings.Contains(out, "p1 ") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "Lmax=") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "]") {
+		t.Fatalf("no boxes rendered:\n%s", out)
+	}
+	// Deterministic.
+	if Text(s, 60) != out {
+		t.Fatal("text chart not deterministic")
+	}
+	// Tiny widths are clamped, not crashed.
+	if small := Text(s, 1); !strings.Contains(small, "p0") {
+		t.Fatal("clamped width broke rendering")
+	}
+}
+
+func TestTextEmptySchedule(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := sched.NewSchedule(g, platform.New(2))
+	if out := Text(s, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule rendering: %q", out)
+	}
+}
+
+func TestSVG(t *testing.T) {
+	s := sampleSchedule(t)
+	svg := SVG(s)
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<title>", "Lmax="} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One task box per placement (plus M lane backgrounds).
+	if got := strings.Count(svg, "<rect"); got != 4+2 {
+		t.Fatalf("SVG has %d rects, want 6", got)
+	}
+}
+
+func TestSVGLateTaskHighlighted(t *testing.T) {
+	g := taskgraph.New(1)
+	g.AddTask(taskgraph.Task{Name: "late", Exec: 10, Deadline: 10})
+	st := sched.NewState(g, platform.New(1))
+	st.Place(0, 0)
+	s := st.Snapshot()
+	// Force lateness by shrinking the window after scheduling.
+	g.TaskPtr(0).Deadline = 10
+	g.TaskPtr(0).Phase = 0
+	svg := SVG(s)
+	if s.Lmax() > 0 && !strings.Contains(svg, "#d48f8f") {
+		t.Fatal("late task not highlighted")
+	}
+}
+
+func TestJSONTrace(t *testing.T) {
+	s := sampleSchedule(t)
+	data, err := JSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Processors != 2 || len(tr.Entries) != 4 {
+		t.Fatalf("trace shape: %+v", tr)
+	}
+	if tr.Lmax != int64(s.Lmax()) || tr.Makespan != int64(s.Makespan()) {
+		t.Fatalf("trace aggregates wrong: %+v", tr)
+	}
+	for _, e := range tr.Entries {
+		if e.Lateness != e.Finish-e.Deadline {
+			t.Fatalf("entry lateness inconsistent: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package gen implements the random task-graph generator of the paper's
+// §4.1. A generated graph has
+//
+//   - a task count drawn uniformly from [NMin, NMax] (paper: 12–16);
+//   - a depth (number of levels) drawn uniformly from [DepthMin, DepthMax]
+//     (paper: 8–12), with every level holding at least one task;
+//   - task execution times drawn uniformly around MeanExec (paper: 20) with
+//     a relative jitter of ±ExecJitter (paper: ±99%);
+//   - per-task predecessor counts drawn uniformly from [DegreeMin,
+//     DegreeMax] (paper: 1–3), connecting each task to the previous level;
+//   - message sizes drawn so the communication-to-computation ratio (CCR) —
+//     average message cost over average execution time on a unit-delay bus —
+//     equals the CCR parameter (paper: 1.0).
+//
+// Degree bounds are best-effort, exactly as in any layered random-DAG
+// construction: predecessors are preferentially drawn from previous-level
+// tasks that still have spare out-degree, and a final pass gives every
+// non-last-level task at least one successor. In-degree can exceed
+// DegreeMax only through that fixup pass, which is rare at the paper's
+// parameters.
+//
+// Generated graphs carry wide-open placeholder deadlines; run
+// deadline.Assign to derive the paper's per-task execution windows from the
+// end-to-end laxity ratio.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/taskgraph"
+)
+
+// Params collects the workload knobs of §4.1. The zero value is invalid;
+// start from Defaults.
+type Params struct {
+	// NMin, NMax bound the task count (inclusive).
+	NMin, NMax int
+
+	// DepthMin, DepthMax bound the number of levels (inclusive). A draw
+	// exceeding the task count is clamped to it.
+	DepthMin, DepthMax int
+
+	// MeanExec is the mean worst-case execution time.
+	MeanExec taskgraph.Time
+
+	// ExecJitter is the maximum relative deviation of execution times (and
+	// message sizes) from their mean, in [0, 1). The paper uses 0.99.
+	ExecJitter float64
+
+	// DegreeMin, DegreeMax bound the per-task predecessor draw (inclusive).
+	DegreeMin, DegreeMax int
+
+	// CCR is the communication-to-computation cost ratio: mean message size
+	// × nominal bus delay (1) divided by mean execution time. CCR of 0
+	// produces pure precedence arcs with no data.
+	CCR float64
+
+	// Laxity is the ratio of each end-to-end deadline to the accumulated
+	// workload it covers (paper: 1.5). The generator itself does not use
+	// it; it is carried here so one Params value fully describes a workload
+	// and is consumed by deadline.Assign.
+	Laxity float64
+}
+
+// Defaults returns the paper's §4.1 workload parameters.
+func Defaults() Params {
+	return Params{
+		NMin: 12, NMax: 16,
+		DepthMin: 8, DepthMax: 12,
+		MeanExec:   20,
+		ExecJitter: 0.99,
+		DegreeMin:  1, DegreeMax: 3,
+		CCR:    1.0,
+		Laxity: 1.5,
+	}
+}
+
+// Validate reports whether the parameters describe a generatable workload.
+func (p Params) Validate() error {
+	switch {
+	case p.NMin < 1 || p.NMax < p.NMin:
+		return fmt.Errorf("gen: bad task count range [%d,%d]", p.NMin, p.NMax)
+	case p.DepthMin < 1 || p.DepthMax < p.DepthMin:
+		return fmt.Errorf("gen: bad depth range [%d,%d]", p.DepthMin, p.DepthMax)
+	case p.MeanExec < 1:
+		return fmt.Errorf("gen: mean execution time %d < 1", p.MeanExec)
+	case p.ExecJitter < 0 || p.ExecJitter >= 1:
+		return fmt.Errorf("gen: jitter %v outside [0,1)", p.ExecJitter)
+	case p.DegreeMin < 1 || p.DegreeMax < p.DegreeMin:
+		return fmt.Errorf("gen: bad degree range [%d,%d]", p.DegreeMin, p.DegreeMax)
+	case p.CCR < 0:
+		return fmt.Errorf("gen: negative CCR %v", p.CCR)
+	case p.Laxity <= 0:
+		return fmt.Errorf("gen: non-positive laxity %v", p.Laxity)
+	}
+	return nil
+}
+
+// Generator produces random task graphs from a Params and a seed. Every
+// graph is a deterministic function of (Params, seed, draw index): two
+// generators built with the same arguments yield identical graph sequences.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+}
+
+// New returns a generator for the given parameters. It panics on invalid
+// parameters; validate user-supplied parameters with Params.Validate first.
+func New(p Params, seed int64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// uniformAround draws a positive integer uniformly from
+// [mean(1−jitter), mean(1+jitter)], clamped below at 1.
+func uniformAround(rng *rand.Rand, mean taskgraph.Time, jitter float64) taskgraph.Time {
+	lo := taskgraph.Time(float64(mean) * (1 - jitter))
+	hi := taskgraph.Time(float64(mean) * (1 + jitter))
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + taskgraph.Time(rng.Int63n(int64(hi-lo+1)))
+}
+
+func (g *Generator) intIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// Graph draws one random task graph. Deadlines are wide placeholders
+// (total work × 4); apply deadline.Assign for the paper's slicing.
+func (g *Generator) Graph() *taskgraph.Graph {
+	p := g.p
+	n := g.intIn(p.NMin, p.NMax)
+	depth := g.intIn(p.DepthMin, p.DepthMax)
+	if depth > n {
+		depth = n
+	}
+
+	// Distribute tasks over levels: one per level, remainder at random.
+	levelOf := make([]int, n)
+	for i := 0; i < depth; i++ {
+		levelOf[i] = i
+	}
+	for i := depth; i < n; i++ {
+		levelOf[i] = g.rng.Intn(depth)
+	}
+	g.rng.Shuffle(n, func(i, j int) { levelOf[i], levelOf[j] = levelOf[j], levelOf[i] })
+
+	tg := taskgraph.New(n)
+	horizon := taskgraph.Time(n) * p.MeanExec * 8 // placeholder window
+	for i := 0; i < n; i++ {
+		tg.AddTask(taskgraph.Task{
+			Name:     fmt.Sprintf("t%d", i),
+			Exec:     uniformAround(g.rng, p.MeanExec, p.ExecJitter),
+			Deadline: horizon,
+		})
+	}
+
+	byLevel := make([][]taskgraph.TaskID, depth)
+	for i, lvl := range levelOf {
+		byLevel[lvl] = append(byLevel[lvl], taskgraph.TaskID(i))
+	}
+
+	meanMsg := taskgraph.Time(float64(p.MeanExec) * p.CCR)
+	msgSize := func() taskgraph.Time {
+		if p.CCR == 0 || meanMsg == 0 {
+			return 0
+		}
+		return uniformAround(g.rng, meanMsg, p.ExecJitter)
+	}
+	outDeg := make([]int, n)
+
+	// Predecessors: each non-first-level task connects to 1–3 tasks on the
+	// previous level, preferring those with spare out-degree.
+	for lvl := 1; lvl < depth; lvl++ {
+		prev := byLevel[lvl-1]
+		for _, id := range byLevel[lvl] {
+			k := g.intIn(p.DegreeMin, p.DegreeMax)
+			if k > len(prev) {
+				k = len(prev)
+			}
+			cands := append([]taskgraph.TaskID(nil), prev...)
+			// Spare-capacity tasks first, random within each class.
+			g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			spare := cands[:0:len(cands)]
+			full := make([]taskgraph.TaskID, 0, len(cands))
+			for _, c := range cands {
+				if outDeg[c] < p.DegreeMax {
+					spare = append(spare, c)
+				} else {
+					full = append(full, c)
+				}
+			}
+			ordered := append(spare, full...)
+			for _, src := range ordered[:k] {
+				tg.MustAddEdge(src, id, msgSize())
+				outDeg[src]++
+			}
+		}
+	}
+
+	// Fixup: every task not on the last level must have a successor, or the
+	// drawn depth would silently shrink.
+	for lvl := 0; lvl < depth-1; lvl++ {
+		next := byLevel[lvl+1]
+		for _, id := range byLevel[lvl] {
+			if outDeg[id] == 0 {
+				dst := next[g.rng.Intn(len(next))]
+				tg.MustAddEdge(id, dst, msgSize())
+				outDeg[id]++
+			}
+		}
+	}
+
+	return tg
+}
+
+// Graphs draws count independent random graphs.
+func (g *Generator) Graphs(count int) []*taskgraph.Graph {
+	out := make([]*taskgraph.Graph, count)
+	for i := range out {
+		out[i] = g.Graph()
+	}
+	return out
+}

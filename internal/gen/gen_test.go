@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	p := Defaults()
+	if p.NMin != 12 || p.NMax != 16 {
+		t.Fatalf("task count range [%d,%d], paper uses [12,16]", p.NMin, p.NMax)
+	}
+	if p.DepthMin != 8 || p.DepthMax != 12 {
+		t.Fatalf("depth range [%d,%d], paper uses [8,12]", p.DepthMin, p.DepthMax)
+	}
+	if p.MeanExec != 20 || p.ExecJitter != 0.99 {
+		t.Fatalf("exec distribution (%d, %v), paper uses (20, 0.99)", p.MeanExec, p.ExecJitter)
+	}
+	if p.DegreeMin != 1 || p.DegreeMax != 3 {
+		t.Fatalf("degree range [%d,%d], paper uses [1,3]", p.DegreeMin, p.DegreeMax)
+	}
+	if p.CCR != 1.0 || p.Laxity != 1.5 {
+		t.Fatalf("CCR=%v laxity=%v, paper uses 1.0 and 1.5", p.CCR, p.Laxity)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.NMin = 0 },
+		func(p *Params) { p.NMax = p.NMin - 1 },
+		func(p *Params) { p.DepthMin = 0 },
+		func(p *Params) { p.DepthMax = p.DepthMin - 1 },
+		func(p *Params) { p.MeanExec = 0 },
+		func(p *Params) { p.ExecJitter = 1.0 },
+		func(p *Params) { p.ExecJitter = -0.1 },
+		func(p *Params) { p.DegreeMin = 0 },
+		func(p *Params) { p.DegreeMax = 0 },
+		func(p *Params) { p.CCR = -1 },
+		func(p *Params) { p.Laxity = 0 },
+	}
+	for i, mut := range bad {
+		p := Defaults()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation #%d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratedGraphsMeetSpec(t *testing.T) {
+	p := Defaults()
+	g := New(p, 1)
+	for i := 0; i < 200; i++ {
+		tg := g.Graph()
+		if err := tg.Validate(); err != nil {
+			t.Fatalf("graph %d invalid: %v", i, err)
+		}
+		n := tg.NumTasks()
+		if n < p.NMin || n > p.NMax {
+			t.Fatalf("graph %d: %d tasks outside [%d,%d]", i, n, p.NMin, p.NMax)
+		}
+		d := tg.Depth()
+		if d < p.DepthMin || d > p.DepthMax {
+			t.Fatalf("graph %d: depth %d outside [%d,%d]", i, d, p.DepthMin, p.DepthMax)
+		}
+		for _, task := range tg.Tasks() {
+			if task.Exec < 1 || task.Exec > 39 {
+				t.Fatalf("graph %d: exec %d outside [1,39] (mean 20 ±99%%)", i, task.Exec)
+			}
+		}
+		// Every non-input task has 1..DegreeMax predecessors drawn from the
+		// previous level; the fixup can only ADD arcs, so in-degree >= 1 for
+		// every task above level 0 and every non-last-level task has a
+		// successor.
+		for _, task := range tg.Tasks() {
+			lvl := tg.Level(task.ID)
+			if lvl > 0 && tg.InDegree(task.ID) < 1 {
+				t.Fatalf("graph %d: task %d at level %d has no predecessors", i, task.ID, lvl)
+			}
+			if lvl < d-1 && tg.OutDegree(task.ID) < 1 {
+				t.Fatalf("graph %d: task %d at level %d has no successors", i, task.ID, lvl)
+			}
+		}
+		for _, c := range tg.Channels() {
+			if c.Size < 1 || c.Size > 39 {
+				t.Fatalf("graph %d: message size %d outside [1,39] at CCR=1", i, c.Size)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p := Defaults()
+	a, b := New(p, 77), New(p, 77)
+	for i := 0; i < 20; i++ {
+		ga, err1 := json.Marshal(a.Graph())
+		gb, err2 := json.Marshal(b.Graph())
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(ga) != string(gb) {
+			t.Fatalf("draw %d differs between same-seed generators", i)
+		}
+	}
+	c := New(p, 78)
+	gc, _ := json.Marshal(c.Graph())
+	a2 := New(p, 77)
+	ga, _ := json.Marshal(a2.Graph())
+	if string(gc) == string(ga) {
+		t.Fatal("different seeds produced identical first draws")
+	}
+}
+
+func TestExecTimeDistribution(t *testing.T) {
+	// Mean over many draws must be close to MeanExec (law of large numbers;
+	// uniform on [1,39] has mean 20, stderr ≈ 11/√N).
+	p := Defaults()
+	g := New(p, 5)
+	var sum, count int64
+	for i := 0; i < 300; i++ {
+		for _, task := range g.Graph().Tasks() {
+			sum += int64(task.Exec)
+			count++
+		}
+	}
+	mean := float64(sum) / float64(count)
+	if mean < 19 || mean > 21 {
+		t.Fatalf("empirical mean exec %v over %d draws, want ≈20", mean, count)
+	}
+}
+
+func TestCCRScalesMessageSizes(t *testing.T) {
+	for _, ccr := range []float64{0.1, 0.5, 2.0} {
+		p := Defaults()
+		p.CCR = ccr
+		g := New(p, 9)
+		var sum, count int64
+		for i := 0; i < 200; i++ {
+			for _, c := range g.Graph().Channels() {
+				sum += int64(c.Size)
+				count++
+			}
+		}
+		mean := float64(sum) / float64(count)
+		want := 20 * ccr
+		if mean < want*0.85-1 || mean > want*1.15+1 {
+			t.Fatalf("CCR=%v: empirical mean message %v, want ≈%v", ccr, mean, want)
+		}
+	}
+}
+
+func TestZeroCCRMeansNoData(t *testing.T) {
+	p := Defaults()
+	p.CCR = 0
+	g := New(p, 3)
+	for i := 0; i < 50; i++ {
+		for _, c := range g.Graph().Channels() {
+			if c.Size != 0 {
+				t.Fatalf("CCR=0 produced message of size %d", c.Size)
+			}
+		}
+	}
+}
+
+func TestDegreeBoundsBestEffort(t *testing.T) {
+	// At the paper's parameters the out-degree cap is respected in the vast
+	// majority of cases; measure the violation rate rather than assert zero.
+	p := Defaults()
+	g := New(p, 11)
+	var over, total int
+	for i := 0; i < 200; i++ {
+		tg := g.Graph()
+		for _, task := range tg.Tasks() {
+			total++
+			if tg.OutDegree(task.ID) > p.DegreeMax {
+				over++
+			}
+		}
+	}
+	if rate := float64(over) / float64(total); rate > 0.05 {
+		t.Fatalf("out-degree cap exceeded for %.1f%% of tasks, want <5%%", rate*100)
+	}
+}
+
+func TestDepthClampedToTaskCount(t *testing.T) {
+	p := Defaults()
+	p.NMin, p.NMax = 3, 3
+	p.DepthMin, p.DepthMax = 8, 12
+	g := New(p, 2)
+	tg := g.Graph()
+	if tg.NumTasks() != 3 || tg.Depth() != 3 {
+		t.Fatalf("n=%d depth=%d, want both 3", tg.NumTasks(), tg.Depth())
+	}
+}
+
+func TestGraphsCount(t *testing.T) {
+	g := New(Defaults(), 1)
+	gs := g.Graphs(7)
+	if len(gs) != 7 {
+		t.Fatalf("Graphs(7) returned %d", len(gs))
+	}
+}
+
+func TestNewPanicsOnInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid params did not panic")
+		}
+	}()
+	New(Params{}, 1)
+}

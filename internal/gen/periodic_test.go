@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func TestPeriodicTaskSetBasics(t *testing.T) {
+	g := New(Defaults(), 5)
+	for i := 0; i < 100; i++ {
+		ts, err := g.PeriodicTaskSet(DefaultPeriodic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if ts.NumTasks() != 5 || ts.NumEdges() != 0 {
+			t.Fatalf("draw %d: shape %d/%d", i, ts.NumTasks(), ts.NumEdges())
+		}
+		for _, task := range ts.Tasks() {
+			if task.Period != 20 && task.Period != 40 && task.Period != 80 {
+				t.Fatalf("draw %d: period %d off menu", i, task.Period)
+			}
+			if task.Exec < 1 || task.Exec > task.Period {
+				t.Fatalf("draw %d: exec %d outside (0, %d]", i, task.Exec, task.Period)
+			}
+			if task.Deadline > task.Period {
+				t.Fatalf("draw %d: deadline exceeds period", i)
+			}
+		}
+	}
+}
+
+func TestPeriodicUtilizationNearTarget(t *testing.T) {
+	// UUniFast + integer rounding: the MEAN realized utilization over many
+	// draws must be close to the target.
+	g := New(Defaults(), 7)
+	p := DefaultPeriodic()
+	p.TotalUtil = 0.7
+	var sum float64
+	const draws = 300
+	for i := 0; i < draws; i++ {
+		ts, err := g.PeriodicTaskSet(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += Utilization(ts)
+	}
+	mean := sum / draws
+	if mean < 0.65 || mean > 0.78 {
+		t.Fatalf("mean realized utilization %v, target 0.7", mean)
+	}
+}
+
+func TestPeriodicConstrainedDeadlinesAndPhases(t *testing.T) {
+	g := New(Defaults(), 9)
+	p := DefaultPeriodic()
+	p.DeadlineFrac = 0.5
+	p.MaxPhaseFrac = 0.5
+	sawPhase := false
+	for i := 0; i < 50; i++ {
+		ts, err := g.PeriodicTaskSet(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range ts.Tasks() {
+			if task.Deadline > task.Period/2 && task.Deadline != task.Exec {
+				t.Fatalf("deadline %d above frac 0.5 of period %d", task.Deadline, task.Period)
+			}
+			if task.Phase > 0 {
+				sawPhase = true
+			}
+			if task.Phase >= task.Period/2+1 {
+				t.Fatalf("phase %d above frac 0.5 of period %d", task.Phase, task.Period)
+			}
+		}
+	}
+	if !sawPhase {
+		t.Fatal("phasing enabled but never drawn")
+	}
+}
+
+func TestPeriodicParamsValidate(t *testing.T) {
+	bad := []func(*PeriodicParams){
+		func(p *PeriodicParams) { p.N = 0 },
+		func(p *PeriodicParams) { p.TotalUtil = 0 },
+		func(p *PeriodicParams) { p.Periods = nil },
+		func(p *PeriodicParams) { p.Periods = []taskgraph.Time{1} },
+		func(p *PeriodicParams) { p.DeadlineFrac = 0 },
+		func(p *PeriodicParams) { p.DeadlineFrac = 1.5 },
+		func(p *PeriodicParams) { p.MaxPhaseFrac = -0.1 },
+	}
+	for i, mut := range bad {
+		p := DefaultPeriodic()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad periodic params #%d accepted", i)
+		}
+	}
+}
+
+func TestPeriodicDeterministic(t *testing.T) {
+	a, _ := New(Defaults(), 3).PeriodicTaskSet(DefaultPeriodic())
+	b, _ := New(Defaults(), 3).PeriodicTaskSet(DefaultPeriodic())
+	for i := 0; i < a.NumTasks(); i++ {
+		if a.Task(taskgraph.TaskID(i)) != b.Task(taskgraph.TaskID(i)) {
+			t.Fatal("same seed produced different periodic sets")
+		}
+	}
+}

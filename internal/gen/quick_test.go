@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/deadline"
+)
+
+// TestQuickGeneratedGraphInvariants drives the generator with arbitrary
+// seeds and parameter perturbations and checks the structural contract.
+func TestQuickGeneratedGraphInvariants(t *testing.T) {
+	f := func(seed int64, nSel, dSel, ccrSel uint8) bool {
+		p := Defaults()
+		p.NMin = 4 + int(nSel%8)
+		p.NMax = p.NMin + int(dSel%6)
+		p.DepthMin = 2 + int(dSel%4)
+		p.DepthMax = p.DepthMin + int(nSel%5)
+		p.CCR = float64(ccrSel%40) / 10.0
+		if p.Validate() != nil {
+			return true // not a generatable combination; nothing to check
+		}
+		g := New(p, seed).Graph()
+		if g.Validate() != nil {
+			return false
+		}
+		if g.NumTasks() < p.NMin || g.NumTasks() > p.NMax {
+			return false
+		}
+		wantDepth := p.DepthMax
+		if g.NumTasks() < wantDepth {
+			wantDepth = g.NumTasks()
+		}
+		if g.Depth() < min(p.DepthMin, g.NumTasks()) || g.Depth() > wantDepth {
+			return false
+		}
+		// Non-last-level tasks must have successors; non-first-level tasks
+		// must have predecessors.
+		for _, task := range g.Tasks() {
+			lvl := g.Level(task.ID)
+			if lvl > 0 && g.InDegree(task.ID) == 0 {
+				return false
+			}
+			if lvl < g.Depth()-1 && g.OutDegree(task.ID) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSlicingInvariants: any generated graph under any laxity in
+// (0, 4] and either policy yields structurally sound windows.
+func TestQuickSlicingInvariants(t *testing.T) {
+	f := func(seed int64, laxSel uint8, polSel bool) bool {
+		lax := 0.25 + float64(laxSel%16)*0.25
+		pol := deadline.EqualSlack
+		if polSel {
+			pol = deadline.Proportional
+		}
+		g := New(Defaults(), seed).Graph()
+		if err := deadline.Assign(g, lax, pol); err != nil {
+			return false
+		}
+		if err := deadline.Check(g); err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// SPParams describes a random series-parallel task graph: the recursive
+// series/parallel composition structure of DSP dataflow and fork-join
+// programs (and the structured counterpoint to the layered §4.1 graphs —
+// maximal transitive-reduction-free nesting instead of level-local edges).
+type SPParams struct {
+	// Depth is the recursion depth; 0 yields a single task.
+	Depth int
+
+	// FanoutMin/FanoutMax bound the branch count of parallel compositions.
+	FanoutMin, FanoutMax int
+
+	// SeriesBias in [0,1] is the probability of a series composition at
+	// each internal node (0.5 when zero-valued inputs are normalized).
+	SeriesBias float64
+
+	// MeanExec/Jitter/CCR as in Params.
+	MeanExec taskgraph.Time
+	Jitter   float64
+	CCR      float64
+}
+
+// DefaultSP returns a moderate series-parallel specification matching the
+// paper's execution-time and CCR distributions.
+func DefaultSP() SPParams {
+	return SPParams{
+		Depth: 3, FanoutMin: 2, FanoutMax: 3, SeriesBias: 0.5,
+		MeanExec: 20, Jitter: 0.99, CCR: 1.0,
+	}
+}
+
+// Validate reports whether the specification is generatable.
+func (p SPParams) Validate() error {
+	switch {
+	case p.Depth < 0:
+		return fmt.Errorf("gen: negative SP depth %d", p.Depth)
+	case p.FanoutMin < 2 || p.FanoutMax < p.FanoutMin:
+		return fmt.Errorf("gen: bad SP fanout range [%d,%d]", p.FanoutMin, p.FanoutMax)
+	case p.MeanExec < 1:
+		return fmt.Errorf("gen: SP mean exec %d < 1", p.MeanExec)
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return fmt.Errorf("gen: SP jitter %v outside [0,1)", p.Jitter)
+	case p.CCR < 0:
+		return fmt.Errorf("gen: negative SP CCR %v", p.CCR)
+	case p.SeriesBias < 0 || p.SeriesBias > 1:
+		return fmt.Errorf("gen: SP series bias %v outside [0,1]", p.SeriesBias)
+	}
+	return nil
+}
+
+// SeriesParallel draws one random series-parallel graph with a single
+// input task and a single output task. Deadlines are wide placeholders, as
+// with Graph; run deadline.Assign afterwards.
+func (g *Generator) SeriesParallel(p SPParams) (*taskgraph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bias := p.SeriesBias
+	if bias == 0 {
+		bias = 0.5
+	}
+	tg := taskgraph.New(1 << uint(p.Depth))
+	horizon := taskgraph.Time(1<<uint(p.Depth+2)) * p.MeanExec * 8
+
+	meanMsg := taskgraph.Time(float64(p.MeanExec) * p.CCR)
+	msg := func() taskgraph.Time {
+		if meanMsg == 0 {
+			return 0
+		}
+		return uniformAround(g.rng, meanMsg, p.Jitter)
+	}
+	newTask := func() taskgraph.TaskID {
+		id := tg.AddTask(taskgraph.Task{
+			Exec:     uniformAround(g.rng, p.MeanExec, p.Jitter),
+			Deadline: horizon,
+		})
+		tg.TaskPtr(id).Name = fmt.Sprintf("sp%d", id)
+		return id
+	}
+
+	// build returns the fragment's (source, sink).
+	var build func(depth int) (taskgraph.TaskID, taskgraph.TaskID)
+	build = func(depth int) (taskgraph.TaskID, taskgraph.TaskID) {
+		if depth == 0 {
+			id := newTask()
+			return id, id
+		}
+		if g.rng.Float64() < bias {
+			// Series: left then right.
+			ls, lk := build(depth - 1)
+			rs, rk := build(depth - 1)
+			tg.MustAddEdge(lk, rs, msg())
+			return ls, rk
+		}
+		// Parallel: fork → k branches → join.
+		fork := newTask()
+		join := newTask()
+		k := p.FanoutMin + g.rng.Intn(p.FanoutMax-p.FanoutMin+1)
+		for i := 0; i < k; i++ {
+			bs, bk := build(depth - 1)
+			tg.MustAddEdge(fork, bs, msg())
+			tg.MustAddEdge(bk, join, msg())
+		}
+		return fork, join
+	}
+	build(p.Depth)
+	if err := tg.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: series-parallel construction broke validity: %w", err)
+	}
+	return tg, nil
+}

@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesParallelBasics(t *testing.T) {
+	g := New(Defaults(), 1)
+	for i := 0; i < 50; i++ {
+		sp, err := g.SeriesParallel(DefaultSP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if len(sp.Inputs()) != 1 || len(sp.Outputs()) != 1 {
+			t.Fatalf("draw %d: %d inputs, %d outputs; SP graphs have one of each",
+				i, len(sp.Inputs()), len(sp.Outputs()))
+		}
+		// Every task lies on an input→output path (no dangling fragments).
+		in, out := sp.Inputs()[0], sp.Outputs()[0]
+		for _, task := range sp.Tasks() {
+			if task.ID != in && !sp.HasPath(in, task.ID) {
+				t.Fatalf("draw %d: task %d unreachable from the input", i, task.ID)
+			}
+			if task.ID != out && !sp.HasPath(task.ID, out) {
+				t.Fatalf("draw %d: task %d cannot reach the output", i, task.ID)
+			}
+		}
+	}
+}
+
+func TestSeriesParallelDepthZero(t *testing.T) {
+	g := New(Defaults(), 2)
+	p := DefaultSP()
+	p.Depth = 0
+	sp, err := g.SeriesParallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumTasks() != 1 || sp.NumEdges() != 0 {
+		t.Fatalf("depth 0: %d tasks, %d edges", sp.NumTasks(), sp.NumEdges())
+	}
+}
+
+func TestSeriesParallelBiasExtremes(t *testing.T) {
+	g := New(Defaults(), 3)
+
+	// Pure series: a chain of 2^depth tasks.
+	p := DefaultSP()
+	p.SeriesBias = 1.0
+	p.Depth = 3
+	sp, err := g.SeriesParallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumTasks() != 8 || sp.Depth() != 8 {
+		t.Fatalf("pure series: %d tasks depth %d, want 8/8", sp.NumTasks(), sp.Depth())
+	}
+
+	// SeriesBias just above 0 forces parallel at every internal node.
+	p.SeriesBias = 1e-12
+	p.FanoutMin, p.FanoutMax = 2, 2
+	sp, err = g.SeriesParallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := sp.Width(); w < 2 {
+		t.Fatalf("pure parallel produced width %d", w)
+	}
+}
+
+func TestSeriesParallelDeterministic(t *testing.T) {
+	a, _ := New(Defaults(), 9).SeriesParallel(DefaultSP())
+	b, _ := New(Defaults(), 9).SeriesParallel(DefaultSP())
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different SP graphs")
+	}
+}
+
+func TestSPParamsValidate(t *testing.T) {
+	bad := []func(*SPParams){
+		func(p *SPParams) { p.Depth = -1 },
+		func(p *SPParams) { p.FanoutMin = 1 },
+		func(p *SPParams) { p.FanoutMax = p.FanoutMin - 1 },
+		func(p *SPParams) { p.MeanExec = 0 },
+		func(p *SPParams) { p.Jitter = 1 },
+		func(p *SPParams) { p.CCR = -0.5 },
+		func(p *SPParams) { p.SeriesBias = 1.5 },
+	}
+	for i, mut := range bad {
+		p := DefaultSP()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad SP params #%d accepted", i)
+		}
+	}
+	g := New(Defaults(), 1)
+	if _, err := g.SeriesParallel(SPParams{}); err == nil {
+		t.Error("zero SPParams accepted")
+	}
+}
+
+func TestQuickSeriesParallelAlwaysValid(t *testing.T) {
+	f := func(seed int64, dSel, fSel uint8) bool {
+		p := DefaultSP()
+		p.Depth = int(dSel % 5)
+		p.FanoutMin = 2
+		p.FanoutMax = 2 + int(fSel%3)
+		g := New(Defaults(), seed)
+		sp, err := g.SeriesParallel(p)
+		if err != nil {
+			return false
+		}
+		if sp.Validate() != nil {
+			return false
+		}
+		return len(sp.Inputs()) == 1 && len(sp.Outputs()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

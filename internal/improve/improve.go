@@ -1,0 +1,219 @@
+// Package improve is a local-search post-optimizer for complete schedules,
+// in the spirit of the related work the paper cites (Abdelzaher & Shin,
+// RTSS'95: improving an initial solution rather than searching from
+// scratch). It complements the branch-and-bound solver at the opposite end
+// of the effort spectrum: given ANY complete schedule — greedy EDF output,
+// a truncated B&B incumbent, a hand-written table — it hill-climbs over the
+// two decision dimensions of the §4.3 operation:
+//
+//	reassign: move one task to a different processor, and
+//	reorder:  swap two adjacent tasks in the placement sequence
+//	          (only when no precedence relates them),
+//
+// replaying the sequence through the append-only scheduling operation after
+// every move. Replays are left-compacting: a task never starts later than
+// in the incumbent, so the objective never regresses, and random kicks with
+// bounded patience let the search escape shallow local optima while a
+// best-so-far copy guarantees monotone output.
+package improve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Options tunes the search. The zero value is usable: 2000 iterations, no
+// kicks, seed 1.
+type Options struct {
+	// MaxIters bounds the number of candidate moves evaluated (default
+	// 2000).
+	MaxIters int
+
+	// Kicks is the number of random perturbations applied when the climb
+	// stalls (default 0: pure hill climbing).
+	Kicks int
+
+	// KickLength is the number of random moves per kick (default 3).
+	KickLength int
+
+	// Seed drives the move order; a fixed seed makes Improve deterministic.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 2000
+	}
+	if o.KickLength <= 0 {
+		o.KickLength = 3
+	}
+}
+
+// Result reports the outcome of one Improve call.
+type Result struct {
+	// Schedule is the best schedule found (never worse than the input).
+	Schedule *sched.Schedule
+
+	// Start and Cost are the input and output maximum lateness.
+	Start, Cost taskgraph.Time
+
+	// Moves is the number of candidate moves evaluated; Improvements the
+	// number of accepted strict improvements.
+	Moves, Improvements int
+}
+
+// plan is a mutable (sequence, assignment) encoding of a schedule.
+type plan struct {
+	order []taskgraph.TaskID
+	proc  []platform.Proc // indexed by position in order
+}
+
+func (p *plan) clone() plan {
+	return plan{
+		order: append([]taskgraph.TaskID(nil), p.order...),
+		proc:  append([]platform.Proc(nil), p.proc...),
+	}
+}
+
+// Improve hill-climbs from the given complete, structurally valid schedule.
+func Improve(s *sched.Schedule, opts Options) (Result, error) {
+	if !s.Complete() {
+		return Result{}, fmt.Errorf("improve: schedule is incomplete")
+	}
+	if err := s.Check(); err != nil {
+		return Result{}, fmt.Errorf("improve: invalid input schedule: %w", err)
+	}
+	opts.fill()
+	g, plat := s.Graph, s.Platform
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Linearize by start time: a valid readiness order whose replay is
+	// left-compacting (every start <= the original start).
+	pls := s.Placements()
+	sort.Slice(pls, func(i, j int) bool {
+		if pls[i].Start != pls[j].Start {
+			return pls[i].Start < pls[j].Start
+		}
+		return pls[i].Task < pls[j].Task
+	})
+	cur := plan{
+		order: make([]taskgraph.TaskID, len(pls)),
+		proc:  make([]platform.Proc, len(pls)),
+	}
+	for i, pl := range pls {
+		cur.order[i] = pl.Task
+		cur.proc[i] = pl.Proc
+	}
+
+	st := sched.NewState(g, plat)
+	eval := func(p plan) (taskgraph.Time, bool) {
+		st.Reset()
+		for i, id := range p.order {
+			if !st.Ready(id) {
+				return 0, false // precedence-invalid ordering
+			}
+			st.Place(id, p.proc[i])
+		}
+		return st.Lmax(), true
+	}
+
+	curCost, ok := eval(cur)
+	if !ok {
+		return Result{}, fmt.Errorf("improve: internal error: start-time order not replayable")
+	}
+	res := Result{Start: s.Lmax(), Cost: curCost}
+	if curCost > res.Start {
+		// Cannot happen (left-compaction), but never return a regression.
+		return Result{}, fmt.Errorf("improve: internal error: replay worsened the schedule (%d > %d)", curCost, res.Start)
+	}
+	best := cur.clone()
+	bestCost := curCost
+
+	n := len(cur.order)
+	kicksLeft := opts.Kicks
+	for res.Moves < opts.MaxIters {
+		improved := false
+		// First-improvement scan in randomized order over the two move
+		// families.
+		idx := rng.Perm(n)
+		for _, i := range idx {
+			if res.Moves >= opts.MaxIters {
+				break
+			}
+			// Reassign task at position i to a random different processor.
+			if plat.M > 1 {
+				q := platform.Proc(rng.Intn(plat.M))
+				if q != cur.proc[i] {
+					old := cur.proc[i]
+					cur.proc[i] = q
+					res.Moves++
+					if cost, ok := eval(cur); ok && cost < curCost {
+						curCost = cost
+						improved = true
+					} else {
+						cur.proc[i] = old
+					}
+				}
+			}
+			// Swap with the right neighbour when unrelated.
+			if i+1 < n && !g.HasPath(cur.order[i], cur.order[i+1]) {
+				cur.order[i], cur.order[i+1] = cur.order[i+1], cur.order[i]
+				cur.proc[i], cur.proc[i+1] = cur.proc[i+1], cur.proc[i]
+				res.Moves++
+				if cost, ok := eval(cur); ok && cost < curCost {
+					curCost = cost
+					improved = true
+				} else {
+					cur.order[i], cur.order[i+1] = cur.order[i+1], cur.order[i]
+					cur.proc[i], cur.proc[i+1] = cur.proc[i+1], cur.proc[i]
+				}
+			}
+		}
+		if curCost < bestCost {
+			bestCost = curCost
+			best = cur.clone()
+			res.Improvements++
+		}
+		if improved {
+			continue
+		}
+		if kicksLeft == 0 {
+			break
+		}
+		// Kick: random valid perturbation from the best plan.
+		cur = best.clone()
+		for k := 0; k < opts.KickLength; k++ {
+			i := rng.Intn(n)
+			if plat.M > 1 && rng.Intn(2) == 0 {
+				cur.proc[i] = platform.Proc(rng.Intn(plat.M))
+			} else if i+1 < n && !g.HasPath(cur.order[i], cur.order[i+1]) {
+				cur.order[i], cur.order[i+1] = cur.order[i+1], cur.order[i]
+				cur.proc[i], cur.proc[i+1] = cur.proc[i+1], cur.proc[i]
+			}
+		}
+		if cost, ok := eval(cur); ok {
+			curCost = cost
+		} else {
+			cur = best.clone()
+			curCost = bestCost
+		}
+		kicksLeft--
+	}
+
+	// Materialize the best plan.
+	st.Reset()
+	for i, id := range best.order {
+		st.Place(id, best.proc[i])
+	}
+	res.Schedule = st.Snapshot()
+	res.Cost = st.Lmax()
+	if res.Cost > res.Start {
+		return Result{}, fmt.Errorf("improve: internal error: final cost %d worse than input %d", res.Cost, res.Start)
+	}
+	return res, nil
+}

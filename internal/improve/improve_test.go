@@ -1,0 +1,191 @@
+package improve
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func smallWorkload(t testing.TB, seed int64) *taskgraph.Graph {
+	t.Helper()
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 7
+	p.DepthMin, p.DepthMax = 3, 4
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestImproveNeverRegresses(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g := smallWorkload(t, seed)
+		for _, m := range []int{1, 2, 3} {
+			plat := platform.New(m)
+			start, err := edf.Schedule(g, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Improve(start.Schedule, Options{Seed: seed, Kicks: 2})
+			if err != nil {
+				t.Fatalf("seed %d m=%d: %v", seed, m, err)
+			}
+			if res.Cost > res.Start {
+				t.Fatalf("seed %d m=%d: regressed %d → %d", seed, m, res.Start, res.Cost)
+			}
+			if res.Schedule == nil || !res.Schedule.Complete() {
+				t.Fatalf("seed %d m=%d: no complete schedule", seed, m)
+			}
+			if err := res.Schedule.Check(); err != nil {
+				t.Fatalf("seed %d m=%d: invalid schedule: %v", seed, m, err)
+			}
+			if res.Schedule.Lmax() != res.Cost {
+				t.Fatalf("seed %d m=%d: reported cost %d != schedule Lmax %d",
+					seed, m, res.Cost, res.Schedule.Lmax())
+			}
+		}
+	}
+}
+
+func TestImproveBoundedByOptimum(t *testing.T) {
+	var reachedOpt, total int
+	for seed := int64(30); seed <= 50; seed++ {
+		g := smallWorkload(t, seed)
+		plat := platform.New(2)
+		opt, err := bruteforce.Solve(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, err := edf.Schedule(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Improve(start.Schedule, Options{Seed: seed, Kicks: 4, MaxIters: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < opt.Cost {
+			t.Fatalf("seed %d: improver beat the optimum: %d < %d", seed, res.Cost, opt.Cost)
+		}
+		total++
+		if res.Cost == opt.Cost {
+			reachedOpt++
+		}
+	}
+	// Local search from EDF should close the gap on a healthy majority of
+	// these small instances (EDF already optimal on many).
+	if reachedOpt*2 < total {
+		t.Fatalf("improver reached the optimum on only %d of %d instances", reachedOpt, total)
+	}
+}
+
+func TestImproveDeterministicWithSeed(t *testing.T) {
+	g := smallWorkload(t, 99)
+	plat := platform.New(2)
+	start, err := edf.Schedule(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Improve(start.Schedule, Options{Seed: 7, Kicks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Improve(start.Schedule, Options{Seed: 7, Kicks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Moves != b.Moves || a.Improvements != b.Improvements {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestImproveFixesObviouslyBadSchedule(t *testing.T) {
+	// Serialize independent tasks on one processor of a 4-processor machine
+	// and let the improver spread them.
+	g := taskgraph.Independent(6, 10)
+	plat := platform.New(4)
+	st := sched.NewState(g, plat)
+	for i := 0; i < 6; i++ {
+		st.Place(taskgraph.TaskID(i), 0)
+	}
+	bad := st.Snapshot()
+
+	res, err := Improve(bad, Options{Seed: 3, Kicks: 3, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= res.Start {
+		t.Fatalf("no improvement on a trivially improvable schedule: %d → %d", res.Start, res.Cost)
+	}
+	// Optimal: ceil(6/4) tasks per proc → makespan 20, lateness 20−240.
+	want, err := bruteforce.Solve(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != want.Cost {
+		t.Logf("note: local optimum %d vs global %d (acceptable for hill climbing)", res.Cost, want.Cost)
+	}
+}
+
+func TestImproveOnBnBTruncatedSearch(t *testing.T) {
+	// The intended pipeline: a DF-approximate B&B pass, then local search.
+	g := smallWorkload(t, 123)
+	plat := platform.New(3)
+	approx, err := core.Solve(g, plat, core.Params{Branching: core.BranchDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Improve(approx.Schedule, Options{Seed: 1, Kicks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Solve(g, plat, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < opt.Cost {
+		t.Fatalf("improver beat the proven optimum: %d < %d", res.Cost, opt.Cost)
+	}
+	if res.Cost > approx.Cost {
+		t.Fatalf("improver regressed the DF schedule: %d > %d", res.Cost, approx.Cost)
+	}
+}
+
+func TestImproveRejectsBadInput(t *testing.T) {
+	g := taskgraph.Diamond()
+	plat := platform.New(2)
+	incomplete := sched.NewSchedule(g, plat)
+	if _, err := Improve(incomplete, Options{}); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+	invalid := sched.NewSchedule(g, plat)
+	invalid.Set(0, 0, 0)
+	invalid.Set(1, 0, 0)
+	invalid.Set(2, 0, 2)
+	invalid.Set(3, 0, 7)
+	if _, err := Improve(invalid, Options{}); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func TestImproveSingleTask(t *testing.T) {
+	g := taskgraph.New(1)
+	g.AddTask(taskgraph.Task{Exec: 5, Deadline: 10})
+	st := sched.NewState(g, platform.New(2))
+	st.Place(0, 1)
+	res, err := Improve(st.Snapshot(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != -5 {
+		t.Fatalf("cost %d, want -5", res.Cost)
+	}
+}

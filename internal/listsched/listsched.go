@@ -1,0 +1,131 @@
+// Package listsched is a family of polynomial-time list schedulers over
+// the §4.3 non-preemptive append-only operation, parametrized by the task
+// priority function. It generalizes the EDF baseline of package edf (which
+// stays separate because §4.4 defines it as THE paper baseline) and
+// provides the classic static-priority comparators from the multiprocessor
+// scheduling literature:
+//
+//	HLFET — Highest Level First with Estimated Times: priority is the
+//	        task's bottom level (longest accumulated execution time from
+//	        the task to any output, inclusive); the canonical makespan
+//	        heuristic, here applied to lateness workloads.
+//	LeastSlack — smallest static slack D_i − bottomLevel_i first: a
+//	        lateness-aware refinement of EDF that accounts for the work
+//	        still downstream of each task.
+//	EDF   — earliest absolute deadline first (identical decisions to
+//	        package edf; included so the family is closed under the
+//	        comparison harness).
+//
+// At every step the scheduler picks the highest-priority ready task and
+// places it on the processor yielding the earliest start time, with
+// deterministic tie-breaks (priority, then task ID; processor index).
+package listsched
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Policy selects the priority function.
+type Policy int
+
+const (
+	// HLFET prioritizes the largest bottom level.
+	HLFET Policy = iota
+	// LeastSlack prioritizes the smallest D_i − bottomLevel_i.
+	LeastSlack
+	// EDF prioritizes the earliest absolute deadline.
+	EDF
+)
+
+func (p Policy) String() string {
+	switch p {
+	case HLFET:
+		return "HLFET"
+	case LeastSlack:
+		return "least-slack"
+	case EDF:
+		return "EDF"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Policies lists all members for comparison harnesses.
+func Policies() []Policy { return []Policy{HLFET, LeastSlack, EDF} }
+
+// Result is a list-scheduling outcome.
+type Result struct {
+	Schedule *sched.Schedule
+	Lmax     taskgraph.Time
+	Policy   Policy
+}
+
+// Schedule runs the list scheduler with the given policy.
+func Schedule(g *taskgraph.Graph, p platform.Platform, pol Policy) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+
+	n := g.NumTasks()
+	// Static priorities: SMALLER value = scheduled first.
+	prio := make([]taskgraph.Time, n)
+	for _, t := range g.Tasks() {
+		switch pol {
+		case HLFET:
+			prio[t.ID] = -g.LongestToOutput(t.ID)
+		case LeastSlack:
+			prio[t.ID] = t.AbsDeadline() - g.LongestToOutput(t.ID)
+		case EDF:
+			prio[t.ID] = t.AbsDeadline()
+		default:
+			return Result{}, fmt.Errorf("listsched: unknown policy %d", pol)
+		}
+	}
+
+	st := sched.NewState(g, p)
+	ready := make([]taskgraph.TaskID, 0, n)
+	for step := 0; step < n; step++ {
+		ready = st.ReadyTasks(ready[:0])
+		if len(ready) == 0 {
+			return Result{}, fmt.Errorf("listsched: no ready task at step %d", step)
+		}
+		best := ready[0]
+		for _, id := range ready[1:] {
+			if prio[id] < prio[best] {
+				best = id
+			}
+		}
+		bestProc := platform.Proc(0)
+		bestStart := st.EST(best, 0)
+		for q := 1; q < p.M; q++ {
+			if s := st.EST(best, platform.Proc(q)); s < bestStart {
+				bestStart, bestProc = s, platform.Proc(q)
+			}
+		}
+		st.Place(best, bestProc)
+	}
+	return Result{Schedule: st.Snapshot(), Lmax: st.Lmax(), Policy: pol}, nil
+}
+
+// Best runs every policy and returns the best result (smallest Lmax,
+// earliest policy on ties) — a cheap portfolio baseline.
+func Best(g *taskgraph.Graph, p platform.Platform) (Result, error) {
+	var best Result
+	best.Lmax = taskgraph.Infinity
+	for _, pol := range Policies() {
+		res, err := Schedule(g, p, pol)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Lmax < best.Lmax {
+			best = res
+		}
+	}
+	return best, nil
+}

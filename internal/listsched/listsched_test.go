@@ -1,0 +1,187 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func workloads(t testing.TB, count int, seed int64) []*taskgraph.Graph {
+	t.Helper()
+	gg := gen.New(gen.Defaults(), seed)
+	out := make([]*taskgraph.Graph, count)
+	for i := range out {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestAllPoliciesProduceValidSchedules(t *testing.T) {
+	for gi, g := range workloads(t, 30, 3) {
+		for m := 1; m <= 4; m++ {
+			plat := platform.New(m)
+			for _, pol := range Policies() {
+				res, err := Schedule(g, plat, pol)
+				if err != nil {
+					t.Fatalf("graph %d m=%d %v: %v", gi, m, pol, err)
+				}
+				if !res.Schedule.Complete() {
+					t.Fatalf("graph %d m=%d %v: incomplete", gi, m, pol)
+				}
+				if err := res.Schedule.Check(); err != nil {
+					t.Fatalf("graph %d m=%d %v: %v", gi, m, pol, err)
+				}
+				if res.Lmax != res.Schedule.Lmax() {
+					t.Fatalf("graph %d m=%d %v: Lmax mismatch", gi, m, pol)
+				}
+			}
+		}
+	}
+}
+
+func TestEDFPolicyMatchesEDFPackage(t *testing.T) {
+	// The EDF policy must make the exact same decisions as package edf.
+	for gi, g := range workloads(t, 20, 7) {
+		for m := 1; m <= 3; m++ {
+			plat := platform.New(m)
+			a, err := Schedule(g, plat, EDF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := edf.Schedule(g, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Lmax != b.Lmax {
+				t.Fatalf("graph %d m=%d: policy EDF Lmax %d != edf package %d",
+					gi, m, a.Lmax, b.Lmax)
+			}
+			for _, task := range g.Tasks() {
+				if a.Schedule.Start(task.ID) != b.Schedule.Start(task.ID) ||
+					a.Schedule.Proc(task.ID) != b.Schedule.Proc(task.ID) {
+					t.Fatalf("graph %d m=%d: schedules diverge at task %d", gi, m, task.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestHLFETPrefersCriticalPath(t *testing.T) {
+	// Fork with a long and a short branch: HLFET starts the long branch
+	// first even when the short branch has the earlier deadline.
+	g := taskgraph.New(4)
+	src := g.AddTask(taskgraph.Task{Exec: 2, Deadline: 100})
+	long1 := g.AddTask(taskgraph.Task{Exec: 10, Deadline: 200})
+	long2 := g.AddTask(taskgraph.Task{Exec: 10, Deadline: 200})
+	short := g.AddTask(taskgraph.Task{Exec: 2, Deadline: 50})
+	g.MustAddEdge(src, long1, 0)
+	g.MustAddEdge(long1, long2, 0)
+	g.MustAddEdge(src, short, 0)
+
+	res, err := Schedule(g, platform.New(1), HLFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Start(long1) > res.Schedule.Start(short) {
+		t.Fatal("HLFET scheduled the short branch before the critical path")
+	}
+	// EDF makes the opposite call on one processor.
+	resEDF, err := Schedule(g, platform.New(1), EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEDF.Schedule.Start(short) > resEDF.Schedule.Start(long1) {
+		t.Fatal("EDF ignored the earlier deadline")
+	}
+}
+
+func TestNoPolicyBeatsOptimal(t *testing.T) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 7
+	p.DepthMin, p.DepthMax = 3, 4
+	gg := gen.New(p, 13)
+	for i := 0; i < 15; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		plat := platform.New(2)
+		opt, err := bruteforce.Solve(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range Policies() {
+			res, err := Schedule(g, plat, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Lmax < opt.Cost {
+				t.Fatalf("graph %d: %v beat the optimum: %d < %d", i, pol, res.Lmax, opt.Cost)
+			}
+		}
+		best, err := Best(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Lmax < opt.Cost {
+			t.Fatalf("graph %d: portfolio beat the optimum", i)
+		}
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	for gi, g := range workloads(t, 10, 17) {
+		plat := platform.New(3)
+		best, err := Best(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range Policies() {
+			res, err := Schedule(g, plat, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Lmax < best.Lmax {
+				t.Fatalf("graph %d: Best missed %v with Lmax %d < %d", gi, pol, res.Lmax, best.Lmax)
+			}
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := taskgraph.Diamond()
+	if _, err := Schedule(g, platform.Platform{M: 0}, HLFET); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+	if _, err := Schedule(g, platform.New(2), Policy(42)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	cyc := taskgraph.New(2)
+	a := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	b := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if _, err := Schedule(cyc, platform.New(1), HLFET); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, pol := range Policies() {
+		if pol.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy String empty")
+	}
+}

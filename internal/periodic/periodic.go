@@ -1,0 +1,181 @@
+// Package periodic extends the one-shot scheduling model to periodic task
+// systems by hyperperiod unrolling: every task τ_i with period T_i is
+// expanded into its invocations τ_i^k over the hyperperiod H = lcm{T_i},
+// with the dynamic parameters of §2.2,
+//
+//	a_i^k = φ_i + T_i·(k−1)        D_i^k = a_i^k + d_i,
+//
+// producing an ordinary acyclic task graph that the branch-and-bound solver
+// schedules as-is. The resulting static schedule is a valid time-driven
+// table for one hyperperiod (d_i <= T_i guarantees that two invocations of
+// one task never have overlapping execution windows).
+//
+// Precedence and communication are replicated per invocation: the paper's
+// task graphs connect tasks of equal rates, so arc (τ_i, τ_j) becomes
+// (τ_i^k, τ_j^k) for every k — the standard same-iteration dependency model.
+// Unrolling requires equal periods on connected components; mixed-rate
+// chains (under/oversampling) are rejected explicitly rather than given an
+// arbitrary semantics.
+//
+// Consecutive invocations of the same task are additionally chained
+// (τ_i^k ≺ τ_i^{k+1}, message size 0) so a non-preemptive schedule can
+// never reorder the iterations of one task.
+package periodic
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// Invocation names one expanded node: the k-th invocation (1-based) of an
+// original task.
+type Invocation struct {
+	Orig taskgraph.TaskID
+	K    int
+}
+
+// Expansion is the result of Unroll: the one-shot graph plus the mapping
+// between expanded nodes and original invocations.
+type Expansion struct {
+	// Graph is the unrolled task graph over one hyperperiod.
+	Graph *taskgraph.Graph
+
+	// Hyperperiod is lcm of all periods.
+	Hyperperiod taskgraph.Time
+
+	// Of maps each expanded task ID to its original invocation.
+	Of []Invocation
+
+	// IDs maps (original task, k) to the expanded task ID:
+	// IDs[orig][k-1].
+	IDs [][]taskgraph.TaskID
+}
+
+func gcd(a, b taskgraph.Time) taskgraph.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b taskgraph.Time) taskgraph.Time {
+	return a / gcd(a, b) * b
+}
+
+// Hyperperiod returns lcm over all task periods. Aperiodic tasks
+// (Period == 0) are treated as single-shot (period = hyperperiod) and do
+// not contribute.
+func Hyperperiod(g *taskgraph.Graph) (taskgraph.Time, error) {
+	h := taskgraph.Time(1)
+	any := false
+	for _, t := range g.Tasks() {
+		if t.Period < 0 {
+			return 0, fmt.Errorf("periodic: task %d has negative period %d", t.ID, t.Period)
+		}
+		if t.Period > 0 {
+			h = lcm(h, t.Period)
+			any = true
+			if h > taskgraph.Infinity/4 {
+				return 0, fmt.Errorf("periodic: hyperperiod overflow")
+			}
+		}
+	}
+	if !any {
+		return 0, fmt.Errorf("periodic: no periodic task in graph")
+	}
+	return h, nil
+}
+
+// Unroll expands the periodic task graph over one hyperperiod.
+func Unroll(g *taskgraph.Graph) (*Expansion, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := Hyperperiod(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Same-iteration precedence semantics require equal rates on connected
+	// tasks.
+	for _, c := range g.Channels() {
+		ps, pd := g.Task(c.Src).Period, g.Task(c.Dst).Period
+		if ps != pd {
+			return nil, fmt.Errorf("periodic: arc %d→%d connects different periods (%d vs %d); mixed-rate graphs are not supported",
+				c.Src, c.Dst, ps, pd)
+		}
+	}
+
+	n := g.NumTasks()
+	ex := &Expansion{
+		Hyperperiod: h,
+		IDs:         make([][]taskgraph.TaskID, n),
+	}
+
+	// Count invocations per task.
+	invocations := func(t taskgraph.Task) int {
+		if t.Period == 0 {
+			return 1
+		}
+		return int(h / t.Period)
+	}
+
+	total := 0
+	for _, t := range g.Tasks() {
+		total += invocations(t)
+	}
+	ng := taskgraph.New(total)
+
+	for _, t := range g.Tasks() {
+		k := invocations(t)
+		ex.IDs[t.ID] = make([]taskgraph.TaskID, k)
+		for i := 1; i <= k; i++ {
+			id := ng.AddTask(taskgraph.Task{
+				Name:     fmt.Sprintf("%s#%d", nameOf(t), i),
+				Exec:     t.Exec,
+				Phase:    t.ArrivalK(i),
+				Deadline: t.Deadline,
+				// The expanded node is one-shot by construction.
+			})
+			ex.IDs[t.ID][i-1] = id
+			ex.Of = append(ex.Of, Invocation{Orig: t.ID, K: i})
+		}
+	}
+
+	// Same-iteration arcs.
+	for _, c := range g.Channels() {
+		ks := len(ex.IDs[c.Src])
+		kd := len(ex.IDs[c.Dst])
+		k := ks
+		if kd < k {
+			k = kd
+		}
+		for i := 0; i < k; i++ {
+			if err := ng.AddEdge(ex.IDs[c.Src][i], ex.IDs[c.Dst][i], c.Size); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Iteration chains.
+	for _, ids := range ex.IDs {
+		for i := 0; i+1 < len(ids); i++ {
+			if err := ng.AddEdge(ids[i], ids[i+1], 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("periodic: unrolled graph invalid: %w", err)
+	}
+	ex.Graph = ng
+	return ex, nil
+}
+
+func nameOf(t taskgraph.Task) string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("t%d", t.ID)
+}

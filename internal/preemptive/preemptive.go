@@ -1,0 +1,207 @@
+// Package preemptive implements the polynomial-time optimal preemptive
+// single-machine scheduler for minimizing maximum lateness under release
+// times and precedence constraints — the algorithm of Baker, Lawler,
+// Lenstra and Rinnooy Kan (reference [12] of the paper, specialized from
+// f_max to Lmax, after Blazewicz).
+//
+// The paper leans on this algorithm twice: the related B&B schedulers of
+// Peng & Shin [1] and Hou & Shin [4] use it as their COMMUTATIVE processor
+// scheduling operation (which lets them prune all task-order permutations),
+// and §3.3 explains that precisely because the present paper's §4.3
+// operation is non-preemptive — hence NP-hard per machine and
+// non-commutative — those prunings are unavailable and the task-ordering
+// dimension must be searched. This package exists to make that contrast
+// concrete and testable: it IS commutative (the result is independent of
+// any insertion order; only the job set matters).
+//
+// Algorithm (O(n²)):
+//  1. strengthen release times forward:   r'_j = max(r_j, max_i r'_i + p_i)
+//     over direct predecessors i;
+//  2. strengthen due dates backward:      d'_i = min(d_i, min_j d'_j − p_j)
+//     over direct successors j;
+//  3. run preemptive earliest-due-date on (r', d'): at every decision
+//     instant execute the available unfinished job with the smallest d'.
+//
+// Step 3 never violates precedence: an unfinished predecessor has
+// d'_i <= d'_j − p_j < d'_j and is available no later than any of its
+// successors, so EDD always prefers it. Lmax is reported against the
+// ORIGINAL due dates and is optimal for 1|pmtn, prec, r_j|Lmax.
+package preemptive
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/taskgraph"
+)
+
+// Segment is one contiguous execution interval of a job.
+type Segment struct {
+	Task  taskgraph.TaskID
+	Start taskgraph.Time
+	End   taskgraph.Time
+}
+
+// Result is an optimal preemptive single-machine schedule.
+type Result struct {
+	// Lmax is the optimal maximum lateness against the original deadlines.
+	Lmax taskgraph.Time
+
+	// Completion holds each job's completion time.
+	Completion []taskgraph.Time
+
+	// Segments is the execution timeline in chronological order; a job
+	// with k preemptions appears in k+1 segments.
+	Segments []Segment
+
+	// Preemptions counts how many times a running job was displaced.
+	Preemptions int
+}
+
+// Schedule computes the optimal preemptive single-machine schedule for the
+// graph's tasks (arrival = a_i, processing = c_i, due = D_i; the graph's
+// arcs are the precedence constraints; message sizes are irrelevant on one
+// machine).
+func Schedule(g *taskgraph.Graph) (*Result, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	if n == 0 {
+		return nil, fmt.Errorf("preemptive: empty graph")
+	}
+
+	rel := make([]taskgraph.Time, n)
+	due := make([]taskgraph.Time, n)
+	rem := make([]taskgraph.Time, n)
+	for _, t := range g.Tasks() {
+		rel[t.ID] = t.Arrival()
+		due[t.ID] = t.AbsDeadline()
+		rem[t.ID] = t.Exec
+	}
+	// Step 1: forward release strengthening.
+	for _, id := range order {
+		for _, pred := range g.Preds(id) {
+			if v := rel[pred] + g.Task(pred).Exec; v > rel[id] {
+				rel[id] = v
+			}
+		}
+	}
+	// Step 2: backward due-date strengthening.
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		for _, succ := range g.Succs(id) {
+			if v := due[succ] - g.Task(succ).Exec; v < due[id] {
+				due[id] = v
+			}
+		}
+	}
+
+	res := &Result{Completion: make([]taskgraph.Time, n)}
+
+	// Step 3: event-driven preemptive EDD on (rel, due).
+	releases := append([]taskgraph.Time(nil), rel...)
+	sort.Slice(releases, func(i, j int) bool { return releases[i] < releases[j] })
+
+	now := releases[0]
+	done := 0
+	var lastRunning taskgraph.TaskID = taskgraph.NoTask
+	for done < n {
+		// Pick the available unfinished job with the smallest modified due
+		// date (ties toward the smaller ID for determinism).
+		pick := taskgraph.NoTask
+		for id := 0; id < n; id++ {
+			tid := taskgraph.TaskID(id)
+			if rem[id] == 0 || rel[id] > now {
+				continue
+			}
+			if pick == taskgraph.NoTask || due[tid] < due[pick] ||
+				(due[tid] == due[pick] && tid < pick) {
+				pick = tid
+			}
+		}
+		if pick == taskgraph.NoTask {
+			// Idle until the next release.
+			next := taskgraph.Infinity
+			for id := 0; id < n; id++ {
+				if rem[id] > 0 && rel[id] > now && rel[id] < next {
+					next = rel[id]
+				}
+			}
+			now = next
+			lastRunning = taskgraph.NoTask
+			continue
+		}
+		// Run pick until it finishes or the next release arrives.
+		until := now + rem[pick]
+		for id := 0; id < n; id++ {
+			if rem[id] > 0 && rel[id] > now && rel[id] < until {
+				until = rel[id]
+			}
+		}
+		if lastRunning != taskgraph.NoTask && lastRunning != pick && rem[lastRunning] > 0 {
+			res.Preemptions++
+		}
+		// Merge contiguous segments of the same job.
+		if k := len(res.Segments); k > 0 && res.Segments[k-1].Task == pick && res.Segments[k-1].End == now {
+			res.Segments[k-1].End = until
+		} else {
+			res.Segments = append(res.Segments, Segment{Task: pick, Start: now, End: until})
+		}
+		rem[pick] -= until - now
+		if rem[pick] == 0 {
+			res.Completion[pick] = until
+			done++
+		}
+		lastRunning = pick
+		now = until
+	}
+
+	res.Lmax = taskgraph.MinTime
+	for _, t := range g.Tasks() {
+		if l := res.Completion[t.ID] - t.AbsDeadline(); l > res.Lmax {
+			res.Lmax = l
+		}
+	}
+	return res, nil
+}
+
+// Check verifies the structural soundness of a Result against its graph:
+// full processing per job, segments within release windows, no overlap, and
+// precedence (a successor never runs before its predecessor completes).
+func Check(g *taskgraph.Graph, r *Result) error {
+	total := make([]taskgraph.Time, g.NumTasks())
+	firstStart := make([]taskgraph.Time, g.NumTasks())
+	for i := range firstStart {
+		firstStart[i] = taskgraph.Infinity
+	}
+	for i, seg := range r.Segments {
+		if seg.End <= seg.Start {
+			return fmt.Errorf("preemptive: empty segment %+v", seg)
+		}
+		if i > 0 && seg.Start < r.Segments[i-1].End {
+			return fmt.Errorf("preemptive: overlapping segments at %d", i)
+		}
+		if seg.Start < g.Task(seg.Task).Arrival() {
+			return fmt.Errorf("preemptive: task %d runs at %d before arrival %d",
+				seg.Task, seg.Start, g.Task(seg.Task).Arrival())
+		}
+		total[seg.Task] += seg.End - seg.Start
+		if seg.Start < firstStart[seg.Task] {
+			firstStart[seg.Task] = seg.Start
+		}
+	}
+	for _, t := range g.Tasks() {
+		if total[t.ID] != t.Exec {
+			return fmt.Errorf("preemptive: task %d processed %d of %d", t.ID, total[t.ID], t.Exec)
+		}
+		for _, pred := range g.Preds(t.ID) {
+			if firstStart[t.ID] < r.Completion[pred] {
+				return fmt.Errorf("preemptive: task %d starts at %d before predecessor %d completes at %d",
+					t.ID, firstStart[t.ID], pred, r.Completion[pred])
+			}
+		}
+	}
+	return nil
+}

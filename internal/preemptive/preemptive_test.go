@@ -1,0 +1,209 @@
+package preemptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestSimpleEDD(t *testing.T) {
+	// Equal releases, no precedence: preemption never helps, result equals
+	// non-preemptive EDD. Jobs (p, D): (3,5), (2,4), (4,12) → order b, a, c
+	// → completions 2, 5, 9 → latenesses -2, 0, -3 → Lmax 0.
+	g := taskgraph.New(3)
+	g.AddTask(taskgraph.Task{Exec: 3, Deadline: 5})
+	g.AddTask(taskgraph.Task{Exec: 2, Deadline: 4})
+	g.AddTask(taskgraph.Task{Exec: 4, Deadline: 12})
+	r, err := Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Lmax != 0 {
+		t.Fatalf("Lmax = %d, want 0", r.Lmax)
+	}
+	if r.Preemptions != 0 {
+		t.Fatalf("preemptions with equal releases: %d", r.Preemptions)
+	}
+}
+
+func TestPreemptionHelps(t *testing.T) {
+	// A long loose job starts first; an urgent one arrives mid-flight.
+	// Non-preemptive (append-only) must finish the long job first; the
+	// preemptive optimum interrupts it.
+	// long is due at 14, so the non-preemptive schedule cannot afford to
+	// run urgent first (long would finish at 15); preemption threads the
+	// needle.
+	g := taskgraph.New(2)
+	long := g.AddTask(taskgraph.Task{Exec: 10, Phase: 0, Deadline: 14})
+	urgent := g.AddTask(taskgraph.Task{Exec: 2, Phase: 3, Deadline: 3}) // D=6
+	r, err := Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, r); err != nil {
+		t.Fatal(err)
+	}
+	// urgent: [3,5) → lateness -1; long: [0,3)+[5,12) → lateness -2.
+	if r.Completion[urgent] != 5 || r.Completion[long] != 12 {
+		t.Fatalf("completions %v", r.Completion)
+	}
+	if r.Lmax != -1 {
+		t.Fatalf("Lmax = %d, want -1", r.Lmax)
+	}
+	if r.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", r.Preemptions)
+	}
+
+	// The non-preemptive single-machine optimum is strictly worse.
+	np, err := bruteforce.Solve(g, platform.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Cost <= r.Lmax {
+		t.Fatalf("preemption did not help: preemptive %d vs non-preemptive %d", r.Lmax, np.Cost)
+	}
+}
+
+func TestPrecedenceRespected(t *testing.T) {
+	// Successor with a very tight deadline cannot jump its predecessor.
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 5, Deadline: 100})
+	b := g.AddTask(taskgraph.Task{Exec: 2, Deadline: 6})
+	g.MustAddEdge(a, b, 0)
+	r, err := Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Completion[a] != 5 || r.Completion[b] != 7 {
+		t.Fatalf("completions %v, want a=5 b=7", r.Completion)
+	}
+	if r.Lmax != 1 {
+		t.Fatalf("Lmax = %d, want 1 (b misses by 1 unavoidably)", r.Lmax)
+	}
+}
+
+// TestLowerBoundsNonPreemptiveOptimum: on one machine, the preemptive
+// optimum is a lower bound on ANY non-preemptive schedule's Lmax — in
+// particular on the brute-force optimum of the §4.3 operation.
+func TestLowerBoundsNonPreemptiveOptimum(t *testing.T) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 7
+	p.DepthMin, p.DepthMax = 3, 4
+	gg := gen.New(p, 8)
+	for i := 0; i < 25; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Schedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(g, r); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		np, err := bruteforce.Solve(g, platform.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Lmax > np.Cost {
+			t.Fatalf("graph %d: preemptive %d exceeds non-preemptive optimum %d",
+				i, r.Lmax, np.Cost)
+		}
+	}
+}
+
+// TestCommutativity: the defining property the paper's §3.3 discusses. The
+// OPTIMAL COST depends only on the job set — any insertion order yields the
+// same Lmax — in contrast to the §4.3 append-only operation, where the
+// order itself changes the achievable cost. (Individual completions of
+// jobs tied on modified due dates may swap under relabeling; that does not
+// affect optimality.)
+func TestCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gg := gen.New(gen.Defaults(), 9)
+	for i := 0; i < 10; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		base, err := Schedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the same graph with tasks inserted in a random order.
+		perm := rng.Perm(g.NumTasks())
+		remap := make([]taskgraph.TaskID, g.NumTasks())
+		shuffled := taskgraph.New(g.NumTasks())
+		for newPos, old := range perm {
+			tk := g.Task(taskgraph.TaskID(old))
+			tk.Name = ""
+			remap[old] = taskgraph.TaskID(newPos)
+			shuffled.AddTask(tk)
+		}
+		for _, c := range g.Channels() {
+			shuffled.MustAddEdge(remap[c.Src], remap[c.Dst], c.Size)
+		}
+		got, err := Schedule(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lmax != base.Lmax {
+			t.Fatalf("graph %d: Lmax differs under permutation: %d vs %d", i, got.Lmax, base.Lmax)
+		}
+	}
+}
+
+func TestIdleBeforeRelease(t *testing.T) {
+	g := taskgraph.New(1)
+	g.AddTask(taskgraph.Task{Exec: 4, Phase: 10, Deadline: 8})
+	r, err := Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completion[0] != 14 || r.Lmax != -4 {
+		t.Fatalf("completion %d Lmax %d, want 14/-4", r.Completion[0], r.Lmax)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(taskgraph.New(0)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	cyc := taskgraph.New(2)
+	a := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	b := cyc.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if _, err := Schedule(cyc); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestSegmentsMergeContiguous(t *testing.T) {
+	// One job, one segment — no spurious splits at release events of
+	// already-finished jobs.
+	g := taskgraph.New(2)
+	g.AddTask(taskgraph.Task{Exec: 2, Phase: 0, Deadline: 50})
+	g.AddTask(taskgraph.Task{Exec: 3, Phase: 1, Deadline: 50})
+	r, err := Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0 runs [0,2) (same due date class, smaller ID first at t=1? Job 0
+	// has d'=50, job 1 d'=51; job 0 continues), job 1 runs [2,5).
+	if len(r.Segments) != 2 {
+		t.Fatalf("segments: %+v", r.Segments)
+	}
+}

@@ -1,0 +1,189 @@
+// Package report renders a self-contained HTML dossier for one scheduling
+// problem: the a-priori analysis, a comparison table across the whole
+// algorithm ladder (greedy policies, local search, approximate and exact
+// branch-and-bound), inline Gantt charts of the notable schedules, and the
+// dispatch robustness profile. One file, no external assets — the artifact
+// an engineer attaches to a design review.
+package report
+
+import (
+	"fmt"
+	"html"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/edf"
+	"repro/internal/gantt"
+	"repro/internal/improve"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Options configures report generation.
+type Options struct {
+	// Budget is the exact-search allowance (default 5s).
+	Budget time.Duration
+
+	// Title heads the document (default "scheduling report").
+	Title string
+
+	// JitterRuns enables the dispatch robustness section when > 0.
+	JitterRuns int
+}
+
+// row is one algorithm's line in the comparison table.
+type row struct {
+	name     string
+	lmax     taskgraph.Time
+	makespan taskgraph.Time
+	optimal  string
+	vertices int64
+	schedule *sched.Schedule
+}
+
+// Build runs the ladder and renders the HTML document.
+func Build(g *taskgraph.Graph, p platform.Platform, opts Options) (string, error) {
+	if opts.Budget <= 0 {
+		opts.Budget = 5 * time.Second
+	}
+	if opts.Title == "" {
+		opts.Title = "scheduling report"
+	}
+
+	rep, err := analysis.Analyze(g, p)
+	if err != nil {
+		return "", err
+	}
+
+	var rows []row
+
+	// Greedy ladder.
+	for _, pol := range listsched.Policies() {
+		res, err := listsched.Schedule(g, p, pol)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row{name: "list " + pol.String(), lmax: res.Lmax,
+			makespan: res.Schedule.Makespan(), optimal: "—", schedule: res.Schedule})
+	}
+
+	// Local search on the EDF schedule.
+	edfRes, err := edf.Schedule(g, p)
+	if err != nil {
+		return "", err
+	}
+	imp, err := improve.Improve(edfRes.Schedule, improve.Options{Kicks: 3, Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	rows = append(rows, row{name: "EDF + local search", lmax: imp.Cost,
+		makespan: imp.Schedule.Makespan(), optimal: "—", schedule: imp.Schedule})
+
+	// Approximate B&B.
+	for _, br := range []core.BranchingRule{core.BranchDF, core.BranchBF1} {
+		res, err := core.Solve(g, p, core.Params{Branching: br,
+			Resources: core.ResourceBounds{TimeLimit: opts.Budget}})
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row{name: "B&B " + br.String(), lmax: res.Cost,
+			makespan: res.Schedule.Makespan(), optimal: "approx",
+			vertices: res.Stats.Generated, schedule: res.Schedule})
+	}
+
+	// Exact B&B.
+	exact, err := core.Solve(g, p, core.Params{
+		GlobalLowerBound: rep.Lower, UseGlobalBound: true,
+		Resources: core.ResourceBounds{TimeLimit: opts.Budget}})
+	if err != nil {
+		return "", err
+	}
+	status := "TIMED OUT (best so far)"
+	if exact.Optimal {
+		status = "proven optimal"
+	}
+	rows = append(rows, row{name: "B&B BFn (exact)", lmax: exact.Cost,
+		makespan: exact.Schedule.Makespan(), optimal: status,
+		vertices: exact.Stats.Generated, schedule: exact.Schedule})
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(opts.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 72em; margin: 2em auto; color: #222; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; text-align: right; }
+th { background: #f0f0f0; } td:first-child, th:first-child { text-align: left; }
+.ok { color: #06662a; font-weight: bold; } .warn { color: #8a6d00; }
+pre { background: #f7f7f7; padding: 8px; overflow-x: auto; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(opts.Title))
+	fmt.Fprintf(&b, "<p>%d tasks, %d arcs, depth %d, parallelism %.2f — %d processors (shared bus)</p>\n",
+		g.NumTasks(), g.NumEdges(), g.Depth(), g.Parallelism(), p.M)
+
+	// Analysis section.
+	b.WriteString("<h2>A-priori analysis</h2>\n<table><tr><th>quantity</th><th>value</th></tr>\n")
+	fmt.Fprintf(&b, "<tr><td>total work</td><td>%d</td></tr>\n", rep.TotalWork)
+	fmt.Fprintf(&b, "<tr><td>critical path</td><td>%d</td></tr>\n", rep.CriticalPath)
+	fmt.Fprintf(&b, "<tr><td>utilization</td><td>%.0f%%</td></tr>\n", rep.Utilization*100)
+	fmt.Fprintf(&b, "<tr><td>demand lower bound on Lmax</td><td>%d (interval [%d, %d])</td></tr>\n",
+		rep.DemandLmax, rep.CriticalInterval[0], rep.CriticalInterval[1])
+	fmt.Fprintf(&b, "<tr><td>path lower bound on Lmax</td><td>%d</td></tr>\n", rep.PathLmax)
+	fmt.Fprintf(&b, "<tr><td>certified bound</td><td><b>%d</b></td></tr>\n</table>\n", rep.Lower)
+	if rep.Infeasible() {
+		fmt.Fprintf(&b, "<p class=\"warn\">Certified infeasible: every schedule misses a deadline by at least %d ticks.</p>\n", rep.Lower)
+	}
+
+	// Comparison table.
+	b.WriteString("<h2>Algorithm ladder</h2>\n<table><tr><th>algorithm</th><th>Lmax</th><th>makespan</th><th>vertices</th><th>status</th></tr>\n")
+	for _, r := range rows {
+		verts := "—"
+		if r.vertices > 0 {
+			verts = fmt.Sprintf("%d", r.vertices)
+		}
+		cls := ""
+		if r.lmax == exact.Cost && strings.Contains(r.optimal, "optimal") {
+			cls = ` class="ok"`
+		}
+		fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+			cls, html.EscapeString(r.name), r.lmax, r.makespan, verts, html.EscapeString(r.optimal))
+	}
+	fmt.Fprintf(&b, "</table>\n<p>Certified gap of the final schedule: <b>%d</b> (cost %d vs bound %d).</p>\n",
+		exact.Cost-rep.Lower, exact.Cost, rep.Lower)
+
+	// Gantt charts: best greedy and the exact result.
+	b.WriteString("<h2>Schedules</h2>\n")
+	b.WriteString("<h3>Best schedule found</h3>\n")
+	b.WriteString(gantt.SVG(exact.Schedule))
+	b.WriteString("\n<h3>EDF baseline</h3>\n")
+	b.WriteString(gantt.SVG(edfRes.Schedule))
+
+	// Dispatch robustness.
+	if opts.JitterRuns > 0 {
+		b.WriteString("\n<h2>Dispatch robustness (execution-time jitter)</h2>\n")
+		b.WriteString("<table><tr><th>discipline</th><th>jitter floor</th><th>mean Lmax</th><th>worst Lmax</th><th>mean makespan</th></tr>\n")
+		for _, d := range []dispatch.Discipline{dispatch.TableDriven, dispatch.WorkConserving} {
+			for _, frac := range []float64{1.0, 0.7, 0.4} {
+				st, err := dispatch.Sweep(exact.Schedule, d, frac, opts.JitterRuns, 1)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%.0f%% of WCET</td><td>%.1f</td><td>%d</td><td>%.1f</td></tr>\n",
+					d, frac*100, st.MeanLmax, st.WorstLmax, st.MeanMakespan)
+			}
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// The task graph itself for reference.
+	b.WriteString("\n<h2>Task graph (Graphviz DOT)</h2>\n<pre>")
+	b.WriteString(html.EscapeString(g.DOT()))
+	b.WriteString("</pre>\n</body></html>\n")
+	return b.String(), nil
+}

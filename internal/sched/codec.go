@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// scheduleJSON is the stable wire form of a (complete or partial) schedule:
+// only the placements, in deterministic (proc, start) order. The graph and
+// platform are NOT embedded — a schedule is only meaningful against the
+// graph it was computed for, so loading takes them as parameters and
+// re-validates everything.
+type scheduleJSON struct {
+	Processors int         `json:"processors"`
+	Placements []Placement `json:"placements"`
+}
+
+// WriteJSON writes the schedule's placements as indented JSON.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	doc := scheduleJSON{Processors: s.Platform.M, Placements: s.Placements()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadJSON decodes a schedule previously written with WriteJSON against
+// the given graph and platform. It verifies that (a) the stored processor
+// count matches, (b) replaying the placements in start order through the
+// §4.3 operation reproduces exactly the stored starts and finishes, and
+// (c) the result passes Check — so a schedule file paired with the wrong
+// graph fails loudly instead of silently producing nonsense.
+func LoadJSON(r io.Reader, g *taskgraph.Graph, p platform.Platform) (*Schedule, error) {
+	var doc scheduleJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	if doc.Processors != p.M {
+		return nil, fmt.Errorf("sched: schedule recorded for %d processors, platform has %d",
+			doc.Processors, p.M)
+	}
+	for _, pl := range doc.Placements {
+		if pl.Task < 0 || int(pl.Task) >= g.NumTasks() {
+			return nil, fmt.Errorf("sched: placement references unknown task %d", pl.Task)
+		}
+		if pl.Proc < 0 || int(pl.Proc) >= p.M {
+			return nil, fmt.Errorf("sched: placement references unknown processor %d", pl.Proc)
+		}
+	}
+	// Replay in a valid order (ascending start, ties by task ID): the
+	// operation reproduces the starts iff the file matches the graph.
+	seq := append([]Placement(nil), doc.Placements...)
+	sort.Slice(seq, func(i, j int) bool {
+		if seq[i].Start != seq[j].Start {
+			return seq[i].Start < seq[j].Start
+		}
+		return seq[i].Task < seq[j].Task
+	})
+	st := NewState(g, p)
+	for _, pl := range seq {
+		if !st.Ready(pl.Task) {
+			return nil, fmt.Errorf("sched: placement order violates precedence at task %d", pl.Task)
+		}
+		got := st.Place(pl.Task, pl.Proc)
+		if got.Start > pl.Start || got.Finish > pl.Finish {
+			// The operation is left-compacting: replay can only start a
+			// task EARLIER than a foreign (inconsistent) record, never
+			// later. Later ⇒ the file does not belong to this graph.
+			return nil, fmt.Errorf("sched: task %d recorded at [%d,%d) but the operation yields [%d,%d) — schedule does not match this graph",
+				pl.Task, pl.Start, pl.Finish, got.Start, got.Finish)
+		}
+	}
+	out := NewSchedule(g, p)
+	for _, pl := range doc.Placements {
+		out.Set(pl.Task, pl.Proc, pl.Start)
+	}
+	if err := out.Check(); err != nil {
+		return nil, fmt.Errorf("sched: loaded schedule invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+	st := NewState(g, p)
+	st.Place(0, 0)
+	st.Place(2, 0)
+	st.Place(1, 1)
+	st.Place(3, 0)
+	s := st.Snapshot()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumTasks(); id++ {
+		tid := taskgraph.TaskID(id)
+		if back.Proc(tid) != s.Proc(tid) || back.Start(tid) != s.Start(tid) {
+			t.Fatalf("task %d changed: p%d@%d vs p%d@%d",
+				id, back.Proc(tid), back.Start(tid), s.Proc(tid), s.Start(tid))
+		}
+	}
+	if back.Lmax() != s.Lmax() {
+		t.Fatalf("Lmax changed: %d vs %d", back.Lmax(), s.Lmax())
+	}
+}
+
+func TestScheduleJSONPartial(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+	st := NewState(g, p)
+	st.Place(0, 1)
+	var buf bytes.Buffer
+	if err := st.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPlaced() != 1 || !back.Placed(0) {
+		t.Fatalf("partial schedule lost placements: %d placed", back.NumPlaced())
+	}
+}
+
+func TestScheduleJSONRejectsMismatches(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+	st := NewState(g, p)
+	st.Place(0, 0)
+	st.Place(1, 0)
+	st.Place(2, 1)
+	st.Place(3, 0)
+	var buf bytes.Buffer
+	if err := st.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	t.Run("wrong platform", func(t *testing.T) {
+		if _, err := LoadJSON(strings.NewReader(data), g, platform.New(3)); err == nil {
+			t.Fatal("accepted a 2-processor schedule on a 3-processor platform")
+		}
+	})
+	t.Run("wrong graph", func(t *testing.T) {
+		other := taskgraph.Chain(4, 9, 3)
+		if _, err := LoadJSON(strings.NewReader(data), other, p); err == nil {
+			t.Fatal("accepted a schedule against a foreign graph")
+		}
+	})
+	t.Run("unknown task", func(t *testing.T) {
+		small := taskgraph.Chain(2, 2, 0)
+		if _, err := LoadJSON(strings.NewReader(data), small, p); err == nil {
+			t.Fatal("accepted out-of-range task IDs")
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := LoadJSON(strings.NewReader("{"), g, p); err == nil {
+			t.Fatal("accepted malformed JSON")
+		}
+	})
+	t.Run("tampered start", func(t *testing.T) {
+		tampered := strings.Replace(data, `"start": 0`, `"start": -5`, 1)
+		if _, err := LoadJSON(strings.NewReader(tampered), g, p); err == nil {
+			t.Fatal("accepted a tampered start time")
+		}
+	})
+}
+
+func TestScheduleJSONAcceptsIdleGaps(t *testing.T) {
+	// A hand-built schedule with a deliberate idle gap is valid and must
+	// round-trip (the op's replay is left-compacting but the recorded
+	// starts are authoritative).
+	g := taskgraph.Independent(2, 5)
+	p := platform.New(1)
+	s := NewSchedule(g, p)
+	s.Set(0, 0, 0)
+	s.Set(1, 0, 10) // gap [5,10)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Start(1) != 10 {
+		t.Fatalf("gap compacted away: start %d, want 10", back.Start(1))
+	}
+}

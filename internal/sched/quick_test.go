@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// randomPrefix places a random readiness-respecting prefix of the graph.
+func randomPrefix(st *State, rng *rand.Rand, m int) {
+	steps := rng.Intn(st.G.NumTasks())
+	for i := 0; i < steps; i++ {
+		ready := st.ReadyTasks(nil)
+		if len(ready) == 0 {
+			return
+		}
+		st.Place(ready[rng.Intn(len(ready))], platform.Proc(rng.Intn(m)))
+	}
+}
+
+// TestQuickPartialSchedulesAlwaysValid: every reachable partial schedule
+// under the §4.3 operation passes structural validation.
+func TestQuickPartialSchedulesAlwaysValid(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		m := 1 + int(mSel%4)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.New(gen.Defaults(), seed).Graph()
+		st := NewState(g, platform.New(m))
+		randomPrefix(st, rng, m)
+		return st.Snapshot().Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickESTMonotoneUnderPlacement: placing one more task never makes any
+// still-ready task start EARLIER on any processor — the monotonicity that
+// makes the append-only operation's lower bounds admissible.
+func TestQuickESTMonotoneUnderPlacement(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		m := 1 + int(mSel%4)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.New(gen.Defaults(), seed).Graph()
+		st := NewState(g, platform.New(m))
+		randomPrefix(st, rng, m)
+
+		ready := st.ReadyTasks(nil)
+		if len(ready) < 2 {
+			return true
+		}
+		// Record ESTs of all ready tasks, place one, re-check the others.
+		before := make(map[taskgraph.TaskID][]taskgraph.Time)
+		for _, id := range ready {
+			row := make([]taskgraph.Time, m)
+			for q := 0; q < m; q++ {
+				row[q] = st.EST(id, platform.Proc(q))
+			}
+			before[id] = row
+		}
+		placed := ready[rng.Intn(len(ready))]
+		st.Place(placed, platform.Proc(rng.Intn(m)))
+		for _, id := range ready {
+			if id == placed || !st.Ready(id) {
+				continue
+			}
+			for q := 0; q < m; q++ {
+				if st.EST(id, platform.Proc(q)) < before[id][q] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUndoIsExactInverse: a random place/undo walk that ends with as
+// many undos as places restores the empty schedule exactly.
+func TestQuickUndoIsExactInverse(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		m := 1 + int(mSel%3)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.New(gen.Defaults(), seed).Graph()
+		st := NewState(g, platform.New(m))
+		randomPrefix(st, rng, m)
+		for st.Depth() > 0 {
+			st.Undo()
+		}
+		if st.NumPlaced() != 0 || st.Lmax() != taskgraph.MinTime {
+			return false
+		}
+		for q := 0; q < m; q++ {
+			if st.ProcFree(platform.Proc(q)) != 0 {
+				return false
+			}
+		}
+		for id := 0; id < g.NumTasks(); id++ {
+			tid := taskgraph.TaskID(id)
+			if st.Placed(tid) {
+				return false
+			}
+			if (g.InDegree(tid) == 0) != st.Ready(tid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLmaxMatchesSnapshot: the incrementally tracked Lmax always
+// equals the snapshot's recomputed Lmax.
+func TestQuickLmaxMatchesSnapshot(t *testing.T) {
+	f := func(seed int64, mSel uint8) bool {
+		m := 1 + int(mSel%4)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.New(gen.Defaults(), seed).Graph()
+		st := NewState(g, platform.New(m))
+		randomPrefix(st, rng, m)
+		if st.NumPlaced() == 0 {
+			return st.Lmax() == taskgraph.MinTime
+		}
+		return st.Lmax() == st.Snapshot().Lmax()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

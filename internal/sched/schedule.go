@@ -1,0 +1,231 @@
+// Package sched implements the task-scheduling substrate of the paper's
+// §4.3: a non-preemptive, time-driven processor run-time model in which a
+// new task is scheduled on a processor at the earliest possible start time —
+// honouring interprocessor communication costs and the task's arrival time —
+// but no earlier than every task previously scheduled on that processor.
+//
+// The operation is deliberately simple (quadratic overall) and, crucially,
+// NOT commutative: the order in which tasks are placed changes the result.
+// This is why the branch-and-bound layer must consider task orderings, not
+// only task-to-processor assignments.
+//
+// The package provides two views of the same model:
+//
+//   - Schedule: an immutable, complete or partial mapping task → (processor,
+//     start, finish) with structural validation, feasibility and lateness
+//     queries. This is the artifact returned to users.
+//   - State: an incremental scheduling engine with Place/Undo used by the
+//     search layers, able to rebuild itself from a branch-and-bound vertex
+//     chain in O(n).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Placement records where and when one task executes.
+type Placement struct {
+	Task   taskgraph.TaskID `json:"task"`
+	Proc   platform.Proc    `json:"proc"`
+	Start  taskgraph.Time   `json:"start"`
+	Finish taskgraph.Time   `json:"finish"`
+}
+
+// Schedule is a (possibly partial) time-driven non-preemptive multiprocessor
+// schedule: the mapping of each task τ_i to a start time s_i and a processor
+// p_i, executed without preemption in [s_i, f_i = s_i + c_i].
+type Schedule struct {
+	Graph    *taskgraph.Graph
+	Platform platform.Platform
+
+	proc   []platform.Proc
+	start  []taskgraph.Time
+	finish []taskgraph.Time
+	placed int
+}
+
+// NewSchedule returns an empty schedule over the given graph and platform.
+func NewSchedule(g *taskgraph.Graph, p platform.Platform) *Schedule {
+	n := g.NumTasks()
+	s := &Schedule{Graph: g, Platform: p,
+		proc:   make([]platform.Proc, n),
+		start:  make([]taskgraph.Time, n),
+		finish: make([]taskgraph.Time, n),
+	}
+	for i := range s.proc {
+		s.proc[i] = platform.NoProc
+	}
+	return s
+}
+
+// Set records the placement of one task, overwriting any previous placement.
+func (s *Schedule) Set(id taskgraph.TaskID, proc platform.Proc, start taskgraph.Time) {
+	if s.proc[id] == platform.NoProc && proc != platform.NoProc {
+		s.placed++
+	}
+	if s.proc[id] != platform.NoProc && proc == platform.NoProc {
+		s.placed--
+	}
+	s.proc[id] = proc
+	s.start[id] = start
+	s.finish[id] = start + s.Graph.Task(id).Exec
+}
+
+// Placed reports whether the task has been assigned a processor.
+func (s *Schedule) Placed(id taskgraph.TaskID) bool { return s.proc[id] != platform.NoProc }
+
+// NumPlaced returns the number of placed tasks (the schedule's "level" in
+// search-tree terms).
+func (s *Schedule) NumPlaced() int { return s.placed }
+
+// Complete reports whether every task has been placed.
+func (s *Schedule) Complete() bool { return s.placed == s.Graph.NumTasks() }
+
+// Proc returns the processor assigned to the task (NoProc when unplaced).
+func (s *Schedule) Proc(id taskgraph.TaskID) platform.Proc { return s.proc[id] }
+
+// Start returns the start time s_i of a placed task.
+func (s *Schedule) Start(id taskgraph.TaskID) taskgraph.Time { return s.start[id] }
+
+// Finish returns the finish time f_i = s_i + c_i of a placed task.
+func (s *Schedule) Finish(id taskgraph.TaskID) taskgraph.Time { return s.finish[id] }
+
+// Lateness returns f_i − D_i for a placed task: negative when the task
+// completes before its deadline.
+func (s *Schedule) Lateness(id taskgraph.TaskID) taskgraph.Time {
+	return s.finish[id] - s.Graph.Task(id).AbsDeadline()
+}
+
+// Lmax returns the maximum task lateness max{f_i − D_i} over placed tasks.
+// An empty schedule has lateness MinTime (the identity of max).
+func (s *Schedule) Lmax() taskgraph.Time {
+	l := taskgraph.MinTime
+	for id := range s.proc {
+		if s.proc[id] != platform.NoProc {
+			if lat := s.Lateness(taskgraph.TaskID(id)); lat > l {
+				l = lat
+			}
+		}
+	}
+	return l
+}
+
+// Makespan returns the largest finish time over placed tasks (0 if empty).
+func (s *Schedule) Makespan() taskgraph.Time {
+	var m taskgraph.Time
+	for id := range s.proc {
+		if s.proc[id] != platform.NoProc && s.finish[id] > m {
+			m = s.finish[id]
+		}
+	}
+	return m
+}
+
+// Feasible reports whether the schedule is complete and every task meets its
+// deadline (Lmax <= 0), i.e. the task set is schedulable by this schedule.
+func (s *Schedule) Feasible() bool { return s.Complete() && s.Lmax() <= 0 }
+
+// Placements returns all placements sorted by (proc, start), the order used
+// by renderers and by per-processor overlap validation.
+func (s *Schedule) Placements() []Placement {
+	out := make([]Placement, 0, s.placed)
+	for id := range s.proc {
+		if s.proc[id] != platform.NoProc {
+			out = append(out, Placement{
+				Task: taskgraph.TaskID(id), Proc: s.proc[id],
+				Start: s.start[id], Finish: s.finish[id],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// Check verifies the structural validity conditions of §2.2 for the placed
+// portion of the schedule:
+//
+//	(i)   s_i >= a_i for every placed task;
+//	(ii)  all precedence constraints among placed tasks are met, including
+//	      the interprocessor communication delay on cross-processor arcs
+//	      (a placed task may not start before any placed predecessor's
+//	      finish plus the message cost), and no task is placed while one of
+//	      its predecessors is unplaced;
+//	(iii) tasks sharing a processor do not overlap in time.
+//
+// Deadline satisfaction is deliberately NOT part of Check: a schedule with
+// positive lateness is still structurally valid (that is the quantity being
+// minimized); use Feasible or Lmax for deadline queries.
+func (s *Schedule) Check() error {
+	g, p := s.Graph, s.Platform
+	for id := 0; id < g.NumTasks(); id++ {
+		tid := taskgraph.TaskID(id)
+		if s.proc[id] == platform.NoProc {
+			continue
+		}
+		if int(s.proc[id]) >= p.M {
+			return fmt.Errorf("sched: task %d on processor %d, platform has %d", id, s.proc[id], p.M)
+		}
+		t := g.Task(tid)
+		if s.start[id] < t.Arrival() {
+			return fmt.Errorf("sched: task %d starts at %d before its arrival %d", id, s.start[id], t.Arrival())
+		}
+		if s.finish[id] != s.start[id]+t.Exec {
+			return fmt.Errorf("sched: task %d has finish %d != start %d + exec %d", id, s.finish[id], s.start[id], t.Exec)
+		}
+		for _, pred := range g.Preds(tid) {
+			if s.proc[pred] == platform.NoProc {
+				return fmt.Errorf("sched: task %d placed before its predecessor %d", id, pred)
+			}
+			ready := s.finish[pred] + p.CommCost(s.proc[pred], s.proc[id], g.MessageSize(pred, tid))
+			if s.start[id] < ready {
+				return fmt.Errorf("sched: task %d starts at %d before data from %d is available at %d",
+					id, s.start[id], pred, ready)
+			}
+		}
+	}
+	// Per-processor non-overlap.
+	pl := s.Placements()
+	for i := 1; i < len(pl); i++ {
+		if pl[i].Proc == pl[i-1].Proc && pl[i].Start < pl[i-1].Finish {
+			return fmt.Errorf("sched: tasks %d and %d overlap on processor %d ([%d,%d) vs [%d,%d))",
+				pl[i-1].Task, pl[i].Task, pl[i].Proc,
+				pl[i-1].Start, pl[i-1].Finish, pl[i].Start, pl[i].Finish)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the schedule (sharing the immutable
+// graph and platform).
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{Graph: s.Graph, Platform: s.Platform, placed: s.placed}
+	c.proc = append([]platform.Proc(nil), s.proc...)
+	c.start = append([]taskgraph.Time(nil), s.start...)
+	c.finish = append([]taskgraph.Time(nil), s.finish...)
+	return c
+}
+
+// String renders a compact one-line-per-task summary, in placement order.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule (%d/%d placed, Lmax=%d):\n", s.placed, s.Graph.NumTasks(), s.Lmax())
+	for _, pl := range s.Placements() {
+		t := s.Graph.Task(pl.Task)
+		fmt.Fprintf(&b, "  p%d [%4d,%4d) %-8s lateness=%d\n",
+			pl.Proc, pl.Start, pl.Finish, t.String(), pl.Finish-t.AbsDeadline())
+	}
+	return b.String()
+}

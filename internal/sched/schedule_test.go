@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestScheduleSetAndAccessors(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := NewSchedule(g, platform.New(2))
+	if s.Complete() || s.NumPlaced() != 0 {
+		t.Fatal("fresh schedule is not empty")
+	}
+	s.Set(0, 1, 5)
+	if !s.Placed(0) || s.Proc(0) != 1 || s.Start(0) != 5 || s.Finish(0) != 7 {
+		t.Fatalf("placement wrong: proc=%d start=%d finish=%d", s.Proc(0), s.Start(0), s.Finish(0))
+	}
+	if s.NumPlaced() != 1 {
+		t.Fatalf("NumPlaced = %d", s.NumPlaced())
+	}
+	// Overwrite does not double-count.
+	s.Set(0, 0, 3)
+	if s.NumPlaced() != 1 || s.Start(0) != 3 {
+		t.Fatalf("overwrite wrong: placed=%d start=%d", s.NumPlaced(), s.Start(0))
+	}
+	// Unplace decrements.
+	s.Set(0, platform.NoProc, 0)
+	if s.NumPlaced() != 0 || s.Placed(0) {
+		t.Fatal("unplace did not revert count")
+	}
+}
+
+func TestScheduleLatenessAndLmax(t *testing.T) {
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 10})
+	b := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 6})
+	s := NewSchedule(g, platform.New(1))
+	if s.Lmax() != taskgraph.MinTime {
+		t.Fatalf("empty Lmax = %d", s.Lmax())
+	}
+	s.Set(a, 0, 0) // finish 4, D=10 → lateness −6
+	s.Set(b, 0, 4) // finish 8, D=6 → lateness +2
+	if got := s.Lateness(a); got != -6 {
+		t.Fatalf("lateness(a) = %d, want -6", got)
+	}
+	if got := s.Lateness(b); got != 2 {
+		t.Fatalf("lateness(b) = %d, want 2", got)
+	}
+	if got := s.Lmax(); got != 2 {
+		t.Fatalf("Lmax = %d, want 2", got)
+	}
+	if s.Feasible() {
+		t.Fatal("schedule with positive lateness reported feasible")
+	}
+	if got := s.Makespan(); got != 8 {
+		t.Fatalf("makespan = %d, want 8", got)
+	}
+}
+
+func TestCheckAcceptsValidSchedule(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+	st := NewState(g, p)
+	st.Place(0, 0)
+	st.Place(2, 0) // c on same proc: starts at finish(a)=2
+	st.Place(1, 1) // b cross-proc: comm 1 → starts at 3
+	st.Place(3, 0)
+	s := st.Snapshot()
+	if err := s.Check(); err != nil {
+		t.Fatalf("valid schedule rejected: %v\n%s", err, s)
+	}
+	if !s.Complete() {
+		t.Fatal("schedule not complete")
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+
+	mk := func() *Schedule { return NewSchedule(g, p) }
+
+	t.Run("arrival", func(t *testing.T) {
+		g2 := g.Clone()
+		g2.TaskPtr(0).Phase = 5
+		s := NewSchedule(g2, p)
+		s.Set(0, 0, 2)
+		if err := s.Check(); err == nil || !strings.Contains(err.Error(), "arrival") {
+			t.Fatalf("want arrival violation, got %v", err)
+		}
+	})
+	t.Run("precedence order", func(t *testing.T) {
+		s := mk()
+		s.Set(1, 0, 0) // b placed, predecessor a unplaced
+		if err := s.Check(); err == nil || !strings.Contains(err.Error(), "predecessor") {
+			t.Fatalf("want predecessor violation, got %v", err)
+		}
+	})
+	t.Run("communication delay", func(t *testing.T) {
+		s := mk()
+		s.Set(0, 0, 0) // a: [0,2) on p0
+		s.Set(1, 1, 2) // b on p1 at 2: message (size 1) arrives at 3
+		if err := s.Check(); err == nil || !strings.Contains(err.Error(), "data") {
+			t.Fatalf("want comm violation, got %v", err)
+		}
+		s.Set(1, 1, 3) // fixed
+		if err := s.Check(); err != nil {
+			t.Fatalf("fixed schedule rejected: %v", err)
+		}
+	})
+	t.Run("overlap", func(t *testing.T) {
+		ind := taskgraph.Independent(2, 5)
+		s := NewSchedule(ind, p)
+		s.Set(0, 0, 0) // [0,5)
+		s.Set(1, 0, 3) // [3,8) overlaps on p0
+		if err := s.Check(); err == nil || !strings.Contains(err.Error(), "overlap") {
+			t.Fatalf("want overlap violation, got %v", err)
+		}
+	})
+	t.Run("processor out of range", func(t *testing.T) {
+		s := mk()
+		s.Set(0, 5, 0)
+		if err := s.Check(); err == nil || !strings.Contains(err.Error(), "platform has") {
+			t.Fatalf("want range violation, got %v", err)
+		}
+	})
+}
+
+func TestPlacementsSorted(t *testing.T) {
+	g := taskgraph.Independent(4, 3)
+	s := NewSchedule(g, platform.New(2))
+	s.Set(3, 1, 0)
+	s.Set(1, 0, 3)
+	s.Set(0, 0, 0)
+	s.Set(2, 1, 3)
+	pl := s.Placements()
+	want := []taskgraph.TaskID{0, 1, 3, 2}
+	for i, p := range pl {
+		if p.Task != want[i] {
+			t.Fatalf("placement order %v, want tasks %v", pl, want)
+		}
+	}
+}
+
+func TestScheduleCloneIndependent(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := NewSchedule(g, platform.New(2))
+	s.Set(0, 0, 0)
+	c := s.Clone()
+	c.Set(1, 1, 3)
+	if s.Placed(1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !c.Placed(0) {
+		t.Fatal("clone lost existing placement")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	g := taskgraph.Diamond()
+	st := NewState(g, platform.New(2))
+	st.Place(0, 0)
+	out := st.Snapshot().String()
+	if !strings.Contains(out, "1/4 placed") || !strings.Contains(out, "p0") {
+		t.Fatalf("String output unexpected:\n%s", out)
+	}
+}

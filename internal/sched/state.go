@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// State is the incremental engine for the paper's §4.3 scheduling operation.
+// It maintains, for a partial schedule, everything the search layers need in
+// O(1)-amortized per query: per-task placements, per-processor frontier
+// times, per-task unscheduled-predecessor counts (readiness), and the
+// running maximum lateness.
+//
+// Place appends one task to one processor's queue at its earliest start
+// time; Undo reverts the most recent Place. The Place/Undo pair makes State
+// suitable both for depth-first searches (recursion with undo) and for
+// rebuilding the state of an arbitrary search-tree vertex from its ancestor
+// chain (Reset + replay).
+//
+// A State is not safe for concurrent use; parallel searches give each
+// worker its own State.
+type State struct {
+	G *taskgraph.Graph
+	P platform.Platform
+
+	proc     []platform.Proc
+	start    []taskgraph.Time
+	finish   []taskgraph.Time
+	procFree []taskgraph.Time // finish time of the last task on each processor
+	remPreds []int32          // unplaced direct predecessors per task
+	lmax     taskgraph.Time   // max lateness over placed tasks
+	placed   int
+
+	// trail records the information needed to revert each Place.
+	trail []trailEntry
+}
+
+type trailEntry struct {
+	task         taskgraph.TaskID
+	proc         platform.Proc
+	prevProcFree taskgraph.Time
+	prevLmax     taskgraph.Time
+}
+
+// NewState returns a fresh State for the graph and platform. The graph must
+// be validated (acyclic) beforehand; NewState panics otherwise, since every
+// search layer depends on a consistent readiness relation.
+func NewState(g *taskgraph.Graph, p platform.Platform) *State {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		panic(err)
+	}
+	n := g.NumTasks()
+	s := &State{
+		G: g, P: p,
+		proc:     make([]platform.Proc, n),
+		start:    make([]taskgraph.Time, n),
+		finish:   make([]taskgraph.Time, n),
+		procFree: make([]taskgraph.Time, p.M),
+		remPreds: make([]int32, n),
+		trail:    make([]trailEntry, 0, n),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset returns the state to the empty schedule.
+func (s *State) Reset() {
+	for i := range s.proc {
+		s.proc[i] = platform.NoProc
+		s.remPreds[i] = int32(s.G.InDegree(taskgraph.TaskID(i)))
+	}
+	for q := range s.procFree {
+		s.procFree[q] = 0
+	}
+	s.lmax = taskgraph.MinTime
+	s.placed = 0
+	s.trail = s.trail[:0]
+}
+
+// NumPlaced returns the number of placed tasks (the vertex level).
+func (s *State) NumPlaced() int { return s.placed }
+
+// Placed reports whether the task has been scheduled.
+func (s *State) Placed(id taskgraph.TaskID) bool { return s.proc[id] != platform.NoProc }
+
+// Proc returns the processor of a placed task, NoProc otherwise.
+func (s *State) Proc(id taskgraph.TaskID) platform.Proc { return s.proc[id] }
+
+// Start returns the start time of a placed task.
+func (s *State) Start(id taskgraph.TaskID) taskgraph.Time { return s.start[id] }
+
+// Finish returns the finish time of a placed task.
+func (s *State) Finish(id taskgraph.TaskID) taskgraph.Time { return s.finish[id] }
+
+// Lmax returns the maximum lateness over placed tasks (MinTime when empty).
+func (s *State) Lmax() taskgraph.Time { return s.lmax }
+
+// ProcFree returns the earliest time processor q can accept a new task: the
+// finish time of the last task appended to it.
+func (s *State) ProcFree(q platform.Proc) taskgraph.Time { return s.procFree[q] }
+
+// EarliestProcFree returns ℓ_min: the earliest time at which a new task can
+// be scheduled on ANY processor. This is the adaptive term of the
+// contention-aware lower bound LB1.
+func (s *State) EarliestProcFree() taskgraph.Time {
+	min := s.procFree[0]
+	for _, f := range s.procFree[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// Ready reports whether the task is ready: unplaced with every direct
+// predecessor placed.
+func (s *State) Ready(id taskgraph.TaskID) bool {
+	return s.proc[id] == platform.NoProc && s.remPreds[id] == 0
+}
+
+// ReadyTasks appends all ready tasks to buf (in ID order) and returns it.
+// Pass a reused buffer to avoid allocation in search loops.
+func (s *State) ReadyTasks(buf []taskgraph.TaskID) []taskgraph.TaskID {
+	for id := 0; id < s.G.NumTasks(); id++ {
+		if s.Ready(taskgraph.TaskID(id)) {
+			buf = append(buf, taskgraph.TaskID(id))
+		}
+	}
+	return buf
+}
+
+// EST returns the earliest start time of a ready task on processor q per
+// the §4.3 operation:
+//
+//	max( a_i,
+//	     max over placed preds j of f_j + comm(p_j, q, m_{j,i}),
+//	     procFree[q] )
+//
+// EST does not verify readiness; calling it for a task with unplaced
+// predecessors silently ignores them and is a caller bug. The search layers
+// only call it on ready tasks.
+func (s *State) EST(id taskgraph.TaskID, q platform.Proc) taskgraph.Time {
+	t := s.G.Task(id)
+	est := t.Arrival()
+	for _, pred := range s.G.Preds(id) {
+		ready := s.finish[pred] + s.P.CommCost(s.proc[pred], q, s.G.MessageSize(pred, id))
+		if ready > est {
+			est = ready
+		}
+	}
+	if s.procFree[q] > est {
+		est = s.procFree[q]
+	}
+	return est
+}
+
+// Place schedules a ready task on processor q at its earliest start time and
+// returns the placement. It panics when the task is not ready or q is out
+// of range — both indicate search-layer bugs that must not be masked.
+func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
+	if !s.Ready(id) {
+		panic(fmt.Sprintf("sched: Place(%d) on non-ready task (placed=%v, remPreds=%d)",
+			id, s.Placed(id), s.remPreds[id]))
+	}
+	if q < 0 || int(q) >= s.P.M {
+		panic(fmt.Sprintf("sched: Place(%d) on invalid processor %d", id, q))
+	}
+	start := s.EST(id, q)
+	finish := start + s.G.Task(id).Exec
+
+	s.trail = append(s.trail, trailEntry{
+		task: id, proc: q, prevProcFree: s.procFree[q], prevLmax: s.lmax,
+	})
+
+	s.proc[id] = q
+	s.start[id] = start
+	s.finish[id] = finish
+	s.procFree[q] = finish
+	s.placed++
+	for _, succ := range s.G.Succs(id) {
+		s.remPreds[succ]--
+	}
+	if lat := finish - s.G.Task(id).AbsDeadline(); lat > s.lmax {
+		s.lmax = lat
+	}
+	return Placement{Task: id, Proc: q, Start: start, Finish: finish}
+}
+
+// Undo reverts the most recent Place. It panics on an empty trail.
+func (s *State) Undo() {
+	last := s.trail[len(s.trail)-1]
+	s.trail = s.trail[:len(s.trail)-1]
+
+	s.proc[last.task] = platform.NoProc
+	s.procFree[last.proc] = last.prevProcFree
+	s.lmax = last.prevLmax
+	s.placed--
+	for _, succ := range s.G.Succs(last.task) {
+		s.remPreds[succ]++
+	}
+}
+
+// Depth returns the number of Places currently on the trail (== NumPlaced
+// unless the caller mixed Reset styles).
+func (s *State) Depth() int { return len(s.trail) }
+
+// Snapshot copies the current partial schedule into a standalone Schedule.
+func (s *State) Snapshot() *Schedule {
+	out := NewSchedule(s.G, s.P)
+	for id := 0; id < s.G.NumTasks(); id++ {
+		if s.proc[id] != platform.NoProc {
+			out.Set(taskgraph.TaskID(id), s.proc[id], s.start[id])
+		}
+	}
+	return out
+}
+
+// Placements returns the placement sequence in the order it was performed
+// (the trail order), suitable for Replay on a fresh state. The result is
+// freshly allocated.
+func (s *State) Placements() []Placement {
+	out := make([]Placement, len(s.trail))
+	for i, e := range s.trail {
+		out[i] = Placement{Task: e.task, Proc: e.proc, Start: s.start[e.task], Finish: s.finish[e.task]}
+	}
+	return out
+}
+
+// Replay resets the state and re-applies the given placements in order,
+// asserting that each task is placed at exactly the recorded start time.
+// This is how branch-and-bound vertices (which store only their own
+// placement plus a parent pointer) are materialized, and doubles as an
+// internal consistency check: a replay mismatch means the placement sequence
+// was produced under a different graph, platform, or operation.
+func (s *State) Replay(seq []Placement) error {
+	s.Reset()
+	for _, pl := range seq {
+		got := s.Place(pl.Task, pl.Proc)
+		if got.Start != pl.Start || got.Finish != pl.Finish {
+			return fmt.Errorf("sched: replay mismatch for task %d on p%d: recorded [%d,%d), operation yields [%d,%d)",
+				pl.Task, pl.Proc, pl.Start, pl.Finish, got.Start, got.Finish)
+		}
+	}
+	return nil
+}

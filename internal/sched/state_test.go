@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func TestStateReadiness(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := NewState(g, platform.New(2))
+	if !s.Ready(0) || s.Ready(1) || s.Ready(2) || s.Ready(3) {
+		t.Fatal("initial readiness wrong")
+	}
+	if got := s.ReadyTasks(nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ReadyTasks = %v", got)
+	}
+	s.Place(0, 0)
+	if !s.Ready(1) || !s.Ready(2) || s.Ready(3) || s.Ready(0) {
+		t.Fatal("readiness after placing a wrong")
+	}
+	s.Place(1, 0)
+	s.Place(2, 1)
+	if !s.Ready(3) {
+		t.Fatal("d not ready after both predecessors placed")
+	}
+}
+
+func TestStateESTSemantics(t *testing.T) {
+	// Diamond: a(2) → b(3), c(5) → d(2); unit messages; shared bus delay 1.
+	g := taskgraph.Diamond()
+	s := NewState(g, platform.New(2))
+	s.Place(0, 0) // a: [0,2) on p0
+
+	// Same processor: no comm cost, but append-only after a.
+	if got := s.EST(1, 0); got != 2 {
+		t.Fatalf("EST(b,p0) = %d, want 2", got)
+	}
+	// Other processor: comm cost 1 (msg size 1 × delay 1).
+	if got := s.EST(1, 1); got != 3 {
+		t.Fatalf("EST(b,p1) = %d, want 3", got)
+	}
+
+	s.Place(2, 0) // c: [2,7) on p0
+	// Append-only: even though b's data would be ready at 2 on p0, the
+	// processor is busy until 7.
+	if got := s.EST(1, 0); got != 7 {
+		t.Fatalf("EST(b,p0) after c = %d, want 7 (append-only)", got)
+	}
+
+	s.Place(1, 1) // b: [3,6) on p1
+	// d on p0: needs c (same proc, ready 7) and b (cross, 6+1=7), procFree 7.
+	if got := s.EST(3, 0); got != 7 {
+		t.Fatalf("EST(d,p0) = %d, want 7", got)
+	}
+	// d on p1: needs c cross (7+1=8), b same (6), procFree 6 → 8.
+	if got := s.EST(3, 1); got != 8 {
+		t.Fatalf("EST(d,p1) = %d, want 8", got)
+	}
+}
+
+func TestStateESTHonoursArrival(t *testing.T) {
+	g := taskgraph.New(1)
+	a := g.AddTask(taskgraph.Task{Exec: 3, Phase: 10, Deadline: 20})
+	s := NewState(g, platform.New(1))
+	if got := s.EST(a, 0); got != 10 {
+		t.Fatalf("EST = %d, want arrival 10", got)
+	}
+	pl := s.Place(a, 0)
+	if pl.Start != 10 || pl.Finish != 13 {
+		t.Fatalf("placement = %+v", pl)
+	}
+}
+
+func TestStateLmaxTracking(t *testing.T) {
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 10})
+	b := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 5})
+	s := NewState(g, platform.New(1))
+	if s.Lmax() != taskgraph.MinTime {
+		t.Fatal("empty state Lmax not MinTime")
+	}
+	s.Place(a, 0) // [0,4), D=10 → −6
+	if s.Lmax() != -6 {
+		t.Fatalf("Lmax = %d, want -6", s.Lmax())
+	}
+	s.Place(b, 0) // [4,8), D=5 → +3
+	if s.Lmax() != 3 {
+		t.Fatalf("Lmax = %d, want 3", s.Lmax())
+	}
+	s.Undo()
+	if s.Lmax() != -6 {
+		t.Fatalf("Lmax after undo = %d, want -6", s.Lmax())
+	}
+}
+
+func TestStateEarliestProcFree(t *testing.T) {
+	g := taskgraph.Independent(3, 5)
+	s := NewState(g, platform.New(3))
+	if s.EarliestProcFree() != 0 {
+		t.Fatal("initial ℓ_min != 0")
+	}
+	s.Place(0, 0)
+	s.Place(1, 1)
+	if got := s.EarliestProcFree(); got != 0 {
+		t.Fatalf("ℓ_min = %d, want 0 (p2 idle)", got)
+	}
+	s.Place(2, 2)
+	if got := s.EarliestProcFree(); got != 5 {
+		t.Fatalf("ℓ_min = %d, want 5", got)
+	}
+}
+
+func TestStatePlacePanicsOnNonReady(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := NewState(g, platform.New(2))
+	mustPanic(t, "non-ready task", func() { s.Place(3, 0) })
+	s.Place(0, 0)
+	mustPanic(t, "already placed", func() { s.Place(0, 0) })
+	mustPanic(t, "bad processor", func() { s.Place(1, 9) })
+}
+
+func TestNewStatePanicsOnBadInputs(t *testing.T) {
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(taskgraph.Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0) // cycle
+	mustPanic(t, "cyclic graph", func() { NewState(g, platform.New(1)) })
+	mustPanic(t, "bad platform", func() { NewState(taskgraph.Diamond(), platform.Platform{M: 0}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestStateUndoRestoresExactly(t *testing.T) {
+	g := taskgraph.LadderGraph(3, 4, 2)
+	p := platform.New(2)
+	s := NewState(g, p)
+
+	s.Place(0, 0)
+	before := s.Snapshot()
+	lmax, free0, free1 := s.Lmax(), s.ProcFree(0), s.ProcFree(1)
+
+	s.Place(1, 1)
+	s.Undo()
+
+	after := s.Snapshot()
+	if s.Lmax() != lmax || s.ProcFree(0) != free0 || s.ProcFree(1) != free1 {
+		t.Fatal("undo did not restore scalar state")
+	}
+	if before.String() != after.String() {
+		t.Fatalf("undo did not restore placements:\n%s\nvs\n%s", before, after)
+	}
+	if !s.Ready(1) {
+		t.Fatal("undone task not ready again")
+	}
+}
+
+// TestStateRandomPlaceUndoConsistency drives the state through random
+// place/undo walks and cross-checks every intermediate state against a
+// from-scratch replay — the central soundness property the branch-and-bound
+// vertex reconstruction depends on.
+func TestStateRandomPlaceUndoConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	graphs := []*taskgraph.Graph{
+		taskgraph.Diamond(),
+		taskgraph.ForkJoin(4, 3, 2),
+		taskgraph.LadderGraph(4, 2, 1),
+		taskgraph.Independent(5, 3),
+	}
+	for gi, g := range graphs {
+		p := platform.New(1 + gi%3)
+		s := NewState(g, p)
+		var seq []Placement
+		for step := 0; step < 400; step++ {
+			ready := s.ReadyTasks(nil)
+			doUndo := len(seq) > 0 && (len(ready) == 0 || rng.Intn(3) == 0)
+			if doUndo {
+				s.Undo()
+				seq = seq[:len(seq)-1]
+			} else if len(ready) > 0 {
+				id := ready[rng.Intn(len(ready))]
+				q := platform.Proc(rng.Intn(p.M))
+				seq = append(seq, s.Place(id, q))
+			}
+			// Cross-check against a from-scratch replay.
+			fresh := NewState(g, p)
+			if err := fresh.Replay(seq); err != nil {
+				t.Fatalf("graph %d step %d: %v", gi, step, err)
+			}
+			if fresh.Lmax() != s.Lmax() || fresh.NumPlaced() != s.NumPlaced() {
+				t.Fatalf("graph %d step %d: incremental (Lmax=%d, n=%d) != replay (Lmax=%d, n=%d)",
+					gi, step, s.Lmax(), s.NumPlaced(), fresh.Lmax(), fresh.NumPlaced())
+			}
+			for q := 0; q < p.M; q++ {
+				if fresh.ProcFree(platform.Proc(q)) != s.ProcFree(platform.Proc(q)) {
+					t.Fatalf("graph %d step %d: procFree[%d] mismatch", gi, step, q)
+				}
+			}
+			if err := s.Snapshot().Check(); err != nil {
+				t.Fatalf("graph %d step %d: invalid partial schedule: %v", gi, step, err)
+			}
+		}
+	}
+}
+
+func TestReplayDetectsForeignSequence(t *testing.T) {
+	g := taskgraph.Diamond()
+	s := NewState(g, platform.New(2))
+	// A sequence recorded under a different operation (wrong start time).
+	seq := []Placement{{Task: 0, Proc: 0, Start: 5, Finish: 7}}
+	if err := s.Replay(seq); err == nil {
+		t.Fatal("replay accepted a mismatching sequence")
+	}
+}
+
+func TestStateSnapshotMatchesState(t *testing.T) {
+	g := taskgraph.ForkJoin(3, 4, 1)
+	s := NewState(g, platform.New(2))
+	s.Place(0, 0)
+	s.Place(1, 1)
+	s.Place(2, 0)
+	snap := s.Snapshot()
+	if snap.NumPlaced() != 3 {
+		t.Fatalf("snapshot placed = %d", snap.NumPlaced())
+	}
+	for _, id := range []taskgraph.TaskID{0, 1, 2} {
+		if snap.Proc(id) != s.Proc(id) || snap.Start(id) != s.Start(id) || snap.Finish(id) != s.Finish(id) {
+			t.Fatalf("snapshot disagrees on task %d", id)
+		}
+	}
+	if snap.Lmax() != s.Lmax() {
+		t.Fatalf("snapshot Lmax %d != state Lmax %d", snap.Lmax(), s.Lmax())
+	}
+	// Snapshot is detached: further Places don't affect it.
+	s.Place(3, 1)
+	if snap.Placed(3) {
+		t.Fatal("snapshot tracks live state")
+	}
+}
+
+// TestAppendOnlyNonCommutative documents the paper's observation that the
+// §4.3 operation is NOT commutative: scheduling the same task set in a
+// different order yields a different schedule.
+func TestAppendOnlyNonCommutative(t *testing.T) {
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 2, Phase: 0, Deadline: 50})
+	b := g.AddTask(taskgraph.Task{Exec: 2, Phase: 10, Deadline: 50})
+	p := platform.New(1)
+
+	s1 := NewState(g, p)
+	s1.Place(a, 0) // [0,2)
+	s1.Place(b, 0) // [10,12)
+	order1 := []taskgraph.Time{s1.Start(a), s1.Start(b)}
+
+	s2 := NewState(g, p)
+	s2.Place(b, 0) // [10,12)
+	s2.Place(a, 0) // append-only: a starts at 12, not 0!
+	order2 := []taskgraph.Time{s2.Start(a), s2.Start(b)}
+
+	if order1[0] == order2[0] {
+		t.Fatalf("operation appears commutative: a starts at %d both ways", order1[0])
+	}
+	if order2[0] != 12 {
+		t.Fatalf("append-only semantics violated: a starts at %d, want 12", order2[0])
+	}
+}
+
+func BenchmarkStatePlaceUndo(b *testing.B) {
+	g := taskgraph.LadderGraph(8, 5, 2)
+	p := platform.New(4)
+	s := NewState(g, p)
+	order, _ := g.TopoOrder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, id := range order {
+			s.Place(id, platform.Proc(j%p.M))
+		}
+		for range order {
+			s.Undo()
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/edf"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+func TestRunRejectsBadSchedules(t *testing.T) {
+	g := taskgraph.Diamond()
+	p := platform.New(2)
+	incomplete := sched.NewSchedule(g, p)
+	if _, err := Run(incomplete); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+
+	invalid := sched.NewSchedule(g, p)
+	invalid.Set(0, 0, 0)
+	invalid.Set(1, 0, 0) // overlaps task 0 and starts before data ready
+	invalid.Set(2, 1, 2)
+	invalid.Set(3, 1, 7)
+	if _, err := Run(invalid); err == nil {
+		t.Fatal("statically invalid schedule accepted")
+	}
+}
+
+func TestRunCleanOnColocatedSchedule(t *testing.T) {
+	// Everything on one processor: no messages, no bus, no violations.
+	g := taskgraph.Diamond()
+	st := sched.NewState(g, platform.New(2))
+	st.Place(0, 0)
+	st.Place(1, 0)
+	st.Place(2, 0)
+	st.Place(3, 0)
+	rep, err := Run(st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on a co-located schedule: %v", rep.Violations)
+	}
+	if len(rep.Messages) != 0 || rep.BusBusy != 0 {
+		t.Fatalf("bus used without cross-processor arcs: %+v", rep.Messages)
+	}
+	if rep.Procs[0].Busy != g.TotalWork() {
+		t.Fatalf("p0 busy %d, want %d", rep.Procs[0].Busy, g.TotalWork())
+	}
+	if rep.Procs[1].Busy != 0 || rep.Procs[1].Utilization != 0 {
+		t.Fatal("idle processor accounted busy time")
+	}
+}
+
+func TestRunSingleMessageMatchesNominal(t *testing.T) {
+	// One cross-processor message with nothing to contend with: the
+	// simulated delivery must equal the nominal budget exactly.
+	g := taskgraph.Chain(2, 5, 4)
+	st := sched.NewState(g, platform.New(2))
+	st.Place(0, 0)
+	st.Place(1, 1) // starts at 5+4=9 per the nominal model
+	rep, err := Run(st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.Messages) != 1 {
+		t.Fatalf("%d messages, want 1", len(rep.Messages))
+	}
+	m := rep.Messages[0]
+	if m.BusStart != 5 || m.BusFinish != 9 || m.NominalDue != 9 {
+		t.Fatalf("message timing %+v", m)
+	}
+	if rep.BusBusy != 4 {
+		t.Fatalf("bus busy %d, want 4", rep.BusBusy)
+	}
+}
+
+func TestRunDetectsBusContention(t *testing.T) {
+	// Two producers finish simultaneously on different processors and both
+	// ship to a third: the serializing bus must delay the second message
+	// past its nominal budget, and the report must say so.
+	g := taskgraph.New(3)
+	a := g.AddTask(taskgraph.Task{Name: "a", Exec: 5, Deadline: 100})
+	b := g.AddTask(taskgraph.Task{Name: "b", Exec: 5, Deadline: 100})
+	c := g.AddTask(taskgraph.Task{Name: "c", Exec: 5, Deadline: 100})
+	g.MustAddEdge(a, c, 4)
+	g.MustAddEdge(b, c, 4)
+
+	st := sched.NewState(g, platform.New(3))
+	st.Place(a, 0) // [0,5)
+	st.Place(b, 1) // [0,5)
+	st.Place(c, 2) // nominal: data ready at 9, starts at 9
+	rep, err := Run(st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("simultaneous transfers on a serializing bus reported clean")
+	}
+	// The second message is delayed to 13 (> nominal 9) and c starts at 9
+	// before it arrives: both violation kinds must be present.
+	var hasBus, hasStart bool
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "nominal budget") {
+			hasBus = true
+		}
+		if strings.Contains(v, "before its input") {
+			hasStart = true
+		}
+	}
+	if !hasBus || !hasStart {
+		t.Fatalf("expected both violation kinds, got %v", rep.Violations)
+	}
+}
+
+func TestRunOnSolverOutput(t *testing.T) {
+	// Simulate optimal schedules of random workloads; count how often the
+	// single-channel serializing bus upholds the nominal model. No
+	// assertion on the rate (it is workload-dependent) — but the report
+	// must be internally consistent every time.
+	gg := gen.New(gen.Defaults(), 31)
+	for i := 0; i < 20; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Solve(g, platform.New(3), core.Params{
+			Branching: core.BranchBF1, // fast approximate is fine here
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(res.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Makespan != res.Schedule.Makespan() || rep.Lmax != res.Cost {
+			t.Fatalf("graph %d: report aggregates disagree with schedule", i)
+		}
+		var busy taskgraph.Time
+		for _, ps := range rep.Procs {
+			busy += ps.Busy
+		}
+		if busy != g.TotalWork() {
+			t.Fatalf("graph %d: busy %d != total work %d", i, busy, g.TotalWork())
+		}
+		// Messages are served in a valid serialized order.
+		for j := 1; j < len(rep.Messages); j++ {
+			if rep.Messages[j].BusStart < rep.Messages[j-1].BusFinish {
+				t.Fatalf("graph %d: overlapping bus transfers", i)
+			}
+		}
+		for _, m := range rep.Messages {
+			if m.BusStart < m.Ready {
+				t.Fatalf("graph %d: message on bus before production", i)
+			}
+		}
+	}
+}
+
+func TestRunEDFSchedules(t *testing.T) {
+	gg := gen.New(gen.Defaults(), 57)
+	for i := 0; i < 10; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		res, err := edf.Schedule(g, platform.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(res.Schedule); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := taskgraph.Chain(2, 5, 4)
+	st := sched.NewState(g, platform.New(2))
+	st.Place(0, 0)
+	st.Place(1, 1)
+	rep, err := Run(st.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Summary()
+	for _, want := range []string{"makespan=14", "p0:", "p1:", "no violations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

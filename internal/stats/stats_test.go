@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestSampleSummaries(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	approx(t, "Mean", s.Mean(), 5, 1e-12)
+	approx(t, "Variance", s.Variance(), 32.0/7.0, 1e-12)
+	approx(t, "StdDev", s.StdDev(), math.Sqrt(32.0/7.0), 1e-12)
+	approx(t, "Min", s.Min(), 2, 0)
+	approx(t, "Max", s.Max(), 9, 0)
+	approx(t, "Median", s.Median(), 4.5, 1e-12)
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("empty sample summaries not zero")
+	}
+	if !math.IsInf(s.CI(0.9), 1) {
+		t.Fatal("CI of empty sample not +Inf")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty Min/Max sentinels wrong")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.AddInt(42)
+	approx(t, "Mean", s.Mean(), 42, 0)
+	if s.Variance() != 0 {
+		t.Fatal("variance of single observation not 0")
+	}
+	if !math.IsInf(s.CI(0.95), 1) {
+		t.Fatal("CI with n=1 must be +Inf")
+	}
+	if s.WithinRelativeError(0.95, 0.1, 1e-9) {
+		t.Fatal("n=1 cannot satisfy a confidence stop rule")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{10, 20, 30, 40} {
+		s.Add(x)
+	}
+	approx(t, "q0", s.Quantile(0), 10, 0)
+	approx(t, "q1", s.Quantile(1), 40, 0)
+	approx(t, "q1/3", s.Quantile(1.0/3.0), 20, 1e-9)
+	approx(t, "q0.5", s.Quantile(0.5), 25, 1e-9)
+}
+
+func TestGeoMean(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(100)
+	approx(t, "GeoMean", s.GeoMean(), 10, 1e-9)
+	s.Add(-1)
+	if !math.IsNaN(s.GeoMean()) {
+		t.Fatal("GeoMean of non-positive data must be NaN")
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 0.9998, // ≈1
+		0.975:  1.959964,
+		0.95:   1.644854,
+		0.995:  2.575829,
+		0.05:   -1.644854,
+	}
+	for p, want := range cases {
+		approx(t, "NormalQuantile", NormalQuantile(p), want, 5e-4)
+	}
+	if !math.IsNaN(NormalQuantile(0)) || !math.IsNaN(NormalQuantile(1)) {
+		t.Fatal("quantile at 0/1 must be NaN")
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(u float64) bool {
+		p := 0.001 + 0.998*math.Abs(math.Mod(u, 1))
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTKnownValues(t *testing.T) {
+	// Reference values from standard t-tables.
+	cases := []struct {
+		p, nu, want float64
+	}{
+		{0.95, 5, 2.015},
+		{0.975, 5, 2.571},
+		{0.95, 10, 1.812},
+		{0.975, 10, 2.228},
+		{0.95, 30, 1.697},
+		{0.975, 30, 2.042},
+		{0.95, 100, 1.660},
+	}
+	for _, c := range cases {
+		approx(t, "StudentT", StudentTQuantile(c.p, c.nu), c.want, 6e-3)
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	for _, p := range []float64{0.9, 0.95, 0.975, 0.995} {
+		tq := StudentTQuantile(p, 1e6)
+		approx(t, "t(ν→∞)", tq, NormalQuantile(p), 1e-4)
+	}
+}
+
+func TestCICoverageMonteCarlo(t *testing.T) {
+	// Draw many size-20 normal samples; the 90% t-interval must cover the
+	// true mean ≈90% of the time. 3000 trials → stderr ≈ 0.55%, use ±2.5%.
+	rng := rand.New(rand.NewSource(1))
+	const trials = 3000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var s Sample
+		for j := 0; j < 20; j++ {
+			s.Add(5 + 2*rng.NormFloat64())
+		}
+		mean, half := s.MeanCI(0.90)
+		if math.Abs(mean-5) <= half {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.875 || rate > 0.925 {
+		t.Fatalf("90%% CI covered %.1f%% of the time", rate*100)
+	}
+}
+
+func TestWithinRelativeError(t *testing.T) {
+	var s Sample
+	// Tight sample around 100: should converge quickly at 10%.
+	for i := 0; i < 10; i++ {
+		s.Add(100 + float64(i%3))
+	}
+	if !s.WithinRelativeError(0.90, 0.10, 1e-9) {
+		t.Fatal("tight sample not within 10% at 90%")
+	}
+	if s.WithinRelativeError(0.999, 0.0001, 1e-9) {
+		t.Fatal("tight sample satisfies an absurd 0.01% requirement")
+	}
+
+	// Near-zero mean: judged on absolute eps.
+	var z Sample
+	for i := 0; i < 50; i++ {
+		z.Add(float64(i%2)*2 - 1) // ±1 around 0
+	}
+	if z.WithinRelativeError(0.90, 0.10, 1e-9) {
+		t.Fatal("±1 noise around 0 accepted with eps=1e-9")
+	}
+	if !z.WithinRelativeError(0.90, 0.10, 1.0) {
+		t.Fatal("±1 noise around 0 rejected with eps=1 (half-width ≈0.24)")
+	}
+}
+
+func TestVarianceMatchesDefinitionProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			// Clamp to a sane range to avoid float overflow artifacts.
+			s.Add(math.Mod(x, 1e6))
+		}
+		m := s.Mean()
+		var ss float64
+		for _, x := range s.Values() {
+			ss += (x - m) * (x - m)
+		}
+		want := ss / float64(s.N()-1)
+		diff := math.Abs(s.Variance() - want)
+		scale := math.Max(1, math.Abs(want))
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(5)
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{-2, 0, 3, 5, 50, 500, 700, 5000} {
+		s.Add(x)
+	}
+	h := s.LogHistogram()
+	if h.Negatives != 1 || h.Zeros != 1 {
+		t.Fatalf("out-of-domain counts: %+v", h)
+	}
+	if h.Lo != 0 || len(h.Counts) != 4 {
+		t.Fatalf("bins: %+v", h)
+	}
+	want := []int{2, 1, 2, 1} // [1,10): 3,5; [10,100): 50; [100,1000): 500,700; [1000,1e4): 5000
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (%+v)", i, h.Counts[i], c, h)
+		}
+	}
+	bars := h.Bars()
+	for _, wantLine := range []string{"1e0-1e1 | ## 2", "1e3-1e4 | # 1", "<0", "=0"} {
+		if !strings.Contains(bars, wantLine) {
+			t.Fatalf("bars missing %q:\n%s", wantLine, bars)
+		}
+	}
+	var empty Sample
+	if h := empty.LogHistogram(); len(h.Counts) != 0 || h.Bars() != "" {
+		t.Fatal("empty histogram not empty")
+	}
+}

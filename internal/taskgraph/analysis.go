@@ -1,0 +1,245 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// analysisCache holds the lazily computed structural analyses. It is
+// invalidated (set to nil) by every mutation of the graph.
+type analysisCache struct {
+	topo      []TaskID
+	level     []int
+	depth     int
+	fromInput []Time // longest execution-time path from any input, inclusive
+	toOutput  []Time // longest execution-time path to any output, inclusive
+}
+
+// ErrCycle is returned (wrapped) by TopoOrder and Validate when the
+// precedence relation is not acyclic.
+var ErrCycle = fmt.Errorf("taskgraph: precedence relation contains a cycle")
+
+func (g *Graph) analyze() (*analysisCache, error) {
+	if g.cache != nil {
+		return g.cache, nil
+	}
+	n := len(g.tasks)
+	c := &analysisCache{
+		topo:      make([]TaskID, 0, n),
+		level:     make([]int, n),
+		fromInput: make([]Time, n),
+		toOutput:  make([]Time, n),
+	}
+
+	// Kahn's algorithm; processing queue kept sorted by ID for determinism.
+	indeg := make([]int, n)
+	for id := range g.tasks {
+		indeg[id] = len(g.preds[id])
+	}
+	var queue []TaskID
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, TaskID(id))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		c.topo = append(c.topo, v)
+		for _, s := range g.succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(c.topo) != n {
+		return nil, fmt.Errorf("%w (%d of %d tasks ordered)", ErrCycle, len(c.topo), n)
+	}
+
+	// Levels and longest execution paths in one forward pass…
+	for _, v := range c.topo {
+		lvl := 0
+		from := g.tasks[v].Exec
+		for _, p := range g.preds[v] {
+			if c.level[p]+1 > lvl {
+				lvl = c.level[p] + 1
+			}
+			if c.fromInput[p]+g.tasks[v].Exec > from {
+				from = c.fromInput[p] + g.tasks[v].Exec
+			}
+		}
+		c.level[v] = lvl
+		c.fromInput[v] = from
+		if lvl+1 > c.depth {
+			c.depth = lvl + 1
+		}
+	}
+	// …and one backward pass.
+	for i := n - 1; i >= 0; i-- {
+		v := c.topo[i]
+		to := g.tasks[v].Exec
+		for _, s := range g.succs[v] {
+			if c.toOutput[s]+g.tasks[v].Exec > to {
+				to = c.toOutput[s] + g.tasks[v].Exec
+			}
+		}
+		c.toOutput[v] = to
+	}
+
+	g.cache = c
+	return c, nil
+}
+
+// TopoOrder returns a topological order of the tasks (Kahn's algorithm with
+// a deterministic FIFO work queue seeded in ID order), or an error wrapping
+// ErrCycle when the graph is cyclic. The returned slice is shared with the
+// cache and must not be modified.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	c, err := g.analyze()
+	if err != nil {
+		return nil, err
+	}
+	return c.topo, nil
+}
+
+// mustAnalyze is used by accessors that are only called on validated graphs.
+func (g *Graph) mustAnalyze() *analysisCache {
+	c, err := g.analyze()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Level returns the topological level of a task: 0 for input tasks, and
+// 1 + max level over direct predecessors otherwise. This is the layering
+// used by the breadth-first branching rule BF1 (after Hou & Shin's notion
+// of task level). Panics on cyclic graphs.
+func (g *Graph) Level(id TaskID) int { return g.mustAnalyze().level[id] }
+
+// Depth returns the number of levels in the graph (the paper's "depth of
+// the task graph"): max Level + 1. An empty graph has depth 0.
+func (g *Graph) Depth() int {
+	if g.NumTasks() == 0 {
+		return 0
+	}
+	return g.mustAnalyze().depth
+}
+
+// LongestFromInput returns the largest accumulated execution time over all
+// paths from any input task to id, inclusive of id's own execution time.
+// This is the quantity the deadline-slicing layer allocates windows from.
+func (g *Graph) LongestFromInput(id TaskID) Time { return g.mustAnalyze().fromInput[id] }
+
+// LongestToOutput returns the largest accumulated execution time over all
+// paths from id to any output task, inclusive of id's own execution time.
+func (g *Graph) LongestToOutput(id TaskID) Time { return g.mustAnalyze().toOutput[id] }
+
+// CriticalPathLength returns the largest accumulated execution time over
+// all input→output paths: a lower bound on the makespan of any schedule on
+// any number of processors (communication ignored).
+func (g *Graph) CriticalPathLength() Time {
+	var cp Time
+	c := g.mustAnalyze()
+	for id := range g.tasks {
+		if c.fromInput[id] > cp {
+			cp = c.fromInput[id]
+		}
+	}
+	return cp
+}
+
+// Parallelism returns the average parallelism of the graph: total work
+// divided by critical path length. A chain has parallelism 1; a fully
+// parallel graph of k equal tasks has parallelism k. The paper's §6 sweeps
+// this quantity to study the contention-aware lower bound LB1.
+func (g *Graph) Parallelism() float64 {
+	cp := g.CriticalPathLength()
+	if cp == 0 {
+		return 0
+	}
+	return float64(g.TotalWork()) / float64(cp)
+}
+
+// LevelWidths returns, per level, the number of tasks on that level. The
+// maximum entry is the graph's width, a structural upper bound on how many
+// processors the application can keep busy simultaneously.
+func (g *Graph) LevelWidths() []int {
+	c := g.mustAnalyze()
+	w := make([]int, g.Depth())
+	for id := range g.tasks {
+		w[c.level[id]]++
+	}
+	return w
+}
+
+// Width returns the maximum number of tasks on any single level.
+func (g *Graph) Width() int {
+	max := 0
+	for _, w := range g.LevelWidths() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// DepthFirstOrder returns the fixed task order used by the DF branching
+// rule B_DF: a depth-first traversal of the task graph starting from the
+// input tasks in ID order, visiting successors in ID order. Every task
+// appears exactly once, at its first visit. The order is NOT a topological
+// order in general; the branching layer intersects it with readiness.
+func (g *Graph) DepthFirstOrder() []TaskID {
+	n := len(g.tasks)
+	order := make([]TaskID, 0, n)
+	seen := make([]bool, n)
+	var dfs func(v TaskID)
+	dfs = func(v TaskID) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		order = append(order, v)
+		succs := append([]TaskID(nil), g.succs[v]...)
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, s := range succs {
+			dfs(s)
+		}
+	}
+	for _, in := range g.Inputs() {
+		dfs(in)
+	}
+	// Disconnected or degenerate graphs: visit any stragglers in ID order.
+	for id := 0; id < n; id++ {
+		if !seen[id] {
+			dfs(TaskID(id))
+		}
+	}
+	return order
+}
+
+// BreadthFirstOrder returns the fixed task order used by the BF1 branching
+// rule B_BF1: tasks sorted by ascending level, ties broken by ID. This is a
+// valid topological order because every arc increases level by at least 1.
+func (g *Graph) BreadthFirstOrder() []TaskID {
+	c := g.mustAnalyze()
+	order := make([]TaskID, len(g.tasks))
+	for id := range g.tasks {
+		order[id] = TaskID(id)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := c.level[order[i]], c.level[order[j]]
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// InDegree returns the number of direct predecessors of id.
+func (g *Graph) InDegree(id TaskID) int { return len(g.preds[id]) }
+
+// OutDegree returns the number of direct successors of id.
+func (g *Graph) OutDegree(id TaskID) int { return len(g.succs[id]) }

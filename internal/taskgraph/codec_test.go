@@ -1,0 +1,132 @@
+package taskgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"diamond": Diamond(),
+		"ladder":  LadderGraph(3, 4, 2),
+		"indep":   Independent(5, 7),
+	} {
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: round trip changed shape: %v vs %v", name, &back, g)
+		}
+		for id := 0; id < g.NumTasks(); id++ {
+			if back.Task(TaskID(id)) != g.Task(TaskID(id)) {
+				t.Fatalf("%s: task %d changed: %+v vs %+v", name, id, back.Task(TaskID(id)), g.Task(TaskID(id)))
+			}
+		}
+		for _, c := range g.Channels() {
+			bc, ok := back.Channel(c.Src, c.Dst)
+			if !ok || bc != c {
+				t.Fatalf("%s: channel %v changed to %v (ok=%v)", name, c, bc, ok)
+			}
+		}
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	g := LadderGraph(3, 4, 2)
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("JSON encoding is not deterministic across clones")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{"tasks": 17}`,
+		"sparse ids":    `{"tasks":[{"id":5,"exec":1,"deadline":10}],"channels":[]}`,
+		"bad edge":      `{"tasks":[{"id":0,"exec":1,"deadline":10}],"channels":[{"src":0,"dst":9,"size":1}]}`,
+		"cycle":         `{"tasks":[{"id":0,"exec":1,"deadline":10},{"id":1,"exec":1,"deadline":10}],"channels":[{"src":0,"dst":1,"size":1},{"src":1,"dst":0,"size":1}]}`,
+		"zero exec":     `{"tasks":[{"id":0,"exec":0,"deadline":10}],"channels":[]}`,
+		"tight window":  `{"tasks":[{"id":0,"exec":9,"deadline":3}],"channels":[]}`,
+		"self loop":     `{"tasks":[{"id":0,"exec":1,"deadline":10}],"channels":[{"src":0,"dst":0,"size":1}]}`,
+		"dup edge":      `{"tasks":[{"id":0,"exec":1,"deadline":10},{"id":1,"exec":1,"deadline":10}],"channels":[{"src":0,"dst":1,"size":1},{"src":0,"dst":1,"size":2}]}`,
+		"negative size": `{"tasks":[{"id":0,"exec":1,"deadline":10},{"id":1,"exec":1,"deadline":10}],"channels":[{"src":0,"dst":1,"size":-4}]}`,
+	}
+	for name, doc := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(doc), &g); err == nil {
+			t.Errorf("%s: malformed document accepted", name)
+		}
+	}
+}
+
+func TestJSONPreservesChannelWindows(t *testing.T) {
+	g := Diamond()
+	ch, _ := g.ChannelPtr(0, 1)
+	ch.Arrival, ch.Deadline = 7, 13
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := back.Channel(0, 1)
+	if bc.Arrival != 7 || bc.Deadline != 13 {
+		t.Fatalf("channel window lost: %+v", bc)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	g := ForkJoin(3, 6, 2)
+	if err := g.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip changed shape")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("LoadFile on missing file succeeded")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Diamond()
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "n0 -> n1", "n2 -> n3", "c=5"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if g.DOT() != dot {
+		t.Fatal("DOT output is not deterministic")
+	}
+	// Zero-size arcs are rendered without labels.
+	c := Chain(2, 3, 0)
+	if strings.Contains(c.DOT(), "label=\"0\"") {
+		t.Fatal("zero-size arc rendered with a label")
+	}
+}

@@ -1,0 +1,93 @@
+package taskgraph
+
+import "fmt"
+
+// This file provides canonical small graphs used throughout the repository's
+// tests, examples and documentation. All fixtures produce validated graphs;
+// deadlines are generous placeholders unless stated otherwise — callers that
+// care about lateness shapes run the deadline-assignment layer on top.
+
+// Chain returns a linear chain of n tasks, each with execution time exec and
+// message size msg on every arc. Task windows are wide open ([0, n·exec·4]).
+func Chain(n int, exec, msg Time) *Graph {
+	g := New(n)
+	horizon := Time(n) * exec * 4
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Name: fmt.Sprintf("c%d", i), Exec: exec, Deadline: horizon})
+	}
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(TaskID(i), TaskID(i+1), msg)
+	}
+	return g
+}
+
+// ForkJoin returns a fork-join graph: one source task, width parallel middle
+// tasks, one sink task. All tasks have execution time exec; all arcs carry
+// msg data items. This is the highest-parallelism fixture and the canonical
+// stressor for the contention-aware lower bound LB1.
+func ForkJoin(width int, exec, msg Time) *Graph {
+	g := New(width + 2)
+	horizon := Time(width+2) * exec * 4
+	src := g.AddTask(Task{Name: "fork", Exec: exec, Deadline: horizon})
+	mids := make([]TaskID, width)
+	for i := 0; i < width; i++ {
+		mids[i] = g.AddTask(Task{Name: fmt.Sprintf("mid%d", i), Exec: exec, Deadline: horizon})
+	}
+	sink := g.AddTask(Task{Name: "join", Exec: exec, Deadline: horizon})
+	for _, m := range mids {
+		g.MustAddEdge(src, m, msg)
+		g.MustAddEdge(m, sink, msg)
+	}
+	return g
+}
+
+// Diamond returns the four-task diamond a→{b,c}→d with distinct execution
+// times (2, 3, 5, 2) and unit messages, windows wide open. It is the
+// smallest graph on which task ordering and processor assignment both
+// matter, and is used pervasively in unit tests.
+func Diamond() *Graph {
+	g := New(4)
+	a := g.AddTask(Task{Name: "a", Exec: 2, Deadline: 100})
+	b := g.AddTask(Task{Name: "b", Exec: 3, Deadline: 100})
+	c := g.AddTask(Task{Name: "c", Exec: 5, Deadline: 100})
+	d := g.AddTask(Task{Name: "d", Exec: 2, Deadline: 100})
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, d, 1)
+	g.MustAddEdge(c, d, 1)
+	return g
+}
+
+// LadderGraph returns a two-rail "ladder" of 2·rungs tasks: two parallel
+// chains with cross arcs from the left rail to the right rail at every rung.
+// It mixes chain and fork structure and exercises multi-predecessor ready
+// logic in the branching rules.
+func LadderGraph(rungs int, exec, msg Time) *Graph {
+	g := New(2 * rungs)
+	horizon := Time(rungs) * exec * 8
+	left := make([]TaskID, rungs)
+	right := make([]TaskID, rungs)
+	for i := 0; i < rungs; i++ {
+		left[i] = g.AddTask(Task{Name: fmt.Sprintf("L%d", i), Exec: exec, Deadline: horizon})
+		right[i] = g.AddTask(Task{Name: fmt.Sprintf("R%d", i), Exec: exec, Deadline: horizon})
+	}
+	for i := 0; i < rungs-1; i++ {
+		g.MustAddEdge(left[i], left[i+1], msg)
+		g.MustAddEdge(right[i], right[i+1], msg)
+	}
+	for i := 0; i < rungs-1; i++ {
+		g.MustAddEdge(left[i], right[i+1], msg)
+	}
+	return g
+}
+
+// Independent returns n tasks with no precedence constraints at all: the
+// n!·m^n worst case for the search-tree size discussed in the paper's §3.
+func Independent(n int, exec Time) *Graph {
+	g := New(n)
+	horizon := Time(n) * exec * 4
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Name: fmt.Sprintf("i%d", i), Exec: exec, Deadline: horizon})
+	}
+	return g
+}

@@ -1,0 +1,296 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is the directed acyclic task graph G = (N, A). Nodes are tasks,
+// arcs are precedence constraints annotated with message sizes (channels).
+//
+// A Graph is built incrementally with AddTask and AddEdge and then treated
+// as immutable by the analysis and scheduling layers. Structural analyses
+// (topological order, levels, longest paths) are cached lazily and
+// invalidated by any mutation.
+//
+// The zero value is an empty graph ready for use.
+type Graph struct {
+	tasks []Task
+	succs [][]TaskID
+	preds [][]TaskID
+	chans map[[2]TaskID]int // arc -> index into chanList
+	list  []Channel
+
+	// Lazily computed caches, invalidated by mutation.
+	cache *analysisCache
+}
+
+// New returns an empty graph with capacity hints for n tasks.
+func New(n int) *Graph {
+	return &Graph{
+		tasks: make([]Task, 0, n),
+		succs: make([][]TaskID, 0, n),
+		preds: make([][]TaskID, 0, n),
+		chans: make(map[[2]TaskID]int, n),
+		list:  make([]Channel, 0, n),
+	}
+}
+
+// AddTask appends a task to the graph and returns its assigned ID. The ID
+// field of the argument is overwritten; all other fields are kept.
+func (g *Graph) AddTask(t Task) TaskID {
+	id := TaskID(len(g.tasks))
+	t.ID = id
+	g.tasks = append(g.tasks, t)
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	g.cache = nil
+	return id
+}
+
+// AddEdge records the precedence constraint τ_src ≺ τ_dst together with a
+// communication channel of the given message size. It returns an error when
+// an endpoint is unknown, the edge would be a self-loop, or the edge already
+// exists. Acyclicity is not checked here (it would make incremental
+// construction quadratic); call Validate after construction.
+func (g *Graph) AddEdge(src, dst TaskID, size Time) error {
+	if !g.valid(src) || !g.valid(dst) {
+		return fmt.Errorf("taskgraph: edge %d→%d references unknown task", src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("taskgraph: self-loop on task %d", src)
+	}
+	if size < 0 {
+		return fmt.Errorf("taskgraph: negative message size %d on edge %d→%d", size, src, dst)
+	}
+	key := [2]TaskID{src, dst}
+	if _, dup := g.chans[key]; dup {
+		return fmt.Errorf("taskgraph: duplicate edge %d→%d", src, dst)
+	}
+	g.chans[key] = len(g.list)
+	g.list = append(g.list, Channel{Src: src, Dst: dst, Size: size})
+	g.succs[src] = append(g.succs[src], dst)
+	g.preds[dst] = append(g.preds[dst], src)
+	g.cache = nil
+	return nil
+}
+
+// MustAddEdge is AddEdge for statically known-good construction sites such
+// as tests and examples; it panics on error.
+func (g *Graph) MustAddEdge(src, dst TaskID, size Time) {
+	if err := g.AddEdge(src, dst, size); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id TaskID) bool {
+	return id >= 0 && int(id) < len(g.tasks)
+}
+
+// NumTasks returns n = |N|.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns |A|.
+func (g *Graph) NumEdges() int { return len(g.list) }
+
+// Task returns a copy of the task with the given ID. It panics on an
+// invalid ID, which always indicates a programming error upstream.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// TaskPtr returns a pointer to the stored task, for in-place updates by the
+// deadline-assignment layer. The structural fields (ID) must not be changed.
+func (g *Graph) TaskPtr(id TaskID) *Task { return &g.tasks[id] }
+
+// Tasks returns the task slice in ID order. The caller must not modify it.
+func (g *Graph) Tasks() []Task { return g.tasks }
+
+// Succs returns the direct successors of id (tasks τ_j with τ_id ≺· τ_j).
+// The caller must not modify the returned slice.
+func (g *Graph) Succs(id TaskID) []TaskID { return g.succs[id] }
+
+// Preds returns the direct predecessors of id (tasks τ_j with τ_j ≺· τ_id).
+// The caller must not modify the returned slice.
+func (g *Graph) Preds(id TaskID) []TaskID { return g.preds[id] }
+
+// Channel returns the channel on arc src→dst and whether the arc exists.
+func (g *Graph) Channel(src, dst TaskID) (Channel, bool) {
+	idx, ok := g.chans[[2]TaskID{src, dst}]
+	if !ok {
+		return Channel{}, false
+	}
+	return g.list[idx], true
+}
+
+// ChannelPtr returns a pointer to the stored channel for in-place updates
+// (message deadline assignment). The endpoints must not be changed.
+func (g *Graph) ChannelPtr(src, dst TaskID) (*Channel, bool) {
+	idx, ok := g.chans[[2]TaskID{src, dst}]
+	if !ok {
+		return nil, false
+	}
+	return &g.list[idx], true
+}
+
+// MessageSize returns m_{src,dst}, or 0 when the arc does not exist. The
+// zero default lets scheduling layers treat "no channel" and "zero-size
+// channel" uniformly: neither induces communication cost.
+func (g *Graph) MessageSize(src, dst TaskID) Time {
+	if c, ok := g.Channel(src, dst); ok {
+		return c.Size
+	}
+	return 0
+}
+
+// Channels returns all channels in insertion order. The caller must not
+// modify the returned slice.
+func (g *Graph) Channels() []Channel { return g.list }
+
+// Inputs returns the IDs of all input tasks (no predecessors), in ID order.
+func (g *Graph) Inputs() []TaskID {
+	var in []TaskID
+	for id := range g.tasks {
+		if len(g.preds[id]) == 0 {
+			in = append(in, TaskID(id))
+		}
+	}
+	return in
+}
+
+// Outputs returns the IDs of all output tasks (no successors), in ID order.
+func (g *Graph) Outputs() []TaskID {
+	var out []TaskID
+	for id := range g.tasks {
+		if len(g.succs[id]) == 0 {
+			out = append(out, TaskID(id))
+		}
+	}
+	return out
+}
+
+// TotalWork returns Σ c_i over all tasks: the accumulated computational
+// workload of the task graph.
+func (g *Graph) TotalWork() Time {
+	var w Time
+	for i := range g.tasks {
+		w += g.tasks[i].Exec
+	}
+	return w
+}
+
+// Clone returns a deep copy of the graph. Caches are not copied; they are
+// recomputed on demand by the clone.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.tasks))
+	c.tasks = append(c.tasks[:0], g.tasks...)
+	c.succs = make([][]TaskID, len(g.succs))
+	c.preds = make([][]TaskID, len(g.preds))
+	for i := range g.succs {
+		c.succs[i] = append([]TaskID(nil), g.succs[i]...)
+		c.preds[i] = append([]TaskID(nil), g.preds[i]...)
+	}
+	c.list = append(c.list[:0], g.list...)
+	for k, v := range g.chans {
+		c.chans[k] = v
+	}
+	return c
+}
+
+// Validate checks the structural invariants the scheduling layers rely on:
+// every task passes Task.Validate, and the precedence relation is an
+// irreflexive partial order (i.e. the graph is acyclic).
+func (g *Graph) Validate() error {
+	for i := range g.tasks {
+		if err := g.tasks[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HasPath reports whether τ_src ≺ τ_dst, i.e. dst is reachable from src by
+// following one or more arcs. It runs a DFS and is O(|N|+|A|).
+func (g *Graph) HasPath(src, dst TaskID) bool {
+	if src == dst {
+		return false
+	}
+	seen := make([]bool, len(g.tasks))
+	stack := []TaskID{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[v] {
+			if s == dst {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// IsDirectPredecessor reports whether τ_a ≺· τ_b in the paper's notation:
+// a is a predecessor of b with no task strictly between them. With the
+// graph's arcs taken as the direct-precedence relation this is simply arc
+// membership, but the method additionally verifies the covering condition
+// ¬(∃ τ_k : τ_a ≺ τ_k ∧ τ_k ≺ τ_b), which can fail when a graph was built
+// with redundant (transitive) arcs.
+func (g *Graph) IsDirectPredecessor(a, b TaskID) bool {
+	if _, ok := g.Channel(a, b); !ok {
+		return false
+	}
+	for _, k := range g.succs[a] {
+		if k != b && g.HasPath(k, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransitiveReduction returns a copy of the graph with all redundant arcs
+// removed: an arc (a,b) is redundant when b is reachable from a through some
+// other successor of a. Channels on removed arcs are dropped; their message
+// sizes are NOT folded into remaining arcs because a redundant arc with data
+// still represents a real message — graphs carrying data on transitive arcs
+// should not be reduced.
+func (g *Graph) TransitiveReduction() *Graph {
+	r := New(len(g.tasks))
+	for _, t := range g.tasks {
+		r.AddTask(t)
+	}
+	for _, c := range g.list {
+		redundant := false
+		for _, mid := range g.succs[c.Src] {
+			if mid != c.Dst && g.HasPath(mid, c.Dst) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			r.MustAddEdge(c.Src, c.Dst, c.Size)
+		}
+	}
+	return r
+}
+
+// SortedArcs returns the arcs sorted by (src, dst), for deterministic
+// iteration in renderers and codecs.
+func (g *Graph) SortedArcs() []Channel {
+	arcs := append([]Channel(nil), g.list...)
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Src != arcs[j].Src {
+			return arcs[i].Src < arcs[j].Src
+		}
+		return arcs[i].Dst < arcs[j].Dst
+	})
+	return arcs
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("taskgraph.Graph{n=%d, arcs=%d, work=%d}", g.NumTasks(), g.NumEdges(), g.TotalWork())
+}

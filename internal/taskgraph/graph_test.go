@@ -1,0 +1,419 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		id := g.AddTask(Task{Exec: 1, Deadline: 10})
+		if id != TaskID(i) {
+			t.Fatalf("AddTask #%d returned ID %d", i, id)
+		}
+		if g.Task(id).ID != id {
+			t.Fatalf("stored task has ID %d, want %d", g.Task(id).ID, id)
+		}
+	}
+	if g.NumTasks() != 3 {
+		t.Fatalf("NumTasks = %d, want 3", g.NumTasks())
+	}
+}
+
+func TestAddTaskOverwritesCallerID(t *testing.T) {
+	g := New(1)
+	id := g.AddTask(Task{ID: 99, Exec: 1, Deadline: 10})
+	if id != 0 || g.Task(0).ID != 0 {
+		t.Fatalf("caller-supplied ID not overwritten: got %d", g.Task(0).ID)
+	}
+}
+
+func TestAddEdgeRejectsBadEndpoints(t *testing.T) {
+	g := New(2)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	cases := []struct {
+		src, dst TaskID
+		size     Time
+		name     string
+	}{
+		{a, 17, 0, "unknown dst"},
+		{17, b, 0, "unknown src"},
+		{-1, b, 0, "negative src"},
+		{a, a, 0, "self loop"},
+		{a, b, -5, "negative size"},
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.src, c.dst, c.size); err == nil {
+			t.Errorf("%s: AddEdge(%d,%d,%d) succeeded, want error", c.name, c.src, c.dst, c.size)
+		}
+	}
+}
+
+func TestAddEdgeRejectsDuplicates(t *testing.T) {
+	g := New(2)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	if err := g.AddEdge(a, b, 3); err != nil {
+		t.Fatalf("first AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b, 3); err == nil {
+		t.Fatal("duplicate AddEdge succeeded, want error")
+	}
+}
+
+func TestChannelLookup(t *testing.T) {
+	g := Diamond()
+	c, ok := g.Channel(0, 1)
+	if !ok || c.Src != 0 || c.Dst != 1 || c.Size != 1 {
+		t.Fatalf("Channel(0,1) = %+v, %v", c, ok)
+	}
+	if _, ok := g.Channel(1, 0); ok {
+		t.Fatal("Channel(1,0) exists; arcs must be directed")
+	}
+	if got := g.MessageSize(0, 3); got != 0 {
+		t.Fatalf("MessageSize on missing arc = %d, want 0", got)
+	}
+}
+
+func TestInputsOutputs(t *testing.T) {
+	g := Diamond()
+	if in := g.Inputs(); len(in) != 1 || in[0] != 0 {
+		t.Fatalf("Inputs = %v, want [0]", in)
+	}
+	if out := g.Outputs(); len(out) != 1 || out[0] != 3 {
+		t.Fatalf("Outputs = %v, want [3]", out)
+	}
+	ind := Independent(4, 5)
+	if got := len(ind.Inputs()); got != 4 {
+		t.Fatalf("Independent inputs = %d, want 4", got)
+	}
+	if got := len(ind.Outputs()); got != 4 {
+		t.Fatalf("Independent outputs = %d, want 4", got)
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	if got := Diamond().TotalWork(); got != 12 {
+		t.Fatalf("Diamond TotalWork = %d, want 12", got)
+	}
+	if got := Chain(5, 7, 0).TotalWork(); got != 35 {
+		t.Fatalf("Chain TotalWork = %d, want 35", got)
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"diamond": Diamond(),
+		"chain":   Chain(8, 3, 1),
+		"fork":    ForkJoin(5, 4, 2),
+		"ladder":  LadderGraph(4, 2, 1),
+		"indep":   Independent(6, 1),
+	} {
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("%s: TopoOrder: %v", name, err)
+		}
+		if len(order) != g.NumTasks() {
+			t.Fatalf("%s: order covers %d of %d tasks", name, len(order), g.NumTasks())
+		}
+		pos := make(map[TaskID]int, len(order))
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, c := range g.Channels() {
+			if pos[c.Src] >= pos[c.Dst] {
+				t.Fatalf("%s: arc %d→%d violates topological order", name, c.Src, c.Dst)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	c := g.AddTask(Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, a, 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder accepted a cyclic graph")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic graph")
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	g := Diamond()
+	want := map[TaskID]int{0: 0, 1: 1, 2: 1, 3: 2}
+	for id, lvl := range want {
+		if got := g.Level(id); got != lvl {
+			t.Errorf("Level(%d) = %d, want %d", id, got, lvl)
+		}
+	}
+	if g.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", g.Depth())
+	}
+	if d := Chain(9, 1, 0).Depth(); d != 9 {
+		t.Fatalf("chain depth = %d, want 9", d)
+	}
+	if d := New(0).Depth(); d != 0 {
+		t.Fatalf("empty depth = %d, want 0", d)
+	}
+}
+
+func TestLongestPaths(t *testing.T) {
+	g := Diamond() // a(2) → b(3)/c(5) → d(2)
+	cases := []struct {
+		id       TaskID
+		from, to Time
+	}{
+		{0, 2, 9}, // a: itself; a+c+d
+		{1, 5, 5}, // a+b; b+d
+		{2, 7, 7}, // a+c; c+d
+		{3, 9, 2}, // a+c+d; itself
+	}
+	for _, c := range cases {
+		if got := g.LongestFromInput(c.id); got != c.from {
+			t.Errorf("LongestFromInput(%d) = %d, want %d", c.id, got, c.from)
+		}
+		if got := g.LongestToOutput(c.id); got != c.to {
+			t.Errorf("LongestToOutput(%d) = %d, want %d", c.id, got, c.to)
+		}
+	}
+	if cp := g.CriticalPathLength(); cp != 9 {
+		t.Fatalf("CriticalPathLength = %d, want 9", cp)
+	}
+}
+
+func TestParallelismAndWidth(t *testing.T) {
+	chain := Chain(6, 10, 0)
+	if p := chain.Parallelism(); p != 1.0 {
+		t.Fatalf("chain parallelism = %v, want 1", p)
+	}
+	fj := ForkJoin(4, 10, 0)
+	// work = 6*10 = 60, cp = 30 ⇒ parallelism 2.
+	if p := fj.Parallelism(); p != 2.0 {
+		t.Fatalf("forkjoin parallelism = %v, want 2", p)
+	}
+	if w := fj.Width(); w != 4 {
+		t.Fatalf("forkjoin width = %d, want 4", w)
+	}
+	widths := fj.LevelWidths()
+	if len(widths) != 3 || widths[0] != 1 || widths[1] != 4 || widths[2] != 1 {
+		t.Fatalf("forkjoin level widths = %v", widths)
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := Diamond()
+	if !g.HasPath(0, 3) {
+		t.Fatal("HasPath(a,d) = false")
+	}
+	if g.HasPath(3, 0) {
+		t.Fatal("HasPath(d,a) = true; arcs are directed")
+	}
+	if g.HasPath(1, 2) {
+		t.Fatal("HasPath(b,c) = true; siblings are unrelated")
+	}
+	if g.HasPath(0, 0) {
+		t.Fatal("HasPath(a,a) = true; ≺ is irreflexive")
+	}
+}
+
+func TestIsDirectPredecessor(t *testing.T) {
+	g := New(3)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	c := g.AddTask(Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(a, c, 0) // transitive arc: a ≺ c but not a ≺· c
+	if !g.IsDirectPredecessor(a, b) || !g.IsDirectPredecessor(b, c) {
+		t.Fatal("covering arcs not recognized as direct")
+	}
+	if g.IsDirectPredecessor(a, c) {
+		t.Fatal("transitive arc a→c misclassified as direct")
+	}
+	if g.IsDirectPredecessor(b, a) {
+		t.Fatal("reverse direction misclassified as direct")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := New(3)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	c := g.AddTask(Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(a, c, 0)
+	r := g.TransitiveReduction()
+	if r.NumEdges() != 2 {
+		t.Fatalf("reduction kept %d arcs, want 2", r.NumEdges())
+	}
+	if _, ok := r.Channel(a, c); ok {
+		t.Fatal("transitive arc a→c survived the reduction")
+	}
+	// Reduction of an already-reduced graph is the identity.
+	d := Diamond()
+	if rd := d.TransitiveReduction(); rd.NumEdges() != d.NumEdges() {
+		t.Fatalf("diamond reduction changed arc count: %d → %d", d.NumEdges(), rd.NumEdges())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Diamond()
+	c := g.Clone()
+	c.TaskPtr(0).Exec = 999
+	if err := c.AddEdge(1, 2, 4); err != nil {
+		t.Fatalf("clone AddEdge: %v", err)
+	}
+	if g.Task(0).Exec == 999 {
+		t.Fatal("mutating clone's task mutated the original")
+	}
+	if g.NumEdges() == c.NumEdges() {
+		t.Fatal("mutating clone's arcs mutated the original")
+	}
+}
+
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	g := Chain(3, 5, 0)
+	if g.Depth() != 3 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+	tail := g.AddTask(Task{Exec: 5, Deadline: 100})
+	g.MustAddEdge(2, tail, 0)
+	if g.Depth() != 4 {
+		t.Fatalf("depth after mutation = %d, want 4 (stale cache?)", g.Depth())
+	}
+	if g.CriticalPathLength() != 20 {
+		t.Fatalf("cp after mutation = %d, want 20", g.CriticalPathLength())
+	}
+}
+
+func TestDepthFirstOrderProperties(t *testing.T) {
+	g := LadderGraph(4, 2, 1)
+	order := g.DepthFirstOrder()
+	if len(order) != g.NumTasks() {
+		t.Fatalf("DF order covers %d of %d tasks", len(order), g.NumTasks())
+	}
+	seen := map[TaskID]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("task %d appears twice in DF order", id)
+		}
+		seen[id] = true
+	}
+	// The first task must be an input task.
+	if g.InDegree(order[0]) != 0 {
+		t.Fatalf("DF order starts at non-input task %d", order[0])
+	}
+}
+
+func TestDepthFirstOrderDivesBeforeSiblings(t *testing.T) {
+	// a → b → d, a → c: DF from a must visit b's subtree (incl. d) before c.
+	g := New(4)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	c := g.AddTask(Task{Exec: 1, Deadline: 10})
+	d := g.AddTask(Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	order := g.DepthFirstOrder()
+	pos := map[TaskID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos[a] < pos[b] && pos[b] < pos[d] && pos[d] < pos[c]) {
+		t.Fatalf("DF order %v does not dive: want a,b,d,c", order)
+	}
+}
+
+func TestBreadthFirstOrderIsLevelSorted(t *testing.T) {
+	g := LadderGraph(5, 2, 1)
+	order := g.BreadthFirstOrder()
+	if len(order) != g.NumTasks() {
+		t.Fatalf("BF order covers %d of %d tasks", len(order), g.NumTasks())
+	}
+	for i := 1; i < len(order); i++ {
+		if g.Level(order[i-1]) > g.Level(order[i]) {
+			t.Fatalf("BF order not level-sorted at %d: %v", i, order)
+		}
+	}
+	// BF order must be a topological order.
+	pos := map[TaskID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, c := range g.Channels() {
+		if pos[c.Src] >= pos[c.Dst] {
+			t.Fatalf("BF order violates precedence on arc %d→%d", c.Src, c.Dst)
+		}
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{Exec: 5, Phase: 0, Deadline: 10, Period: 20}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	bad := []Task{
+		{Exec: 0, Deadline: 10},
+		{Exec: -3, Deadline: 10},
+		{Exec: 5, Phase: -1, Deadline: 10},
+		{Exec: 5, Deadline: 4},
+		{Exec: 5, Deadline: 30, Period: 20},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad task #%d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestTaskInvocationArithmetic(t *testing.T) {
+	tk := Task{Exec: 3, Phase: 10, Deadline: 8, Period: 25}
+	if got := tk.ArrivalK(1); got != 10 {
+		t.Fatalf("ArrivalK(1) = %d, want 10", got)
+	}
+	if got := tk.ArrivalK(4); got != 10+3*25 {
+		t.Fatalf("ArrivalK(4) = %d, want 85", got)
+	}
+	if got := tk.AbsDeadlineK(4); got != 93 {
+		t.Fatalf("AbsDeadlineK(4) = %d, want 93", got)
+	}
+	if got := tk.WindowLength(); got != 8 {
+		t.Fatalf("WindowLength = %d, want 8", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	g := Diamond()
+	if s := g.String(); !strings.Contains(s, "n=4") {
+		t.Fatalf("Graph.String = %q", s)
+	}
+	if s := g.Task(0).String(); !strings.Contains(s, "c=2") {
+		t.Fatalf("Task.String = %q", s)
+	}
+	ch, _ := g.Channel(0, 1)
+	if s := ch.String(); !strings.Contains(s, "0→1") {
+		t.Fatalf("Channel.String = %q", s)
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MaxTime(3, 7) != 7 || MaxTime(7, 3) != 7 {
+		t.Fatal("MaxTime broken")
+	}
+	if MinTimeOf(3, 7) != 3 || MinTimeOf(7, 3) != 3 {
+		t.Fatal("MinTimeOf broken")
+	}
+	if Infinity+Infinity < Infinity {
+		t.Fatal("Infinity arithmetic overflows on one addition")
+	}
+}

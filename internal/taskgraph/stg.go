@@ -1,0 +1,178 @@
+package taskgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a human-writable text format for task graphs, in
+// the spirit of the Standard Task Graph sets used by the scheduling
+// community — line-oriented, diff-friendly, hand-editable:
+//
+//	# full-line and trailing comments with '#'
+//	task <name> exec=<int> [phase=<int>] [deadline=<int>] [period=<int>]
+//	edge <src> -> <dst> [size=<int>]
+//
+// Task names are unique identifiers; edges reference names. A task without
+// an explicit deadline gets a window of exec (the tightest valid one) —
+// callers normally run deadline.Assign afterwards anyway. WriteSTG emits a
+// canonical form (tasks in ID order, edges sorted) that ReadSTG parses
+// back to an identical graph.
+
+// ReadSTG parses the text format. Errors carry 1-based line numbers.
+func ReadSTG(r io.Reader) (*Graph, error) {
+	g := New(16)
+	names := map[string]TaskID{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "task":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("stg:%d: task without a name", lineNo)
+			}
+			name := fields[1]
+			if _, dup := names[name]; dup {
+				return nil, fmt.Errorf("stg:%d: duplicate task %q", lineNo, name)
+			}
+			t := Task{Name: name}
+			seen := map[string]bool{}
+			for _, kv := range fields[2:] {
+				key, val, err := splitKV(kv)
+				if err != nil {
+					return nil, fmt.Errorf("stg:%d: %v", lineNo, err)
+				}
+				if seen[key] {
+					return nil, fmt.Errorf("stg:%d: duplicate attribute %q", lineNo, key)
+				}
+				seen[key] = true
+				switch key {
+				case "exec":
+					t.Exec = val
+				case "phase":
+					t.Phase = val
+				case "deadline":
+					t.Deadline = val
+				case "period":
+					t.Period = val
+				default:
+					return nil, fmt.Errorf("stg:%d: unknown task attribute %q", lineNo, key)
+				}
+			}
+			if t.Deadline == 0 {
+				t.Deadline = t.Exec
+			}
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("stg:%d: %v", lineNo, err)
+			}
+			names[name] = g.AddTask(t)
+
+		case "edge":
+			// edge A -> B [size=N]
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, fmt.Errorf("stg:%d: edge syntax is \"edge SRC -> DST [size=N]\"", lineNo)
+			}
+			src, ok := names[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("stg:%d: unknown task %q", lineNo, fields[1])
+			}
+			dst, ok := names[fields[3]]
+			if !ok {
+				return nil, fmt.Errorf("stg:%d: unknown task %q", lineNo, fields[3])
+			}
+			var size Time
+			for _, kv := range fields[4:] {
+				key, val, err := splitKV(kv)
+				if err != nil {
+					return nil, fmt.Errorf("stg:%d: %v", lineNo, err)
+				}
+				if key != "size" {
+					return nil, fmt.Errorf("stg:%d: unknown edge attribute %q", lineNo, key)
+				}
+				size = val
+			}
+			if err := g.AddEdge(src, dst, size); err != nil {
+				return nil, fmt.Errorf("stg:%d: %v", lineNo, err)
+			}
+
+		default:
+			return nil, fmt.Errorf("stg:%d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("stg: %v", err)
+	}
+	return g, nil
+}
+
+func splitKV(s string) (string, Time, error) {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", 0, fmt.Errorf("attribute %q is not key=value", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("attribute %q: %v", s, err)
+	}
+	return key, Time(v), nil
+}
+
+// WriteSTG emits the canonical text form. Unnamed tasks are written with
+// generated names ("t<ID>") that round-trip to the same structure.
+func (g *Graph) WriteSTG(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+	// Unique names: fall back to t<ID>, disambiguate duplicates.
+	names := make([]string, g.NumTasks())
+	used := map[string]bool{}
+	for _, t := range g.Tasks() {
+		name := t.Name
+		if name == "" || strings.ContainsAny(name, " \t#") || used[name] {
+			name = fmt.Sprintf("t%d", t.ID)
+		}
+		used[name] = true
+		names[t.ID] = name
+	}
+	for _, t := range g.Tasks() {
+		fmt.Fprintf(bw, "task %s exec=%d", names[t.ID], t.Exec)
+		if t.Phase != 0 {
+			fmt.Fprintf(bw, " phase=%d", t.Phase)
+		}
+		fmt.Fprintf(bw, " deadline=%d", t.Deadline)
+		if t.Period != 0 {
+			fmt.Fprintf(bw, " period=%d", t.Period)
+		}
+		fmt.Fprintln(bw)
+	}
+	arcs := g.SortedArcs()
+	sort.SliceStable(arcs, func(i, j int) bool {
+		if arcs[i].Src != arcs[j].Src {
+			return arcs[i].Src < arcs[j].Src
+		}
+		return arcs[i].Dst < arcs[j].Dst
+	})
+	for _, c := range arcs {
+		fmt.Fprintf(bw, "edge %s -> %s", names[c.Src], names[c.Dst])
+		if c.Size != 0 {
+			fmt.Fprintf(bw, " size=%d", c.Size)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,177 @@
+package taskgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadSTGBasic(t *testing.T) {
+	const doc = `
+# a three-stage pipeline
+task sense exec=4 deadline=20
+task plan  exec=7 deadline=30   # trailing comment
+task act   exec=3 deadline=40 phase=5
+
+edge sense -> plan size=2
+edge plan -> act
+`
+	g, err := ReadSTG(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("shape %d/%d", g.NumTasks(), g.NumEdges())
+	}
+	plan := g.Task(1)
+	if plan.Name != "plan" || plan.Exec != 7 || plan.Deadline != 30 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if g.Task(2).Phase != 5 {
+		t.Fatalf("phase lost: %+v", g.Task(2))
+	}
+	if got := g.MessageSize(0, 1); got != 2 {
+		t.Fatalf("edge size %d", got)
+	}
+	if got := g.MessageSize(1, 2); got != 0 {
+		t.Fatalf("default edge size %d", got)
+	}
+}
+
+func TestReadSTGDefaultsDeadlineToExec(t *testing.T) {
+	g, err := ReadSTG(strings.NewReader("task a exec=9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(0).Deadline != 9 {
+		t.Fatalf("default deadline %d, want exec 9", g.Task(0).Deadline)
+	}
+}
+
+func TestReadSTGErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":        "task\n",
+		"dup task":       "task a exec=1\ntask a exec=1\n",
+		"bad attr":       "task a exec=1 color=blue\n",
+		"dup attr":       "task a exec=1 exec=2\n",
+		"not kv":         "task a exec\n",
+		"bad int":        "task a exec=abc\n",
+		"invalid task":   "task a exec=0\n",
+		"window short":   "task a exec=5 deadline=3\n",
+		"bad edge":       "task a exec=1\ntask b exec=1\nedge a b\n",
+		"unknown src":    "task b exec=1\nedge a -> b\n",
+		"unknown dst":    "task a exec=1\nedge a -> b\n",
+		"edge attr":      "task a exec=1\ntask b exec=1\nedge a -> b weight=3\n",
+		"self loop":      "task a exec=1\nedge a -> a\n",
+		"dup edge":       "task a exec=1\ntask b exec=1\nedge a -> b\nedge a -> b\n",
+		"cycle":          "task a exec=1\ntask b exec=1\nedge a -> b\nedge b -> a\n",
+		"unknown direct": "node a exec=1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadSTG(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+}
+
+func TestReadSTGErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ReadSTG(strings.NewReader("task a exec=1\n\ntask b exec=0\n"))
+	if err == nil || !strings.Contains(err.Error(), "stg:3") {
+		t.Fatalf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestSTGRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"diamond": Diamond(),
+		"ladder":  LadderGraph(3, 4, 2),
+		"indep":   Independent(4, 6),
+	} {
+		var buf bytes.Buffer
+		if err := g.WriteSTG(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ReadSTG(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v\n%s", name, err, buf.String())
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: shape changed", name)
+		}
+		for id := 0; id < g.NumTasks(); id++ {
+			a, b := g.Task(TaskID(id)), back.Task(TaskID(id))
+			if a.Exec != b.Exec || a.Phase != b.Phase || a.Deadline != b.Deadline || a.Period != b.Period {
+				t.Fatalf("%s: task %d changed: %+v vs %+v", name, id, a, b)
+			}
+		}
+		for _, c := range g.Channels() {
+			bc, ok := back.Channel(c.Src, c.Dst)
+			if !ok || bc.Size != c.Size {
+				t.Fatalf("%s: edge %v changed", name, c)
+			}
+		}
+		// Canonical: writing again yields identical bytes.
+		var buf2 bytes.Buffer
+		if err := back.WriteSTG(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: not canonical:\n%s\nvs\n%s", name, buf.String(), buf2.String())
+		}
+	}
+}
+
+func TestWriteSTGSanitizesNames(t *testing.T) {
+	g := New(3)
+	g.AddTask(Task{Name: "has space", Exec: 1, Deadline: 5})
+	g.AddTask(Task{Name: "", Exec: 1, Deadline: 5})
+	g.AddTask(Task{Name: "has space", Exec: 1, Deadline: 5}) // duplicate name
+	var buf bytes.Buffer
+	if err := g.WriteSTG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSTG(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("sanitized output unparseable: %v\n%s", err, buf.String())
+	}
+	if back.NumTasks() != 3 {
+		t.Fatal("task lost in sanitization")
+	}
+}
+
+func TestSTGPeriodicRoundTrip(t *testing.T) {
+	g := New(1)
+	g.AddTask(Task{Name: "p", Exec: 2, Phase: 1, Deadline: 8, Period: 10})
+	var buf bytes.Buffer
+	if err := g.WriteSTG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "period=10") || !strings.Contains(buf.String(), "phase=1") {
+		t.Fatalf("periodic attributes missing:\n%s", buf.String())
+	}
+	back, err := ReadSTG(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Task(0) != (Task{ID: 0, Name: "p", Exec: 2, Phase: 1, Deadline: 8, Period: 10}) {
+		t.Fatalf("round trip changed task: %+v", back.Task(0))
+	}
+}
+
+func TestSaveLoadFileByExtension(t *testing.T) {
+	dir := t.TempDir()
+	g := Diamond()
+	for _, name := range []string{"g.json", "g.stg"} {
+		path := dir + "/" + name
+		if err := g.SaveFile(path); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: round trip changed shape", name)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package taskgraph models the real-time application of Jonsson & Shin
+// (ICPP'97): a set of tasks characterized by the 4-tuple ⟨c_i, φ_i, d_i, T_i⟩
+// whose precedence constraints and communication demands form a directed
+// acyclic task graph G = (N, A).
+//
+// The package is the base substrate of the repository: it owns the Time
+// representation, the Task and Channel records, the Graph container with its
+// partial order ≺, and the structural analyses (topological order, levels,
+// longest execution paths, traversal orders) that the deadline-assignment,
+// scheduling and branch-and-bound layers are built on.
+package taskgraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is the discrete time unit used throughout the system. All task
+// execution times, phasings, deadlines, periods, message transfer costs and
+// schedule instants are expressed in Time ticks. Lateness values may be
+// negative (a task finishing before its deadline has negative lateness).
+type Time int64
+
+// Infinity is a quarter of the int64 range: large enough to dominate any
+// legitimate schedule instant, small enough that sums of a few Infinity
+// values cannot overflow int64.
+const Infinity Time = math.MaxInt64 / 4
+
+// MinTime mirrors Infinity on the negative side. It is the identity element
+// for max-reductions over Time values.
+const MinTime Time = -Infinity
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTimeOf returns the smaller of a and b.
+func MinTimeOf(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TaskID identifies a task within one Graph. IDs are dense: the i-th task
+// added to a graph receives ID i. The zero graph has no valid IDs.
+type TaskID int32
+
+// NoTask is the sentinel "no task" ID, used for optional references such as
+// the scheduled task of a branch-and-bound root vertex.
+const NoTask TaskID = -1
+
+// Task is the static description of one real-time task τ_i. In the paper's
+// notation a task is the 4-tuple ⟨c_i, φ_i, d_i, T_i⟩; the dynamic behaviour
+// of invocation k is derived from it (see Arrival and AbsDeadline for k=1,
+// and package periodic for k>1).
+type Task struct {
+	// ID is the task's identity within its graph. It is assigned by
+	// Graph.AddTask and must not be modified afterwards.
+	ID TaskID `json:"id"`
+
+	// Name is an optional human-readable label used by renderers and DOT
+	// export. It does not affect scheduling.
+	Name string `json:"name,omitempty"`
+
+	// Exec is the worst-case execution time c_i, inclusive of architectural
+	// overheads (cache misses, pipeline hazards, context switches) and the
+	// constant cost of packetizing/depacketizing messages. Must be > 0.
+	Exec Time `json:"exec"`
+
+	// Phase is the phasing φ_i: the earliest time, relative to the time
+	// origin, at which the first invocation of the task may start.
+	Phase Time `json:"phase"`
+
+	// Deadline is the relative deadline d_i: the time within which the task
+	// must complete once invoked. Must satisfy Deadline >= Exec for the
+	// task to be schedulable at all, and Deadline <= Period for periodic
+	// tasks (so execution windows of consecutive invocations never overlap).
+	Deadline Time `json:"deadline"`
+
+	// Period is the inter-invocation interval T_i. Period == 0 denotes an
+	// aperiodic (one-shot) task, the mode used by the paper's experiments.
+	Period Time `json:"period,omitempty"`
+}
+
+// Arrival returns the absolute arrival time a_i^1 = φ_i of the task's first
+// invocation: the earliest instant it is allowed to start executing.
+func (t Task) Arrival() Time { return t.Phase }
+
+// AbsDeadline returns the absolute deadline D_i^1 = a_i^1 + d_i of the
+// task's first invocation: the instant by which it must have completed.
+func (t Task) AbsDeadline() Time { return t.Phase + t.Deadline }
+
+// ArrivalK returns the absolute arrival time a_i^k = φ_i + T_i·(k−1) of the
+// k-th invocation (k >= 1). For aperiodic tasks only k == 1 is meaningful.
+func (t Task) ArrivalK(k int) Time {
+	return t.Phase + t.Period*Time(k-1)
+}
+
+// AbsDeadlineK returns the absolute deadline D_i^k = a_i^k + d_i of the k-th
+// invocation (k >= 1).
+func (t Task) AbsDeadlineK(k int) Time {
+	return t.ArrivalK(k) + t.Deadline
+}
+
+// WindowLength returns |w_i| = D_i − a_i = d_i, the length of the task's
+// execution window.
+func (t Task) WindowLength() Time { return t.Deadline }
+
+// Validate reports whether the static task parameters are internally
+// consistent: positive execution time, non-negative phase, a window long
+// enough to hold the execution time, and (for periodic tasks) d_i <= T_i.
+func (t Task) Validate() error {
+	if t.Exec <= 0 {
+		return fmt.Errorf("task %d (%s): non-positive execution time %d", t.ID, t.Name, t.Exec)
+	}
+	if t.Phase < 0 {
+		return fmt.Errorf("task %d (%s): negative phase %d", t.ID, t.Name, t.Phase)
+	}
+	if t.Deadline < t.Exec {
+		return fmt.Errorf("task %d (%s): window %d shorter than execution time %d", t.ID, t.Name, t.Deadline, t.Exec)
+	}
+	if t.Period != 0 && t.Deadline > t.Period {
+		return fmt.Errorf("task %d (%s): deadline %d exceeds period %d", t.ID, t.Name, t.Deadline, t.Period)
+	}
+	return nil
+}
+
+func (t Task) String() string {
+	name := t.Name
+	if name == "" {
+		name = fmt.Sprintf("τ%d", t.ID)
+	}
+	return fmt.Sprintf("%s⟨c=%d φ=%d d=%d T=%d⟩", name, t.Exec, t.Phase, t.Deadline, t.Period)
+}
+
+// Channel is the communication channel χ_{i,j} that handles message transfer
+// from task τ_i to task τ_j, characterized by ⟨m_{i,j}, a_{i,j}, d_{i,j}⟩.
+// The real cost of the transfer depends on the processors the endpoint tasks
+// are assigned to and is computed by the platform layer.
+type Channel struct {
+	// Src and Dst are the producing and consuming tasks. The pair also
+	// appears as the arc (τ_i, τ_j) in the precedence relation.
+	Src TaskID `json:"src"`
+	Dst TaskID `json:"dst"`
+
+	// Size is the maximum message size m_{i,j} in data items. A size of 0
+	// denotes a pure precedence constraint with no data transfer.
+	Size Time `json:"size"`
+
+	// Arrival is the message arrival time a_{i,j}. It is derived during
+	// deadline assignment; the zero value means "unassigned".
+	Arrival Time `json:"arrival,omitempty"`
+
+	// Deadline is the relative message deadline d_{i,j}. It is derived
+	// during deadline assignment; the zero value means "unassigned".
+	Deadline Time `json:"deadline,omitempty"`
+}
+
+func (c Channel) String() string {
+	return fmt.Sprintf("χ(%d→%d, m=%d)", c.Src, c.Dst, c.Size)
+}

@@ -1,0 +1,189 @@
+package taskgraph
+
+// This file computes the graph's TRUE parallelism ceiling: the maximum
+// antichain — the largest set of pairwise-incomparable tasks under ≺. No
+// schedule can run more than MaxAntichain tasks concurrently even on
+// unlimited processors, so the value calibrates processor counts the way
+// the paper's §6 parallelism sweep does structurally. (Width() reports the
+// cheaper per-level count, which is only a lower bound on the antichain.)
+//
+// By Dilworth's theorem the maximum antichain equals the minimum number of
+// chains covering the DAG's COMPARABILITY relation, computed as
+// n − maxMatching on the bipartite reachability graph (Fulkerson's
+// construction: left copy u — right copy v iff u ≺ v). The matching is
+// Hopcroft–Karp, O(E·√V) over the transitive closure.
+
+// MaxAntichain returns the size of the largest antichain. Panics on cyclic
+// graphs (as the other analyses do).
+func (g *Graph) MaxAntichain() int {
+	n := g.NumTasks()
+	if n == 0 {
+		return 0
+	}
+	reach := g.closure()
+
+	// Adjacency of the bipartite graph: left u → every v with u ≺ v.
+	adj := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if reach[u][v] {
+				adj[u] = append(adj[u], int32(v))
+			}
+		}
+	}
+	matching := hopcroftKarp(n, adj)
+	// Minimum chain cover of the comparability order = n − matching;
+	// Dilworth: the maximum antichain has the same size.
+	return n - matching
+}
+
+// AntichainAt returns one maximum antichain (task IDs in ascending order).
+// It derives the vertex cover from the final matching (König) and returns
+// the complement, restricted per Dilworth's correspondence.
+func (g *Graph) AntichainAt() []TaskID {
+	n := g.NumTasks()
+	if n == 0 {
+		return nil
+	}
+	reach := g.closure()
+	adj := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if reach[u][v] {
+				adj[u] = append(adj[u], int32(v))
+			}
+		}
+	}
+	matchL, matchR := hopcroftKarpWithMatches(n, adj)
+
+	// König: alternating BFS from unmatched left vertices.
+	visL := make([]bool, n)
+	visR := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		if matchL[u] < 0 {
+			visL[u] = true
+			queue = append(queue, int32(u))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visR[v] {
+				continue
+			}
+			visR[v] = true
+			if w := matchR[v]; w >= 0 && !visL[w] {
+				visL[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Vertex cover = (left not visited) ∪ (right visited). A task belongs
+	// to the maximum antichain iff NEITHER of its copies is in the cover:
+	// visL[u] && !visR[u].
+	var out []TaskID
+	for u := 0; u < n; u++ {
+		if visL[u] && !visR[u] {
+			out = append(out, TaskID(u))
+		}
+	}
+	return out
+}
+
+// closure computes the boolean transitive closure of ≺ (excluding the
+// diagonal) in topological order.
+func (g *Graph) closure() [][]bool {
+	n := g.NumTasks()
+	order := g.mustAnalyze().topo
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		for _, s := range g.succs[u] {
+			reach[u][s] = true
+			for v := 0; v < n; v++ {
+				if reach[s][v] {
+					reach[u][v] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// hopcroftKarp returns the size of a maximum bipartite matching.
+func hopcroftKarp(n int, adj [][]int32) int {
+	matchL, _ := hopcroftKarpWithMatches(n, adj)
+	size := 0
+	for _, v := range matchL {
+		if v >= 0 {
+			size++
+		}
+	}
+	return size
+}
+
+// hopcroftKarpWithMatches returns the matching arrays (−1 = unmatched).
+func hopcroftKarpWithMatches(n int, adj [][]int32) (matchL, matchR []int32) {
+	const inf = int32(1) << 30
+	matchL = make([]int32, n)
+	matchR = make([]int32, n)
+	dist := make([]int32, n)
+	for i := range matchL {
+		matchL[i], matchR[i] = -1, -1
+	}
+	queue := make([]int32, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] < 0 {
+				dist[u] = 0
+				queue = append(queue, int32(u))
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w < 0 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w < 0 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] < 0 {
+				dfs(int32(u))
+			}
+		}
+	}
+	return matchL, matchR
+}

@@ -1,0 +1,125 @@
+package taskgraph
+
+import (
+	"testing"
+)
+
+// bruteAntichain finds the maximum antichain by subset enumeration
+// (n <= ~18).
+func bruteAntichain(g *Graph) int {
+	n := g.NumTasks()
+	comparable := make([][]bool, n)
+	for i := range comparable {
+		comparable[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j && (g.HasPath(TaskID(i), TaskID(j)) || g.HasPath(TaskID(j), TaskID(i))) {
+				comparable[i][j] = true
+			}
+		}
+	}
+	best := 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		ok := true
+		size := 0
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			size++
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 && comparable[i][j] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestMaxAntichainFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"chain", Chain(6, 3, 0), 1},
+		{"independent", Independent(5, 2), 5},
+		{"diamond", Diamond(), 2},
+		{"forkjoin4", ForkJoin(4, 3, 1), 4},
+		{"empty", New(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.g.MaxAntichain(); got != c.want {
+			t.Errorf("%s: MaxAntichain = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMaxAntichainAgainstBruteForce(t *testing.T) {
+	graphs := map[string]*Graph{
+		"ladder3":  LadderGraph(3, 2, 1),
+		"ladder5":  LadderGraph(5, 2, 1),
+		"forkjoin": ForkJoin(6, 2, 1),
+		"diamond":  Diamond(),
+	}
+	for name, g := range graphs {
+		want := bruteAntichain(g)
+		if got := g.MaxAntichain(); got != want {
+			t.Errorf("%s: MaxAntichain = %d, brute force %d", name, got, want)
+		}
+	}
+}
+
+func TestMaxAntichainAtLeastLevelWidth(t *testing.T) {
+	// The per-level width is always a valid antichain (same level ⇒
+	// incomparable), so MaxAntichain >= Width.
+	for name, g := range map[string]*Graph{
+		"ladder":  LadderGraph(4, 3, 1),
+		"fork":    ForkJoin(5, 2, 1),
+		"diamond": Diamond(),
+	} {
+		if g.MaxAntichain() < g.Width() {
+			t.Errorf("%s: antichain %d below level width %d", name, g.MaxAntichain(), g.Width())
+		}
+	}
+}
+
+func TestAntichainAtIsValidAndMaximum(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"ladder":   LadderGraph(4, 2, 1),
+		"forkjoin": ForkJoin(4, 3, 1),
+		"diamond":  Diamond(),
+		"chain":    Chain(5, 2, 0),
+		"indep":    Independent(6, 1),
+	} {
+		anti := g.AntichainAt()
+		if len(anti) != g.MaxAntichain() {
+			t.Errorf("%s: witness size %d != MaxAntichain %d", name, len(anti), g.MaxAntichain())
+		}
+		for i := 0; i < len(anti); i++ {
+			for j := i + 1; j < len(anti); j++ {
+				if g.HasPath(anti[i], anti[j]) || g.HasPath(anti[j], anti[i]) {
+					t.Errorf("%s: witness contains comparable pair %d, %d", name, anti[i], anti[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMaxAntichainOnTransitiveEdges(t *testing.T) {
+	// a→b→c plus the redundant a→c: antichain is still 1.
+	g := New(3)
+	a := g.AddTask(Task{Exec: 1, Deadline: 10})
+	b := g.AddTask(Task{Exec: 1, Deadline: 10})
+	c := g.AddTask(Task{Exec: 1, Deadline: 10})
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(a, c, 0)
+	if got := g.MaxAntichain(); got != 1 {
+		t.Fatalf("MaxAntichain = %d, want 1", got)
+	}
+}
