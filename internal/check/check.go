@@ -1,0 +1,299 @@
+// Package check is a repo-specific static-analysis framework for the
+// branch-and-bound scheduler, built only on the standard library
+// (go/ast, go/parser, go/types, go/importer).
+//
+// The solver's correctness rests on invariants the compiler cannot see:
+// the Kohler–Steiglitz parameter combinations must stay deterministic and
+// side-effect-free so C1–C3 comparisons are reproducible, the package DAG
+// must stay acyclic and layered so the search core never grows accidental
+// dependencies on generators or reporting, and the parallel solver's
+// shared incumbent must only ever be touched atomically. Each Analyzer in
+// this package encodes one such invariant as a mechanical check with
+// file:line diagnostics.
+//
+// Diagnostics can be suppressed at a specific site with a
+//
+//	//bbvet:ignore <analyzer> [<analyzer>...]
+//
+// comment on the flagged line or on the line directly above it. A bare
+// //bbvet:ignore (no analyzer names) suppresses every analyzer at that
+// site; named forms are preferred so the allowlist stays auditable.
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a single package.
+type Analyzer struct {
+	// Name is the analyzer identifier used in diagnostics and in
+	// //bbvet:ignore directives.
+	Name string
+
+	// Doc is a one-line description shown by `bbvet -help`.
+	Doc string
+
+	// NeedsTypes reports whether Run requires Pass.TypesInfo. Analyzers
+	// that inspect only syntax leave it false so they keep working on
+	// packages (or fixtures) that do not type-check.
+	NeedsTypes bool
+
+	// Run inspects one package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full bbvet suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LayeringAnalyzer,
+		NondetAnalyzer,
+		SyncAnalyzer,
+		ErrcheckAnalyzer,
+		PanicMsgAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+
+	// Files are the package's non-test source files.
+	Files []*ast.File
+
+	// Mod identifies the enclosing module (root directory + module path).
+	Mod Module
+
+	// PkgPath is the package import path (e.g. "repro/internal/core").
+	PkgPath string
+
+	// PkgName is the declared package name.
+	PkgName string
+
+	// TypesPkg and TypesInfo hold type-checker output; TypesInfo is nil
+	// when type checking was skipped or failed before producing a package.
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
+
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// RelPath returns PkgPath relative to the module path ("" for the root
+// package), the form the layering table and hot-package sets use.
+func (p *Pass) RelPath() string {
+	if p.PkgPath == p.Mod.Path {
+		return ""
+	}
+	return strings.TrimPrefix(p.PkgPath, p.Mod.Path+"/")
+}
+
+// Reportf records a diagnostic unless an //bbvet:ignore directive
+// allowlists this analyzer on the same or the preceding line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreIndex records //bbvet:ignore directives: file → line → analyzer
+// set (nil set means "all analyzers").
+type ignoreIndex map[string]map[int]map[string]bool
+
+const ignoreDirective = "//bbvet:ignore"
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //bbvet:ignorexyz
+				}
+				pos := fset.Position(c.Pos())
+				perFile := idx[pos.Filename]
+				if perFile == nil {
+					perFile = make(map[int]map[string]bool)
+					idx[pos.Filename] = perFile
+				}
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					perFile[pos.Line] = nil // all analyzers
+					continue
+				}
+				set := perFile[pos.Line]
+				if set == nil && !hasAllDirective(perFile, pos.Line) {
+					set = make(map[string]bool)
+					perFile[pos.Line] = set
+				}
+				for _, n := range names {
+					if set != nil {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func hasAllDirective(perFile map[int]map[string]bool, line int) bool {
+	set, ok := perFile[line]
+	return ok && set == nil
+}
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line above names the analyzer (or names nothing, matching all).
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	perFile := idx[pos.Filename]
+	if perFile == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		set, ok := perFile[line]
+		if !ok {
+			continue
+		}
+		if set == nil || set[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// findings sorted by position. Analyzers with NeedsTypes are skipped
+// (with a synthetic diagnostic) when the package has no type information
+// at all; partial information from a package with type errors is used
+// as-is, since every analyzer tolerates missing entries.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.NeedsTypes && pkg.TypesInfo == nil {
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: pkg.Dir},
+				Analyzer: a.Name,
+				Message:  "skipped: package did not type-check",
+			})
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Mod:       pkg.Mod,
+			PkgPath:   pkg.Path,
+			PkgName:   pkg.Name,
+			TypesPkg:  pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			ignores:   ignores,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// importMap maps the local identifier of each import in a file to its
+// import path (the syntactic fallback used when type info is missing).
+func importMap(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		name := ""
+		if spec.Name != nil {
+			name = spec.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		} else {
+			name = path[strings.LastIndex(path, "/")+1:]
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// pkgOfIdent resolves the package path an identifier refers to, using
+// type information when available and the file's import table otherwise.
+// It returns "" when the identifier is not a package name.
+func (p *Pass) pkgOfIdent(file *ast.File, id *ast.Ident) string {
+	if p.TypesInfo != nil {
+		if obj, ok := p.TypesInfo.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // a variable, type, etc. shadowing the name
+		}
+	}
+	return importMap(file)[id.Name]
+}
+
+// calleePkgFunc splits a call of the form pkg.Fn(...) into (package path,
+// function name); it returns ok=false for anything else (methods, locals,
+// indexed expressions).
+func (p *Pass) calleePkgFunc(file *ast.File, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	path := p.pkgOfIdent(file, id)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}

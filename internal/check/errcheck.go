@@ -1,0 +1,124 @@
+package check
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckAnalyzer flags dropped error returns: a call whose result set
+// includes an error, used as a bare statement (or as a go/defer call), in
+// a non-test file. An optimal scheduler that silently swallows an I/O or
+// validation error can report a wrong optimum with full confidence, so
+// errors are either handled, explicitly assigned to _, or allowlisted
+// with //bbvet:ignore errcheck.
+//
+// A small exclusion list covers the printf family and in-memory writers
+// (strings.Builder, bytes.Buffer), whose errors are definitionally
+// unreachable or conventionally ignored.
+var ErrcheckAnalyzer = &Analyzer{
+	Name:       "errcheck",
+	Doc:        "flag dropped error returns outside tests",
+	NeedsTypes: true,
+	Run:        runErrcheck,
+}
+
+// errcheckExemptFuncs maps package path → function names whose error
+// results may be dropped. An empty set means "every function".
+var errcheckExemptFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+}
+
+// errcheckExemptRecvs lists receiver types whose method errors may be
+// dropped (in-memory writers that never fail).
+var errcheckExemptRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrcheck(pass *Pass) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			if !callReturnsError(pass, call) {
+				return true
+			}
+			if errcheckExempt(pass, file, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error return dropped; handle it, assign to _, or allowlist with //bbvet:ignore errcheck")
+			return false
+		})
+	}
+}
+
+// callReturnsError reports whether the call's type includes an error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String() == "error"
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// errcheckExempt applies the exclusion lists.
+func errcheckExempt(pass *Pass, file *ast.File, call *ast.CallExpr) bool {
+	if pkgPath, fn, ok := pass.calleePkgFunc(file, call); ok {
+		if set, ok := errcheckExemptFuncs[pkgPath]; ok && (len(set) == 0 || set[fn]) {
+			return true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	for {
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+			continue
+		}
+		break
+	}
+	return errcheckExemptRecvs[types.TypeString(recv, nil)]
+}

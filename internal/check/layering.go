@@ -1,0 +1,132 @@
+package check
+
+import (
+	"strings"
+)
+
+// LayeringAnalyzer enforces the repository's package DAG. The intent:
+//
+//   - internal/taskgraph and internal/stats are the foundation and import
+//     nothing module-internal; internal/platform sits directly above and
+//     may import only taskgraph (for the Time type).
+//   - internal/sched is the scheduling substrate; the search layers
+//     (core, bruteforce, edf, listsched, ...) build on it.
+//   - internal/core — the branch-and-bound engine — must never depend on
+//     workload generation (internal/gen), experiment drivers
+//     (internal/exp), or reporting (internal/report): the search must be
+//     a pure function of its inputs.
+//   - cmd/* binaries may use internal packages but never each other, and
+//     examples/* consume only the root facade.
+//
+// Every internal package must appear in layerAllowed; adding a package
+// (or a new edge) is a deliberate act of extending the table, which is
+// exactly the review point the analyzer exists to create.
+var LayeringAnalyzer = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the package dependency DAG (foundation ← sched ← search ← drivers)",
+	Run:  runLayering,
+}
+
+// layerAllowed maps each module-internal package (path relative to the
+// module root) to the internal packages it may import. The table is the
+// single source of truth for the dependency DAG.
+var layerAllowed = map[string][]string{
+	// Foundation: types only, no internal imports.
+	"internal/taskgraph": {},
+	"internal/stats":     {},
+	"internal/check":     {},
+
+	// Layer 1: directly above the task model.
+	"internal/platform":   {"internal/taskgraph"},
+	"internal/deadline":   {"internal/taskgraph"},
+	"internal/gen":        {"internal/taskgraph"},
+	"internal/periodic":   {"internal/taskgraph"},
+	"internal/preemptive": {"internal/taskgraph"},
+	"internal/analysis":   {"internal/platform", "internal/taskgraph"},
+
+	// Layer 2: the scheduling substrate.
+	"internal/sched": {"internal/platform", "internal/taskgraph"},
+
+	// Layer 3: schedulers and schedule transforms over the substrate.
+	"internal/bruteforce": {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/edf":        {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/dispatch":   {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/gantt":      {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/improve":    {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/listsched":  {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/sim":        {"internal/platform", "internal/sched", "internal/taskgraph"},
+
+	// Layer 4: the branch-and-bound engine. Deliberately excludes
+	// internal/gen, internal/exp, internal/report and the other solvers.
+	"internal/core": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph"},
+
+	// Layer 5: harnesses over the engine.
+	"internal/trace": {"internal/core", "internal/taskgraph"},
+	"internal/exp": {
+		"internal/core", "internal/deadline", "internal/edf", "internal/gen",
+		"internal/platform", "internal/stats", "internal/taskgraph",
+	},
+	"internal/fuzzcheck": {
+		"internal/analysis", "internal/bruteforce", "internal/core", "internal/deadline",
+		"internal/edf", "internal/gen", "internal/improve", "internal/listsched",
+		"internal/platform", "internal/taskgraph",
+	},
+	"internal/portfolio": {
+		"internal/analysis", "internal/core", "internal/improve", "internal/listsched",
+		"internal/platform", "internal/sched", "internal/taskgraph",
+	},
+	"internal/report": {
+		"internal/analysis", "internal/core", "internal/dispatch", "internal/edf",
+		"internal/gantt", "internal/improve", "internal/listsched", "internal/platform",
+		"internal/sched", "internal/taskgraph",
+	},
+}
+
+func runLayering(pass *Pass) {
+	rel := pass.RelPath()
+	var allowed map[string]bool
+	known := false
+	if allowList, ok := layerAllowed[rel]; ok {
+		known = true
+		allowed = make(map[string]bool, len(allowList))
+		for _, a := range allowList {
+			allowed[pass.Mod.Path+"/"+a] = true
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != pass.Mod.Path && !strings.HasPrefix(path, pass.Mod.Path+"/") {
+				continue // external or stdlib
+			}
+			impRel := strings.TrimPrefix(strings.TrimPrefix(path, pass.Mod.Path), "/")
+
+			// Universal rules first: nothing imports cmd/* or examples/*.
+			if strings.HasPrefix(impRel, "cmd/") || strings.HasPrefix(impRel, "examples/") {
+				pass.Reportf(spec.Pos(), "import of %s: cmd and examples packages must not be imported", path)
+				continue
+			}
+
+			switch {
+			case rel == "":
+				// The root facade may import any internal package.
+			case strings.HasPrefix(rel, "examples/"):
+				if path != pass.Mod.Path {
+					pass.Reportf(spec.Pos(), "examples must use only the root facade %s, not %s", pass.Mod.Path, path)
+				}
+			case strings.HasPrefix(rel, "cmd/"):
+				// cmd/* may import internal packages (cross-cmd imports were
+				// rejected above).
+			case known:
+				if !allowed[path] {
+					pass.Reportf(spec.Pos(), "layering violation: %s may not import %s (extend the DAG table in internal/check/layering.go if this edge is intended)", rel, impRel)
+				}
+			}
+		}
+		if rel != "" && !known && !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/") {
+			pass.Reportf(f.Name.Pos(), "package %s is not registered in the bbvet layering table (internal/check/layering.go)", rel)
+			break // one report per package is enough
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module identifies the module under analysis.
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod (e.g. "repro").
+	Path string
+}
+
+// FindModule walks up from dir to the enclosing go.mod and parses the
+// module path from it.
+func FindModule(dir string) (Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return Module{}, err
+	}
+	for d := abs; ; {
+		modFile := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(modFile); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return Module{Root: d, Path: strings.TrimSpace(strings.TrimPrefix(line, "module "))}, nil
+				}
+			}
+			return Module{}, fmt.Errorf("check: %s has no module directive", modFile)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return Module{}, fmt.Errorf("check: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Package is one loaded, parsed, optionally type-checked package.
+type Package struct {
+	Path  string // import path
+	Name  string // declared package name
+	Dir   string
+	Mod   Module
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module. Standard-library
+// imports are resolved from $GOROOT/src via the go/importer "source"
+// mode; module-internal imports are resolved by the loader itself, so no
+// external tooling (and no pre-built export data) is required.
+type Loader struct {
+	Mod  Module
+	Fset *token.FileSet
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module.
+func NewLoader(mod Module) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Mod:     mod,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Load parses and type-checks the package at the given module-internal
+// import path, caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := l.Mod.Root
+	if path != l.Mod.Path {
+		rel := strings.TrimPrefix(path, l.Mod.Path+"/")
+		if rel == path {
+			return nil, fmt.Errorf("check: %q is not inside module %q", path, l.Mod.Path)
+		}
+		dir = filepath.Join(l.Mod.Root, filepath.FromSlash(rel))
+	}
+	return l.LoadDir(dir, path, true)
+}
+
+// LoadDir parses the single package rooted at dir under the given import
+// path. When withTypes is set the package is type-checked; type errors
+// are collected in TypeErrors rather than aborting, so analyzers can run
+// on partial information.
+func (l *Loader) LoadDir(dir, path string, withTypes bool) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("check: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("check: no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Mod: l.Mod, Fset: l.Fset}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("check: %v", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+
+	if withTypes {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer:    &moduleImporter{l: l},
+			FakeImportC: true,
+			Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, _ := conf.Check(path, l.Fset, pkg.Files, info)
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFilesIn lists the buildable non-test Go files of dir, honouring build
+// constraints for the default build context (so e.g. bbdebug-tagged files
+// are excluded unless the tag is set).
+func goFilesIn(dir string) ([]string, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("check: %v", err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	return names, nil
+}
+
+// moduleImporter resolves module-internal imports via the Loader and
+// everything else via the standard-library source importer.
+type moduleImporter struct{ l *Loader }
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.l.Mod.Path || strings.HasPrefix(path, m.l.Mod.Path+"/") {
+		p, err := m.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("check: %q loaded without types", path)
+		}
+		return p.Types, nil
+	}
+	return m.l.std.ImportFrom(path, dir, 0)
+}
+
+// ExpandPatterns resolves bbvet's command-line patterns ("./...", "dir",
+// "dir/...") into module-internal import paths, in sorted order. Dirs
+// named testdata or vendor, and dirs starting with "." or "_", are
+// skipped during ... expansion.
+func ExpandPatterns(mod Module, cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		rel, err := filepath.Rel(mod.Root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("check: pattern %q resolves outside module root %s", pat, mod.Root)
+		}
+		if !recursive {
+			add(importPathFor(mod, rel))
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(p)
+			if p != dir && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := goFilesIn(p)
+			if err != nil || len(names) == 0 {
+				return nil
+			}
+			r, err := filepath.Rel(mod.Root, p)
+			if err != nil {
+				return err
+			}
+			add(importPathFor(mod, r))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func importPathFor(mod Module, rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." || rel == "" {
+		return mod.Path
+	}
+	return mod.Path + "/" + rel
+}

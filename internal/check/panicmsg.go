@@ -1,0 +1,95 @@
+package check
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// PanicMsgAnalyzer enforces the panic attribution policy in library
+// packages: a panic message must start with "<pkg>: " so that a failure
+// deep inside a search (possibly on one of many SolveParallel workers) is
+// attributable to the package that raised it without a symbolized stack.
+//
+// Accepted argument shapes, checked recursively where sensible:
+//
+//	panic("core: unknown selection rule")
+//	panic("sched: invalid graph: " + err.Error())
+//	panic(fmt.Sprintf("sched: Place(%d) ...", id))
+//	panic(fmt.Errorf("core: replay: %w", err))
+//	panic(errors.New("gen: impossible shape"))
+//
+// Everything else — a bare err value, a computed string, a foreign
+// prefix — is flagged. cmd/* binaries, examples and tests are exempt:
+// their panics surface directly to a terminal with full context.
+var PanicMsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `panics in library packages must carry a "<pkg>: " prefix`,
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	rel := pass.RelPath()
+	if rel == "" && pass.PkgName == "main" {
+		return
+	}
+	if strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/") || pass.PkgName == "main" {
+		return
+	}
+	prefix := pass.PkgName + ": "
+
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			// Make sure "panic" is the builtin, not a shadowing local.
+			if pass.TypesInfo != nil {
+				if obj, resolved := pass.TypesInfo.Uses[id]; resolved && obj != nil && obj.Pkg() != nil {
+					return true // a user-defined panic function
+				}
+			}
+			if !attributedPanicArg(pass, file, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic message must start with %q so failures are attributable; wrap the value, e.g. panic(fmt.Errorf(%q+\"...: %%w\", err))", prefix, prefix)
+			}
+			return true
+		})
+	}
+}
+
+// attributedPanicArg reports whether the panic argument provably carries
+// the package prefix.
+func attributedPanicArg(pass *Pass, file *ast.File, arg ast.Expr, prefix string) bool {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind.String() != "STRING" {
+			return false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.BinaryExpr:
+		// "pkg: ..." + anything — the leftmost operand carries the prefix.
+		return attributedPanicArg(pass, file, e.X, prefix)
+	case *ast.ParenExpr:
+		return attributedPanicArg(pass, file, e.X, prefix)
+	case *ast.CallExpr:
+		pkgPath, fn, ok := pass.calleePkgFunc(file, e)
+		if !ok || len(e.Args) == 0 {
+			return false
+		}
+		switch {
+		case pkgPath == "fmt" && (fn == "Sprintf" || fn == "Errorf" || fn == "Sprint"):
+			return attributedPanicArg(pass, file, e.Args[0], prefix)
+		case pkgPath == "errors" && fn == "New":
+			return attributedPanicArg(pass, file, e.Args[0], prefix)
+		}
+		return false
+	}
+	return false
+}

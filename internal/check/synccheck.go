@@ -1,0 +1,346 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SyncAnalyzer enforces the concurrency hygiene the parallel solver
+// depends on (arXiv:1905.05568 documents how silent data races corrupt
+// optimality claims in parallel state-space search):
+//
+//   - a sync.Mutex / RWMutex / WaitGroup / Cond / Once must never be
+//     copied by value (value receivers, value parameters, plain
+//     assignments) — a copied lock is an unlocked lock;
+//   - a .Lock() (or .RLock()) must have a paired .Unlock() (.RUnlock())
+//     on the same receiver in the same function, directly or deferred —
+//     cross-function lock handoffs are flagged for explicit allowlisting;
+//   - a struct field passed to the legacy sync/atomic functions
+//     (atomic.AddInt64(&s.f, ...) etc.) must never also be accessed
+//     directly: mixed atomic/non-atomic access to the incumbent is
+//     exactly the race that breaks SolveParallel's optimality proof. New
+//     code should prefer the atomic.Int64-style typed API, which makes
+//     the mix impossible.
+var SyncAnalyzer = &Analyzer{
+	Name:       "synccheck",
+	Doc:        "mutex copies, unpaired Lock/Unlock, mixed atomic/plain field access",
+	NeedsTypes: true,
+	Run:        runSync,
+}
+
+func runSync(pass *Pass) {
+	for _, f := range pass.Files {
+		checkLockCopies(pass, f)
+		checkLockPairing(pass, f)
+	}
+	checkAtomicMixing(pass)
+}
+
+// ---------------------------------------------------------- lock copies --
+
+// containsLock reports whether a value of type t embeds any sync
+// primitive that must not be copied.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLockDepth(named.Underlying(), depth+1)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockDepth(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(t.Elem(), depth+1)
+	}
+	return false
+}
+
+func checkLockCopies(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			var fields []*ast.Field
+			if n.Recv != nil {
+				fields = append(fields, n.Recv.List...)
+			}
+			if n.Type.Params != nil {
+				fields = append(fields, n.Type.Params.List...)
+			}
+			if n.Type.Results != nil {
+				fields = append(fields, n.Type.Results.List...)
+			}
+			for _, fld := range fields {
+				t := typeOf(fld.Type)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					continue
+				}
+				if containsLock(t) {
+					pass.Reportf(fld.Type.Pos(), "%s passes a lock by value (type %s contains a sync primitive); use a pointer", funcLabel(n), types.TypeString(t, nil))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Rhs) != len(n.Lhs) {
+					break // multi-value call; a call result is a fresh value
+				}
+				if isFreshValue(rhs) {
+					continue
+				}
+				t := typeOf(rhs)
+				if t == nil {
+					continue
+				}
+				if containsLock(t) {
+					pass.Reportf(n.Lhs[i].Pos(), "assignment copies a value containing a sync primitive (%s); use a pointer", types.TypeString(t, nil))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFreshValue reports expressions whose evaluation produces a brand-new
+// value (so "copying" it is the only way to have it at all).
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	}
+	return false
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Name != nil {
+		return "func " + fd.Name.Name
+	}
+	return "func"
+}
+
+// --------------------------------------------------------- lock pairing --
+
+// checkLockPairing verifies that every receiver expression locked in a
+// function is also unlocked in that function (directly or via defer).
+func checkLockPairing(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// Keys are "recv\x00Lock" or "recv\x00RLock"; an unlock fills the
+		// key of the lock it releases (Unlock → Lock, RUnlock → RLock).
+		locks := map[string]token.Pos{}
+		unlocked := map[string]bool{}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch name {
+			case "Lock", "RLock", "Unlock", "RUnlock":
+			default:
+				return true
+			}
+			if !isMutexMethod(pass, sel) {
+				return true
+			}
+			recv := exprString(pass.Fset, sel.X)
+			switch name {
+			case "Lock", "RLock":
+				key := recv + "\x00" + name
+				if _, ok := locks[key]; !ok {
+					locks[key] = call.Pos()
+				}
+			case "Unlock":
+				unlocked[recv+"\x00Lock"] = true
+			case "RUnlock":
+				unlocked[recv+"\x00RLock"] = true
+			}
+			return true
+		})
+
+		for key, pos := range locks {
+			if unlocked[key] {
+				continue
+			}
+			parts := strings.SplitN(key, "\x00", 2)
+			recv, kind := parts[0], parts[1]
+			unlockName := "Unlock"
+			if kind == "RLock" {
+				unlockName = "RUnlock"
+			}
+			pass.Reportf(pos, "%s.%s() without a paired %s in %s; release the lock in the same function (or allowlist an intentional handoff with //bbvet:ignore synccheck)",
+				recv, kind, unlockName, funcLabel(fd))
+		}
+	}
+}
+
+// isMutexMethod reports whether sel resolves to a method of a sync type
+// (or, without type info, looks like one syntactically).
+func isMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	if pass.TypesInfo != nil {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			fn, ok := s.Obj().(*types.Func)
+			if !ok {
+				return false
+			}
+			pkg := fn.Pkg()
+			return pkg != nil && pkg.Path() == "sync"
+		}
+	}
+	// Without resolution err on the side of matching: the method names are
+	// specific enough, and fixtures may deliberately skip type checking.
+	return true
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return buf.String()
+}
+
+// --------------------------------------------------------- atomic mixing --
+
+// atomicFuncs are the legacy sync/atomic functions whose first argument
+// is the address of the shared word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// checkAtomicMixing flags struct fields that are accessed both through
+// sync/atomic functions and directly.
+func checkAtomicMixing(pass *Pass) {
+	type fieldKey struct {
+		typ   string // receiver struct type
+		field string
+	}
+	atomicFields := map[fieldKey]token.Pos{}
+
+	fieldOf := func(file *ast.File, e ast.Expr) (fieldKey, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return fieldKey{}, false
+		}
+		if pass.TypesInfo != nil {
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				return fieldKey{typ: s.Recv().String(), field: sel.Sel.Name}, true
+			}
+		}
+		return fieldKey{}, false
+	}
+
+	// Pass 1: collect fields used atomically.
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := pass.calleePkgFunc(file, call)
+			if !ok || pkgPath != "sync/atomic" || !atomicFuncs[fn] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if key, ok := fieldOf(file, addr.X); ok {
+				atomicFields[key] = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other direct access to those fields is a race.
+	for _, f := range pass.Files {
+		file := f
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key, ok := fieldOf(file, sel)
+			if !ok {
+				return true
+			}
+			if _, isAtomic := atomicFields[key]; !isAtomic {
+				return true
+			}
+			if insideAtomicArg(pass, file, stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s.%s is accessed with sync/atomic elsewhere; this plain access races with it (go test -race will only catch it on a lucky interleaving)", key.typ, key.field)
+			return true
+		})
+	}
+}
+
+// insideAtomicArg reports whether the innermost enclosing call in the
+// traversal stack is a sync/atomic function call (the &x.f argument).
+func insideAtomicArg(pass *Pass, file *ast.File, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok {
+			pkgPath, fn, ok := pass.calleePkgFunc(file, call)
+			if ok && pkgPath == "sync/atomic" && atomicFuncs[fn] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Package baderr drops error returns in the three statement positions
+// the analyzer covers: bare calls, go statements, and defer statements.
+package baderr
+
+import "os"
+
+func drop() {
+	os.Remove("scratch") // want "error return dropped"
+}
+
+func dropAsync() {
+	go os.Remove("scratch") // want "error return dropped"
+}
+
+func dropDeferred(f *os.File) {
+	defer f.Close() // want "error return dropped"
+}
+
+func dropMulti() {
+	os.Create("scratch") // want "error return dropped"
+}

@@ -1,0 +1,30 @@
+// Package gooderr handles, explicitly drops, or allowlists every error.
+package gooderr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func handled() error {
+	if err := os.Remove("scratch"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDrop() {
+	_ = os.Remove("scratch")
+}
+
+func exemptWriters() string {
+	var b strings.Builder
+	b.WriteString("in-memory writes never fail")
+	fmt.Fprintf(&b, " (%d bytes so far)", b.Len())
+	return b.String()
+}
+
+func allowlisted(f *os.File) {
+	defer f.Close() //bbvet:ignore errcheck (read-only descriptor)
+}

@@ -1,0 +1,11 @@
+// Package core impersonates repro/internal/core so the fixture can
+// exercise the forbidden-edge diagnostics. The imports are never built
+// (testdata is invisible to the go tool); only their syntax matters.
+package core
+
+import (
+	_ "repro/cmd/bbsched"     // want "cmd and examples packages must not be imported"
+	_ "repro/internal/gen"    // want "layering violation: internal/core may not import internal/gen"
+	_ "repro/internal/report" // want "layering violation: internal/core may not import internal/report"
+	_ "repro/internal/sched"  // allowed: sched is below core in the DAG
+)

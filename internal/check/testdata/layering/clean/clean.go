@@ -1,0 +1,9 @@
+// Package gantt impersonates repro/internal/gantt, whose imports are all
+// DAG-sanctioned: the clean fixture must produce zero diagnostics.
+package gantt
+
+import (
+	_ "repro/internal/platform"
+	_ "repro/internal/sched"
+	_ "repro/internal/taskgraph"
+)

@@ -1,0 +1,5 @@
+// Package mystery is not in the layering table: the analyzer must demand
+// registration rather than silently allowing an unknown package.
+package mystery // want "not registered in the bbvet layering table"
+
+import _ "repro/internal/taskgraph"

@@ -1,0 +1,36 @@
+// Package core impersonates the search-hot repro/internal/core so every
+// nondeterminism diagnostic fires.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now in search-hot package"
+}
+
+func stale(t time.Time) bool {
+	return t != (time.Time{}) // want "use IsZero"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since in search-hot package"
+}
+
+func draw() int {
+	return rand.Intn(8) // want "process-global random source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global random source"
+}
+
+func iterate(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration order is randomized"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package core impersonates repro/internal/core with only sanctioned
+// patterns: seeded generators, IsZero deadline checks behind a named
+// allowlist comment, and map iteration normalized by a sort.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+func deadlineExpired(deadline time.Time) bool {
+	//bbvet:ignore nondet (sanctioned deadline check: time limits are inherently wall-clock)
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//bbvet:ignore nondet (iteration order is normalized by the sort below)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

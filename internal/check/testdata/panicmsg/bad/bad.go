@@ -1,0 +1,23 @@
+// Package badpanic raises unattributable panics: a bare error value, a
+// foreign prefix, and a computed message.
+package badpanic
+
+import "errors"
+
+func bare(err error) {
+	panic(err) // want "panic message must start with \"badpanic: \""
+}
+
+func foreignPrefix() {
+	panic("core: not our package") // want "panic message must start with"
+}
+
+func computed(msg string) {
+	panic(errors.New(msg)) // want "panic message must start with"
+}
+
+func unprefixedFormat(n int) {
+	panic(whisper(n)) // want "panic message must start with"
+}
+
+func whisper(n int) string { return "..." }

@@ -1,0 +1,33 @@
+// Package goodpanic raises only attributable panics, in every accepted
+// shape, plus one explicitly allowlisted re-panic.
+package goodpanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+func literal() {
+	panic("goodpanic: unknown selection rule")
+}
+
+func concatenated(err error) {
+	panic("goodpanic: invalid state: " + err.Error())
+}
+
+func formatted(id int) {
+	panic(fmt.Sprintf("goodpanic: Place(%d) on non-ready task", id))
+}
+
+func wrapped(err error) {
+	panic(fmt.Errorf("goodpanic: replay: %w", err))
+}
+
+func constructed() {
+	panic(errors.New("goodpanic: impossible shape"))
+}
+
+func repanic(r interface{}) {
+	//bbvet:ignore panicmsg (re-raising a recovered value preserves the original)
+	panic(r)
+}

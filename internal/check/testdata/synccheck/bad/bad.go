@@ -1,0 +1,44 @@
+// Package badsync exercises every sync-hygiene diagnostic: lock copies,
+// unpaired Lock/Unlock, and mixed atomic/plain field access (the exact
+// shape that corrupts a shared branch-and-bound incumbent).
+package badsync
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func byValue(c counter) int64 { // want "passes a lock by value"
+	return c.n
+}
+
+func copyAssign(c *counter) int64 {
+	d := *c // want "copies a value containing a sync primitive"
+	return d.n
+}
+
+func lockNoUnlock(c *counter) int64 {
+	c.mu.Lock() // want "without a paired Unlock"
+	return c.n
+}
+
+func rlockNoRUnlock(mu *sync.RWMutex) {
+	mu.RLock() // want "without a paired RUnlock"
+}
+
+type incumbent struct {
+	cost int64
+}
+
+func (in *incumbent) improve(c int64) {
+	atomic.StoreInt64(&in.cost, c)
+}
+
+func (in *incumbent) read() int64 {
+	return in.cost // want "accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,45 @@
+// Package goodsync holds only sanctioned concurrency patterns: pointer
+// receivers around locks, deferred unlocks, the typed atomic API, and an
+// explicitly allowlisted lock handoff.
+package goodsync
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	work []int
+
+	// The typed atomic API makes mixed access impossible by construction.
+	incumbent atomic.Int64
+}
+
+func (p *pool) push(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.work = append(p.work, v)
+}
+
+func (p *pool) tryImprove(c int64) {
+	for {
+		cur := p.incumbent.Load()
+		if c >= cur {
+			return
+		}
+		if p.incumbent.CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+// lockForCaller is an intentional lock handoff: the caller must release.
+func (p *pool) lockForCaller() {
+	p.mu.Lock() //bbvet:ignore synccheck (handoff: released by unlockFromCaller)
+}
+
+func (p *pool) unlockFromCaller() {
+	p.mu.Unlock()
+}

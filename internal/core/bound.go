@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
 )
@@ -32,7 +34,7 @@ type bounder struct {
 func newBounder(g *taskgraph.Graph, mode BoundFunc) *bounder {
 	topo, err := g.TopoOrder()
 	if err != nil {
-		panic(err) // Solve validated the graph already
+		panic(fmt.Errorf("core: bounder on unvalidated graph: %w", err)) // Solve validated the graph already
 	}
 	return &bounder{g: g, topo: topo, fhat: make([]taskgraph.Time, g.NumTasks()), mode: mode}
 }

@@ -86,12 +86,12 @@ func SolveIDA(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, err
 		s.incCost, s.seedInc = seed.Lmax(), seed
 	}
 
-	start := time.Now()
+	start := time.Now() //bbvet:ignore nondet (wall-clock only feeds Stats.Elapsed and the deadline)
 	if p.Resources.TimeLimit > 0 {
 		s.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	s.run()
-	s.stats.Elapsed = time.Since(start)
+	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 	return s.result()
 }
 
@@ -158,7 +158,8 @@ func (s *idaSolver) run() {
 // true when the time limit fired.
 func (s *idaSolver) probe() bool {
 	s.iter++
-	if s.deadline != (time.Time{}) && s.iter&255 == 0 && time.Now().After(s.deadline) {
+	//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
+	if !s.deadline.IsZero() && s.iter&255 == 0 && time.Now().After(s.deadline) {
 		s.stats.TimedOut = true
 		return true
 	}

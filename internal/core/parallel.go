@@ -98,7 +98,7 @@ func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams
 		ps.edfInc = seed
 	}
 
-	start := time.Now()
+	start := time.Now() //bbvet:ignore nondet (wall-clock only feeds Stats.Elapsed and the deadline)
 	if p.Resources.TimeLimit > 0 {
 		ps.deadline = start.Add(p.Resources.TimeLimit)
 	}
@@ -106,7 +106,7 @@ func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams
 	if err != nil {
 		return Result{}, err
 	}
-	ps.stats.Elapsed = time.Since(start)
+	ps.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 	return ps.result()
 }
 
@@ -298,7 +298,8 @@ const donateThreshold = 64
 func (w *parWorker) loop() error {
 	ps := w.ps
 	for {
-		if ps.deadline != (time.Time{}) && w.iter&255 == 0 && time.Now().After(ps.deadline) {
+		//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
+		if !ps.deadline.IsZero() && w.iter&255 == 0 && time.Now().After(ps.deadline) {
 			ps.timedOut.Store(true)
 			ps.poolMu.Lock()
 			ps.done = true

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// stressWorkloads returns deadline-assigned graphs sized so that a worker
+// stack outgrows donateThreshold (n ≈ 10, m = 3 ⇒ dozens of children per
+// expansion) while the sequential reference stays in the millisecond
+// range.
+func stressWorkloads(t testing.TB, count int, seed int64) []*taskgraph.Graph {
+	t.Helper()
+	p := gen.Defaults()
+	p.NMin, p.NMax = 9, 11
+	p.DepthMin, p.DepthMax = 3, 5
+	// Keep the seed pinned to graphs whose sequential reference solves in
+	// milliseconds; exact search cost is extremely seed-sensitive at this
+	// size (some n=11 instances take minutes).
+	g := gen.New(p, seed)
+	out := make([]*taskgraph.Graph, count)
+	for i := range out {
+		tg := g.Graph()
+		if err := deadline.Assign(tg, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tg
+	}
+	return out
+}
+
+// TestSolveParallelStress hammers the donation/park/terminate protocol:
+// many more workers than cores over graphs whose LIFO stacks exceed
+// donateThreshold, repeated for fresh interleavings each round. Run under
+// `go test -race` (scripts/check.sh does) this is the data-race gate for
+// the shared atomic incumbent, the pool mutex, and the parked-worker
+// condition variable; in any mode it asserts the parallel cost equals the
+// sequential optimum and that the returned schedule replays cleanly.
+func TestSolveParallelStress(t *testing.T) {
+	graphs := stressWorkloads(t, 4, 72)
+	// A wide independent workload maximizes the branching factor (every
+	// unplaced task is ready), forcing early stack donation. n=7 on m=3 is
+	// ~1.8M search vertices — large enough that every worker's stack
+	// outgrows donateThreshold, small enough to stay test-suite friendly.
+	wide := taskgraph.Independent(7, 7)
+	if err := deadline.Assign(wide, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, wide)
+
+	rounds := 2
+	if testing.Short() {
+		rounds = 1
+	}
+	for gi, g := range graphs {
+		plat := platform.New(3)
+		seq := mustSolve(t, g, plat, Params{})
+		for _, workers := range []int{8, 16} {
+			for round := 0; round < rounds; round++ {
+				res, err := SolveParallel(g, plat, ParallelParams{Workers: workers})
+				if err != nil {
+					t.Fatalf("graph %d w=%d round %d: %v", gi, workers, round, err)
+				}
+				if res.Cost != seq.Cost {
+					t.Fatalf("graph %d w=%d round %d: parallel cost %d != sequential %d",
+						gi, workers, round, res.Cost, seq.Cost)
+				}
+				if !res.Optimal {
+					t.Errorf("graph %d w=%d round %d: exhausted search not flagged optimal", gi, workers, round)
+				}
+				if res.Schedule == nil {
+					t.Fatalf("graph %d w=%d round %d: no schedule", gi, workers, round)
+				}
+				if err := res.Schedule.Check(); err != nil {
+					t.Fatalf("graph %d w=%d round %d: invalid schedule: %v", gi, workers, round, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveParallelStressTimeout exercises the deadline/termination path
+// under contention: a worker that observes the deadline must broadcast
+// completion without deadlocking or racing the parked workers.
+func TestSolveParallelStressTimeout(t *testing.T) {
+	g := taskgraph.Independent(12, 10)
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		res, err := SolveParallel(g, platform.New(3), ParallelParams{
+			Params:  Params{Resources: ResourceBounds{TimeLimit: 2 * time.Millisecond}},
+			Workers: 16,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Optimal && res.Stats.TimedOut {
+			t.Fatalf("round %d: timed-out run flagged optimal", round)
+		}
+	}
+}

@@ -167,12 +167,12 @@ func Solve(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error)
 		s.incCost, s.edfInc = seed.Lmax(), seed
 	}
 
-	start := time.Now()
+	start := time.Now() //bbvet:ignore nondet (wall-clock only feeds Stats.Elapsed and the deadline)
 	if p.Resources.TimeLimit > 0 {
 		s.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	s.run()
-	s.stats.Elapsed = time.Since(start)
+	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 
 	return s.result()
 }
@@ -206,7 +206,8 @@ func (s *solver) run() {
 			s.provedByBound = true
 			return
 		}
-		if s.deadline != (time.Time{}) && iter&255 == 0 && time.Now().After(s.deadline) {
+		//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
+		if !s.deadline.IsZero() && iter&255 == 0 && time.Now().After(s.deadline) {
 			s.stats.TimedOut = true
 			return
 		}
@@ -231,7 +232,7 @@ func (s *solver) run() {
 		// Materialize the vertex's partial schedule.
 		s.plBuf = v.placements(s.plBuf[:0])
 		if err := s.st.Replay(s.plBuf); err != nil {
-			panic(err) // replay of our own placements cannot legally fail
+			panic(fmt.Errorf("core: vertex replay: %w", err)) // replay of our own placements cannot legally fail
 		}
 		s.stats.Expanded++
 		var parentSeq uint64

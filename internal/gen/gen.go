@@ -109,7 +109,7 @@ type Generator struct {
 // parameters; validate user-supplied parameters with Params.Validate first.
 func New(p Params, seed int64) *Generator {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Errorf("gen: New with invalid parameters: %w", err))
 	}
 	return &Generator{p: p, rng: rand.New(rand.NewSource(seed))}
 }

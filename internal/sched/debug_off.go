@@ -1,0 +1,7 @@
+//go:build !bbdebug
+
+package sched
+
+// debugAsserts is off in normal builds: Place/Undo stay O(degree) and the
+// invariant checks in invariants.go compile away behind the constant.
+const debugAsserts = false

@@ -1,0 +1,9 @@
+//go:build bbdebug
+
+package sched
+
+// debugAsserts enables the O(n)-per-operation schedule-invariant
+// assertions in invariants.go. Build (or test) with -tags bbdebug to turn
+// them on; scripts/check.sh runs the race-mode test suite this way so
+// every Place/Undo executed by the tests re-verifies the §4.3 operation.
+const debugAsserts = true

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// checkInvariants re-verifies every structural invariant of the §4.3
+// scheduling operation over the current partial schedule. It is called
+// after every Place and Undo when the bbdebug build tag is set (see
+// debug_on.go) and panics on the first violation, so a corrupted state —
+// whether from a search-layer bug or from a data race smearing a State
+// across goroutines — fails loudly at the operation that exposed it
+// instead of surfacing later as a silently wrong "optimum".
+//
+// The checks, each linear in tasks, edges, or processors:
+//
+//	(a) bookkeeping: placed == len(trail), and every trail entry is a
+//	    currently-placed task;
+//	(b) per-task validity: processor in range, start >= arrival,
+//	    finish == start + exec;
+//	(c) precedence + communication: every predecessor of a placed task is
+//	    placed, and the task starts no earlier than each predecessor's
+//	    finish plus the interprocessor message delay (the §2.2 data-ready
+//	    condition; with the shared-bus contention model this is also the
+//	    bus-exclusivity discipline);
+//	(d) append-only processor queues: walking the trail in placement
+//	    order, each task starts at or after the previous finish time on
+//	    its processor — which implies no two tasks overlap on a
+//	    processor — and the final per-processor frontier equals procFree;
+//	(e) readiness counts: remPreds[t] equals t's number of unplaced
+//	    direct predecessors;
+//	(f) lateness: lmax equals the maximum lateness over placed tasks
+//	    (MinTime when nothing is placed).
+func (s *State) checkInvariants() {
+	n := s.G.NumTasks()
+
+	// (a) bookkeeping.
+	if s.placed != len(s.trail) {
+		panic(fmt.Sprintf("sched: bbdebug: placed=%d but trail has %d entries", s.placed, len(s.trail)))
+	}
+
+	// (b) + (c) per placed task.
+	for id := 0; id < n; id++ {
+		tid := taskgraph.TaskID(id)
+		if s.proc[id] == platform.NoProc {
+			continue
+		}
+		if int(s.proc[id]) >= s.P.M {
+			panic(fmt.Sprintf("sched: bbdebug: task %d on processor %d, platform has %d", id, s.proc[id], s.P.M))
+		}
+		t := s.G.Task(tid)
+		if s.start[id] < t.Arrival() {
+			panic(fmt.Sprintf("sched: bbdebug: task %d starts at %d before arrival %d", id, s.start[id], t.Arrival()))
+		}
+		if s.finish[id] != s.start[id]+t.Exec {
+			panic(fmt.Sprintf("sched: bbdebug: task %d finish %d != start %d + exec %d", id, s.finish[id], s.start[id], t.Exec))
+		}
+		for _, pred := range s.G.Preds(tid) {
+			if s.proc[pred] == platform.NoProc {
+				panic(fmt.Sprintf("sched: bbdebug: task %d placed while predecessor %d is not", id, pred))
+			}
+			ready := s.finish[pred] + s.P.CommCost(s.proc[pred], s.proc[id], s.G.MessageSize(pred, tid))
+			if s.start[id] < ready {
+				panic(fmt.Sprintf("sched: bbdebug: task %d starts at %d before data from %d arrives at %d", id, s.start[id], pred, ready))
+			}
+		}
+	}
+
+	// (d) append-only queues and procFree consistency, via the trail.
+	lastFinish := make([]taskgraph.Time, s.P.M)
+	for i, e := range s.trail {
+		if s.proc[e.task] == platform.NoProc {
+			panic(fmt.Sprintf("sched: bbdebug: trail entry %d (task %d) is not placed", i, e.task))
+		}
+		if s.proc[e.task] != e.proc {
+			panic(fmt.Sprintf("sched: bbdebug: trail entry %d says task %d on p%d, state says p%d", i, e.task, e.proc, s.proc[e.task]))
+		}
+		if s.start[e.task] < lastFinish[e.proc] {
+			panic(fmt.Sprintf("sched: bbdebug: task %d starts at %d overlapping previous finish %d on p%d",
+				e.task, s.start[e.task], lastFinish[e.proc], e.proc))
+		}
+		lastFinish[e.proc] = s.finish[e.task]
+	}
+	for q := 0; q < s.P.M; q++ {
+		if s.procFree[q] != lastFinish[q] {
+			panic(fmt.Sprintf("sched: bbdebug: procFree[%d]=%d but last finish on the queue is %d", q, s.procFree[q], lastFinish[q]))
+		}
+	}
+
+	// (e) readiness counts.
+	for id := 0; id < n; id++ {
+		unplaced := int32(0)
+		for _, pred := range s.G.Preds(taskgraph.TaskID(id)) {
+			if s.proc[pred] == platform.NoProc {
+				unplaced++
+			}
+		}
+		if s.remPreds[id] != unplaced {
+			panic(fmt.Sprintf("sched: bbdebug: remPreds[%d]=%d, recount says %d", id, s.remPreds[id], unplaced))
+		}
+	}
+
+	// (f) running maximum lateness.
+	want := taskgraph.MinTime
+	for id := 0; id < n; id++ {
+		if s.proc[id] == platform.NoProc {
+			continue
+		}
+		if lat := s.finish[id] - s.G.Task(taskgraph.TaskID(id)).AbsDeadline(); lat > want {
+			want = lat
+		}
+	}
+	if s.lmax != want {
+		panic(fmt.Sprintf("sched: bbdebug: lmax=%d, recomputed %d", s.lmax, want))
+	}
+}

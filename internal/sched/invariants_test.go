@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// mustPanicWith runs f and asserts it panics with a message containing
+// the substring (the bbdebug attribution prefix).
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T); want string", r, r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func diamondState(t *testing.T) *State {
+	t.Helper()
+	g := taskgraph.Diamond()
+	s := NewState(g, platform.New(2))
+	s.Place(0, 0)
+	s.Place(1, 0)
+	s.Place(2, 1)
+	return s
+}
+
+// TestCheckInvariantsAcceptsValidState: the checker itself must be
+// silent on every intermediate state of a straightforward dive.
+func TestCheckInvariantsAcceptsValidState(t *testing.T) {
+	s := diamondState(t)
+	s.checkInvariants()
+	s.Undo()
+	s.checkInvariants()
+}
+
+// TestCheckInvariantsCatchesCorruption drives the checker over
+// hand-corrupted states, one per invariant family, verifying each panics
+// with an attributable "sched: bbdebug" message. This is the regression
+// net for the -tags bbdebug race gate in scripts/check.sh: if a future
+// refactor breaks an invariant (or weakens the checker), this fails
+// without needing the tag.
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	t.Run("lmax", func(t *testing.T) {
+		s := diamondState(t)
+		s.lmax++
+		mustPanicWith(t, "sched: bbdebug: lmax", s.checkInvariants)
+	})
+	t.Run("remPreds", func(t *testing.T) {
+		s := diamondState(t)
+		s.remPreds[3]++
+		mustPanicWith(t, "sched: bbdebug: remPreds", s.checkInvariants)
+	})
+	t.Run("procFree", func(t *testing.T) {
+		s := diamondState(t)
+		s.procFree[0]++
+		mustPanicWith(t, "sched: bbdebug: procFree", s.checkInvariants)
+	})
+	t.Run("overlap", func(t *testing.T) {
+		s := diamondState(t)
+		// Pull task 1 backwards onto task 0's slot on p0.
+		s.start[1] = s.start[0]
+		s.finish[1] = s.start[1] + s.G.Task(1).Exec
+		mustPanicWith(t, "sched: bbdebug", s.checkInvariants)
+	})
+	t.Run("trailCount", func(t *testing.T) {
+		s := diamondState(t)
+		s.placed++
+		mustPanicWith(t, "sched: bbdebug: placed", s.checkInvariants)
+	})
+	t.Run("precedence", func(t *testing.T) {
+		s := diamondState(t)
+		// Unplace task 0 behind the trail's back: its successors 1 and 2
+		// are now placed before their predecessor.
+		s.proc[0] = platform.NoProc
+		mustPanicWith(t, "sched: bbdebug", s.checkInvariants)
+	})
+}

@@ -49,10 +49,10 @@ type trailEntry struct {
 // search layer depends on a consistent readiness relation.
 func NewState(g *taskgraph.Graph, p platform.Platform) *State {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Errorf("sched: NewState on invalid platform: %w", err))
 	}
 	if _, err := g.TopoOrder(); err != nil {
-		panic(err)
+		panic(fmt.Errorf("sched: NewState on invalid graph: %w", err))
 	}
 	n := g.NumTasks()
 	s := &State{
@@ -188,6 +188,9 @@ func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	if lat := finish - s.G.Task(id).AbsDeadline(); lat > s.lmax {
 		s.lmax = lat
 	}
+	if debugAsserts {
+		s.checkInvariants()
+	}
 	return Placement{Task: id, Proc: q, Start: start, Finish: finish}
 }
 
@@ -202,6 +205,9 @@ func (s *State) Undo() {
 	s.placed--
 	for _, succ := range s.G.Succs(last.task) {
 		s.remPreds[succ]++
+	}
+	if debugAsserts {
+		s.checkInvariants()
 	}
 }
 

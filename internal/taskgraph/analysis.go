@@ -107,7 +107,7 @@ func (g *Graph) TopoOrder() ([]TaskID, error) {
 func (g *Graph) mustAnalyze() *analysisCache {
 	c, err := g.analyze()
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("taskgraph: accessor on unvalidated graph: %w", err))
 	}
 	return c
 }

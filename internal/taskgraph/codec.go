@@ -73,7 +73,7 @@ func LoadFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //bbvet:ignore errcheck (read-only descriptor; nothing to recover from)
 	if strings.HasSuffix(path, ".stg") {
 		return ReadSTG(f)
 	}
@@ -92,7 +92,7 @@ func (g *Graph) SaveFile(path string) error {
 		write = g.WriteSTG
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

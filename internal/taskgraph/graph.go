@@ -79,7 +79,7 @@ func (g *Graph) AddEdge(src, dst TaskID, size Time) error {
 // as tests and examples; it panics on error.
 func (g *Graph) MustAddEdge(src, dst TaskID, size Time) {
 	if err := g.AddEdge(src, dst, size); err != nil {
-		panic(err)
+		panic(fmt.Errorf("taskgraph: MustAddEdge(%d, %d): %w", src, dst, err))
 	}
 }
 

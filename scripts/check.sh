@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Extended verification gate. Tier-1 CI only requires
+#   go build ./... && go test ./...
+# This script layers the repo-specific static analysis (cmd/bbvet), the
+# stock vet pass, the race detector, and the bbdebug invariant-checking
+# build of the scheduling engine on top. Run it before merging anything
+# that touches the search or scheduling layers.
+#
+# Usage: scripts/check.sh [package patterns...]   (default: ./...)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pat="${*:-./...}"
+
+echo "==> go build $pat"
+go build $pat
+
+echo "==> go vet $pat"
+go vet $pat
+
+echo "==> bbvet $pat"
+go run ./cmd/bbvet $pat
+
+echo "==> go test -race $pat"
+go test -race $pat
+
+# The bbdebug tag compiles O(n) invariant re-verification into every
+# Place/Undo of the scheduling operation (internal/sched/invariants.go).
+# Running the search-layer tests under it turns any state corruption —
+# including one smeared in by a data race — into an attributed panic at
+# the operation that exposed it.
+echo "==> go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce"
+go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce
+
+echo "==> all checks passed"
