@@ -1,13 +1,16 @@
 package parabb
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/deadline"
+	"repro/internal/dispatch"
 	"repro/internal/edf"
 	"repro/internal/exp"
+	"repro/internal/faults"
 	"repro/internal/gantt"
 	"repro/internal/gen"
 	"repro/internal/improve"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/portfolio"
 	"repro/internal/preemptive"
+	"repro/internal/rescue"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/taskgraph"
@@ -297,6 +301,98 @@ type PreemptiveResult = preemptive.Result
 // [12] — the commutative scheduling operation its related work builds on).
 func PreemptiveSchedule(g *Graph) (*PreemptiveResult, error) {
 	return preemptive.Schedule(g)
+}
+
+// Termination and cancellation. Every Result carries a TermReason saying
+// why the search stopped; the context-aware entry points below make any
+// run cancelable while preserving the anytime contract (the best incumbent
+// found so far is always returned).
+type (
+	// TermReason is the typed cause of search termination.
+	TermReason = core.TermReason
+	// PanicError wraps a panic recovered inside the solver, with the
+	// offending goroutine's stack.
+	PanicError = core.PanicError
+)
+
+// Termination reasons.
+const (
+	TermExhausted    = core.TermExhausted
+	TermGlobalBound  = core.TermGlobalBound
+	TermResourceLoss = core.TermResourceLoss
+	TermTimeLimit    = core.TermTimeLimit
+	TermCanceled     = core.TermCanceled
+	TermPanic        = core.TermPanic
+)
+
+// SolveContext is Solve with cooperative cancellation: when ctx is
+// canceled the search stops at the next expansion and returns the best
+// incumbent found so far with Reason TermCanceled.
+func SolveContext(ctx context.Context, g *Graph, p Platform, params Params) (Result, error) {
+	return core.SolveContext(ctx, g, p, params)
+}
+
+// SolveParallelContext is SolveParallel with cooperative cancellation.
+func SolveParallelContext(ctx context.Context, g *Graph, p Platform, params ParallelParams) (Result, error) {
+	return core.SolveParallelContext(ctx, g, p, params)
+}
+
+// Fault injection and recovery.
+type (
+	// Fault is one injected fault: a fail-stop processor failure or a
+	// transient execution-time overrun.
+	Fault = faults.Fault
+	// FaultScenario is a set of faults injected into one execution.
+	FaultScenario = faults.Scenario
+	// FaultModel draws random fault scenarios deterministically from a seed.
+	FaultModel = faults.Model
+	// FaultOutcome is the realized execution of a schedule under faults:
+	// per-task fates, realized finish times, and post-fault lateness.
+	FaultOutcome = dispatch.FaultOutcome
+	// RecoveryOptions bounds the rescheduling effort after a fault.
+	RecoveryOptions = rescue.Options
+	// RecoveryOutcome reports a recovery: the residual problem, the
+	// recovered plan, and the degradation metrics.
+	RecoveryOutcome = rescue.Outcome
+)
+
+// Fault kinds.
+const (
+	FaultProcFailure = faults.ProcFailure
+	FaultExecOverrun = faults.ExecOverrun
+)
+
+// NewFaultModel returns a deterministic seeded fault generator.
+func NewFaultModel(seed int64) *FaultModel { return faults.NewModel(seed) }
+
+// ExecuteFaulty runs a schedule work-conservingly under a fault scenario:
+// surviving processors execute their assigned tasks in table order at the
+// earliest realizable instants, tasks on failed processors are killed or
+// never started, and the outcome reports every task's fate.
+func ExecuteFaulty(s *Schedule, sc *FaultScenario, actual []Time) (*FaultOutcome, error) {
+	return dispatch.ExecuteFaulty(s, sc, actual)
+}
+
+// Recover replays a schedule under a fault scenario and re-schedules
+// everything the faults destroyed: completed work is frozen, the residual
+// problem (unfinished tasks, surviving processors, already-delivered data)
+// is re-solved by B&B under opt.Budget, and the guaranteed list-scheduling
+// fallback is used whenever the budget expires or is zero. The outcome is
+// never worse than the fallback and reports post-fault lateness, deadline
+// misses, and recovery latency.
+func Recover(ctx context.Context, s *Schedule, sc *FaultScenario, actual []Time, opt RecoveryOptions) (*RecoveryOutcome, error) {
+	return rescue.Recover(ctx, s, sc, actual, opt)
+}
+
+// ExperimentJournal makes experiment sweeps crash-safe; see OpenJournal.
+type ExperimentJournal = exp.Journal
+
+// OpenJournal opens (resume) or truncates (fresh) the crash-safe JSONL
+// journal at path. Attach it to an ExperimentConfig and an interrupted
+// sweep resumed under the same protocol is byte-identical to an
+// uninterrupted one.
+func OpenJournal(path string, resume bool) (*ExperimentJournal, error) {
+	return exp.OpenJournal(path, resume)
 }
 
 // GanttText renders a schedule as a terminal chart of the given width.

@@ -2,6 +2,7 @@ package parabb_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -119,8 +120,8 @@ func TestFacadePeriodic(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := parabb.Experiments()
-	if len(ids) != 9 {
-		t.Fatalf("expected 9 experiments, got %v", ids)
+	if len(ids) != 10 {
+		t.Fatalf("expected 10 experiments, got %v", ids)
 	}
 	cfg := parabb.QuickExperiment()
 	cfg.Runs = 2
@@ -240,5 +241,53 @@ func TestFacadePeriodicGenerator(t *testing.T) {
 	}
 	if ex.Graph.NumTasks() < ts.NumTasks() {
 		t.Fatal("unroll shrank the task set")
+	}
+}
+
+func TestFacadeFaultRecovery(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parabb.NewPlatform(3)
+	s, _, err := parabb.ListSchedule(g, p, parabb.ListHLFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &parabb.FaultScenario{Faults: []parabb.Fault{
+		{Kind: parabb.FaultProcFailure, Proc: 1, At: s.Makespan() / 2},
+	}}
+	out, err := parabb.Recover(context.Background(), s, sc, nil,
+		parabb.RecoveryOptions{Budget: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo := out.Fault; fo.Killed+fo.Unstarted > 0 && len(out.Merged) == 0 {
+		t.Fatal("destroyed work but empty recovery plan")
+	}
+	if out.PostLmax < out.PreLmax {
+		t.Fatalf("recovery improved on the fault-free plan: %d < %d", out.PostLmax, out.PreLmax)
+	}
+	if out.Degraded && out.BB != nil && out.BB.Reason == parabb.TermExhausted {
+		t.Fatal("exhausted search but still degraded to the fallback")
+	}
+}
+
+func TestFacadeCancellation(t *testing.T) {
+	g, err := parabb.RandomWorkload(parabb.DefaultWorkload(), 4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := parabb.SolveContext(ctx, g, parabb.NewPlatform(2), parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != parabb.TermCanceled {
+		t.Fatalf("reason %v, want TermCanceled", res.Reason)
+	}
+	if res.Schedule == nil {
+		t.Fatal("anytime contract broken: no incumbent returned on cancellation")
 	}
 }

@@ -16,7 +16,13 @@
 //	-seed int       experiment seed (default 1997)
 //	-procs string   comma-separated processor sweep (default "2,3,4")
 //	-csv            print CSV blocks after each table
+//	-journal path   crash-safe JSONL journal of completed sweep positions
+//	-resume         resume from the journal instead of truncating it
 //	-v              progress logging to stderr
+//
+// A run killed mid-sweep loses nothing: restart it with the same flags
+// plus -resume and the journaled positions are served from disk, yielding
+// byte-identical tables and CSV to an uninterrupted run.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		seed    = flag.Int64("seed", 1997, "experiment seed")
 		procs   = flag.String("procs", "2,3,4", "processor sweep")
 		csv     = flag.Bool("csv", false, "print CSV blocks")
+		journal = flag.String("journal", "", "crash-safe journal file (JSONL)")
+		resume  = flag.Bool("resume", false, "resume from the journal")
 		paired  = flag.String("paired", "", "print per-instance paired ratio stats for two series, e.g. \"S=LLB/S=LIFO\"")
 		plotDir = flag.String("plot", "", "write an SVG plot per figure into this directory")
 		dist    = flag.Bool("dist", false, "print per-variant vertex-count distributions (log-decade histograms)")
@@ -71,6 +79,17 @@ func main() {
 	cfg.Procs, err = parseProcs(*procs)
 	if err != nil {
 		fatal(err)
+	}
+	if *resume && *journal == "" {
+		fatal(fmt.Errorf("-resume needs -journal"))
+	}
+	if *journal != "" {
+		j, err := exp.OpenJournal(*journal, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = j.Close() }()
+		cfg.Journal = j
 	}
 
 	ids := flag.Args()

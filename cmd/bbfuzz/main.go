@@ -3,10 +3,15 @@
 // the others, the brute-force oracle, and the certified bounds on streams
 // of random workloads. Any discrepancy aborts with a reproducer seed.
 //
+// With -residual the campaign instead targets fault recovery: random fault
+// scenarios are injected into list schedules and the residual-problem
+// construction plus the recovered plan are property-checked (coverage,
+// dead processors, channel delivery, non-overlap, deterministic replay).
+//
 // Usage:
 //
 //	bbfuzz [-n instances] [-seed base] [-tasks max] [-procs max]
-//	       [-budget dur] [-v]
+//	       [-budget dur] [-residual] [-v]
 package main
 
 import (
@@ -20,12 +25,13 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 1000, "instances to check")
-		seed   = flag.Int64("seed", time.Now().UnixNano()%1_000_000, "base seed")
-		tasks  = flag.Int("tasks", 9, "max tasks per instance")
-		procs  = flag.Int("procs", 3, "max processors")
-		budget = flag.Duration("budget", 5*time.Second, "per-solve budget")
-		v      = flag.Bool("v", false, "per-instance progress")
+		n        = flag.Int("n", 1000, "instances to check")
+		seed     = flag.Int64("seed", time.Now().UnixNano()%1_000_000, "base seed")
+		tasks    = flag.Int("tasks", 9, "max tasks per instance")
+		procs    = flag.Int("procs", 3, "max processors")
+		budget   = flag.Duration("budget", 5*time.Second, "per-solve budget")
+		residual = flag.Bool("residual", false, "fuzz fault recovery instead of the solvers")
+		v        = flag.Bool("v", false, "per-instance progress")
 	)
 	flag.Parse()
 	cfg := fuzzcheck.Config{
@@ -36,9 +42,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	fmt.Printf("bbfuzz: %d instances from seed %d (tasks<=%d, procs<=%d)\n",
-		*n, *seed, *tasks, *procs)
-	res, err := fuzzcheck.Run(cfg)
+	campaign, run := "differential", fuzzcheck.Run
+	if *residual {
+		campaign, run = "fault-recovery", fuzzcheck.RunResidual
+	}
+	fmt.Printf("bbfuzz: %d %s instances from seed %d (tasks<=%d, procs<=%d)\n",
+		*n, campaign, *seed, *tasks, *procs)
+	res, err := run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbfuzz: DISCREPANCY:", err)
 		os.Exit(1)

@@ -44,17 +44,18 @@ var layerAllowed = map[string][]string{
 	"internal/preemptive": {"internal/taskgraph"},
 	"internal/analysis":   {"internal/platform", "internal/taskgraph"},
 
-	// Layer 2: the scheduling substrate.
-	"internal/sched": {"internal/platform", "internal/taskgraph"},
+	// Layer 2: the scheduling substrate, and the fault model beside it.
+	"internal/sched":  {"internal/platform", "internal/taskgraph"},
+	"internal/faults": {"internal/platform", "internal/taskgraph"},
 
 	// Layer 3: schedulers and schedule transforms over the substrate.
 	"internal/bruteforce": {"internal/platform", "internal/sched", "internal/taskgraph"},
 	"internal/edf":        {"internal/platform", "internal/sched", "internal/taskgraph"},
-	"internal/dispatch":   {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/dispatch":   {"internal/faults", "internal/platform", "internal/sched", "internal/taskgraph"},
 	"internal/gantt":      {"internal/platform", "internal/sched", "internal/taskgraph"},
 	"internal/improve":    {"internal/platform", "internal/sched", "internal/taskgraph"},
 	"internal/listsched":  {"internal/platform", "internal/sched", "internal/taskgraph"},
-	"internal/sim":        {"internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/sim":        {"internal/faults", "internal/platform", "internal/sched", "internal/taskgraph"},
 
 	// Layer 4: the branch-and-bound engine. Deliberately excludes
 	// internal/gen, internal/exp, internal/report and the other solvers.
@@ -62,14 +63,20 @@ var layerAllowed = map[string][]string{
 
 	// Layer 5: harnesses over the engine.
 	"internal/trace": {"internal/core", "internal/taskgraph"},
+	"internal/rescue": {
+		"internal/core", "internal/dispatch", "internal/faults", "internal/listsched",
+		"internal/platform", "internal/sched", "internal/taskgraph",
+	},
 	"internal/exp": {
-		"internal/core", "internal/deadline", "internal/edf", "internal/gen",
-		"internal/platform", "internal/stats", "internal/taskgraph",
+		"internal/core", "internal/deadline", "internal/edf", "internal/faults",
+		"internal/gen", "internal/listsched", "internal/platform", "internal/rescue",
+		"internal/stats", "internal/taskgraph",
 	},
 	"internal/fuzzcheck": {
 		"internal/analysis", "internal/bruteforce", "internal/core", "internal/deadline",
-		"internal/edf", "internal/gen", "internal/improve", "internal/listsched",
-		"internal/platform", "internal/taskgraph",
+		"internal/dispatch", "internal/edf", "internal/faults", "internal/gen",
+		"internal/improve", "internal/listsched", "internal/platform", "internal/rescue",
+		"internal/sched", "internal/taskgraph",
 	},
 	"internal/portfolio": {
 		"internal/analysis", "internal/core", "internal/improve", "internal/listsched",

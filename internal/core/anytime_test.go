@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// anytimeWorkload returns a graph large enough that exhaustive BFn search
+// cannot finish within the test budgets (n ≈ 24 on m = 3), so bounded
+// exits are exercised deterministically.
+func anytimeWorkload(t testing.TB, seed int64) *taskgraph.Graph {
+	t.Helper()
+	p := gen.Defaults()
+	p.NMin, p.NMax = 22, 26
+	p.DepthMin, p.DepthMax = 4, 6
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSolveContextPreCanceled(t *testing.T) {
+	g := anytimeWorkload(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, g, platform.New(3), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != TermCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, TermCanceled)
+	}
+	if res.Optimal || res.Guarantee {
+		t.Fatalf("canceled run claims a proof: optimal=%v guarantee=%v", res.Optimal, res.Guarantee)
+	}
+	// The EDF seed is the incumbent of record: a canceled run must still
+	// return it (the anytime contract), never nothing.
+	if res.Schedule == nil {
+		t.Fatal("canceled run discarded the EDF incumbent")
+	}
+	if err := res.Schedule.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	g := anytimeWorkload(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := SolveContext(ctx, g, platform.New(3), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != TermCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, TermCanceled)
+	}
+	if res.Schedule == nil || res.Schedule.Check() != nil {
+		t.Fatal("mid-search cancellation lost the incumbent")
+	}
+	if res.Cost >= taskgraph.Infinity {
+		t.Fatalf("incumbent cost %d is not a real solution", res.Cost)
+	}
+}
+
+// TestSolveTimeoutKeepsIncumbent pins the sequential anytime contract with
+// NO heuristic seed: the only possible incumbent is one the truncated
+// search itself found, so a nil schedule here would mean the bounded exit
+// discarded it.
+func TestSolveTimeoutKeepsIncumbent(t *testing.T) {
+	g := anytimeWorkload(t, 5)
+	res, err := Solve(g, platform.New(3), Params{
+		UpperBound:      UpperBoundFixed,
+		FixedUpperBound: taskgraph.Infinity,
+		Resources:       ResourceBounds{TimeLimit: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut || res.Reason != TermTimeLimit {
+		t.Fatalf("expected a time-limit exit, got reason=%v timedOut=%v", res.Reason, res.Stats.TimedOut)
+	}
+	if res.Schedule == nil {
+		t.Fatal("censored run returned no schedule despite goals found (anytime contract violated)")
+	}
+	if err := res.Schedule.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Fatal("censored run marked optimal")
+	}
+}
+
+// TestSolveParallelTimeoutKeepsIncumbent is the regression test for the
+// SolveParallel anytime contract: a censored parallel run must return the
+// best feasible schedule recorded by any worker, marked non-optimal with a
+// typed reason. U is a naive fixed bound so the incumbent can only come
+// from the truncated search itself.
+func TestSolveParallelTimeoutKeepsIncumbent(t *testing.T) {
+	g := anytimeWorkload(t, 6)
+	res, err := SolveParallel(g, platform.New(3), ParallelParams{
+		Params: Params{
+			UpperBound:      UpperBoundFixed,
+			FixedUpperBound: taskgraph.Infinity,
+			Resources:       ResourceBounds{TimeLimit: 60 * time.Millisecond},
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut || res.Reason != TermTimeLimit {
+		t.Fatalf("expected a time-limit exit, got reason=%v timedOut=%v", res.Reason, res.Stats.TimedOut)
+	}
+	if res.Schedule == nil {
+		t.Fatal("censored parallel run discarded the incumbent schedule")
+	}
+	if err := res.Schedule.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Lmax(); got != res.Cost {
+		t.Fatalf("returned cost %d != schedule Lmax %d", res.Cost, got)
+	}
+	if res.Optimal || res.Guarantee {
+		t.Fatal("censored parallel run claims a proof")
+	}
+}
+
+func TestSolveParallelContextCanceled(t *testing.T) {
+	g := anytimeWorkload(t, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := SolveParallelContext(ctx, g, platform.New(3), ParallelParams{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != TermCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, TermCanceled)
+	}
+	if res.Schedule == nil || res.Schedule.Check() != nil {
+		t.Fatal("canceled parallel run lost the incumbent")
+	}
+}
+
+func TestSolvePanicRecovered(t *testing.T) {
+	g := anytimeWorkload(t, 8)
+	// The observer panics on the first incumbent adoption, simulating a
+	// poisoned instance blowing up mid-search after a solution exists.
+	observer := func(e Event) {
+		if e.Kind == EventIncumbent {
+			panic("injected observer panic")
+		}
+	}
+	res, err := Solve(g, platform.New(2), Params{Observer: observer})
+	if err == nil {
+		t.Fatal("expected a *PanicError")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack trace")
+	}
+	if res.Reason != TermPanic {
+		t.Fatalf("reason = %v, want %v", res.Reason, TermPanic)
+	}
+	// The panic fired AFTER the first incumbent adoption, so the salvaged
+	// result must carry that schedule.
+	if res.Schedule == nil || res.Schedule.Check() != nil {
+		t.Fatal("recovered run lost the pre-panic incumbent")
+	}
+	if res.Optimal {
+		t.Fatal("recovered run marked optimal")
+	}
+}
+
+func TestSolveParallelWorkerPanicRecovered(t *testing.T) {
+	g := anytimeWorkload(t, 9)
+	testHookExpand = func(v *vertex) {
+		if v.level >= 3 {
+			panic("injected worker panic")
+		}
+	}
+	defer func() { testHookExpand = nil }()
+
+	res, err := SolveParallel(g, platform.New(3), ParallelParams{Workers: 4})
+	if err == nil {
+		t.Fatal("expected a *PanicError")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if res.Reason != TermPanic {
+		t.Fatalf("reason = %v, want %v", res.Reason, TermPanic)
+	}
+	// The EDF seed incumbent must survive the fleet failure.
+	if res.Schedule == nil || res.Schedule.Check() != nil {
+		t.Fatal("worker panic discarded the incumbent")
+	}
+	if res.Optimal || res.Guarantee {
+		t.Fatal("failed run claims a proof")
+	}
+}

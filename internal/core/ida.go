@@ -246,6 +246,11 @@ func (s *idaSolver) result() (Result, error) {
 		res.Schedule = s.seedInc
 		res.Cost = s.incCost
 	}
+	if s.stats.TimedOut {
+		res.Reason = TermTimeLimit
+	} else {
+		res.Reason = TermExhausted
+	}
 	exhausted := !s.stats.TimedOut
 	res.Guarantee = exhausted && s.p.Branching.Exact() && res.Schedule != nil
 	res.Optimal = res.Guarantee && s.p.BR == 0

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,21 @@ type ParallelParams struct {
 // Stats are aggregated across workers and are NOT run-to-run deterministic
 // (vertex counts vary with interleaving, the cost never does).
 func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams) (Result, error) {
+	return SolveParallelContext(context.Background(), g, plat, pp)
+}
+
+// SolveParallelContext is SolveParallel under a caller context.
+//
+// Anytime contract: a timeout or cancellation stops every worker and
+// returns the best incumbent recorded so far with the matching typed
+// Reason (TermTimeLimit/TermCanceled) and a nil error. A panic in any
+// worker is recovered, the remaining workers are drained, and the call
+// returns the salvaged incumbent (Reason == TermPanic) together with a
+// *PanicError — one poisoned instance must not kill a fleet.
+func SolveParallelContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, pp ParallelParams) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := pp.Params
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -75,7 +92,7 @@ func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	ps := &parSolver{g: g, plat: plat, p: p, workers: workers}
+	ps := &parSolver{g: g, plat: plat, p: p, ctx: ctx, workers: workers}
 	switch p.UpperBound {
 	case UpperBoundEDF:
 		cost, schedule, err := edf.UpperBound(g, plat)
@@ -103,10 +120,18 @@ func SolveParallel(g *taskgraph.Graph, plat platform.Platform, pp ParallelParams
 		ps.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	err := ps.run()
-	if err != nil {
-		return Result{}, err
-	}
 	ps.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
+	if err != nil {
+		// Salvage the incumbent: the search machinery failed, but every
+		// adopted goal was recorded under incMu and replays on a fresh
+		// state, so the best solution found before the failure survives.
+		ps.failed = true
+		res, rerr := ps.result()
+		if rerr != nil {
+			return Result{}, err
+		}
+		return res, err
+	}
 	return ps.result()
 }
 
@@ -114,7 +139,9 @@ type parSolver struct {
 	g       *taskgraph.Graph
 	plat    platform.Platform
 	p       Params
+	ctx     context.Context
 	workers int
+	failed  bool // a worker panicked or errored; proofs are off
 
 	incCost atomic.Int64
 	incMu   sync.Mutex
@@ -129,6 +156,7 @@ type parSolver struct {
 
 	deadline time.Time
 	timedOut atomic.Bool
+	canceled atomic.Bool
 
 	stats     Stats
 	generated atomic.Int64
@@ -151,8 +179,16 @@ func (ps *parSolver) pruneLimitAtomic() taskgraph.Time {
 	return c - taskgraph.Time(ps.p.BR*float64(abs))
 }
 
-func (ps *parSolver) run() error {
+func (ps *parSolver) run() (err error) {
 	ps.poolCond = sync.NewCond(&ps.poolMu)
+
+	// The seeding pass runs on the caller's goroutine; recover its panics
+	// into the same *PanicError contract as the workers'.
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 
 	// Seed the pool by expanding breadth-first from the root with a
 	// throwaway sequential worker until the frontier is wide enough.
@@ -160,6 +196,10 @@ func (ps *parSolver) run() error {
 	w := newParWorker(ps)
 	frontier := []*vertex{{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}}
 	for len(frontier) > 0 && len(frontier) < seedTarget {
+		if ps.ctx.Err() != nil {
+			ps.canceled.Store(true)
+			return nil
+		}
 		v := frontier[0]
 		frontier = frontier[1:]
 		kids, err := w.expand(v)
@@ -180,6 +220,19 @@ func (ps *parSolver) run() error {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[idx] = &PanicError{Value: r, Stack: debug.Stack()}
+					// Wake the fleet so the failure propagates instead
+					// of deadlocking parked peers. The panic cannot have
+					// happened while poolMu was held: nothing under the
+					// lock panics, so taking it here is safe.
+					ps.poolMu.Lock()
+					ps.done = true
+					ps.poolCond.Broadcast()
+					ps.poolMu.Unlock()
+				}
+			}()
 			errs[idx] = newParWorker(ps).loop()
 		}(i)
 	}
@@ -215,10 +268,26 @@ func newParWorker(ps *parSolver) *parWorker {
 	}
 }
 
+// shutdown signals every worker to stop and wakes the parked ones.
+func (ps *parSolver) shutdown() {
+	ps.poolMu.Lock()
+	ps.done = true
+	ps.poolCond.Broadcast()
+	ps.poolMu.Unlock()
+}
+
+// testHookExpand, when non-nil, runs at the top of every vertex expansion.
+// Tests use it to inject deterministic worker panics; it must be set
+// before the solve starts and cleared after it returns.
+var testHookExpand func(v *vertex)
+
 // expand materializes v, generates its surviving children (ordered so the
 // most promising is LAST, ready for a stack pop), and handles goals.
 func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 	ps := w.ps
+	if testHookExpand != nil {
+		testHookExpand(v)
+	}
 	w.plBuf = v.placements(w.plBuf[:0])
 	if err := w.st.Replay(w.plBuf); err != nil {
 		return nil, err
@@ -298,14 +367,18 @@ const donateThreshold = 64
 func (w *parWorker) loop() error {
 	ps := w.ps
 	for {
-		//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
-		if !ps.deadline.IsZero() && w.iter&255 == 0 && time.Now().After(ps.deadline) {
-			ps.timedOut.Store(true)
-			ps.poolMu.Lock()
-			ps.done = true
-			ps.poolCond.Broadcast()
-			ps.poolMu.Unlock()
-			return nil
+		if w.iter&255 == 0 {
+			if ps.ctx.Err() != nil {
+				ps.canceled.Store(true)
+				ps.shutdown()
+				return nil
+			}
+			//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
+			if !ps.deadline.IsZero() && time.Now().After(ps.deadline) {
+				ps.timedOut.Store(true)
+				ps.shutdown()
+				return nil
+			}
 		}
 		w.iter++
 
@@ -319,10 +392,7 @@ func (w *parWorker) loop() error {
 		kids, err := w.expand(v)
 		if err != nil {
 			// Wake everyone so the error propagates instead of deadlocking.
-			ps.poolMu.Lock()
-			ps.done = true
-			ps.poolCond.Broadcast()
-			ps.poolMu.Unlock()
+			ps.shutdown()
 			return err
 		}
 		w.stack = append(w.stack, kids...)
@@ -405,7 +475,17 @@ func (ps *parSolver) result() (Result, error) {
 		res.Schedule = ps.edfInc
 		res.Cost = taskgraph.Time(ps.incCost.Load())
 	}
-	exhausted := !ps.stats.TimedOut
+	switch {
+	case ps.failed:
+		res.Reason = TermPanic
+	case ps.canceled.Load():
+		res.Reason = TermCanceled
+	case ps.stats.TimedOut:
+		res.Reason = TermTimeLimit
+	default:
+		res.Reason = TermExhausted
+	}
+	exhausted := res.Reason == TermExhausted
 	res.Guarantee = exhausted && ps.p.Branching.Exact() && res.Schedule != nil
 	res.Optimal = res.Guarantee && ps.p.BR == 0
 	return res, nil

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -82,6 +84,11 @@ type Result struct {
 	// true when Optimal; true for exhausted BFn searches with BR > 0).
 	Guarantee bool
 
+	// Reason records why the run ended (the typed form of the anytime
+	// contract: every bounded or canceled exit still returns the best
+	// incumbent, and Reason says which kind of exit it was).
+	Reason TermReason
+
 	Stats  Stats
 	Params Params
 }
@@ -90,6 +97,7 @@ type solver struct {
 	g    *taskgraph.Graph
 	plat platform.Platform
 	p    Params
+	ctx  context.Context
 
 	st  *sched.State
 	bnd *bounder
@@ -104,6 +112,8 @@ type solver struct {
 	seq           uint64
 	lost          bool // optimum potentially lost to resource bounds
 	provedByBound bool // terminated early because the incumbent met the global bound
+	canceled      bool // terminated early because the context was canceled
+	panicked      *PanicError
 
 	popAgeSum float64
 	popAgeObs int64
@@ -116,8 +126,26 @@ type solver struct {
 	children []*vertex
 }
 
-// Solve runs the parametrized branch-and-bound algorithm of Figure 1.
+// Solve runs the parametrized branch-and-bound algorithm of Figure 1 with
+// no cancellation (context.Background). See SolveContext for the anytime
+// and failure contract.
 func Solve(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error) {
+	return SolveContext(context.Background(), g, plat, p)
+}
+
+// SolveContext runs the parametrized branch-and-bound algorithm of
+// Figure 1 under the given context.
+//
+// Anytime contract: every bounded exit — RB.TimeLimit expiry, context
+// cancellation, or a recovered internal panic — still returns the best
+// incumbent found so far (or the EDF seed when nothing better was reached)
+// with Result.Reason typed accordingly and Optimal/Guarantee false. A
+// canceled run returns a nil error; only invalid inputs and recovered
+// panics (*PanicError, Result still populated best-effort) produce one.
+func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -135,7 +163,7 @@ func Solve(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error)
 	}
 
 	s := &solver{
-		g: g, plat: plat, p: p,
+		g: g, plat: plat, p: p, ctx: ctx,
 		st:  sched.NewState(g, plat),
 		bnd: newBounder(g, p.Bound),
 		br:  newBrancher(g, p.Branching),
@@ -171,10 +199,31 @@ func Solve(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, error)
 	if p.Resources.TimeLimit > 0 {
 		s.deadline = start.Add(p.Resources.TimeLimit)
 	}
-	s.run()
+	s.runRecovering()
 	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 
-	return s.result()
+	res, err := s.result()
+	if err != nil {
+		return Result{}, err
+	}
+	if s.panicked != nil {
+		return res, s.panicked
+	}
+	return res, nil
+}
+
+// runRecovering executes the search, converting a panic anywhere inside it
+// into a recorded *PanicError so one poisoned instance cannot kill a fleet
+// of solver invocations. The scheduling state may be mid-mutation after a
+// panic; result() never touches it (the incumbent is replayed on a fresh
+// state), so salvaging the incumbent stays safe.
+func (s *solver) runRecovering() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	s.run()
 }
 
 // pruneLimit returns the current elimination threshold: a vertex with
@@ -206,10 +255,16 @@ func (s *solver) run() {
 			s.provedByBound = true
 			return
 		}
-		//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
-		if !s.deadline.IsZero() && iter&255 == 0 && time.Now().After(s.deadline) {
-			s.stats.TimedOut = true
-			return
+		if iter&255 == 0 {
+			if s.ctx.Err() != nil {
+				s.canceled = true
+				return
+			}
+			//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
+			if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+				s.stats.TimedOut = true
+				return
+			}
 		}
 
 		// Step 4–5: select a vertex; stop or skip per the selection rule.
@@ -370,10 +425,24 @@ func (s *solver) result() (Result, error) {
 		res.Cost = s.incCost
 	}
 
-	exhausted := !s.stats.TimedOut && !s.lost
+	switch {
+	case s.panicked != nil:
+		res.Reason = TermPanic
+	case s.canceled:
+		res.Reason = TermCanceled
+	case s.stats.TimedOut:
+		res.Reason = TermTimeLimit
+	case s.provedByBound:
+		res.Reason = TermGlobalBound
+	case s.lost:
+		res.Reason = TermResourceLoss
+	default:
+		res.Reason = TermExhausted
+	}
+	exhausted := res.Reason == TermExhausted
 	res.Guarantee = exhausted && s.p.Branching.Exact() && res.Schedule != nil
 	res.Optimal = res.Guarantee && s.p.BR == 0
-	if s.provedByBound && res.Schedule != nil {
+	if res.Reason == TermGlobalBound && res.Schedule != nil {
 		// The incumbent met a certified external lower bound: optimal by
 		// that certificate, regardless of how the search was cut short.
 		res.Optimal, res.Guarantee = true, true

@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// TermReason classifies why a solver run ended. Every Solve/SolveParallel/
+// SolveIDA result carries one, so callers can distinguish a completed proof
+// from the four ways a search can be cut short — and react accordingly
+// (accept the incumbent, extend the budget, fall back to a heuristic, or
+// quarantine a poisoned instance).
+type TermReason int
+
+const (
+	// TermExhausted: the search space was fully explored (or the selection
+	// rule's stop condition fired) with no resource losses. Optimality
+	// proofs are possible only under this reason or TermGlobalBound.
+	TermExhausted TermReason = iota
+
+	// TermGlobalBound: the incumbent met the caller-certified global lower
+	// bound (Params.UseGlobalBound), proving it optimal without exhausting
+	// the tree.
+	TermGlobalBound
+
+	// TermResourceLoss: the active set drained, but MAXSZAS/MAXSZDB dropped
+	// vertices along the way — the exploration ended, the proof is voided.
+	TermResourceLoss
+
+	// TermTimeLimit: RB.TimeLimit expired. The result carries the best
+	// incumbent found before expiry (the anytime contract).
+	TermTimeLimit
+
+	// TermCanceled: the caller's context was canceled. The result carries
+	// the best incumbent found before cancellation (the anytime contract).
+	TermCanceled
+
+	// TermPanic: a search worker panicked (or failed internally) and was
+	// recovered. The accompanying error is a *PanicError; the result still
+	// carries the best incumbent adopted before the failure.
+	TermPanic
+)
+
+func (r TermReason) String() string {
+	switch r {
+	case TermExhausted:
+		return "exhausted"
+	case TermGlobalBound:
+		return "global-bound"
+	case TermResourceLoss:
+		return "resource-loss"
+	case TermTimeLimit:
+		return "time-limit"
+	case TermCanceled:
+		return "canceled"
+	case TermPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("TermReason(%d)", int(r))
+}
+
+// Exhaustive reports whether the search ran to a proof-capable completion:
+// the solution space was covered (TermExhausted) or a certified bound made
+// covering it unnecessary (TermGlobalBound).
+func (r TermReason) Exhaustive() bool {
+	return r == TermExhausted || r == TermGlobalBound
+}
+
+// Bounded reports whether the run was cut short by a budget, a caller, or
+// a failure — i.e. the incumbent is best-effort, not a proof.
+func (r TermReason) Bounded() bool { return !r.Exhaustive() }
+
+// PanicError is a recovered search-worker panic. One poisoned instance in a
+// fleet must not kill the process: the solvers convert worker panics into
+// this error, and the accompanying Result still carries the best incumbent
+// adopted before the failure (with Reason == TermPanic).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value interface{}
+
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: search worker panicked: %v", e.Value)
+}

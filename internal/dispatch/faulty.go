@@ -1,0 +1,229 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// TaskStatus is the fate of one task in a faulty run.
+type TaskStatus int
+
+const (
+	// StatusCompleted: the task ran to completion before its processor (if
+	// any) failed.
+	StatusCompleted TaskStatus = iota
+	// StatusKilled: the task was executing when its processor fail-stopped;
+	// its work is lost (non-preemptive tasks cannot be checkpointed).
+	StatusKilled
+	// StatusUnstarted: the task never started — its processor died first,
+	// or a predecessor was killed/unstarted so its inputs never arrived.
+	StatusUnstarted
+)
+
+func (s TaskStatus) String() string {
+	switch s {
+	case StatusCompleted:
+		return "completed"
+	case StatusKilled:
+		return "killed"
+	case StatusUnstarted:
+		return "unstarted"
+	}
+	return fmt.Sprintf("TaskStatus(%d)", int(s))
+}
+
+// FaultOutcome is one faulty dispatch of a schedule: which tasks survived,
+// which were lost, and the realized timing of the survivors.
+type FaultOutcome struct {
+	Scenario *faults.Scenario
+	Runs     []Execution // tasks that started (completed and killed), by start
+	Status   []TaskStatus
+	Finish   []taskgraph.Time // realized finish, valid where Status is completed
+
+	Completed int
+	Killed    int
+	Unstarted int
+
+	// Lmax and Makespan range over completed tasks only; Lmax is
+	// taskgraph.MinTime when nothing completed. Lost tasks have no finish
+	// time — their lateness is accounted by the recovery layer.
+	Lmax     taskgraph.Time
+	Makespan taskgraph.Time
+}
+
+// CompletedTasks returns the IDs of the tasks that ran to completion, in
+// ID order.
+func (o *FaultOutcome) CompletedTasks() []taskgraph.TaskID {
+	var out []taskgraph.TaskID
+	for id, st := range o.Status {
+		if st == StatusCompleted {
+			out = append(out, taskgraph.TaskID(id))
+		}
+	}
+	return out
+}
+
+// ExecuteFaulty dispatches the complete, valid schedule work-conservingly
+// (static order and assignment, realized data availability) while injecting
+// the fault scenario: each task consumes its actual time plus any injected
+// overrun, and a fail-stop processor executes nothing at or after its
+// failure instant. Tasks in flight at the instant are killed; tasks whose
+// inputs depend on killed or unstarted predecessors never start. The
+// returned outcome is the ground truth a recovery engine starts from.
+//
+// actual[i] in [1, c_i] is the fault-free execution time; pass nil to use
+// the WCETs.
+func ExecuteFaulty(s *sched.Schedule, sc *faults.Scenario, actual []taskgraph.Time) (*FaultOutcome, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("dispatch: incomplete schedule")
+	}
+	if err := s.Check(); err != nil {
+		return nil, fmt.Errorf("dispatch: invalid schedule: %w", err)
+	}
+	g, p := s.Graph, s.Platform
+	n := g.NumTasks()
+	if err := sc.Validate(n, p.M); err != nil {
+		return nil, err
+	}
+	if actual == nil {
+		actual = make([]taskgraph.Time, n)
+		for _, t := range g.Tasks() {
+			actual[t.ID] = t.Exec
+		}
+	}
+	if len(actual) != n {
+		return nil, fmt.Errorf("dispatch: %d actual times for %d tasks", len(actual), n)
+	}
+	for _, t := range g.Tasks() {
+		if actual[t.ID] < 1 || actual[t.ID] > t.Exec {
+			return nil, fmt.Errorf("dispatch: task %d actual time %d outside [1, %d]",
+				t.ID, actual[t.ID], t.Exec)
+		}
+	}
+
+	out := &FaultOutcome{
+		Scenario: sc,
+		Status:   make([]TaskStatus, n),
+		Finish:   make([]taskgraph.Time, n),
+		Lmax:     taskgraph.MinTime,
+	}
+	const (
+		unresolved = -1
+	)
+	// fate[i]: unresolved until the dispatcher decides; then a TaskStatus.
+	fate := make([]int, n)
+	for i := range fate {
+		fate[i] = unresolved
+	}
+
+	perProc := make([][]sched.Placement, p.M)
+	for _, pl := range s.Placements() {
+		perProc[pl.Proc] = append(perProc[pl.Proc], pl)
+	}
+
+	idx := make([]int, p.M)
+	procFree := make([]taskgraph.Time, p.M)
+	remaining := n
+	for remaining > 0 {
+		progress := false
+		for q := 0; q < p.M; q++ {
+			deadAt, dies := sc.DeadAt(platform.Proc(q))
+			for idx[q] < len(perProc[q]) {
+				pl := perProc[q][idx[q]]
+				// Resolve predecessor fates first.
+				blocked, waiting := false, false
+				start := g.Task(pl.Task).Arrival()
+				for _, pred := range g.Preds(pl.Task) {
+					switch fate[pred] {
+					case unresolved:
+						waiting = true
+					case int(StatusKilled), int(StatusUnstarted):
+						blocked = true
+					default: // completed: data ships at realized finish
+						at := out.Finish[pred] + p.CommCost(s.Proc(pred), pl.Proc, g.MessageSize(pred, pl.Task))
+						if at > start {
+							start = at
+						}
+					}
+				}
+				if waiting && !blocked {
+					break // revisit once the predecessors resolve
+				}
+				if blocked {
+					fate[pl.Task] = int(StatusUnstarted)
+					idx[q]++
+					remaining--
+					progress = true
+					continue
+				}
+				if procFree[q] > start {
+					start = procFree[q]
+				}
+				if dies && start >= deadAt {
+					// The processor is dead before the task could begin.
+					fate[pl.Task] = int(StatusUnstarted)
+					idx[q]++
+					remaining--
+					progress = true
+					continue
+				}
+				eff := actual[pl.Task] + sc.Overrun(pl.Task)
+				f := start + eff
+				if dies && f > deadAt {
+					// In flight at the fail-stop instant: the work is lost.
+					fate[pl.Task] = int(StatusKilled)
+					out.Runs = append(out.Runs, Execution{
+						Task: pl.Task, Proc: pl.Proc, Start: start, Finish: deadAt, Actual: eff,
+					})
+					procFree[q] = deadAt
+					idx[q]++
+					remaining--
+					progress = true
+					continue
+				}
+				fate[pl.Task] = int(StatusCompleted)
+				out.Finish[pl.Task] = f
+				procFree[q] = f
+				out.Runs = append(out.Runs, Execution{
+					Task: pl.Task, Proc: pl.Proc, Start: start, Finish: f, Actual: eff,
+				})
+				idx[q]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("dispatch: cross-processor order deadlock (schedule order inconsistent)")
+		}
+	}
+
+	sort.Slice(out.Runs, func(i, j int) bool {
+		if out.Runs[i].Start != out.Runs[j].Start {
+			return out.Runs[i].Start < out.Runs[j].Start
+		}
+		return out.Runs[i].Task < out.Runs[j].Task
+	})
+	for _, t := range g.Tasks() {
+		out.Status[t.ID] = TaskStatus(fate[t.ID])
+		switch out.Status[t.ID] {
+		case StatusCompleted:
+			out.Completed++
+			if out.Finish[t.ID] > out.Makespan {
+				out.Makespan = out.Finish[t.ID]
+			}
+			if l := out.Finish[t.ID] - t.AbsDeadline(); l > out.Lmax {
+				out.Lmax = l
+			}
+		case StatusKilled:
+			out.Killed++
+		case StatusUnstarted:
+			out.Unstarted++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// chainSchedule builds a deterministic 4-task instance: a chain 0→1→2 on
+// two processors plus an independent task 3, with hand-placed starts.
+//
+//	p0: [0: 0..10) [2: 22..32)
+//	p1: [1: 11..21) [3: 21..29)
+//
+// Edges 0→1 and 1→2 carry unit messages (CommCost 1 each across the bus).
+func chainSchedule(t testing.TB) *sched.Schedule {
+	t.Helper()
+	g := taskgraph.New(0)
+	for i := 0; i < 4; i++ {
+		g.AddTask(taskgraph.Task{Exec: 10, Deadline: 100})
+	}
+	g.TaskPtr(3).Exec = 8
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	p := platform.New(2)
+	s := sched.NewSchedule(g, p)
+	s.Set(0, 0, 0)
+	s.Set(1, 1, 0+10+p.CommCost(0, 1, 1))
+	s.Set(2, 0, s.Finish(1)+p.CommCost(1, 0, 1))
+	s.Set(3, 1, s.Finish(1))
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecuteFaultyNilScenarioMatchesExecute(t *testing.T) {
+	s := solved(t, 13, 3)
+	want, err := Execute(s, WorkConserving, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteFaulty(s, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != s.Graph.NumTasks() || got.Killed != 0 || got.Unstarted != 0 {
+		t.Fatalf("fault-free run lost tasks: %d/%d/%d", got.Completed, got.Killed, got.Unstarted)
+	}
+	if got.Lmax != want.Lmax || got.Makespan != want.Makespan {
+		t.Fatalf("fault-free faulty run (Lmax %d, makespan %d) diverges from Execute (%d, %d)",
+			got.Lmax, got.Makespan, want.Lmax, want.Makespan)
+	}
+}
+
+func TestExecuteFaultyProcFailure(t *testing.T) {
+	s := chainSchedule(t)
+	// p1 dies at t=15: task 1 is in flight (killed), so 2 is blocked and 3
+	// never starts on the dead processor. Task 0 completed before the fault.
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 1, At: 15},
+	}}
+	out, err := ExecuteFaulty(s, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus := []TaskStatus{StatusCompleted, StatusKilled, StatusUnstarted, StatusUnstarted}
+	for id, want := range wantStatus {
+		if out.Status[id] != want {
+			t.Fatalf("task %d: status %v, want %v (full: %v)", id, out.Status[id], want, out.Status)
+		}
+	}
+	if out.Completed != 1 || out.Killed != 1 || out.Unstarted != 2 {
+		t.Fatalf("counts completed/killed/unstarted = %d/%d/%d", out.Completed, out.Killed, out.Unstarted)
+	}
+	// The killed run is truncated at the fail-stop instant.
+	for _, run := range out.Runs {
+		if run.Task == 1 && run.Finish != 15 {
+			t.Fatalf("killed task records finish %d, want the failure instant 15", run.Finish)
+		}
+	}
+	if out.Makespan != 10 {
+		t.Fatalf("makespan over survivors = %d, want 10", out.Makespan)
+	}
+}
+
+func TestExecuteFaultyDeadOnArrival(t *testing.T) {
+	s := chainSchedule(t)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 0, At: 0},
+	}}
+	out, err := ExecuteFaulty(s, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing on p0 ever starts; the chain is dead from the root. Only the
+	// independent task 3 survives (its start slips to 0 on the idle p1).
+	wantStatus := []TaskStatus{StatusUnstarted, StatusUnstarted, StatusUnstarted, StatusCompleted}
+	for id, want := range wantStatus {
+		if out.Status[id] != want {
+			t.Fatalf("task %d: status %v, want %v", id, out.Status[id], want)
+		}
+	}
+	if len(out.Runs) != 1 || out.Runs[0].Task != 3 {
+		t.Fatalf("runs = %v", out.Runs)
+	}
+	if out.Runs[0].Start != 0 {
+		t.Fatalf("task 3 should start as soon as p1 is free, started at %d", out.Runs[0].Start)
+	}
+}
+
+func TestExecuteFaultyOverrun(t *testing.T) {
+	s := chainSchedule(t)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ExecOverrun, Task: 0, Extra: 4},
+	}}
+	out, err := ExecuteFaulty(s, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 4 {
+		t.Fatalf("overrun alone should not lose tasks: %v", out.Status)
+	}
+	// Task 0 finishes at 14 instead of 10; the slip propagates down the
+	// chain through realized message delivery.
+	if out.Finish[0] != 14 {
+		t.Fatalf("overrunning task finished at %d, want 14", out.Finish[0])
+	}
+	if out.Finish[1] <= s.Finish(1) {
+		t.Fatalf("slip did not propagate: task 1 finished at %d (table %d)", out.Finish[1], s.Finish(1))
+	}
+	if out.Lmax <= s.Lmax() {
+		t.Fatalf("overrun did not raise Lmax: %d <= %d", out.Lmax, s.Lmax())
+	}
+}
+
+func TestExecuteFaultyOverrunIntoFailure(t *testing.T) {
+	s := chainSchedule(t)
+	// Task 0 overruns past p0's failure instant: the overrun converts a
+	// completed task into a killed one.
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ExecOverrun, Task: 0, Extra: 4},
+		{Kind: faults.ProcFailure, Proc: 0, At: 12},
+	}}
+	out, err := ExecuteFaulty(s, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status[0] != StatusKilled {
+		t.Fatalf("task 0 status %v, want killed (overrun crossed the failure)", out.Status[0])
+	}
+	if out.Status[1] != StatusUnstarted || out.Status[2] != StatusUnstarted {
+		t.Fatalf("chain after a killed root should be unstarted: %v", out.Status)
+	}
+	if out.Status[3] != StatusCompleted {
+		t.Fatalf("independent task on the surviving processor should complete: %v", out.Status)
+	}
+}
+
+func TestExecuteFaultyValidates(t *testing.T) {
+	s := chainSchedule(t)
+	bad := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 9, At: 0},
+	}}
+	if _, err := ExecuteFaulty(s, bad, nil); err == nil {
+		t.Fatal("out-of-range scenario accepted")
+	}
+}

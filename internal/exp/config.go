@@ -62,6 +62,11 @@ type Config struct {
 	// Seed makes the whole experiment reproducible.
 	Seed int64
 
+	// Journal, when non-nil, makes the sweep crash-safe: completed sweep
+	// positions are appended to the journal and skipped on resume (see
+	// OpenJournal).
+	Journal *Journal
+
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultSweepQuick(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	cfg.Procs = []int{3}
+	cfg.TimeLimit = 200 * time.Millisecond // recovery budget
+
+	fig, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fault-sweep" || len(fig.Series) != 2 {
+		t.Fatalf("figure shape: %s with %d series", fig.ID, len(fig.Series))
+	}
+	bb, ok1 := fig.SeriesByName("B&B recover")
+	list, ok2 := fig.SeriesByName("list recover")
+	if !ok1 || !ok2 {
+		t.Fatal("missing series")
+	}
+	for j := range bb.Points {
+		if bb.Points[j].Runs != cfg.Runs || list.Points[j].Runs != cfg.Runs {
+			t.Fatalf("position %d: runs %d/%d, want %d", j,
+				bb.Points[j].Runs, list.Points[j].Runs, cfg.Runs)
+		}
+		// Paired: budgeted B&B recovery never loses to its own fallback.
+		if bb.Points[j].Lateness.Mean() > list.Points[j].Lateness.Mean() {
+			t.Fatalf("position %d: B&B post-fault Lmax %.1f worse than list %.1f",
+				j, bb.Points[j].Lateness.Mean(), list.Points[j].Lateness.Mean())
+		}
+		// The list path never runs the search.
+		if list.Points[j].Vertices.Max() != 0 {
+			t.Fatalf("position %d: list recovery generated vertices", j)
+		}
+	}
+	table := fig.Table()
+	for _, want := range []string{"post-fault max lateness", "deadline misses", "recovery search vertices"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFaultSweepJournaled(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 2
+	cfg.Procs = []int{2}
+	cfg.TimeLimit = 100 * time.Millisecond
+	path := filepath.Join(t.TempDir(), "fault.jsonl")
+
+	run := func(resume bool) (string, int) {
+		j, err := OpenJournal(path, resume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		c := cfg
+		c.Journal = j
+		fig, err := FaultSweep(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Table() + fig.CSV(), j.Hits()
+	}
+	want, hits := run(false)
+	if hits != 0 {
+		t.Fatalf("fresh run had %d journal hits", hits)
+	}
+	got, hits := run(true)
+	if hits != 5 {
+		t.Fatalf("resumed run served %d positions from the journal, want 5", hits)
+	}
+	if got != want {
+		t.Fatal("journaled fault sweep not byte-identical")
+	}
+}
+
+func TestFaultSweepRejectsUniprocessor(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = []int{1}
+	if _, err := FaultSweep(cfg); err == nil {
+		t.Fatal("uniprocessor fault sweep accepted")
+	}
+}

@@ -240,12 +240,15 @@ func ByName(id string) (func(Config) (Figure, error), error) {
 		return DiscussionUpperBound, nil
 	case "disc-memory":
 		return DiscussionMemory, nil
+	case "fault-sweep":
+		return FaultSweep, nil
 	}
-	return nil, fmt.Errorf("exp: unknown experiment %q (want fig3a, fig3b, fig3c, fig3c-scaled, fig3a-tie, disc-parallelism, disc-ccr, disc-upperbound, disc-memory)", id)
+	return nil, fmt.Errorf("exp: unknown experiment %q (want fig3a, fig3b, fig3c, fig3c-scaled, fig3a-tie, disc-parallelism, disc-ccr, disc-upperbound, disc-memory, fault-sweep)", id)
 }
 
 // All lists every experiment ID in presentation order.
 func All() []string {
 	return []string{"fig3a", "fig3b", "fig3c", "fig3c-scaled", "fig3a-tie",
-		"disc-parallelism", "disc-ccr", "disc-upperbound", "disc-memory"}
+		"disc-parallelism", "disc-ccr", "disc-upperbound", "disc-memory",
+		"fault-sweep"}
 }

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// Journal makes experiment sweeps crash-safe. Each completed sweep
+// position (one x-value, all variants, all runs) is appended to a JSONL
+// file and fsynced; a resumed run looks every position up by a
+// deterministic key and skips the ones already journaled.
+//
+// Correctness of the skip relies on two properties of the runner: every
+// sweep position seeds its own generator independently (cfg.Seed + j·7919),
+// so recomputing position j in a fresh process reproduces the original run
+// exactly; and the key fingerprints everything that determines a position's
+// result (the protocol parameters, the variants, and the position itself),
+// so a journal written under different settings never pollutes a run.
+// Together they make an interrupted-and-resumed sweep byte-identical to an
+// uninterrupted one.
+type Journal struct {
+	path    string
+	f       *os.File
+	entries map[string][]Point
+	hits    int
+}
+
+type journalEntry struct {
+	Key    string  `json:"key"`
+	Points []Point `json:"points"`
+}
+
+// OpenJournal opens (resume = true) or truncates (resume = false) the
+// journal at path. On resume, previously journaled positions are loaded; a
+// truncated trailing line — the signature of a crash mid-append — is
+// tolerated and dropped.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path, entries: make(map[string][]Point)}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: open journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+func (j *Journal) load() error {
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil // nothing to resume from
+	}
+	if err != nil {
+		return fmt.Errorf("exp: read journal: %w", err)
+	}
+	// Parse intact lines; a torn tail — no trailing newline or malformed
+	// JSON, the signature of a crash mid-append — is dropped AND truncated
+	// away, so subsequent appends start on a clean line boundary.
+	intact := 0
+	for intact < len(data) {
+		nl := bytes.IndexByte(data[intact:], '\n')
+		if nl < 0 {
+			break // torn tail without newline
+		}
+		line := data[intact : intact+nl]
+		if len(line) > 0 {
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // torn or corrupt line; recompute from here on
+			}
+			j.entries[e.Key] = e.Points
+		}
+		intact += nl + 1
+	}
+	if intact < len(data) {
+		if err := os.Truncate(j.path, int64(intact)); err != nil {
+			return fmt.Errorf("exp: truncate torn journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the journaled points for the key, if any, and counts the
+// hit.
+func (j *Journal) Lookup(key string) ([]Point, bool) {
+	pts, ok := j.entries[key]
+	if ok {
+		j.hits++
+	}
+	return pts, ok
+}
+
+// Record journals one completed position: append a line, then fsync, so a
+// crash immediately after never loses it.
+func (j *Journal) Record(key string, pts []Point) error {
+	line, err := json.Marshal(journalEntry{Key: key, Points: pts})
+	if err != nil {
+		return fmt.Errorf("exp: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("exp: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("exp: journal sync: %w", err)
+	}
+	j.entries[key] = pts
+	return nil
+}
+
+// Hits reports how many positions were served from the journal instead of
+// recomputed.
+func (j *Journal) Hits() int { return j.hits }
+
+// Close closes the underlying file. The journal stays usable for Lookup.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// positionKey fingerprints one sweep position: the run protocol, every
+// variant's full parameter tuple, and the position's workload/platform.
+// Any change to any of these yields a new key, so stale journal entries
+// are never reused. Two experiments producing the same key would by
+// construction produce the same points, so sharing the entry is sound.
+func positionKey(cfg Config, variants []Variant, pt sweepPoint, j int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|seed=%d runs=%d adaptive=%v maxruns=%d vc=%g ve=%g lc=%g le=%g leps=%g tl=%s slicing=%d|",
+		j, cfg.Seed, cfg.Runs, cfg.Adaptive, cfg.MaxRuns,
+		cfg.VerticesConf, cfg.VerticesErr, cfg.LatenessConf, cfg.LatenessErr, cfg.LatenessEps,
+		cfg.TimeLimit, cfg.Slicing)
+	for _, v := range variants {
+		fmt.Fprintf(h, "%s/%v/%+v|", v.Name, v.EDF, v.Params)
+	}
+	fmt.Fprintf(h, "x=%g workload=%+v laxity=%g procs=%d", pt.x, pt.workload, pt.laxity, pt.procs)
+	return fmt.Sprintf("pos[%d]:%016x", j, h.Sum64())
+}

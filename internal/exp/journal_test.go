@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// runJournaled evaluates fig3a under the journal at path and returns its
+// rendered output (table + CSV, the full aggregate artifact).
+func runJournaled(t *testing.T, cfg Config, path string, resume bool) (string, *Journal) {
+	t.Helper()
+	j, err := OpenJournal(path, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	cfg.Journal = j
+	fig, err := Fig3a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig.Table() + fig.CSV(), j
+}
+
+// TestJournalKillAndResume simulates an experiment killed mid-run: the
+// journal keeps the completed positions plus a torn partial line, and the
+// resumed run must (a) skip the journaled positions and (b) produce
+// byte-identical aggregate output.
+func TestJournalKillAndResume(t *testing.T) {
+	cfg := tinyConfig()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	want, _ := runJournaled(t, cfg, path, false)
+
+	// "Kill" the process after the first position: keep the first journal
+	// line, then a torn partial append (the crash signature).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal has %d lines, want one per sweep position", len(lines))
+	}
+	torn := lines[0] + `{"key":"pos[1]:dead`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, j := runJournaled(t, cfg, path, true)
+	if j.Hits() != 1 {
+		t.Fatalf("resume served %d positions from the journal, want 1", j.Hits())
+	}
+	if got != want {
+		t.Fatalf("resumed output differs from the uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// A fully journaled run recomputes nothing and still matches.
+	again, j2 := runJournaled(t, cfg, path, true)
+	if j2.Hits() != len(cfg.Procs) {
+		t.Fatalf("full resume served %d positions, want %d", j2.Hits(), len(cfg.Procs))
+	}
+	if again != want {
+		t.Fatal("fully journaled run diverges")
+	}
+}
+
+// TestJournalFreshRunTruncates pins resume=false semantics: stale entries
+// must not survive.
+func TestJournalFreshRunTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte(`{"key":"stale","points":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, ok := j.Lookup("stale"); ok {
+		t.Fatal("fresh journal kept a stale entry")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("fresh journal not truncated: %q", data)
+	}
+}
+
+// TestJournalKeyChangesWithProtocol: a journal written under one protocol
+// must not satisfy lookups from another.
+func TestJournalKeyChangesWithProtocol(t *testing.T) {
+	cfg := tinyConfig()
+	pt := sweepPoint{x: 2, workload: cfg.Workload, laxity: cfg.Workload.Laxity, procs: 2}
+	variants := []Variant{{Name: "a"}, EDFVariant()}
+	base := positionKey(cfg, variants, pt, 0)
+
+	mutations := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.Runs++ },
+		func(c *Config) { c.TimeLimit += time.Second },
+	}
+	for i, mut := range mutations {
+		c := cfg
+		mut(&c)
+		if positionKey(c, variants, pt, 0) == base {
+			t.Errorf("mutation %d did not change the position key", i)
+		}
+	}
+	v2 := []Variant{{Name: "a", Params: core.Params{BR: 0.1}}, EDFVariant()}
+	if positionKey(cfg, v2, pt, 0) == base {
+		t.Error("variant parameter change did not change the position key")
+	}
+	pt2 := pt
+	pt2.procs = 3
+	if positionKey(cfg, variants, pt2, 0) == base {
+		t.Error("platform change did not change the position key")
+	}
+}
+
+// TestRunVariantPanicIsolation pins the per-run isolation satellite: a
+// panic inside one instance's solve is recorded as a failed run and the
+// sweep carries on instead of aborting.
+func TestRunVariantPanicIsolation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = []int{2}
+	cfg.Runs = 3
+	var logged []string
+	cfg.Logf = func(format string, args ...interface{}) {
+		logged = append(logged, format)
+	}
+	poisoned := Variant{Name: "poisoned", Params: core.Params{
+		Observer: func(e core.Event) { panic("injected instance panic") },
+	}}
+	series, err := runSweep(cfg, []Variant{poisoned, EDFVariant()}, procSweep(cfg))
+	if err != nil {
+		t.Fatalf("a panicking instance aborted the sweep: %v", err)
+	}
+	p := series[0].Points[0]
+	if p.Failed != cfg.Runs {
+		t.Fatalf("failed = %d, want %d (every instance panics)", p.Failed, cfg.Runs)
+	}
+	if p.Runs != 0 {
+		t.Fatalf("panicked runs still retained: %d", p.Runs)
+	}
+	// The healthy paired variant is unaffected.
+	if series[1].Points[0].Runs != cfg.Runs || series[1].Points[0].Failed != 0 {
+		t.Fatalf("healthy variant damaged: %+v", series[1].Points[0])
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "posSeed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed run did not log the reproducing seed")
+	}
+	// The failure is visible in the rendered artifacts.
+	fig := Figure{ID: "t", Series: series}
+	if !strings.Contains(fig.Table(), "0 (0) 3f") {
+		t.Fatalf("failed runs invisible in the table:\n%s", fig.Table())
+	}
+	if !strings.Contains(fig.CSV(), "t,poisoned,2,0,0,3,") {
+		t.Fatalf("failed runs invisible in the CSV:\n%s", fig.CSV())
+	}
+}

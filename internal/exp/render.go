@@ -32,14 +32,21 @@ func (f Figure) Table() string {
 		}
 	}
 
-	section("generated vertices (mean ±90% CI)", func(p Point) string {
+	label := func(override, fallback string) string {
+		if override != "" {
+			return override
+		}
+		return fallback
+	}
+	vlab := label(f.VertexLabel, "generated vertices")
+	section(vlab+" (mean ±90% CI)", func(p Point) string {
 		m, h := p.Vertices.MeanCI(0.90)
 		return fmt.Sprintf("%.0f ±%.0f", m, h)
 	})
-	section("generated vertices (median)", func(p Point) string {
+	section(vlab+" (median)", func(p Point) string {
 		return fmt.Sprintf("%.0f", p.Vertices.Median())
 	})
-	section("max task lateness (mean ±95% CI)", func(p Point) string {
+	section(label(f.LatenessLabel, "max task lateness")+" (mean ±95% CI)", func(p Point) string {
 		m, h := p.Lateness.MeanCI(0.95)
 		return fmt.Sprintf("%.2f ±%.2f", m, h)
 	})
@@ -53,13 +60,25 @@ func (f Figure) Table() string {
 		}
 	}
 	if hasAS {
-		section("active-set high-water mark (mean)", func(p Point) string {
+		section(label(f.ASLabel, "active-set high-water mark")+" (mean)", func(p Point) string {
 			return fmt.Sprintf("%.0f", p.MaxAS.Mean())
 		})
 	}
 
-	section("runs (censored)", func(p Point) string {
-		return fmt.Sprintf("%d (%d)", p.Runs, p.Censored)
+	hasFailed := false
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Failed > 0 {
+				hasFailed = true
+			}
+		}
+	}
+	section(label(f.RunsLabel, "runs (censored)"), func(p Point) string {
+		cell := fmt.Sprintf("%d (%d)", p.Runs, p.Censored)
+		if hasFailed {
+			cell += fmt.Sprintf(" %df", p.Failed)
+		}
+		return cell
 	})
 	return b.String()
 }
@@ -83,13 +102,13 @@ func (f Figure) Distribution(idx int) string {
 // aggregates, suitable for external plotting.
 func (f Figure) CSV() string {
 	var b strings.Builder
-	b.WriteString("figure,variant,x,runs,censored,vertices_mean,vertices_ci90,lateness_mean,lateness_ci95,maxas_mean\n")
+	b.WriteString("figure,variant,x,runs,censored,failed,vertices_mean,vertices_ci90,lateness_mean,lateness_ci95,maxas_mean\n")
 	for _, s := range f.Series {
 		for _, p := range s.Points {
 			vm, vh := p.Vertices.MeanCI(0.90)
 			lm, lh := p.Lateness.MeanCI(0.95)
-			fmt.Fprintf(&b, "%s,%s,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.1f\n",
-				f.ID, s.Variant, p.X, p.Runs, p.Censored, vm, vh, lm, lh, p.MaxAS.Mean())
+			fmt.Fprintf(&b, "%s,%s,%g,%d,%d,%d,%.2f,%.2f,%.3f,%.3f,%.1f\n",
+				f.ID, s.Variant, p.X, p.Runs, p.Censored, p.Failed, vm, vh, lm, lh, p.MaxAS.Mean())
 		}
 	}
 	return b.String()

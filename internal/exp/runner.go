@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -12,19 +13,23 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// Point aggregates one variant's observations at one sweep position.
+// Point aggregates one variant's observations at one sweep position. The
+// JSON encoding is the journal format (see Journal); Sample fields encode
+// as raw observation arrays, losslessly.
 type Point struct {
-	Variant string
-	X       float64 // sweep coordinate (processor count, CCR, …)
+	Variant string  `json:"variant"`
+	X       float64 `json:"x"` // sweep coordinate (processor count, CCR, …)
 
-	Vertices stats.Sample // generated vertices (EDF: scheduling steps)
-	Lateness stats.Sample // maximum task lateness
-	MaxAS    stats.Sample // active-set high-water mark (0 for EDF)
+	Vertices stats.Sample `json:"vertices"` // generated vertices (EDF: scheduling steps)
+	Lateness stats.Sample `json:"lateness"` // maximum task lateness
+	MaxAS    stats.Sample `json:"maxas"`    // active-set high-water mark (0 for EDF)
 
 	// Censored counts runs removed because they exceeded the time limit
-	// (§5 protocol). Runs counts the retained ones.
-	Censored int
-	Runs     int
+	// (§5 protocol). Failed counts runs whose solve panicked (isolated,
+	// recorded, excluded from the averages). Runs counts the retained ones.
+	Censored int `json:"censored"`
+	Failed   int `json:"failed,omitempty"`
+	Runs     int `json:"runs"`
 }
 
 // Series is one variant's curve across the sweep.
@@ -39,6 +44,14 @@ type Figure struct {
 	Title  string
 	XLabel string
 	Series []Series
+
+	// Optional label overrides for figures that re-purpose the metric
+	// columns (e.g. the fault sweep). Empty means the solver-sweep
+	// defaults ("generated vertices", "max task lateness", ...).
+	VertexLabel   string
+	LatenessLabel string
+	ASLabel       string
+	RunsLabel     string
 }
 
 // instance is one generated workload: the graph is shared by all variants
@@ -71,9 +84,24 @@ func runSweep(cfg Config, variants []Variant, pts []sweepPoint) ([]Series, error
 	}
 
 	for j, pt := range pts {
+		// A journaled position is restored verbatim; the per-position
+		// seeding below guarantees a recomputed one would be identical.
+		var key string
+		if cfg.Journal != nil {
+			key = positionKey(cfg, variants, pt, j)
+			if saved, ok := cfg.Journal.Lookup(key); ok && len(saved) == len(variants) {
+				for i := range variants {
+					series[i].Points[j] = saved[i]
+				}
+				cfg.logf("exp: x=%v restored from journal", pt.x)
+				continue
+			}
+		}
+
 		// Every sweep position gets its own deterministic generator so
 		// positions can be evaluated (or re-evaluated) independently.
-		gg := gen.New(pt.workload, cfg.Seed+int64(j)*7919)
+		posSeed := cfg.Seed + int64(j)*7919
+		gg := gen.New(pt.workload, posSeed)
 		plat := platform.New(pt.procs)
 
 		run := 0
@@ -88,7 +116,7 @@ func runSweep(cfg Config, variants []Variant, pts []sweepPoint) ([]Series, error
 			}
 			for i, v := range variants {
 				p := &series[i].Points[j]
-				if err := runVariant(cfg, v, g, plat, p); err != nil {
+				if err := runVariant(cfg, v, g, plat, p, posSeed, run); err != nil {
 					return nil, err
 				}
 			}
@@ -96,10 +124,20 @@ func runSweep(cfg Config, variants []Variant, pts []sweepPoint) ([]Series, error
 				break
 			}
 		}
+		if cfg.Journal != nil {
+			pts := make([]Point, len(variants))
+			for i := range variants {
+				pts[i] = series[i].Points[j]
+			}
+			if err := cfg.Journal.Record(key, pts); err != nil {
+				return nil, err
+			}
+		}
 		for i := range series {
-			cfg.logf("exp: %s x=%v: %d runs (%d censored), mean vertices %.0f",
+			cfg.logf("exp: %s x=%v: %d runs (%d censored, %d failed), mean vertices %.0f",
 				series[i].Variant, pt.x, series[i].Points[j].Runs,
-				series[i].Points[j].Censored, series[i].Points[j].Vertices.Mean())
+				series[i].Points[j].Censored, series[i].Points[j].Failed,
+				series[i].Points[j].Vertices.Mean())
 		}
 	}
 	return series, nil
@@ -126,7 +164,22 @@ func converged(cfg Config, series []Series, j int) bool {
 	return true
 }
 
-func runVariant(cfg Config, v Variant, g *taskgraph.Graph, plat platform.Platform, p *Point) error {
+// runVariant evaluates one variant on one instance. A panicking solve is
+// isolated: the run is recorded as failed (with enough context to replay
+// it — the position seed and run index pin the exact graph) and the sweep
+// carries on with the next instance instead of aborting the experiment.
+func runVariant(cfg Config, v Variant, g *taskgraph.Graph, plat platform.Platform, p *Point, posSeed int64, run int) (err error) {
+	defer func() {
+		// core recovers its own worker panics into *core.PanicError; this
+		// catches anything outside that net (EDF reference, bookkeeping).
+		if r := recover(); r != nil {
+			p.Failed++
+			cfg.logf("exp: variant %q PANICKED on posSeed=%d run=%d: %v (recorded as failed)",
+				v.Name, posSeed, run, r)
+			err = nil
+		}
+	}()
+
 	if v.EDF {
 		res, err := edf.Schedule(g, plat)
 		if err != nil {
@@ -143,6 +196,13 @@ func runVariant(cfg Config, v Variant, g *taskgraph.Graph, plat platform.Platfor
 	params.Resources.TimeLimit = cfg.TimeLimit
 	res, err := core.Solve(g, plat, params)
 	if err != nil {
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			p.Failed++
+			cfg.logf("exp: variant %q solve panicked on posSeed=%d run=%d: %v (recorded as failed)",
+				v.Name, posSeed, run, pe.Value)
+			return nil
+		}
 		return err
 	}
 	if res.Stats.TimedOut {

@@ -1,0 +1,238 @@
+// Package faults models deterministic, seeded runtime faults for the
+// simulated multiprocessor platform. The paper's execution model (§2)
+// assumes processors never fail and tasks never exceed their WCET; the
+// surrounding fault-tolerant real-time literature (and Shin's own work)
+// treats both assumptions as things to be *survived*, not relied on. This
+// package supplies the two classic fault classes as plain data:
+//
+//	ProcFailure — a fail-stop permanent processor failure at time t: the
+//	    processor executes nothing at or after t, work in flight at t is
+//	    lost (non-preemptive tasks cannot be checkpointed), and work that
+//	    finished strictly before t — including data already shipped on
+//	    the bus — survives.
+//	ExecOverrun — a transient execution-time overrun: one invocation of a
+//	    task consumes Extra ticks beyond its nominal execution time. The
+//	    fault is transient; a re-executed invocation uses the WCET again.
+//
+// A Scenario is a set of faults injected into one run. Scenarios are
+// injected into the executors (internal/sim for the bus-level view,
+// internal/dispatch for the dispatcher view) and consumed by the recovery
+// engine (internal/rescue). Model draws reproducible scenarios from a
+// seed, so every fault experiment is replayable from (workload seed,
+// fault seed).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// ProcFailure is a fail-stop permanent processor failure.
+	ProcFailure Kind = iota
+	// ExecOverrun is a transient execution-time overrun of one task.
+	ExecOverrun
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ProcFailure:
+		return "proc-failure"
+	case ExecOverrun:
+		return "exec-overrun"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one injected fault.
+type Fault struct {
+	Kind Kind
+
+	// Proc is the processor that fail-stops (ProcFailure only).
+	Proc platform.Proc
+	// At is the fail-stop instant (ProcFailure only). Work finishing at or
+	// before At survives; anything still running at At is lost.
+	At taskgraph.Time
+
+	// Task is the overrunning task (ExecOverrun only).
+	Task taskgraph.TaskID
+	// Extra is the overrun beyond the nominal execution time, > 0
+	// (ExecOverrun only).
+	Extra taskgraph.Time
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case ProcFailure:
+		return fmt.Sprintf("p%d fails at t=%d", f.Proc, f.At)
+	case ExecOverrun:
+		return fmt.Sprintf("task %d overruns by %d", f.Task, f.Extra)
+	}
+	return fmt.Sprintf("fault{%d}", int(f.Kind))
+}
+
+// Scenario is the set of faults injected into one run. A nil *Scenario is
+// the fault-free run; all query methods treat it as such.
+type Scenario struct {
+	Faults []Fault
+}
+
+// Validate checks every fault against a graph with n tasks and a platform
+// with m processors: processor and task references in range, positive
+// overruns, non-negative failure instants, and at most one failure per
+// processor.
+func (sc *Scenario) Validate(n, m int) error {
+	if sc == nil {
+		return nil
+	}
+	seen := make(map[platform.Proc]bool, m)
+	for i, f := range sc.Faults {
+		switch f.Kind {
+		case ProcFailure:
+			if f.Proc < 0 || int(f.Proc) >= m {
+				return fmt.Errorf("faults: fault %d: processor %d outside [0,%d)", i, f.Proc, m)
+			}
+			if f.At < 0 {
+				return fmt.Errorf("faults: fault %d: negative failure instant %d", i, f.At)
+			}
+			if seen[f.Proc] {
+				return fmt.Errorf("faults: fault %d: processor %d fails twice", i, f.Proc)
+			}
+			seen[f.Proc] = true
+		case ExecOverrun:
+			if f.Task < 0 || int(f.Task) >= n {
+				return fmt.Errorf("faults: fault %d: task %d outside [0,%d)", i, f.Task, n)
+			}
+			if f.Extra <= 0 {
+				return fmt.Errorf("faults: fault %d: non-positive overrun %d", i, f.Extra)
+			}
+		default:
+			return fmt.Errorf("faults: fault %d: unknown kind %d", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// DeadAt returns the fail-stop instant of processor q and whether q fails
+// at all in this scenario.
+func (sc *Scenario) DeadAt(q platform.Proc) (taskgraph.Time, bool) {
+	if sc == nil {
+		return 0, false
+	}
+	for _, f := range sc.Faults {
+		if f.Kind == ProcFailure && f.Proc == q {
+			return f.At, true
+		}
+	}
+	return 0, false
+}
+
+// DeadProcs returns the sorted processors that fail in this scenario.
+func (sc *Scenario) DeadProcs() []platform.Proc {
+	if sc == nil {
+		return nil
+	}
+	var out []platform.Proc
+	for _, f := range sc.Faults {
+		if f.Kind == ProcFailure {
+			out = append(out, f.Proc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastFailure returns the latest fail-stop instant in the scenario, or
+// (0, false) when no processor fails. Recovery begins at this instant:
+// the residual problem cannot be dispatched before the fault is detected.
+func (sc *Scenario) LastFailure() (taskgraph.Time, bool) {
+	if sc == nil {
+		return 0, false
+	}
+	var at taskgraph.Time
+	found := false
+	for _, f := range sc.Faults {
+		if f.Kind == ProcFailure && (!found || f.At > at) {
+			at, found = f.At, true
+		}
+	}
+	return at, found
+}
+
+// Overrun returns the total extra execution time injected into the task.
+func (sc *Scenario) Overrun(id taskgraph.TaskID) taskgraph.Time {
+	if sc == nil {
+		return 0
+	}
+	var extra taskgraph.Time
+	for _, f := range sc.Faults {
+		if f.Kind == ExecOverrun && f.Task == id {
+			extra += f.Extra
+		}
+	}
+	return extra
+}
+
+func (sc *Scenario) String() string {
+	if sc == nil || len(sc.Faults) == 0 {
+		return "fault-free"
+	}
+	parts := make([]string, len(sc.Faults))
+	for i, f := range sc.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Model draws reproducible fault scenarios from a seed. Two models built
+// with the same seed produce identical draws in identical call order.
+type Model struct {
+	rng *rand.Rand
+}
+
+// NewModel returns a seeded fault model.
+func NewModel(seed int64) *Model {
+	return &Model{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ProcFailure draws a uniform processor from the platform and a uniform
+// fail-stop instant in [0, horizon). A horizon <= 0 yields failure at 0
+// (the processor is dead on arrival).
+func (m *Model) ProcFailure(plat platform.Platform, horizon taskgraph.Time) Fault {
+	f := Fault{Kind: ProcFailure, Proc: platform.Proc(m.rng.Intn(plat.M))}
+	if horizon > 0 {
+		f.At = taskgraph.Time(m.rng.Int63n(int64(horizon)))
+	}
+	return f
+}
+
+// Overruns draws an ExecOverrun for each task independently with
+// probability prob; the overrun size is uniform in [1, maxFrac·c_i]
+// (at least 1 tick). Tasks are visited in ID order, so the draw sequence
+// is deterministic.
+func (m *Model) Overruns(g *taskgraph.Graph, prob, maxFrac float64) []Fault {
+	var out []Fault
+	for _, t := range g.Tasks() {
+		if m.rng.Float64() >= prob {
+			continue
+		}
+		max := taskgraph.Time(float64(t.Exec) * maxFrac)
+		if max < 1 {
+			max = 1
+		}
+		out = append(out, Fault{
+			Kind:  ExecOverrun,
+			Task:  t.ID,
+			Extra: 1 + taskgraph.Time(m.rng.Int63n(int64(max))),
+		})
+	}
+	return out
+}

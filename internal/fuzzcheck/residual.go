@@ -1,0 +1,211 @@
+package fuzzcheck
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/deadline"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/rescue"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+
+	"repro/internal/dispatch"
+)
+
+// RunResidual executes the fault-recovery campaign: random workloads,
+// random seeded fault scenarios, and a full property check of the residual
+// problem construction and the recovered plan (precedence with realized
+// channel delivery, processor death, recovery origin, non-overlap,
+// deterministic replay of the degraded path). It stops at the first
+// violation, embedding the reproducer seed.
+func RunResidual(cfg Config) (Result, error) {
+	if cfg.Instances < 1 || cfg.MaxTasks < 5 || cfg.Procs < 1 {
+		return Result{}, fmt.Errorf("fuzzcheck: bad config %+v", cfg)
+	}
+	var res Result
+	for i := 0; i < cfg.Instances; i++ {
+		seed := cfg.Seed + int64(i)
+		ok, err := checkResidualInstance(cfg, seed)
+		if err != nil {
+			return res, fmt.Errorf("fuzzcheck: residual seed %d: %w", seed, err)
+		}
+		if ok {
+			res.Checked++
+		} else {
+			res.Skipped++
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("fuzzcheck: residual seed %d done (%d checked, %d skipped)", seed, res.Checked, res.Skipped)
+		}
+	}
+	return res, nil
+}
+
+func checkResidualInstance(cfg Config, seed int64) (bool, error) {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, cfg.MaxTasks
+	p.DepthMin, p.DepthMax = 2, 5
+	gg := gen.New(p, seed)
+	g := gg.Graph()
+	if err := deadline.Assign(g, 0.8+float64(seed%5)*0.25, deadline.EqualSlack); err != nil {
+		return false, err
+	}
+	m := cfg.Procs
+	if m < 2 {
+		m = 2 // one processor must survive
+	}
+	plat := platform.New(m)
+
+	static, err := listsched.Best(g, plat)
+	if err != nil {
+		return false, err
+	}
+	s := static.Schedule
+	if err := s.Check(); err != nil {
+		return false, fmt.Errorf("static schedule invalid: %v", err)
+	}
+
+	model := faults.NewModel(seed * 7919)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		model.ProcFailure(plat, s.Makespan()),
+	}}
+	sc.Faults = append(sc.Faults, model.Overruns(g, 0.3, 0.6)...)
+	if err := sc.Validate(g.NumTasks(), plat.M); err != nil {
+		return false, err
+	}
+
+	// Alternate between the pure list path (deterministic, replayed) and
+	// the budgeted B&B path across seeds.
+	opt := rescue.Options{}
+	if seed%2 == 1 {
+		opt.Budget = cfg.Budget
+	}
+	out, err := rescue.Recover(context.Background(), s, sc, nil, opt)
+	if err != nil {
+		return false, err
+	}
+	if out.Residual == nil {
+		return false, nil // fault landed after all work; nothing to check
+	}
+	if err := checkResidual(s, out); err != nil {
+		return false, err
+	}
+	if err := checkRecoveredPlan(s, out); err != nil {
+		return false, err
+	}
+
+	// The degraded path is a pure function of its inputs: replay must
+	// reproduce the identical plan. (The budgeted path is excluded — a
+	// wall-clock truncation point is not deterministic.)
+	if opt.Budget == 0 {
+		again, err := rescue.Recover(context.Background(), s, sc, nil, opt)
+		if err != nil {
+			return false, err
+		}
+		if len(again.Merged) != len(out.Merged) {
+			return false, fmt.Errorf("replay changed the plan size: %d != %d", len(again.Merged), len(out.Merged))
+		}
+		for i := range out.Merged {
+			if again.Merged[i] != out.Merged[i] {
+				return false, fmt.Errorf("replay diverged at placement %d: %+v != %+v",
+					i, again.Merged[i], out.Merged[i])
+			}
+		}
+	}
+	return true, nil
+}
+
+// checkResidual verifies the residual problem construction itself.
+func checkResidual(s *sched.Schedule, out *rescue.Outcome) error {
+	g := s.Graph
+	res, fault := out.Residual, out.Fault
+	if _, err := res.Graph.TopoOrder(); err != nil {
+		return fmt.Errorf("residual graph not a DAG: %v", err)
+	}
+	if res.Graph.NumTasks() != len(res.TaskMap) {
+		return fmt.Errorf("task map size %d != residual size %d", len(res.TaskMap), res.Graph.NumTasks())
+	}
+	if res.Platform.M != len(res.ProcMap) {
+		return fmt.Errorf("proc map size %d != residual platform %d", len(res.ProcMap), res.Platform.M)
+	}
+	if lastAt, failed := fault.Scenario.LastFailure(); failed && res.Origin < lastAt {
+		return fmt.Errorf("recovery origin %d before the last failure %d", res.Origin, lastAt)
+	}
+	for rid, t := range res.Graph.Tasks() {
+		orig := g.Task(res.TaskMap[rid])
+		if fault.Status[orig.ID] == dispatch.StatusCompleted {
+			return fmt.Errorf("completed task %d re-entered the residual problem", orig.ID)
+		}
+		if t.Exec != orig.Exec {
+			return fmt.Errorf("residual task %d changed execution time %d → %d", orig.ID, orig.Exec, t.Exec)
+		}
+		if t.Phase < 0 {
+			return fmt.Errorf("residual task %d has negative phase %d", orig.ID, t.Phase)
+		}
+		// The absolute deadline must survive the shift into recovery time.
+		if res.Origin+t.AbsDeadline() != orig.AbsDeadline() {
+			return fmt.Errorf("residual task %d moved its absolute deadline: %d != %d",
+				orig.ID, res.Origin+t.AbsDeadline(), orig.AbsDeadline())
+		}
+	}
+	return nil
+}
+
+// checkRecoveredPlan verifies the merged plan in original problem space.
+func checkRecoveredPlan(s *sched.Schedule, out *rescue.Outcome) error {
+	g, p := s.Graph, s.Platform
+	fault, res := out.Fault, out.Residual
+	sc := fault.Scenario
+
+	covered := make(map[taskgraph.TaskID]rescue.Placement, len(out.Merged))
+	for _, pl := range out.Merged {
+		if _, dup := covered[pl.Task]; dup {
+			return fmt.Errorf("task %d recovered twice", pl.Task)
+		}
+		covered[pl.Task] = pl
+	}
+	for id, st := range fault.Status {
+		tid := taskgraph.TaskID(id)
+		if _, ok := covered[tid]; (st == dispatch.StatusCompleted) == ok {
+			return fmt.Errorf("task %d status %v, in plan: %v", id, st, ok)
+		}
+	}
+	for _, pl := range out.Merged {
+		if at, dead := sc.DeadAt(pl.Proc); dead {
+			return fmt.Errorf("task %d recovered on processor %d, dead since %d", pl.Task, pl.Proc, at)
+		}
+		if pl.Start < res.Origin || pl.Start < g.Task(pl.Task).Arrival() {
+			return fmt.Errorf("task %d starts at %d before origin %d or arrival", pl.Task, pl.Start, res.Origin)
+		}
+		if pl.Finish != pl.Start+g.Task(pl.Task).Exec {
+			return fmt.Errorf("task %d occupies [%d,%d) with exec %d", pl.Task, pl.Start, pl.Finish, g.Task(pl.Task).Exec)
+		}
+		for _, pred := range g.Preds(pl.Task) {
+			size := g.MessageSize(pred, pl.Task)
+			var need taskgraph.Time
+			if fault.Status[pred] == dispatch.StatusCompleted {
+				need = fault.Finish[pred] + p.CommCost(s.Proc(pred), pl.Proc, size)
+			} else {
+				pp, ok := covered[pred]
+				if !ok {
+					return fmt.Errorf("unfinished pred %d of %d missing from the plan", pred, pl.Task)
+				}
+				need = pp.Finish + p.CommCost(pp.Proc, pl.Proc, size)
+			}
+			if pl.Start < need {
+				return fmt.Errorf("task %d starts at %d before pred %d delivers at %d", pl.Task, pl.Start, pred, need)
+			}
+		}
+		for _, other := range out.Merged {
+			if other.Task != pl.Task && other.Proc == pl.Proc &&
+				pl.Start < other.Finish && other.Start < pl.Finish {
+				return fmt.Errorf("tasks %d and %d overlap on processor %d", pl.Task, other.Task, pl.Proc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package fuzzcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunResidualQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign")
+	}
+	cfg := DefaultConfig()
+	cfg.Instances = 12
+	cfg.MaxTasks = 12
+	cfg.Procs = 3
+	cfg.Budget = 100 * time.Millisecond
+	res, err := RunResidual(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked == 0 {
+		t.Fatal("residual campaign checked nothing")
+	}
+	t.Logf("residual campaign: %d checked, %d skipped", res.Checked, res.Skipped)
+}
+
+func TestRunResidualRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instances = 0
+	if _, err := RunResidual(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package rescue is the fault-recovery engine: when a processor fail-stops
+// under a dispatched static schedule, it freezes what already happened,
+// constructs the residual scheduling problem — the unfinished tasks, the
+// surviving processors, and the data the completed tasks already produced —
+// and re-solves it, preferring the branch-and-bound engine under a strict
+// wall-clock recovery budget and degrading to list scheduling when the
+// budget is zero or the search returns nothing usable.
+//
+// The recovery model is drain-then-recover: the dispatcher lets the
+// surviving processors finish the work they can still run from the original
+// table (work-conserving, per internal/dispatch.ExecuteFaulty) and re-plans
+// everything that was killed or never started. Killed tasks restart from
+// scratch — the execution model is non-preemptive with no checkpoints, so
+// partial work is worthless. The recovery origin is therefore
+//
+//	Origin = max(last fail-stop instant, last realized finish on a
+//	             surviving processor)
+//
+// and the residual problem lives in a shifted time base with t = 0 at
+// Origin. Data produced by completed tasks is charged one conservative
+// cross-processor message cost (the recovered consumer may land anywhere);
+// channels between two unfinished tasks stay ordinary edges of the residual
+// graph. Residual deadlines keep their original absolute instants, so they
+// may carry negative slack — max-lateness minimization handles that
+// gracefully, and the post-fault Lmax honestly reports the damage.
+//
+// The B&B path inherits the anytime contract of internal/core: a censored
+// or canceled recovery solve still yields the best incumbent found, so a
+// recovery budget never leaves the platform without a plan unless the
+// residual problem itself is infeasible to construct (no survivors).
+package rescue
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/faults"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Options tunes a recovery.
+type Options struct {
+	// Budget is the wall-clock allowance for the B&B recovery solve. Zero
+	// skips the search entirely and uses the list-scheduling fallback.
+	Budget time.Duration
+
+	// Params configures the B&B recovery solve (branching, bounds, ...).
+	// Resources.TimeLimit is overridden by Budget.
+	Params core.Params
+
+	// Workers > 1 uses the parallel solver for the recovery search.
+	Workers int
+}
+
+// Residual is the re-scheduling problem extracted from a faulty run.
+type Residual struct {
+	Graph    *taskgraph.Graph  // unfinished tasks, shifted time base
+	Platform platform.Platform // surviving processors, renumbered densely
+
+	// TaskMap and ProcMap translate residual IDs back to the original
+	// problem: TaskMap[r] is the original task behind residual task r,
+	// ProcMap[q] the original processor behind residual processor q.
+	TaskMap []taskgraph.TaskID
+	ProcMap []platform.Proc
+
+	// Origin is the recovery time origin: residual instant 0 is absolute
+	// instant Origin.
+	Origin taskgraph.Time
+}
+
+// Placement is one recovered task in the original problem space.
+type Placement struct {
+	Task   taskgraph.TaskID
+	Proc   platform.Proc // an original, surviving processor
+	Start  taskgraph.Time
+	Finish taskgraph.Time
+}
+
+// Outcome reports one recovery end to end.
+type Outcome struct {
+	// Fault is the ground truth the recovery started from.
+	Fault *dispatch.FaultOutcome
+	// Residual is nil when every task completed and nothing needed rescue.
+	Residual *Residual
+
+	// Recovered is the residual-space schedule chosen for the unfinished
+	// work (nil iff Residual is nil); Merged is the same plan translated
+	// into original task IDs, processors and absolute time.
+	Recovered *sched.Schedule
+	Merged    []Placement
+
+	// Degraded is true when the plan came from the list-scheduling
+	// fallback: the budget was zero, the search failed, or the search
+	// incumbent was worse than the list schedule.
+	Degraded bool
+	// BB is the branch-and-bound recovery result when the search ran (its
+	// Reason records how the budgeted solve terminated); nil otherwise.
+	BB *core.Result
+
+	// PreLmax is the static promise of the original schedule; PostLmax the
+	// realized maximum lateness across surviving and recovered tasks.
+	// Misses counts tasks that finished past their absolute deadline.
+	PreLmax  taskgraph.Time
+	PostLmax taskgraph.Time
+	Misses   int
+
+	// RecoveryLatency is the wall-clock time the recovery decision took.
+	RecoveryLatency time.Duration
+}
+
+// BuildResidual extracts the residual problem from a faulty run of the
+// schedule. It fails when no processor survives the scenario. A run with
+// no unfinished tasks yields a nil Residual and no error.
+func BuildResidual(s *sched.Schedule, out *dispatch.FaultOutcome) (*Residual, error) {
+	g, p := s.Graph, s.Platform
+	n := g.NumTasks()
+	sc := out.Scenario
+
+	unfinished := 0
+	for _, st := range out.Status {
+		if st != dispatch.StatusCompleted {
+			unfinished++
+		}
+	}
+	if unfinished == 0 {
+		return nil, nil
+	}
+
+	// Surviving processors, renumbered densely.
+	var procMap []platform.Proc
+	for q := 0; q < p.M; q++ {
+		if _, dead := sc.DeadAt(platform.Proc(q)); !dead {
+			procMap = append(procMap, platform.Proc(q))
+		}
+	}
+	if len(procMap) == 0 {
+		return nil, fmt.Errorf("rescue: no surviving processors")
+	}
+
+	// Drain-then-recover origin: after the last failure AND after the
+	// surviving processors finish what they could still run.
+	origin, _ := sc.LastFailure()
+	for id, st := range out.Status {
+		if st == dispatch.StatusCompleted && out.Finish[id] > origin {
+			origin = out.Finish[id]
+		}
+	}
+
+	res := &Residual{
+		Graph:    taskgraph.New(0),
+		Platform: platform.Platform{M: len(procMap), CommDelay: p.CommDelay},
+		ProcMap:  procMap,
+		Origin:   origin,
+	}
+	back := make([]taskgraph.TaskID, n) // original → residual
+	for i := range back {
+		back[i] = taskgraph.NoTask
+	}
+	for _, t := range g.Tasks() {
+		if out.Status[t.ID] == dispatch.StatusCompleted {
+			continue
+		}
+		// Earliest absolute start: the original arrival, the recovery
+		// origin, and one conservative cross-processor delivery after each
+		// completed predecessor's realized finish (the recovered task may
+		// land on any surviving processor).
+		phase := t.Arrival()
+		if origin > phase {
+			phase = origin
+		}
+		for _, pred := range g.Preds(t.ID) {
+			if out.Status[pred] != dispatch.StatusCompleted {
+				continue
+			}
+			at := out.Finish[pred] + p.MessageCost(g.MessageSize(pred, t.ID))
+			if at > phase {
+				phase = at
+			}
+		}
+		rid := res.Graph.AddTask(taskgraph.Task{
+			Name:     t.Name,
+			Exec:     t.Exec,
+			Phase:    phase - origin,
+			Deadline: t.AbsDeadline() - phase, // keeps the absolute deadline; may go negative
+		})
+		back[t.ID] = rid
+		res.TaskMap = append(res.TaskMap, t.ID)
+	}
+	// Channels between two unfinished tasks survive as residual edges.
+	for _, c := range g.SortedArcs() {
+		if back[c.Src] != taskgraph.NoTask && back[c.Dst] != taskgraph.NoTask {
+			res.Graph.MustAddEdge(back[c.Src], back[c.Dst], c.Size)
+		}
+	}
+	return res, nil
+}
+
+// Recover runs the full pipeline: dispatch the schedule under the fault
+// scenario, build the residual problem, re-solve it within the budget, and
+// report the merged plan with post-fault metrics. actual passes through to
+// dispatch.ExecuteFaulty (nil = WCETs). The context cancels the B&B phase;
+// thanks to the anytime contract a canceled solve still degrades cleanly.
+func Recover(ctx context.Context, s *sched.Schedule, sc *faults.Scenario, actual []taskgraph.Time, opt Options) (*Outcome, error) {
+	started := time.Now()
+	fault, err := dispatch.ExecuteFaulty(s, sc, actual)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Fault: fault, PreLmax: s.Lmax()}
+
+	res, err := BuildResidual(s, fault)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		// Nothing was lost; the realized run is the final word.
+		out.PostLmax = fault.Lmax
+		out.Misses = missCount(s, fault, nil)
+		out.RecoveryLatency = time.Since(started)
+		return out, nil
+	}
+	out.Residual = res
+
+	// The list schedule is the guaranteed fallback: cheap, always succeeds
+	// on a valid residual problem.
+	fallback, err := listsched.Best(res.Graph, res.Platform)
+	if err != nil {
+		return nil, fmt.Errorf("rescue: list fallback: %w", err)
+	}
+	out.Recovered, out.Degraded = fallback.Schedule, true
+
+	if opt.Budget > 0 {
+		p := opt.Params
+		p.Resources.TimeLimit = opt.Budget
+		var bb core.Result
+		if opt.Workers > 1 {
+			bb, err = core.SolveParallelContext(ctx, res.Graph, res.Platform, core.ParallelParams{
+				Params: p, Workers: opt.Workers,
+			})
+		} else {
+			bb, err = core.SolveContext(ctx, res.Graph, res.Platform, p)
+		}
+		// A failed search (panic) still reports its salvaged result; only a
+		// usable incumbent that beats the fallback lifts the degradation.
+		if bb.Schedule != nil || err == nil {
+			out.BB = &bb
+		}
+		if bb.Schedule != nil && bb.Cost <= fallback.Lmax {
+			out.Recovered, out.Degraded = bb.Schedule, false
+		}
+	}
+
+	if err := out.Recovered.Check(); err != nil {
+		return nil, fmt.Errorf("rescue: recovered schedule invalid: %w", err)
+	}
+
+	// Merge back into the original problem space.
+	for _, pl := range out.Recovered.Placements() {
+		out.Merged = append(out.Merged, Placement{
+			Task:   res.TaskMap[pl.Task],
+			Proc:   res.ProcMap[pl.Proc],
+			Start:  res.Origin + pl.Start,
+			Finish: res.Origin + pl.Finish,
+		})
+	}
+
+	out.PostLmax = fault.Lmax
+	for _, pl := range out.Merged {
+		if l := pl.Finish - s.Graph.Task(pl.Task).AbsDeadline(); l > out.PostLmax {
+			out.PostLmax = l
+		}
+	}
+	out.Misses = missCount(s, fault, out.Merged)
+	out.RecoveryLatency = time.Since(started)
+	return out, nil
+}
+
+// missCount counts tasks finishing past their absolute deadline: completed
+// tasks by their realized finish, recovered tasks by their merged finish.
+func missCount(s *sched.Schedule, fault *dispatch.FaultOutcome, merged []Placement) int {
+	misses := 0
+	for _, t := range s.Graph.Tasks() {
+		if fault.Status[t.ID] == dispatch.StatusCompleted && fault.Finish[t.ID] > t.AbsDeadline() {
+			misses++
+		}
+	}
+	for _, pl := range merged {
+		if pl.Finish > s.Graph.Task(pl.Task).AbsDeadline() {
+			misses++
+		}
+	}
+	return misses
+}

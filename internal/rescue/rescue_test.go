@@ -1,0 +1,242 @@
+package rescue
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/dispatch"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// workload returns a complete, valid static schedule on m processors.
+func workload(t testing.TB, seed int64, n, m int) *sched.Schedule {
+	t.Helper()
+	p := gen.Defaults()
+	p.NMin, p.NMax = n, n
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+		t.Fatal(err)
+	}
+	res, err := listsched.Best(g, platform.New(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule
+}
+
+// midFailure returns a scenario killing one processor mid-run.
+func midFailure(s *sched.Schedule, q platform.Proc) *faults.Scenario {
+	return &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: q, At: s.Makespan() / 2},
+	}}
+}
+
+func TestRecoverNothingLost(t *testing.T) {
+	s := workload(t, 1, 12, 3)
+	out, err := Recover(context.Background(), s, nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Residual != nil || out.Recovered != nil || out.Merged != nil {
+		t.Fatal("fault-free run should need no recovery")
+	}
+	if out.PostLmax != out.Fault.Lmax {
+		t.Fatalf("PostLmax %d != realized %d", out.PostLmax, out.Fault.Lmax)
+	}
+}
+
+// TestRecoverListFallback exercises the degraded path end to end: with a
+// zero budget the plan must come from list scheduling, and the merged plan
+// must cover exactly the unfinished tasks with post-fault metrics reported.
+func TestRecoverListFallback(t *testing.T) {
+	s := workload(t, 2, 14, 3)
+	sc := midFailure(s, 0)
+	out, err := Recover(context.Background(), s, sc, nil, Options{Budget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Residual == nil {
+		t.Fatal("a mid-run processor failure must leave unfinished work")
+	}
+	if !out.Degraded || out.BB != nil {
+		t.Fatalf("budget 0 must degrade to the list fallback (degraded=%v bb=%v)", out.Degraded, out.BB)
+	}
+	checkMergedPlan(t, s, out)
+	if out.PostLmax < out.PreLmax {
+		t.Fatalf("recovery beats the static promise: post %d < pre %d", out.PostLmax, out.PreLmax)
+	}
+	if out.RecoveryLatency <= 0 {
+		t.Fatal("recovery latency not measured")
+	}
+}
+
+// TestRecoverBBPath exercises the budgeted branch-and-bound path: the
+// search must run, terminate with a typed reason, and never do worse than
+// the list fallback.
+func TestRecoverBBPath(t *testing.T) {
+	s := workload(t, 3, 14, 3)
+	sc := midFailure(s, 1)
+	out, err := Recover(context.Background(), s, sc, nil, Options{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BB == nil {
+		t.Fatal("budgeted recovery never ran the search")
+	}
+	if out.Degraded {
+		t.Fatalf("EDF-seeded B&B lost to the list fallback (bb cost %d)", out.BB.Cost)
+	}
+	if out.BB.Reason.Exhaustive() && !out.BB.Optimal {
+		t.Fatalf("exhaustive recovery solve (%v) not marked optimal", out.BB.Reason)
+	}
+	fallback, err := listsched.Best(out.Residual.Graph, out.Residual.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovered.Lmax() > fallback.Lmax {
+		t.Fatalf("B&B recovery Lmax %d worse than list %d", out.Recovered.Lmax(), fallback.Lmax)
+	}
+	checkMergedPlan(t, s, out)
+}
+
+// TestRecoverCanceledStillDegrades pins the anytime interaction: a
+// pre-canceled context aborts the search immediately, yet recovery still
+// returns a plan (the seed incumbent or the list fallback).
+func TestRecoverCanceledStillDegrades(t *testing.T) {
+	s := workload(t, 4, 14, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Recover(ctx, s, midFailure(s, 0), nil, Options{Budget: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovered == nil {
+		t.Fatal("canceled recovery returned no plan")
+	}
+	if out.BB != nil && out.BB.Reason != core.TermCanceled {
+		t.Fatalf("search reason = %v, want canceled", out.BB.Reason)
+	}
+	checkMergedPlan(t, s, out)
+}
+
+func TestRecoverNoSurvivors(t *testing.T) {
+	s := workload(t, 5, 10, 2)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 0, At: 0},
+		{Kind: faults.ProcFailure, Proc: 1, At: 0},
+	}}
+	if _, err := Recover(context.Background(), s, sc, nil, Options{}); err == nil {
+		t.Fatal("recovery on a dead platform must fail")
+	}
+}
+
+// TestRecoveredScheduleProperties is the quick-check pass: across random
+// workloads and seeded fault scenarios (failures and overruns combined),
+// every recovered plan must respect precedence with realized channel
+// delivery, processor death, and the recovery origin.
+func TestRecoveredScheduleProperties(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		s := workload(t, seed, 10+int(seed%5), 3)
+		model := faults.NewModel(seed * 31)
+		sc := &faults.Scenario{Faults: []faults.Fault{
+			model.ProcFailure(s.Platform, s.Makespan()),
+		}}
+		sc.Faults = append(sc.Faults, model.Overruns(s.Graph, 0.2, 0.5)...)
+		if err := sc.Validate(s.Graph.NumTasks(), s.Platform.M); err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []time.Duration{0, 50 * time.Millisecond} {
+			out, err := Recover(context.Background(), s, sc, nil, Options{Budget: budget})
+			if err != nil {
+				t.Fatalf("seed %d budget %v: %v", seed, budget, err)
+			}
+			if out.Residual == nil {
+				continue // the fault landed after every start; nothing lost
+			}
+			checkMergedPlan(t, s, out)
+		}
+	}
+}
+
+// checkMergedPlan verifies the merged recovery plan in original problem
+// space: coverage, processor-death, origin, precedence + channel delivery,
+// and per-processor non-overlap.
+func checkMergedPlan(t *testing.T, s *sched.Schedule, out *Outcome) {
+	t.Helper()
+	g, p := s.Graph, s.Platform
+	fault, res := out.Fault, out.Residual
+	sc := fault.Scenario
+
+	// Exactly the unfinished tasks, each exactly once.
+	covered := make(map[taskgraph.TaskID]Placement, len(out.Merged))
+	for _, pl := range out.Merged {
+		if _, dup := covered[pl.Task]; dup {
+			t.Fatalf("task %d recovered twice", pl.Task)
+		}
+		covered[pl.Task] = pl
+	}
+	for id, st := range fault.Status {
+		tid := taskgraph.TaskID(id)
+		_, ok := covered[tid]
+		if (st == dispatch.StatusCompleted) == ok {
+			t.Fatalf("task %d status %v, in merged plan: %v", id, st, ok)
+		}
+	}
+
+	for _, pl := range out.Merged {
+		// Only surviving processors, only after the recovery origin.
+		if at, dead := sc.DeadAt(pl.Proc); dead {
+			t.Fatalf("task %d recovered on processor %d, dead since %d", pl.Task, pl.Proc, at)
+		}
+		if pl.Start < res.Origin {
+			t.Fatalf("task %d starts at %d before the recovery origin %d", pl.Task, pl.Start, res.Origin)
+		}
+		if pl.Start < g.Task(pl.Task).Arrival() {
+			t.Fatalf("task %d starts at %d before its arrival", pl.Task, pl.Start)
+		}
+		if pl.Finish != pl.Start+g.Task(pl.Task).Exec {
+			t.Fatalf("task %d occupies [%d,%d), exec %d", pl.Task, pl.Start, pl.Finish, g.Task(pl.Task).Exec)
+		}
+		// Precedence with realized channel delivery.
+		for _, pred := range g.Preds(pl.Task) {
+			size := g.MessageSize(pred, pl.Task)
+			if fault.Status[pred] == dispatch.StatusCompleted {
+				need := fault.Finish[pred] + p.CommCost(s.Proc(pred), pl.Proc, size)
+				if pl.Start < need {
+					t.Fatalf("task %d starts at %d before completed pred %d delivers at %d",
+						pl.Task, pl.Start, pred, need)
+				}
+			} else {
+				pp, ok := covered[pred]
+				if !ok {
+					t.Fatalf("unfinished pred %d of %d missing from the plan", pred, pl.Task)
+				}
+				need := pp.Finish + p.CommCost(pp.Proc, pl.Proc, size)
+				if pl.Start < need {
+					t.Fatalf("task %d starts at %d before recovered pred %d delivers at %d",
+						pl.Task, pl.Start, pred, need)
+				}
+			}
+		}
+		// Non-overlap per processor.
+		for _, other := range out.Merged {
+			if other.Task == pl.Task || other.Proc != pl.Proc {
+				continue
+			}
+			if pl.Start < other.Finish && other.Start < pl.Finish {
+				t.Fatalf("tasks %d and %d overlap on processor %d", pl.Task, other.Task, pl.Proc)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// FaultReport is the outcome of simulating a static schedule under an
+// injected fault scenario, read table-driven: every surviving task starts
+// exactly at its scheduled instant, overruns stretch finishes in place, and
+// a fail-stop processor executes nothing at or after its failure instant.
+type FaultReport struct {
+	Scenario *faults.Scenario
+
+	// Completed, Killed and Unstarted partition the task set: ran to
+	// completion; in flight on a processor when it fail-stopped; never
+	// started (dead processor or inputs lost upstream).
+	Completed []taskgraph.TaskID
+	Killed    []taskgraph.TaskID
+	Unstarted []taskgraph.TaskID
+
+	// Lmax and Makespan range over completed tasks only; Lmax is
+	// taskgraph.MinTime when nothing completed.
+	Lmax     taskgraph.Time
+	Makespan taskgraph.Time
+
+	// Messages are the bus transfers among surviving tasks, served exactly
+	// as in Run. LostMessages counts channels whose producer was killed or
+	// never ran — data the consumers will never receive.
+	Messages     []Message
+	LostMessages int
+
+	// Violations lists where the faulty execution breaks the static
+	// schedule's guarantees: overruns overlapping the next slot on the
+	// same processor, and tasks scheduled to start before their (realized)
+	// inputs arrive. A fault-free scenario on a sound schedule yields none.
+	Violations []string
+}
+
+// OK reports whether the faulty run exposed no violations.
+func (r *FaultReport) OK() bool { return len(r.Violations) == 0 }
+
+// RunFaulty simulates the complete schedule under the fault scenario. Task
+// fates follow the table-driven reading: starts are fixed, an overrun of
+// task i moves only its own finish (and is reported as a violation when the
+// stretched slot overlaps the next one on the processor), and a processor
+// that fail-stops at t kills whatever it was running and abandons the rest
+// of its table. Tasks whose predecessors were lost never start. The bus
+// carries only the messages of completed producers to started consumers.
+func RunFaulty(s *sched.Schedule, sc *faults.Scenario) (*FaultReport, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sim: schedule is incomplete (%d/%d placed)", s.NumPlaced(), s.Graph.NumTasks())
+	}
+	if err := s.Check(); err != nil {
+		return nil, fmt.Errorf("sim: statically invalid schedule: %w", err)
+	}
+	g, p := s.Graph, s.Platform
+	n := g.NumTasks()
+	if err := sc.Validate(n, p.M); err != nil {
+		return nil, err
+	}
+	rep := &FaultReport{Scenario: sc, Lmax: taskgraph.MinTime}
+
+	// Realized finishes under overruns, before failures are applied.
+	effFinish := make([]taskgraph.Time, n)
+	for _, t := range g.Tasks() {
+		effFinish[t.ID] = s.Finish(t.ID) + sc.Overrun(t.ID)
+	}
+
+	// Fates in topological order, so predecessor fates are always decided.
+	const (
+		completed = iota
+		killed
+		unstarted
+	)
+	fate := make([]int, n)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		q := s.Proc(id)
+		deadAt, dies := sc.DeadAt(q)
+		switch {
+		case dies && s.Start(id) >= deadAt:
+			fate[id] = unstarted
+			continue
+		default:
+			for _, pred := range g.Preds(id) {
+				if fate[pred] != completed {
+					fate[id] = unstarted
+				}
+			}
+			if fate[id] == unstarted {
+				continue
+			}
+		}
+		if dies && effFinish[id] > deadAt {
+			fate[id] = killed
+			continue
+		}
+		fate[id] = completed
+	}
+
+	for _, t := range g.Tasks() {
+		switch fate[t.ID] {
+		case completed:
+			rep.Completed = append(rep.Completed, t.ID)
+			if effFinish[t.ID] > rep.Makespan {
+				rep.Makespan = effFinish[t.ID]
+			}
+			if l := effFinish[t.ID] - t.AbsDeadline(); l > rep.Lmax {
+				rep.Lmax = l
+			}
+		case killed:
+			rep.Killed = append(rep.Killed, t.ID)
+		case unstarted:
+			rep.Unstarted = append(rep.Unstarted, t.ID)
+		}
+	}
+
+	// Overrun slots must not overlap the next slot on the same processor.
+	perProc := make([][]sched.Placement, p.M)
+	for _, pl := range s.Placements() {
+		perProc[pl.Proc] = append(perProc[pl.Proc], pl)
+	}
+	for q := range perProc {
+		for i := 0; i+1 < len(perProc[q]); i++ {
+			cur, next := perProc[q][i], perProc[q][i+1]
+			if fate[cur.Task] == completed && fate[next.Task] != unstarted &&
+				effFinish[cur.Task] > next.Start {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"task %d overruns to %d, overlapping task %d scheduled at %d on p%d",
+					cur.Task, effFinish[cur.Task], next.Task, next.Start, q))
+			}
+		}
+	}
+
+	// Bus traffic among survivors; channels from lost producers are lost.
+	for _, c := range g.SortedArcs() {
+		from, to := s.Proc(c.Src), s.Proc(c.Dst)
+		if from == to || c.Size == 0 {
+			continue
+		}
+		if fate[c.Src] != completed {
+			rep.LostMessages++
+			continue
+		}
+		if fate[c.Dst] == unstarted {
+			continue // nobody is waiting for this data
+		}
+		ready := effFinish[c.Src]
+		rep.Messages = append(rep.Messages, Message{
+			Src: c.Src, Dst: c.Dst, From: from, To: to,
+			Size:       c.Size,
+			Ready:      ready,
+			NominalDue: ready + p.MessageCost(c.Size),
+		})
+	}
+	sort.Slice(rep.Messages, func(i, j int) bool {
+		a, b := rep.Messages[i], rep.Messages[j]
+		if a.Ready != b.Ready {
+			return a.Ready < b.Ready
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	busFree := taskgraph.Time(0)
+	for i := range rep.Messages {
+		m := &rep.Messages[i]
+		start := m.Ready
+		if busFree > start {
+			start = busFree
+		}
+		m.BusStart = start
+		m.BusFinish = start + m.Size*p.CommDelay
+		busFree = m.BusFinish
+
+		if fate[m.Dst] == completed && s.Start(m.Dst) < m.BusFinish {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"task %d starts at %d before its input from %d arrives at %d",
+				m.Dst, s.Start(m.Dst), m.Src, m.BusFinish))
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders the fault report compactly.
+func (r *FaultReport) Summary() string {
+	out := fmt.Sprintf("faulty run [%s]: %d completed, %d killed, %d unstarted; surviving Lmax=%d, %d bus messages (%d lost)\n",
+		r.Scenario.String(), len(r.Completed), len(r.Killed), len(r.Unstarted), r.Lmax, len(r.Messages), r.LostMessages)
+	if len(r.Violations) > 0 {
+		out += fmt.Sprintf("  %d VIOLATIONS:\n", len(r.Violations))
+		for _, v := range r.Violations {
+			out += "    " + v + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// busChain builds the deterministic instance used across the fault tests:
+// a chain 0→1→2 spanning two processors plus an independent task 3.
+//
+//	p0: [0: 0..10) [2: 22..32)
+//	p1: [1: 11..21) [3: 21..29)
+func busChain(t testing.TB) *sched.Schedule {
+	t.Helper()
+	g := taskgraph.New(0)
+	for i := 0; i < 4; i++ {
+		g.AddTask(taskgraph.Task{Exec: 10, Deadline: 100})
+	}
+	g.TaskPtr(3).Exec = 8
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	p := platform.New(2)
+	s := sched.NewSchedule(g, p)
+	s.Set(0, 0, 0)
+	s.Set(1, 1, 11)
+	s.Set(2, 0, 22)
+	s.Set(3, 1, 21)
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunFaultyFaultFree(t *testing.T) {
+	s := busChain(t)
+	rep, err := RunFaulty(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fault-free run on a sound schedule has violations: %v", rep.Violations)
+	}
+	if len(rep.Completed) != 4 || rep.Killed != nil || rep.Unstarted != nil {
+		t.Fatalf("fault-free fates: %v / %v / %v", rep.Completed, rep.Killed, rep.Unstarted)
+	}
+	base, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lmax != base.Lmax || rep.Makespan != base.Makespan || len(rep.Messages) != len(base.Messages) {
+		t.Fatalf("fault-free faulty run diverges from Run: Lmax %d/%d makespan %d/%d messages %d/%d",
+			rep.Lmax, base.Lmax, rep.Makespan, base.Makespan, len(rep.Messages), len(base.Messages))
+	}
+}
+
+func TestRunFaultyProcFailure(t *testing.T) {
+	s := busChain(t)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 1, At: 15},
+	}}
+	rep, err := RunFaulty(s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Completed, []taskgraph.TaskID{0}) {
+		t.Fatalf("completed = %v", rep.Completed)
+	}
+	if !reflect.DeepEqual(rep.Killed, []taskgraph.TaskID{1}) {
+		t.Fatalf("killed = %v", rep.Killed)
+	}
+	if !reflect.DeepEqual(rep.Unstarted, []taskgraph.TaskID{2, 3}) {
+		t.Fatalf("unstarted = %v", rep.Unstarted)
+	}
+	// 0→1 shipped (producer completed, consumer started); 1→2 is lost with
+	// its killed producer.
+	if len(rep.Messages) != 1 || rep.Messages[0].Src != 0 {
+		t.Fatalf("messages = %v", rep.Messages)
+	}
+	if rep.LostMessages != 1 {
+		t.Fatalf("lost messages = %d, want 1", rep.LostMessages)
+	}
+	if rep.Makespan != 10 {
+		t.Fatalf("surviving makespan = %d, want 10", rep.Makespan)
+	}
+}
+
+func TestRunFaultyOverrunViolations(t *testing.T) {
+	s := busChain(t)
+	// Task 1 overruns by 2: its finish slides to 23, past both task 3's
+	// slot start on p1 (21) and past the delivery needed for task 2's start
+	// at 22 — the table-driven reading must flag both.
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ExecOverrun, Task: 1, Extra: 2},
+	}}
+	rep, err := RunFaulty(s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 4 {
+		t.Fatalf("overrun alone lost tasks: completed %v", rep.Completed)
+	}
+	if rep.OK() {
+		t.Fatal("overlapping overrun reported no violations")
+	}
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %v, want slot overlap + late input", rep.Violations)
+	}
+	// Only the overrunning task's own finish moves in the table-driven
+	// reading, so the makespan (task 2 at 32) is unchanged; the damage is
+	// in the violations, not the timeline.
+	if rep.Makespan != s.Makespan() {
+		t.Fatalf("table-driven makespan moved: %d != %d", rep.Makespan, s.Makespan())
+	}
+}
+
+func TestRunFaultyAllProcessorsDead(t *testing.T) {
+	s := busChain(t)
+	sc := &faults.Scenario{Faults: []faults.Fault{
+		{Kind: faults.ProcFailure, Proc: 0, At: 0},
+		{Kind: faults.ProcFailure, Proc: 1, At: 0},
+	}}
+	rep, err := RunFaulty(s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unstarted) != 4 || rep.Completed != nil {
+		t.Fatalf("dead platform still ran tasks: %v", rep.Completed)
+	}
+	if rep.Lmax != taskgraph.MinTime {
+		t.Fatalf("Lmax over no survivors = %d, want MinTime", rep.Lmax)
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,26 @@
+package stats
+
+import "encoding/json"
+
+// MarshalJSON encodes the sample as a plain JSON array of its observations,
+// in insertion order. Go's encoder emits the shortest representation that
+// round-trips each float64 exactly, so marshal → unmarshal is lossless —
+// the property the experiment journal (internal/exp) relies on to make
+// resumed runs byte-identical to uninterrupted ones.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	if s.xs == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.xs)
+}
+
+// UnmarshalJSON decodes a JSON array of observations, replacing the
+// sample's contents.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var xs []float64
+	if err := json.Unmarshal(data, &xs); err != nil {
+		return err
+	}
+	s.xs = xs
+	return nil
+}

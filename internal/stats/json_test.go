@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSampleJSONRoundTrip(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, -1.5, 0, 1e17, 0.1} {
+		s.Add(x)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sample
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Values(), back.Values()) {
+		t.Fatalf("round trip lost observations: %v != %v", back.Values(), s.Values())
+	}
+}
+
+func TestSampleJSONEmpty(t *testing.T) {
+	var s Sample
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty sample encodes as %s", data)
+	}
+	var back Sample
+	if err := json.Unmarshal([]byte("[]"), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 {
+		t.Fatalf("empty decode has %d observations", back.N())
+	}
+}

@@ -30,8 +30,10 @@ go test -race $pat
 # Place/Undo of the scheduling operation (internal/sched/invariants.go).
 # Running the search-layer tests under it turns any state corruption —
 # including one smeared in by a data race — into an attributed panic at
-# the operation that exposed it.
-echo "==> go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce"
-go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce
+# the operation that exposed it. The fault-injection and recovery layers
+# ride along: rescue drives budgeted (wall-clock-truncated) parallel
+# searches, exactly the regime where races and corruption would surface.
+echo "==> go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce ./internal/faults ./internal/rescue"
+go test -race -tags bbdebug ./internal/sched ./internal/core ./internal/bruteforce ./internal/faults ./internal/rescue
 
 echo "==> all checks passed"
