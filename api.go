@@ -45,7 +45,16 @@ type (
 	Schedule = sched.Schedule
 	// Placement is one task's slot in a Schedule.
 	Placement = sched.Placement
+	// Fingerprint is the canonical digest of a Graph, invariant under task
+	// relabeling (Graph.Fingerprint computes it).
+	Fingerprint = taskgraph.Fingerprint
 )
+
+// RelabelGraph returns a copy of g with task IDs renumbered by the given
+// bijection (perm[old] = new). Fingerprints are invariant under it.
+func RelabelGraph(g *Graph, perm []TaskID) (*Graph, error) {
+	return taskgraph.Relabel(g, perm)
+}
 
 // Solver types.
 type (
@@ -291,6 +300,13 @@ type (
 // status (proven, bound-matched, or the remaining gap).
 func SolveAnytime(g *Graph, p Platform, opts PortfolioOptions) (PortfolioResult, error) {
 	return portfolio.Solve(g, p, opts)
+}
+
+// SolveAnytimeContext is SolveAnytime with the exact stage additionally
+// bound by ctx: cancellation stops the search early and the pipeline still
+// returns its best incumbent so far.
+func SolveAnytimeContext(ctx context.Context, g *Graph, p Platform, opts PortfolioOptions) (PortfolioResult, error) {
+	return portfolio.SolveContext(ctx, g, p, opts)
 }
 
 // PreemptiveResult is an optimal preemptive single-machine schedule.

@@ -7,7 +7,7 @@
 //
 // With no arguments, every experiment runs in presentation order:
 // fig3a, fig3b, fig3c, disc-parallelism, disc-ccr, disc-upperbound,
-// disc-memory.
+// disc-memory, plus the registered extensions (fault-sweep, serve-sweep).
 //
 //	-quick          reduced protocol (fixed few runs, for smoke tests)
 //	-runs int       override the (minimum) number of runs per point
@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	_ "repro/internal/server" // registers the serve-sweep experiment
 )
 
 func main() {

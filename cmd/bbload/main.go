@@ -1,0 +1,249 @@
+// Command bbload is a closed-loop load generator for bbserved: c workers
+// replay solver requests over a pool of generated workload instances and
+// report throughput, error/rejection counts, cache behaviour, and latency
+// percentiles.
+//
+// Usage:
+//
+//	bbload [flags]
+//
+//	-url string      base URL of a running bbserved (default "http://127.0.0.1:8080")
+//	-endpoint string solve|anytime|list|analyze|recover|mix (default "solve")
+//	-n int           total requests (default 64)
+//	-c int           concurrent clients (default 4)
+//	-graphs int      distinct workload instances in the replay pool (default 16)
+//	-procs int       processors per request (default 4)
+//	-budget dur      per-request solve budget (default 2s)
+//	-seed int        workload seed (default 1997)
+//	-quiet           suppress the per-run header
+//
+// Closed loop means each client issues its next request only after the
+// previous one returned — the offered load adapts to the server instead
+// of overrunning it, so the report measures sustainable throughput.
+// Requests cycle through the instance pool; with -n larger than -graphs
+// the tail of the run exercises the server's result cache.
+//
+// Exit status: 0 when every request succeeded (2xx), 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8080", "base URL of a running bbserved")
+		endpoint = flag.String("endpoint", "solve", "solve|anytime|list|analyze|recover|mix")
+		n        = flag.Int("n", 64, "total requests")
+		c        = flag.Int("c", 4, "concurrent clients")
+		graphs   = flag.Int("graphs", 16, "distinct workload instances")
+		procs    = flag.Int("procs", 4, "processors per request")
+		budget   = flag.Duration("budget", 2*time.Second, "per-request solve budget")
+		seed     = flag.Int64("seed", 1997, "workload seed")
+		quiet    = flag.Bool("quiet", false, "suppress the per-run header")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bbload: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *n < 1 || *c < 1 || *graphs < 1 {
+		fmt.Fprintln(os.Stderr, "bbload: -n, -c and -graphs must be positive")
+		os.Exit(2)
+	}
+
+	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Printf("bbload: endpoint=%s n=%d c=%d graphs=%d procs=%d budget=%s url=%s\n",
+			*endpoint, *n, *c, *graphs, *procs, *budget, *baseURL)
+	}
+
+	rep := run(*baseURL, reqs, *n, *c)
+	rep.print(os.Stdout)
+	if rep.failed() {
+		os.Exit(1)
+	}
+}
+
+// request is one prepared POST: path plus marshaled body.
+type request struct {
+	path string
+	body []byte
+}
+
+// buildRequests prepares the replay pool: one request per generated
+// instance (cycling endpoints when endpoint is "mix").
+func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64) ([]request, error) {
+	endpoints := []string{endpoint}
+	if endpoint == "mix" {
+		endpoints = []string{"solve", "anytime", "list", "analyze", "recover"}
+	}
+	p := gen.Defaults()
+	plat := platform.New(procs)
+	reqs := make([]request, 0, graphs)
+	for i := 0; i < graphs; i++ {
+		g := gen.New(p, seed+int64(i)).Graph()
+		if err := deadline.Assign(g, p.Laxity, deadline.EqualSlack); err != nil {
+			return nil, err
+		}
+		ep := endpoints[i%len(endpoints)]
+		gr := server.GraphRequest{Graph: g, Procs: procs}
+		var (
+			payload any
+			path    = "/v1/" + ep
+		)
+		switch ep {
+		case "solve":
+			payload = server.SolveRequest{GraphRequest: gr, BudgetMS: budgetMS}
+		case "anytime":
+			payload = server.AnytimeRequest{GraphRequest: gr, BudgetMS: budgetMS, Seed: seed}
+		case "list":
+			payload = server.ListRequest{GraphRequest: gr}
+		case "analyze":
+			payload = server.AnalyzeRequest{GraphRequest: gr}
+		case "recover":
+			res, err := listsched.Best(g, plat)
+			if err != nil {
+				return nil, fmt.Errorf("instance %d: %v", i, err)
+			}
+			at := res.Schedule.Makespan() / 2
+			proc := rand.New(rand.NewSource(seed + int64(i))).Intn(procs)
+			payload = server.RecoverRequest{
+				GraphRequest: gr,
+				Schedule:     res.Schedule.Placements(),
+				Faults: []server.FaultSpec{{
+					Kind: "proc-failure", Proc: proc, At: at,
+				}},
+				BudgetMS: budgetMS,
+			}
+		default:
+			return nil, fmt.Errorf("unknown endpoint %q", ep)
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request{path: path, body: body})
+	}
+	return reqs, nil
+}
+
+// report aggregates a run's outcomes.
+type report struct {
+	wall      time.Duration
+	ok        atomic.Int64
+	rejected  atomic.Int64 // 429
+	errored   atomic.Int64 // transport errors and non-2xx other than 429
+	cacheHits atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func (r *report) observe(d time.Duration) {
+	r.mu.Lock()
+	r.latencies = append(r.latencies, d)
+	r.mu.Unlock()
+}
+
+func (r *report) failed() bool {
+	return r.errored.Load() > 0 || r.rejected.Load() > 0
+}
+
+// quantile returns the q-th latency; the slice must be sorted.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (r *report) print(w io.Writer) {
+	total := r.ok.Load() + r.rejected.Load() + r.errored.Load()
+	fmt.Fprintf(w, "bbload: %d requests: %d ok, %d rejected (429), %d errors, %d cache hits\n",
+		total, r.ok.Load(), r.rejected.Load(), r.errored.Load(), r.cacheHits.Load())
+	secs := r.wall.Seconds()
+	if secs > 0 {
+		fmt.Fprintf(w, "bbload: wall %s, %.1f req/s\n", r.wall.Round(time.Millisecond), float64(total)/secs)
+	}
+	r.mu.Lock()
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	if n := len(r.latencies); n > 0 {
+		fmt.Fprintf(w, "bbload: latency p50=%s p90=%s p99=%s max=%s\n",
+			quantile(r.latencies, 0.50).Round(time.Microsecond),
+			quantile(r.latencies, 0.90).Round(time.Microsecond),
+			quantile(r.latencies, 0.99).Round(time.Microsecond),
+			r.latencies[n-1].Round(time.Microsecond))
+	}
+	r.mu.Unlock()
+}
+
+// run drives the closed loop: c clients drain a shared ticket counter.
+func run(baseURL string, reqs []request, n, c int) *report {
+	rep := &report{}
+	client := &http.Client{}
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				req := reqs[i%len(reqs)]
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+req.path, "application/json", bytes.NewReader(req.body))
+				if err != nil {
+					rep.errored.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close() //bbvet:ignore errcheck
+				rep.observe(time.Since(t0))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rep.rejected.Add(1)
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					rep.ok.Add(1)
+					if resp.Header.Get("X-Cache") == "hit" {
+						rep.cacheHits.Add(1)
+					}
+				default:
+					rep.errored.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.wall = time.Since(start)
+	return rep
+}

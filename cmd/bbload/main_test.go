@@ -1,0 +1,111 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestMain lets tests re-exec this binary as bbload itself: with
+// BBLOAD_BE_MAIN set, the test binary runs main() with its arguments.
+func TestMain(m *testing.M) {
+	if os.Getenv("BBLOAD_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// bbload re-execs the command against url and returns combined output.
+func bbload(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BBLOAD_BE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// startServer runs an in-process serving instance for the CLI to hit.
+func startServer(t *testing.T) (*httptest.Server, *server.Server) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, DefaultBudget: 2 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts, s
+}
+
+// TestOneRequestPerEndpoint drives every endpoint once through the real
+// CLI (the ISSUE's bbload -n 1 requirement).
+func TestOneRequestPerEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts, srv := startServer(t)
+	for _, ep := range []string{"solve", "anytime", "list", "analyze", "recover"} {
+		out, err := bbload(t, "-url", ts.URL, "-endpoint", ep, "-n", "1",
+			"-graphs", "1", "-c", "1", "-budget", "1s")
+		if err != nil {
+			t.Fatalf("endpoint %s: %v\n%s", ep, err, out)
+		}
+		if !strings.Contains(out, "1 ok, 0 rejected (429), 0 errors") {
+			t.Fatalf("endpoint %s: unexpected report:\n%s", ep, out)
+		}
+	}
+	ms := srv.Metrics()
+	for _, ep := range []string{"solve", "anytime", "list", "analyze", "recover"} {
+		if got := ms.Endpoints[ep].Requests; got != 1 {
+			t.Errorf("server saw %d %s requests, want 1", got, ep)
+		}
+	}
+}
+
+// TestReplayHitsCache: more requests than distinct graphs — the second
+// cycle is served from the result cache and the report says so.
+func TestReplayHitsCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts, srv := startServer(t)
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "8",
+		"-graphs", "2", "-c", "2", "-quiet")
+	if err != nil {
+		t.Fatalf("bbload: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "8 ok") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	ms := srv.Metrics()
+	if hits := ms.Endpoints["analyze"].CacheHits; hits < 6 {
+		t.Fatalf("cache hits = %d, want ≥6 (8 requests over 2 instances)", hits)
+	}
+	if !strings.Contains(out, "6 cache hits") {
+		t.Fatalf("report does not surface the cache hits:\n%s", out)
+	}
+}
+
+// TestLoadReportsFailure: a dead server yields errors and exit 1.
+func TestLoadReportsFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out, err := bbload(t, "-url", "http://127.0.0.1:1", "-endpoint", "analyze",
+		"-n", "2", "-graphs", "1", "-c", "1", "-quiet")
+	if err == nil {
+		t.Fatalf("bbload succeeded against a dead server:\n%s", out)
+	}
+}
+
+func TestBadEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out, err := bbload(t, "-endpoint", "zzz", "-n", "1")
+	if err == nil {
+		t.Fatalf("bbload accepted endpoint zzz:\n%s", out)
+	}
+}

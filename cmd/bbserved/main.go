@@ -1,0 +1,127 @@
+// Command bbserved is the scheduling daemon: it serves the repository's
+// solvers — exact B&B, the anytime portfolio, list scheduling, workload
+// analysis, and fault recovery — as a JSON HTTP API with result caching,
+// admission control, and graceful drain.
+//
+// Usage:
+//
+//	bbserved [flags]
+//
+//	-addr string      listen address (default "127.0.0.1:8080"; :0 picks a port)
+//	-workers int      concurrent solves (default GOMAXPROCS)
+//	-queue int        admission queue depth (default 64)
+//	-cache int        result-cache entries (default 4096; -1 disables)
+//	-budget dur       default per-request solve budget (default 5s)
+//	-max-budget dur   clamp for client-requested budgets (default 60s)
+//	-drain dur        shutdown grace period (default 30s)
+//	-v                per-request logging to stderr
+//
+// Endpoints: POST /v1/{solve,anytime,list,analyze,recover}, GET /healthz,
+// GET /metrics. SIGINT/SIGTERM drains: the listener closes, in-flight
+// solves finish (or hit their budgets), queued work is released with 503,
+// and the process exits 0 after reporting leaked goroutines (a healthy
+// shutdown reports zero).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent solves (default GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth")
+		cache     = flag.Int("cache", 0, "result-cache entries (-1 disables)")
+		budget    = flag.Duration("budget", 0, "default per-request solve budget")
+		maxBudget = flag.Duration("max-budget", 0, "clamp for client-requested budgets")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period")
+		verbose   = flag.Bool("v", false, "per-request logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bbserved: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		DefaultBudget: *budget,
+		MaxBudget:     *maxBudget,
+	}
+	if *verbose {
+		cfg.Logf = log.New(os.Stderr, "bbserved: ", log.LstdFlags).Printf
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	// The goroutine baseline for the shutdown leak report: taken after
+	// signal.Notify (whose watcher goroutine is process-lifetime) and
+	// before any serving machinery starts.
+	baseline := runtime.NumGoroutine()
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbserved: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bbserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("bbserved: %s: draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "bbserved: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain order: stop admitting (queued waiters get 503, new requests
+	// too), then let the HTTP layer wait for in-flight responses.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	err = hs.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbserved: shutdown: %v\n", err)
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "bbserved: serve: %v\n", err)
+	}
+
+	// Leak report: give runtime goroutines a moment to unwind, then
+	// compare against the pre-serve baseline.
+	leaked := runtime.NumGoroutine() - baseline
+	for end := time.Now().Add(2 * time.Second); leaked > 0 && time.Now().Before(end); {
+		time.Sleep(10 * time.Millisecond)
+		leaked = runtime.NumGoroutine() - baseline
+	}
+	if leaked < 0 {
+		leaked = 0
+	}
+	fmt.Printf("bbserved: shutdown complete, %d leaked goroutines\n", leaked)
+	if leaked > 0 {
+		os.Exit(1)
+	}
+}

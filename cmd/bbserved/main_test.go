@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/server"
+	"repro/internal/taskgraph"
+)
+
+// TestMain lets tests re-exec this binary as bbserved itself: with
+// BBSERVED_BE_MAIN set, the test binary runs main() with its arguments.
+func TestMain(m *testing.M) {
+	if os.Getenv("BBSERVED_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func testGraph(t *testing.T, seed int64) *taskgraph.Graph {
+	t.Helper()
+	p := gen.Defaults()
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, p.Laxity, deadline.EqualSlack); err != nil {
+		t.Fatalf("deadline.Assign: %v", err)
+	}
+	return g
+}
+
+func post(t *testing.T, base, path string, payload any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close body: %v", err)
+	}
+	return resp
+}
+
+// TestDaemonLifecycle is the end-to-end CLI test: bbserved on a random
+// port, one request per endpoint, then a clean SIGTERM shutdown with zero
+// leaked goroutines.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	cmd := exec.Command(os.Args[0], "-addr", "127.0.0.1:0", "-budget", "2s")
+	cmd.Env = append(os.Environ(), "BBSERVED_BE_MAIN=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill() //bbvet:ignore errcheck — belt and braces on failure paths
+	}()
+
+	// The first line announces the bound address.
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatalf("no startup line: %v", scanner.Err())
+	}
+	first := scanner.Text()
+	const marker = "listening on "
+	i := strings.Index(first, marker)
+	if i < 0 {
+		t.Fatalf("startup line %q lacks %q", first, marker)
+	}
+	base := "http://" + strings.TrimSpace(first[i+len(marker):])
+
+	// Drain the rest of stdout in the background for the shutdown report.
+	rest := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		for scanner.Scan() {
+			sb.WriteString(scanner.Text())
+			sb.WriteString("\n")
+		}
+		rest <- sb.String()
+	}()
+
+	g := testGraph(t, 42)
+	gr := server.GraphRequest{Graph: g, Procs: 4}
+	plat := platform.New(4)
+	static, err := listsched.Best(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	endpoints := []struct {
+		path    string
+		payload any
+	}{
+		{"/v1/solve", server.SolveRequest{GraphRequest: gr, BudgetMS: 2000}},
+		{"/v1/anytime", server.AnytimeRequest{GraphRequest: gr, BudgetMS: 1000}},
+		{"/v1/list", server.ListRequest{GraphRequest: gr, Policy: "edf"}},
+		{"/v1/analyze", server.AnalyzeRequest{GraphRequest: gr}},
+		{"/v1/recover", server.RecoverRequest{
+			GraphRequest: gr,
+			Schedule:     static.Schedule.Placements(),
+			Faults: []server.FaultSpec{{
+				Kind: "proc-failure", Proc: 0, At: static.Schedule.Makespan() / 2,
+			}},
+			BudgetMS: 1000,
+		}},
+	}
+	for _, ep := range endpoints {
+		resp := post(t, base, ep.path, ep.payload)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", ep.path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// SIGTERM: the daemon drains and exits 0 with no leaked goroutines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("bbserved exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("bbserved did not exit after SIGTERM")
+	}
+	tail := <-rest
+	if !strings.Contains(tail, "draining") {
+		t.Errorf("shutdown output lacks drain announcement:\n%s", tail)
+	}
+	if !strings.Contains(tail, fmt.Sprintf("%d leaked goroutines", 0)) {
+		t.Errorf("shutdown output lacks zero-leak report:\n%s", tail)
+	}
+}
+
+// TestBadFlags: trailing arguments are a usage error.
+func TestBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	cmd := exec.Command(os.Args[0], "nonsense")
+	cmd.Env = append(os.Environ(), "BBSERVED_BE_MAIN=1")
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("bbserved accepted positional arguments")
+	}
+}

@@ -15,6 +15,9 @@ import (
 //     workload generation (internal/gen), experiment drivers
 //     (internal/exp), or reporting (internal/report): the search must be
 //     a pure function of its inputs.
+//   - internal/server — the serving daemon — sits above everything and is
+//     importable only from cmd/* binaries: the library never depends on
+//     the service.
 //   - cmd/* binaries may use internal packages but never each other, and
 //     examples/* consume only the root facade.
 //
@@ -87,6 +90,16 @@ var layerAllowed = map[string][]string{
 		"internal/gantt", "internal/improve", "internal/listsched", "internal/platform",
 		"internal/sched", "internal/taskgraph",
 	},
+
+	// Layer 6: the serving daemon over the facade-level packages. It may
+	// import broadly (it fronts every solver), but nothing outside cmd/*
+	// may import IT — enforced as a universal rule in runLayering, so that
+	// no library or facade code can grow a dependency on the service.
+	"internal/server": {
+		"internal/analysis", "internal/core", "internal/deadline", "internal/exp",
+		"internal/faults", "internal/gen", "internal/listsched", "internal/platform",
+		"internal/portfolio", "internal/rescue", "internal/sched", "internal/taskgraph",
+	},
 }
 
 func runLayering(pass *Pass) {
@@ -112,6 +125,14 @@ func runLayering(pass *Pass) {
 			// Universal rules first: nothing imports cmd/* or examples/*.
 			if strings.HasPrefix(impRel, "cmd/") || strings.HasPrefix(impRel, "examples/") {
 				pass.Reportf(spec.Pos(), "import of %s: cmd and examples packages must not be imported", path)
+				continue
+			}
+			// The serving layer is a leaf: only cmd binaries (and the
+			// package itself, e.g. its tests) may import it. The root
+			// facade is deliberately included in the ban — the library
+			// must never depend on the daemon.
+			if impRel == "internal/server" && rel != "internal/server" && !strings.HasPrefix(rel, "cmd/") {
+				pass.Reportf(spec.Pos(), "import of %s: internal/server may only be imported by cmd binaries", path)
 				continue
 			}
 

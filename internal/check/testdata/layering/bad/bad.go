@@ -8,4 +8,5 @@ import (
 	_ "repro/internal/gen"    // want "layering violation: internal/core may not import internal/gen"
 	_ "repro/internal/report" // want "layering violation: internal/core may not import internal/report"
 	_ "repro/internal/sched"  // allowed: sched is below core in the DAG
+	_ "repro/internal/server" // want "internal/server may only be imported by cmd binaries"
 )

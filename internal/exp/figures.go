@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/taskgraph"
@@ -219,36 +220,50 @@ func DiscussionMemory(cfg Config) (Figure, error) {
 		XLabel: "processors", Series: series}, nil
 }
 
-// ByName returns the experiment runner with the given ID.
+// ByName returns the experiment runner with the given ID: a built-in
+// figure or an extension added via Register.
 func ByName(id string) (func(Config) (Figure, error), error) {
-	switch id {
-	case "fig3a":
-		return Fig3a, nil
-	case "fig3b":
-		return Fig3b, nil
-	case "fig3c":
-		return Fig3c, nil
-	case "fig3c-scaled":
-		return Fig3cScaled, nil
-	case "fig3a-tie":
-		return Fig3aTie, nil
-	case "disc-parallelism":
-		return DiscussionParallelism, nil
-	case "disc-ccr":
-		return DiscussionCCR, nil
-	case "disc-upperbound":
-		return DiscussionUpperBound, nil
-	case "disc-memory":
-		return DiscussionMemory, nil
-	case "fault-sweep":
-		return FaultSweep, nil
+	if run := builtin(id); run != nil {
+		return run, nil
 	}
-	return nil, fmt.Errorf("exp: unknown experiment %q (want fig3a, fig3b, fig3c, fig3c-scaled, fig3a-tie, disc-parallelism, disc-ccr, disc-upperbound, disc-memory, fault-sweep)", id)
+	if run := extension(id); run != nil {
+		return run, nil
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (want %s)", id, strings.Join(All(), ", "))
 }
 
-// All lists every experiment ID in presentation order.
+// builtin resolves this package's own figures; nil when id is not one.
+func builtin(id string) func(Config) (Figure, error) {
+	switch id {
+	case "fig3a":
+		return Fig3a
+	case "fig3b":
+		return Fig3b
+	case "fig3c":
+		return Fig3c
+	case "fig3c-scaled":
+		return Fig3cScaled
+	case "fig3a-tie":
+		return Fig3aTie
+	case "disc-parallelism":
+		return DiscussionParallelism
+	case "disc-ccr":
+		return DiscussionCCR
+	case "disc-upperbound":
+		return DiscussionUpperBound
+	case "disc-memory":
+		return DiscussionMemory
+	case "fault-sweep":
+		return FaultSweep
+	}
+	return nil
+}
+
+// All lists every experiment ID in presentation order: built-ins first,
+// then registered extensions in registration order.
 func All() []string {
-	return []string{"fig3a", "fig3b", "fig3c", "fig3c-scaled", "fig3a-tie",
+	ids := []string{"fig3a", "fig3b", "fig3c", "fig3c-scaled", "fig3a-tie",
 		"disc-parallelism", "disc-ccr", "disc-upperbound", "disc-memory",
 		"fault-sweep"}
+	return append(ids, extensions()...)
 }

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The extension registry lets higher layers contribute experiments without
+// growing this package's import set (the serving layer registers its
+// serve-sweep here; cmd/bbexp links it in for the side effect). Built-in
+// figure IDs cannot be shadowed.
+var (
+	extMu    sync.RWMutex
+	extRuns  = map[string]func(Config) (Figure, error){}
+	extOrder []string
+)
+
+// Register adds an experiment under id. It panics on an empty id, a nil
+// runner, or a duplicate (including built-in IDs) — registration happens
+// in package init, where a rename typo should fail loudly.
+func Register(id string, run func(Config) (Figure, error)) {
+	if id == "" || run == nil {
+		panic("exp: Register needs a non-empty id and a runner")
+	}
+	if builtin(id) != nil {
+		panic(fmt.Sprintf("exp: experiment %q would shadow a built-in", id))
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	if _, dup := extRuns[id]; dup {
+		panic(fmt.Sprintf("exp: experiment %q registered twice", id))
+	}
+	extRuns[id] = run
+	extOrder = append(extOrder, id)
+}
+
+func extension(id string) func(Config) (Figure, error) {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	return extRuns[id]
+}
+
+func extensions() []string {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	return append([]string(nil), extOrder...)
+}

@@ -1,0 +1,78 @@
+package fuzzcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+// CheckFingerprint is the quick-check for the canonical graph digest, on
+// one generator-drawn instance per seed:
+//
+//	invariance    Fingerprint(π(G)) == Fingerprint(G) for random
+//	              relabelings π (the serving cache's correctness needs
+//	              exactly this: a client's task numbering must not
+//	              fragment the cache);
+//	sensitivity   a single edit to any ⟨c, φ, d, T⟩ field, a channel
+//	              attribute, or the arc set changes the digest.
+//
+// A failure message always embeds the seed.
+func CheckFingerprint(seed int64) error {
+	p := gen.Defaults()
+	p.NMin, p.NMax = 5, 16
+	p.DepthMin, p.DepthMax = 2, 8
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, p.Laxity, deadline.EqualSlack); err != nil {
+		return fmt.Errorf("fingerprint seed %d: %w", seed, err)
+	}
+	fp := g.Fingerprint()
+	rng := rand.New(rand.NewSource(seed * 127))
+
+	n := g.NumTasks()
+	for k := 0; k < 4; k++ {
+		perm := make([]taskgraph.TaskID, n)
+		for i, v := range rng.Perm(n) {
+			perm[i] = taskgraph.TaskID(v)
+		}
+		rg, err := taskgraph.Relabel(g, perm)
+		if err != nil {
+			return fmt.Errorf("fingerprint seed %d: relabel: %w", seed, err)
+		}
+		if rg.Fingerprint() != fp {
+			return fmt.Errorf("fingerprint seed %d: digest not invariant under relabeling %v", seed, perm)
+		}
+	}
+
+	victim := taskgraph.TaskID(rng.Intn(n))
+	mutations := []struct {
+		name string
+		edit func(*taskgraph.Graph) bool
+	}{
+		{"exec", func(m *taskgraph.Graph) bool { m.TaskPtr(victim).Exec++; return true }},
+		{"phase", func(m *taskgraph.Graph) bool { m.TaskPtr(victim).Phase++; return true }},
+		{"deadline", func(m *taskgraph.Graph) bool { m.TaskPtr(victim).Deadline++; return true }},
+		{"period", func(m *taskgraph.Graph) bool { m.TaskPtr(victim).Period += 3; return true }},
+		{"message size", func(m *taskgraph.Graph) bool {
+			if m.NumEdges() == 0 {
+				return false
+			}
+			c := m.Channels()[rng.Intn(m.NumEdges())]
+			ch, _ := m.ChannelPtr(c.Src, c.Dst)
+			ch.Size++
+			return true
+		}},
+	}
+	for _, mut := range mutations {
+		m := g.Clone()
+		if !mut.edit(m) {
+			continue
+		}
+		if m.Fingerprint() == fp {
+			return fmt.Errorf("fingerprint seed %d: %s edit did not change the digest", seed, mut.name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package fuzzcheck
+
+import "testing"
+
+func TestCheckFingerprint(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		if err := CheckFingerprint(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

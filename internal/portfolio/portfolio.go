@@ -18,6 +18,7 @@
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,6 +84,13 @@ type Result struct {
 
 // Solve runs the pipeline.
 func Solve(g *taskgraph.Graph, p platform.Platform, opts Options) (Result, error) {
+	return SolveContext(context.Background(), g, p, opts)
+}
+
+// SolveContext runs the pipeline with the exact stage bound by ctx in
+// addition to the wall-clock budget — cancellation stops the search early
+// and the pipeline still returns its best incumbent so far.
+func SolveContext(ctx context.Context, g *taskgraph.Graph, p platform.Platform, opts Options) (Result, error) {
 	rep, err := analysis.Analyze(g, p)
 	if err != nil {
 		return Result{}, err
@@ -116,9 +124,9 @@ func Solve(g *taskgraph.Graph, p platform.Platform, opts Options) (Result, error
 		}
 		var exact core.Result
 		if opts.Workers > 1 {
-			exact, err = core.SolveParallel(g, p, core.ParallelParams{Params: params, Workers: opts.Workers})
+			exact, err = core.SolveParallelContext(ctx, g, p, core.ParallelParams{Params: params, Workers: opts.Workers})
 		} else {
-			exact, err = core.Solve(g, p, params)
+			exact, err = core.SolveContext(ctx, g, p, params)
 		}
 		if err != nil {
 			return Result{}, err

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a sharded LRU over marshaled response bodies, keyed by
+// the canonical request key (graph fingerprint + platform + solver
+// parameters + budget), with singleflight de-duplication: concurrent
+// misses on the same key run the underlying solve exactly once and every
+// caller receives the same bytes.
+//
+// Sharding keeps the lock a solve-duration solve never holds: the flight
+// map and LRU are only locked for map/list operations, never across fn.
+type resultCache struct {
+	shards    [cacheShards]cacheShard
+	perShard  int // capacity per shard; 0 disables retention (singleflight stays)
+	solves    atomic.Int64
+	sharedHit atomic.Int64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	items   map[string]*list.Element // key → *cacheEntry element
+	lru     *list.List               // front = most recent
+	flights map[string]*flight
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// newResultCache sizes the cache to capacity total entries (rounded up to
+// a multiple of the shard count; 0 disables retention entirely).
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{}
+	if capacity > 0 {
+		c.perShard = (capacity + cacheShards - 1) / cacheShards
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			items:   make(map[string]*list.Element),
+			lru:     list.New(),
+			flights: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	// FNV-1a over the key; the graph fingerprint dominates, so shards
+	// spread well even for same-parameter workloads.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// do returns the cached body for key, or runs fn exactly once per key
+// across all concurrent callers and caches its successful result. hit
+// reports whether the bytes came from the cache (or a concurrent flight —
+// either way, no new solve was charged to this caller). Errors are never
+// cached; ctx only bounds this caller's wait, not the shared computation.
+func (c *resultCache) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, hit bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.lru.MoveToFront(el)
+		body = el.Value.(*cacheEntry).body
+		sh.mu.Unlock()
+		return body, true, nil
+	}
+	if fl, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			c.sharedHit.Add(1)
+			return fl.body, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[key] = fl
+	sh.mu.Unlock()
+
+	c.solves.Add(1)
+	fl.body, fl.err = fn()
+
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if fl.err == nil && c.perShard > 0 {
+		sh.items[key] = sh.lru.PushFront(&cacheEntry{key: key, body: fl.body})
+		for sh.lru.Len() > c.perShard {
+			oldest := sh.lru.Back()
+			sh.lru.Remove(oldest)
+			delete(sh.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+
+	return fl.body, false, fl.err
+}
+
+// len returns the resident entry count across shards.
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflight is the ISSUE's race-stress requirement: N
+// goroutines miss on the same key concurrently, exactly one underlying
+// computation runs, and every caller receives byte-identical bytes. Run
+// under -race (scripts/check.sh does).
+func TestCacheSingleflight(t *testing.T) {
+	c := newResultCache(64)
+	const goroutines = 64
+
+	var calls atomic.Int64
+	fn := func() ([]byte, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return []byte(`{"answer":42}`), nil
+	}
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, goroutines)
+	hits := make([]bool, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], hits[i], errs[i] = c.do(context.Background(), "k", fn)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("underlying fn ran %d times, want exactly 1", got)
+	}
+	misses := 0
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("caller %d got %q, caller 0 got %q", i, bodies[i], bodies[0])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers charged as misses, want exactly 1 (the leader)", misses)
+	}
+	if c.solves.Load() != 1 {
+		t.Fatalf("solves counter = %d, want 1", c.solves.Load())
+	}
+	if c.sharedHit.Load() != goroutines-1 {
+		t.Fatalf("sharedHit = %d, want %d", c.sharedHit.Load(), goroutines-1)
+	}
+
+	// A latecomer hits the now-resident entry without running fn.
+	body, hit, err := c.do(context.Background(), "k", fn)
+	if err != nil || !hit || !bytes.Equal(body, bodies[0]) {
+		t.Fatalf("latecomer: body=%q hit=%v err=%v", body, hit, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("latecomer re-ran fn")
+	}
+}
+
+// TestCacheSingleflightManyKeys stresses distinct keys racing across
+// shards: each key's fn runs once.
+func TestCacheSingleflightManyKeys(t *testing.T) {
+	c := newResultCache(1024)
+	const keys = 32
+	const callersPerKey = 8
+
+	counts := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for i := 0; i < callersPerKey; i++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				key := fmt.Sprintf("key-%d", k)
+				body, _, err := c.do(context.Background(), key, func() ([]byte, error) {
+					counts[k].Add(1)
+					time.Sleep(5 * time.Millisecond)
+					return []byte(key), nil
+				})
+				if err != nil || string(body) != key {
+					t.Errorf("key %d: body=%q err=%v", k, body, err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if got := counts[k].Load(); got != 1 {
+			t.Fatalf("key %d computed %d times", k, got)
+		}
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(16)
+	boom := errors.New("boom")
+	var calls int
+	fn := func() ([]byte, error) { calls++; return nil, boom }
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.do(context.Background(), "k", fn); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err=%v, want boom", i, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (errors are never cached)", calls)
+	}
+	if c.len() != 0 {
+		t.Fatalf("error left %d resident entries", c.len())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	cap := 32
+	c := newResultCache(cap)
+	limit := c.perShard * cacheShards
+	for i := 0; i < 50*cap; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		_, _, err := c.do(context.Background(), key, func() ([]byte, error) {
+			return []byte(key), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got > limit {
+		t.Fatalf("cache holds %d entries, configured limit %d", got, limit)
+	}
+	if got := c.len(); got == 0 {
+		t.Fatalf("cache empty after %d inserts", 50*cap)
+	}
+}
+
+// TestCacheZeroCapacity: retention disabled, singleflight still collapses
+// concurrent callers.
+func TestCacheZeroCapacity(t *testing.T) {
+	c := newResultCache(0)
+	var calls atomic.Int64
+	fn := func() ([]byte, error) {
+		calls.Add(1)
+		time.Sleep(10 * time.Millisecond)
+		return []byte("x"), nil
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.do(context.Background(), "k", fn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("concurrent callers ran fn %d times, want 1", got)
+	}
+	if c.len() != 0 {
+		t.Fatalf("zero-capacity cache retained %d entries", c.len())
+	}
+
+	// Sequential repeat re-computes: nothing was retained.
+	if _, _, err := c.do(context.Background(), "k", fn); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("sequential repeat: calls=%d, want 2", got)
+	}
+}
+
+// TestCacheWaiterCancellation: a waiter's context expiring releases the
+// waiter with ctx.Err() while the leader's computation completes and is
+// cached for later callers.
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := newResultCache(16)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("slow"), nil
+		})
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err=%v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	body, hit, err := c.do(context.Background(), "k", nil)
+	if err != nil || !hit || string(body) != "slow" {
+		t.Fatalf("post-flight lookup: body=%q hit=%v err=%v", body, hit, err)
+	}
+}

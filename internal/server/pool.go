@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errOverload is returned by acquire when the waiting line is full; the
+// HTTP layer maps it to 429 + Retry-After.
+var errOverload = errors.New("server: overloaded: worker queue full")
+
+// errDraining is returned to queued work when the server starts draining;
+// the HTTP layer maps it to 503.
+var errDraining = errors.New("server: draining: not accepting queued work")
+
+// pool is the bounded worker pool behind every budgeted solve: at most
+// `workers` solves run concurrently and at most `queueDepth` admitted
+// requests wait for a slot. Anything beyond that is rejected immediately —
+// overload produces fast 429s instead of a latency collapse.
+type pool struct {
+	tokens   chan struct{} // buffered with `workers` slots; send = acquire
+	draining chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+	drained  bool
+
+	// busyUS accumulates worker-occupied microseconds for the utilization
+	// gauge; started is the accounting origin.
+	busyUS  atomic.Int64
+	started time.Time
+}
+
+func newPool(workers, queueDepth int) *pool {
+	return &pool{
+		tokens:   make(chan struct{}, workers),
+		draining: make(chan struct{}),
+		maxQueue: queueDepth,
+		started:  time.Now(),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when all
+// slots are busy. It returns errOverload when the queue is full and
+// errDraining when the pool drains while waiting. The returned release
+// function must be called exactly once.
+func (p *pool) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case p.tokens <- struct{}{}:
+		return p.releaseFunc(), nil
+	default:
+	}
+
+	p.mu.Lock()
+	if p.drained {
+		p.mu.Unlock()
+		return nil, errDraining
+	}
+	if p.queued >= p.maxQueue {
+		p.mu.Unlock()
+		return nil, errOverload
+	}
+	p.queued++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.queued--
+		p.mu.Unlock()
+	}()
+
+	select {
+	case p.tokens <- struct{}{}:
+		return p.releaseFunc(), nil
+	case <-p.draining:
+		return nil, errDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *pool) releaseFunc() func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.busyUS.Add(time.Since(start).Microseconds())
+			<-p.tokens
+		})
+	}
+}
+
+// drain rejects all queued and future waiters; running work is untouched.
+func (p *pool) drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.drained {
+		p.drained = true
+		close(p.draining)
+	}
+}
+
+func (p *pool) workers() int { return cap(p.tokens) }
+func (p *pool) busy() int    { return len(p.tokens) }
+
+func (p *pool) queueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// utilization is busy worker-time over elapsed worker-time since startup.
+func (p *pool) utilization() float64 {
+	elapsed := time.Since(p.started).Microseconds() * int64(p.workers())
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(p.busyUS.Load()) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/portfolio"
+	"repro/internal/rescue"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// The wire protocol: every /v1 endpoint takes a JSON POST body carrying
+// the task graph inline (the stable taskgraph codec — tasks in ID order,
+// channels sorted) plus endpoint-specific knobs, and returns a JSON
+// document. Budgets are request-scoped milliseconds, clamped to the
+// server's MaxBudget; zero means the server's DefaultBudget.
+
+// GraphRequest is the part every request shares.
+type GraphRequest struct {
+	Graph *taskgraph.Graph `json:"graph"`
+	Procs int              `json:"procs"`
+}
+
+func (r *GraphRequest) platform() (platform.Platform, error) {
+	if r.Graph == nil || r.Graph.NumTasks() == 0 {
+		return platform.Platform{}, fmt.Errorf("missing or empty graph")
+	}
+	if r.Procs < 1 || r.Procs > 127 {
+		return platform.Platform{}, fmt.Errorf("procs %d outside [1,127]", r.Procs)
+	}
+	return platform.New(r.Procs), nil
+}
+
+// budget clamps a request's budget_ms to the server limits.
+func budgetFrom(ms int64, cfg Config) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("negative budget_ms %d", ms)
+	}
+	if ms == 0 {
+		return cfg.DefaultBudget, nil
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > cfg.MaxBudget {
+		d = cfg.MaxBudget
+	}
+	return d, nil
+}
+
+// SolveRequest is the exact/approximate B&B endpoint input. The rule
+// names mirror cmd/bbsched: select ∈ {lifo, llb, fifo}, branch ∈ {bfn,
+// df, bf1}, bound ∈ {lb1, lb0, none}; empty strings pick the paper's
+// recommended defaults.
+type SolveRequest struct {
+	GraphRequest
+	Select   string  `json:"select,omitempty"`
+	Branch   string  `json:"branch,omitempty"`
+	Bound    string  `json:"bound,omitempty"`
+	BR       float64 `json:"br,omitempty"`
+	BudgetMS int64   `json:"budget_ms,omitempty"`
+	Workers  int     `json:"workers,omitempty"` // >1 → parallel solver
+}
+
+func (r *SolveRequest) params() (core.Params, error) {
+	var p core.Params
+	switch r.Select {
+	case "", "lifo":
+		p.Selection = core.SelectLIFO
+	case "llb":
+		p.Selection = core.SelectLLB
+	case "fifo":
+		p.Selection = core.SelectFIFO
+	default:
+		return p, fmt.Errorf("unknown selection rule %q", r.Select)
+	}
+	switch r.Branch {
+	case "", "bfn":
+		p.Branching = core.BranchBFn
+	case "df":
+		p.Branching = core.BranchDF
+	case "bf1":
+		p.Branching = core.BranchBF1
+	default:
+		return p, fmt.Errorf("unknown branching rule %q", r.Branch)
+	}
+	switch r.Bound {
+	case "", "lb1":
+		p.Bound = core.BoundLB1
+	case "lb0":
+		p.Bound = core.BoundLB0
+	case "none":
+		p.Bound = core.BoundNone
+	default:
+		return p, fmt.Errorf("unknown bound %q", r.Bound)
+	}
+	if r.BR < 0 || r.BR >= 1 {
+		return p, fmt.Errorf("BR %v outside [0,1)", r.BR)
+	}
+	p.BR = r.BR
+	if r.Workers < 0 || r.Workers > 256 {
+		return p, fmt.Errorf("workers %d outside [0,256]", r.Workers)
+	}
+	return p, nil
+}
+
+// SearchStats is the wire form of the solver's effort counters. Wall-clock
+// fields are deliberately omitted so that responses for one cache key are
+// deterministic.
+type SearchStats struct {
+	Generated    int64 `json:"generated"`
+	Expanded     int64 `json:"expanded"`
+	Goals        int64 `json:"goals"`
+	MaxActiveSet int   `json:"max_active_set"`
+	TimedOut     bool  `json:"timed_out"`
+}
+
+func searchStats(st core.Stats) SearchStats {
+	return SearchStats{
+		Generated:    st.Generated,
+		Expanded:     st.Expanded,
+		Goals:        st.Goals,
+		MaxActiveSet: st.MaxActiveSet,
+		TimedOut:     st.TimedOut,
+	}
+}
+
+// SolveResponse reports a solve outcome. Feasible is false when the search
+// found no complete schedule below the initial upper bound; the remaining
+// fields are then zero.
+type SolveResponse struct {
+	Feasible  bool              `json:"feasible"`
+	Lmax      taskgraph.Time    `json:"lmax"`
+	Makespan  taskgraph.Time    `json:"makespan"`
+	Optimal   bool              `json:"optimal"`
+	Guarantee bool              `json:"guarantee"`
+	Reason    string            `json:"reason"`
+	Stats     SearchStats       `json:"stats"`
+	Schedule  []sched.Placement `json:"schedule,omitempty"`
+}
+
+func solveResponse(res core.Result) SolveResponse {
+	out := SolveResponse{
+		Optimal:   res.Optimal,
+		Guarantee: res.Guarantee,
+		Reason:    res.Reason.String(),
+		Stats:     searchStats(res.Stats),
+	}
+	if res.Schedule != nil {
+		out.Feasible = true
+		out.Lmax = res.Cost
+		out.Makespan = res.Schedule.Makespan()
+		out.Schedule = res.Schedule.Placements()
+	}
+	return out
+}
+
+// AnytimeRequest drives the portfolio pipeline (bounds → greedy → local
+// search → warm-started exact search).
+type AnytimeRequest struct {
+	GraphRequest
+	BudgetMS     int64 `json:"budget_ms,omitempty"`
+	Workers      int   `json:"workers,omitempty"`
+	ImproveIters int   `json:"improve_iters,omitempty"`
+	Seed         int64 `json:"seed,omitempty"`
+}
+
+// AnytimeResponse is the portfolio outcome: always a schedule, with the
+// certified lower bound and the optimality status.
+type AnytimeResponse struct {
+	Lmax     taskgraph.Time    `json:"lmax"`
+	Lower    taskgraph.Time    `json:"lower"`
+	Gap      taskgraph.Time    `json:"gap"`
+	Optimal  bool              `json:"optimal"`
+	Stage    string            `json:"stage"`
+	Greedy   string            `json:"greedy"`
+	Stats    SearchStats       `json:"stats"`
+	Schedule []sched.Placement `json:"schedule"`
+}
+
+func anytimeResponse(res portfolio.Result) AnytimeResponse {
+	return AnytimeResponse{
+		Lmax:     res.Cost,
+		Lower:    res.Lower,
+		Gap:      res.Gap,
+		Optimal:  res.Optimal,
+		Stage:    string(res.Stage),
+		Greedy:   res.Greedy.String(),
+		Stats:    searchStats(res.Search),
+		Schedule: res.Schedule.Placements(),
+	}
+}
+
+// ListRequest runs a polynomial-time list scheduler: policy ∈ {hlfet,
+// slack, edf, best} (empty = best, the whole portfolio).
+type ListRequest struct {
+	GraphRequest
+	Policy string `json:"policy,omitempty"`
+}
+
+// ListResponse is the list-scheduling outcome.
+type ListResponse struct {
+	Lmax     taskgraph.Time    `json:"lmax"`
+	Makespan taskgraph.Time    `json:"makespan"`
+	Policy   string            `json:"policy"`
+	Schedule []sched.Placement `json:"schedule"`
+}
+
+// AnalyzeRequest computes the certified a-priori bounds.
+type AnalyzeRequest struct {
+	GraphRequest
+}
+
+// AnalyzeResponse carries the workload bounds of internal/analysis.
+type AnalyzeResponse struct {
+	TotalWork    taskgraph.Time `json:"total_work"`
+	Utilization  float64        `json:"utilization"`
+	CriticalPath taskgraph.Time `json:"critical_path"`
+	DemandLmax   taskgraph.Time `json:"demand_lmax"`
+	PathLmax     taskgraph.Time `json:"path_lmax"`
+	Lower        taskgraph.Time `json:"lower"`
+	Infeasible   bool           `json:"infeasible"`
+}
+
+// FaultSpec is the wire form of one injected fault: kind ∈ {proc-failure,
+// exec-overrun}.
+type FaultSpec struct {
+	Kind  string           `json:"kind"`
+	Proc  int              `json:"proc,omitempty"`
+	At    taskgraph.Time   `json:"at,omitempty"`
+	Task  taskgraph.TaskID `json:"task,omitempty"`
+	Extra taskgraph.Time   `json:"extra,omitempty"`
+}
+
+func (f FaultSpec) fault() (faults.Fault, error) {
+	switch f.Kind {
+	case "proc-failure":
+		return faults.Fault{Kind: faults.ProcFailure, Proc: platform.Proc(f.Proc), At: f.At}, nil
+	case "exec-overrun":
+		return faults.Fault{Kind: faults.ExecOverrun, Task: f.Task, Extra: f.Extra}, nil
+	}
+	return faults.Fault{}, fmt.Errorf("unknown fault kind %q", f.Kind)
+}
+
+// RecoverRequest replays a static schedule under a fault scenario and
+// re-schedules what the faults destroyed (budgeted B&B with a guaranteed
+// list fallback).
+type RecoverRequest struct {
+	GraphRequest
+	Schedule []sched.Placement `json:"schedule"`
+	Faults   []FaultSpec       `json:"faults"`
+	BudgetMS int64             `json:"budget_ms,omitempty"`
+	Workers  int               `json:"workers,omitempty"`
+}
+
+// RecoverResponse summarizes the recovery outcome.
+type RecoverResponse struct {
+	Recovered bool              `json:"recovered"` // false: nothing needed rescue
+	Degraded  bool              `json:"degraded"`  // plan came from the list fallback
+	PreLmax   taskgraph.Time    `json:"pre_lmax"`
+	PostLmax  taskgraph.Time    `json:"post_lmax"`
+	Misses    int               `json:"misses"`
+	Stats     SearchStats       `json:"stats"` // zero when the B&B path did not run
+	Merged    []rescue.Placement `json:"merged,omitempty"`
+}
+
+func recoverResponse(out *rescue.Outcome) RecoverResponse {
+	resp := RecoverResponse{
+		Recovered: out.Residual != nil,
+		Degraded:  out.Degraded,
+		PreLmax:   out.PreLmax,
+		PostLmax:  out.PostLmax,
+		Misses:    out.Misses,
+		Merged:    out.Merged,
+	}
+	if out.BB != nil {
+		resp.Stats = searchStats(out.BB.Stats)
+	}
+	return resp
+}
+
+// parseListPolicy maps the wire policy name; ok=false selects Best.
+func parseListPolicy(name string) (listsched.Policy, bool, error) {
+	switch name {
+	case "", "best":
+		return 0, false, nil
+	case "hlfet":
+		return listsched.HLFET, true, nil
+	case "slack":
+		return listsched.LeastSlack, true, nil
+	case "edf":
+		return listsched.EDF, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown list policy %q", name)
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	UptimeMS int64  `json:"uptime_ms"`
+}

@@ -1,0 +1,567 @@
+// Package server is the scheduling-as-a-service layer: an embeddable
+// net/http handler exposing the repository's solvers — exact B&B, the
+// anytime portfolio, list scheduling, workload analysis, and fault
+// recovery — as JSON endpoints over the same facade the CLIs use.
+//
+// Three mechanisms make it a daemon rather than a script runner:
+//
+//   - result cache: requests are keyed by the canonical graph fingerprint
+//     (invariant under task relabeling) plus platform and solver
+//     parameters; a sharded LRU serves repeats and singleflight collapses
+//     concurrent identical misses into one solve;
+//   - admission control: a bounded worker pool with a bounded wait queue;
+//     overload yields an immediate 429 with Retry-After instead of a
+//     latency collapse, and every solve runs under a budget enforced both
+//     by context and by the solver's own TimeLimit;
+//   - graceful drain: Drain stops admitting work while in-flight solves
+//     finish (or hit their budgets), so SIGTERM never truncates a result.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/listsched"
+	"repro/internal/platform"
+	"repro/internal/portfolio"
+	"repro/internal/rescue"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// maxBodyBytes bounds a request body; a 16-MiB graph is far beyond
+// anything the exponential solvers could finish anyway.
+const maxBodyBytes = 16 << 20
+
+// Config tunes the server; zero values pick sensible defaults.
+type Config struct {
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+
+	// QueueDepth bounds requests waiting for a worker slot (default 64).
+	// Request workers+queueDepth+1 concurrent solves and the last one is
+	// rejected with 429.
+	QueueDepth int
+
+	// CacheEntries bounds the result cache (default 4096; negative
+	// disables retention — singleflight de-duplication remains).
+	CacheEntries int
+
+	// DefaultBudget applies when a request carries no budget_ms
+	// (default 5s); MaxBudget clamps explicit budgets (default 60s).
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+
+	// Logf receives one line per served request; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	switch {
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	case c.CacheEntries == 0:
+		c.CacheEntries = 4096
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 5 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the service instance. Create with New, mount via Handler,
+// stop with Drain (graceful) and Close (hard).
+type Server struct {
+	cfg     Config
+	pool    *pool
+	cache   *resultCache
+	mux     *http.ServeMux
+	started time.Time
+
+	// baseCtx parents every solve so budgets survive client disconnects
+	// (a flight's result is shared; the leader's peer going away must not
+	// cancel it). Close cancels it.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	draining atomic.Bool
+
+	metrics map[string]*endpointMetrics
+
+	// solveFn is the exact-solver seam; tests substitute slow or counting
+	// solvers to exercise admission control without real search workloads.
+	solveFn func(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, p core.Params, workers int) (core.Result, error)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheEntries),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		solveFn: defaultSolve,
+		metrics: map[string]*endpointMetrics{
+			"solve":   {},
+			"anytime": {},
+			"list":    {},
+			"analyze": {},
+			"recover": {},
+		},
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/anytime", s.handleAnytime)
+	s.mux.HandleFunc("POST /v1/list", s.handleList)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func defaultSolve(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, p core.Params, workers int) (core.Result, error) {
+	if workers > 1 {
+		return core.SolveParallelContext(ctx, g, plat, core.ParallelParams{Params: p, Workers: workers})
+	}
+	return core.SolveContext(ctx, g, plat, p)
+}
+
+// Handler returns the mountable HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new work: queued waiters are released with 503,
+// subsequent requests are rejected, /healthz turns "draining". In-flight
+// solves run to completion (or to their budgets).
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
+
+// Close hard-stops the server: every in-flight solve's context is
+// canceled. Call after Drain (or instead of it, for an abortive stop).
+func (s *Server) Close() {
+	s.Drain()
+	s.cancel()
+}
+
+// Metrics snapshots the operational counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	eps := make(map[string]EndpointSnapshot, len(s.metrics))
+	for name, m := range s.metrics {
+		eps[name] = m.snapshot()
+	}
+	return MetricsSnapshot{
+		UptimeMS:          time.Since(s.started).Milliseconds(),
+		Draining:          s.draining.Load(),
+		Workers:           s.pool.workers(),
+		BusyWorkers:       s.pool.busy(),
+		QueueDepth:        s.pool.queueDepth(),
+		QueueLimit:        s.cfg.QueueDepth,
+		WorkerUtilization: s.pool.utilization(),
+		Solves:            s.cache.solves.Load(),
+		CacheSize:         s.cache.len(),
+		CacheLimit:        s.cfg.CacheEntries,
+		SharedWaits:       s.cache.sharedHit.Load(),
+		Endpoints:         eps,
+	}
+}
+
+// ---- request plumbing -------------------------------------------------
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return json.NewDecoder(r.Body).Decode(into)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) //bbvet:ignore errcheck — client gone is not actionable
+}
+
+// badRequest reports a pre-admission validation failure.
+func (s *Server) badRequest(w http.ResponseWriter, m *endpointMetrics, start time.Time, err error) {
+	m.errors.Add(1)
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
+// finish writes the outcome of a cache.do round-trip, mapping admission
+// errors to their status codes.
+func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Time, body []byte, hit bool, err error) {
+	m.latency.observe(time.Since(start))
+	switch {
+	case err == nil:
+		if hit {
+			m.cacheHits.Add(1)
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			m.cacheMisses.Add(1)
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	case errors.Is(err, errOverload):
+		m.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg)))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, errDraining), errors.Is(err, context.Canceled):
+		m.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	default:
+		m.errors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds advises clients to back off for roughly one solve
+// budget: the queue can only have moved once a worker slot turned over.
+func retryAfterSeconds(cfg Config) int {
+	sec := int(cfg.DefaultBudget / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// admit front-gates a request: during drain nothing new is accepted.
+func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics, start time.Time) bool {
+	m.requests.Add(1)
+	if s.draining.Load() {
+		m.errors.Add(1)
+		m.latency.observe(time.Since(start))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: errDraining.Error()})
+		return false
+	}
+	return true
+}
+
+// ---- endpoints --------------------------------------------------------
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["solve"]
+	if !s.admit(w, m, start) {
+		return
+	}
+	var req SolveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	plat, err := req.platform()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	params, err := req.params()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	budget, err := budgetFrom(req.BudgetMS, s.cfg)
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	params.Resources.TimeLimit = budget
+
+	key := fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d",
+		req.Graph.Fingerprint(), plat.M,
+		params.Selection, params.Branching, params.Bound, params.BR,
+		req.Workers, budget)
+	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		release, err := s.pool.acquire(s.baseCtx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+		defer cancel()
+		res, err := s.solveFn(ctx, req.Graph, plat, params, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(solveResponse(res))
+	})
+	s.finish(w, m, start, body, hit, err)
+	s.cfg.Logf("solve m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+}
+
+func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["anytime"]
+	if !s.admit(w, m, start) {
+		return
+	}
+	var req AnytimeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	plat, err := req.platform()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	if req.Workers < 0 || req.Workers > 256 {
+		s.badRequest(w, m, start, fmt.Errorf("workers %d outside [0,256]", req.Workers))
+		return
+	}
+	budget, err := budgetFrom(req.BudgetMS, s.cfg)
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+
+	key := fmt.Sprintf("anytime|%s|m=%d|i=%d|seed=%d|w=%d|t=%d",
+		req.Graph.Fingerprint(), plat.M, req.ImproveIters, req.Seed, req.Workers, budget)
+	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		release, err := s.pool.acquire(s.baseCtx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+		defer cancel()
+		res, err := portfolio.SolveContext(ctx, req.Graph, plat, portfolio.Options{
+			Budget:       budget,
+			ImproveIters: req.ImproveIters,
+			Workers:      req.Workers,
+			Seed:         req.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(anytimeResponse(res))
+	})
+	s.finish(w, m, start, body, hit, err)
+	s.cfg.Logf("anytime m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["list"]
+	if !s.admit(w, m, start) {
+		return
+	}
+	var req ListRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	plat, err := req.platform()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	pol, explicit, err := parseListPolicy(req.Policy)
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+
+	// Polynomial-time work: cached and de-duplicated but not admitted
+	// through the worker pool — a list schedule costs less than queueing.
+	key := fmt.Sprintf("list|%s|m=%d|p=%d|x=%v", req.Graph.Fingerprint(), plat.M, pol, explicit)
+	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		var res listsched.Result
+		var err error
+		if explicit {
+			res, err = listsched.Schedule(req.Graph, plat, pol)
+		} else {
+			res, err = listsched.Best(req.Graph, plat)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(ListResponse{
+			Lmax:     res.Lmax,
+			Makespan: res.Schedule.Makespan(),
+			Policy:   res.Policy.String(),
+			Schedule: res.Schedule.Placements(),
+		})
+	})
+	s.finish(w, m, start, body, hit, err)
+	s.cfg.Logf("list m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["analyze"]
+	if !s.admit(w, m, start) {
+		return
+	}
+	var req AnalyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	plat, err := req.platform()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+
+	key := fmt.Sprintf("analyze|%s|m=%d", req.Graph.Fingerprint(), plat.M)
+	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		rep, err := analysis.Analyze(req.Graph, plat)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(AnalyzeResponse{
+			TotalWork:    rep.TotalWork,
+			Utilization:  rep.Utilization,
+			CriticalPath: rep.CriticalPath,
+			DemandLmax:   rep.DemandLmax,
+			PathLmax:     rep.PathLmax,
+			Lower:        rep.Lower,
+			Infeasible:   rep.Infeasible(),
+		})
+	})
+	s.finish(w, m, start, body, hit, err)
+	s.cfg.Logf("analyze m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["recover"]
+	if !s.admit(w, m, start) {
+		return
+	}
+	var req RecoverRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	plat, err := req.platform()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	if req.Workers < 0 || req.Workers > 256 {
+		s.badRequest(w, m, start, fmt.Errorf("workers %d outside [0,256]", req.Workers))
+		return
+	}
+	budget, err := budgetFrom(req.BudgetMS, s.cfg)
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	static, err := scheduleFromPlacements(req.Graph, plat, req.Schedule)
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	fs := make([]faults.Fault, 0, len(req.Faults))
+	for _, spec := range req.Faults {
+		f, err := spec.fault()
+		if err != nil {
+			s.badRequest(w, m, start, err)
+			return
+		}
+		fs = append(fs, f)
+	}
+	sc := &faults.Scenario{Faults: fs}
+	if err := sc.Validate(req.Graph.NumTasks(), plat.M); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+
+	// Recovery is stateful (schedule + scenario vary per call), so it goes
+	// through admission control but not the cache.
+	var body []byte
+	release, err := s.pool.acquire(s.baseCtx)
+	if err == nil {
+		func() {
+			defer release()
+			ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+			defer cancel()
+			var out *rescue.Outcome
+			out, err = rescue.Recover(ctx, static, sc, nil, rescue.Options{
+				Budget:  budget,
+				Workers: req.Workers,
+			})
+			if err == nil {
+				body, err = json.Marshal(recoverResponse(out))
+			}
+		}()
+	}
+	s.finish(w, m, start, body, false, err)
+	s.cfg.Logf("recover m=%d n=%d faults=%d %v", plat.M, req.Graph.NumTasks(), len(fs), time.Since(start))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", UptimeMS: time.Since(s.started).Milliseconds()}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// scheduleFromPlacements replays a wire schedule onto a fresh Schedule and
+// validates it (completeness, capacity, precedence) before recovery.
+func scheduleFromPlacements(g *taskgraph.Graph, plat platform.Platform, pls []sched.Placement) (*sched.Schedule, error) {
+	if len(pls) == 0 {
+		return nil, fmt.Errorf("missing schedule")
+	}
+	s := sched.NewSchedule(g, plat)
+	for _, pl := range pls {
+		if pl.Task < 0 || int(pl.Task) >= g.NumTasks() {
+			return nil, fmt.Errorf("placement task %d out of range", pl.Task)
+		}
+		if pl.Proc < 0 || int(pl.Proc) >= plat.M {
+			return nil, fmt.Errorf("placement proc %d out of range", pl.Proc)
+		}
+		if s.Placed(pl.Task) {
+			return nil, fmt.Errorf("task %d placed twice", pl.Task)
+		}
+		if pl.Start < 0 {
+			return nil, fmt.Errorf("task %d starts at negative time %d", pl.Task, pl.Start)
+		}
+		s.Set(pl.Task, pl.Proc, pl.Start)
+		if got := s.Finish(pl.Task); got != pl.Finish {
+			return nil, fmt.Errorf("task %d finish %d inconsistent with start+exec=%d", pl.Task, pl.Finish, got)
+		}
+	}
+	if !s.Complete() {
+		return nil, fmt.Errorf("schedule places %d of %d tasks", s.NumPlaced(), g.NumTasks())
+	}
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

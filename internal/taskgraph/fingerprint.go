@@ -1,0 +1,188 @@
+package taskgraph
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+)
+
+// Fingerprint is a canonical 256-bit digest of a task graph: two graphs
+// that are identical up to a relabeling of task IDs produce the same
+// fingerprint, and any change to a scheduling-relevant parameter — a task's
+// ⟨c, φ, d, T⟩ tuple, an arc, or a channel's ⟨m, a, d⟩ attributes — changes
+// it (with cryptographic-hash probability). Task names are deliberately
+// excluded: they never affect scheduling.
+//
+// The fingerprint is the cache identity used by the serving layer: requests
+// for the "same" instance, however the client happened to number its tasks,
+// hit the same cache line.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// IsZero reports the zero (never produced by Fingerprint) value.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// Fingerprint computes the canonical digest of the graph.
+//
+// The construction is a Weisfeiler–Leman style color refinement adapted to
+// attributed DAGs. Every task starts with a signature hashing its scalar
+// tuple and degrees; each refinement round rehashes a task's signature with
+// the sorted multisets of its predecessor and successor signatures (each
+// combined with the connecting channel's attributes). After depth(G) rounds
+// a signature encodes the task's entire ancestor and descendant structure.
+// The final digest hashes the sorted multiset of task signatures together
+// with the sorted multiset of arc signatures — both multisets are invariant
+// under any permutation of task IDs by construction.
+//
+// Tasks that still share a signature after full refinement occupy
+// symmetric positions in the graph, so collapsing them into a multiset
+// loses nothing the scheduler could distinguish. As with any hash, distinct
+// graphs colliding is possible in principle but negligible in practice
+// (SHA-256 throughout).
+func (g *Graph) Fingerprint() Fingerprint {
+	n := len(g.tasks)
+	sig := make([]Fingerprint, n)
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		sig[i] = hashRecord('T',
+			uint64(t.Exec), uint64(t.Phase), uint64(t.Deadline), uint64(t.Period),
+			uint64(len(g.preds[i])), uint64(len(g.succs[i])))
+	}
+
+	for r := 0; r < g.refinementRounds(); r++ {
+		next := make([]Fingerprint, n)
+		var neigh []Fingerprint
+		for i := range sig {
+			h := sha256.New()
+			put(h, []byte{'R'})
+			put(h, sig[i][:])
+
+			neigh = neigh[:0]
+			for _, p := range g.preds[i] {
+				neigh = append(neigh, g.arcSig('P', sig[p], p, TaskID(i)))
+			}
+			writeSortedSigs(h, neigh)
+
+			neigh = neigh[:0]
+			for _, s := range g.succs[i] {
+				neigh = append(neigh, g.arcSig('S', sig[s], TaskID(i), s))
+			}
+			writeSortedSigs(h, neigh)
+
+			h.Sum(next[i][:0])
+		}
+		sig = next
+	}
+
+	h := sha256.New()
+	put(h, []byte("taskgraph/fingerprint/v1"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	put(h, buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.list)))
+	put(h, buf[:])
+	writeSortedSigs(h, sig)
+
+	arcs := make([]Fingerprint, 0, len(g.list))
+	for _, c := range g.list {
+		arcs = append(arcs, hashRecord('A',
+			binary.LittleEndian.Uint64(sig[c.Src][:8]), binary.LittleEndian.Uint64(sig[c.Src][8:16]),
+			binary.LittleEndian.Uint64(sig[c.Dst][:8]), binary.LittleEndian.Uint64(sig[c.Dst][8:16]),
+			uint64(c.Size), uint64(c.Arrival), uint64(c.Deadline)))
+	}
+	writeSortedSigs(h, arcs)
+
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// refinementRounds returns how many refinement iterations are needed for a
+// signature to absorb the whole graph: the number of precedence levels for
+// a DAG, or |N| as a safe canonical bound when the graph (not yet
+// validated) contains a cycle.
+func (g *Graph) refinementRounds() int {
+	if _, err := g.TopoOrder(); err != nil {
+		return len(g.tasks)
+	}
+	return g.Depth()
+}
+
+// arcSig combines a neighbour's signature with the attributes of the
+// connecting channel, so refinement distinguishes neighbours reached over
+// different message sizes or message windows.
+func (g *Graph) arcSig(tag byte, neighbour Fingerprint, src, dst TaskID) Fingerprint {
+	c, _ := g.Channel(src, dst)
+	return hashRecord(tag,
+		binary.LittleEndian.Uint64(neighbour[:8]), binary.LittleEndian.Uint64(neighbour[8:16]),
+		binary.LittleEndian.Uint64(neighbour[16:24]), binary.LittleEndian.Uint64(neighbour[24:]),
+		uint64(c.Size), uint64(c.Arrival), uint64(c.Deadline))
+}
+
+func hashRecord(tag byte, fields ...uint64) Fingerprint {
+	h := sha256.New()
+	put(h, []byte{tag})
+	var buf [8]byte
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(buf[:], f)
+		put(h, buf[:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// put feeds b to the hash; hash writes are defined to never fail.
+func put(h hash.Hash, b []byte) { _, _ = h.Write(b) }
+
+// writeSortedSigs hashes a multiset of signatures order-independently by
+// sorting a copy before feeding it to h.
+func writeSortedSigs(h hash.Hash, sigs []Fingerprint) {
+	sorted := append([]Fingerprint(nil), sigs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i][:], sorted[j][:]) < 0
+	})
+	for i := range sorted {
+		put(h, sorted[i][:])
+	}
+}
+
+// Relabel returns a copy of the graph with task IDs permuted: old task i
+// becomes new task perm[i], keeping every task parameter, arc and channel
+// attribute. perm must be a bijection on [0, NumTasks). Relabel is the
+// test oracle for Fingerprint invariance and a building block for
+// canonicalizing stored instances.
+func Relabel(g *Graph, perm []TaskID) (*Graph, error) {
+	n := g.NumTasks()
+	if len(perm) != n {
+		return nil, fmt.Errorf("taskgraph: Relabel permutation has %d entries for %d tasks", len(perm), n)
+	}
+	inv := make([]TaskID, n)
+	for i := range inv {
+		inv[i] = NoTask
+	}
+	for oldID, newID := range perm {
+		if newID < 0 || int(newID) >= n || inv[newID] != NoTask {
+			return nil, fmt.Errorf("taskgraph: Relabel permutation is not a bijection at %d→%d", oldID, newID)
+		}
+		inv[newID] = TaskID(oldID)
+	}
+	out := New(n)
+	for newID := 0; newID < n; newID++ {
+		out.AddTask(g.tasks[inv[newID]]) // AddTask overwrites the ID field
+	}
+	for _, c := range g.list {
+		if err := out.AddEdge(perm[c.Src], perm[c.Dst], c.Size); err != nil {
+			return nil, err
+		}
+		ch, _ := out.ChannelPtr(perm[c.Src], perm[c.Dst])
+		ch.Arrival, ch.Deadline = c.Arrival, c.Deadline
+	}
+	return out, nil
+}

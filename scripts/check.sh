@@ -26,6 +26,16 @@ go run ./cmd/bbvet $pat
 echo "==> go test -race $pat"
 go test -race $pat
 
+# The serving layer is always exercised under the race detector, even
+# when a narrower package pattern was passed: its cache singleflight,
+# worker-pool admission control, and drain paths are exactly the kind of
+# concurrent code where a race slips in through an "unrelated" change.
+echo "==> go vet ./internal/server ./cmd/bbserved ./cmd/bbload"
+go vet ./internal/server ./cmd/bbserved ./cmd/bbload
+
+echo "==> go test -race ./internal/server ./cmd/bbserved ./cmd/bbload"
+go test -race ./internal/server ./cmd/bbserved ./cmd/bbload
+
 # The bbdebug tag compiles O(n) invariant re-verification into every
 # Place/Undo of the scheduling operation (internal/sched/invariants.go).
 # Running the search-layer tests under it turns any state corruption —
