@@ -45,8 +45,11 @@ type (
 	Schedule = sched.Schedule
 	// Placement is one task's slot in a Schedule.
 	Placement = sched.Placement
-	// Fingerprint is the canonical digest of a Graph, invariant under task
-	// relabeling (Graph.Fingerprint computes it).
+	// Fingerprint is the relabeling-invariant digest of a Graph
+	// (Graph.Fingerprint computes it). It is built on 1-WL color
+	// refinement, so it groups isomorphic instances but is not an exact
+	// identity; use CanonicalGraph's codec bytes when two distinct
+	// instances must never be confused.
 	Fingerprint = taskgraph.Fingerprint
 )
 
@@ -54,6 +57,15 @@ type (
 // bijection (perm[old] = new). Fingerprints are invariant under it.
 func RelabelGraph(g *Graph, perm []TaskID) (*Graph, error) {
 	return taskgraph.Relabel(g, perm)
+}
+
+// CanonicalGraph returns g relabeled into canonical task order together
+// with the permutation used (perm[old] = new). The canonical graph's codec
+// bytes are an exact instance identity that is insensitive to the
+// requester's task numbering — the serving layer keys its result cache on
+// them.
+func CanonicalGraph(g *Graph) (*Graph, []TaskID, error) {
+	return g.Canonical()
 }
 
 // Solver types.

@@ -1,6 +1,8 @@
 package fuzzcheck
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -13,9 +15,12 @@ import (
 // one generator-drawn instance per seed:
 //
 //	invariance    Fingerprint(π(G)) == Fingerprint(G) for random
-//	              relabelings π (the serving cache's correctness needs
-//	              exactly this: a client's task numbering must not
-//	              fragment the cache);
+//	              relabelings π, and Canonical(π(G)) encodes to the same
+//	              bytes as Canonical(G) (the serving cache keys on those
+//	              exact canonical bytes: a client's task numbering must
+//	              not fragment the cache, and — since 1-WL refinement is
+//	              incomplete — the fingerprint alone must not be trusted
+//	              as an identity);
 //	sensitivity   a single edit to any ⟨c, φ, d, T⟩ field, a channel
 //	              attribute, or the arc set changes the digest.
 //
@@ -31,6 +36,15 @@ func CheckFingerprint(seed int64) error {
 	fp := g.Fingerprint()
 	rng := rand.New(rand.NewSource(seed * 127))
 
+	canon, _, err := g.Canonical()
+	if err != nil {
+		return fmt.Errorf("fingerprint seed %d: canonical: %w", seed, err)
+	}
+	canonBytes, err := json.Marshal(canon)
+	if err != nil {
+		return fmt.Errorf("fingerprint seed %d: encode canonical: %w", seed, err)
+	}
+
 	n := g.NumTasks()
 	for k := 0; k < 4; k++ {
 		perm := make([]taskgraph.TaskID, n)
@@ -43,6 +57,17 @@ func CheckFingerprint(seed int64) error {
 		}
 		if rg.Fingerprint() != fp {
 			return fmt.Errorf("fingerprint seed %d: digest not invariant under relabeling %v", seed, perm)
+		}
+		rcanon, _, err := rg.Canonical()
+		if err != nil {
+			return fmt.Errorf("fingerprint seed %d: canonical(relabeled): %w", seed, err)
+		}
+		rb, err := json.Marshal(rcanon)
+		if err != nil {
+			return fmt.Errorf("fingerprint seed %d: encode canonical(relabeled): %w", seed, err)
+		}
+		if !bytes.Equal(rb, canonBytes) {
+			return fmt.Errorf("fingerprint seed %d: canonical bytes not invariant under relabeling %v", seed, perm)
 		}
 	}
 

@@ -5,10 +5,14 @@
 //
 // Three mechanisms make it a daemon rather than a script runner:
 //
-//   - result cache: requests are keyed by the canonical graph fingerprint
-//     (invariant under task relabeling) plus platform and solver
-//     parameters; a sharded LRU serves repeats and singleflight collapses
-//     concurrent identical misses into one solve;
+//   - result cache: request graphs are reduced to canonical form
+//     (taskgraph.Canonical, a relabeling derived from the fingerprint's WL
+//     refinement) and keyed by a digest of the exact canonical encoding
+//     plus platform and solver parameters — label-insensitive sharing
+//     without trusting the WL digest as an identity; schedule placements
+//     are translated back to the requester's numbering before responding.
+//     A sharded LRU serves repeats and singleflight collapses concurrent
+//     identical misses into one solve;
 //   - admission control: a bounded worker pool with a bounded wait queue;
 //     overload yields an immediate 429 with Retry-After instead of a
 //     latency collapse, and every solve runs under a budget enforced both
@@ -19,6 +23,7 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -213,18 +218,40 @@ func (s *Server) badRequest(w http.ResponseWriter, m *endpointMetrics, start tim
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 }
 
+// cacheState records how a response body was obtained, for the X-Cache
+// header and the per-endpoint hit/miss counters. Deliberately uncached
+// endpoints report cacheBypass, which increments neither counter.
+type cacheState uint8
+
+const (
+	cacheMiss cacheState = iota
+	cacheHit
+	cacheBypass
+)
+
+// stateOf maps cache.do's hit flag to a cacheState.
+func stateOf(hit bool) cacheState {
+	if hit {
+		return cacheHit
+	}
+	return cacheMiss
+}
+
 // finish writes the outcome of a cache.do round-trip, mapping admission
 // errors to their status codes.
-func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Time, body []byte, hit bool, err error) {
+func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Time, body []byte, state cacheState, err error) {
 	m.latency.observe(time.Since(start))
 	switch {
 	case err == nil:
-		if hit {
+		switch state {
+		case cacheHit:
 			m.cacheHits.Add(1)
 			w.Header().Set("X-Cache", "hit")
-		} else {
+		case cacheMiss:
 			m.cacheMisses.Add(1)
 			w.Header().Set("X-Cache", "miss")
+		case cacheBypass:
+			w.Header().Set("X-Cache", "bypass")
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
@@ -263,6 +290,71 @@ func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics, start time.Tim
 	return true
 }
 
+// ---- canonical cache identity -----------------------------------------
+
+// canonGraph is a request graph reduced to canonical form for caching:
+// the relabeled graph the solver runs on, the exact cache identity (a
+// digest of the canonical codec bytes — label-insensitive because the
+// canonical order is, yet collision-free unlike the WL fingerprint alone),
+// and the inverse permutation that maps canonical task IDs back to the
+// requester's numbering.
+type canonGraph struct {
+	g        *taskgraph.Graph
+	key      string             // hex digest of the canonical encoding
+	inv      []taskgraph.TaskID // canonical ID → requester ID
+	identity bool               // request already was in canonical order
+}
+
+// canonicalize computes the canonical form of a request graph. Task names
+// are cleared on the canonical copy: they never affect scheduling or appear
+// in responses, so differently-annotated copies of one instance share a
+// cache line.
+func canonicalize(g *taskgraph.Graph) (canonGraph, error) {
+	canon, perm, err := g.Canonical()
+	if err != nil {
+		return canonGraph{}, err
+	}
+	for id := 0; id < canon.NumTasks(); id++ {
+		canon.TaskPtr(taskgraph.TaskID(id)).Name = ""
+	}
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return canonGraph{}, err
+	}
+	sum := sha256.Sum256(raw)
+	cg := canonGraph{g: canon, key: fmt.Sprintf("%x", sum), identity: true}
+	cg.inv = make([]taskgraph.TaskID, len(perm))
+	for old, canonID := range perm {
+		cg.inv[canonID] = taskgraph.TaskID(old)
+		if int(canonID) != old {
+			cg.identity = false
+		}
+	}
+	return cg, nil
+}
+
+// remapBody translates a cached response body — whose schedule placements
+// are in canonical task numbering — back to the requester's numbering.
+// placements selects the schedule slice inside the decoded response. For an
+// identity permutation the cached bytes are returned untouched, so the
+// common path stays zero-copy.
+func remapBody[R any](cg canonGraph, body []byte, placements func(*R) []sched.Placement) ([]byte, error) {
+	if cg.identity || body == nil {
+		return body, nil
+	}
+	var resp R
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("remap cached response: %w", err)
+	}
+	pls := placements(&resp)
+	for i := range pls {
+		pls[i].Task = cg.inv[pls[i].Task]
+	}
+	// Placements stay sorted by (proc, start); task IDs never tie-break
+	// there because two tasks cannot start together on one processor.
+	return json.Marshal(resp)
+}
+
 // ---- endpoints --------------------------------------------------------
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -293,8 +385,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	params.Resources.TimeLimit = budget
 
+	cg, err := canonicalize(req.Graph)
+	if err != nil {
+		s.finish(w, m, start, nil, cacheBypass, err)
+		return
+	}
 	key := fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d",
-		req.Graph.Fingerprint(), plat.M,
+		cg.key, plat.M,
 		params.Selection, params.Branching, params.Bound, params.BR,
 		req.Workers, budget)
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
@@ -305,13 +402,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 		defer cancel()
-		res, err := s.solveFn(ctx, req.Graph, plat, params, req.Workers)
+		res, err := s.solveFn(ctx, cg.g, plat, params, req.Workers)
 		if err != nil {
 			return nil, err
 		}
 		return json.Marshal(solveResponse(res))
 	})
-	s.finish(w, m, start, body, hit, err)
+	if err == nil {
+		body, err = remapBody(cg, body, func(r *SolveResponse) []sched.Placement { return r.Schedule })
+	}
+	s.finish(w, m, start, body, stateOf(hit), err)
 	s.cfg.Logf("solve m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
 }
 
@@ -341,8 +441,13 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	cg, err := canonicalize(req.Graph)
+	if err != nil {
+		s.finish(w, m, start, nil, cacheBypass, err)
+		return
+	}
 	key := fmt.Sprintf("anytime|%s|m=%d|i=%d|seed=%d|w=%d|t=%d",
-		req.Graph.Fingerprint(), plat.M, req.ImproveIters, req.Seed, req.Workers, budget)
+		cg.key, plat.M, req.ImproveIters, req.Seed, req.Workers, budget)
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
 		release, err := s.pool.acquire(s.baseCtx)
 		if err != nil {
@@ -351,7 +456,7 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 		defer cancel()
-		res, err := portfolio.SolveContext(ctx, req.Graph, plat, portfolio.Options{
+		res, err := portfolio.SolveContext(ctx, cg.g, plat, portfolio.Options{
 			Budget:       budget,
 			ImproveIters: req.ImproveIters,
 			Workers:      req.Workers,
@@ -362,7 +467,10 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.Marshal(anytimeResponse(res))
 	})
-	s.finish(w, m, start, body, hit, err)
+	if err == nil {
+		body, err = remapBody(cg, body, func(r *AnytimeResponse) []sched.Placement { return r.Schedule })
+	}
+	s.finish(w, m, start, body, stateOf(hit), err)
 	s.cfg.Logf("anytime m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
 }
 
@@ -390,14 +498,19 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 	// Polynomial-time work: cached and de-duplicated but not admitted
 	// through the worker pool — a list schedule costs less than queueing.
-	key := fmt.Sprintf("list|%s|m=%d|p=%d|x=%v", req.Graph.Fingerprint(), plat.M, pol, explicit)
+	cg, err := canonicalize(req.Graph)
+	if err != nil {
+		s.finish(w, m, start, nil, cacheBypass, err)
+		return
+	}
+	key := fmt.Sprintf("list|%s|m=%d|p=%d|x=%v", cg.key, plat.M, pol, explicit)
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
 		var res listsched.Result
 		var err error
 		if explicit {
-			res, err = listsched.Schedule(req.Graph, plat, pol)
+			res, err = listsched.Schedule(cg.g, plat, pol)
 		} else {
-			res, err = listsched.Best(req.Graph, plat)
+			res, err = listsched.Best(cg.g, plat)
 		}
 		if err != nil {
 			return nil, err
@@ -409,7 +522,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			Schedule: res.Schedule.Placements(),
 		})
 	})
-	s.finish(w, m, start, body, hit, err)
+	if err == nil {
+		body, err = remapBody(cg, body, func(r *ListResponse) []sched.Placement { return r.Schedule })
+	}
+	s.finish(w, m, start, body, stateOf(hit), err)
 	s.cfg.Logf("list m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
 }
 
@@ -430,9 +546,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("analyze|%s|m=%d", req.Graph.Fingerprint(), plat.M)
+	// The analyze response is label-free, so no placement remap is needed —
+	// but the cache identity is still the exact canonical bytes: the WL
+	// fingerprint alone could conflate WL-equivalent non-isomorphic graphs
+	// whose critical paths differ.
+	cg, err := canonicalize(req.Graph)
+	if err != nil {
+		s.finish(w, m, start, nil, cacheBypass, err)
+		return
+	}
+	key := fmt.Sprintf("analyze|%s|m=%d", cg.key, plat.M)
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
-		rep, err := analysis.Analyze(req.Graph, plat)
+		rep, err := analysis.Analyze(cg.g, plat)
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +571,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			Infeasible:   rep.Infeasible(),
 		})
 	})
-	s.finish(w, m, start, body, hit, err)
+	s.finish(w, m, start, body, stateOf(hit), err)
 	s.cfg.Logf("analyze m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
 }
 
@@ -496,7 +621,8 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Recovery is stateful (schedule + scenario vary per call), so it goes
-	// through admission control but not the cache.
+	// through admission control but not the cache — finish gets cacheBypass
+	// so the endpoint perturbs neither the hit nor the miss counter.
 	var body []byte
 	release, err := s.pool.acquire(s.baseCtx)
 	if err == nil {
@@ -514,7 +640,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 	}
-	s.finish(w, m, start, body, false, err)
+	s.finish(w, m, start, body, cacheBypass, err)
 	s.cfg.Logf("recover m=%d n=%d faults=%d %v", plat.M, req.Graph.NumTasks(), len(fs), time.Since(start))
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/listsched"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/taskgraph"
 )
 
@@ -213,7 +214,12 @@ func TestSolveCacheHit(t *testing.T) {
 }
 
 // TestSolveCacheRelabelingHit: a relabeled copy of the same DAG hits the
-// cache — the fingerprint is canonical, not ID-sensitive.
+// cache (the canonical form is ID-insensitive), AND the served schedule is
+// valid *in the requester's own numbering* — a cached body may not leak
+// another client's task IDs. scheduleFromPlacements replays the placements
+// against the relabeled graph, so a misnumbered schedule fails its
+// finish-consistency and precedence checks (exec times and deadlines differ
+// per task under the permutation).
 func TestSolveCacheRelabelingHit(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
@@ -231,13 +237,139 @@ func TestSolveCacheRelabelingHit(t *testing.T) {
 		t.Fatalf("relabel: %v", err)
 	}
 
-	resp1, _ := postJSON(t, ts.URL+"/v1/solve", solveReq(g, 4, 2000))
-	resp2, _ := postJSON(t, ts.URL+"/v1/solve", solveReq(relabeled, 4, 2000))
+	resp1, body1 := postJSON(t, ts.URL+"/v1/solve", solveReq(g, 4, 2000))
+	resp2, body2 := postJSON(t, ts.URL+"/v1/solve", solveReq(relabeled, 4, 2000))
 	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
 		t.Fatalf("status: %d / %d", resp1.StatusCode, resp2.StatusCode)
 	}
 	if got := resp2.Header.Get("X-Cache"); got != "hit" {
 		t.Fatalf("relabeled request X-Cache = %q, want hit", got)
+	}
+
+	plat := platform.New(4)
+	var sr1, sr2 SolveResponse
+	if err := json.Unmarshal(body1, &sr1); err != nil {
+		t.Fatalf("decode original response: %v", err)
+	}
+	if err := json.Unmarshal(body2, &sr2); err != nil {
+		t.Fatalf("decode relabeled response: %v", err)
+	}
+	if !sr1.Feasible || !sr2.Feasible {
+		t.Fatalf("feasible: %v / %v", sr1.Feasible, sr2.Feasible)
+	}
+	if _, err := scheduleFromPlacements(g, plat, sr1.Schedule); err != nil {
+		t.Fatalf("original schedule invalid for original graph: %v", err)
+	}
+	if _, err := scheduleFromPlacements(relabeled, plat, sr2.Schedule); err != nil {
+		t.Fatalf("cached schedule invalid for the relabeled graph: %v", err)
+	}
+	// Same instance, same solver: the objective must agree even though the
+	// task numbering does not.
+	if sr1.Lmax != sr2.Lmax || sr1.Makespan != sr2.Makespan {
+		t.Fatalf("relabeled answer diverges: Lmax %d/%d makespan %d/%d",
+			sr1.Lmax, sr2.Lmax, sr1.Makespan, sr2.Makespan)
+	}
+}
+
+// TestRelabelingRemapAllScheduleEndpoints drives the placement-remap path
+// on every schedule-bearing cached endpoint (anytime and list; solve is
+// covered above): post the instance, post a relabeled copy, and require a
+// cache hit whose schedule validates against the relabeled graph.
+func TestRelabelingRemapAllScheduleEndpoints(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := testGraph(t, 17)
+	n := g.NumTasks()
+	perm := make([]taskgraph.TaskID, n)
+	for i := range perm {
+		perm[i] = taskgraph.TaskID(n - 1 - i)
+	}
+	relabeled, err := taskgraph.Relabel(g, perm)
+	if err != nil {
+		t.Fatalf("relabel: %v", err)
+	}
+	plat := platform.New(4)
+
+	check := func(path string, reqFor func(*taskgraph.Graph) any, schedOf func([]byte) ([]sched.Placement, taskgraph.Time)) {
+		t.Helper()
+		resp1, body1 := postJSON(t, ts.URL+path, reqFor(g))
+		resp2, body2 := postJSON(t, ts.URL+path, reqFor(relabeled))
+		if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d / %d: %s", path, resp1.StatusCode, resp2.StatusCode, body2)
+		}
+		if got := resp2.Header.Get("X-Cache"); got != "hit" {
+			t.Fatalf("%s: relabeled request X-Cache = %q, want hit", path, got)
+		}
+		pls1, lmax1 := schedOf(body1)
+		pls2, lmax2 := schedOf(body2)
+		if _, err := scheduleFromPlacements(relabeled, plat, pls2); err != nil {
+			t.Fatalf("%s: cached schedule invalid for relabeled graph: %v", path, err)
+		}
+		if len(pls1) != len(pls2) || lmax1 != lmax2 {
+			t.Fatalf("%s: relabeled answer diverges: %d/%d placements, Lmax %d/%d",
+				path, len(pls1), len(pls2), lmax1, lmax2)
+		}
+	}
+
+	check("/v1/anytime",
+		func(g *taskgraph.Graph) any {
+			return AnytimeRequest{GraphRequest: GraphRequest{Graph: g, Procs: 4}, BudgetMS: 1000}
+		},
+		func(body []byte) ([]sched.Placement, taskgraph.Time) {
+			var ar AnytimeResponse
+			if err := json.Unmarshal(body, &ar); err != nil {
+				t.Fatalf("anytime decode: %v", err)
+			}
+			return ar.Schedule, ar.Lmax
+		})
+	check("/v1/list",
+		func(g *taskgraph.Graph) any {
+			return ListRequest{GraphRequest: GraphRequest{Graph: g, Procs: 4}, Policy: "edf"}
+		},
+		func(body []byte) ([]sched.Placement, taskgraph.Time) {
+			var lr ListResponse
+			if err := json.Unmarshal(body, &lr); err != nil {
+				t.Fatalf("list decode: %v", err)
+			}
+			return lr.Schedule, lr.Lmax
+		})
+}
+
+// TestRecoverCountsNeitherHitNorMiss: /v1/recover is deliberately uncached,
+// so a successful call must not skew the cache hit-rate metrics.
+func TestRecoverCountsNeitherHitNorMiss(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := testGraph(t, 19)
+	plat := platform.New(4)
+	best, err := listsched.Best(g, plat)
+	if err != nil {
+		t.Fatalf("listsched: %v", err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/recover", RecoverRequest{
+		GraphRequest: GraphRequest{Graph: g, Procs: 4},
+		Schedule:     best.Schedule.Placements(),
+		Faults:       []FaultSpec{{Kind: "proc-failure", Proc: 0, At: best.Schedule.Makespan() / 2}},
+		BudgetMS:     1000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "bypass" {
+		t.Fatalf("recover X-Cache = %q, want bypass", got)
+	}
+	ep := s.Metrics().Endpoints["recover"]
+	if ep.CacheHits != 0 || ep.CacheMisses != 0 {
+		t.Fatalf("recover counted cache traffic: hits=%d misses=%d", ep.CacheHits, ep.CacheMisses)
+	}
+	if ep.Requests != 1 || ep.Errors != 0 {
+		t.Fatalf("recover requests=%d errors=%d", ep.Requests, ep.Errors)
 	}
 }
 

@@ -10,16 +10,21 @@ import (
 	"sort"
 )
 
-// Fingerprint is a canonical 256-bit digest of a task graph: two graphs
-// that are identical up to a relabeling of task IDs produce the same
-// fingerprint, and any change to a scheduling-relevant parameter — a task's
-// ⟨c, φ, d, T⟩ tuple, an arc, or a channel's ⟨m, a, d⟩ attributes — changes
-// it (with cryptographic-hash probability). Task names are deliberately
-// excluded: they never affect scheduling.
+// Fingerprint is a relabeling-invariant 256-bit digest of a task graph:
+// two graphs that are identical up to a relabeling of task IDs produce the
+// same fingerprint, and any change to a scheduling-relevant parameter — a
+// task's ⟨c, φ, d, T⟩ tuple, an arc, or a channel's ⟨m, a, d⟩ attributes —
+// changes it in practice. Task names are deliberately excluded: they never
+// affect scheduling.
 //
-// The fingerprint is the cache identity used by the serving layer: requests
-// for the "same" instance, however the client happened to number its tasks,
-// hit the same cache line.
+// The digest is NOT a proof of isomorphism. It is built from 1-WL color
+// refinement (see Graph.Fingerprint), and 1-WL is incomplete: structurally
+// different graphs whose refinement histories coincide collide
+// deterministically, not with cryptographic-hash probability. Use the
+// fingerprint for grouping, binning and fast negative checks; anything that
+// must never confuse two distinct instances (such as a result cache) has to
+// compare exact canonical encodings — Canonical provides the canonical form
+// whose codec bytes serve as that exact identity.
 type Fingerprint [sha256.Size]byte
 
 // String renders the fingerprint as lowercase hex.
@@ -41,11 +46,44 @@ func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
 // under any permutation of task IDs by construction.
 //
 // Tasks that still share a signature after full refinement occupy
-// symmetric positions in the graph, so collapsing them into a multiset
-// loses nothing the scheduler could distinguish. As with any hash, distinct
-// graphs colliding is possible in principle but negligible in practice
-// (SHA-256 throughout).
+// either genuinely symmetric positions or positions 1-WL cannot tell apart.
+// The former is the common case on attributed scheduling DAGs; the latter
+// is the known incompleteness of color refinement, which is why the digest
+// must not be used as an exact identity (see the Fingerprint type docs).
 func (g *Graph) Fingerprint() Fingerprint {
+	n := len(g.tasks)
+	sig := g.refinedSignatures()
+
+	h := sha256.New()
+	put(h, []byte("taskgraph/fingerprint/v1"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	put(h, buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.list)))
+	put(h, buf[:])
+	writeSortedSigs(h, sig)
+
+	arcs := make([]Fingerprint, 0, len(g.list))
+	for _, c := range g.list {
+		arcs = append(arcs, hashRecord('A',
+			binary.LittleEndian.Uint64(sig[c.Src][:8]), binary.LittleEndian.Uint64(sig[c.Src][8:16]),
+			binary.LittleEndian.Uint64(sig[c.Dst][:8]), binary.LittleEndian.Uint64(sig[c.Dst][8:16]),
+			uint64(c.Size), uint64(c.Arrival), uint64(c.Deadline)))
+	}
+	writeSortedSigs(h, arcs)
+
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// refinedSignatures runs the WL color refinement to its fixpoint bound and
+// returns the final per-task signatures. The signature of a task depends
+// only on its attributes and its position in the graph, never on its ID, so
+// the slice read as a multiset is relabeling-invariant. It is shared by
+// Fingerprint (which hashes the multiset) and Canonical (which sorts tasks
+// by it).
+func (g *Graph) refinedSignatures() []Fingerprint {
 	n := len(g.tasks)
 	sig := make([]Fingerprint, n)
 	for i := range g.tasks {
@@ -79,28 +117,46 @@ func (g *Graph) Fingerprint() Fingerprint {
 		}
 		sig = next
 	}
+	return sig
+}
 
-	h := sha256.New()
-	put(h, []byte("taskgraph/fingerprint/v1"))
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(n))
-	put(h, buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.list)))
-	put(h, buf[:])
-	writeSortedSigs(h, sig)
-
-	arcs := make([]Fingerprint, 0, len(g.list))
-	for _, c := range g.list {
-		arcs = append(arcs, hashRecord('A',
-			binary.LittleEndian.Uint64(sig[c.Src][:8]), binary.LittleEndian.Uint64(sig[c.Src][8:16]),
-			binary.LittleEndian.Uint64(sig[c.Dst][:8]), binary.LittleEndian.Uint64(sig[c.Dst][8:16]),
-			uint64(c.Size), uint64(c.Arrival), uint64(c.Deadline)))
+// Canonical returns a copy of the graph relabeled into canonical task
+// order, together with the permutation that produced it (perm[old] = new).
+// Tasks are ordered by their fully refined WL signatures, so for graphs
+// whose refinement separates all non-symmetric tasks — the overwhelmingly
+// common case on attributed scheduling DAGs — any two relabelings of the
+// same instance canonicalize to byte-identical codec encodings. Those
+// canonical bytes are an *exact* identity: unlike Fingerprint, two
+// structurally different graphs can never share them.
+//
+// Ties between tasks that WL refinement cannot distinguish are broken by
+// the original task ID. When such tied tasks are interchangeable
+// (automorphic) the canonical bytes are unaffected; when they are distinct
+// positions 1-WL merely fails to separate, two relabelings of one graph may
+// canonicalize differently. That only costs a missed match for consumers
+// keying on canonical bytes — never a false one.
+func (g *Graph) Canonical() (*Graph, []TaskID, error) {
+	n := g.NumTasks()
+	sig := g.refinedSignatures()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
 	}
-	writeSortedSigs(h, arcs)
-
-	var out Fingerprint
-	h.Sum(out[:0])
-	return out
+	sort.Slice(order, func(a, b int) bool {
+		if c := bytes.Compare(sig[order[a]][:], sig[order[b]][:]); c != 0 {
+			return c < 0
+		}
+		return order[a] < order[b]
+	})
+	perm := make([]TaskID, n)
+	for rank, old := range order {
+		perm[old] = TaskID(rank)
+	}
+	canon, err := Relabel(g, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return canon, perm, nil
 }
 
 // refinementRounds returns how many refinement iterations are needed for a

@@ -1,6 +1,8 @@
 package taskgraph
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 )
@@ -152,6 +154,75 @@ func TestFingerprintNameInsensitive(t *testing.T) {
 	}
 	if g.Fingerprint() != fp {
 		t.Fatal("renaming tasks changed the fingerprint")
+	}
+}
+
+// TestCanonicalIsRelabelingOfInput pins that Canonical returns exactly
+// Relabel(g, perm): same instance, new numbering, nothing dropped.
+func TestCanonicalIsRelabelingOfInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 50; i++ {
+		g := randomDAG(rng, 2+rng.Intn(18))
+		canon, perm, err := g.Canonical()
+		if err != nil {
+			t.Fatalf("instance %d: Canonical: %v", i, err)
+		}
+		want, err := Relabel(g, perm)
+		if err != nil {
+			t.Fatalf("instance %d: Canonical returned a bad permutation %v: %v", i, perm, err)
+		}
+		cb, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cb, wb) {
+			t.Fatalf("instance %d: canonical graph is not Relabel(g, perm)", i)
+		}
+		if canon.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("instance %d: canonicalization changed the fingerprint", i)
+		}
+	}
+}
+
+// TestCanonicalBytesRelabelingInvariant is the exact-identity property the
+// serving cache keys on: any relabeling of an instance canonicalizes to
+// byte-identical codec bytes, so isomorphic requests share a cache line
+// while (unlike the WL fingerprint alone) structurally different graphs
+// never can — the key IS the encoding.
+func TestCanonicalBytesRelabelingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 60; i++ {
+		g := randomDAG(rng, 2+rng.Intn(18))
+		canon, _, err := g.Canonical()
+		if err != nil {
+			t.Fatalf("instance %d: Canonical: %v", i, err)
+		}
+		base, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			perm := randomPerm(rng, g.NumTasks())
+			rg, err := Relabel(g, perm)
+			if err != nil {
+				t.Fatalf("instance %d: Relabel: %v", i, err)
+			}
+			rcanon, _, err := rg.Canonical()
+			if err != nil {
+				t.Fatalf("instance %d: Canonical(relabeled): %v", i, err)
+			}
+			got, err := json.Marshal(rcanon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, base) {
+				t.Fatalf("instance %d perm %d: canonical bytes differ under relabeling\nperm=%v", i, k, perm)
+			}
+		}
 	}
 }
 
