@@ -1,0 +1,292 @@
+// Command bbbench measures end-to-end solver throughput on a pinned set of
+// workloads and emits machine-readable JSON, so two builds of the solver
+// can be compared case by case. scripts/bench.sh uses it for the
+// before/after perf gate: it builds this same source once against the
+// pre-PR base commit and once against the working tree, runs both, and
+// merges the two reports into BENCH_PR4.json.
+//
+// To make that possible bbbench restricts itself to the stable facade API
+// (package repro) — no internal packages, no flags that only one side
+// understands. Each case also records the optimal cost it found, so a
+// merge fails loudly if an "optimization" changed any answer.
+//
+// Modes:
+//
+//	bbbench -label after -commit <sha> -out after.json
+//	bbbench -merge before.json,after.json -out BENCH_PR4.json \
+//	        -gate lifo-df=2.0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	parabb "repro"
+)
+
+type benchCase struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	VerticesPerOp  float64 `json:"vertices_per_op"`
+	VerticesPerSec float64 `json:"vertices_per_sec"`
+	Cost           int64   `json:"cost"`
+}
+
+type report struct {
+	Label  string      `json:"label"`
+	Commit string      `json:"commit,omitempty"`
+	GoOS   string      `json:"goos"`
+	GoArch string      `json:"goarch"`
+	Cases  []benchCase `json:"cases"`
+}
+
+type mergedCase struct {
+	Name            string    `json:"name"`
+	Before          benchCase `json:"before"`
+	After           benchCase `json:"after"`
+	SpeedupVertices float64   `json:"speedup_vertices_per_sec"`
+	SpeedupWall     float64   `json:"speedup_wall"`
+	AllocsSaved     int64     `json:"allocs_saved_per_op"`
+	CostMatch       bool      `json:"cost_match"`
+}
+
+type mergedReport struct {
+	BeforeCommit string       `json:"before_commit,omitempty"`
+	AfterCommit  string       `json:"after_commit,omitempty"`
+	GoOS         string       `json:"goos"`
+	GoArch       string       `json:"goarch"`
+	Cases        []mergedCase `json:"cases"`
+}
+
+// workload returns the named pinned instance. Shapes are chosen to cover
+// the kernel's regimes: the paper's deep §4.1 graphs (long trails, wide
+// cones) and a parallelism-rich wide graph (short trails, small cones).
+func workload(name string) (*parabb.Graph, error) {
+	p := parabb.DefaultWorkload()
+	switch name {
+	case "deep16":
+		p.NMin, p.NMax = 16, 16
+	case "wide24":
+		p.NMin, p.NMax = 24, 24
+		p.DepthMin, p.DepthMax = 4, 5
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return parabb.RandomWorkload(p, 53)
+}
+
+type solveCase struct {
+	name     string
+	workload string
+	params   parabb.Params
+	ida      bool
+}
+
+// cases is the pinned suite. lifo-df is the acceptance gate's benchmark.
+var cases = []solveCase{
+	{name: "lifo-df", workload: "deep16", params: parabb.Params{Branching: parabb.BranchDF}},
+	{name: "lifo-df-wide", workload: "wide24", params: parabb.Params{Branching: parabb.BranchDF}},
+	{name: "lifo-bfn", workload: "deep16", params: parabb.Params{}},
+	{name: "llb", workload: "deep16", params: parabb.Params{Selection: parabb.SelectLLB}},
+	{name: "ida-df", workload: "deep16", params: parabb.Params{Branching: parabb.BranchDF}, ida: true},
+}
+
+func runSuite(label, commit string) (report, error) {
+	rep := report{Label: label, Commit: commit, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	plat := parabb.NewPlatform(3)
+	for _, c := range cases {
+		g, err := workload(c.workload)
+		if err != nil {
+			return report{}, err
+		}
+		var vertices uint64
+		var iters int
+		var cost int64
+		solveErr := error(nil)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			vertices, iters = 0, b.N
+			for i := 0; i < b.N; i++ {
+				var r parabb.Result
+				var err error
+				if c.ida {
+					r, err = parabb.SolveIDA(g, plat, c.params)
+				} else {
+					r, err = parabb.Solve(g, plat, c.params)
+				}
+				if err != nil {
+					solveErr = err
+					b.FailNow()
+				}
+				vertices += uint64(r.Stats.Generated)
+				cost = int64(r.Cost)
+			}
+		})
+		if solveErr != nil {
+			return report{}, fmt.Errorf("case %s: %w", c.name, solveErr)
+		}
+		nsOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		rep.Cases = append(rep.Cases, benchCase{
+			Name:           c.name,
+			NsPerOp:        nsOp,
+			AllocsPerOp:    res.AllocsPerOp(),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			VerticesPerOp:  float64(vertices) / float64(iters),
+			VerticesPerSec: float64(vertices) / res.T.Seconds(),
+			Cost:           cost,
+		})
+		fmt.Fprintf(os.Stderr, "%-14s %12.0f ns/op %10.0f vertices/s %8d allocs/op\n",
+			c.name, nsOp, float64(vertices)/res.T.Seconds(), res.AllocsPerOp())
+	}
+	return rep, nil
+}
+
+func readReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// merge combines a before and an after report and enforces the gates.
+// gates maps case name → minimum vertices/sec speedup.
+func merge(beforePath, afterPath string, gates map[string]float64) (mergedReport, error) {
+	before, err := readReport(beforePath)
+	if err != nil {
+		return mergedReport{}, err
+	}
+	after, err := readReport(afterPath)
+	if err != nil {
+		return mergedReport{}, err
+	}
+	byName := make(map[string]benchCase, len(before.Cases))
+	for _, c := range before.Cases {
+		byName[c.Name] = c
+	}
+	out := mergedReport{
+		BeforeCommit: before.Commit, AfterCommit: after.Commit,
+		GoOS: after.GoOS, GoArch: after.GoArch,
+	}
+	var failures []string
+	for _, a := range after.Cases {
+		b, ok := byName[a.Name]
+		if !ok {
+			continue // case absent in the base build
+		}
+		m := mergedCase{
+			Name: a.Name, Before: b, After: a,
+			SpeedupVertices: a.VerticesPerSec / b.VerticesPerSec,
+			SpeedupWall:     b.NsPerOp / a.NsPerOp,
+			AllocsSaved:     b.AllocsPerOp - a.AllocsPerOp,
+			CostMatch:       a.Cost == b.Cost,
+		}
+		if !m.CostMatch {
+			failures = append(failures, fmt.Sprintf("case %s: cost changed %d → %d", a.Name, b.Cost, a.Cost))
+		}
+		if min, gated := gates[a.Name]; gated && m.SpeedupVertices < min {
+			failures = append(failures, fmt.Sprintf("case %s: %.2fx vertices/sec, gate requires %.2fx",
+				a.Name, m.SpeedupVertices, min))
+		}
+		out.Cases = append(out.Cases, m)
+	}
+	if len(failures) > 0 {
+		return out, fmt.Errorf("bench gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return out, nil
+}
+
+func parseGates(s string) (map[string]float64, error) {
+	gates := make(map[string]float64)
+	if s == "" {
+		return gates, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad gate %q (want case=minSpeedup)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad gate %q: %w", part, err)
+		}
+		gates[name] = f
+	}
+	return gates, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "-", "output path for the JSON report (- for stdout)")
+		label     = flag.String("label", "run", "report label (e.g. before, after)")
+		commit    = flag.String("commit", "", "commit hash to record in the report")
+		mergeArg  = flag.String("merge", "", "merge mode: before.json,after.json")
+		gatesArg  = flag.String("gate", "", "merge gates, e.g. lifo-df=2.0,llb=1.5")
+		listCases = flag.Bool("list", false, "list case names and exit")
+	)
+	flag.Parse()
+
+	if *listCases {
+		for _, c := range cases {
+			fmt.Println(c.name)
+		}
+		return
+	}
+	if *mergeArg != "" {
+		beforePath, afterPath, ok := strings.Cut(*mergeArg, ",")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "bbbench: -merge wants before.json,after.json")
+			os.Exit(2)
+		}
+		gates, err := parseGates(*gatesArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbbench:", err)
+			os.Exit(2)
+		}
+		merged, err := merge(beforePath, afterPath, gates)
+		if werr := writeJSON(*out, merged); werr != nil {
+			fmt.Fprintln(os.Stderr, "bbbench:", werr)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := runSuite(*label, *commit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbbench:", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bbbench:", err)
+		os.Exit(1)
+	}
+}

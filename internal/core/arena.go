@@ -1,0 +1,54 @@
+package core
+
+// vertexArena allocates search-tree vertices from chunked slabs owned by
+// one search, replacing one GC-tracked allocation per surviving child with
+// one per arenaChunk children. Beyond the allocation count, the slab layout
+// keeps the pointer-dense search tree in large contiguous blocks, so the
+// collector scans a handful of slices instead of millions of individual
+// nodes, and the LIFO dive's parent chains stay cache-local.
+//
+// Lifetime rules:
+//
+//   - Vertices are never freed individually. A vertex handed out by alloc
+//     remains valid until release is called (or the arena becomes
+//     unreachable), even if the vertex itself has long been popped and
+//     pruned — parent pointers of live vertices may still reach it.
+//   - release drops every chunk at once; it must only be called when the
+//     search owning the arena has fully terminated. The parallel solver's
+//     workers each own an arena and donate vertices across worker
+//     boundaries, so worker arenas are simply abandoned to the collector
+//     when the whole search ends rather than released mid-flight.
+//   - An arena is not safe for concurrent use; each searcher owns its own.
+type vertexArena struct {
+	chunks [][]vertex
+	n      int
+}
+
+// arenaChunk is the slab size in vertices (~56 KiB per chunk at the
+// current vertex layout): large enough to amortize the slab allocation to
+// noise, small enough that an easy instance does not overshoot.
+const arenaChunk = 1024
+
+// alloc returns a pointer to a zeroed vertex inside the current slab,
+// growing the arena by one slab when full.
+func (a *vertexArena) alloc() *vertex {
+	last := len(a.chunks) - 1
+	if last < 0 || len(a.chunks[last]) == cap(a.chunks[last]) {
+		a.chunks = append(a.chunks, make([]vertex, 0, arenaChunk))
+		last++
+	}
+	c := append(a.chunks[last], vertex{})
+	a.chunks[last] = c
+	a.n++
+	return &c[len(c)-1]
+}
+
+// allocated returns the number of vertices handed out since the last
+// release.
+func (a *vertexArena) allocated() int { return a.n }
+
+// release drops every slab wholesale. Callers must guarantee no vertex
+// from this arena is referenced afterwards.
+func (a *vertexArena) release() {
+	a.chunks, a.n = nil, 0
+}

@@ -116,6 +116,15 @@ type idaSolver struct {
 	stats    Stats
 
 	readyBufs [][]taskgraph.TaskID // per-depth scratch (avoids aliasing)
+	kidBufs   [][]idaChild         // per-depth child scratch, same aliasing rule
+}
+
+// idaChild is one bounded-but-not-yet-explored child of the current probe
+// frame: enough to re-place it after ChildOrder sorting.
+type idaChild struct {
+	id taskgraph.TaskID
+	q  platform.Proc
+	lb taskgraph.Time
 }
 
 func (s *idaSolver) pruneLimit() taskgraph.Time {
@@ -133,6 +142,7 @@ func (s *idaSolver) pruneLimit() taskgraph.Time {
 func (s *idaSolver) run() {
 	n := s.g.NumTasks()
 	s.readyBufs = make([][]taskgraph.TaskID, n+1)
+	s.kidBufs = make([][]idaChild, n+1)
 	s.threshold = s.bnd.bound(s.st) // bound of the empty schedule
 
 	for {
@@ -170,24 +180,33 @@ func (s *idaSolver) probe() bool {
 	s.readyBufs[depth] = tasks // keep grown capacity
 
 	n := s.g.NumTasks()
-	type child struct {
-		id taskgraph.TaskID
-		q  platform.Proc
-		lb taskgraph.Time
-	}
 	// Bound all children first (so ChildOrder can sort), then recurse.
-	var kids []child
+	// The probe is the expansion of the current state, so the optimized
+	// kernel snapshots here; the bound phase completes before any
+	// recursion, so deeper probes re-snapshotting is safe, and every
+	// bound is exact — the threshold bookkeeping below sees the same
+	// values the reference kernel would produce.
+	ref := s.p.ReferenceKernel
+	if !ref {
+		s.bnd.beginExpand(s.st)
+	}
+	kids := s.kidBufs[depth][:0]
 	for _, id := range tasks {
 		for q := 0; q < s.plat.M; q++ {
 			s.st.Place(id, platform.Proc(q))
-			lb := s.bnd.bound(s.st)
+			var lb taskgraph.Time
+			if ref {
+				lb = s.bnd.bound(s.st)
+			} else {
+				lb = s.bnd.boundChild(s.st, id)
+			}
 			s.stats.Generated++
 
 			if s.st.NumPlaced() == n {
 				s.stats.Goals++
 				if lb < s.incCost {
 					s.incCost = lb
-					s.incSeq = append(s.incSeq[:0], s.st.Placements()...)
+					s.incSeq = s.st.AppendPlacements(s.incSeq[:0])
 					s.stats.IncumbentUpdates++
 				}
 				s.st.Undo()
@@ -203,11 +222,12 @@ func (s *idaSolver) probe() bool {
 					s.nextThr = lb
 				}
 			default:
-				kids = append(kids, child{id: id, q: platform.Proc(q), lb: lb})
+				kids = append(kids, idaChild{id: id, q: platform.Proc(q), lb: lb})
 			}
 			s.st.Undo()
 		}
 	}
+	s.kidBufs[depth] = kids // keep grown capacity
 	if s.p.ChildOrder == ChildrenByLowerBound {
 		for i := 1; i < len(kids); i++ {
 			for j := i; j > 0 && kids[j-1].lb > kids[j].lb; j-- {

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// materialize rebuilds st to hold exactly v's partial schedule by diffing
+// v's ancestor chain against whatever partial schedule st currently holds,
+// instead of resetting and replaying the full chain: the longest common
+// prefix of the two placement sequences is kept, the divergent tail is
+// undone, and only v's suffix is placed. A placement sequence fully
+// determines the schedule state, so matching (task, proc) pairs position
+// by position is sufficient — equal prefixes are interchangeable even
+// between unrelated vertices.
+//
+// Under LIFO selection (and the parallel workers' dive loops) consecutive
+// expansions share all but O(branching factor) of their chains, turning
+// the O(depth) full replay per expansion into O(1) amortized; FIFO and
+// LLB still benefit whenever consecutive selections share ancestry.
+//
+// chain is a reusable scratch buffer; the (possibly grown) buffer is
+// returned for the caller to keep. materialize panics when placing the
+// suffix disagrees with the start/finish times recorded in the vertices —
+// replaying our own placements cannot legally fail (the same contract as
+// State.Replay, which the reference kernel uses).
+func materialize(st *sched.State, v *vertex, chain []*vertex) []*vertex {
+	chain = chain[:0]
+	for w := v; w.parent != nil; w = w.parent {
+		chain = append(chain, w)
+	}
+	// chain[depth-1-i] is v's ancestor at trail position i.
+	depth := len(chain)
+
+	common, limit := 0, st.Depth()
+	if depth < limit {
+		limit = depth
+	}
+	for common < limit {
+		w := chain[depth-1-common]
+		if e := st.TrailEntry(common); e.Task != w.task || e.Proc != w.proc {
+			break
+		}
+		common++
+	}
+	st.TruncateTo(common)
+	for i := depth - 1 - common; i >= 0; i-- {
+		w := chain[i]
+		pl := st.Place(w.task, w.proc)
+		if pl.Start != w.start || pl.Finish != w.finish {
+			panic(fmt.Sprintf("core: incremental materialization diverged for task %d on p%d: vertex records [%d,%d), operation yields [%d,%d)",
+				w.task, w.proc, w.start, w.finish, pl.Start, pl.Finish))
+		}
+	}
+	return chain
+}

@@ -245,16 +245,21 @@ func (ps *parSolver) run() (err error) {
 	return nil
 }
 
-// parWorker is one search goroutine's private machinery.
+// parWorker is one search goroutine's private machinery. Each worker owns
+// a private arena; donated vertices stay valid across worker boundaries
+// because no arena is released before the whole search terminates (see
+// vertexArena's lifetime rules).
 type parWorker struct {
 	ps    *parSolver
 	st    *sched.State
 	bnd   *bounder
 	br    *brancher
 	stack []*vertex
+	arena vertexArena
 
 	plBuf    []sched.Placement
 	readyBuf []taskgraph.TaskID
+	chainBuf []*vertex
 	seq      uint64
 	iter     int
 }
@@ -288,19 +293,32 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 	if testHookExpand != nil {
 		testHookExpand(v)
 	}
-	w.plBuf = v.placements(w.plBuf[:0])
-	if err := w.st.Replay(w.plBuf); err != nil {
-		return nil, err
+	ref := ps.p.ReferenceKernel
+	if ref {
+		w.plBuf = v.placements(w.plBuf[:0])
+		if err := w.st.Replay(w.plBuf); err != nil {
+			return nil, err
+		}
+	} else {
+		w.chainBuf = materialize(w.st, v, w.chainBuf)
 	}
 	ps.expanded.Add(1)
 
 	n := int32(ps.g.NumTasks())
+	if !ref {
+		w.bnd.beginExpand(w.st)
+	}
 	var kids []*vertex
 	w.readyBuf = w.br.tasks(w.st, w.readyBuf[:0])
 	for _, id := range w.readyBuf {
 		for q := 0; q < ps.plat.M; q++ {
 			pl := w.st.Place(id, platform.Proc(q))
-			lb := w.bnd.bound(w.st)
+			var lb taskgraph.Time
+			if ref {
+				lb = w.bnd.bound(w.st)
+			} else {
+				lb = w.bnd.boundChild(w.st, id)
+			}
 			ps.generated.Add(1)
 			w.seq++
 
@@ -315,10 +333,17 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 				w.st.Undo()
 				continue
 			}
-			kids = append(kids, &vertex{
+			var k *vertex
+			if ref {
+				k = &vertex{}
+			} else {
+				k = w.arena.alloc()
+			}
+			*k = vertex{
 				parent: v, lb: lb, start: pl.Start, finish: pl.Finish,
 				seq: w.seq, task: id, proc: platform.Proc(q), level: v.level + 1,
-			})
+			}
+			kids = append(kids, k)
 			w.st.Undo()
 		}
 	}
@@ -355,7 +380,7 @@ func (w *parWorker) tryAdoptIncumbent(cost taskgraph.Time) {
 	// Another goal may have won the race with an even better cost since our
 	// CAS; only record the sequence if we still match the best cost.
 	if int64(cost) == ps.incCost.Load() {
-		ps.incSeq = append(ps.incSeq[:0], w.st.Placements()...)
+		ps.incSeq = w.st.AppendPlacements(ps.incSeq[:0])
 	}
 	ps.incMu.Unlock()
 }

@@ -124,6 +124,8 @@ type solver struct {
 	plBuf    []sched.Placement
 	readyBuf []taskgraph.TaskID
 	children []*vertex
+	chainBuf []*vertex
+	arena    vertexArena
 }
 
 // Solve runs the parametrized branch-and-bound algorithm of Figure 1 with
@@ -200,6 +202,7 @@ func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platfor
 		s.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	s.runRecovering()
+	s.arena.release() // the search tree is dead; drop its slabs wholesale
 	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 
 	res, err := s.result()
@@ -284,10 +287,17 @@ func (s *solver) run() {
 			continue
 		}
 
-		// Materialize the vertex's partial schedule.
-		s.plBuf = v.placements(s.plBuf[:0])
-		if err := s.st.Replay(s.plBuf); err != nil {
-			panic(fmt.Errorf("core: vertex replay: %w", err)) // replay of our own placements cannot legally fail
+		// Materialize the vertex's partial schedule: the reference kernel
+		// resets and replays the full ancestor chain, the optimized kernel
+		// diffs the chain against the state's current trail and touches
+		// only the divergent suffix.
+		if s.p.ReferenceKernel {
+			s.plBuf = v.placements(s.plBuf[:0])
+			if err := s.st.Replay(s.plBuf); err != nil {
+				panic(fmt.Errorf("core: vertex replay: %w", err)) // replay of our own placements cannot legally fail
+			}
+		} else {
+			s.chainBuf = materialize(s.st, v, s.chainBuf)
 		}
 		s.stats.Expanded++
 		var parentSeq uint64
@@ -296,13 +306,25 @@ func (s *solver) run() {
 		}
 		s.emit(EventExpand, v.seq, parentSeq, v.task, v.proc, v.level, v.lb)
 
-		// Step 6–7: branch and bound the children.
+		// Step 6–7: branch and bound the children. The optimized kernel
+		// bounds each child against the parent snapshot by the cone
+		// factorization — always exact, so events, LLB order, and child
+		// sorting cannot diverge from the reference kernel.
+		ref := s.p.ReferenceKernel
+		if !ref {
+			s.bnd.beginExpand(s.st)
+		}
 		s.children = s.children[:0]
 		s.readyBuf = s.br.tasks(s.st, s.readyBuf[:0])
 		for _, id := range s.readyBuf {
 			for q := 0; q < s.plat.M; q++ {
 				pl := s.st.Place(id, platform.Proc(q))
-				lb := s.bnd.bound(s.st)
+				var lb taskgraph.Time
+				if ref {
+					lb = s.bnd.bound(s.st)
+				} else {
+					lb = s.bnd.boundChild(s.st, id)
+				}
 				s.stats.Generated++
 				s.seq++
 
@@ -330,10 +352,17 @@ func (s *solver) run() {
 					s.st.Undo()
 					continue
 				}
-				s.children = append(s.children, &vertex{
+				var k *vertex
+				if ref {
+					k = &vertex{}
+				} else {
+					k = s.arena.alloc()
+				}
+				*k = vertex{
 					parent: v, lb: lb, start: pl.Start, finish: pl.Finish,
 					seq: s.seq, task: id, proc: platform.Proc(q), level: v.level + 1,
-				})
+				}
+				s.children = append(s.children, k)
 				s.emit(EventGenerate, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 				s.st.Undo()
 			}
@@ -351,7 +380,7 @@ func (s *solver) run() {
 // solution and applies the elimination rule E_U/DBAS to the active set.
 func (s *solver) adoptIncumbent(cost taskgraph.Time) {
 	s.incCost = cost
-	s.incSeq = append(s.incSeq[:0], s.st.Placements()...)
+	s.incSeq = s.st.AppendPlacements(s.incSeq[:0])
 	s.stats.IncumbentUpdates++
 	s.stats.PrunedActive += int64(s.as.pruneAbove(s.pruneLimit()))
 }
@@ -374,9 +403,9 @@ func (s *solver) insertChildren() {
 	switch {
 	case s.p.ChildOrder == ChildrenByLowerBound && s.p.Selection == SelectLIFO:
 		// Pop order = ascending lb ⇒ push descending.
-		sort.SliceStable(kids, func(i, j int) bool { return kids[i].lb > kids[j].lb })
+		sortChildrenByLB(kids, true)
 	case s.p.ChildOrder == ChildrenByLowerBound:
-		sort.SliceStable(kids, func(i, j int) bool { return kids[i].lb < kids[j].lb })
+		sortChildrenByLB(kids, false)
 	case s.p.Selection == SelectLIFO:
 		// Pop order = generation order ⇒ push reversed.
 		for i, j := 0, len(kids)-1; i < j; i, j = i+1, j-1 {
@@ -399,6 +428,27 @@ func (s *solver) insertChildren() {
 			if dropped.lb < s.pruneLimit() {
 				s.lost = true
 			}
+		}
+	}
+}
+
+// sortChildrenByLB is a stable insertion sort on the lower bound
+// (descending when desc is set). Child lists are branching-factor sized,
+// where insertion sort wins outright — and unlike sort.SliceStable it
+// allocates nothing, which keeps the steady-state dive loop allocation
+// free. Stability matters: equal-bound children must keep generation
+// order, the documented ChildrenByLowerBound tie-break.
+func sortChildrenByLB(kids []*vertex, desc bool) {
+	for i := 1; i < len(kids); i++ {
+		for j := i; j > 0; j-- {
+			if desc {
+				if kids[j-1].lb >= kids[j].lb {
+					break
+				}
+			} else if kids[j-1].lb <= kids[j].lb {
+				break
+			}
+			kids[j-1], kids[j] = kids[j], kids[j-1]
 		}
 	}
 }

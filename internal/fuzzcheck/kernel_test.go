@@ -1,0 +1,62 @@
+package fuzzcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelCampaign is the PR-4 acceptance check: the optimized kernel
+// must be trajectory-identical to the reference kernel across ≥200 fuzzed
+// (instance, strategy) pairs spanning LIFO/FIFO/LLB × LB0/LB1 × BFn/BF1/DF
+// plus BR, dominance, child ordering, and MAXSZAS.
+func TestKernelCampaign(t *testing.T) {
+	cfg := DefaultKernelConfig()
+	if testing.Short() {
+		cfg.Instances = 5
+	}
+	res, err := RunKernel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testing.Short() && res.Checked < 200 {
+		t.Fatalf("only %d (combo, instance) pairs fully checked, want >= 200 (%d skipped)",
+			res.Checked, res.Skipped)
+	}
+	t.Logf("kernel campaign: %d pairs checked, %d skipped", res.Checked, res.Skipped)
+}
+
+// TestKernelCampaignSecondSeedRange varies the seed window and processor
+// count so the nightly-ish run does not fossilize on one instance family.
+func TestKernelCampaignSecondSeedRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestKernelCampaign in short mode")
+	}
+	cfg := KernelConfig{
+		Instances: 8, Seed: 91_000, MaxTasks: 9, Procs: 2,
+		Budget: 5 * time.Second,
+	}
+	var lines int
+	cfg.Logf = func(string, ...interface{}) { lines++ }
+	res, err := RunKernel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != cfg.Instances {
+		t.Fatalf("Logf called %d times, want %d", lines, cfg.Instances)
+	}
+	if res.Checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+func TestBadKernelConfigRejected(t *testing.T) {
+	for _, cfg := range []KernelConfig{
+		{Instances: 0, MaxTasks: 10, Procs: 2},
+		{Instances: 1, MaxTasks: 4, Procs: 2},
+		{Instances: 1, MaxTasks: 10, Procs: 0},
+	} {
+		if _, err := RunKernel(cfg); err == nil {
+			t.Errorf("bad kernel config accepted: %+v", cfg)
+		}
+	}
+}

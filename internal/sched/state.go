@@ -33,6 +33,16 @@ type State struct {
 	lmax     taskgraph.Time   // max lateness over placed tasks
 	placed   int
 
+	// predMsg[id][k] is the message size on the arc Preds(id)[k] → id,
+	// flattened out of the graph's channel map at construction: EST sits on
+	// the innermost search loop, and a map lookup per predecessor edge per
+	// Place dominates its cost. arrival/exec/absDl likewise flatten the
+	// per-task constants out of the Task struct copies.
+	predMsg [][]taskgraph.Time
+	arrival []taskgraph.Time
+	exec    []taskgraph.Time
+	absDl   []taskgraph.Time
+
 	// trail records the information needed to revert each Place.
 	trail []trailEntry
 }
@@ -63,6 +73,23 @@ func NewState(g *taskgraph.Graph, p platform.Platform) *State {
 		procFree: make([]taskgraph.Time, p.M),
 		remPreds: make([]int32, n),
 		trail:    make([]trailEntry, 0, n),
+		predMsg:  make([][]taskgraph.Time, n),
+		arrival:  make([]taskgraph.Time, n),
+		exec:     make([]taskgraph.Time, n),
+		absDl:    make([]taskgraph.Time, n),
+	}
+	for id := 0; id < n; id++ {
+		t := g.Task(taskgraph.TaskID(id))
+		s.arrival[id], s.exec[id], s.absDl[id] = t.Arrival(), t.Exec, t.AbsDeadline()
+		preds := g.Preds(taskgraph.TaskID(id))
+		if len(preds) == 0 {
+			continue
+		}
+		msgs := make([]taskgraph.Time, len(preds))
+		for k, pred := range preds {
+			msgs[k] = g.MessageSize(pred, taskgraph.TaskID(id))
+		}
+		s.predMsg[id] = msgs
 	}
 	s.Reset()
 	return s
@@ -145,10 +172,9 @@ func (s *State) ReadyTasks(buf []taskgraph.TaskID) []taskgraph.TaskID {
 // predecessors silently ignores them and is a caller bug. The search layers
 // only call it on ready tasks.
 func (s *State) EST(id taskgraph.TaskID, q platform.Proc) taskgraph.Time {
-	t := s.G.Task(id)
-	est := t.Arrival()
-	for _, pred := range s.G.Preds(id) {
-		ready := s.finish[pred] + s.P.CommCost(s.proc[pred], q, s.G.MessageSize(pred, id))
+	est := s.arrival[id]
+	for k, pred := range s.G.Preds(id) {
+		ready := s.finish[pred] + s.P.CommCost(s.proc[pred], q, s.predMsg[id][k])
 		if ready > est {
 			est = ready
 		}
@@ -171,7 +197,7 @@ func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 		panic(fmt.Sprintf("sched: Place(%d) on invalid processor %d", id, q))
 	}
 	start := s.EST(id, q)
-	finish := start + s.G.Task(id).Exec
+	finish := start + s.exec[id]
 
 	s.trail = append(s.trail, trailEntry{
 		task: id, proc: q, prevProcFree: s.procFree[q], prevLmax: s.lmax,
@@ -185,7 +211,7 @@ func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	for _, succ := range s.G.Succs(id) {
 		s.remPreds[succ]--
 	}
-	if lat := finish - s.G.Task(id).AbsDeadline(); lat > s.lmax {
+	if lat := finish - s.absDl[id]; lat > s.lmax {
 		s.lmax = lat
 	}
 	if debugAsserts {
@@ -215,6 +241,36 @@ func (s *State) Undo() {
 // unless the caller mixed Reset styles).
 func (s *State) Depth() int { return len(s.trail) }
 
+// TrailView is the caller-visible projection of one trail entry: which
+// task was placed on which processor at that depth. Search layers diff
+// the trail against a vertex's ancestor chain to find the fork point of
+// an incremental re-materialization — because a placement sequence fully
+// determines the schedule state, two prefixes with equal (task, proc)
+// pairs are interchangeable.
+type TrailView struct {
+	Task taskgraph.TaskID
+	Proc platform.Proc
+}
+
+// TrailEntry returns the i-th placement on the trail (0 = placed first).
+// The index must be in [0, Depth()).
+func (s *State) TrailEntry(i int) TrailView {
+	e := s.trail[i]
+	return TrailView{Task: e.task, Proc: e.proc}
+}
+
+// TruncateTo undoes the most recent Places until only the first depth
+// placements remain on the trail. It panics when depth exceeds the
+// current trail depth — truncation can only shrink a schedule.
+func (s *State) TruncateTo(depth int) {
+	if depth < 0 || depth > len(s.trail) {
+		panic(fmt.Sprintf("sched: TruncateTo(%d) outside trail depth %d", depth, len(s.trail)))
+	}
+	for len(s.trail) > depth {
+		s.Undo()
+	}
+}
+
 // Snapshot copies the current partial schedule into a standalone Schedule.
 func (s *State) Snapshot() *Schedule {
 	out := NewSchedule(s.G, s.P)
@@ -230,11 +286,18 @@ func (s *State) Snapshot() *Schedule {
 // (the trail order), suitable for Replay on a fresh state. The result is
 // freshly allocated.
 func (s *State) Placements() []Placement {
-	out := make([]Placement, len(s.trail))
-	for i, e := range s.trail {
-		out[i] = Placement{Task: e.task, Proc: e.proc, Start: s.start[e.task], Finish: s.finish[e.task]}
+	return s.AppendPlacements(make([]Placement, 0, len(s.trail)))
+}
+
+// AppendPlacements appends the placement sequence (trail order) to buf and
+// returns it, allocating only when buf lacks capacity. It is the
+// allocation-free counterpart of Placements for hot paths that record
+// incumbents repeatedly into a reused buffer.
+func (s *State) AppendPlacements(buf []Placement) []Placement {
+	for _, e := range s.trail {
+		buf = append(buf, Placement{Task: e.task, Proc: e.proc, Start: s.start[e.task], Finish: s.finish[e.task]})
 	}
-	return out
+	return buf
 }
 
 // Replay resets the state and re-applies the given placements in order,

@@ -291,3 +291,111 @@ func BenchmarkStatePlaceUndo(b *testing.B) {
 		}
 	}
 }
+
+func TestTrailEntryAndTruncateTo(t *testing.T) {
+	g := taskgraph.ForkJoin(4, 3, 2)
+	p := platform.New(2)
+	s := NewState(g, p)
+	var seq []Placement
+	rng := rand.New(rand.NewSource(7))
+	for {
+		ready := s.ReadyTasks(nil)
+		if len(ready) == 0 {
+			break
+		}
+		id := ready[rng.Intn(len(ready))]
+		q := platform.Proc(rng.Intn(p.M))
+		seq = append(seq, s.Place(id, q))
+	}
+	if s.Depth() != len(seq) {
+		t.Fatalf("Depth = %d, want %d", s.Depth(), len(seq))
+	}
+	for i, pl := range seq {
+		e := s.TrailEntry(i)
+		if e.Task != pl.Task || e.Proc != pl.Proc {
+			t.Fatalf("TrailEntry(%d) = %+v, want task %d proc %d", i, e, pl.Task, pl.Proc)
+		}
+	}
+	// Truncating to depth k must leave a state identical to replaying the
+	// k-placement prefix from scratch.
+	for k := len(seq); k >= 0; k-- {
+		s.TruncateTo(k)
+		if s.Depth() != k || s.NumPlaced() != k {
+			t.Fatalf("after TruncateTo(%d): Depth=%d NumPlaced=%d", k, s.Depth(), s.NumPlaced())
+		}
+		fresh := NewState(g, p)
+		if err := fresh.Replay(seq[:k]); err != nil {
+			t.Fatalf("replay prefix %d: %v", k, err)
+		}
+		if fresh.Lmax() != s.Lmax() {
+			t.Fatalf("TruncateTo(%d): Lmax %d != replay %d", k, s.Lmax(), fresh.Lmax())
+		}
+		for q := 0; q < p.M; q++ {
+			if fresh.ProcFree(platform.Proc(q)) != s.ProcFree(platform.Proc(q)) {
+				t.Fatalf("TruncateTo(%d): procFree[%d] mismatch", k, q)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncateTo above the trail depth did not panic")
+		}
+	}()
+	s.TruncateTo(1)
+}
+
+func TestAppendPlacementsMatchesPlacements(t *testing.T) {
+	g := taskgraph.LadderGraph(4, 2, 1)
+	p := platform.New(3)
+	s := NewState(g, p)
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]Placement, 0, g.NumTasks())
+	for {
+		ready := s.ReadyTasks(nil)
+		if len(ready) == 0 {
+			break
+		}
+		s.Place(ready[rng.Intn(len(ready))], platform.Proc(rng.Intn(p.M)))
+
+		want := s.Placements()
+		buf = s.AppendPlacements(buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("AppendPlacements len %d, want %d", len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("AppendPlacements[%d] = %+v, want %+v", i, buf[i], want[i])
+			}
+		}
+	}
+	// Reusing a buffer with capacity must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendPlacements(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendPlacements allocated %.1f times per run with a warm buffer", allocs)
+	}
+}
+
+// TestESTFieldCachesMatchGraph guards the flat predMsg/arrival/exec/absDl
+// caches NewState builds: they exist so EST and Place never chase Graph
+// maps on the hot path, and they must mirror the graph exactly.
+func TestESTFieldCachesMatchGraph(t *testing.T) {
+	g := taskgraph.ForkJoin(5, 4, 3)
+	s := NewState(g, platform.New(2))
+	for id := 0; id < g.NumTasks(); id++ {
+		task := g.Task(taskgraph.TaskID(id))
+		if s.arrival[id] != task.Arrival() || s.exec[id] != task.Exec || s.absDl[id] != task.AbsDeadline() {
+			t.Fatalf("task %d: cached fields diverge from graph", id)
+		}
+		preds := g.Preds(taskgraph.TaskID(id))
+		if len(s.predMsg[id]) != len(preds) {
+			t.Fatalf("task %d: predMsg len %d, want %d", id, len(s.predMsg[id]), len(preds))
+		}
+		for k, pred := range preds {
+			if s.predMsg[id][k] != g.MessageSize(pred, taskgraph.TaskID(id)) {
+				t.Fatalf("task %d pred %d: cached message size diverges", id, pred)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Before/after perf gate for the B&B kernel.
+#
+# The in-tree BenchmarkKernelSolve compares the optimized kernel against
+# Params.ReferenceKernel, but both sides share whatever State-level caching
+# the working tree has, so it understates the real win. This script measures
+# the honest number: it builds cmd/bbbench (facade-only, so the same source
+# compiles against older revisions) twice — once in a detached worktree at
+# the base commit, once from the working tree — runs the identical pinned
+# suite with both binaries, and merges the two reports into BENCH_PR4.json
+# with per-case speedups and cost-match checks.
+#
+# Usage: scripts/bench.sh [out.json]        (default: BENCH_PR4.json)
+# Env:   BENCH_BASE=<rev>   base revision to build "before" at (default: the
+#                           last commit that predates cmd/bbbench, falling
+#                           back to HEAD)
+#        BENCH_GATE=<spec>  bbbench -gate spec (default: lifo-df=2.0)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+gate="${BENCH_GATE:-lifo-df=2.0}"
+
+# Default the base to the newest commit that does NOT contain cmd/bbbench:
+# the last pre-PR state of the kernel. Explicit BENCH_BASE always wins.
+if [ -z "${BENCH_BASE:-}" ]; then
+    BENCH_BASE=$(git log --format=%H -- cmd/bbbench | tail -n 1)
+    if [ -n "$BENCH_BASE" ]; then
+        BENCH_BASE="${BENCH_BASE}^"
+    else
+        BENCH_BASE=HEAD
+    fi
+fi
+base_sha=$(git rev-parse --short "$BENCH_BASE")
+head_sha=$(git rev-parse --short HEAD)
+
+tmp=$(mktemp -d)
+worktree="$tmp/base"
+cleanup() {
+    git worktree remove --force "$worktree" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building after-bbbench from working tree ($head_sha + local changes)"
+go build -o "$tmp/bbbench-after" ./cmd/bbbench
+
+echo "==> building before-bbbench at $base_sha"
+git worktree add --detach "$worktree" "$BENCH_BASE" >/dev/null
+# The base tree predates cmd/bbbench; graft the current harness source in.
+# bbbench only imports the facade, which is stable across the two trees.
+mkdir -p "$worktree/cmd/bbbench"
+cp cmd/bbbench/main.go "$worktree/cmd/bbbench/"
+(cd "$worktree" && go build -o "$tmp/bbbench-before" ./cmd/bbbench)
+
+echo "==> running before suite"
+"$tmp/bbbench-before" -label before -commit "$base_sha" -out "$tmp/before.json"
+
+echo "==> running after suite"
+"$tmp/bbbench-after" -label after -commit "$head_sha" -out "$tmp/after.json"
+
+echo "==> merging into $out (gate: $gate)"
+"$tmp/bbbench-after" -merge "$tmp/before.json,$tmp/after.json" -gate "$gate" -out "$out"
+
+echo "==> bench gate passed; report written to $out"

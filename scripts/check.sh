@@ -7,10 +7,20 @@
 # that touches the search or scheduling layers.
 #
 # Usage: scripts/check.sh [package patterns...]   (default: ./...)
+#        scripts/check.sh bench [out.json]
+#
+# The bench form skips the static/race gates and runs the before/after
+# kernel perf harness instead (scripts/bench.sh), writing BENCH_PR4.json
+# and failing if the lifo-df vertices/sec gate is not met.
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "bench" ]; then
+    shift
+    exec scripts/bench.sh "$@"
+fi
 
 pat="${*:-./...}"
 
