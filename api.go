@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deadline"
 	"repro/internal/dispatch"
+	"repro/internal/dist"
 	"repro/internal/edf"
 	"repro/internal/exp"
 	"repro/internal/faults"
@@ -363,6 +364,56 @@ func SolveContext(ctx context.Context, g *Graph, p Platform, params Params) (Res
 // SolveParallelContext is SolveParallel with cooperative cancellation.
 func SolveParallelContext(ctx context.Context, g *Graph, p Platform, params ParallelParams) (Result, error) {
 	return core.SolveParallelContext(ctx, g, p, params)
+}
+
+// Distributed search. A Fleet coordinates one branch-and-bound solve at a
+// time across worker processes: the root is expanded into a frontier of
+// subtree slices, each shipped over JSON/HTTP as a self-contained
+// subproblem (canonical graph + placement prefix), with incumbent
+// improvements broadcast fleet-wide, idle workers stealing unleased
+// slices, and slices lost to a dead worker re-dispatched after its lease
+// expires. DESIGN.md ("Distributed search") has the soundness argument;
+// cmd/bbworker is the stock worker binary and bbserved -distributed the
+// stock coordinator.
+type (
+	// Fleet is the coordinator side of the distributed fabric.
+	Fleet = dist.Fleet
+	// FleetConfig tunes frontier size, lease TTLs and steal behaviour.
+	FleetConfig = dist.Config
+	// FleetCounters is a snapshot of the fleet-level occurrence counters
+	// (dispatched/stolen/re-dispatched slices, broadcasts, evictions).
+	FleetCounters = dist.CountersSnapshot
+	// FleetWorker is the execution side: it leases slices and runs the
+	// sequential kernel on each under the shared incumbent.
+	FleetWorker = dist.Worker
+	// FleetWorkerConfig points a worker at a coordinator.
+	FleetWorkerConfig = dist.WorkerConfig
+	// Frontier is a depth-bounded expansion of the search-tree root into
+	// disjoint subtree slices that exactly partition the remaining search.
+	Frontier = core.Frontier
+	// FrontierSlice is one unexpanded subtree, identified by its
+	// placement prefix.
+	FrontierSlice = core.FrontierSlice
+	// IncumbentLink connects a prefix-restricted solve to an external
+	// shared incumbent (Params.Link).
+	IncumbentLink = core.IncumbentLink
+)
+
+// NewFleet returns an idle coordinator; mount its Handler and point
+// workers at it, then call Solve.
+func NewFleet(cfg FleetConfig) *Fleet { return dist.NewFleet(cfg) }
+
+// NewFleetWorker returns a worker for the given coordinator; Run blocks
+// until the context is canceled.
+func NewFleetWorker(cfg FleetWorkerConfig) *FleetWorker { return dist.NewWorker(cfg) }
+
+// EnumerateFrontier expands the search-tree root breadth-first until at
+// least target unexpanded slices exist (or the tree is exhausted). The
+// slices partition the search exactly: solving each under the frontier's
+// incumbent and taking the best result is equivalent to the sequential
+// solve.
+func EnumerateFrontier(g *Graph, p Platform, params Params, target int) (Frontier, error) {
+	return core.EnumerateFrontier(g, p, params, target)
 }
 
 // Fault injection and recovery.

@@ -7,7 +7,8 @@
 //
 // With no arguments, every experiment runs in presentation order:
 // fig3a, fig3b, fig3c, disc-parallelism, disc-ccr, disc-upperbound,
-// disc-memory, plus the registered extensions (fault-sweep, serve-sweep).
+// disc-memory, plus the registered extensions (fault-sweep, serve-sweep,
+// dist-sweep).
 //
 //	-quick          reduced protocol (fixed few runs, for smoke tests)
 //	-runs int       override the (minimum) number of runs per point

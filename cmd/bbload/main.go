@@ -14,7 +14,10 @@
 //	-graphs int      distinct workload instances in the replay pool (default 16)
 //	-procs int       processors per request (default 4)
 //	-budget dur      per-request solve budget (default 2s)
+//	-retries int     max retries per request after a 429 (default 3)
 //	-seed int        workload seed (default 1997)
+//	-distributed     mark solve requests distributed and spawn a worker fleet
+//	-dist-workers    re-exec'd worker processes with -distributed (default 2)
 //	-quiet           suppress the per-run header
 //
 // Closed loop means each client issues its next request only after the
@@ -23,11 +26,24 @@
 // Requests cycle through the instance pool; with -n larger than -graphs
 // the tail of the run exercises the server's result cache.
 //
+// A 429 rejection is retried up to -retries times, sleeping the server's
+// Retry-After with ±50% jitter so released clients do not re-arrive in
+// one wave; only a request that stays rejected counts against the run.
+// The summary separates 429 rejections from 5xx server errors and
+// transport failures, and reports how many 429s the retry loop absorbed.
+//
+// With -distributed (against a bbserved -distributed coordinator) the
+// harness becomes a loopback multi-process fabric test: it re-execs
+// itself -dist-workers times as fleet workers pointed at -url, replays
+// solve requests carrying "distributed": true, and tears the workers
+// down when the run ends.
+//
 // Exit status: 0 when every request succeeded (2xx), 1 otherwise.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,12 +51,17 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
+	"os/signal"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/deadline"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/listsched"
 	"repro/internal/platform"
@@ -48,28 +69,50 @@ import (
 )
 
 func main() {
+	// A re-exec'd copy of this binary acts as one fleet worker (see
+	// -distributed): it joins the coordinator named by the env var and
+	// solves leased slices until the parent signals it to stop.
+	if coord := os.Getenv("BBLOAD_DIST_WORKER"); coord != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		w := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: coord,
+			Name:        fmt.Sprintf("bbload-%d", os.Getpid()),
+			Poll:        20 * time.Millisecond,
+		})
+		_ = w.Run(ctx)
+		return
+	}
+
 	var (
-		baseURL  = flag.String("url", "http://127.0.0.1:8080", "base URL of a running bbserved")
-		endpoint = flag.String("endpoint", "solve", "solve|anytime|list|analyze|recover|mix")
-		n        = flag.Int("n", 64, "total requests")
-		c        = flag.Int("c", 4, "concurrent clients")
-		graphs   = flag.Int("graphs", 16, "distinct workload instances")
-		procs    = flag.Int("procs", 4, "processors per request")
-		budget   = flag.Duration("budget", 2*time.Second, "per-request solve budget")
-		seed     = flag.Int64("seed", 1997, "workload seed")
-		quiet    = flag.Bool("quiet", false, "suppress the per-run header")
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "base URL of a running bbserved")
+		endpoint    = flag.String("endpoint", "solve", "solve|anytime|list|analyze|recover|mix")
+		n           = flag.Int("n", 64, "total requests")
+		c           = flag.Int("c", 4, "concurrent clients")
+		graphs      = flag.Int("graphs", 16, "distinct workload instances")
+		procs       = flag.Int("procs", 4, "processors per request")
+		budget      = flag.Duration("budget", 2*time.Second, "per-request solve budget")
+		retries     = flag.Int("retries", 3, "max retries per request after a 429")
+		seed        = flag.Int64("seed", 1997, "workload seed")
+		distributed = flag.Bool("distributed", false, "mark solve requests distributed and spawn a worker fleet")
+		distWorkers = flag.Int("dist-workers", 2, "worker processes to spawn with -distributed")
+		quiet       = flag.Bool("quiet", false, "suppress the per-run header")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "bbload: unexpected arguments %q\n", flag.Args())
 		os.Exit(2)
 	}
-	if *n < 1 || *c < 1 || *graphs < 1 {
-		fmt.Fprintln(os.Stderr, "bbload: -n, -c and -graphs must be positive")
+	if *n < 1 || *c < 1 || *graphs < 1 || *retries < 0 {
+		fmt.Fprintln(os.Stderr, "bbload: -n, -c and -graphs must be positive, -retries non-negative")
+		os.Exit(2)
+	}
+	if *distributed && *endpoint != "solve" {
+		fmt.Fprintln(os.Stderr, "bbload: -distributed supports only -endpoint solve")
 		os.Exit(2)
 	}
 
-	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed)
+	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
 		os.Exit(2)
@@ -79,11 +122,51 @@ func main() {
 			*endpoint, *n, *c, *graphs, *procs, *budget, *baseURL)
 	}
 
-	rep := run(*baseURL, reqs, *n, *c)
+	var stopFleet func()
+	if *distributed && *distWorkers > 0 {
+		stopFleet, err = spawnWorkers(*baseURL, *distWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbload: spawn workers: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("bbload: spawned %d loopback workers\n", *distWorkers)
+		}
+	}
+
+	rep := run(*baseURL, reqs, *n, *c, *retries)
+	if stopFleet != nil {
+		stopFleet()
+	}
 	rep.print(os.Stdout)
 	if rep.failed() {
 		os.Exit(1)
 	}
+}
+
+// spawnWorkers re-execs this binary n times in worker mode against the
+// coordinator and returns a function that terminates and reaps them.
+func spawnWorkers(coordinator string, n int) (func(), error) {
+	procs := make([]*exec.Cmd, 0, n)
+	kill := func() {
+		for _, c := range procs {
+			_ = c.Process.Signal(syscall.SIGTERM) //bbvet:ignore errcheck — already-dead child is fine
+		}
+		for _, c := range procs {
+			_ = c.Wait() //bbvet:ignore errcheck — exit status is irrelevant at teardown
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "BBLOAD_DIST_WORKER="+coordinator)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			kill()
+			return nil, err
+		}
+		procs = append(procs, cmd)
+	}
+	return kill, nil
 }
 
 // request is one prepared POST: path plus marshaled body.
@@ -94,7 +177,7 @@ type request struct {
 
 // buildRequests prepares the replay pool: one request per generated
 // instance (cycling endpoints when endpoint is "mix").
-func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64) ([]request, error) {
+func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64, distributed bool) ([]request, error) {
 	endpoints := []string{endpoint}
 	if endpoint == "mix" {
 		endpoints = []string{"solve", "anytime", "list", "analyze", "recover"}
@@ -115,7 +198,7 @@ func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int6
 		)
 		switch ep {
 		case "solve":
-			payload = server.SolveRequest{GraphRequest: gr, BudgetMS: budgetMS}
+			payload = server.SolveRequest{GraphRequest: gr, BudgetMS: budgetMS, Distributed: distributed}
 		case "anytime":
 			payload = server.AnytimeRequest{GraphRequest: gr, BudgetMS: budgetMS, Seed: seed}
 		case "list":
@@ -153,8 +236,10 @@ func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int6
 type report struct {
 	wall      time.Duration
 	ok        atomic.Int64
-	rejected  atomic.Int64 // 429
-	errored   atomic.Int64 // transport errors and non-2xx other than 429
+	rejected  atomic.Int64 // 429 after the retry budget ran out
+	retried   atomic.Int64 // 429s absorbed by the retry loop
+	server5xx atomic.Int64 // 5xx responses
+	errored   atomic.Int64 // transport errors and remaining non-2xx
 	cacheHits atomic.Int64
 
 	mu        sync.Mutex
@@ -168,7 +253,7 @@ func (r *report) observe(d time.Duration) {
 }
 
 func (r *report) failed() bool {
-	return r.errored.Load() > 0 || r.rejected.Load() > 0
+	return r.errored.Load() > 0 || r.server5xx.Load() > 0 || r.rejected.Load() > 0
 }
 
 // quantile returns the q-th latency; the slice must be sorted.
@@ -184,9 +269,12 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 }
 
 func (r *report) print(w io.Writer) {
-	total := r.ok.Load() + r.rejected.Load() + r.errored.Load()
-	fmt.Fprintf(w, "bbload: %d requests: %d ok, %d rejected (429), %d errors, %d cache hits\n",
-		total, r.ok.Load(), r.rejected.Load(), r.errored.Load(), r.cacheHits.Load())
+	total := r.ok.Load() + r.rejected.Load() + r.server5xx.Load() + r.errored.Load()
+	fmt.Fprintf(w, "bbload: %d requests: %d ok, %d rejected (429), %d server errors (5xx), %d other errors, %d cache hits\n",
+		total, r.ok.Load(), r.rejected.Load(), r.server5xx.Load(), r.errored.Load(), r.cacheHits.Load())
+	if n := r.retried.Load(); n > 0 {
+		fmt.Fprintf(w, "bbload: %d 429s absorbed by retries (Retry-After honored, jittered)\n", n)
+	}
 	secs := r.wall.Seconds()
 	if secs > 0 {
 		fmt.Fprintf(w, "bbload: wall %s, %.1f req/s\n", r.wall.Round(time.Millisecond), float64(total)/secs)
@@ -203,8 +291,24 @@ func (r *report) print(w io.Writer) {
 	r.mu.Unlock()
 }
 
-// run drives the closed loop: c clients drain a shared ticket counter.
-func run(baseURL string, reqs []request, n, c int) *report {
+// backoff turns a 429's Retry-After header into a sleep with ±50% jitter
+// so the c clients released by one overload burst do not re-arrive as a
+// single wave. A missing or unparsable header falls back to 50ms doubling
+// per attempt.
+func backoff(retryAfter string, attempt int, rng *rand.Rand) time.Duration {
+	base := 50 * time.Millisecond << (attempt - 1)
+	if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+		base = time.Duration(s) * time.Second
+		if base == 0 {
+			base = 50 * time.Millisecond
+		}
+	}
+	return time.Duration(float64(base) * (0.5 + rng.Float64()))
+}
+
+// run drives the closed loop: c clients drain a shared ticket counter,
+// each retrying 429s up to the retry budget before counting a rejection.
+func run(baseURL string, reqs []request, n, c, retries int) *report {
 	rep := &report{}
 	client := &http.Client{}
 	var next atomic.Int64
@@ -212,8 +316,9 @@ func run(baseURL string, reqs []request, n, c int) *report {
 	var wg sync.WaitGroup
 	for w := 0; w < c; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(w)))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -221,7 +326,19 @@ func run(baseURL string, reqs []request, n, c int) *report {
 				}
 				req := reqs[i%len(reqs)]
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+req.path, "application/json", bytes.NewReader(req.body))
+				var resp *http.Response
+				var err error
+				for attempt := 0; ; attempt++ {
+					resp, err = client.Post(baseURL+req.path, "application/json", bytes.NewReader(req.body))
+					if err != nil || resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+						break
+					}
+					d := backoff(resp.Header.Get("Retry-After"), attempt+1, rng)
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close() //bbvet:ignore errcheck
+					rep.retried.Add(1)
+					time.Sleep(d)
+				}
 				if err != nil {
 					rep.errored.Add(1)
 					continue
@@ -237,11 +354,13 @@ func run(baseURL string, reqs []request, n, c int) *report {
 					if resp.Header.Get("X-Cache") == "hit" {
 						rep.cacheHits.Add(1)
 					}
+				case resp.StatusCode >= 500:
+					rep.server5xx.Add(1)
 				default:
 					rep.errored.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	rep.wall = time.Since(start)

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/server"
 )
 
@@ -52,7 +55,7 @@ func TestOneRequestPerEndpoint(t *testing.T) {
 		if err != nil {
 			t.Fatalf("endpoint %s: %v\n%s", ep, err, out)
 		}
-		if !strings.Contains(out, "1 ok, 0 rejected (429), 0 errors") {
+		if !strings.Contains(out, "1 ok, 0 rejected (429), 0 server errors (5xx), 0 other errors") {
 			t.Fatalf("endpoint %s: unexpected report:\n%s", ep, out)
 		}
 	}
@@ -107,5 +110,107 @@ func TestBadEndpoint(t *testing.T) {
 	out, err := bbload(t, "-endpoint", "zzz", "-n", "1")
 	if err == nil {
 		t.Fatalf("bbload accepted endpoint zzz:\n%s", out)
+	}
+}
+
+// TestRetryAfterHonored: a server that 429s the first few hits must be
+// absorbed by the retry loop — the run succeeds and the report counts
+// the retried rejections without classing them as failures.
+func TestRetryAfterHonored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "3",
+		"-graphs", "1", "-c", "1", "-quiet")
+	if err != nil {
+		t.Fatalf("bbload: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "3 ok, 0 rejected (429)") {
+		t.Fatalf("retried 429s should not fail the run:\n%s", out)
+	}
+	if !strings.Contains(out, "2 429s absorbed by retries") {
+		t.Fatalf("report does not surface the absorbed 429s:\n%s", out)
+	}
+}
+
+// TestRetryBudgetExhausted: with -retries 0 a 429 is terminal and the
+// run exits non-zero, counted as a rejection, not an error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "1",
+		"-graphs", "1", "-c", "1", "-retries", "0", "-quiet")
+	if err == nil {
+		t.Fatalf("run with a terminal 429 should exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "0 ok, 1 rejected (429), 0 server errors (5xx), 0 other errors") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+// TestServerErrorsCountedSeparately: 5xx responses must show up in their
+// own column, not blended into transport errors or rejections.
+func TestServerErrorsCountedSeparately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "2",
+		"-graphs", "1", "-c", "1", "-quiet")
+	if err == nil {
+		t.Fatalf("run against a 500ing server should exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "0 ok, 0 rejected (429), 2 server errors (5xx), 0 other errors") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+// TestDistributedHarness: -distributed against a coordinator-mode server
+// re-execs worker processes on loopback and the run completes with every
+// distributed solve OK.
+func TestDistributedHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	fleet := dist.NewFleet(dist.Config{FrontierTarget: 8, RetryAfter: 5 * time.Millisecond})
+	s := server.New(server.Config{Workers: 2, DefaultBudget: 30 * time.Second, Fleet: fleet})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "solve", "-n", "4",
+		"-graphs", "2", "-c", "2", "-budget", "20s",
+		"-distributed", "-dist-workers", "2", "-quiet")
+	if err != nil {
+		t.Fatalf("bbload -distributed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "4 ok, 0 rejected (429), 0 server errors (5xx), 0 other errors") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	snap := fleet.Snapshot()
+	if snap.Solves == 0 || snap.SlicesDispatched == 0 {
+		t.Fatalf("fleet never solved anything: %+v", snap)
 	}
 }

@@ -14,13 +14,19 @@
 //	-budget dur       default per-request solve budget (default 5s)
 //	-max-budget dur   clamp for client-requested budgets (default 60s)
 //	-drain dur        shutdown grace period (default 30s)
+//	-distributed      act as a B&B fabric coordinator (see below)
+//	-frontier int     frontier slices per distributed solve (default 64)
+//	-lease-ttl dur    worker lease/heartbeat deadline (default 3s)
 //	-v                per-request logging to stderr
 //
 // Endpoints: POST /v1/{solve,anytime,list,analyze,recover}, GET /healthz,
-// GET /metrics. SIGINT/SIGTERM drains: the listener closes, in-flight
-// solves finish (or hit their budgets), queued work is released with 503,
-// and the process exits 0 after reporting leaked goroutines (a healthy
-// shutdown reports zero).
+// GET /metrics. With -distributed the worker-facing fabric API is mounted
+// under POST /dist/v1/ — point bbworker processes at this address — and
+// solve requests carrying "distributed": true are sharded across the
+// fleet instead of solved in-process. SIGINT/SIGTERM drains: the listener
+// closes, in-flight solves finish (or hit their budgets), queued work is
+// released with 503, and the process exits 0 after reporting leaked
+// goroutines (a healthy shutdown reports zero).
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/server"
 )
 
@@ -48,8 +55,11 @@ func main() {
 		cache     = flag.Int("cache", 0, "result-cache entries (-1 disables)")
 		budget    = flag.Duration("budget", 0, "default per-request solve budget")
 		maxBudget = flag.Duration("max-budget", 0, "clamp for client-requested budgets")
-		drain     = flag.Duration("drain", 30*time.Second, "shutdown grace period")
-		verbose   = flag.Bool("v", false, "per-request logging")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown grace period")
+		distributed = flag.Bool("distributed", false, "act as a distributed B&B coordinator")
+		frontier    = flag.Int("frontier", 0, "frontier slices per distributed solve (default 64)")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "worker lease/heartbeat deadline (default 3s)")
+		verbose     = flag.Bool("v", false, "per-request logging")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -67,6 +77,16 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.New(os.Stderr, "bbserved: ", log.LstdFlags).Printf
 	}
+	if *distributed {
+		cfg.Fleet = dist.NewFleet(dist.Config{
+			FrontierTarget: *frontier,
+			LeaseTTL:       *leaseTTL,
+			Logf:           cfg.Logf,
+		})
+	} else if *frontier != 0 || *leaseTTL != 0 {
+		fmt.Fprintln(os.Stderr, "bbserved: -frontier and -lease-ttl require -distributed")
+		os.Exit(2)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -83,6 +103,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("bbserved: listening on %s\n", ln.Addr())
+	if *distributed {
+		fmt.Printf("bbserved: coordinating a worker fleet: bbworker -coordinator http://%s\n", ln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

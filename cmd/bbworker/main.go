@@ -1,0 +1,79 @@
+// Command bbworker is the execution side of the distributed B&B fabric:
+// it joins a coordinator (bbserved -distributed, or any internal/dist
+// Fleet), leases frontier slices, solves each with the sequential kernel
+// under the shared incumbent, publishes improvements immediately, and
+// reports every outcome back.
+//
+// Usage:
+//
+//	bbworker -coordinator http://host:8080 [flags]
+//
+//	-coordinator string  coordinator base URL (required)
+//	-name string         worker label in coordinator logs (default host-pid)
+//	-poll dur            idle polling interval (default 100ms)
+//	-max-lease int       max slices per lease (0 = coordinator default)
+//	-v                   per-slice logging to stderr
+//
+// SIGINT/SIGTERM stops cleanly: the in-flight slice solve is canceled
+// (the coordinator re-dispatches it after the lease TTL) and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL (required)")
+		name        = flag.String("name", "", "worker label (default host-pid)")
+		poll        = flag.Duration("poll", 100*time.Millisecond, "idle polling interval")
+		maxLease    = flag.Int("max-lease", 0, "max slices per lease (0 = coordinator default)")
+		verbose     = flag.Bool("v", false, "per-slice logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bbworker: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "bbworker: -coordinator is required")
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	cfg := dist.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Poll:        *poll,
+		MaxLease:    *maxLease,
+	}
+	if *verbose {
+		cfg.Logf = log.New(os.Stderr, "bbworker: ", log.LstdFlags).Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	w := dist.NewWorker(cfg)
+	fmt.Printf("bbworker: %s -> %s\n", *name, *coordinator)
+	err := w.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "bbworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bbworker: stopped after %d slices\n", w.SlicesSolved.Load())
+}

@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// TestMain lets the e2e tests re-exec this binary in two roles: with
+// BBWORKER_BE_MAIN set it runs main() (a real bbworker process), with
+// BBWORKER_BE_COORD set it runs a coordinator that solves the instances
+// named by the environment and prints one RESULT line per solve.
+func TestMain(m *testing.M) {
+	switch {
+	case os.Getenv("BBWORKER_BE_COORD") == "1":
+		coordMain()
+		os.Exit(0)
+	case os.Getenv("BBWORKER_BE_MAIN") == "1":
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// pinnedInstance is the fuzzcheck kernel campaign's instance recipe — the
+// same pinned suite the in-process equivalence test uses.
+func pinnedInstance(seed int64) (*taskgraph.Graph, platform.Platform, error) {
+	gp := gen.Defaults()
+	gp.NMin, gp.NMax = 5, 10
+	gp.DepthMin, gp.DepthMax = 2, 5
+	gp.CCR = float64(seed%4) / 2.0
+	g := gen.New(gp, seed).Graph()
+	laxity := 0.8 + float64(seed%5)*0.25
+	pol := deadline.EqualSlack
+	if seed%2 == 1 {
+		pol = deadline.Proportional
+	}
+	if err := deadline.Assign(g, laxity, pol); err != nil {
+		return nil, platform.Platform{}, err
+	}
+	return g, platform.New(1 + int(seed)%3), nil
+}
+
+// paperInstance draws one full paper-default workload (12–16 tasks) on
+// three processors — big enough that a solve takes visible wall-clock.
+func paperInstance(seed int64) (*taskgraph.Graph, platform.Platform, error) {
+	p := gen.Defaults()
+	g := gen.New(p, seed).Graph()
+	if err := deadline.Assign(g, p.Laxity, deadline.EqualSlack); err != nil {
+		return nil, platform.Platform{}, err
+	}
+	return g, platform.New(3), nil
+}
+
+func e2eInstance(kind string, seed int64) (*taskgraph.Graph, platform.Platform, error) {
+	if kind == "paper" {
+		return paperInstance(seed)
+	}
+	return pinnedInstance(seed)
+}
+
+func e2eParams(sel string) core.Params {
+	var p core.Params
+	if sel == "llb" {
+		p.Selection = core.SelectLLB
+	}
+	return p
+}
+
+// coordMain is the re-exec'd coordinator: it mounts a fleet on loopback,
+// prints "COORD <addr>", solves each instance from BBWORKER_COORD_SEEDS,
+// and prints one RESULT line per solve plus a final COUNTERS line.
+func coordMain() {
+	fail := func(err error) {
+		fmt.Printf("COORDERR %v\n", err)
+		os.Exit(1)
+	}
+	leaseMS, _ := strconv.Atoi(os.Getenv("BBWORKER_COORD_LEASE_MS"))
+	frontier, _ := strconv.Atoi(os.Getenv("BBWORKER_COORD_FRONTIER"))
+	fleet := dist.NewFleet(dist.Config{
+		FrontierTarget: frontier,
+		LeaseTTL:       time.Duration(leaseMS) * time.Millisecond,
+		RetryAfter:     5 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	go func() { _ = http.Serve(ln, fleet.Handler()) }()
+	fmt.Printf("COORD %s\n", ln.Addr())
+
+	kind := os.Getenv("BBWORKER_COORD_KIND")
+	p := e2eParams(os.Getenv("BBWORKER_COORD_SELECT"))
+	for _, s := range strings.Split(os.Getenv("BBWORKER_COORD_SEEDS"), ",") {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fail(err)
+		}
+		g, plat, err := e2eInstance(kind, seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("SOLVING %d\n", seed)
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		res, err := fleet.Solve(ctx, g, plat, p)
+		cancel()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("RESULT seed=%d cost=%d optimal=%t guarantee=%t reason=%s\n",
+			seed, res.Cost, res.Optimal, res.Guarantee, res.Reason)
+	}
+	snap := fleet.Snapshot()
+	fmt.Printf("COUNTERS dispatched=%d stolen=%d redispatched=%d evictions=%d broadcasts=%d\n",
+		snap.SlicesDispatched, snap.SlicesStolen, snap.SlicesRedispatched,
+		snap.WorkerEvictions, snap.IncumbentBroadcasts)
+}
+
+// coordProc is a running re-exec'd coordinator plus its parsed output.
+type coordProc struct {
+	cmd  *exec.Cmd
+	out  *bufio.Scanner
+	addr string
+}
+
+// startCoord launches the coordinator child and blocks until it prints
+// its listen address.
+func startCoord(t *testing.T, env ...string) *coordProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "BBWORKER_BE_COORD=1")
+	cmd.Env = append(cmd.Env, env...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill() //bbvet:ignore errcheck — may have exited already
+		_ = cmd.Wait()         //bbvet:ignore errcheck — teardown
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "COORD "); ok {
+			return &coordProc{cmd: cmd, out: sc, addr: addr}
+		}
+	}
+	t.Fatalf("coordinator never announced its address (scan err %v)", sc.Err())
+	return nil
+}
+
+// expect reads coordinator output until a line with the prefix appears,
+// failing the test on COORDERR or stream end.
+func (c *coordProc) expect(t *testing.T, prefix string) string {
+	t.Helper()
+	for c.out.Scan() {
+		line := c.out.Text()
+		if strings.HasPrefix(line, "COORDERR") {
+			t.Fatalf("coordinator failed: %s", line)
+		}
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	t.Fatalf("coordinator output ended before %q (scan err %v)", prefix, c.out.Err())
+	return ""
+}
+
+// startWorkerProc launches a real bbworker process against the
+// coordinator. The returned channel fires once the worker has adopted a
+// lease (its stderr logs "dist: solve"), i.e. once it owns slices.
+func startWorkerProc(t *testing.T, addr, name string) (*exec.Cmd, <-chan struct{}) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-coordinator", "http://"+addr, "-name", name, "-poll", "5ms", "-v")
+	cmd.Env = append(os.Environ(), "BBWORKER_BE_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM) //bbvet:ignore errcheck — may have exited already
+		_ = cmd.Wait()                          //bbvet:ignore errcheck — teardown
+	})
+	leased := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		fired := false
+		for sc.Scan() {
+			if !fired && strings.Contains(sc.Text(), "dist: solve") {
+				fired = true
+				close(leased)
+			}
+		}
+		if !fired {
+			close(leased)
+		}
+	}()
+	return cmd, leased
+}
+
+type resultLine struct {
+	seed               int64
+	cost               int64
+	optimal, guarantee bool
+	reason             string
+}
+
+func parseResult(t *testing.T, line string) resultLine {
+	t.Helper()
+	var r resultLine
+	if _, err := fmt.Sscanf(line, "RESULT seed=%d cost=%d optimal=%t guarantee=%t reason=%s",
+		&r.seed, &r.cost, &r.optimal, &r.guarantee, &r.reason); err != nil {
+		t.Fatalf("unparsable result %q: %v", line, err)
+	}
+	return r
+}
+
+// TestE2EDistributedProcesses is the full multi-process acceptance check:
+// a re-exec'd coordinator plus two real bbworker processes on loopback
+// must return bit-identical Cost/Optimal/Guarantee to in-process
+// core.Solve across the pinned suite.
+func TestE2EDistributedProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	seeds := []int64{4000, 4001, 4002, 4003}
+	var specs []string
+	for _, s := range seeds {
+		specs = append(specs, strconv.FormatInt(s, 10))
+	}
+	coord := startCoord(t,
+		"BBWORKER_COORD_KIND=pinned",
+		"BBWORKER_COORD_SEEDS="+strings.Join(specs, ","),
+		"BBWORKER_COORD_FRONTIER=4",
+	)
+	startWorkerProc(t, coord.addr, "w1")
+	startWorkerProc(t, coord.addr, "w2")
+
+	for _, seed := range seeds {
+		got := parseResult(t, coord.expect(t, "RESULT "))
+		if got.seed != seed {
+			t.Fatalf("results out of order: got seed %d, want %d", got.seed, seed)
+		}
+		g, plat, err := pinnedInstance(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := core.Solve(g, plat, core.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.cost != int64(seq.Cost) || got.optimal != seq.Optimal || got.guarantee != seq.Guarantee {
+			t.Fatalf("seed %d: distributed (cost=%d opt=%t guar=%t) != sequential (cost=%d opt=%t guar=%t)",
+				seed, got.cost, got.optimal, got.guarantee, seq.Cost, seq.Optimal, seq.Guarantee)
+		}
+	}
+	counters := coord.expect(t, "COUNTERS ")
+	var dispatched, stolen, redispatched, evictions, broadcasts int64
+	if _, err := fmt.Sscanf(counters, "COUNTERS dispatched=%d stolen=%d redispatched=%d evictions=%d broadcasts=%d",
+		&dispatched, &stolen, &redispatched, &evictions, &broadcasts); err != nil {
+		t.Fatalf("unparsable counters %q: %v", counters, err)
+	}
+	if dispatched == 0 {
+		t.Error("coordinator never dispatched a slice — the workers were not exercised")
+	}
+}
+
+// TestE2EWorkerKillRecovery SIGKILLs one of two workers while it holds
+// leased slices mid-solve; the coordinator must evict it, re-dispatch its
+// slices, and still finish with the sequential cost and proof intact.
+func TestE2EWorkerKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	// Paper seed 903 under LLB: ~1.2s of sequential search, so the kill
+	// lands well inside the solve.
+	coord := startCoord(t,
+		"BBWORKER_COORD_KIND=paper",
+		"BBWORKER_COORD_SEEDS=903",
+		"BBWORKER_COORD_SELECT=llb",
+		"BBWORKER_COORD_LEASE_MS=300",
+	)
+	victim, victimLeased := startWorkerProc(t, coord.addr, "victim")
+	startWorkerProc(t, coord.addr, "survivor")
+
+	coord.expect(t, "SOLVING ")
+	select {
+	case <-victimLeased:
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim never leased a slice")
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL: no report, no goodbye
+		t.Fatal(err)
+	}
+
+	got := parseResult(t, coord.expect(t, "RESULT "))
+	g, plat, err := paperInstance(903)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.Solve(g, plat, e2eParams("llb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.cost != int64(seq.Cost) || got.optimal != seq.Optimal || got.guarantee != seq.Guarantee {
+		t.Fatalf("post-kill solve (cost=%d opt=%t guar=%t) != sequential (cost=%d opt=%t guar=%t)",
+			got.cost, got.optimal, got.guarantee, seq.Cost, seq.Optimal, seq.Guarantee)
+	}
+	if got.reason != "exhausted" {
+		t.Fatalf("post-kill solve lost the exhaustion proof: reason=%s", got.reason)
+	}
+
+	counters := coord.expect(t, "COUNTERS ")
+	var dispatched, stolen, redispatched, evictions, broadcasts int64
+	if _, err := fmt.Sscanf(counters, "COUNTERS dispatched=%d stolen=%d redispatched=%d evictions=%d broadcasts=%d",
+		&dispatched, &stolen, &redispatched, &evictions, &broadcasts); err != nil {
+		t.Fatalf("unparsable counters %q: %v", counters, err)
+	}
+	if evictions == 0 || redispatched == 0 {
+		t.Errorf("kill was not recovered through eviction: evictions=%d redispatched=%d", evictions, redispatched)
+	}
+}

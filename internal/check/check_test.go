@@ -123,6 +123,10 @@ func TestLayeringBadFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/bad", "repro/internal/core", false)
 }
 
+func TestLayeringDistFixture(t *testing.T) {
+	runFixture(t, LayeringAnalyzer, "testdata/layering/dist", "repro/internal/dist", false)
+}
+
 func TestLayeringUnknownPackageFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/unknown", "repro/internal/mystery", false)
 }

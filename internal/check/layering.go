@@ -64,7 +64,12 @@ var layerAllowed = map[string][]string{
 	// internal/gen, internal/exp, internal/report and the other solvers.
 	"internal/core": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph"},
 
-	// Layer 5: harnesses over the engine.
+	// Layer 5: harnesses over the engine. internal/dist — the distributed
+	// fabric — may use the engine and substrate but never the experiment
+	// drivers or the serving daemon's internals: subproblems must stay
+	// pure (graph + prefix + rules), with no experiment or service state
+	// on the wire.
+	"internal/dist":  {"internal/core", "internal/platform", "internal/sched", "internal/taskgraph"},
 	"internal/trace": {"internal/core", "internal/taskgraph"},
 	"internal/rescue": {
 		"internal/core", "internal/dispatch", "internal/faults", "internal/listsched",
@@ -96,9 +101,10 @@ var layerAllowed = map[string][]string{
 	// may import IT — enforced as a universal rule in runLayering, so that
 	// no library or facade code can grow a dependency on the service.
 	"internal/server": {
-		"internal/analysis", "internal/core", "internal/deadline", "internal/exp",
-		"internal/faults", "internal/gen", "internal/listsched", "internal/platform",
-		"internal/portfolio", "internal/rescue", "internal/sched", "internal/taskgraph",
+		"internal/analysis", "internal/core", "internal/deadline", "internal/dist",
+		"internal/exp", "internal/faults", "internal/gen", "internal/listsched",
+		"internal/platform", "internal/portfolio", "internal/rescue", "internal/sched",
+		"internal/taskgraph",
 	},
 }
 

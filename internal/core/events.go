@@ -67,9 +67,13 @@ type Event struct {
 
 // Observer receives search events when set on Params. Observers must be
 // fast (they run on the search hot path) and must not retain the Event
-// pointer semantics — events are delivered by value. Only the sequential
-// solver emits events; SolveParallel rejects an observing Params to avoid
-// promising an ordering that worker interleaving cannot provide.
+// pointer semantics — events are delivered by value. The sequential solver
+// delivers a totally ordered stream from one goroutine. SolveParallel
+// emits too, but concurrently from every worker: each event still carries
+// a unique Seq (workers stamp disjoint ranges) yet there is no global
+// ordering and the callback must be safe for concurrent use (see
+// trace.Recorder). SolveIDA does not emit and rejects an observing
+// Params.
 type Observer func(Event)
 
 // emit reports an event if an observer is installed.

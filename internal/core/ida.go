@@ -59,6 +59,9 @@ func SolveIDA(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, err
 	if p.Observer != nil {
 		return Result{}, fmt.Errorf("core: iterative deepening does not support event observers")
 	}
+	if p.Prefix != nil || p.Link != nil {
+		return Result{}, fmt.Errorf("core: iterative deepening does not support Prefix or Link")
+	}
 
 	s := &idaSolver{
 		g: g, plat: plat, p: p,

@@ -78,8 +78,8 @@ func SolveParallelContext(ctx context.Context, g *taskgraph.Graph, plat platform
 	if p.Resources.MaxActiveSet != 0 || p.Resources.MaxChildren != 0 {
 		return Result{}, fmt.Errorf("core: MAXSZAS/MAXSZDB are not supported by the parallel solver")
 	}
-	if p.Observer != nil {
-		return Result{}, fmt.Errorf("core: the parallel solver does not support event observers")
+	if p.Prefix != nil || p.Link != nil {
+		return Result{}, fmt.Errorf("core: the parallel solver does not support Prefix or Link")
 	}
 	if p.UseGlobalBound {
 		return Result{}, fmt.Errorf("core: the parallel solver does not support global-bound termination")
@@ -193,7 +193,7 @@ func (ps *parSolver) run() (err error) {
 	// Seed the pool by expanding breadth-first from the root with a
 	// throwaway sequential worker until the frontier is wide enough.
 	seedTarget := ps.workers * 8
-	w := newParWorker(ps)
+	w := newParWorker(ps, 0)
 	frontier := []*vertex{{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}}
 	for len(frontier) > 0 && len(frontier) < seedTarget {
 		if ps.ctx.Err() != nil {
@@ -233,7 +233,7 @@ func (ps *parSolver) run() (err error) {
 					ps.poolMu.Unlock()
 				}
 			}()
-			errs[idx] = newParWorker(ps).loop()
+			errs[idx] = newParWorker(ps, idx+1).loop()
 		}(i)
 	}
 	wg.Wait()
@@ -264,13 +264,33 @@ type parWorker struct {
 	iter     int
 }
 
-func newParWorker(ps *parSolver) *parWorker {
+// newParWorker builds worker machinery with a private seq namespace: the
+// worker index occupies the high bits, so vertex identities (and therefore
+// observer event Seqs) stay unique across concurrently emitting workers
+// without an atomic counter on the hot path. Each worker would need to
+// generate 2^48 vertices to collide.
+func newParWorker(ps *parSolver, idx int) *parWorker {
 	return &parWorker{
 		ps:  ps,
 		st:  sched.NewState(ps.g, ps.plat),
 		bnd: newBounder(ps.g, ps.p.Bound),
 		br:  newBrancher(ps.g, ps.p.Branching),
+		seq: uint64(idx) << 48,
 	}
+}
+
+// emit reports an event to a (necessarily concurrency-safe) observer. The
+// parallel stream has unique Seqs but no global order; Incumbent is the
+// shared atomic cost at emission time.
+func (ps *parSolver) emit(kind EventKind, seq, parent uint64, task taskgraph.TaskID,
+	proc platform.Proc, level int32, lb taskgraph.Time) {
+	if ps.p.Observer == nil {
+		return
+	}
+	ps.p.Observer(Event{
+		Kind: kind, Seq: seq, Parent: parent, Task: task, Proc: proc,
+		Level: level, LB: lb, Incumbent: taskgraph.Time(ps.incCost.Load()),
+	})
 }
 
 // shutdown signals every worker to stop and wakes the parked ones.
@@ -303,6 +323,11 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 		w.chainBuf = materialize(w.st, v, w.chainBuf)
 	}
 	ps.expanded.Add(1)
+	var parentSeq uint64
+	if v.parent != nil {
+		parentSeq = v.parent.seq
+	}
+	ps.emit(EventExpand, v.seq, parentSeq, v.task, v.proc, v.level, v.lb)
 
 	n := int32(ps.g.NumTasks())
 	if !ref {
@@ -324,12 +349,16 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 
 			if v.level+1 == n {
 				ps.goals.Add(1)
-				w.tryAdoptIncumbent(lb)
+				ps.emit(EventGoal, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+				if w.tryAdoptIncumbent(lb) {
+					ps.emit(EventIncumbent, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+				}
 				w.st.Undo()
 				continue
 			}
 			if lb >= ps.pruneLimitAtomic() {
 				ps.prunedCh.Add(1)
+				ps.emit(EventPrune, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 				w.st.Undo()
 				continue
 			}
@@ -344,6 +373,7 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 				seq: w.seq, task: id, proc: platform.Proc(q), level: v.level + 1,
 			}
 			kids = append(kids, k)
+			ps.emit(EventGenerate, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 			w.st.Undo()
 		}
 	}
@@ -363,13 +393,14 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 }
 
 // tryAdoptIncumbent installs a goal (the worker's current state) as the new
-// incumbent if it still improves on the shared cost.
-func (w *parWorker) tryAdoptIncumbent(cost taskgraph.Time) {
+// incumbent if it still improves on the shared cost, reporting whether it
+// won the adoption race.
+func (w *parWorker) tryAdoptIncumbent(cost taskgraph.Time) bool {
 	ps := w.ps
 	for {
 		cur := ps.incCost.Load()
 		if int64(cost) >= cur {
-			return
+			return false
 		}
 		if ps.incCost.CompareAndSwap(cur, int64(cost)) {
 			break
@@ -383,6 +414,7 @@ func (w *parWorker) tryAdoptIncumbent(cost taskgraph.Time) {
 		ps.incSeq = w.st.AppendPlacements(ps.incSeq[:0])
 	}
 	ps.incMu.Unlock()
+	return true
 }
 
 const donateThreshold = 64

@@ -247,6 +247,25 @@ type ResourceBounds struct {
 	MaxChildren int
 }
 
+// IncumbentLink couples a run to an external incumbent exchange — the
+// distributed fabric of internal/dist, or any other process holding a
+// better view of the global best cost. Both funcs may be nil individually.
+//
+// Best is polled periodically on the search hot path (every few hundred
+// iterations) and must return the best complete-solution cost known
+// externally (taskgraph.Infinity when none); the solver prunes against
+// min(local incumbent, Best()). Pruning against any cost that some real
+// schedule achieves preserves every strictly better solution, so a
+// truthful Best never loses the global optimum. Publish is invoked on the
+// search goroutine each time the run strictly improves on everything it
+// knows (local and external); the placement slice is only valid during
+// the call and must be copied before retention. Both funcs must be safe
+// for concurrent use when the same link is shared across runs.
+type IncumbentLink struct {
+	Best    func() taskgraph.Time
+	Publish func(cost taskgraph.Time, placements []sched.Placement)
+}
+
 // Params configures one solver run. The zero value is the paper's
 // recommended exact configuration (LIFO, BFn, LB1, EDF upper bound, BR=0,
 // unlimited resources), so `core.Solve(g, p, core.Params{})` is the
@@ -311,8 +330,28 @@ type Params struct {
 	ReferenceKernel bool
 
 	// Observer, when non-nil, receives every search event (see events.go).
-	// Sequential solver only; SolveParallel rejects an observing Params.
+	// The sequential solver emits a totally ordered stream; SolveParallel
+	// emits concurrently from every worker (unique Seq, no global order),
+	// so the observer must be safe for concurrent use there. SolveIDA
+	// rejects an observing Params.
 	Observer Observer
+
+	// Prefix pins the first placements of every explored schedule: the
+	// search runs over the subtree of schedules that extend exactly this
+	// placement sequence. The prefix must be a valid placement sequence
+	// (each task ready when placed, recorded start/finish matching the
+	// scheduling operation) that leaves at least one task unscheduled —
+	// exactly what a coordinator obtains from EnumerateFrontier. A run
+	// with a Prefix proves optimality only within its subtree, so
+	// Result.Optimal/Guarantee are forced false; the caller that split
+	// the frontier owns the global proof. Sequential solver only.
+	Prefix []sched.Placement
+
+	// Link, when non-nil, couples the run to an external incumbent
+	// exchange (see IncumbentLink). Like Prefix, an externally coupled
+	// run cannot certify global optimality on its own, so
+	// Result.Optimal/Guarantee are forced false. Sequential solver only.
+	Link *IncumbentLink
 }
 
 // Validate reports whether the parameter combination is runnable.

@@ -105,9 +105,10 @@ type solver struct {
 	as  activeSet
 	dom *domTable
 
-	incCost taskgraph.Time
-	incSeq  []sched.Placement // nil ⇒ incumbent is the EDF seed (or nothing)
-	edfInc  *sched.Schedule   // EDF-seeded incumbent schedule, if any
+	incCost  taskgraph.Time
+	incSeq   []sched.Placement // nil ⇒ incumbent is the EDF seed (or nothing)
+	edfInc   *sched.Schedule   // EDF-seeded incumbent schedule, if any
+	extBound taskgraph.Time    // best external cost seen via Link.Best
 
 	seq           uint64
 	lost          bool // optimum potentially lost to resource bounds
@@ -163,13 +164,17 @@ func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platfor
 	if p.Dominance && g.NumTasks() > 63 {
 		return Result{}, fmt.Errorf("core: dominance rule supports at most 63 tasks, graph has %d", g.NumTasks())
 	}
+	if err := checkPrefix(g, plat, p.Prefix); err != nil {
+		return Result{}, err
+	}
 
 	s := &solver{
 		g: g, plat: plat, p: p, ctx: ctx,
-		st:  sched.NewState(g, plat),
-		bnd: newBounder(g, p.Bound),
-		br:  newBrancher(g, p.Branching),
-		as:  newActiveSet(p.Selection, p.LLBTie),
+		st:       sched.NewState(g, plat),
+		bnd:      newBounder(g, p.Bound),
+		br:       newBrancher(g, p.Branching),
+		as:       newActiveSet(p.Selection, p.LLBTie),
+		extBound: taskgraph.Infinity,
 	}
 	if p.Dominance {
 		s.dom = newDomTable(g.NumTasks())
@@ -232,25 +237,50 @@ func (s *solver) runRecovering() {
 // pruneLimit returns the current elimination threshold: a vertex with
 // lb >= pruneLimit cannot improve the incumbent by more than the BR
 // allowance and is discarded. With BR = 0 this is exactly the incumbent
-// cost (E_U/DBAS: prune when L(v) >= L(v_u)).
+// cost (E_U/DBAS: prune when L(v) >= L(v_u)). A linked run prunes against
+// the best cost known anywhere — local incumbent or external broadcast.
 func (s *solver) pruneLimit() taskgraph.Time {
 	c := s.incCost
-	if s.p.BR == 0 || c >= taskgraph.Infinity/2 {
+	if s.extBound < c {
+		c = s.extBound
+	}
+	return pruneLimitFor(c, s.p.BR)
+}
+
+// pruneLimitFor applies the BR allowance to an incumbent cost. Shared by
+// the sequential solver and the frontier expansion so the two prune
+// identically.
+func pruneLimitFor(c taskgraph.Time, br float64) taskgraph.Time {
+	if br == 0 || c >= taskgraph.Infinity/2 {
 		return c
 	}
 	abs := c
 	if abs < 0 {
 		abs = -abs
 	}
-	return c - taskgraph.Time(s.p.BR*float64(abs))
+	return c - taskgraph.Time(br*float64(abs))
+}
+
+// pollLink refreshes the external bound from the incumbent exchange.
+func (s *solver) pollLink() {
+	if l := s.p.Link; l != nil && l.Best != nil {
+		if b := l.Best(); b < s.extBound {
+			s.extBound = b
+			s.stats.PrunedActive += int64(s.as.pruneAbove(s.pruneLimit()))
+		}
+	}
 }
 
 func (s *solver) run() {
 	// The root vertex carries the paper's cost U conceptually; operationally
 	// its bound is MinTime so that neither the elimination rule nor the LLB
-	// stop condition can discard the empty schedule itself.
-	root := &vertex{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}
+	// stop condition can discard the empty schedule itself. A Prefix is
+	// installed as a synthetic ancestor chain under the root: materialize
+	// replays it like any other chain, goal detection and placement
+	// reconstruction see the full schedule depth.
+	root := prefixChain(s.p.Prefix)
 	s.as.push(root)
+	s.pollLink()
 
 	n := int32(s.g.NumTasks())
 	for iter := 0; s.as.len() > 0; iter++ {
@@ -266,6 +296,11 @@ func (s *solver) run() {
 			//bbvet:ignore nondet (deliberate deadline check; RB.TimeLimit is inherently wall-clock)
 			if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 				s.stats.TimedOut = true
+				return
+			}
+			s.pollLink()
+			if s.as.len() == 0 {
+				// The tightened external bound emptied the active set.
 				return
 			}
 		}
@@ -333,7 +368,7 @@ func (s *solver) run() {
 					// either becomes the incumbent or dies.
 					s.stats.Goals++
 					s.emit(EventGoal, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
-					if lb < s.incCost {
+					if lb < s.incCost && lb < s.extBound {
 						s.adoptIncumbent(lb)
 						s.emit(EventIncumbent, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 					}
@@ -378,11 +413,17 @@ func (s *solver) run() {
 
 // adoptIncumbent installs the goal at the current state as the new best
 // solution and applies the elimination rule E_U/DBAS to the active set.
+// A linked run announces the improvement immediately — adoption is gated
+// on beating the external bound too, so every publish is a strict global
+// improvement as of the last poll.
 func (s *solver) adoptIncumbent(cost taskgraph.Time) {
 	s.incCost = cost
 	s.incSeq = s.st.AppendPlacements(s.incSeq[:0])
 	s.stats.IncumbentUpdates++
 	s.stats.PrunedActive += int64(s.as.pruneAbove(s.pruneLimit()))
+	if l := s.p.Link; l != nil && l.Publish != nil {
+		l.Publish(cost, s.incSeq)
+	}
 }
 
 // insertChildren applies MAXSZDB, orders the surviving children per
@@ -497,5 +538,52 @@ func (s *solver) result() (Result, error) {
 		// that certificate, regardless of how the search was cut short.
 		res.Optimal, res.Guarantee = true, true
 	}
+	if s.p.Prefix != nil || s.p.Link != nil {
+		// A subtree-restricted or externally coupled run proves nothing
+		// global on its own: exhaustion here means "no schedule extending
+		// the prefix beats min(local, external)". The coordinator that
+		// split the frontier assembles the global proof from every slice.
+		res.Optimal, res.Guarantee = false, false
+	}
 	return res, nil
+}
+
+// prefixChain builds the search root for a (possibly empty) prefix: the
+// base root plus one synthetic ancestor vertex per pinned placement. The
+// vertices carry lb = MinTime (they are never re-bounded or pruned) and
+// seq = 0 (no meaningful age); materialize and placements() treat them
+// exactly like search-generated ancestors.
+func prefixChain(prefix []sched.Placement) *vertex {
+	root := &vertex{lb: taskgraph.MinTime, task: taskgraph.NoTask, proc: platform.NoProc}
+	for _, pl := range prefix {
+		root = &vertex{
+			parent: root, lb: taskgraph.MinTime,
+			start: pl.Start, finish: pl.Finish,
+			task: pl.Task, proc: pl.Proc, level: root.level + 1,
+		}
+	}
+	return root
+}
+
+// checkPrefix validates a Params.Prefix against the instance by replaying
+// it on a throwaway state: range errors surface as Replay errors, and a
+// structurally impossible sequence (task not ready, start/finish not
+// matching the scheduling operation) surfaces as a recovered panic. A nil
+// or empty prefix is trivially valid.
+func checkPrefix(g *taskgraph.Graph, plat platform.Platform, prefix []sched.Placement) (err error) {
+	if len(prefix) == 0 {
+		return nil
+	}
+	if len(prefix) >= g.NumTasks() {
+		return fmt.Errorf("core: prefix pins %d of %d tasks; at least one must remain unscheduled", len(prefix), g.NumTasks())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: invalid prefix: %v", r)
+		}
+	}()
+	if rerr := sched.NewState(g, plat).Replay(prefix); rerr != nil {
+		return fmt.Errorf("core: invalid prefix: %w", rerr)
+	}
+	return nil
 }

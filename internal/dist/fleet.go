@@ -1,0 +1,737 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Config tunes the coordinator side of the fabric. The zero value picks
+// workable defaults for loopback fleets.
+type Config struct {
+	// FrontierTarget is the minimum number of frontier slices to shard one
+	// solve into (default 64). More slices mean finer stealing granularity
+	// and more re-dispatch units, at the cost of a deeper coordinator
+	// expansion.
+	FrontierTarget int
+
+	// MaxLease caps how many slices one lease call grants (default 2).
+	// Small batches keep the tail stealable.
+	MaxLease int
+
+	// SliceBudget is the per-slice wall-clock budget imposed on workers
+	// (0 = none). A slice that times out costs the run its optimality
+	// proof, exactly like a local TimeLimit expiry.
+	SliceBudget time.Duration
+
+	// LeaseTTL is how long a worker may go silent before it is evicted and
+	// its slices are re-dispatched (default 3s).
+	LeaseTTL time.Duration
+
+	// Heartbeat is the interval workers are told to report at (default
+	// LeaseTTL/3).
+	Heartbeat time.Duration
+
+	// RetryAfter is the poll hint returned to idle workers (default
+	// 100ms).
+	RetryAfter time.Duration
+
+	// Logf, when non-nil, receives coordinator diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FrontierTarget <= 0 {
+		c.FrontierTarget = 64
+	}
+	if c.MaxLease <= 0 {
+		c.MaxLease = 2
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 3
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Counters are the fleet-level occurrence counts surfaced in /metrics.
+type Counters struct {
+	Solves       atomic.Int64
+	Dispatched   atomic.Int64
+	Stolen       atomic.Int64
+	Redispatched atomic.Int64
+	Broadcasts   atomic.Int64
+	Evictions    atomic.Int64
+	Duplicates   atomic.Int64
+	Reports      atomic.Int64
+}
+
+// CountersSnapshot is the JSON form of Counters.
+type CountersSnapshot struct {
+	Workers             int   `json:"workers"`
+	Solves              int64 `json:"solves"`
+	SlicesDispatched    int64 `json:"slices_dispatched"`
+	SlicesStolen        int64 `json:"slices_stolen"`
+	SlicesRedispatched  int64 `json:"slices_redispatched"`
+	IncumbentBroadcasts int64 `json:"incumbent_broadcasts"`
+	WorkerEvictions     int64 `json:"worker_evictions"`
+	DuplicateReports    int64 `json:"duplicate_reports"`
+	SliceReports        int64 `json:"slice_reports"`
+}
+
+type workerState struct {
+	id       int64
+	name     string
+	lastSeen time.Time
+}
+
+type sliceStatus uint8
+
+const (
+	sliceQueued sliceStatus = iota
+	sliceLeased
+	sliceDone
+)
+
+// activeSolve is the coordinator's state for the one in-flight solve.
+// Everything here is guarded by Fleet.mu.
+type activeSolve struct {
+	id       uint64
+	graphRaw []byte
+	g        *taskgraph.Graph // canonical form
+	plat     platform.Platform
+	p        core.Params
+	spec     ParamsSpec
+	budgetMS int64
+
+	slices []core.FrontierSlice
+	status []sliceStatus
+	queue  []int           // slice IDs awaiting dispatch, FIFO
+	owned  map[int64][]int // worker → leased slice IDs
+
+	best    taskgraph.Time
+	bestSeq []sched.Placement // canonical numbering, valid placement order
+	pending int               // slices not yet accounted for
+	stats   core.Stats        // merged accepted worker stats
+
+	timedOut bool // some slice died to its budget
+	lost     bool // some slice ended without exhausting for another reason
+
+	done     chan struct{}
+	finished bool
+}
+
+// Fleet is the coordinator: it shards a solve into frontier slices,
+// leases them to workers over HTTP, maintains the shared incumbent, and
+// re-dispatches slices lost to evicted workers. One Fleet serves one
+// solve at a time (Solve serializes); the worker registry persists across
+// solves.
+type Fleet struct {
+	cfg      Config
+	counters Counters
+
+	solveMu sync.Mutex // serializes Solve
+
+	mu         sync.Mutex
+	nextWorker int64
+	nextSolve  uint64
+	workers    map[int64]*workerState
+	cur        *activeSolve
+}
+
+// NewFleet returns an idle coordinator.
+func NewFleet(cfg Config) *Fleet {
+	return &Fleet{cfg: cfg.withDefaults(), workers: map[int64]*workerState{}}
+}
+
+// Snapshot returns the fleet counters.
+func (f *Fleet) Snapshot() CountersSnapshot {
+	f.mu.Lock()
+	n := len(f.workers)
+	f.mu.Unlock()
+	return CountersSnapshot{
+		Workers:             n,
+		Solves:              f.counters.Solves.Load(),
+		SlicesDispatched:    f.counters.Dispatched.Load(),
+		SlicesStolen:        f.counters.Stolen.Load(),
+		SlicesRedispatched:  f.counters.Redispatched.Load(),
+		IncumbentBroadcasts: f.counters.Broadcasts.Load(),
+		WorkerEvictions:     f.counters.Evictions.Load(),
+		DuplicateReports:    f.counters.Duplicates.Load(),
+		SliceReports:        f.counters.Reports.Load(),
+	}
+}
+
+// WorkerCount returns the number of registered workers.
+func (f *Fleet) WorkerCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers)
+}
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// touch registers or refreshes a worker. Callers hold f.mu.
+func (f *Fleet) touch(id int64, name string) *workerState {
+	w, ok := f.workers[id]
+	if !ok {
+		if id <= 0 {
+			f.nextWorker++
+			id = f.nextWorker
+		} else if id > f.nextWorker {
+			f.nextWorker = id
+		}
+		w = &workerState{id: id, name: name}
+		f.workers[id] = w
+	}
+	if name != "" {
+		w.name = name
+	}
+	w.lastSeen = time.Now()
+	return w
+}
+
+// Solve distributes one branch-and-bound run across the registered
+// workers and blocks until every frontier slice is accounted for (or ctx
+// expires, returning the best incumbent so far). With no workers joined
+// it waits for some to appear — callers own the deadline.
+func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, p core.Params) (core.Result, error) {
+	f.solveMu.Lock()
+	defer f.solveMu.Unlock()
+
+	if err := checkDistributable(p); err != nil {
+		return core.Result{}, err
+	}
+	spec, err := SpecFromParams(p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if p.Resources.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Resources.TimeLimit)
+		defer cancel()
+	}
+
+	canon, perm, err := g.Canonical()
+	if err != nil {
+		return core.Result{}, err
+	}
+	inv := make([]taskgraph.TaskID, len(perm))
+	for old, canonID := range perm {
+		inv[canonID] = taskgraph.TaskID(old)
+	}
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return core.Result{}, err
+	}
+
+	fp := p
+	fp.Resources.TimeLimit = 0 // the frontier expansion is cheap; ctx governs the solve
+	front, err := core.EnumerateFrontier(canon, plat, fp, f.cfg.FrontierTarget)
+	if err != nil {
+		return core.Result{}, err
+	}
+	f.counters.Solves.Add(1)
+
+	if front.Exhausted {
+		// The shallow expansion finished the search on its own: nothing to
+		// distribute, and the expansion IS the exhaustive proof.
+		return f.assemble(g, plat, p, front.Stats, front.BestCost, front.BestSeq, front.Seed, inv, core.TermExhausted)
+	}
+
+	s := &activeSolve{
+		g: canon, graphRaw: raw, plat: plat, p: p, spec: spec,
+		budgetMS: int64(f.cfg.SliceBudget / time.Millisecond),
+		slices:   front.Slices,
+		status:   make([]sliceStatus, len(front.Slices)),
+		queue:    make([]int, len(front.Slices)),
+		owned:    map[int64][]int{},
+		best:     front.BestCost,
+		bestSeq:  front.BestSeq,
+		pending:  len(front.Slices),
+		done:     make(chan struct{}),
+	}
+	for i := range s.queue {
+		s.queue[i] = i
+	}
+
+	f.mu.Lock()
+	f.nextSolve++
+	s.id = f.nextSolve
+	f.cur = s
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		s.finished = true
+		f.cur = nil
+		f.mu.Unlock()
+	}()
+
+	janitor := time.NewTicker(f.cfg.Heartbeat)
+	defer janitor.Stop()
+	reason := core.TermExhausted
+	running := true
+	for running {
+		select {
+		case <-s.done:
+			running = false
+		case <-ctx.Done():
+			if ctx.Err() == context.DeadlineExceeded {
+				reason = core.TermTimeLimit
+			} else {
+				reason = core.TermCanceled
+			}
+			running = false
+		case <-janitor.C:
+			f.evictStale(s)
+		}
+	}
+
+	f.mu.Lock()
+	stats := s.stats
+	stats.Generated += front.Stats.Generated
+	stats.Expanded += front.Stats.Expanded
+	stats.Goals += front.Stats.Goals
+	stats.PrunedChildren += front.Stats.PrunedChildren
+	stats.PrunedActive += front.Stats.PrunedActive
+	stats.IncumbentUpdates += front.Stats.IncumbentUpdates
+	if front.Stats.MaxActiveSet > stats.MaxActiveSet {
+		stats.MaxActiveSet = front.Stats.MaxActiveSet
+	}
+	best, bestSeq := s.best, s.bestSeq
+	if reason == core.TermExhausted {
+		switch {
+		case s.timedOut:
+			reason = core.TermTimeLimit
+		case s.lost:
+			reason = core.TermResourceLoss
+		}
+	}
+	stats.TimedOut = reason == core.TermTimeLimit
+	f.mu.Unlock()
+
+	return f.assemble(g, plat, p, stats, best, bestSeq, front.Seed, inv, reason)
+}
+
+// assemble builds the final Result over the ORIGINAL graph: the best
+// placement sequence (canonical numbering) is remapped through the
+// inverse permutation and re-verified end to end.
+func (f *Fleet) assemble(g *taskgraph.Graph, plat platform.Platform, p core.Params,
+	stats core.Stats, best taskgraph.Time, bestSeq []sched.Placement,
+	seed *sched.Schedule, inv []taskgraph.TaskID, reason core.TermReason) (core.Result, error) {
+
+	res := core.Result{Cost: taskgraph.Infinity, Params: p, Stats: stats, Reason: reason}
+	pls := bestSeq
+	if pls == nil && seed != nil && best < taskgraph.Infinity {
+		pls = seed.Placements()
+	}
+	if pls != nil {
+		out := sched.NewSchedule(g, plat)
+		for _, pl := range pls {
+			out.Set(inv[pl.Task], pl.Proc, pl.Start)
+		}
+		if !out.Complete() {
+			return core.Result{}, fmt.Errorf("dist: merged schedule incomplete")
+		}
+		if err := out.Check(); err != nil {
+			return core.Result{}, fmt.Errorf("dist: merged schedule invalid: %w", err)
+		}
+		if got := out.Lmax(); got != best {
+			return core.Result{}, fmt.Errorf("dist: merged cost drift: recorded %d, remapped %d", best, got)
+		}
+		res.Schedule = out
+		res.Cost = best
+	}
+	res.Guarantee = reason == core.TermExhausted && p.Branching.Exact() && res.Schedule != nil
+	res.Optimal = res.Guarantee && p.BR == 0
+	return res, nil
+}
+
+// checkDistributable rejects parameter combinations the wire protocol
+// cannot ship or the split cannot keep sound.
+func checkDistributable(p core.Params) error {
+	switch {
+	case p.Dominance:
+		return fmt.Errorf("dist: the dominance rule is not distributable (the domination table is global)")
+	case p.Resources.MaxActiveSet != 0 || p.Resources.MaxChildren != 0:
+		return fmt.Errorf("dist: MAXSZAS/MAXSZDB are not distributable")
+	case p.UpperBound == core.UpperBoundSeeded:
+		return fmt.Errorf("dist: seeded upper bounds are not distributable")
+	case p.Observer != nil:
+		return fmt.Errorf("dist: observers are not distributable")
+	case p.Prefix != nil || p.Link != nil:
+		return fmt.Errorf("dist: Prefix/Link are owned by the fabric")
+	case p.UseGlobalBound:
+		return fmt.Errorf("dist: external global bounds are not distributable")
+	case p.ChildOrder != core.ChildrenByLowerBound || p.LLBTie != core.TieOldest:
+		return fmt.Errorf("dist: non-default child order / tie-break are not on the wire")
+	case p.ReferenceKernel:
+		return fmt.Errorf("dist: the reference kernel is a local differential-testing mode")
+	}
+	return nil
+}
+
+// evictStale re-queues the slices of every worker whose lease expired.
+func (f *Fleet) evictStale(s *activeSolve) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s.finished {
+		return
+	}
+	cutoff := time.Now().Add(-f.cfg.LeaseTTL)
+	for id, w := range f.workers {
+		slices := s.owned[id]
+		if len(slices) == 0 || w.lastSeen.After(cutoff) {
+			continue
+		}
+		requeued := 0
+		for _, sl := range slices {
+			if s.status[sl] == sliceLeased {
+				s.status[sl] = sliceQueued
+				s.queue = append(s.queue, sl)
+				requeued++
+			}
+		}
+		delete(s.owned, id)
+		f.counters.Evictions.Add(1)
+		f.counters.Redispatched.Add(int64(requeued))
+		f.logf("dist: evicted worker %d (%s): re-dispatching %d slices", id, w.name, requeued)
+	}
+}
+
+// adoptLocked validates a reported schedule by full replay on the
+// canonical graph and, when it strictly improves the incumbent, adopts it
+// and prunes the undispatched queue against the new bound. Callers hold
+// f.mu. Returns whether the incumbent improved.
+func (f *Fleet) adoptLocked(s *activeSolve, cost taskgraph.Time, pls []sched.Placement) bool {
+	if cost >= s.best || len(pls) != s.g.NumTasks() {
+		return false
+	}
+	if !replayOK(s.g, s.plat, pls, cost) {
+		f.logf("dist: rejected incumbent claim %d: replay mismatch", cost)
+		return false
+	}
+	s.best = cost
+	s.bestSeq = append([]sched.Placement(nil), pls...)
+	s.stats.IncumbentUpdates++
+	f.counters.Broadcasts.Add(1)
+
+	// Prune the undispatched tail: these slices are eliminated by the new
+	// validated bound exactly as a sequential active set would drop them.
+	limit := core.PruneLimit(s.best, s.p.BR)
+	kept := s.queue[:0]
+	for _, sl := range s.queue {
+		if s.slices[sl].LB >= limit {
+			s.status[sl] = sliceDone
+			s.pending--
+			s.stats.PrunedActive++
+			continue
+		}
+		kept = append(kept, sl)
+	}
+	s.queue = kept
+	if s.pending == 0 && !s.finished {
+		s.finished = true
+		close(s.done)
+	}
+	return true
+}
+
+// replayOK verifies a claimed schedule: the placement sequence must
+// replay exactly (readiness, recorded times) and land on the claimed
+// cost with every task placed.
+func replayOK(g *taskgraph.Graph, plat platform.Platform, pls []sched.Placement, cost taskgraph.Time) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	st := sched.NewState(g, plat)
+	if err := st.Replay(pls); err != nil {
+		return false
+	}
+	return st.Lmax() == cost
+}
+
+// ---- HTTP surface ----
+
+// Handler returns the coordinator's HTTP API under /dist/v1/.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist/v1/join", f.handleJoin)
+	mux.HandleFunc("/dist/v1/lease", f.handleLease)
+	mux.HandleFunc("/dist/v1/report", f.handleReport)
+	mux.HandleFunc("/dist/v1/incumbent", f.handleIncumbent)
+	mux.HandleFunc("/dist/v1/heartbeat", f.handleHeartbeat)
+	return mux
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var req T
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return req, false
+	}
+	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func (f *Fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[JoinRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	ws := f.touch(0, req.Name)
+	f.mu.Unlock()
+	f.logf("dist: worker %d (%s) joined", ws.id, ws.name)
+	writeJSON(w, JoinResponse{
+		WorkerID:    ws.id,
+		LeaseTTLMS:  int64(f.cfg.LeaseTTL / time.Millisecond),
+		HeartbeatMS: int64(f.cfg.Heartbeat / time.Millisecond),
+	})
+}
+
+func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[LeaseRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.WorkerID <= 0 {
+		writeError(w, http.StatusBadRequest, "worker_id required (join first)")
+		return
+	}
+	max := req.Max
+	if max <= 0 || max > f.cfg.MaxLease {
+		max = f.cfg.MaxLease
+	}
+
+	f.mu.Lock()
+	ws := f.touch(req.WorkerID, req.Name)
+	s := f.cur
+	if s == nil || s.finished {
+		f.mu.Unlock()
+		writeJSON(w, LeaseResponse{None: true, RetryMS: int64(f.cfg.RetryAfter / time.Millisecond), Incumbent: int64(taskgraph.Infinity)})
+		return
+	}
+
+	var granted []int
+	for len(granted) < max && len(s.queue) > 0 {
+		sl := s.queue[0]
+		s.queue = s.queue[1:]
+		granted = append(granted, sl)
+	}
+	f.counters.Dispatched.Add(int64(len(granted)))
+	if len(granted) == 0 {
+		// Work stealing: take the tail of the most-loaded worker's batch —
+		// the slices it has not started yet — and leave it at least one.
+		if victim, n := f.stealVictim(s, ws.id); victim != 0 {
+			owned := s.owned[victim]
+			steal := owned[n-1]
+			s.owned[victim] = owned[:n-1]
+			granted = append(granted, steal)
+			f.counters.Stolen.Add(1)
+			f.counters.Dispatched.Add(1)
+		}
+	}
+	if len(granted) == 0 {
+		f.mu.Unlock()
+		writeJSON(w, LeaseResponse{None: true, RetryMS: int64(f.cfg.RetryAfter / time.Millisecond), Incumbent: int64(taskgraph.Infinity)})
+		return
+	}
+
+	resp := LeaseResponse{
+		SolveID:       s.id,
+		Procs:         s.plat.M,
+		Params:        s.spec,
+		SliceBudgetMS: s.budgetMS,
+		Incumbent:     int64(s.best),
+	}
+	if req.HaveSolve != s.id {
+		resp.Graph = s.graphRaw
+	}
+	for _, sl := range granted {
+		s.status[sl] = sliceLeased
+		s.owned[ws.id] = append(s.owned[ws.id], sl)
+		resp.Slices = append(resp.Slices, WireSlice{ID: sl, Prefix: s.slices[sl].Prefix})
+	}
+	f.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// stealVictim picks the worker with the most leased slices (at least 2,
+// excluding the thief). Callers hold f.mu. Returns the victim ID and its
+// owned count, or (0, 0).
+func (f *Fleet) stealVictim(s *activeSolve, thief int64) (int64, int) {
+	var victim int64
+	best := 1
+	for id, owned := range s.owned {
+		if id == thief {
+			continue
+		}
+		if len(owned) > best {
+			victim, best = id, len(owned)
+		}
+	}
+	if victim == 0 {
+		return 0, 0
+	}
+	return victim, best
+}
+
+func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[ReportRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.touch(req.WorkerID, "")
+	s := f.cur
+	if s == nil || s.id != req.SolveID {
+		f.mu.Unlock()
+		writeJSON(w, ReportResponse{Accepted: false, Abandon: true, Incumbent: int64(taskgraph.Infinity)})
+		return
+	}
+	if req.SliceID < 0 || req.SliceID >= len(s.slices) {
+		f.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "unknown slice id")
+		return
+	}
+	f.counters.Reports.Add(1)
+	dropOwned(s, req.WorkerID, req.SliceID)
+
+	resp := ReportResponse{}
+	if s.status[req.SliceID] == sliceDone {
+		// A faster worker or a re-dispatch already accounted for this
+		// slice: discard so Stats never double-count one subtree.
+		f.counters.Duplicates.Add(1)
+	} else {
+		resp.Accepted = true
+		s.status[req.SliceID] = sliceDone
+		s.pending--
+		dequeue(s, req.SliceID)
+		s.stats.Generated += req.Stats.Generated
+		s.stats.Expanded += req.Stats.Expanded
+		s.stats.Goals += req.Stats.Goals
+		s.stats.PrunedChildren += req.Stats.PrunedChildren
+		s.stats.PrunedActive += req.Stats.PrunedActive
+		if req.Stats.MaxActiveSet > s.stats.MaxActiveSet {
+			s.stats.MaxActiveSet = req.Stats.MaxActiveSet
+		}
+		if !req.Exhausted {
+			f.logf("dist: slice %d accepted non-exhausted (%s) from worker %d: optimality proof lost",
+				req.SliceID, req.Reason, req.WorkerID)
+			if req.Reason == "timeout" {
+				s.timedOut = true
+			} else {
+				s.lost = true
+			}
+		}
+		if len(req.Placements) > 0 {
+			f.adoptLocked(s, taskgraph.Time(req.Cost), req.Placements)
+		}
+		if s.pending == 0 && !s.finished {
+			s.finished = true
+			close(s.done)
+		}
+	}
+	resp.Incumbent = int64(s.best)
+	resp.Abandon = s.finished
+	f.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// dropOwned removes a slice from a worker's owned list. Callers hold f.mu.
+func dropOwned(s *activeSolve, worker int64, slice int) {
+	owned := s.owned[worker]
+	for i, sl := range owned {
+		if sl == slice {
+			s.owned[worker] = append(owned[:i], owned[i+1:]...)
+			return
+		}
+	}
+}
+
+// dequeue removes a slice from the dispatch queue if still present (a
+// slice reported by a slow former owner can complete while re-queued).
+// Callers hold f.mu.
+func dequeue(s *activeSolve, slice int) {
+	for i, sl := range s.queue {
+		if sl == slice {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *Fleet) handleIncumbent(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[IncumbentRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.touch(req.WorkerID, "")
+	s := f.cur
+	if s == nil || s.id != req.SolveID {
+		f.mu.Unlock()
+		writeJSON(w, IncumbentResponse{Incumbent: int64(taskgraph.Infinity)})
+		return
+	}
+	f.adoptLocked(s, taskgraph.Time(req.Cost), req.Placements)
+	best := s.best
+	f.mu.Unlock()
+	writeJSON(w, IncumbentResponse{Incumbent: int64(best)})
+}
+
+func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[HeartbeatRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.touch(req.WorkerID, "")
+	s := f.cur
+	resp := HeartbeatResponse{Incumbent: int64(taskgraph.Infinity)}
+	if s != nil && s.id == req.SolveID && !s.finished {
+		resp.Incumbent = int64(s.best)
+	} else {
+		resp.Abandon = true
+	}
+	f.mu.Unlock()
+	writeJSON(w, resp)
+}

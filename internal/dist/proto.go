@@ -1,0 +1,245 @@
+// Package dist is the distributed branch-and-bound fabric: a coordinator
+// that shards one search into self-contained frontier slices
+// (core.EnumerateFrontier), a JSON/HTTP wire protocol for shipping slices
+// to workers, and a worker client that solves slices with the sequential
+// kernel under a shared incumbent (core.IncumbentLink).
+//
+// Soundness rests on three invariants, argued in DESIGN.md:
+//
+//   - Frontier split: the coordinator's expansion plus the slice subtrees
+//     partition the sequential search tree exactly, so solving every slice
+//     and folding the results reproduces the sequential cost.
+//   - Incumbent broadcast: only validated, achievable schedules become the
+//     shared bound, so pruning against it can never remove the optimum.
+//   - Accounting: a slice counts toward the optimality proof only when
+//     some worker exhausted it (or the validated incumbent pruned it);
+//     duplicated reports from slow workers are deduplicated first-wins.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// ParamsSpec names the search rules on the wire, with the same vocabulary
+// as cmd/bbsched and the bbserved solve endpoint: select ∈ {lifo, llb,
+// fifo}, branch ∈ {bfn, df, bf1}, bound ∈ {lb1, lb0, none}; empty strings
+// pick the paper's recommended defaults.
+type ParamsSpec struct {
+	Select string  `json:"select,omitempty"`
+	Branch string  `json:"branch,omitempty"`
+	Bound  string  `json:"bound,omitempty"`
+	BR     float64 `json:"br,omitempty"`
+}
+
+// Params decodes the wire names into solver parameters.
+func (s ParamsSpec) Params() (core.Params, error) {
+	var p core.Params
+	switch s.Select {
+	case "", "lifo":
+		p.Selection = core.SelectLIFO
+	case "llb":
+		p.Selection = core.SelectLLB
+	case "fifo":
+		p.Selection = core.SelectFIFO
+	default:
+		return p, fmt.Errorf("dist: unknown selection rule %q", s.Select)
+	}
+	switch s.Branch {
+	case "", "bfn":
+		p.Branching = core.BranchBFn
+	case "df":
+		p.Branching = core.BranchDF
+	case "bf1":
+		p.Branching = core.BranchBF1
+	default:
+		return p, fmt.Errorf("dist: unknown branching rule %q", s.Branch)
+	}
+	switch s.Bound {
+	case "", "lb1":
+		p.Bound = core.BoundLB1
+	case "lb0":
+		p.Bound = core.BoundLB0
+	case "none":
+		p.Bound = core.BoundNone
+	default:
+		return p, fmt.Errorf("dist: unknown bound %q", s.Bound)
+	}
+	if s.BR < 0 || s.BR >= 1 {
+		return p, fmt.Errorf("dist: BR %v outside [0,1)", s.BR)
+	}
+	p.BR = s.BR
+	return p, nil
+}
+
+// SpecFromParams encodes solver parameters into their wire names. Only
+// the fields a worker needs travel; everything else must be zero (the
+// coordinator validates before splitting).
+func SpecFromParams(p core.Params) (ParamsSpec, error) {
+	var s ParamsSpec
+	switch p.Selection {
+	case core.SelectLIFO:
+		s.Select = "lifo"
+	case core.SelectLLB:
+		s.Select = "llb"
+	case core.SelectFIFO:
+		s.Select = "fifo"
+	default:
+		return s, fmt.Errorf("dist: unencodable selection rule %v", p.Selection)
+	}
+	switch p.Branching {
+	case core.BranchBFn:
+		s.Branch = "bfn"
+	case core.BranchDF:
+		s.Branch = "df"
+	case core.BranchBF1:
+		s.Branch = "bf1"
+	default:
+		return s, fmt.Errorf("dist: unencodable branching rule %v", p.Branching)
+	}
+	switch p.Bound {
+	case core.BoundLB1:
+		s.Bound = "lb1"
+	case core.BoundLB0:
+		s.Bound = "lb0"
+	case core.BoundNone:
+		s.Bound = "none"
+	default:
+		return s, fmt.Errorf("dist: unencodable bound %v", p.Bound)
+	}
+	s.BR = p.BR
+	return s, nil
+}
+
+// WireSlice is one frontier slice on the wire. IDs index the
+// coordinator's slice table and are unique within a solve.
+type WireSlice struct {
+	ID     int               `json:"id"`
+	Prefix []sched.Placement `json:"prefix"`
+}
+
+// WireStats carries the deterministic search-effort counters of one slice
+// solve back to the coordinator (wall-clock fields deliberately omitted).
+type WireStats struct {
+	Generated        int64 `json:"generated"`
+	Expanded         int64 `json:"expanded"`
+	Goals            int64 `json:"goals"`
+	PrunedChildren   int64 `json:"pruned_children"`
+	PrunedActive     int64 `json:"pruned_active"`
+	IncumbentUpdates int   `json:"incumbent_updates"`
+	MaxActiveSet     int   `json:"max_active_set"`
+}
+
+func wireStats(st core.Stats) WireStats {
+	return WireStats{
+		Generated:        st.Generated,
+		Expanded:         st.Expanded,
+		Goals:            st.Goals,
+		PrunedChildren:   st.PrunedChildren,
+		PrunedActive:     st.PrunedActive,
+		IncumbentUpdates: st.IncumbentUpdates,
+		MaxActiveSet:     st.MaxActiveSet,
+	}
+}
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// JoinResponse assigns the worker its identity and the fabric's timing
+// contract: miss heartbeats for longer than lease_ttl_ms and the
+// coordinator evicts you and re-dispatches your slices.
+type JoinResponse struct {
+	WorkerID    int64 `json:"worker_id"`
+	LeaseTTLMS  int64 `json:"lease_ttl_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// LeaseRequest asks for work. HaveSolve names the solve whose graph the
+// worker already holds, so the (identical) graph bytes are not re-sent on
+// every lease of one solve.
+type LeaseRequest struct {
+	WorkerID  int64  `json:"worker_id"`
+	Name      string `json:"name,omitempty"` // re-registers after coordinator restart
+	HaveSolve uint64 `json:"have_solve,omitempty"`
+	Max       int    `json:"max,omitempty"` // max slices to grant (0 = coordinator default)
+}
+
+// LeaseResponse grants zero or more slices of the active solve. None
+// means there is nothing to do right now; poll again after RetryMS.
+// Graph is the canonical graph encoding, present only when SolveID
+// differs from the request's HaveSolve.
+type LeaseResponse struct {
+	None          bool        `json:"none,omitempty"`
+	RetryMS       int64       `json:"retry_ms,omitempty"`
+	SolveID       uint64      `json:"solve_id,omitempty"`
+	Graph         []byte      `json:"graph,omitempty"`
+	Procs         int         `json:"procs,omitempty"`
+	Params        ParamsSpec  `json:"params,omitempty"`
+	SliceBudgetMS int64       `json:"slice_budget_ms,omitempty"`
+	Incumbent     int64       `json:"incumbent"`
+	Slices        []WireSlice `json:"slices,omitempty"`
+}
+
+// ReportRequest returns the outcome of one slice solve. Cost/Placements
+// carry the best schedule the slice found (canonical numbering) when it
+// improved on the incumbent the worker last saw — the synchronous backstop
+// for the asynchronous incumbent channel, so a lost broadcast can never
+// lose the optimum.
+type ReportRequest struct {
+	WorkerID   int64             `json:"worker_id"`
+	SolveID    uint64            `json:"solve_id"`
+	SliceID    int               `json:"slice_id"`
+	Exhausted  bool              `json:"exhausted"`
+	Reason     string            `json:"reason"`
+	Cost       int64             `json:"cost,omitempty"`
+	Placements []sched.Placement `json:"placements,omitempty"`
+	Stats      WireStats         `json:"stats"`
+}
+
+// ReportResponse acknowledges a slice report. Accepted is false when the
+// slice was already accounted for (a faster worker or a re-dispatch beat
+// this report); the work is then discarded so Stats never double-count.
+type ReportResponse struct {
+	Accepted  bool  `json:"accepted"`
+	Incumbent int64 `json:"incumbent"`
+	Abandon   bool  `json:"abandon,omitempty"`
+}
+
+// IncumbentRequest publishes an improvement mid-slice. The coordinator
+// validates the schedule by replay before adopting it.
+type IncumbentRequest struct {
+	WorkerID   int64             `json:"worker_id"`
+	SolveID    uint64            `json:"solve_id"`
+	Cost       int64             `json:"cost"`
+	Placements []sched.Placement `json:"placements"`
+}
+
+// IncumbentResponse returns the globally best incumbent, which may be
+// better than the one just published.
+type IncumbentResponse struct {
+	Incumbent int64 `json:"incumbent"`
+}
+
+// HeartbeatRequest keeps a worker's lease alive while it grinds through a
+// long slice, and doubles as the incumbent poll.
+type HeartbeatRequest struct {
+	WorkerID int64  `json:"worker_id"`
+	SolveID  uint64 `json:"solve_id,omitempty"`
+}
+
+// HeartbeatResponse carries the freshest incumbent back. Abandon tells
+// the worker its solve is gone (finished or canceled): drop the leased
+// slices and lease anew.
+type HeartbeatResponse struct {
+	Incumbent int64 `json:"incumbent"`
+	Abandon   bool  `json:"abandon,omitempty"`
+}
+
+// ErrorResponse mirrors the server package's error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

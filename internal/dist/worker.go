@@ -1,0 +1,355 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:9091".
+	Coordinator string
+
+	// Name labels this worker in coordinator logs.
+	Name string
+
+	// Poll is the idle polling interval when the coordinator has no work
+	// (default 100ms; the coordinator's retry hint wins when longer).
+	Poll time.Duration
+
+	// MaxLease asks for at most this many slices per lease (0 = the
+	// coordinator's default).
+	MaxLease int
+
+	// Client is the HTTP client to use (default: 10s timeout).
+	Client *http.Client
+
+	// Logf, when non-nil, receives worker diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the execution side of the fabric: it leases frontier slices,
+// solves each with the sequential kernel under the shared incumbent
+// (Prefix + IncumbentLink), publishes improvements immediately, and
+// reports every slice outcome back.
+type Worker struct {
+	cfg       WorkerConfig
+	id        int64
+	heartbeat time.Duration
+
+	// Cached solve: one coordinator runs one solve at a time, so the
+	// graph travels once per solve, not once per lease.
+	solveID uint64
+	g       *taskgraph.Graph
+	plat    platform.Platform
+	params  core.Params
+	budget  time.Duration
+
+	// best mirrors the globally best incumbent cost; refreshed by every
+	// coordinator response and lowered by local improvements. The solver
+	// polls it through the IncumbentLink.
+	best atomic.Int64
+
+	// SlicesSolved counts completed slice solves (test/diagnostic hook).
+	SlicesSolved atomic.Int64
+}
+
+// NewWorker returns an unconnected worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 100 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Worker{cfg: cfg, heartbeat: time.Second}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// post sends one JSON request to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //bbvet:ignore errcheck — close on a fully-read response body
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("dist: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("dist: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// lowerBest lowers the incumbent mirror to cost if it improves it.
+func (w *Worker) lowerBest(cost int64) {
+	for {
+		cur := w.best.Load()
+		if cost >= cur || w.best.CompareAndSwap(cur, cost) {
+			return
+		}
+	}
+}
+
+// Run joins the coordinator and processes leases until ctx is canceled.
+// Transient coordinator failures are retried; Run only returns on ctx
+// cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		var join JoinResponse
+		err := w.post(ctx, "/dist/v1/join", JoinRequest{Name: w.cfg.Name}, &join)
+		if err == nil {
+			w.id = join.WorkerID
+			if join.HeartbeatMS > 0 {
+				w.heartbeat = time.Duration(join.HeartbeatMS) * time.Millisecond
+			}
+			w.logf("dist: joined %s as worker %d (heartbeat %v)", w.cfg.Coordinator, w.id, w.heartbeat)
+			break
+		}
+		w.logf("dist: join failed: %v", err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.cfg.Poll):
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		err := w.post(ctx, "/dist/v1/lease", LeaseRequest{
+			WorkerID: w.id, Name: w.cfg.Name, HaveSolve: w.solveID, Max: w.cfg.MaxLease,
+		}, &lease)
+		if err != nil {
+			w.logf("dist: lease failed: %v", err)
+			w.sleep(ctx, w.cfg.Poll)
+			continue
+		}
+		if lease.None {
+			wait := w.cfg.Poll
+			if retry := time.Duration(lease.RetryMS) * time.Millisecond; retry > wait {
+				wait = retry
+			}
+			w.sleep(ctx, wait)
+			continue
+		}
+		if err := w.adoptLease(&lease); err != nil {
+			w.logf("dist: bad lease: %v", err)
+			w.sleep(ctx, w.cfg.Poll)
+			continue
+		}
+		w.best.Store(lease.Incumbent)
+		abandon := false
+		for _, sl := range lease.Slices {
+			if abandon || ctx.Err() != nil {
+				break
+			}
+			abandon = w.solveSlice(ctx, sl)
+		}
+	}
+}
+
+// adoptLease installs the lease's solve (decoding the graph when it
+// changed since the last lease).
+func (w *Worker) adoptLease(lease *LeaseResponse) error {
+	if lease.SolveID == w.solveID && w.g != nil {
+		return nil
+	}
+	if lease.Graph == nil {
+		return fmt.Errorf("new solve %d arrived without graph bytes", lease.SolveID)
+	}
+	g := new(taskgraph.Graph)
+	if err := json.Unmarshal(lease.Graph, g); err != nil {
+		return fmt.Errorf("graph decode: %w", err)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	p, err := lease.Params.Params()
+	if err != nil {
+		return err
+	}
+	plat := platform.New(lease.Procs)
+	if err := plat.Validate(); err != nil {
+		return err
+	}
+	w.solveID, w.g, w.plat, w.params = lease.SolveID, g, plat, p
+	w.budget = time.Duration(lease.SliceBudgetMS) * time.Millisecond
+	w.logf("dist: solve %d: %d tasks on %d procs, params %v", lease.SolveID, g.NumTasks(), lease.Procs, p)
+	return nil
+}
+
+// solveSlice runs one frontier slice to completion under the shared
+// incumbent and reports the outcome. Returns true when the coordinator
+// abandoned the solve (stop working on this lease).
+func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
+	slCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The publisher goroutine ships improvements asynchronously so the
+	// search never blocks on the network; latest-wins, and the final
+	// report re-carries the best sequence synchronously as the backstop.
+	var (
+		pubMu      sync.Mutex
+		latest     *IncumbentRequest
+		lastCost   = taskgraph.Time(taskgraph.Infinity)
+		lastSeq    []sched.Placement
+		notify     = make(chan struct{}, 1)
+		stop       = make(chan struct{})
+		goroutines sync.WaitGroup
+	)
+	goroutines.Add(2)
+	go func() { // publisher
+		defer goroutines.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-notify:
+				pubMu.Lock()
+				req := latest
+				latest = nil
+				pubMu.Unlock()
+				if req == nil {
+					continue
+				}
+				var resp IncumbentResponse
+				if err := w.post(slCtx, "/dist/v1/incumbent", req, &resp); err == nil {
+					w.lowerBest(resp.Incumbent)
+				}
+			}
+		}
+	}()
+	go func() { // heartbeat: keeps the lease alive, polls the incumbent
+		defer goroutines.Done()
+		tick := time.NewTicker(w.heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var resp HeartbeatResponse
+				err := w.post(slCtx, "/dist/v1/heartbeat", HeartbeatRequest{WorkerID: w.id, SolveID: w.solveID}, &resp)
+				if err != nil {
+					continue
+				}
+				if resp.Abandon {
+					cancel()
+					return
+				}
+				w.lowerBest(resp.Incumbent)
+			}
+		}
+	}()
+
+	p := w.params
+	p.Prefix = sl.Prefix
+	p.UpperBound = core.UpperBoundFixed
+	p.FixedUpperBound = taskgraph.Time(w.best.Load())
+	p.Resources.TimeLimit = w.budget
+	p.Link = &core.IncumbentLink{
+		Best: func() taskgraph.Time { return taskgraph.Time(w.best.Load()) },
+		Publish: func(cost taskgraph.Time, pls []sched.Placement) {
+			w.lowerBest(int64(cost))
+			seq := append([]sched.Placement(nil), pls...)
+			pubMu.Lock()
+			lastCost, lastSeq = cost, seq
+			latest = &IncumbentRequest{WorkerID: w.id, SolveID: w.solveID, Cost: int64(cost), Placements: seq}
+			pubMu.Unlock()
+			select {
+			case notify <- struct{}{}:
+			default:
+			}
+		},
+	}
+
+	res, err := core.SolveContext(slCtx, w.g, w.plat, p)
+	close(stop)
+	goroutines.Wait()
+	w.SlicesSolved.Add(1)
+
+	report := ReportRequest{WorkerID: w.id, SolveID: w.solveID, SliceID: sl.ID}
+	if err != nil {
+		w.logf("dist: slice %d failed: %v", sl.ID, err)
+		report.Reason = "error"
+	} else {
+		report.Exhausted = res.Reason == core.TermExhausted
+		report.Reason = reasonString(res.Reason)
+		report.Stats = wireStats(res.Stats)
+		// Synchronous backstop: re-carry the best schedule this slice
+		// found. Even if every async publish was lost, the optimum
+		// reaches the coordinator with the slice's accounting.
+		if lastSeq != nil {
+			report.Cost = int64(lastCost)
+			report.Placements = lastSeq
+		}
+	}
+	var resp ReportResponse
+	if err := w.post(ctx, "/dist/v1/report", report, &resp); err != nil {
+		w.logf("dist: report for slice %d failed: %v", sl.ID, err)
+		return false
+	}
+	w.lowerBest(resp.Incumbent)
+	return resp.Abandon
+}
+
+func reasonString(r core.TermReason) string {
+	switch r {
+	case core.TermExhausted:
+		return "exhausted"
+	case core.TermTimeLimit:
+		return "timeout"
+	case core.TermCanceled:
+		return "canceled"
+	case core.TermResourceLoss:
+		return "loss"
+	case core.TermGlobalBound:
+		return "bound"
+	case core.TermPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("reason-%d", int(r))
+}
+
+// sleep waits for d or ctx cancellation.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/platform"
+)
+
+// TestDistributedSolveEndpoint: a server started with a fleet must mount
+// the worker API, shard "distributed": true solves across workers joined
+// over its own HTTP surface, agree bit-for-bit with the in-process
+// solver, and report fleet counters in /metrics.
+func TestDistributedSolveEndpoint(t *testing.T) {
+	fleet := dist.NewFleet(dist.Config{
+		FrontierTarget: 8,
+		RetryAfter:     5 * time.Millisecond,
+	})
+	s := New(Config{Workers: 2, DefaultBudget: 30 * time.Second, Fleet: fleet})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: ts.URL,
+			Name:        "w",
+			Poll:        5 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	g := testGraph(t, 7)
+	seq, err := core.Solve(g, platform.New(3), core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := solveReq(g, 3, 20000)
+	req.Distributed = true
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed solve: %d %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !sr.Feasible || sr.Lmax != seq.Cost || sr.Optimal != seq.Optimal || sr.Guarantee != seq.Guarantee {
+		t.Fatalf("distributed (lmax=%d opt=%v guar=%v) != sequential (cost=%d opt=%v guar=%v): %s",
+			sr.Lmax, sr.Optimal, sr.Guarantee, seq.Cost, seq.Optimal, seq.Guarantee, body)
+	}
+	if len(sr.Schedule) != g.NumTasks() {
+		t.Fatalf("schedule has %d placements, want %d", len(sr.Schedule), g.NumTasks())
+	}
+
+	// A repeated request must come from the cache, not re-shard the solve.
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", req)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat distributed solve X-Cache = %q, want hit", got)
+	}
+
+	snap := s.Metrics()
+	if snap.Fleet == nil {
+		t.Fatal("metrics missing fleet counters")
+	}
+	if snap.Fleet.Solves != 1 || snap.Fleet.SlicesDispatched == 0 {
+		t.Fatalf("fleet counters: %+v", *snap.Fleet)
+	}
+	if ep, ok := snap.Endpoints["dist"]; !ok || ep.Requests != 2 || ep.CacheHits != 1 {
+		t.Fatalf("dist endpoint metrics: %+v", snap.Endpoints["dist"])
+	}
+	if snap.Endpoints["solve"].Requests != 0 {
+		t.Fatalf("distributed requests leaked into solve metrics: %+v", snap.Endpoints["solve"])
+	}
+}
+
+// TestDistributedRequiresFleet: without -distributed the flag is a clean
+// 400, not a panic or a silent fallback to the local solver.
+func TestDistributedRequiresFleet(t *testing.T) {
+	s := New(Config{Workers: 1, DefaultBudget: time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if snap := s.Metrics(); snap.Fleet != nil {
+		t.Fatal("fleet counters reported without a fleet")
+	}
+
+	g := testGraph(t, 7)
+	req := solveReq(g, 3, 1000)
+	req.Distributed = true
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("expected 400, got %d %s", resp.StatusCode, body)
+	}
+
+	// The worker API must not be mounted either.
+	resp, _ = postJSON(t, ts.URL+"/dist/v1/join", dist.JoinRequest{Name: "w"})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("worker API mounted on a non-distributed server")
+	}
+}

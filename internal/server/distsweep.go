@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func init() {
+	exp.Register("dist-sweep", DistSweep)
+}
+
+// The sweep axes; tests shrink them.
+var (
+	distSweepWorkers = []int{1, 2, 4, 8}
+	distSweepSeeds   = []int64{903, 931}
+)
+
+// distSweepCombos are the parameter combinations swept. Both are exact,
+// so every distributed point must reproduce the sequential cost — the
+// figure measures wall-clock and search effort, never solution quality.
+var distSweepCombos = []struct {
+	name string
+	p    core.Params
+}{
+	{"S=LLB/L=LB1", core.Params{Selection: core.SelectLLB}},
+	{"S=LIFO/L=LB0", core.Params{Bound: core.BoundLB0}},
+}
+
+// DistSweep is the distributed-fabric experiment: hard pinned instances
+// (paper-default workloads whose sequential search floods an Lmax
+// plateau) are solved by a loopback coordinator/worker fleet swept over
+// 1, 2, 4 and 8 workers, against a single-node core.Solve baseline.
+//
+// The figure's columns are re-purposed: Vertices holds the wall-clock
+// speedup (sequential wall / distributed wall, >1 means the fabric wins),
+// Lateness the searched-vertex ratio (distributed expanded / sequential
+// expanded — the redundancy the frontier split pays, or the pruning it
+// gains), MaxAS the incumbent broadcasts the coordinator validated.
+//
+// On a single-CPU host any speedup is a branch-and-bound search-order
+// anomaly, not parallelism: every frontier slice starts from the EDF
+// upper bound, deep slices find strong incumbents long before the
+// sequential best-first order would, and the broadcast prunes the
+// plateau flood the sequential LLB search drowns in. The ratio column
+// makes this legible — speedup tracks expanded-vertex savings, not
+// worker count.
+//
+// Like serve-sweep this measures wall-clock, so cfg.Journal is ignored.
+func DistSweep(cfg exp.Config) (exp.Figure, error) {
+	if err := cfg.Validate(); err != nil {
+		return exp.Figure{}, err
+	}
+
+	type baseline struct {
+		g    *taskgraph.Graph
+		plat platform.Platform
+		wall time.Duration
+		res  core.Result
+	}
+
+	series := make([]exp.Series, len(distSweepCombos))
+	for ci, combo := range distSweepCombos {
+		series[ci] = exp.Series{Variant: combo.name, Points: make([]exp.Point, len(distSweepWorkers))}
+		for j, w := range distSweepWorkers {
+			series[ci].Points[j] = exp.Point{Variant: combo.name, X: float64(w)}
+		}
+
+		p := combo.p
+		p.Resources.TimeLimit = cfg.TimeLimit
+
+		bases := make([]baseline, len(distSweepSeeds))
+		for ii, seed := range distSweepSeeds {
+			g := gen.New(cfg.Workload, seed).Graph()
+			if err := deadline.Assign(g, cfg.Workload.Laxity, cfg.Slicing); err != nil {
+				return exp.Figure{}, err
+			}
+			plat := platform.New(3)
+			t0 := time.Now()
+			res, err := core.Solve(g, plat, p)
+			if err != nil {
+				return exp.Figure{}, fmt.Errorf("server: dist sweep baseline seed %d: %v", seed, err)
+			}
+			bases[ii] = baseline{g: g, plat: plat, wall: time.Since(t0), res: res}
+			if cfg.Logf != nil {
+				cfg.Logf("exp: dist-sweep %s seed=%d sequential: cost=%d expanded=%d %v",
+					combo.name, seed, res.Cost, res.Stats.Expanded, bases[ii].wall.Round(time.Millisecond))
+			}
+		}
+
+		for j, workers := range distSweepWorkers {
+			pt := &series[ci].Points[j]
+			for ii, base := range bases {
+				res, wall, broadcasts, err := distSolve(base.g, base.plat, p, workers)
+				if err != nil {
+					return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d: %v", combo.name, workers, err)
+				}
+				if res.Cost != base.res.Cost {
+					return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d seed %d: distributed cost %d != sequential %d",
+						combo.name, workers, distSweepSeeds[ii], res.Cost, base.res.Cost)
+				}
+				pt.Vertices.Add(base.wall.Seconds() / wall.Seconds())
+				pt.Lateness.Add(float64(res.Stats.Expanded) / float64(base.res.Stats.Expanded))
+				pt.MaxAS.AddInt(broadcasts)
+				pt.Runs++
+				if cfg.Logf != nil {
+					cfg.Logf("exp: dist-sweep %s w=%d seed=%d: speedup %.2f, vertex ratio %.2f (%v)",
+						combo.name, workers, distSweepSeeds[ii],
+						base.wall.Seconds()/wall.Seconds(),
+						float64(res.Stats.Expanded)/float64(base.res.Stats.Expanded),
+						wall.Round(time.Millisecond))
+				}
+			}
+		}
+	}
+
+	return exp.Figure{
+		ID:     "dist-sweep",
+		Title:  "distributed B&B fabric: speedup and search overhead vs worker count",
+		XLabel: "workers",
+		Series: series,
+
+		VertexLabel:   "speedup (seq wall / dist wall)",
+		LatenessLabel: "searched-vertex ratio (dist / seq)",
+		ASLabel:       "incumbent broadcasts",
+		RunsLabel:     "instances",
+	}, nil
+}
+
+// distSolve stands up a fresh coordinator on a loopback socket plus
+// `workers` fleet workers, runs one distributed solve, and tears
+// everything down.
+func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, workers int) (core.Result, time.Duration, int64, error) {
+	fleet := dist.NewFleet(dist.Config{RetryAfter: 2 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return core.Result{}, 0, 0, err
+	}
+	hs := &http.Server{Handler: fleet.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: "http://" + ln.Addr().String(),
+			Name:        "sweep",
+			Poll:        2 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+
+	t0 := time.Now()
+	res, err := fleet.Solve(context.Background(), g, plat, p)
+	wall := time.Since(t0)
+
+	cancel()
+	wg.Wait()
+	_ = hs.Close() //bbvet:ignore errcheck — loopback listener teardown
+	<-serveErr
+	if err != nil {
+		return core.Result{}, 0, 0, err
+	}
+	return res, wall, fleet.Snapshot().IncumbentBroadcasts, nil
+}

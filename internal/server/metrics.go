@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/dist"
 )
 
 // latency histogram: power-of-two buckets in microseconds. Bucket i counts
@@ -123,4 +125,8 @@ type MetricsSnapshot struct {
 	SharedWaits int64 `json:"shared_waits"` // callers served by another caller's in-flight solve
 
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+
+	// Fleet holds the distributed-fabric counters when the server was
+	// configured with one (bbserved -distributed); omitted otherwise.
+	Fleet *dist.CountersSnapshot `json:"fleet,omitempty"`
 }

@@ -63,6 +63,11 @@ type SolveRequest struct {
 	BR       float64 `json:"br,omitempty"`
 	BudgetMS int64   `json:"budget_ms,omitempty"`
 	Workers  int     `json:"workers,omitempty"` // >1 → parallel solver
+	// Distributed shards the solve across the coordinator's worker fleet
+	// instead of solving in-process. Requires the server to be started
+	// with a Fleet (bbserved -distributed); mutually exclusive with
+	// Workers.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 func (r *SolveRequest) params() (core.Params, error) {

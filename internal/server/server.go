@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/listsched"
 	"repro/internal/platform"
@@ -65,6 +66,12 @@ type Config struct {
 	// (default 5s); MaxBudget clamps explicit budgets (default 60s).
 	DefaultBudget time.Duration
 	MaxBudget     time.Duration
+
+	// Fleet, when non-nil, turns this server into a distributed B&B
+	// coordinator: the /dist/v1/ worker API is mounted, solve requests
+	// with "distributed": true are sharded across the fleet's workers,
+	// and /metrics reports the fleet counters.
+	Fleet *dist.Fleet
 
 	// Logf receives one line per served request; nil discards.
 	Logf func(format string, args ...any)
@@ -138,6 +145,7 @@ func New(cfg Config) *Server {
 			"list":    {},
 			"analyze": {},
 			"recover": {},
+			"dist":    {},
 		},
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -147,6 +155,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Fleet != nil {
+		s.mux.Handle("POST /dist/v1/", cfg.Fleet.Handler())
+	}
 	return s
 }
 
@@ -181,7 +192,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	for name, m := range s.metrics {
 		eps[name] = m.snapshot()
 	}
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		UptimeMS:          time.Since(s.started).Milliseconds(),
 		Draining:          s.draining.Load(),
 		Workers:           s.pool.workers(),
@@ -195,6 +206,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SharedWaits:       s.cache.sharedHit.Load(),
 		Endpoints:         eps,
 	}
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Snapshot()
+		snap.Fleet = &fs
+	}
+	return snap
 }
 
 // ---- request plumbing -------------------------------------------------
@@ -359,14 +375,29 @@ func remapBody[R any](cg canonGraph, body []byte, placements func(*R) []sched.Pl
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	var req SolveRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, s.metrics["solve"], start, err)
+		return
+	}
+	// Distributed solves are accounted separately so /metrics can tell
+	// fleet traffic apart from in-process solves.
 	m := s.metrics["solve"]
+	if req.Distributed {
+		m = s.metrics["dist"]
+	}
 	if !s.admit(w, m, start) {
 		return
 	}
-	var req SolveRequest
-	if err := s.decode(w, r, &req); err != nil {
-		s.badRequest(w, m, start, err)
-		return
+	if req.Distributed {
+		if s.cfg.Fleet == nil {
+			s.badRequest(w, m, start, fmt.Errorf("distributed solve requested but server has no fleet (start with -distributed)"))
+			return
+		}
+		if req.Workers > 1 {
+			s.badRequest(w, m, start, fmt.Errorf("workers and distributed are mutually exclusive"))
+			return
+		}
 	}
 	plat, err := req.platform()
 	if err != nil {
@@ -390,10 +421,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, m, start, nil, cacheBypass, err)
 		return
 	}
-	key := fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d",
+	distKey := 0
+	if req.Distributed {
+		distKey = 1
+	}
+	key := fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d",
 		cg.key, plat.M,
 		params.Selection, params.Branching, params.Bound, params.BR,
-		req.Workers, budget)
+		req.Workers, budget, distKey)
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
 		release, err := s.pool.acquire(s.baseCtx)
 		if err != nil {
@@ -402,7 +437,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 		defer cancel()
-		res, err := s.solveFn(ctx, cg.g, plat, params, req.Workers)
+		var res core.Result
+		if req.Distributed {
+			// The fleet re-canonicalizes internally; cg.g is already
+			// canonical so that pass is the identity permutation.
+			res, err = s.cfg.Fleet.Solve(ctx, cg.g, plat, params)
+		} else {
+			res, err = s.solveFn(ctx, cg.g, plat, params, req.Workers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +454,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		body, err = remapBody(cg, body, func(r *SolveResponse) []sched.Placement { return r.Schedule })
 	}
 	s.finish(w, m, start, body, stateOf(hit), err)
-	s.cfg.Logf("solve m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+	s.cfg.Logf("solve m=%d n=%d dist=%v hit=%v %v", plat.M, req.Graph.NumTasks(), req.Distributed, hit, time.Since(start))
 }
 
 func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {

@@ -11,13 +11,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/taskgraph"
 )
 
-// Recorder accumulates search events. Install with Observer(); not safe
-// for concurrent use (the sequential solver emits from one goroutine).
+// Recorder accumulates search events. Install with Observer(). Safe for
+// concurrent emitters (SolveParallel workers, distributed tracing): the
+// callback serializes on an internal mutex, so events land in one totally
+// ordered slice even when the emitting solver provides no global order.
+// The single-goroutine fast path stays allocation-free — an uncontended
+// mutex and a fixed counter array, no per-event allocation beyond the
+// amortized Events append.
+//
+// Count and Truncated may be called while a solve is emitting; the
+// analysis methods (Profile, Improvements, Summary, DOT) and direct
+// Events access must wait until the solve has returned.
 type Recorder struct {
 	Events []core.Event
 
@@ -26,32 +36,49 @@ type Recorder struct {
 	// retained — a full fig3a LLB run can emit tens of millions of events.
 	Cap int
 
-	counts map[core.EventKind]int64
+	mu     sync.Mutex
+	counts [core.EventDrop + 1]int64
+	other  int64 // future kinds beyond the known range
 }
 
 // NewRecorder returns a recorder retaining at most cap events (0 =
 // unlimited).
 func NewRecorder(cap int) *Recorder {
-	return &Recorder{Cap: cap, counts: make(map[core.EventKind]int64)}
+	return &Recorder{Cap: cap}
 }
 
 // Observer returns the callback to install in core.Params.
 func (r *Recorder) Observer() core.Observer {
 	return func(e core.Event) {
-		r.counts[e.Kind]++
+		r.mu.Lock()
+		if e.Kind >= 0 && int(e.Kind) < len(r.counts) {
+			r.counts[e.Kind]++
+		} else {
+			r.other++
+		}
 		if r.Cap == 0 || len(r.Events) < r.Cap {
 			r.Events = append(r.Events, e)
 		}
+		r.mu.Unlock()
 	}
 }
 
 // Count returns how many events of the kind were observed (including ones
 // beyond the retention cap).
-func (r *Recorder) Count(kind core.EventKind) int64 { return r.counts[kind] }
+func (r *Recorder) Count(kind core.EventKind) int64 {
+	if kind < 0 || int(kind) >= len(r.counts) {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[kind]
+}
 
 // Truncated reports whether events were dropped by the cap.
 func (r *Recorder) Truncated() bool {
-	var total int64
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.other
 	for _, c := range r.counts {
 		total += c
 	}

@@ -127,13 +127,47 @@ func TestSummaryAndDOT(t *testing.T) {
 	}
 }
 
-func TestParallelRejectsObserver(t *testing.T) {
-	g := taskgraph.Diamond()
-	rec := NewRecorder(0)
-	_, err := core.SolveParallel(g, platform.New(2), core.ParallelParams{
-		Params: core.Params{Observer: rec.Observer()},
-	})
-	if err == nil {
-		t.Fatal("parallel solver accepted an observer")
+// TestRecorderConcurrentObservers drives the recorder from SolveParallel's
+// worker goroutines (run under -race in scripts/check.sh). Events arrive
+// with no global order, but the counters must still reconcile exactly with
+// the aggregated solver stats and every event must keep its unique Seq.
+func TestRecorderConcurrentObservers(t *testing.T) {
+	p := gen.Defaults()
+	gg := gen.New(p, 4041)
+	for i := 0; i < 4; i++ {
+		g := gg.Graph()
+		if err := deadline.Assign(g, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		rec := NewRecorder(0)
+		res, err := core.SolveParallel(g, platform.New(2), core.ParallelParams{
+			Params:  core.Params{Observer: rec.Observer()},
+			Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Count(core.EventExpand); got != res.Stats.Expanded {
+			t.Fatalf("graph %d: expand events %d != stats %d", i, got, res.Stats.Expanded)
+		}
+		if got := rec.Count(core.EventGoal); got != res.Stats.Goals {
+			t.Fatalf("graph %d: goal events %d != stats %d", i, got, res.Stats.Goals)
+		}
+		gen := rec.Count(core.EventGenerate) + rec.Count(core.EventPrune) +
+			rec.Count(core.EventDominated) + rec.Count(core.EventGoal)
+		if gen != res.Stats.Generated {
+			t.Fatalf("graph %d: generate+prune+goal %d != stats.Generated %d", i, gen, res.Stats.Generated)
+		}
+		seen := make(map[uint64]bool, len(rec.Events))
+		for _, e := range rec.Events {
+			if e.Kind == core.EventIncumbent {
+				continue // re-announces the goal's Seq by design
+			}
+			key := e.Seq<<3 | uint64(e.Kind)
+			if e.Kind == core.EventExpand && seen[key] {
+				t.Fatalf("graph %d: duplicate expand seq %d", i, e.Seq)
+			}
+			seen[key] = true
+		}
 	}
 }

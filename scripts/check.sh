@@ -8,10 +8,16 @@
 #
 # Usage: scripts/check.sh [package patterns...]   (default: ./...)
 #        scripts/check.sh bench [out.json]
+#        scripts/check.sh dist
 #
 # The bench form skips the static/race gates and runs the before/after
 # kernel perf harness instead (scripts/bench.sh), writing BENCH_PR4.json
 # and failing if the lifo-df vertices/sec gate is not met.
+#
+# The dist form gates the distributed fabric alone: race-enabled
+# internal/dist tests (frontier equivalence, steal/evict robustness) plus
+# the loopback multi-process e2e (re-exec'd coordinator, two bbworker
+# processes, a SIGKILL'd worker recovered through lease eviction).
 
 set -eu
 
@@ -20,6 +26,19 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "bench" ]; then
     shift
     exec scripts/bench.sh "$@"
+fi
+
+if [ "${1:-}" = "dist" ]; then
+    echo "==> go vet ./internal/dist ./cmd/bbworker"
+    go vet ./internal/dist ./cmd/bbworker
+    echo "==> bbvet ./internal/dist ./cmd/bbworker"
+    go run ./cmd/bbvet ./internal/dist ./cmd/bbworker
+    echo "==> go test -race ./internal/dist"
+    go test -race ./internal/dist
+    echo "==> go test ./cmd/bbworker (loopback multi-process e2e)"
+    go test ./cmd/bbworker
+    echo "==> dist checks passed"
+    exit 0
 fi
 
 pat="${*:-./...}"
