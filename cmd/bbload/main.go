@@ -150,10 +150,10 @@ func spawnWorkers(coordinator string, n int) (func(), error) {
 	procs := make([]*exec.Cmd, 0, n)
 	kill := func() {
 		for _, c := range procs {
-			_ = c.Process.Signal(syscall.SIGTERM) //bbvet:ignore errcheck — already-dead child is fine
+			_ = c.Process.Signal(syscall.SIGTERM) // already-dead child is fine
 		}
 		for _, c := range procs {
-			_ = c.Wait() //bbvet:ignore errcheck — exit status is irrelevant at teardown
+			_ = c.Wait() // exit status is irrelevant at teardown
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -335,7 +335,7 @@ func run(baseURL string, reqs []request, n, c, retries int) *report {
 					}
 					d := backoff(resp.Header.Get("Retry-After"), attempt+1, rng)
 					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close() //bbvet:ignore errcheck
+					_ = resp.Body.Close()
 					rep.retried.Add(1)
 					time.Sleep(d)
 				}
@@ -344,7 +344,7 @@ func run(baseURL string, reqs []request, n, c, retries int) *report {
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close() //bbvet:ignore errcheck
+				_ = resp.Body.Close()
 				rep.observe(time.Since(t0))
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:

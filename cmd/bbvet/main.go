@@ -1,23 +1,29 @@
 // Command bbvet runs the repository's custom static-analysis suite: the
-// layering, nondeterminism, sync-hygiene, unchecked-error and
-// panic-policy analyzers from internal/check.
+// per-package analyzers from internal/check (layering, nondeterminism,
+// sync hygiene, unchecked errors, panic policy) plus the whole-program
+// analyzers (lockorder, goleak, hotalloc, wireschema) that see every
+// requested package at once.
 //
 // Usage:
 //
-//	bbvet [-list] [-run name[,name...]] [packages]
+//	bbvet [-list] [-run name[,name...]] [-baseline file] [-strict-baseline]
+//	      [-write-baseline] [-write-wireschema] [packages]
 //
 // Packages are directory patterns relative to the working directory
 // ("./...", "./internal/core"). With no arguments, "./..." is assumed.
 // bbvet exits 1 when any diagnostic is reported and 2 on operational
 // errors. Individual findings can be allowlisted in the source with a
 // "//bbvet:ignore <analyzer>" comment on the flagged line or the line
-// directly above it.
+// directly above it; pre-existing accepted findings live in the baseline
+// file (-baseline, default internal/check/testdata/bbvet.baseline) and
+// are regenerated with -write-baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/check"
@@ -26,37 +32,49 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default internal/check/testdata/bbvet.baseline; 'none' disables)")
+	strict := flag.Bool("strict-baseline", false, "also fail on baseline entries that match no current finding")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit")
+	writeWireSchema := flag.Bool("write-wireschema", false, "regenerate the wire-schema snapshot from the current source and exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range check.Analyzers() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range check.ProgramAnalyzers() {
+			fmt.Printf("%-10s %s (whole-program)\n", a.Name, a.Doc)
+		}
 		return
 	}
 
-	analyzers := check.Analyzers()
+	pkgAnalyzers := check.Analyzers()
+	progAnalyzers := check.ProgramAnalyzers()
 	if *run != "" {
-		analyzers = analyzers[:0]
+		pkgAnalyzers = pkgAnalyzers[:0]
+		progAnalyzers = progAnalyzers[:0]
 		for _, name := range strings.Split(*run, ",") {
-			a := check.ByName(strings.TrimSpace(name))
-			if a == nil {
-				fmt.Fprintf(os.Stderr, "bbvet: unknown analyzer %q (use -list)\n", name)
-				os.Exit(2)
+			name = strings.TrimSpace(name)
+			if a := check.ByName(name); a != nil {
+				pkgAnalyzers = append(pkgAnalyzers, a)
+				continue
 			}
-			analyzers = append(analyzers, a)
+			if a := check.ProgramAnalyzerByName(name); a != nil {
+				progAnalyzers = append(progAnalyzers, a)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "bbvet: unknown analyzer %q (use -list)\n", name)
+			os.Exit(2)
 		}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	mod, err := check.FindModule(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	patterns := flag.Args()
@@ -65,25 +83,66 @@ func main() {
 	}
 	paths, err := check.ExpandPatterns(mod, cwd, patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	loader := check.NewLoader(mod)
-	exit := 0
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
+	prog, err := check.LoadProgram(mod, paths, check.ProgramConfig{})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writeWireSchema {
+		if err := check.WriteWireSchema(prog.Config.WireSnapshotFile, prog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bbvet: wrote %s\n", prog.Config.WireSnapshotFile)
+		return
+	}
+
+	diags := prog.Run(pkgAnalyzers, progAnalyzers)
+
+	if *writeBaseline {
+		path := resolveBaseline(mod, *baselinePath)
+		if path == "" {
+			fatal(fmt.Errorf("-write-baseline with -baseline none"))
+		}
+		if err := check.WriteBaseline(path, mod, diags); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bbvet: wrote %s (%d entries)\n", path, len(diags))
+		return
+	}
+
+	if path := resolveBaseline(mod, *baselinePath); path != "" {
+		baseline, err := check.LoadBaseline(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bbvet: %s: %v\n", path, err)
-			exit = 2
-			continue
+			fatal(err)
 		}
-		for _, d := range check.RunAnalyzers(pkg, analyzers) {
-			fmt.Println(d)
-			if exit == 0 {
-				exit = 1
-			}
-		}
+		diags, _ = baseline.Filter(mod, diags, *strict)
+	}
+
+	exit := 0
+	for _, d := range diags {
+		fmt.Println(d)
+		exit = 1
 	}
 	os.Exit(exit)
+}
+
+// resolveBaseline returns the baseline file to use: the explicit flag,
+// "" for 'none', or the repo default.
+func resolveBaseline(mod check.Module, flagValue string) string {
+	switch flagValue {
+	case "none":
+		return ""
+	case "":
+		return filepath.Join(mod.Root, "internal", "check", "testdata", "bbvet.baseline")
+	default:
+		return flagValue
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bbvet: %v\n", err)
+	os.Exit(2)
 }

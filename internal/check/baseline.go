@@ -1,0 +1,149 @@
+package check
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The baseline file lets CI adopt a new analyzer without first fixing
+// every pre-existing finding: accepted findings are recorded once and
+// stop failing the gate, while anything new still does. Entries are
+// line-number-free — analyzer, module-relative file, exact message — so
+// unrelated edits to a file do not invalidate them.
+//
+// Format (one finding per line, tab-separated, # comments):
+//
+//	<analyzer>\t<file-relative-to-module-root>\t<message>
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer string
+	File     string // module-relative, slash-separated
+	Message  string
+	Line     int // line in the baseline file (for staleness diagnostics)
+}
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	Path    string
+	Entries []BaselineEntry
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error: the gate then simply accepts nothing.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{Path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close() //bbvet:ignore errcheck — read-only descriptor
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("check: %s:%d: malformed baseline entry (want analyzer<TAB>file<TAB>message)", path, line)
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: strings.TrimSpace(parts[0]),
+			File:     strings.TrimSpace(parts[1]),
+			Message:  parts[2],
+			Line:     line,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// baselineKey normalizes a diagnostic for baseline matching.
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\x00" + filepath.ToSlash(relFile) + "\x00" + message
+}
+
+// relToModule maps a diagnostic's absolute filename to a module-relative
+// slash path; filenames outside the module root pass through unchanged.
+func relToModule(mod Module, filename string) string {
+	if rel, err := filepath.Rel(mod.Root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Filter splits diagnostics into (kept, accepted) against the baseline:
+// a diagnostic is accepted when an entry matches its analyzer, file and
+// exact message. Each acceptance also marks the entry as live; in strict
+// mode, entries that matched nothing become diagnostics themselves, so
+// the committed file can never drift ahead of the code it excuses.
+func (b *Baseline) Filter(mod Module, diags []Diagnostic, strict bool) (kept []Diagnostic, accepted int) {
+	index := make(map[string][]*BaselineEntry, len(b.Entries))
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		index[baselineKey(e.Analyzer, e.File, e.Message)] = append(index[baselineKey(e.Analyzer, e.File, e.Message)], e)
+	}
+	live := make(map[*BaselineEntry]bool)
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, relToModule(mod, d.Pos.Filename), d.Message)
+		if entries := index[key]; len(entries) > 0 {
+			live[entries[0]] = true
+			accepted++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if strict {
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if !live[e] {
+				kept = append(kept, Diagnostic{
+					Pos:      token.Position{Filename: b.Path, Line: e.Line},
+					Analyzer: "baseline",
+					Message: fmt.Sprintf("stale baseline entry (no current %s finding in %s matches %q); delete it or regenerate with bbvet -write-baseline",
+						e.Analyzer, e.File, e.Message),
+				})
+			}
+		}
+		sortDiagnostics(kept)
+	}
+	return kept, accepted
+}
+
+// WriteBaseline writes the diagnostics as a fresh baseline file,
+// replacing any existing one. Directive-hygiene and baseline staleness
+// findings are never baselined: they are errors in the suppression
+// machinery itself.
+func WriteBaseline(path string, mod Module, diags []Diagnostic) error {
+	var lines []string
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzerName || d.Analyzer == "baseline" {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s", d.Analyzer, relToModule(mod, d.Pos.Filename), d.Message))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# bbvet baseline: accepted pre-existing findings, one per line:\n")
+	sb.WriteString("#   analyzer<TAB>file<TAB>message\n")
+	sb.WriteString("# Matching findings do not fail the gate; with -strict-baseline,\n")
+	sb.WriteString("# entries matching nothing fail it instead. Regenerate with\n")
+	sb.WriteString("#   go run ./cmd/bbvet -write-baseline\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

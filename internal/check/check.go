@@ -13,11 +13,15 @@
 //
 // Diagnostics can be suppressed at a specific site with a
 //
-//	//bbvet:ignore <analyzer> [<analyzer>...]
+//	//bbvet:ignore <analyzer> [<analyzer>...] [— free-form rationale]
 //
 // comment on the flagged line or on the line directly above it. A bare
 // //bbvet:ignore (no analyzer names) suppresses every analyzer at that
-// site; named forms are preferred so the allowlist stays auditable.
+// site; named forms are preferred so the allowlist stays auditable. The
+// directive itself is checked: naming an analyzer that does not exist is
+// an error (a typo would otherwise suppress nothing, silently), and a
+// directive that suppressed no diagnostic in a full-suite run is
+// reported as stale.
 package check
 
 import (
@@ -66,6 +70,24 @@ func ByName(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// DirectiveAnalyzerName labels the diagnostics of the directive checker
+// itself (unknown analyzer names, stale suppressions). It is not a
+// schedulable analyzer: the check runs automatically after every suite.
+const DirectiveAnalyzerName = "directive"
+
+// KnownAnalyzerNames returns every name a //bbvet:ignore directive may
+// legally reference: the per-package suite plus the whole-program suite.
+func KnownAnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	for _, a := range ProgramAnalyzers() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // Diagnostic is one finding, positioned for editor navigation.
@@ -130,11 +152,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// ignoreIndex records //bbvet:ignore directives: file → line → analyzer
-// set (nil set means "all analyzers").
-type ignoreIndex map[string]map[int]map[string]bool
+// ignoreEntry is one parsed //bbvet:ignore directive. A directive with no
+// analyzer names (all == true) suppresses every analyzer at its site.
+// used records which analyzers the entry actually suppressed, so stale
+// directives can be reported after a run.
+type ignoreEntry struct {
+	pos   token.Position
+	all   bool
+	names []string // in source order, deduplicated
+	used  map[string]bool
+}
+
+// ignoreIndex records //bbvet:ignore directives: file → line → entry.
+type ignoreIndex map[string]map[int]*ignoreEntry
 
 const ignoreDirective = "//bbvet:ignore"
+
+// isAnalyzerToken reports whether a directive token is shaped like an
+// analyzer name. Tokens that are not (em-dashes, parenthesised prose)
+// terminate the name list: everything after them is rationale.
+func isAnalyzerToken(tok string) bool {
+	if tok == "" || tok[0] < 'a' || tok[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
 
 func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	idx := make(ignoreIndex)
@@ -152,22 +200,38 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 				pos := fset.Position(c.Pos())
 				perFile := idx[pos.Filename]
 				if perFile == nil {
-					perFile = make(map[int]map[string]bool)
+					perFile = make(map[int]*ignoreEntry)
 					idx[pos.Filename] = perFile
 				}
-				names := strings.Fields(rest)
+				entry := perFile[pos.Line]
+				if entry == nil {
+					entry = &ignoreEntry{pos: pos, used: make(map[string]bool)}
+					perFile[pos.Line] = entry
+				}
+				// Analyzer names run until the first token that is not
+				// name-shaped; the rest is free-form rationale
+				// ("//bbvet:ignore errcheck — teardown path").
+				var names []string
+				for _, tok := range strings.Fields(rest) {
+					if !isAnalyzerToken(tok) {
+						break
+					}
+					names = append(names, tok)
+				}
 				if len(names) == 0 {
-					perFile[pos.Line] = nil // all analyzers
+					entry.all = true
 					continue
 				}
-				set := perFile[pos.Line]
-				if set == nil && !hasAllDirective(perFile, pos.Line) {
-					set = make(map[string]bool)
-					perFile[pos.Line] = set
-				}
 				for _, n := range names {
-					if set != nil {
-						set[n] = true
+					dup := false
+					for _, have := range entry.names {
+						if have == n {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						entry.names = append(entry.names, n)
 					}
 				}
 			}
@@ -176,41 +240,102 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	return idx
 }
 
-func hasAllDirective(perFile map[int]map[string]bool, line int) bool {
-	set, ok := perFile[line]
-	return ok && set == nil
-}
-
 // suppressed reports whether a directive on the diagnostic's line or the
-// line above names the analyzer (or names nothing, matching all).
+// line above names the analyzer (or names nothing, matching all), and
+// records the suppression on the entry for staleness reporting.
 func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
 	perFile := idx[pos.Filename]
 	if perFile == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		set, ok := perFile[line]
+		entry, ok := perFile[line]
 		if !ok {
 			continue
 		}
-		if set == nil || set[analyzer] {
+		if entry.all {
+			entry.used[analyzer] = true
 			return true
+		}
+		for _, n := range entry.names {
+			if n == analyzer {
+				entry.used[analyzer] = true
+				return true
+			}
 		}
 	}
 	return false
 }
 
+// validateDirectives reports directive hygiene problems after a run:
+// names that match no registered analyzer (a typo would otherwise
+// suppress nothing, silently) and directives that suppressed no
+// diagnostic. Staleness is only decidable for analyzers that actually
+// ran, so named entries are checked against ran; bare (match-all)
+// entries only when the whole suite ran (fullSuite).
+func validateDirectives(idx ignoreIndex, ran map[string]bool, fullSuite bool, diags *[]Diagnostic) {
+	known := KnownAnalyzerNames()
+	for _, perFile := range idx {
+		for _, entry := range perFile {
+			for _, n := range entry.names {
+				if !known[n] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      entry.pos,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  fmt.Sprintf("//bbvet:ignore names unknown analyzer %q: the directive suppresses nothing (run bbvet -list for valid names)", n),
+					})
+				}
+			}
+			if entry.all {
+				if fullSuite && len(entry.used) == 0 {
+					*diags = append(*diags, Diagnostic{
+						Pos:      entry.pos,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  "stale //bbvet:ignore directive: it suppressed no diagnostic in a full-suite run; delete it",
+					})
+				}
+				continue
+			}
+			for _, n := range entry.names {
+				if known[n] && ran[n] && !entry.used[n] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      entry.pos,
+						Analyzer: DirectiveAnalyzerName,
+						Message:  fmt.Sprintf("stale //bbvet:ignore %s directive: no %s diagnostic is suppressed here; delete it", n, n),
+					})
+				}
+			}
+		}
+	}
+}
+
 // RunAnalyzers applies each analyzer to the package and returns the
-// findings sorted by position. Analyzers with NeedsTypes are skipped
-// (with a synthetic diagnostic) when the package has no type information
-// at all; partial information from a package with type errors is used
-// as-is, since every analyzer tolerates missing entries.
+// findings sorted by position, including directive-hygiene diagnostics
+// (unknown analyzer names always; stale suppressions for the analyzers
+// that ran). Analyzers with NeedsTypes are skipped (with a synthetic
+// diagnostic) when the package has no type information at all; partial
+// information from a package with type errors is used as-is, since every
+// analyzer tolerates missing entries.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	runAnalyzersIndexed(pkg, analyzers, ignores, &diags)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	validateDirectives(ignores, ran, false, &diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// runAnalyzersIndexed runs the per-package analyzers against a
+// caller-owned ignore index, so directive usage accumulates across the
+// per-package and whole-program passes of one Program run.
+func runAnalyzersIndexed(pkg *Package, analyzers []*Analyzer, ignores ignoreIndex, diags *[]Diagnostic) {
 	for _, a := range analyzers {
 		if a.NeedsTypes && pkg.TypesInfo == nil {
-			diags = append(diags, Diagnostic{
+			*diags = append(*diags, Diagnostic{
 				Pos:      token.Position{Filename: pkg.Dir},
 				Analyzer: a.Name,
 				Message:  "skipped: package did not type-check",
@@ -227,10 +352,13 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			TypesPkg:  pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			ignores:   ignores,
-			diags:     &diags,
+			diags:     diags,
 		}
 		a.Run(pass)
 	}
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -239,9 +367,14 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags
 }
 
 // importMap maps the local identifier of each import in a file to its

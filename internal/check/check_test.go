@@ -84,8 +84,15 @@ func runFixture(t *testing.T, a *Analyzer, fixtureDir, pkgPath string, withTypes
 		}
 	}
 
-	diags := RunAnalyzers(pkg, []*Analyzer{a})
-	want := readExpectations(t, abs)
+	diffAgainstWants(t, abs, RunAnalyzers(pkg, []*Analyzer{a}))
+}
+
+// diffAgainstWants matches diagnostics against the fixture's `// want`
+// comments: every diagnostic must match a want on its line, every want
+// must be matched by a diagnostic.
+func diffAgainstWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	want := readExpectations(t, dir)
 
 	matched := make(map[string]map[int]bool) // key → indices of matched wants
 	for _, d := range diags {
@@ -190,9 +197,10 @@ func TestNondetSkipsColdPackages(t *testing.T) {
 	}
 }
 
-// TestRepositoryIsClean runs the full suite over the real module: the
-// working tree must stay bbvet-clean, mirroring `go run ./cmd/bbvet ./...`
-// in scripts/check.sh.
+// TestRepositoryIsClean runs the full suite — per-package and
+// whole-program analyzers, directive hygiene included — over the real
+// module: the working tree must stay bbvet-clean, mirroring
+// `go run ./cmd/bbvet ./...` in scripts/check.sh.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source")
@@ -205,15 +213,12 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader := NewLoader(mod)
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
-		for _, d := range RunAnalyzers(pkg, Analyzers()) {
-			t.Errorf("%s", d)
-		}
+	prog, err := LoadProgram(mod, paths, ProgramConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range prog.Run(Analyzers(), ProgramAnalyzers()) {
+		t.Errorf("%s", d)
 	}
 }
 
@@ -259,7 +264,59 @@ func e() {
 		t.Fatal(err)
 	}
 	diags := RunAnalyzers(pkg, []*Analyzer{ErrcheckAnalyzer})
-	if len(diags) != 2 {
-		t.Fatalf("want exactly 2 surviving diagnostics (wrong-name and distant directives), got %d: %v", len(diags), diags)
+	// Three survivors: the errcheck diagnostics in c (directive names a
+	// different analyzer) and e (directive two lines away), plus the
+	// staleness report for e's out-of-range errcheck directive.
+	if len(diags) != 3 {
+		t.Fatalf("want exactly 3 surviving diagnostics, got %d: %v", len(diags), diags)
+	}
+	stale := 0
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzerName {
+			stale++
+			if !strings.Contains(d.Message, "stale //bbvet:ignore errcheck") {
+				t.Errorf("unexpected directive diagnostic: %s", d)
+			}
+		}
+	}
+	if stale != 1 {
+		t.Fatalf("want exactly 1 stale-directive diagnostic, got %d: %v", stale, diags)
+	}
+}
+
+// TestUnknownIgnoreName: a directive naming a non-existent analyzer is an
+// error — a typo would otherwise suppress nothing, silently.
+func TestUnknownIgnoreName(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "os"
+
+func a() {
+	os.Remove("x") //bbvet:ignore errchk
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod := Module{Root: dir, Path: "scratchmod"}
+	pkg, err := NewLoader(mod).LoadDir(dir, "scratchmod/internal/scratch", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{ErrcheckAnalyzer})
+	// The misspelled directive suppresses nothing, so errcheck fires AND
+	// the unknown name is reported.
+	var unknown, errs int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == DirectiveAnalyzerName && strings.Contains(d.Message, `unknown analyzer "errchk"`):
+			unknown++
+		case d.Analyzer == "errcheck":
+			errs++
+		}
+	}
+	if unknown != 1 || errs != 1 {
+		t.Fatalf("want 1 unknown-name + 1 errcheck diagnostic, got %v", diags)
 	}
 }

@@ -1,0 +1,193 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoleakAnalyzer flags `go` statements whose goroutine has no visible
+// lifecycle: nothing in its body or static callees ever receives, sends,
+// selects, closes a channel, or touches a sync.WaitGroup, so nothing can
+// stop it and nothing can join it. Worker heartbeat loops and server
+// drain paths are exactly the code this protects: a loop that lacks a
+// stop channel or context keeps the process (and the race detector's
+// shutdown assertions) hostage after the owner is gone.
+//
+// The check is deliberately conservative about what it cannot see:
+// spawning a function defined outside the analyzed program (http.Serve
+// and friends) is skipped, not flagged, since its blocking discipline is
+// invisible here.
+var GoleakAnalyzer = &ProgramAnalyzer{
+	Name: "goleak",
+	Doc:  "flag goroutines launched without a visible stop channel, context, or WaitGroup join",
+	Run:  runGoleak,
+}
+
+type goleakState struct {
+	pass    *ProgramPass
+	sig     map[string]bool            // FullName → body (or callees) contain a lifecycle signal
+	callees map[string]map[string]bool // FullName → statically resolved callees
+}
+
+func runGoleak(pass *ProgramPass) {
+	s := &goleakState{
+		pass:    pass,
+		sig:     make(map[string]bool),
+		callees: make(map[string]map[string]bool),
+	}
+
+	// Pass A: per-function signal facts, closed transitively — a
+	// goroutine that calls stopLoop() is joined if stopLoop selects on a
+	// stop channel.
+	pass.Prog.eachFuncBody(func(pkg *Package, decl *ast.FuncDecl, obj *types.Func) {
+		if pkg.TypesInfo == nil || obj == nil {
+			return
+		}
+		full := obj.FullName()
+		s.sig[full] = s.directSignal(pkg, decl.Body)
+		s.callees[full] = s.bodyCallees(pkg, decl.Body)
+	})
+	for changed := true; changed; {
+		changed = false
+		for full, cs := range s.callees {
+			if s.sig[full] {
+				continue
+			}
+			for c := range cs {
+				if s.sig[c] {
+					s.sig[full] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass B: judge every spawn site.
+	pass.Prog.eachFuncBody(func(pkg *Package, decl *ast.FuncDecl, obj *types.Func) {
+		if pkg.TypesInfo == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			s.checkSpawn(pkg, g)
+			return true
+		})
+	})
+}
+
+func (s *goleakState) checkSpawn(pkg *Package, g *ast.GoStmt) {
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if s.directSignal(pkg, fl.Body) {
+			return
+		}
+		for c := range s.bodyCallees(pkg, fl.Body) {
+			if s.sig[c] {
+				return
+			}
+		}
+		s.pass.Reportf(g.Pos(), "goroutine has no visible stop signal: nothing in its body or static callees receives, sends, selects, closes a channel, or joins a WaitGroup; give it a stop channel, context, or WaitGroup so it can be shut down")
+		return
+	}
+	callee := staticCalleeFunc(pkg.TypesInfo, g.Call)
+	if callee == nil {
+		return // function value or interface dispatch: lifecycle invisible
+	}
+	full := callee.FullName()
+	if _, inProgram := s.callees[full]; !inProgram {
+		return // defined outside the analyzed program (stdlib etc.)
+	}
+	if s.sig[full] {
+		return
+	}
+	s.pass.Reportf(g.Pos(), "goroutine runs %s, which has no visible stop signal: nothing in it or its static callees receives, sends, selects, closes a channel, or joins a WaitGroup; give it a stop channel, context, or WaitGroup so it can be shut down", callee.Name())
+}
+
+// directSignal reports whether the body itself contains a lifecycle
+// signal: a channel receive/send/close, a range over a channel, a
+// select, or a sync.WaitGroup Done/Wait. Nested `go` bodies are their
+// own spawns and do not count for this one.
+func (s *goleakState) directSignal(pkg *Package, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					found = true
+				}
+			}
+			if isWaitGroupJoin(pkg.TypesInfo, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupJoin reports whether call is (*sync.WaitGroup).Done or
+// .Wait — the two ends of a join.
+func isWaitGroupJoin(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait") {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named, _ := deref(recv.Type()).(*types.Named)
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// bodyCallees collects the FullNames of statically resolved calls in the
+// body, excluding nested `go` bodies.
+func (s *goleakState) bodyCallees(pkg *Package, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if f := staticCalleeFunc(pkg.TypesInfo, n); f != nil {
+				out[f.FullName()] = true
+			}
+		}
+		return true
+	})
+	return out
+}

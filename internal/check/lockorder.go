@@ -1,0 +1,498 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds a cross-package lock-acquisition graph — an
+// edge A → B wherever lock A is held while lock B is acquired, directly
+// or through a static call chain — and reports every edge that sits on a
+// cycle. A cycle is the static shadow of a deadlock: two goroutines
+// traversing its edges from different starting points can each hold the
+// lock the other wants. Locks are keyed structurally (receiver type plus
+// field path, or package-level variable), so every instance of
+// dist.Fleet.mu is one node no matter which Fleet value is locked;
+// a self-edge therefore also covers the sharded-lock hazard of nesting
+// two instances of the same shard mutex.
+var LockOrderAnalyzer = &ProgramAnalyzer{
+	Name: "lockorder",
+	Doc:  "report mutexes held while acquiring another in a cycle-forming order (potential deadlock)",
+	Run:  runLockOrder,
+}
+
+// lockFuncInfo is the per-function summary of the first pass.
+type lockFuncInfo struct {
+	direct  map[string]bool // lock keys acquired anywhere in the body (go stmts excluded)
+	callees map[string]bool // statically resolved callee FullNames (go stmts excluded)
+	trans   map[string]bool // fixed point: direct ∪ callees' trans
+}
+
+// lockEdge records "from held while acquiring to" with the earliest
+// acquisition site that produced it.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	via      string // "" for a direct acquisition, callee name for an interprocedural edge
+}
+
+type lockOrderState struct {
+	pass  *ProgramPass
+	funcs map[string]*lockFuncInfo
+	edges map[string]*lockEdge
+}
+
+// lockCtx is the lexical walk context of one function (or one goroutine
+// body, which starts with nothing held).
+type lockCtx struct {
+	pkg    *Package
+	fnName string
+	held   []heldLock
+}
+
+type heldLock struct {
+	key string
+	pos token.Pos
+}
+
+func runLockOrder(pass *ProgramPass) {
+	s := &lockOrderState{
+		pass:  pass,
+		funcs: make(map[string]*lockFuncInfo),
+		edges: make(map[string]*lockEdge),
+	}
+
+	// Pass A: summarize every function — which lock keys it can acquire,
+	// which functions it statically calls — then close the summaries
+	// transitively so a call edge can stand in for a whole chain.
+	pass.Prog.eachFuncBody(func(pkg *Package, decl *ast.FuncDecl, obj *types.Func) {
+		if pkg.TypesInfo == nil || obj == nil {
+			return
+		}
+		s.funcs[obj.FullName()] = s.summarize(pkg, decl)
+	})
+	s.closeTransitive()
+
+	// Pass B: walk each body in source order tracking the held set and
+	// recording edges at every acquisition or lock-acquiring call.
+	pass.Prog.eachFuncBody(func(pkg *Package, decl *ast.FuncDecl, obj *types.Func) {
+		if pkg.TypesInfo == nil {
+			return
+		}
+		s.walkBody(&lockCtx{pkg: pkg, fnName: decl.Name.Name}, decl.Body, false)
+	})
+
+	s.report()
+}
+
+// summarize collects the direct acquisitions and static callees of one
+// function body. Goroutine bodies are excluded: a lock acquired on a
+// fresh goroutine is not acquired while the caller's locks are held.
+func (s *lockOrderState) summarize(pkg *Package, decl *ast.FuncDecl) *lockFuncInfo {
+	fi := &lockFuncInfo{
+		direct:  make(map[string]bool),
+		callees: make(map[string]bool),
+	}
+	ctx := &lockCtx{pkg: pkg, fnName: decl.Name.Name}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if key, method, ok := s.lockerCall(ctx, n); ok {
+				if method == "Lock" || method == "RLock" {
+					fi.direct[key] = true
+				}
+				return true
+			}
+			if callee := staticCalleeFunc(pkg.TypesInfo, n); callee != nil {
+				fi.callees[callee.FullName()] = true
+			}
+		}
+		return true
+	})
+	return fi
+}
+
+// closeTransitive computes trans = direct ∪ ⋃ trans(callees) to a fixed
+// point over the (finite) lock-key sets.
+func (s *lockOrderState) closeTransitive() {
+	for _, fi := range s.funcs {
+		fi.trans = make(map[string]bool, len(fi.direct))
+		for k := range fi.direct {
+			fi.trans[k] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range s.funcs {
+			for callee := range fi.callees {
+				ci := s.funcs[callee]
+				if ci == nil {
+					continue
+				}
+				for k := range ci.trans {
+					if !fi.trans[k] {
+						fi.trans[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkBody walks statements in source order, maintaining ctx.held.
+// deferred reports whether this body is a deferred closure, in which
+// case Unlock calls are ignored rather than treated as releases (they
+// run at function exit, not here).
+func (s *lockOrderState) walkBody(ctx *lockCtx, body *ast.BlockStmt, deferred bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The new goroutine starts with an empty held set; the spawn
+			// itself acquires nothing on this goroutine.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				s.walkBody(&lockCtx{pkg: ctx.pkg, fnName: ctx.fnName}, fl.Body, false)
+			}
+			return false
+		case *ast.DeferStmt:
+			// `defer x.Unlock()` means the lock stays held for the rest
+			// of the function — exactly what leaving it on ctx.held
+			// models. Deferred closures are walked with an empty held
+			// set and their unlocks ignored.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				s.walkBody(&lockCtx{pkg: ctx.pkg, fnName: ctx.fnName}, fl.Body, true)
+			}
+			return false
+		case *ast.CallExpr:
+			s.handleCall(ctx, n, deferred)
+			return true
+		}
+		return true
+	})
+}
+
+func (s *lockOrderState) handleCall(ctx *lockCtx, call *ast.CallExpr, deferred bool) {
+	if key, method, ok := s.lockerCall(ctx, call); ok {
+		switch method {
+		case "Lock", "RLock":
+			for _, h := range ctx.held {
+				s.addEdge(h.key, key, call.Pos(), "")
+			}
+			ctx.held = append(ctx.held, heldLock{key: key, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			if deferred {
+				return
+			}
+			for i := len(ctx.held) - 1; i >= 0; i-- {
+				if ctx.held[i].key == key {
+					ctx.held = append(ctx.held[:i], ctx.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if len(ctx.held) == 0 {
+		return
+	}
+	callee := staticCalleeFunc(ctx.pkg.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	fi := s.funcs[callee.FullName()]
+	if fi == nil {
+		return
+	}
+	short := callee.Name()
+	for _, h := range ctx.held {
+		for k := range fi.trans {
+			s.addEdge(h.key, k, call.Pos(), short)
+		}
+	}
+}
+
+func (s *lockOrderState) addEdge(from, to string, pos token.Pos, via string) {
+	key := from + "\x00" + to
+	if _, ok := s.edges[key]; ok {
+		return
+	}
+	s.edges[key] = &lockEdge{from: from, to: to, pos: s.pass.Prog.Fset.Position(pos), via: via}
+}
+
+// report finds strongly connected components of the acquisition graph
+// and emits one diagnostic per edge inside a cycle (including
+// self-edges), positioned at the acquisition that closes it.
+func (s *lockOrderState) report() {
+	adj := make(map[string][]string)
+	for _, e := range s.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		if _, ok := adj[e.to]; !ok {
+			adj[e.to] = nil
+		}
+	}
+	comp := sccOf(adj)
+
+	var edges []*lockEdge
+	for _, e := range s.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+
+	for _, e := range edges {
+		switch {
+		case e.from == e.to:
+			if e.via != "" {
+				s.pass.ReportAt(e.pos, "lock %s is held here while calling %s, which acquires %s again: self-deadlock for a plain Mutex, order hazard for sharded instances", e.from, e.via, e.to)
+			} else {
+				s.pass.ReportAt(e.pos, "lock %s is acquired while an instance of it is already held: self-deadlock for a plain Mutex, order hazard for sharded instances", e.from)
+			}
+		case comp[e.from] == comp[e.to]:
+			cycle := cycleString(adj, comp, e.from)
+			if e.via != "" {
+				s.pass.ReportAt(e.pos, "lock %s is held here while calling %s, which acquires %s: potential deadlock cycle %s", e.from, e.via, e.to, cycle)
+			} else {
+				s.pass.ReportAt(e.pos, "lock %s is held while acquiring %s: potential deadlock cycle %s", e.from, e.to, cycle)
+			}
+		}
+	}
+}
+
+// cycleString renders the members of from's strongly connected component
+// in sorted order as "A -> B -> A", a stable label shared by every edge
+// of the same cycle.
+func cycleString(adj map[string][]string, comp map[string]int, from string) string {
+	var members []string
+	for n, c := range comp {
+		if c == comp[from] {
+			members = append(members, n)
+		}
+	}
+	sort.Strings(members)
+	return strings.Join(append(members, members[0]), " -> ")
+}
+
+// sccOf computes strongly connected components (Tarjan) and returns a
+// node → component-id map. Iterative, so fixture graphs of any depth are
+// safe.
+func sccOf(adj map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	comp := make(map[string]int, len(nodes))
+	var stack []string
+	next, nComp := 0, 0
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.succ < len(adj[f.node]) {
+				w := adj[f.node][f.succ]
+				f.succ++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			if low[f.node] == index[f.node] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == f.node {
+						break
+					}
+				}
+				nComp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// lockerCall reports whether call is sync.(RW)Mutex Lock/RLock/Unlock/
+// RUnlock (directly or through an embedded mutex) and returns the
+// structural key of the lock plus the method name.
+func (s *lockOrderState) lockerCall(ctx *lockCtx, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	info := ctx.pkg.TypesInfo
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	named, _ := deref(recv.Type()).(*types.Named)
+	if named == nil || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+
+	// An embedded mutex (`f.Lock()` where Fleet embeds sync.Mutex) keys
+	// on the embedding type plus the promoted field path.
+	if msel := info.Selections[sel]; msel != nil && len(msel.Index()) > 1 {
+		if n, _ := deref(msel.Recv()).(*types.Named); n != nil {
+			if path, ok := fieldPathOf(msel.Recv(), msel.Index()[:len(msel.Index())-1]); ok {
+				return s.typeKeyOf(n) + "." + strings.Join(path, "."), method, true
+			}
+		}
+	}
+	key, ok = s.lockKeyOf(ctx, sel.X)
+	return key, method, ok
+}
+
+// lockKeyOf derives a structural identity for a lock expression:
+// Type.field for struct fields (any instance of the type maps to the
+// same key), package.var for globals, package.func.var for locals.
+func (s *lockOrderState) lockKeyOf(ctx *lockCtx, expr ast.Expr) (string, bool) {
+	info := ctx.pkg.TypesInfo
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.StarExpr:
+		return s.lockKeyOf(ctx, e.X)
+	case *ast.SelectorExpr:
+		if fsel := info.Selections[e]; fsel != nil && fsel.Kind() == types.FieldVal {
+			if n, _ := deref(fsel.Recv()).(*types.Named); n != nil {
+				if path, ok := fieldPathOf(fsel.Recv(), fsel.Index()); ok {
+					return s.typeKeyOf(n) + "." + strings.Join(path, "."), true
+				}
+			}
+			return "", false
+		}
+		if v, _ := info.Uses[e.Sel].(*types.Var); v != nil && v.Pkg() != nil {
+			return s.relPkgOf(v.Pkg()) + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, _ := info.Uses[e].(*types.Var); v != nil {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return s.relPkgOf(v.Pkg()) + "." + v.Name(), true
+			}
+			pkgRel := s.pass.Prog.relOf(ctx.pkg)
+			if pkgRel == "" {
+				pkgRel = ctx.pkg.Name
+			}
+			return pkgRel + "." + ctx.fnName + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+func (s *lockOrderState) typeKeyOf(n *types.Named) string {
+	return s.relPkgOf(n.Obj().Pkg()) + "." + n.Obj().Name()
+}
+
+func (s *lockOrderState) relPkgOf(p *types.Package) string {
+	if p == nil {
+		return "?"
+	}
+	if p.Path() == s.pass.Prog.Mod.Path {
+		return p.Name()
+	}
+	return strings.TrimPrefix(p.Path(), s.pass.Prog.Mod.Path+"/")
+}
+
+// fieldPathOf resolves a selection index path against a receiver type
+// into the chain of field names it traverses.
+func fieldPathOf(t types.Type, index []int) ([]string, bool) {
+	names := make([]string, 0, len(index))
+	cur := deref(t)
+	for _, i := range index {
+		st, ok := cur.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return nil, false
+		}
+		f := st.Field(i)
+		names = append(names, f.Name())
+		cur = deref(f.Type())
+	}
+	return names, true
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// staticCalleeFunc resolves a call to the *types.Func it statically
+// targets: a package-level function, a method on a concrete receiver, or
+// a qualified pkg.Fn. Interface dispatch and function values return nil.
+func staticCalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ProgramAnalyzer is one named invariant check over the whole loaded
+// program. Unlike Analyzer, it sees every requested package at once, so
+// it can follow lock acquisitions across package boundaries, compare
+// wire structs against a committed snapshot, or consult the toolchain.
+type ProgramAnalyzer struct {
+	// Name is the analyzer identifier used in diagnostics and in
+	// //bbvet:ignore directives.
+	Name string
+
+	// Doc is a one-line description shown by `bbvet -list`.
+	Doc string
+
+	// Run inspects the program and reports findings via ProgramPass.
+	Run func(*ProgramPass)
+}
+
+// ProgramAnalyzers returns the whole-program bbvet suite in
+// deterministic order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		LockOrderAnalyzer,
+		GoleakAnalyzer,
+		HotAllocAnalyzer,
+		WireSchemaAnalyzer,
+	}
+}
+
+// ProgramAnalyzerByName returns the program analyzer with the given
+// name, or nil.
+func ProgramAnalyzerByName(name string) *ProgramAnalyzer {
+	for _, a := range ProgramAnalyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ProgramConfig points the whole-program analyzers at their committed
+// contract files. Zero-value fields fall back to the repository
+// defaults, resolved against the module root.
+type ProgramConfig struct {
+	// HotAllocAllowFile is the committed allowlist of permitted heap
+	// escapes in hot functions (default internal/check/testdata/hotalloc.allow).
+	HotAllocAllowFile string
+
+	// HotFunctions maps a module-relative package path to the functions
+	// whose escape-analysis output hotalloc enforces. Defaults to the
+	// kernel hot path (EST/Place, bound computation, arena, materialize).
+	HotFunctions map[string][]string
+
+	// WireSnapshotFile is the committed wire-schema snapshot (default
+	// internal/check/testdata/wireschema.snap).
+	WireSnapshotFile string
+
+	// WirePackages lists the module-relative packages whose json-tagged
+	// structs form the wire contract. Defaults to the serving and
+	// distribution protocols plus the types they carry.
+	WirePackages []string
+
+	// GoTool is the go binary hotalloc invokes (default "go", resolved
+	// via $PATH).
+	GoTool string
+}
+
+func (c ProgramConfig) withDefaults(mod Module) ProgramConfig {
+	if c.HotAllocAllowFile == "" {
+		c.HotAllocAllowFile = filepath.Join(mod.Root, "internal", "check", "testdata", "hotalloc.allow")
+	}
+	if c.HotFunctions == nil {
+		c.HotFunctions = hotAllocDefaultFunctions
+	}
+	if c.WireSnapshotFile == "" {
+		c.WireSnapshotFile = filepath.Join(mod.Root, "internal", "check", "testdata", "wireschema.snap")
+	}
+	if c.WirePackages == nil {
+		c.WirePackages = wireSchemaDefaultPackages
+	}
+	if c.GoTool == "" {
+		c.GoTool = "go"
+	}
+	return c
+}
+
+// Program is the loaded, type-checked package set one bbvet invocation
+// analyzes, plus the configuration of the contract-file analyzers.
+type Program struct {
+	Mod    Module
+	Fset   *token.FileSet
+	Pkgs   []*Package // in load (sorted-path) order
+	Config ProgramConfig
+
+	loader *Loader
+}
+
+// LoadProgram parses and type-checks the packages at the given
+// module-internal import paths into one Program sharing a FileSet.
+func LoadProgram(mod Module, paths []string, cfg ProgramConfig) (*Program, error) {
+	loader := NewLoader(mod)
+	prog := &Program{Mod: mod, Fset: loader.Fset, Config: cfg.withDefaults(mod), loader: loader}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("check: loading %s: %w", path, err)
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// NewProgram wraps packages already loaded through one shared Loader
+// (e.g. fixture packages from testdata directories) into a Program.
+func NewProgram(loader *Loader, pkgs []*Package, cfg ProgramConfig) *Program {
+	return &Program{
+		Mod:    loader.Mod,
+		Fset:   loader.Fset,
+		Pkgs:   pkgs,
+		Config: cfg.withDefaults(loader.Mod),
+		loader: loader,
+	}
+}
+
+// Pkg returns the loaded package with the given import path, or nil.
+func (prog *Program) Pkg(path string) *Package {
+	for _, p := range prog.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// PkgByRel returns the loaded package at the module-relative path, or nil.
+func (prog *Program) PkgByRel(rel string) *Package {
+	if rel == "" {
+		return prog.Pkg(prog.Mod.Path)
+	}
+	return prog.Pkg(prog.Mod.Path + "/" + rel)
+}
+
+// relOf returns a package's module-relative path.
+func (prog *Program) relOf(pkg *Package) string {
+	if pkg.Path == prog.Mod.Path {
+		return ""
+	}
+	return strings.TrimPrefix(pkg.Path, prog.Mod.Path+"/")
+}
+
+// ProgramPass carries one program analyzer's view of the whole program.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+
+	ignores ignoreIndex
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at a token position unless suppressed by
+// an //bbvet:ignore directive.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportAt(p.Prog.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a diagnostic at an externally produced position (e.g.
+// a compiler diagnostic or a contract-file line) unless suppressed.
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...interface{}) {
+	if p.ignores.suppressed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeString renders a type with module-relative package qualifiers
+// ("internal/dist.WireSlice"), the form used in diagnostics and
+// contract files.
+func (prog *Program) typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		path := p.Path()
+		if path == prog.Mod.Path {
+			return "main"
+		}
+		return strings.TrimPrefix(path, prog.Mod.Path+"/")
+	})
+}
+
+// eachFuncBody walks every function body in the program (declarations
+// only; function literals are part of their enclosing declaration) in
+// deterministic order, handing the callback the owning package, the
+// declaration, and its type object (nil when type info is missing).
+func (prog *Program) eachFuncBody(fn func(pkg *Package, decl *ast.FuncDecl, obj *types.Func)) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				var obj *types.Func
+				if pkg.TypesInfo != nil {
+					if o, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						obj = o
+					}
+				}
+				fn(pkg, fd, obj)
+			}
+		}
+	}
+}
+
+// Run executes the per-package suite on every package plus the
+// whole-program suite, validates //bbvet:ignore hygiene across both, and
+// returns the findings sorted by position. fullSuite should be true when
+// both analyzer slices cover their complete registries — only then can
+// bare (match-all) ignore directives be checked for staleness.
+func (prog *Program) Run(pkgAnalyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer) []Diagnostic {
+	var diags []Diagnostic
+	merged := make(ignoreIndex)
+	for _, pkg := range prog.Pkgs {
+		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for file, perFile := range idx {
+			merged[file] = perFile
+		}
+		runAnalyzersIndexed(pkg, pkgAnalyzers, idx, &diags)
+	}
+
+	pass := &ProgramPass{Prog: prog, ignores: merged, diags: &diags}
+	for _, a := range progAnalyzers {
+		pass.Analyzer = a
+		a.Run(pass)
+	}
+
+	ran := make(map[string]bool, len(pkgAnalyzers)+len(progAnalyzers))
+	for _, a := range pkgAnalyzers {
+		ran[a.Name] = true
+	}
+	for _, a := range progAnalyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := len(ran) >= len(KnownAnalyzerNames())
+	validateDirectives(merged, ran, fullSuite, &diags)
+	sortDiagnostics(diags)
+	return diags
+}

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureProgram loads one fixture directory as a single-package
+// Program under the given module-internal import path.
+func loadFixtureProgram(t *testing.T, fixtureDir, pkgPath string, cfg ProgramConfig) (*Program, string) {
+	t.Helper()
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(mod)
+	pkg, err := loader.LoadDir(abs, pkgPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", fixtureDir, terr)
+	}
+	return NewProgram(loader, []*Package{pkg}, cfg), abs
+}
+
+// runProgramFixture runs a single whole-program analyzer over one
+// fixture package and diffs its diagnostics against the fixture's
+// `// want` comments.
+func runProgramFixture(t *testing.T, a *ProgramAnalyzer, fixtureDir, pkgPath string, cfg ProgramConfig) {
+	t.Helper()
+	prog, abs := loadFixtureProgram(t, fixtureDir, pkgPath, cfg)
+	diffAgainstWants(t, abs, prog.Run(nil, []*ProgramAnalyzer{a}))
+}
+
+func TestLockOrderBadFixture(t *testing.T) {
+	runProgramFixture(t, LockOrderAnalyzer,
+		"testdata/lockorder/bad", "repro/internal/check/testdata/lockorder/bad", ProgramConfig{})
+}
+
+func TestLockOrderCleanFixture(t *testing.T) {
+	runProgramFixture(t, LockOrderAnalyzer,
+		"testdata/lockorder/clean", "repro/internal/check/testdata/lockorder/clean", ProgramConfig{})
+}
+
+func TestGoleakBadFixture(t *testing.T) {
+	runProgramFixture(t, GoleakAnalyzer,
+		"testdata/goleak/bad", "repro/internal/check/testdata/goleak/bad", ProgramConfig{})
+}
+
+func TestGoleakCleanFixture(t *testing.T) {
+	runProgramFixture(t, GoleakAnalyzer,
+		"testdata/goleak/clean", "repro/internal/check/testdata/goleak/clean", ProgramConfig{})
+}
+
+// hotFixtureConfig points hotalloc at the fixture package's hot set and
+// allowlist. The fixture lives under testdata, so the real `go build`
+// escape analysis runs against it like any other module package.
+func hotFixtureConfig(t *testing.T) ProgramConfig {
+	t.Helper()
+	allow, err := filepath.Abs("testdata/hotalloc/hot/fixture.allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ProgramConfig{
+		HotAllocAllowFile: allow,
+		HotFunctions: map[string][]string{
+			"internal/check/testdata/hotalloc/hot": {"Leak", "Allowed", "Suppressed", "Clean"},
+		},
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool for escape analysis")
+	}
+	runProgramFixture(t, HotAllocAnalyzer,
+		"testdata/hotalloc/hot", "repro/internal/check/testdata/hotalloc/hot", hotFixtureConfig(t))
+}
+
+// TestHotAllocStaleAllowEntry: an allowlist entry that no current escape
+// matches must itself be reported, so the allowlist can only shrink.
+func TestHotAllocStaleAllowEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool for escape analysis")
+	}
+	cfg := hotFixtureConfig(t)
+	stale := filepath.Join(t.TempDir(), "stale.allow")
+	base, err := os.ReadFile(cfg.HotAllocAllowFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := "internal/check/testdata/hotalloc/hot Clean make([]float64, n) escapes to heap\n"
+	if err := os.WriteFile(stale, append(base, extra...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.HotAllocAllowFile = stale
+
+	prog, _ := loadFixtureProgram(t,
+		"testdata/hotalloc/hot", "repro/internal/check/testdata/hotalloc/hot", cfg)
+	found := false
+	for _, d := range prog.Run(nil, []*ProgramAnalyzer{HotAllocAnalyzer}) {
+		if d.Analyzer == "hotalloc" && strings.Contains(d.Message, "stale hotalloc allowlist entry") &&
+			strings.Contains(d.Message, "Clean") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stale allowlist entry for Clean was not reported")
+	}
+}
+
+func wireFixtureConfig(t *testing.T) ProgramConfig {
+	t.Helper()
+	snap, err := filepath.Abs("testdata/wireschema/wire/fixture.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ProgramConfig{
+		WireSnapshotFile: snap,
+		WirePackages:     []string{"internal/check/testdata/wireschema/wire"},
+	}
+}
+
+func TestWireSchemaFixture(t *testing.T) {
+	runProgramFixture(t, WireSchemaAnalyzer,
+		"testdata/wireschema/wire", "repro/internal/check/testdata/wireschema/wire", wireFixtureConfig(t))
+}
+
+// TestWireSchemaRegenerate: a snapshot freshly written from the source
+// (bbvet -write-wireschema) must make the analyzer silent — the only
+// residue is the fixture's now-stale in-source suppression.
+func TestWireSchemaRegenerate(t *testing.T) {
+	cfg := wireFixtureConfig(t)
+	prog, _ := loadFixtureProgram(t,
+		"testdata/wireschema/wire", "repro/internal/check/testdata/wireschema/wire", cfg)
+
+	fresh := filepath.Join(t.TempDir(), "fresh.snap")
+	if err := WriteWireSchema(fresh, prog); err != nil {
+		t.Fatal(err)
+	}
+	prog.Config.WireSnapshotFile = fresh
+	for _, d := range prog.Run(nil, []*ProgramAnalyzer{WireSchemaAnalyzer}) {
+		// With the snapshot in sync, Experimental.Temp's directive has
+		// nothing left to suppress and is reported stale; any wireschema
+		// diagnostic proper is a regeneration bug.
+		if d.Analyzer != DirectiveAnalyzerName {
+			t.Errorf("diagnostic against a freshly written snapshot: %s", d)
+		}
+	}
+}

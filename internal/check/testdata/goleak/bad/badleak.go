@@ -1,0 +1,40 @@
+// Package badleak spawns goroutines with no visible lifecycle: nothing
+// in their bodies or static callees can stop or join them. The goleak
+// analyzer must flag each spawn site, and honour the named suppression
+// on the last one.
+package badleak
+
+func work(i int) int { return i * i }
+
+// leakyLoop spins forever with no stop channel, context, or WaitGroup.
+func leakyLoop() {
+	for i := 0; ; i++ {
+		work(i)
+	}
+}
+
+func spawnNamed() {
+	go leakyLoop() // want "goroutine runs leakyLoop, which has no visible stop signal"
+}
+
+func spawnLiteral() {
+	go func() { // want "goroutine has no visible stop signal"
+		for i := 0; ; i++ {
+			work(i)
+		}
+	}()
+}
+
+// spawnIndirect leaks through a call chain: the literal body looks
+// innocent but everything it reaches is signal-free.
+func spawnIndirect() {
+	go func() { // want "goroutine has no visible stop signal"
+		leakyLoop()
+	}()
+}
+
+// spawnSuppressed is detached by design and carries the audit trail.
+func spawnSuppressed() {
+	//bbvet:ignore goleak — fixture: detached by design
+	go leakyLoop()
+}

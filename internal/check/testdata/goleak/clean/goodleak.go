@@ -1,0 +1,77 @@
+// Package goodleak spawns goroutines the way the fleet and serving
+// layers do: every one has a stop channel, a WaitGroup join, a result
+// send, or a select-based loop. The goleak analyzer must stay silent.
+package goodleak
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// stopChannel: the canonical worker loop.
+func stopChannel(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work(1)
+			}
+		}
+	}()
+}
+
+// waitGroup: bounded work joined by the spawner.
+func waitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			work(i)
+		}
+	}()
+}
+
+// resultSend: a one-shot goroutine joined by receiving its result.
+func resultSend() int {
+	res := make(chan int, 1)
+	go func() {
+		res <- work(3)
+	}()
+	return <-res
+}
+
+// rangeChannel: drains until the producer closes the channel.
+func rangeChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// throughCall: the signal lives in a helper the goroutine calls.
+func throughCall(stop chan struct{}) {
+	go func() {
+		runUntil(stop)
+	}()
+}
+
+func runUntil(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work(2)
+		}
+	}
+}
+
+// closer signals consumers by closing the channel it owns.
+func closer(done chan struct{}) {
+	go func() {
+		work(4)
+		close(done)
+	}()
+}

@@ -1,0 +1,33 @@
+// Package hot is the hotalloc fixture: a buildable package whose hot
+// set (Leak, Allowed, Suppressed, Clean — configured by the test)
+// contains one deliberately escaping function, one escape covered by
+// fixture.allow, one suppressed in source, and one allocation-free
+// function. Cold escapes to its heart's content and must not be
+// reported.
+package hot
+
+// Sink forces its operands to escape. Assigning the make result
+// directly keeps the compiler's escape message on this line, in the
+// "make(...) escapes to heap" form the allowlist records.
+var Sink any
+
+func Leak(n int) {
+	Sink = make([]int, n) // want "heap escape in hot function Leak"
+}
+
+func Allowed(n int) {
+	Sink = make([]byte, n) // covered by fixture.allow
+}
+
+func Suppressed(n int) {
+	//bbvet:ignore hotalloc — fixture: site-level suppression beats the allowlist
+	Sink = make([]int16, n)
+}
+
+func Clean(a, b int) int {
+	return a*b + a
+}
+
+func Cold(n int) {
+	Sink = make([]int64, n)
+}

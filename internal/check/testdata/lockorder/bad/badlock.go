@@ -1,0 +1,115 @@
+// Package badlock reproduces the lock-order hazards the lockorder
+// analyzer must catch: a two-mutex cycle acquired in opposite orders, an
+// interprocedural cycle closed through a helper, and a re-acquisition of
+// a held lock through a call chain. One edge of the E/F cycle is
+// suppressed with a named directive to pin the per-site allowlist
+// behaviour.
+package badlock
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+var (
+	a A
+	b B
+)
+
+// lockAB takes A before B; lockBA takes them in the opposite order —
+// two goroutines interleaving the two functions deadlock.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want "held while acquiring .*B.mu: potential deadlock cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock() // want "held while acquiring .*A.mu: potential deadlock cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// relock re-acquires a.mu through a helper while already holding it:
+// an immediate self-deadlock.
+func relock() {
+	a.mu.Lock()
+	helperLockA() // want "calling helperLockA, which acquires .*A.mu again: self-deadlock"
+	a.mu.Unlock()
+}
+
+func helperLockA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+}
+
+type D struct {
+	mu sync.Mutex
+}
+
+var (
+	c C
+	d D
+)
+
+// lockCthenCallD closes a cycle interprocedurally: C.mu is held across a
+// call whose transitive lock set contains D.mu, while lockDthenC nests
+// the locks directly in the opposite order.
+func lockCthenCallD() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	grabD() // want "calling grabD, which acquires .*D.mu: potential deadlock cycle"
+}
+
+func grabD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDthenC() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock() // want "held while acquiring .*C.mu: potential deadlock cycle"
+	c.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+}
+
+type F struct {
+	mu sync.Mutex
+}
+
+var (
+	e E
+	f F
+)
+
+// lockEF and lockFE form the same cycle as A/B, but the reverse edge is
+// deliberately allowlisted: only the unsuppressed edge may be reported.
+func lockEF() {
+	e.mu.Lock()
+	f.mu.Lock() // want "held while acquiring .*F.mu: potential deadlock cycle"
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func lockFE() {
+	f.mu.Lock()
+	//bbvet:ignore lockorder — fixture: reverse edge accepted as a known hazard
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -1,0 +1,69 @@
+// Package goodlock nests the same mutexes as the bad fixture but in one
+// consistent global order (A before B, directly and through calls), so
+// the acquisition graph is acyclic and the lockorder analyzer must stay
+// silent.
+package goodlock
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+var (
+	a A
+	b B
+)
+
+func direct() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func withDefer() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// throughCall holds A across a call that takes B — the same A-before-B
+// order, so still no cycle.
+func throughCall() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grabB()
+}
+
+func grabB() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// sequential releases A before taking B: nothing is ever held across
+// the second acquisition.
+func sequential() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// spawned acquires B on a fresh goroutine while the spawner holds A: the
+// goroutine starts with an empty held set, so no A→B edge exists. The
+// results channel gives the goroutine a visible lifecycle.
+func spawned(results chan struct{}) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+		results <- struct{}{}
+	}()
+}

@@ -1,0 +1,34 @@
+// Package wire is the wireschema fixture. Msg matches the committed
+// fixture.snap exactly; Drifted diverges from it in all three failure
+// modes (renamed tag, added field, removed field); Experimental carries
+// a deliberately unsnapshotted field suppressed in source; internalOnly
+// has no json tags and must not be snapshotted at all.
+package wire
+
+// Msg matches the snapshot: no diagnostics.
+type Msg struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+	Seq  uint64 // untagged exported field, serialized under its Go name
+}
+
+// Drifted diverges from the snapshot three ways. The removed field
+// (snapshot's Drifted.Gone) reports at the type declaration.
+type Drifted struct { // want "wire field Drifted.Gone \(json=gone type=string\) recorded in .* is gone from the source"
+	Cost  int64 `json:"price"` // want "wire field Drifted.Cost drifted from the committed schema"
+	Added bool  `json:"added"` // want "wire field Drifted.Added .* is not in the committed schema snapshot"
+}
+
+// Experimental.Temp is intentionally unsnapshotted while the field is in
+// flux; the named directive keeps that auditable.
+type Experimental struct {
+	Tag string `json:"tag"`
+	//bbvet:ignore wireschema — fixture: field deliberately unsnapshotted
+	Temp int `json:"temp"`
+}
+
+// internalOnly has no json tags: not a wire struct, never snapshotted.
+type internalOnly struct {
+	scratch []int
+	depth   int
+}

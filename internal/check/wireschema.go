@@ -1,0 +1,300 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireSchemaAnalyzer freezes the wire contract of the serving and
+// distribution protocols. Every struct with a json-tagged field in the
+// wire packages is extracted — field by field, with its effective json
+// name and type — and diffed against the committed snapshot
+// (internal/check/testdata/wireschema.snap). Any drift fails: a renamed
+// or removed field silently breaks bbworker↔bbserved and client
+// compatibility (old peers keep sending the old name and the decoder
+// zero-fills), and even an addition must go through the snapshot so the
+// change is reviewed as a protocol change, not a refactor.
+//
+// Intentional changes are committed by regenerating the snapshot
+// (`bbvet -write-wireschema`) in the same change, which keeps the diff
+// of the .snap file as the reviewable protocol delta.
+var WireSchemaAnalyzer = &ProgramAnalyzer{
+	Name: "wireschema",
+	Doc:  "diff json-tagged wire structs against the committed schema snapshot; fail on drift",
+	Run:  runWireSchema,
+}
+
+// wireSchemaDefaultPackages is the default wire surface: the two
+// protocol packages plus the types they carry by value.
+var wireSchemaDefaultPackages = []string{
+	"internal/dist",
+	"internal/sched",
+	"internal/server",
+	"internal/taskgraph",
+}
+
+// wireField is one wire-visible struct field.
+type wireField struct {
+	pkgRel   string
+	typeName string
+	field    string
+	desc     string // "json=<name[,opts]>" or "embed"
+	typeStr  string
+	pos      token.Pos
+}
+
+func (f wireField) key() string  { return f.pkgRel + " " + f.typeName + "." + f.field }
+func (f wireField) val() string  { return f.desc + " type=" + f.typeStr }
+func (f wireField) line() string { return f.key() + " " + f.val() }
+
+func runWireSchema(pass *ProgramPass) {
+	prog := pass.Prog
+	snapPath := prog.Config.WireSnapshotFile
+
+	fields, typePos, analyzed := collectWireFields(prog)
+
+	snap, err := loadWireSnapshot(snapPath)
+	if err != nil {
+		pass.ReportAt(token.Position{Filename: snapPath}, "cannot read snapshot: %v", err)
+		return
+	}
+
+	current := make(map[string]wireField, len(fields))
+	for _, f := range fields {
+		current[f.key()] = f
+	}
+
+	for _, f := range fields {
+		want, ok := snap[f.key()]
+		if !ok {
+			pass.Reportf(f.pos, "wire field %s.%s (%s) is not in the committed schema snapshot; review the protocol change and regenerate %s with bbvet -write-wireschema",
+				f.typeName, f.field, f.val(), relToModule(prog.Mod, snapPath))
+			continue
+		}
+		if want.val != f.val() {
+			pass.Reportf(f.pos, "wire field %s.%s drifted from the committed schema: snapshot has %q, source has %q; a rename or type change breaks wire compatibility — revert it or regenerate %s with bbvet -write-wireschema",
+				f.typeName, f.field, want.val, f.val(), relToModule(prog.Mod, snapPath))
+		}
+	}
+
+	// Snapshot entries with no counterpart are removals or renames; only
+	// packages actually analyzed in this run are decidable.
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := snap[k]
+		if !analyzed[e.pkgRel] {
+			continue
+		}
+		if _, ok := current[k]; ok {
+			continue
+		}
+		if pos, ok := typePos[e.pkgRel+" "+e.typeName]; ok {
+			pass.Reportf(pos, "wire field %s.%s (%s) recorded in %s is gone from the source: a removal or rename silently breaks peers still sending it — restore it or regenerate %s with bbvet -write-wireschema",
+				e.typeName, e.field, e.val, relToModule(prog.Mod, snapPath), relToModule(prog.Mod, snapPath))
+		} else {
+			pass.ReportAt(token.Position{Filename: snapPath, Line: e.line},
+				"wire struct %s.%s recorded here no longer exists in package %s; regenerate the snapshot with bbvet -write-wireschema if the removal is intentional",
+				e.typeName, e.field, e.pkgRel)
+		}
+	}
+}
+
+// collectWireFields extracts every wire-visible field from the
+// configured wire packages that are part of this run, plus a type →
+// position map for removal diagnostics and the set of analyzed
+// package paths.
+func collectWireFields(prog *Program) ([]wireField, map[string]token.Pos, map[string]bool) {
+	var fields []wireField
+	typePos := make(map[string]token.Pos)
+	analyzed := make(map[string]bool)
+
+	for _, rel := range prog.Config.WirePackages {
+		pkg := prog.PkgByRel(rel)
+		if pkg == nil {
+			continue
+		}
+		analyzed[rel] = true
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					typePos[rel+" "+ts.Name.Name] = ts.Pos()
+					if !hasJSONTag(st) {
+						continue
+					}
+					fields = append(fields, wireFieldsOf(prog, pkg, rel, ts.Name.Name, st)...)
+				}
+			}
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].line() < fields[j].line() })
+	return fields, typePos, analyzed
+}
+
+// hasJSONTag reports whether any field of the struct carries an explicit
+// json tag — the marker that the struct is a wire type rather than an
+// internal one.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if f.Tag != nil && strings.Contains(f.Tag.Value, `json:"`) {
+			return true
+		}
+	}
+	return false
+}
+
+// wireFieldsOf lists the wire-visible fields of one struct, following
+// encoding/json's rules: unexported fields are skipped, untagged
+// exported fields serialize under their Go name, tagged embedded fields
+// behave like named fields, and untagged embedded structs are recorded
+// as embed entries (their own fields are covered by their own struct's
+// snapshot).
+func wireFieldsOf(prog *Program, pkg *Package, rel, typeName string, st *ast.StructType) []wireField {
+	var out []wireField
+	typeOf := func(e ast.Expr) string {
+		if pkg.TypesInfo != nil {
+			if tv, ok := pkg.TypesInfo.Types[e]; ok && tv.Type != nil {
+				return strings.ReplaceAll(prog.typeString(tv.Type), " ", "")
+			}
+		}
+		return "?"
+	}
+	for _, f := range st.Fields.List {
+		tag := ""
+		if f.Tag != nil {
+			tag = reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Get("json")
+		}
+		if len(f.Names) == 0 {
+			// Embedded field.
+			name := embeddedName(f.Type)
+			if name == "" || !ast.IsExported(name) {
+				continue
+			}
+			desc := "embed"
+			if tag != "" {
+				desc = "json=" + tag
+			}
+			out = append(out, wireField{
+				pkgRel: rel, typeName: typeName, field: name,
+				desc: desc, typeStr: typeOf(f.Type), pos: f.Pos(),
+			})
+			continue
+		}
+		for _, n := range f.Names {
+			if !ast.IsExported(n.Name) {
+				continue
+			}
+			effective := tag
+			if effective == "" {
+				effective = n.Name
+			} else if strings.HasPrefix(effective, ",") {
+				effective = n.Name + effective
+			}
+			out = append(out, wireField{
+				pkgRel: rel, typeName: typeName, field: n.Name,
+				desc: "json=" + effective, typeStr: typeOf(f.Type), pos: n.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+type wireSnapEntry struct {
+	pkgRel   string
+	typeName string
+	field    string
+	val      string
+	line     int
+}
+
+// loadWireSnapshot parses the committed snapshot; a missing file is an
+// empty schema (everything current then reports as unsnapshotted).
+func loadWireSnapshot(path string) (map[string]wireSnapEntry, error) {
+	out := make(map[string]wireSnapEntry)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 || !strings.Contains(parts[1], ".") {
+			return nil, fmt.Errorf("%s:%d: malformed entry (want: pkg Type.Field json=...|embed type=...)", path, i+1)
+		}
+		dot := strings.LastIndex(parts[1], ".")
+		e := wireSnapEntry{
+			pkgRel:   parts[0],
+			typeName: parts[1][:dot],
+			field:    parts[1][dot+1:],
+			val:      parts[2],
+			line:     i + 1,
+		}
+		out[e.pkgRel+" "+parts[1]] = e
+	}
+	return out, nil
+}
+
+// WireSchemaLines renders the current wire schema of the program's wire
+// packages, sorted, one field per line — the body of the snapshot file.
+func WireSchemaLines(prog *Program) []string {
+	fields, _, _ := collectWireFields(prog)
+	lines := make([]string, len(fields))
+	for i, f := range fields {
+		lines[i] = f.line()
+	}
+	return lines
+}
+
+// WriteWireSchema regenerates the committed snapshot from the current
+// source.
+func WriteWireSchema(path string, prog *Program) error {
+	var sb strings.Builder
+	sb.WriteString("# bbvet wire-schema snapshot: one line per wire-visible struct field:\n")
+	sb.WriteString("#   <package> <Type>.<Field> json=<name[,opts]> type=<type>   (embedded: ... embed type=<type>)\n")
+	sb.WriteString("# Any drift between this file and the source fails `bbvet`; after an\n")
+	sb.WriteString("# intentional protocol change, regenerate with:\n")
+	sb.WriteString("#   go run ./cmd/bbvet -write-wireschema\n")
+	for _, l := range WireSchemaLines(prog) {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -49,9 +49,18 @@ func materialize(st *sched.State, v *vertex, chain []*vertex) []*vertex {
 		w := chain[i]
 		pl := st.Place(w.task, w.proc)
 		if pl.Start != w.start || pl.Finish != w.finish {
-			panic(fmt.Sprintf("core: incremental materialization diverged for task %d on p%d: vertex records [%d,%d), operation yields [%d,%d)",
-				w.task, w.proc, w.start, w.finish, pl.Start, pl.Finish))
+			panicDiverged(w, pl)
 		}
 	}
 	return chain
+}
+
+// panicDiverged keeps fmt's interface boxing out of materialize so the
+// replay loop stays allocation-free (enforced by bbvet's hotalloc gate);
+// w is already arena-backed, so passing the pointer allocates nothing.
+//
+//go:noinline
+func panicDiverged(w *vertex, pl sched.Placement) {
+	panic(fmt.Sprintf("core: incremental materialization diverged for task %d on p%d: vertex records [%d,%d), operation yields [%d,%d)",
+		w.task, w.proc, w.start, w.finish, pl.Start, pl.Finish))
 }

@@ -417,16 +417,38 @@ func (f *Fleet) evictStale(s *activeSolve) {
 	}
 }
 
-// adoptLocked validates a reported schedule by full replay on the
-// canonical graph and, when it strictly improves the incumbent, adopts it
-// and prunes the undispatched queue against the new bound. Callers hold
-// f.mu. Returns whether the incumbent improved.
-func (f *Fleet) adoptLocked(s *activeSolve, cost taskgraph.Time, pls []sched.Placement) bool {
-	if cost >= s.best || len(pls) != s.g.NumTasks() {
+// validateClaim screens a claimed schedule against the current solve
+// under a short critical section, then replays it with no lock held: the
+// O(n) replay must not serialize every lease, report, and heartbeat
+// behind one worker's incumbent claim. Callers pass the result to
+// adoptValidated, which re-checks the incumbent under f.mu (it may have
+// improved past cost while the lock was released).
+func (f *Fleet) validateClaim(solveID uint64, cost taskgraph.Time, pls []sched.Placement) bool {
+	if len(pls) == 0 {
 		return false
 	}
-	if !replayOK(s.g, s.plat, pls, cost) {
+	f.mu.Lock()
+	s := f.cur
+	if s == nil || s.id != solveID || cost >= s.best || len(pls) != s.g.NumTasks() {
+		f.mu.Unlock()
+		return false
+	}
+	g, plat := s.g, s.plat
+	f.mu.Unlock()
+
+	if !replayOK(g, plat, pls, cost) {
 		f.logf("dist: rejected incumbent claim %d: replay mismatch", cost)
+		return false
+	}
+	return true
+}
+
+// adoptValidated adopts a schedule that already passed validateClaim
+// when it still strictly improves the incumbent, and prunes the
+// undispatched queue against the new bound. Callers hold f.mu. Returns
+// whether the incumbent improved.
+func (f *Fleet) adoptValidated(s *activeSolve, cost taskgraph.Time, pls []sched.Placement) bool {
+	if cost >= s.best || len(pls) != s.g.NumTasks() {
 		return false
 	}
 	s.best = cost
@@ -619,6 +641,7 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	validated := f.validateClaim(req.SolveID, taskgraph.Time(req.Cost), req.Placements)
 	f.mu.Lock()
 	f.touch(req.WorkerID, "")
 	s := f.cur
@@ -662,8 +685,8 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 				s.lost = true
 			}
 		}
-		if len(req.Placements) > 0 {
-			f.adoptLocked(s, taskgraph.Time(req.Cost), req.Placements)
+		if validated {
+			f.adoptValidated(s, taskgraph.Time(req.Cost), req.Placements)
 		}
 		if s.pending == 0 && !s.finished {
 			s.finished = true
@@ -704,6 +727,7 @@ func (f *Fleet) handleIncumbent(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	validated := f.validateClaim(req.SolveID, taskgraph.Time(req.Cost), req.Placements)
 	f.mu.Lock()
 	f.touch(req.WorkerID, "")
 	s := f.cur
@@ -712,7 +736,9 @@ func (f *Fleet) handleIncumbent(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, IncumbentResponse{Incumbent: int64(taskgraph.Infinity)})
 		return
 	}
-	f.adoptLocked(s, taskgraph.Time(req.Cost), req.Placements)
+	if validated {
+		f.adoptValidated(s, taskgraph.Time(req.Cost), req.Placements)
+	}
 	best := s.best
 	f.mu.Unlock()
 	writeJSON(w, IncumbentResponse{Incumbent: int64(best)})

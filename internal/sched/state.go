@@ -190,11 +190,10 @@ func (s *State) EST(id taskgraph.TaskID, q platform.Proc) taskgraph.Time {
 // of range — both indicate search-layer bugs that must not be masked.
 func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	if !s.Ready(id) {
-		panic(fmt.Sprintf("sched: Place(%d) on non-ready task (placed=%v, remPreds=%d)",
-			id, s.Placed(id), s.remPreds[id]))
+		panicNonReady(id, s.Placed(id), s.remPreds[id])
 	}
 	if q < 0 || int(q) >= s.P.M {
-		panic(fmt.Sprintf("sched: Place(%d) on invalid processor %d", id, q))
+		panicBadProc(id, q)
 	}
 	start := s.EST(id, q)
 	finish := start + s.exec[id]
@@ -264,11 +263,31 @@ func (s *State) TrailEntry(i int) TrailView {
 // current trail depth — truncation can only shrink a schedule.
 func (s *State) TruncateTo(depth int) {
 	if depth < 0 || depth > len(s.trail) {
-		panic(fmt.Sprintf("sched: TruncateTo(%d) outside trail depth %d", depth, len(s.trail)))
+		panicBadDepth(depth, len(s.trail))
 	}
 	for len(s.trail) > depth {
 		s.Undo()
 	}
+}
+
+// The panic formatters live outside the hot operations: fmt boxes its
+// arguments into interfaces, and escape analysis charges that boxing to
+// the function performing it. Keeping it here leaves Place and
+// TruncateTo allocation-free, which bbvet's hotalloc gate enforces.
+//
+//go:noinline
+func panicNonReady(id taskgraph.TaskID, placed bool, rem int32) {
+	panic(fmt.Sprintf("sched: Place(%d) on non-ready task (placed=%v, remPreds=%d)", id, placed, rem))
+}
+
+//go:noinline
+func panicBadProc(id taskgraph.TaskID, q platform.Proc) {
+	panic(fmt.Sprintf("sched: Place(%d) on invalid processor %d", id, q))
+}
+
+//go:noinline
+func panicBadDepth(depth, trail int) {
+	panic(fmt.Sprintf("sched: TruncateTo(%d) outside trail depth %d", depth, trail))
 }
 
 // Snapshot copies the current partial schedule into a standalone Schedule.

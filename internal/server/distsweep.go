@@ -172,7 +172,7 @@ func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, worker
 
 	cancel()
 	wg.Wait()
-	_ = hs.Close() //bbvet:ignore errcheck — loopback listener teardown
+	_ = hs.Close() // loopback listener teardown
 	<-serveErr
 	if err != nil {
 		return core.Result{}, 0, 0, err

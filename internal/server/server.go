@@ -224,7 +224,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
-	_ = enc.Encode(v) //bbvet:ignore errcheck — client gone is not actionable
+	_ = enc.Encode(v) // client gone is not actionable
 }
 
 // badRequest reports a pre-admission validation failure.

@@ -89,7 +89,7 @@ func ServeSweep(cfg exp.Config) (exp.Figure, error) {
 				err = fmt.Errorf("%d of %d requests failed", res.failures, requests)
 			}
 			if err != nil {
-				_ = hs.Close() //bbvet:ignore errcheck — already failing
+				_ = hs.Close() // already failing
 				srv.Close()
 				return exp.Figure{}, fmt.Errorf("server: serve sweep c=%d %s pass: %v", clients, passes[i], err)
 			}
@@ -105,7 +105,7 @@ func ServeSweep(cfg exp.Config) (exp.Figure, error) {
 			}
 		}
 
-		_ = hs.Close() //bbvet:ignore errcheck — loopback listener teardown
+		_ = hs.Close() // loopback listener teardown
 		srv.Close()
 		<-serveErr
 	}
@@ -187,7 +187,7 @@ func firePass(base string, bodies [][]byte, clients int) (passResult, error) {
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close() //bbvet:ignore errcheck — drained above
+				_ = resp.Body.Close() // drained above
 				d := time.Since(t0)
 				if resp.StatusCode != http.StatusOK {
 					failures.Add(1)

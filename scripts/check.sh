@@ -9,6 +9,7 @@
 # Usage: scripts/check.sh [package patterns...]   (default: ./...)
 #        scripts/check.sh bench [out.json]
 #        scripts/check.sh dist
+#        scripts/check.sh vet
 #
 # The bench form skips the static/race gates and runs the before/after
 # kernel perf harness instead (scripts/bench.sh), writing BENCH_PR4.json
@@ -18,6 +19,14 @@
 # internal/dist tests (frontier equivalence, steal/evict robustness) plus
 # the loopback multi-process e2e (re-exec'd coordinator, two bbworker
 # processes, a SIGKILL'd worker recovered through lease eviction).
+#
+# The vet form is the static-analysis contract: the full bbvet suite
+# (per-package analyzers plus the whole-program lockorder, goleak,
+# hotalloc, and wireschema passes) over the whole module under the
+# strict baseline — any finding not recorded in
+# internal/check/testdata/bbvet.baseline fails, and so does any stale
+# baseline entry, hotalloc.allow entry, or wireschema.snap drift — plus
+# the race and bbdebug builds of the concurrency-bearing layers.
 
 set -eu
 
@@ -38,6 +47,33 @@ if [ "${1:-}" = "dist" ]; then
     echo "==> go test ./cmd/bbworker (loopback multi-process e2e)"
     go test ./cmd/bbworker
     echo "==> dist checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "vet" ]; then
+    echo "==> bbvet -strict-baseline ./... (all analyzers, committed baseline)"
+    go run ./cmd/bbvet -strict-baseline ./...
+
+    echo "==> wireschema snapshot is current"
+    snap=internal/check/testdata/wireschema.snap
+    go run ./cmd/bbvet -write-wireschema ./... >/dev/null
+    # -write-wireschema rewrites the committed snapshot in place; a diff
+    # against git means the tree was out of date. Restore on mismatch so
+    # the failure is reported, not silently fixed.
+    git diff --quiet -- "$snap" || {
+        git diff -- "$snap" | head -40
+        git checkout -- "$snap"
+        echo "FAIL: $snap is stale; regenerate with: go run ./cmd/bbvet -write-wireschema ./..." >&2
+        exit 1
+    }
+
+    echo "==> go test -race ./internal/dist ./internal/server ./internal/check"
+    go test -race ./internal/dist ./internal/server ./internal/check
+
+    echo "==> go test -race -tags bbdebug ./internal/sched ./internal/core"
+    go test -race -tags bbdebug ./internal/sched ./internal/core
+
+    echo "==> vet gate passed"
     exit 0
 fi
 
