@@ -407,6 +407,19 @@ func NewFleet(cfg FleetConfig) *Fleet { return dist.NewFleet(cfg) }
 // until the context is canceled.
 func NewFleetWorker(cfg FleetWorkerConfig) *FleetWorker { return dist.NewWorker(cfg) }
 
+// Durability and elasticity sentinels of the distributed fabric.
+var (
+	// ErrFleetResumable marks a journaled solve that was interrupted
+	// (context canceled mid-search) with its checkpoint journal intact:
+	// a fresh Fleet with the same FleetConfig.JournalPath can finish it
+	// with Resume.
+	ErrFleetResumable = dist.ErrResumable
+	// ErrFleetWorkerDrained is returned by FleetWorker.Run after a clean
+	// coordinator-initiated drain: the in-flight slice finished, the rest
+	// of the lease was handed back.
+	ErrFleetWorkerDrained = dist.ErrDrained
+)
+
 // EnumerateFrontier expands the search-tree root breadth-first until at
 // least target unexpanded slices exist (or the tree is exhausted). The
 // slices partition the search exactly: solving each under the frontier's

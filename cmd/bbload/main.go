@@ -18,6 +18,7 @@
 //	-seed int        workload seed (default 1997)
 //	-distributed     mark solve requests distributed and spawn a worker fleet
 //	-dist-workers    re-exec'd worker processes with -distributed (default 2)
+//	-churn dur       with -distributed: drain and replace one worker at this interval
 //	-quiet           suppress the per-run header
 //
 // Closed loop means each client issues its next request only after the
@@ -36,7 +37,11 @@
 // harness becomes a loopback multi-process fabric test: it re-execs
 // itself -dist-workers times as fleet workers pointed at -url, replays
 // solve requests carrying "distributed": true, and tears the workers
-// down when the run ends.
+// down when the run ends. Adding -churn turns the fleet elastic: every
+// interval the oldest worker is drained through POST /dist/v1/drain —
+// it finishes its in-flight slice, hands leased work back, and exits —
+// and a fresh worker is spawned in its place, so the run exercises the
+// coordinator's join/drain autoscaling path under load.
 //
 // Exit status: 0 when every request succeeded (2xx), 1 otherwise.
 package main
@@ -96,6 +101,7 @@ func main() {
 		seed        = flag.Int64("seed", 1997, "workload seed")
 		distributed = flag.Bool("distributed", false, "mark solve requests distributed and spawn a worker fleet")
 		distWorkers = flag.Int("dist-workers", 2, "worker processes to spawn with -distributed")
+		churn       = flag.Duration("churn", 0, "with -distributed: drain and replace one worker at this interval")
 		quiet       = flag.Bool("quiet", false, "suppress the per-run header")
 	)
 	flag.Parse()
@@ -111,6 +117,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbload: -distributed supports only -endpoint solve")
 		os.Exit(2)
 	}
+	if *churn > 0 && (!*distributed || *distWorkers < 1) {
+		fmt.Fprintln(os.Stderr, "bbload: -churn requires -distributed with -dist-workers >= 1")
+		os.Exit(2)
+	}
 
 	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed)
 	if err != nil {
@@ -122,9 +132,9 @@ func main() {
 			*endpoint, *n, *c, *graphs, *procs, *budget, *baseURL)
 	}
 
-	var stopFleet func()
+	var fleet *workerFleet
 	if *distributed && *distWorkers > 0 {
-		stopFleet, err = spawnWorkers(*baseURL, *distWorkers)
+		fleet, err = spawnWorkers(*baseURL, *distWorkers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bbload: spawn workers: %v\n", err)
 			os.Exit(1)
@@ -133,10 +143,26 @@ func main() {
 			fmt.Printf("bbload: spawned %d loopback workers\n", *distWorkers)
 		}
 	}
+	var churnCancel context.CancelFunc
+	churnDone := make(chan struct{})
+	close(churnDone)
+	if fleet != nil && *churn > 0 {
+		var cctx context.Context
+		cctx, churnCancel = context.WithCancel(context.Background())
+		churnDone = make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			fleet.churn(cctx, *churn, *quiet)
+		}()
+	}
 
 	rep := run(*baseURL, reqs, *n, *c, *retries)
-	if stopFleet != nil {
-		stopFleet()
+	if churnCancel != nil {
+		churnCancel()
+	}
+	<-churnDone
+	if fleet != nil {
+		fleet.stop()
 	}
 	rep.print(os.Stdout)
 	if rep.failed() {
@@ -144,29 +170,122 @@ func main() {
 	}
 }
 
+// workerFleet manages the re-exec'd worker processes of a -distributed
+// run. Workers are named "bbload-<pid>" (the re-exec'd child derives the
+// same name from its own pid), which is what lets churn target one of
+// them through the coordinator's drain endpoint.
+type workerFleet struct {
+	coordinator string
+	mu          sync.Mutex
+	procs       []*exec.Cmd
+}
+
 // spawnWorkers re-execs this binary n times in worker mode against the
-// coordinator and returns a function that terminates and reaps them.
-func spawnWorkers(coordinator string, n int) (func(), error) {
-	procs := make([]*exec.Cmd, 0, n)
-	kill := func() {
-		for _, c := range procs {
-			_ = c.Process.Signal(syscall.SIGTERM) // already-dead child is fine
-		}
-		for _, c := range procs {
-			_ = c.Wait() // exit status is irrelevant at teardown
-		}
-	}
+// coordinator.
+func spawnWorkers(coordinator string, n int) (*workerFleet, error) {
+	f := &workerFleet{coordinator: coordinator}
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(os.Args[0])
-		cmd.Env = append(os.Environ(), "BBLOAD_DIST_WORKER="+coordinator)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			kill()
+		if err := f.spawn(); err != nil {
+			f.stop()
 			return nil, err
 		}
-		procs = append(procs, cmd)
 	}
-	return kill, nil
+	return f, nil
+}
+
+// spawn starts one worker process and tracks it for teardown.
+func (f *workerFleet) spawn() error {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "BBLOAD_DIST_WORKER="+f.coordinator)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.procs = append(f.procs, cmd)
+	f.mu.Unlock()
+	return nil
+}
+
+// stop terminates and reaps every tracked worker.
+func (f *workerFleet) stop() {
+	f.mu.Lock()
+	procs := f.procs
+	f.procs = nil
+	f.mu.Unlock()
+	for _, c := range procs {
+		_ = c.Process.Signal(syscall.SIGTERM) // already-dead child is fine
+	}
+	for _, c := range procs {
+		_ = c.Wait() // exit status is irrelevant at teardown
+	}
+}
+
+// churn drains and replaces one worker per interval until the context is
+// canceled: the oldest worker is asked to drain through the coordinator
+// (it finishes its in-flight slice, releases the rest of its lease, and
+// exits on its own), then a fresh worker joins in its place. A worker
+// that ignores the drain for 10s is killed — the coordinator's lease TTL
+// recovers whatever it held.
+func (f *workerFleet) churn(ctx context.Context, interval time.Duration, quiet bool) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for drains := 1; ; drains++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		f.mu.Lock()
+		if len(f.procs) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		victim := f.procs[0]
+		f.procs = f.procs[1:]
+		f.mu.Unlock()
+
+		name := fmt.Sprintf("bbload-%d", victim.Process.Pid)
+		body, _ := json.Marshal(dist.DrainRequest{Name: name})
+		resp, err := client.Post(f.coordinator+"/dist/v1/drain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Coordinator unreachable: fall back to a plain SIGTERM so the
+			// churn cadence survives.
+			_ = victim.Process.Signal(syscall.SIGTERM)
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				// Worker never joined (no solve has run yet): it holds no
+				// work, so a signal is an equivalent drain.
+				_ = victim.Process.Signal(syscall.SIGTERM)
+			}
+		}
+
+		exited := make(chan struct{})
+		go func() {
+			_ = victim.Wait() // exit status is irrelevant; drained exit is 0
+			close(exited)
+		}()
+		select {
+		case <-exited:
+		case <-time.After(10 * time.Second):
+			_ = victim.Process.Kill()
+			<-exited
+		case <-ctx.Done():
+			_ = victim.Process.Signal(syscall.SIGTERM)
+			<-exited
+			return
+		}
+		if err := f.spawn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bbload: churn respawn: %v\n", err)
+			return
+		}
+		if !quiet {
+			fmt.Printf("bbload: churn %d: drained %s, spawned a replacement\n", drains, name)
+		}
+	}
 }
 
 // request is one prepared POST: path plus marshaled body.

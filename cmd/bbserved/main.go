@@ -17,16 +17,25 @@
 //	-distributed      act as a B&B fabric coordinator (see below)
 //	-frontier int     frontier slices per distributed solve (default 64)
 //	-lease-ttl dur    worker lease/heartbeat deadline (default 3s)
+//	-journal string   durable checkpoint journal for distributed solves
 //	-v                per-request logging to stderr
 //
 // Endpoints: POST /v1/{solve,anytime,list,analyze,recover}, GET /healthz,
 // GET /metrics. With -distributed the worker-facing fabric API is mounted
 // under POST /dist/v1/ — point bbworker processes at this address — and
 // solve requests carrying "distributed": true are sharded across the
-// fleet instead of solved in-process. SIGINT/SIGTERM drains: the listener
-// closes, in-flight solves finish (or hit their budgets), queued work is
-// released with 503, and the process exits 0 after reporting leaked
-// goroutines (a healthy shutdown reports zero).
+// fleet instead of solved in-process.
+//
+// With -journal every distributed solve checkpoints its frontier,
+// incumbents, and slice completions to an fsynced JSONL file. If the
+// journal already holds an unfinished solve at startup — the previous
+// coordinator was killed mid-search — bbserved resumes it in the
+// background: unfinished slices are re-leased to whatever workers join,
+// and the completed result (identical cost and optimality proof) is
+// logged. SIGINT/SIGTERM drains: the listener closes, in-flight solves
+// finish (or hit their budgets), queued work is released with 503, an
+// in-progress resume is checkpointed and canceled, and the process exits
+// 0 after reporting leaked goroutines (a healthy shutdown reports zero).
 package main
 
 import (
@@ -49,16 +58,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers   = flag.Int("workers", 0, "concurrent solves (default GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "admission queue depth")
-		cache     = flag.Int("cache", 0, "result-cache entries (-1 disables)")
-		budget    = flag.Duration("budget", 0, "default per-request solve budget")
-		maxBudget = flag.Duration("max-budget", 0, "clamp for client-requested budgets")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent solves (default GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission queue depth")
+		cache       = flag.Int("cache", 0, "result-cache entries (-1 disables)")
+		budget      = flag.Duration("budget", 0, "default per-request solve budget")
+		maxBudget   = flag.Duration("max-budget", 0, "clamp for client-requested budgets")
 		drain       = flag.Duration("drain", 30*time.Second, "shutdown grace period")
 		distributed = flag.Bool("distributed", false, "act as a distributed B&B coordinator")
 		frontier    = flag.Int("frontier", 0, "frontier slices per distributed solve (default 64)")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "worker lease/heartbeat deadline (default 3s)")
+		journalPath = flag.String("journal", "", "durable checkpoint journal for distributed solves")
 		verbose     = flag.Bool("v", false, "per-request logging")
 	)
 	flag.Parse()
@@ -77,14 +87,17 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.New(os.Stderr, "bbserved: ", log.LstdFlags).Printf
 	}
+	var fleet *dist.Fleet
 	if *distributed {
-		cfg.Fleet = dist.NewFleet(dist.Config{
+		fleet = dist.NewFleet(dist.Config{
 			FrontierTarget: *frontier,
 			LeaseTTL:       *leaseTTL,
+			JournalPath:    *journalPath,
 			Logf:           cfg.Logf,
 		})
-	} else if *frontier != 0 || *leaseTTL != 0 {
-		fmt.Fprintln(os.Stderr, "bbserved: -frontier and -lease-ttl require -distributed")
+		cfg.Fleet = fleet
+	} else if *frontier != 0 || *leaseTTL != 0 || *journalPath != "" {
+		fmt.Fprintln(os.Stderr, "bbserved: -frontier, -lease-ttl and -journal require -distributed")
 		os.Exit(2)
 	}
 
@@ -111,6 +124,36 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// A non-empty journal means the previous coordinator died (or was
+	// drained) mid-solve: adopt it in the background so rejoining workers
+	// can finish the search. The resume runs under its own context — on
+	// shutdown it is canceled, which checkpoints a final record and keeps
+	// the journal resumable by the next coordinator.
+	resumeDone := make(chan struct{})
+	close(resumeDone)
+	var resumeCancel context.CancelFunc
+	if fleet != nil && *journalPath != "" {
+		if st, err := os.Stat(*journalPath); err == nil && st.Size() > 0 {
+			var rctx context.Context
+			rctx, resumeCancel = context.WithCancel(context.Background())
+			resumeDone = make(chan struct{})
+			fmt.Printf("bbserved: resuming journaled solve from %s\n", *journalPath)
+			go func() {
+				defer close(resumeDone)
+				res, err := fleet.Resume(rctx)
+				switch {
+				case err == nil:
+					fmt.Printf("bbserved: resumed solve finished: cost=%d optimal=%v reason=%v\n",
+						res.Cost, res.Optimal, res.Reason)
+				case errors.Is(err, dist.ErrResumable):
+					fmt.Printf("bbserved: resumed solve interrupted again, journal stays resumable: %v\n", err)
+				default:
+					fmt.Fprintf(os.Stderr, "bbserved: resume: %v\n", err)
+				}
+			}()
+		}
+	}
+
 	select {
 	case sig := <-sigs:
 		fmt.Printf("bbserved: %s: draining\n", sig)
@@ -119,8 +162,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Drain order: stop admitting (queued waiters get 503, new requests
+	// Drain order: stop the background resume first (it checkpoints and
+	// returns), then stop admitting (queued waiters get 503, new requests
 	// too), then let the HTTP layer wait for in-flight responses.
+	if resumeCancel != nil {
+		resumeCancel()
+	}
+	<-resumeDone
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	err = hs.Shutdown(ctx)

@@ -16,7 +16,9 @@
 //
 // SIGINT/SIGTERM stops cleanly: the in-flight slice solve is canceled
 // (the coordinator re-dispatches it after the lease TTL) and the process
-// exits 0.
+// exits 0. A coordinator-initiated drain (POST /dist/v1/drain naming this
+// worker) also exits 0: the worker finishes its current slice, hands any
+// remaining leased slices back, and reports "drained".
 package main
 
 import (
@@ -71,7 +73,11 @@ func main() {
 	w := dist.NewWorker(cfg)
 	fmt.Printf("bbworker: %s -> %s\n", *name, *coordinator)
 	err := w.Run(ctx)
-	if err != nil && !errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, dist.ErrDrained):
+		fmt.Printf("bbworker: drained by coordinator after %d slices\n", w.SlicesSolved.Load())
+		return
+	case err != nil && !errors.Is(err, context.Canceled):
 		fmt.Fprintf(os.Stderr, "bbworker: %v\n", err)
 		os.Exit(1)
 	}

@@ -3,11 +3,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -86,6 +88,13 @@ func e2eParams(sel string) core.Params {
 // coordMain is the re-exec'd coordinator: it mounts a fleet on loopback,
 // prints "COORD <addr>", solves each instance from BBWORKER_COORD_SEEDS,
 // and prints one RESULT line per solve plus a final COUNTERS line.
+//
+// Extra environment knobs for the crash-recovery e2e:
+// BBWORKER_COORD_JOURNAL names a checkpoint journal (and turns on the
+// per-solve PLACEMENTS line plus fleet logging to stdout, so the test
+// can watch search progress); BBWORKER_COORD_RESUME=1 resumes the
+// journal instead of solving seeds; BBWORKER_COORD_MAXLEASE and
+// BBWORKER_COORD_NOSPEC=1 pin the dispatch order deterministic.
 func coordMain() {
 	fail := func(err error) {
 		fmt.Printf("COORDERR %v\n", err)
@@ -93,11 +102,20 @@ func coordMain() {
 	}
 	leaseMS, _ := strconv.Atoi(os.Getenv("BBWORKER_COORD_LEASE_MS"))
 	frontier, _ := strconv.Atoi(os.Getenv("BBWORKER_COORD_FRONTIER"))
-	fleet := dist.NewFleet(dist.Config{
+	maxLease, _ := strconv.Atoi(os.Getenv("BBWORKER_COORD_MAXLEASE"))
+	journal := os.Getenv("BBWORKER_COORD_JOURNAL")
+	cfg := dist.Config{
 		FrontierTarget: frontier,
+		MaxLease:       maxLease,
 		LeaseTTL:       time.Duration(leaseMS) * time.Millisecond,
 		RetryAfter:     5 * time.Millisecond,
-	})
+		JournalPath:    journal,
+		NoSpeculation:  os.Getenv("BBWORKER_COORD_NOSPEC") == "1",
+	}
+	if journal != "" {
+		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	fleet := dist.NewFleet(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fail(err)
@@ -105,26 +123,47 @@ func coordMain() {
 	go func() { _ = http.Serve(ln, fleet.Handler()) }()
 	fmt.Printf("COORD %s\n", ln.Addr())
 
-	kind := os.Getenv("BBWORKER_COORD_KIND")
-	p := e2eParams(os.Getenv("BBWORKER_COORD_SELECT"))
-	for _, s := range strings.Split(os.Getenv("BBWORKER_COORD_SEEDS"), ",") {
-		seed, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			fail(err)
+	emit := func(seed int64, res core.Result) {
+		fmt.Printf("RESULT seed=%d cost=%d optimal=%t guarantee=%t reason=%s\n",
+			seed, res.Cost, res.Optimal, res.Guarantee, res.Reason)
+		if journal != "" && res.Schedule != nil {
+			pls, err := json.Marshal(res.Schedule.Placements())
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("PLACEMENTS seed=%d %s\n", seed, pls)
 		}
-		g, plat, err := e2eInstance(kind, seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("SOLVING %d\n", seed)
+	}
+
+	if os.Getenv("BBWORKER_COORD_RESUME") == "1" {
 		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-		res, err := fleet.Solve(ctx, g, plat, p)
+		res, err := fleet.Resume(ctx)
 		cancel()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("RESULT seed=%d cost=%d optimal=%t guarantee=%t reason=%s\n",
-			seed, res.Cost, res.Optimal, res.Guarantee, res.Reason)
+		emit(0, res)
+	} else {
+		kind := os.Getenv("BBWORKER_COORD_KIND")
+		p := e2eParams(os.Getenv("BBWORKER_COORD_SELECT"))
+		for _, s := range strings.Split(os.Getenv("BBWORKER_COORD_SEEDS"), ",") {
+			seed, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				fail(err)
+			}
+			g, plat, err := e2eInstance(kind, seed)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("SOLVING %d\n", seed)
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			res, err := fleet.Solve(ctx, g, plat, p)
+			cancel()
+			if err != nil {
+				fail(err)
+			}
+			emit(seed, res)
+		}
 	}
 	snap := fleet.Snapshot()
 	fmt.Printf("COUNTERS dispatched=%d stolen=%d redispatched=%d evictions=%d broadcasts=%d\n",
@@ -297,12 +336,15 @@ func TestE2EWorkerKillRecovery(t *testing.T) {
 		t.Skip("spawns subprocesses")
 	}
 	// Paper seed 903 under LLB: ~1.2s of sequential search, so the kill
-	// lands well inside the solve.
+	// lands well inside the solve. Speculation is off because this test
+	// targets the eviction path — a speculative re-dispatch would recover
+	// the dead worker's slices before the lease TTL fires.
 	coord := startCoord(t,
 		"BBWORKER_COORD_KIND=paper",
 		"BBWORKER_COORD_SEEDS=903",
 		"BBWORKER_COORD_SELECT=llb",
 		"BBWORKER_COORD_LEASE_MS=300",
+		"BBWORKER_COORD_NOSPEC=1",
 	)
 	victim, victimLeased := startWorkerProc(t, coord.addr, "victim")
 	startWorkerProc(t, coord.addr, "survivor")
@@ -342,5 +384,97 @@ func TestE2EWorkerKillRecovery(t *testing.T) {
 	}
 	if evictions == 0 || redispatched == 0 {
 		t.Errorf("kill was not recovered through eviction: evictions=%d redispatched=%d", evictions, redispatched)
+	}
+}
+
+// TestE2ECoordinatorKillRecovery SIGKILLs the coordinator process itself
+// mid-solve and restarts a fresh coordinator against the same checkpoint
+// journal: the resumed solve must reproduce the uninterrupted run
+// byte-for-byte — cost, optimality reason, and schedule placements.
+func TestE2ECoordinatorKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	// Deterministic dispatch: one worker, one slice per lease, no
+	// speculation — slice order and incumbent adoption order are then a
+	// pure function of the instance, so every crash point resumes to the
+	// identical schedule.
+	env := func(journal string) []string {
+		return []string{
+			"BBWORKER_COORD_KIND=paper",
+			"BBWORKER_COORD_SEEDS=903",
+			"BBWORKER_COORD_SELECT=llb",
+			"BBWORKER_COORD_MAXLEASE=1",
+			"BBWORKER_COORD_NOSPEC=1",
+			"BBWORKER_COORD_JOURNAL=" + journal,
+		}
+	}
+	splitPlacements := func(t *testing.T, line string) string {
+		t.Helper()
+		parts := strings.SplitN(line, " ", 3) // "PLACEMENTS seed=N <json>"
+		if len(parts) != 3 {
+			t.Fatalf("unparsable placements line %q", line)
+		}
+		return parts[2]
+	}
+
+	// Uninterrupted baseline on its own journal.
+	base := startCoord(t, env(filepath.Join(dir, "baseline.jsonl"))...)
+	startWorkerProc(t, base.addr, "base-w")
+	baseRes := parseResult(t, base.expect(t, "RESULT "))
+	basePls := splitPlacements(t, base.expect(t, "PLACEMENTS "))
+
+	g, plat, err := paperInstance(903)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.Solve(g, plat, e2eParams("llb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.cost != int64(seq.Cost) || baseRes.optimal != seq.Optimal {
+		t.Fatalf("baseline (cost=%d opt=%t) != sequential (cost=%d opt=%t)",
+			baseRes.cost, baseRes.optimal, seq.Cost, seq.Optimal)
+	}
+
+	// Interrupted run: same instance on a fresh journal; SIGKILL the
+	// coordinator once the journal holds real progress beyond the solve
+	// record (slice completions and adopted incumbents).
+	journal := filepath.Join(dir, "crash.jsonl")
+	coord := startCoord(t, env(journal)...)
+	startWorkerProc(t, coord.addr, "victim-w")
+	coord.expect(t, "SOLVING ")
+	waitUntil := time.Now().Add(60 * time.Second)
+	for {
+		raw, err := os.ReadFile(journal)
+		if err == nil && strings.Count(string(raw), "\n") >= 3 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("journal never accumulated checkpoint records")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// SIGKILL: no final record, no fsync courtesy — whatever made it to
+	// disk is all the next coordinator gets. (The solve may in rare runs
+	// already have finished; resume then just re-assembles the result,
+	// which must still match.)
+	_ = coord.cmd.Process.Kill() //bbvet:ignore errcheck — may have exited already
+
+	// A standby coordinator adopts the journal with a brand-new worker.
+	resumed := startCoord(t, append(env(journal), "BBWORKER_COORD_RESUME=1")...)
+	startWorkerProc(t, resumed.addr, "resume-w")
+	gotRes := parseResult(t, resumed.expect(t, "RESULT "))
+	gotPls := splitPlacements(t, resumed.expect(t, "PLACEMENTS "))
+
+	if gotRes.cost != baseRes.cost || gotRes.optimal != baseRes.optimal ||
+		gotRes.guarantee != baseRes.guarantee || gotRes.reason != baseRes.reason {
+		t.Fatalf("resumed solve (cost=%d opt=%t guar=%t reason=%s) != uninterrupted (cost=%d opt=%t guar=%t reason=%s)",
+			gotRes.cost, gotRes.optimal, gotRes.guarantee, gotRes.reason,
+			baseRes.cost, baseRes.optimal, baseRes.guarantee, baseRes.reason)
+	}
+	if gotPls != basePls {
+		t.Fatalf("resumed placements differ from uninterrupted run:\n base: %s\n  got: %s", basePls, gotPls)
 	}
 }

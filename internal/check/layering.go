@@ -34,10 +34,14 @@ var LayeringAnalyzer = &Analyzer{
 // module root) to the internal packages it may import. The table is the
 // single source of truth for the dependency DAG.
 var layerAllowed = map[string][]string{
-	// Foundation: types only, no internal imports.
+	// Foundation: types only, no internal imports. internal/journal is
+	// the crash-safe JSONL substrate shared by the experiment runner and
+	// the distributed coordinator's checkpoints — pure encoding + fsync,
+	// so it sits at the bottom.
 	"internal/taskgraph": {},
 	"internal/stats":     {},
 	"internal/check":     {},
+	"internal/journal":   {},
 
 	// Layer 1: directly above the task model.
 	"internal/platform":   {"internal/taskgraph"},
@@ -69,7 +73,10 @@ var layerAllowed = map[string][]string{
 	// drivers or the serving daemon's internals: subproblems must stay
 	// pure (graph + prefix + rules), with no experiment or service state
 	// on the wire.
-	"internal/dist":  {"internal/core", "internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/dist": {
+		"internal/core", "internal/journal", "internal/platform", "internal/sched",
+		"internal/taskgraph",
+	},
 	"internal/trace": {"internal/core", "internal/taskgraph"},
 	"internal/rescue": {
 		"internal/core", "internal/dispatch", "internal/faults", "internal/listsched",
@@ -77,8 +84,8 @@ var layerAllowed = map[string][]string{
 	},
 	"internal/exp": {
 		"internal/core", "internal/deadline", "internal/edf", "internal/faults",
-		"internal/gen", "internal/listsched", "internal/platform", "internal/rescue",
-		"internal/stats", "internal/taskgraph",
+		"internal/gen", "internal/journal", "internal/listsched", "internal/platform",
+		"internal/rescue", "internal/stats", "internal/taskgraph",
 	},
 	"internal/fuzzcheck": {
 		"internal/analysis", "internal/bruteforce", "internal/core", "internal/deadline",

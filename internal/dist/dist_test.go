@@ -126,6 +126,7 @@ func TestStealAndEvict(t *testing.T) {
 	cfg.MaxLease = 64
 	cfg.LeaseTTL = 400 * time.Millisecond
 	cfg.Heartbeat = 50 * time.Millisecond
+	cfg.NoSpeculation = true // this test targets the eviction path; speculation would beat the TTL
 	fleet := NewFleet(cfg)
 	srv := httptest.NewServer(fleet.Handler())
 	defer srv.Close()

@@ -3,17 +3,32 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
 )
+
+// ErrResumable marks a solve that was interrupted (context canceled)
+// after writing a final "canceled" checkpoint: the returned Result holds
+// the best incumbent so far, and Fleet.Resume against the same journal
+// finishes the solve. Callers distinguish "aborted, resumable" from
+// "failed" with errors.Is.
+var ErrResumable = errors.New("dist: solve interrupted, resumable from journal")
+
+// ErrDrained is returned by Worker.Run when the coordinator asked this
+// worker to drain: it finished its in-flight slice, handed back the
+// rest, and should now exit cleanly.
+var ErrDrained = errors.New("dist: worker drained")
 
 // Config tunes the coordinator side of the fabric. The zero value picks
 // workable defaults for loopback fleets.
@@ -45,6 +60,26 @@ type Config struct {
 	// 100ms).
 	RetryAfter time.Duration
 
+	// JournalPath, when non-empty, makes the coordinator crash-survivable:
+	// each solve is checkpointed to this fsynced JSONL file (see
+	// journal.go) and Fleet.Resume rebuilds an interrupted solve from it.
+	// One file holds one solve — the latest; Solve truncates it.
+	JournalPath string
+
+	// StragglerQuantile, StragglerFactor and StragglerMinSamples tune
+	// speculative re-dispatch: once at least MinSamples slice service
+	// times are observed (default 8), a leased slice in flight longer
+	// than Factor (default 3) times the Quantile (default 0.9) service
+	// time is speculatively re-queued for a second worker. First report
+	// wins; the duplicate is discarded by the existing dedup path.
+	StragglerQuantile   float64
+	StragglerFactor     float64
+	StragglerMinSamples int
+
+	// NoSpeculation disables straggler re-dispatch (eviction still
+	// covers lost workers).
+	NoSpeculation bool
+
 	// Logf, when non-nil, receives coordinator diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +100,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 100 * time.Millisecond
 	}
+	if c.StragglerQuantile <= 0 || c.StragglerQuantile > 1 {
+		c.StragglerQuantile = 0.9
+	}
+	if c.StragglerFactor <= 1 {
+		c.StragglerFactor = 3
+	}
+	if c.StragglerMinSamples <= 0 {
+		c.StragglerMinSamples = 8
+	}
 	return c
 }
 
@@ -74,29 +118,105 @@ type Counters struct {
 	Dispatched   atomic.Int64
 	Stolen       atomic.Int64
 	Redispatched atomic.Int64
+	Speculated   atomic.Int64
+	Released     atomic.Int64
+	Drains       atomic.Int64
 	Broadcasts   atomic.Int64
 	Evictions    atomic.Int64
 	Duplicates   atomic.Int64
 	Reports      atomic.Int64
 }
 
-// CountersSnapshot is the JSON form of Counters.
+// CountersSnapshot is the JSON form of Counters, plus the fleet gauges
+// (active solves, journal bytes, per-worker load).
 type CountersSnapshot struct {
-	Workers             int   `json:"workers"`
-	Solves              int64 `json:"solves"`
-	SlicesDispatched    int64 `json:"slices_dispatched"`
-	SlicesStolen        int64 `json:"slices_stolen"`
-	SlicesRedispatched  int64 `json:"slices_redispatched"`
-	IncumbentBroadcasts int64 `json:"incumbent_broadcasts"`
-	WorkerEvictions     int64 `json:"worker_evictions"`
-	DuplicateReports    int64 `json:"duplicate_reports"`
-	SliceReports        int64 `json:"slice_reports"`
+	Workers             int          `json:"workers"`
+	WorkersDraining     int          `json:"workers_draining"`
+	ActiveSolves        int          `json:"active_solves"`
+	JournalBytes        int64        `json:"journal_bytes"`
+	Solves              int64        `json:"solves"`
+	SlicesDispatched    int64        `json:"slices_dispatched"`
+	SlicesStolen        int64        `json:"slices_stolen"`
+	SlicesRedispatched  int64        `json:"slices_redispatched"`
+	SlicesSpeculated    int64        `json:"slices_speculated"`
+	SlicesReleased      int64        `json:"slices_released"`
+	DrainsRequested     int64        `json:"drains_requested"`
+	IncumbentBroadcasts int64        `json:"incumbent_broadcasts"`
+	WorkerEvictions     int64        `json:"worker_evictions"`
+	DuplicateReports    int64        `json:"duplicate_reports"`
+	SliceReports        int64        `json:"slice_reports"`
+	Load                []WorkerLoad `json:"load,omitempty"`
 }
+
+// WorkerLoad is one worker's load gauge: how much of its registered
+// lifetime it spent inside accepted slice solves, and the quantiles of
+// its recent slice service times. This is the Lively-style load-balance
+// signal — the spread of BusyFraction across workers, not the worker
+// count, predicts distributed wall-clock.
+type WorkerLoad struct {
+	ID           int64   `json:"id"`
+	Name         string  `json:"name,omitempty"`
+	Draining     bool    `json:"draining,omitempty"`
+	Reports      int64   `json:"reports"`
+	BusyFraction float64 `json:"busy_fraction"`
+	ServiceP50MS float64 `json:"service_p50_ms"`
+	ServiceP90MS float64 `json:"service_p90_ms"`
+}
+
+// workerSampleCap bounds the per-worker service-time ring.
+const workerSampleCap = 64
+
+// solveSampleCap bounds the per-solve service-time ring feeding the
+// straggler trigger.
+const solveSampleCap = 256
 
 type workerState struct {
 	id       int64
 	name     string
 	lastSeen time.Time
+	joinedAt time.Time
+	draining bool
+
+	// Last-report latency samples: service seconds of this worker's
+	// accepted slices (ring), total busy time, and accepted-report count.
+	// Heartbeats refresh only lastSeen; reports land here.
+	samples    []float64
+	sampleNext int
+	busy       time.Duration
+	reports    int64
+}
+
+// noteService records one accepted slice's service time.
+func (ws *workerState) noteService(d time.Duration) {
+	sec := d.Seconds()
+	if len(ws.samples) < workerSampleCap {
+		ws.samples = append(ws.samples, sec)
+	} else {
+		ws.samples[ws.sampleNext] = sec
+		ws.sampleNext = (ws.sampleNext + 1) % workerSampleCap
+	}
+	ws.busy += d
+	ws.reports++
+}
+
+// quantileOf returns the q-quantile of xs by linear interpolation
+// (xs is copied, not mutated). Zero when empty.
+func quantileOf(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
 type sliceStatus uint8
@@ -113,38 +233,65 @@ type activeSolve struct {
 	id       uint64
 	graphRaw []byte
 	g        *taskgraph.Graph // canonical form
+	origG    *taskgraph.Graph // requester's numbering, for the final assemble
+	inv      []taskgraph.TaskID
+	seed     *sched.Schedule // canonical numbering
 	plat     platform.Platform
 	p        core.Params
 	spec     ParamsSpec
 	budgetMS int64
 
-	slices []core.FrontierSlice
-	status []sliceStatus
-	queue  []int           // slice IDs awaiting dispatch, FIFO
-	owned  map[int64][]int // worker → leased slice IDs
+	slices     []core.FrontierSlice
+	status     []sliceStatus
+	queue      []int           // slice IDs awaiting dispatch, FIFO
+	owned      map[int64][]int // worker → leased slice IDs
+	dispatched []time.Time     // last grant time per slice
+	speculated []bool          // slice was speculatively re-dispatched once
 
-	best    taskgraph.Time
-	bestSeq []sched.Placement // canonical numbering, valid placement order
-	pending int               // slices not yet accounted for
-	stats   core.Stats        // merged accepted worker stats
+	best     taskgraph.Time
+	bestSeq  []sched.Placement // canonical numbering, valid placement order
+	pending  int               // slices not yet accounted for
+	stats    core.Stats        // merged accepted worker stats
+	expStats core.Stats        // the frontier expansion's own share
+
+	// svc is the per-solve slice service-time ring (seconds) feeding the
+	// straggler trigger.
+	svc     []float64
+	svcNext int
 
 	timedOut bool // some slice died to its budget
 	lost     bool // some slice ended without exhausting for another reason
+
+	jr *journal.Appender // nil = not journaled
 
 	done     chan struct{}
 	finished bool
 }
 
+// noteService records one accepted slice's service time for the
+// straggler trigger. Callers hold f.mu.
+func (s *activeSolve) noteService(d time.Duration) {
+	sec := d.Seconds()
+	if len(s.svc) < solveSampleCap {
+		s.svc = append(s.svc, sec)
+	} else {
+		s.svc[s.svcNext] = sec
+		s.svcNext = (s.svcNext + 1) % solveSampleCap
+	}
+}
+
 // Fleet is the coordinator: it shards a solve into frontier slices,
 // leases them to workers over HTTP, maintains the shared incumbent, and
-// re-dispatches slices lost to evicted workers. One Fleet serves one
-// solve at a time (Solve serializes); the worker registry persists across
-// solves.
+// re-dispatches slices lost to evicted workers or straggling leases. One
+// Fleet serves one solve at a time (Solve/Resume serialize); the worker
+// registry persists across solves.
 type Fleet struct {
 	cfg      Config
 	counters Counters
 
-	solveMu sync.Mutex // serializes Solve
+	journalBytes atomic.Int64 // size of the active journal, for /metrics
+
+	solveMu sync.Mutex // serializes Solve and Resume
 
 	mu         sync.Mutex
 	nextWorker int64
@@ -158,22 +305,67 @@ func NewFleet(cfg Config) *Fleet {
 	return &Fleet{cfg: cfg.withDefaults(), workers: map[int64]*workerState{}}
 }
 
-// Snapshot returns the fleet counters.
+// Snapshot returns the fleet counters and gauges.
 func (f *Fleet) Snapshot() CountersSnapshot {
 	f.mu.Lock()
 	n := len(f.workers)
+	draining := 0
+	for _, ws := range f.workers {
+		if ws.draining {
+			draining++
+		}
+	}
+	active := 0
+	if f.cur != nil && !f.cur.finished {
+		active = 1
+	}
+	load := f.workerLoadsLocked()
 	f.mu.Unlock()
 	return CountersSnapshot{
 		Workers:             n,
+		WorkersDraining:     draining,
+		ActiveSolves:        active,
+		JournalBytes:        f.journalBytes.Load(),
 		Solves:              f.counters.Solves.Load(),
 		SlicesDispatched:    f.counters.Dispatched.Load(),
 		SlicesStolen:        f.counters.Stolen.Load(),
 		SlicesRedispatched:  f.counters.Redispatched.Load(),
+		SlicesSpeculated:    f.counters.Speculated.Load(),
+		SlicesReleased:      f.counters.Released.Load(),
+		DrainsRequested:     f.counters.Drains.Load(),
 		IncumbentBroadcasts: f.counters.Broadcasts.Load(),
 		WorkerEvictions:     f.counters.Evictions.Load(),
 		DuplicateReports:    f.counters.Duplicates.Load(),
 		SliceReports:        f.counters.Reports.Load(),
+		Load:                load,
 	}
+}
+
+// WorkerLoads returns the per-worker load gauges, sorted by worker ID.
+func (f *Fleet) WorkerLoads() []WorkerLoad {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workerLoadsLocked()
+}
+
+func (f *Fleet) workerLoadsLocked() []WorkerLoad {
+	if len(f.workers) == 0 {
+		return nil
+	}
+	loads := make([]WorkerLoad, 0, len(f.workers))
+	for _, ws := range f.workers {
+		wl := WorkerLoad{
+			ID: ws.id, Name: ws.name, Draining: ws.draining, Reports: ws.reports,
+			ServiceP50MS: quantileOf(ws.samples, 0.5) * 1000,
+			ServiceP90MS: quantileOf(ws.samples, 0.9) * 1000,
+		}
+		if alive := time.Since(ws.joinedAt); alive > 0 {
+			wl.BusyFraction = ws.busy.Seconds() / alive.Seconds()
+		}
+		loads = append(loads, wl)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].ID < loads[j].ID })
+	return loads
 }
 
 // WorkerCount returns the number of registered workers.
@@ -199,7 +391,7 @@ func (f *Fleet) touch(id int64, name string) *workerState {
 		} else if id > f.nextWorker {
 			f.nextWorker = id
 		}
-		w = &workerState{id: id, name: name}
+		w = &workerState{id: id, name: name, joinedAt: time.Now()}
 		f.workers[id] = w
 	}
 	if name != "" {
@@ -212,7 +404,10 @@ func (f *Fleet) touch(id int64, name string) *workerState {
 // Solve distributes one branch-and-bound run across the registered
 // workers and blocks until every frontier slice is accounted for (or ctx
 // expires, returning the best incumbent so far). With no workers joined
-// it waits for some to appear — callers own the deadline.
+// it waits for some to appear — callers own the deadline. With
+// Config.JournalPath set the solve is checkpointed throughout; a cancel
+// then returns the partial result wrapped in ErrResumable, and
+// Fleet.Resume finishes the solve later.
 func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Platform, p core.Params) (core.Result, error) {
 	f.solveMu.Lock()
 	defer f.solveMu.Unlock()
@@ -242,6 +437,10 @@ func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Pla
 	if err != nil {
 		return core.Result{}, err
 	}
+	origRaw, err := json.Marshal(g)
+	if err != nil {
+		return core.Result{}, err
+	}
 
 	fp := p
 	fp.Resources.TimeLimit = 0 // the frontier expansion is cheap; ctx governs the solve
@@ -258,16 +457,20 @@ func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Pla
 	}
 
 	s := &activeSolve{
-		g: canon, graphRaw: raw, plat: plat, p: p, spec: spec,
-		budgetMS: int64(f.cfg.SliceBudget / time.Millisecond),
-		slices:   front.Slices,
-		status:   make([]sliceStatus, len(front.Slices)),
-		queue:    make([]int, len(front.Slices)),
-		owned:    map[int64][]int{},
-		best:     front.BestCost,
-		bestSeq:  front.BestSeq,
-		pending:  len(front.Slices),
-		done:     make(chan struct{}),
+		g: canon, graphRaw: raw, origG: g, inv: inv, seed: front.Seed,
+		plat: plat, p: p, spec: spec,
+		budgetMS:   int64(f.cfg.SliceBudget / time.Millisecond),
+		slices:     front.Slices,
+		status:     make([]sliceStatus, len(front.Slices)),
+		queue:      make([]int, len(front.Slices)),
+		owned:      map[int64][]int{},
+		dispatched: make([]time.Time, len(front.Slices)),
+		speculated: make([]bool, len(front.Slices)),
+		best:       front.BestCost,
+		bestSeq:    front.BestSeq,
+		pending:    len(front.Slices),
+		expStats:   front.Stats,
+		done:       make(chan struct{}),
 	}
 	for i := range s.queue {
 		s.queue[i] = i
@@ -276,7 +479,40 @@ func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Pla
 	f.mu.Lock()
 	f.nextSolve++
 	s.id = f.nextSolve
+	f.mu.Unlock()
+
+	if f.cfg.JournalPath != "" {
+		// The solve record must be durable before any worker can report:
+		// truncate (one file = the latest solve), write, fsync, THEN publish.
+		jr, err := journal.OpenAppend(f.cfg.JournalPath, false)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if err := jr.Append(solveCheckpoint(s, origRaw)); err != nil {
+			_ = jr.Close()
+			return core.Result{}, err
+		}
+		s.jr = jr
+		f.journalBytes.Store(jr.Size())
+	}
+
+	return f.run(ctx, s)
+}
+
+// run publishes s as the active solve, waits for every slice to be
+// accounted for (re-dispatching stragglers and evicting dead workers
+// along the way), journals the final record, and assembles the result.
+// Shared by Solve and Resume.
+func (f *Fleet) run(ctx context.Context, s *activeSolve) (core.Result, error) {
+	f.mu.Lock()
+	if s.id > f.nextSolve {
+		f.nextSolve = s.id // a resumed ID stays unique for future solves
+	}
 	f.cur = s
+	if s.pending == 0 && !s.finished {
+		s.finished = true // resumed journal was already fully accounted
+		close(s.done)
+	}
 	f.mu.Unlock()
 	defer func() {
 		f.mu.Lock()
@@ -301,22 +537,11 @@ func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Pla
 			}
 			running = false
 		case <-janitor.C:
-			f.evictStale(s)
+			f.maintain(s)
 		}
 	}
 
 	f.mu.Lock()
-	stats := s.stats
-	stats.Generated += front.Stats.Generated
-	stats.Expanded += front.Stats.Expanded
-	stats.Goals += front.Stats.Goals
-	stats.PrunedChildren += front.Stats.PrunedChildren
-	stats.PrunedActive += front.Stats.PrunedActive
-	stats.IncumbentUpdates += front.Stats.IncumbentUpdates
-	if front.Stats.MaxActiveSet > stats.MaxActiveSet {
-		stats.MaxActiveSet = front.Stats.MaxActiveSet
-	}
-	best, bestSeq := s.best, s.bestSeq
 	if reason == core.TermExhausted {
 		switch {
 		case s.timedOut:
@@ -325,10 +550,46 @@ func (f *Fleet) Solve(ctx context.Context, g *taskgraph.Graph, plat platform.Pla
 			reason = core.TermResourceLoss
 		}
 	}
-	stats.TimedOut = reason == core.TermTimeLimit
+	stats := foldStats(s, reason)
+	best, bestSeq := s.best, s.bestSeq
+	resumable := s.jr != nil && reason == core.TermCanceled
+	f.appendCheckpoint(s, CheckpointRecord{Kind: checkpointKindFinal, Final: &FinalCheckpoint{
+		SolveID: s.id, Reason: reasonString(reason), Best: int64(best),
+	}})
+	if s.jr != nil {
+		if err := s.jr.Close(); err != nil {
+			f.logf("dist: journal close: %v", err)
+		}
+		s.jr = nil
+	}
 	f.mu.Unlock()
 
-	return f.assemble(g, plat, p, stats, best, bestSeq, front.Seed, inv, reason)
+	res, err := f.assemble(s.origG, s.plat, s.p, stats, best, bestSeq, s.seed, s.inv, reason)
+	if err != nil {
+		return res, err
+	}
+	if resumable {
+		return res, fmt.Errorf("dist: solve %d canceled with %d/%d slices pending: %w",
+			s.id, s.pending, len(s.slices), ErrResumable)
+	}
+	return res, nil
+}
+
+// foldStats merges the frontier expansion's counters into the accepted
+// worker stats. Callers hold f.mu.
+func foldStats(s *activeSolve, reason core.TermReason) core.Stats {
+	stats := s.stats
+	stats.Generated += s.expStats.Generated
+	stats.Expanded += s.expStats.Expanded
+	stats.Goals += s.expStats.Goals
+	stats.PrunedChildren += s.expStats.PrunedChildren
+	stats.PrunedActive += s.expStats.PrunedActive
+	stats.IncumbentUpdates += s.expStats.IncumbentUpdates
+	if s.expStats.MaxActiveSet > stats.MaxActiveSet {
+		stats.MaxActiveSet = s.expStats.MaxActiveSet
+	}
+	stats.TimedOut = reason == core.TermTimeLimit
+	return stats
 }
 
 // assemble builds the final Result over the ORIGINAL graph: the best
@@ -389,13 +650,21 @@ func checkDistributable(p core.Params) error {
 	return nil
 }
 
-// evictStale re-queues the slices of every worker whose lease expired.
-func (f *Fleet) evictStale(s *activeSolve) {
+// maintain is the janitor tick: evict dead workers, then speculate on
+// stragglers.
+func (f *Fleet) maintain(s *activeSolve) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if s.finished {
 		return
 	}
+	f.evictStaleLocked(s)
+	f.speculateLocked(s)
+}
+
+// evictStaleLocked re-queues the slices of every worker whose lease
+// expired. Callers hold f.mu.
+func (f *Fleet) evictStaleLocked(s *activeSolve) {
 	cutoff := time.Now().Add(-f.cfg.LeaseTTL)
 	for id, w := range f.workers {
 		slices := s.owned[id]
@@ -404,7 +673,7 @@ func (f *Fleet) evictStale(s *activeSolve) {
 		}
 		requeued := 0
 		for _, sl := range slices {
-			if s.status[sl] == sliceLeased {
+			if s.status[sl] == sliceLeased && !inQueue(s, sl) {
 				s.status[sl] = sliceQueued
 				s.queue = append(s.queue, sl)
 				requeued++
@@ -414,6 +683,37 @@ func (f *Fleet) evictStale(s *activeSolve) {
 		f.counters.Evictions.Add(1)
 		f.counters.Redispatched.Add(int64(requeued))
 		f.logf("dist: evicted worker %d (%s): re-dispatching %d slices", id, w.name, requeued)
+	}
+}
+
+// speculateLocked re-queues leased slices that have been in flight far
+// longer than the observed service-time quantile: a second worker races
+// the straggler, and the first report wins (the loser is deduplicated
+// exactly like a post-eviction duplicate). Each slice is speculated at
+// most once; true worker loss is still covered by eviction. Callers
+// hold f.mu.
+func (f *Fleet) speculateLocked(s *activeSolve) {
+	if f.cfg.NoSpeculation || len(s.svc) < f.cfg.StragglerMinSamples {
+		return
+	}
+	threshold := quantileOf(s.svc, f.cfg.StragglerQuantile) * f.cfg.StragglerFactor
+	if threshold <= 0 {
+		return
+	}
+	now := time.Now()
+	for sl := range s.slices {
+		if s.status[sl] != sliceLeased || s.speculated[sl] || inQueue(s, sl) {
+			continue
+		}
+		d := s.dispatched[sl]
+		if d.IsZero() || now.Sub(d).Seconds() < threshold {
+			continue
+		}
+		s.speculated[sl] = true
+		s.queue = append(s.queue, sl)
+		f.counters.Speculated.Add(1)
+		f.logf("dist: speculating slice %d (in flight %.0fms > %.0fms trigger)",
+			sl, now.Sub(d).Seconds()*1000, threshold*1000)
 	}
 }
 
@@ -444,9 +744,9 @@ func (f *Fleet) validateClaim(solveID uint64, cost taskgraph.Time, pls []sched.P
 }
 
 // adoptValidated adopts a schedule that already passed validateClaim
-// when it still strictly improves the incumbent, and prunes the
-// undispatched queue against the new bound. Callers hold f.mu. Returns
-// whether the incumbent improved.
+// when it still strictly improves the incumbent, prunes the undispatched
+// queue against the new bound, and journals the adoption. Callers hold
+// f.mu. Returns whether the incumbent improved.
 func (f *Fleet) adoptValidated(s *activeSolve, cost taskgraph.Time, pls []sched.Placement) bool {
 	if cost >= s.best || len(pls) != s.g.NumTasks() {
 		return false
@@ -459,17 +759,23 @@ func (f *Fleet) adoptValidated(s *activeSolve, cost taskgraph.Time, pls []sched.
 	// Prune the undispatched tail: these slices are eliminated by the new
 	// validated bound exactly as a sequential active set would drop them.
 	limit := core.PruneLimit(s.best, s.p.BR)
+	var pruned []int
 	kept := s.queue[:0]
 	for _, sl := range s.queue {
-		if s.slices[sl].LB >= limit {
+		if s.slices[sl].LB >= limit && s.status[sl] != sliceDone {
 			s.status[sl] = sliceDone
 			s.pending--
 			s.stats.PrunedActive++
+			pruned = append(pruned, sl)
 			continue
 		}
 		kept = append(kept, sl)
 	}
 	s.queue = kept
+	f.logf("dist: adopted incumbent %d for solve %d (pruned %d queued slices)", cost, s.id, len(pruned))
+	f.appendCheckpoint(s, CheckpointRecord{Kind: checkpointKindIncumbent, Incumbent: &IncumbentCheckpoint{
+		SolveID: s.id, Cost: int64(cost), Placements: s.bestSeq, Pruned: pruned,
+	}})
 	if s.pending == 0 && !s.finished {
 		s.finished = true
 		close(s.done)
@@ -503,6 +809,8 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/dist/v1/report", f.handleReport)
 	mux.HandleFunc("/dist/v1/incumbent", f.handleIncumbent)
 	mux.HandleFunc("/dist/v1/heartbeat", f.handleHeartbeat)
+	mux.HandleFunc("/dist/v1/drain", f.handleDrain)
+	mux.HandleFunc("/dist/v1/release", f.handleRelease)
 	return mux
 }
 
@@ -539,13 +847,20 @@ func (f *Fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.mu.Lock()
-	ws := f.touch(0, req.Name)
+	ws := f.touch(req.WorkerID, req.Name)
+	var active uint64
+	if f.cur != nil && !f.cur.finished {
+		active = f.cur.id
+	}
+	draining := ws.draining
 	f.mu.Unlock()
 	f.logf("dist: worker %d (%s) joined", ws.id, ws.name)
 	writeJSON(w, JoinResponse{
 		WorkerID:    ws.id,
 		LeaseTTLMS:  int64(f.cfg.LeaseTTL / time.Millisecond),
 		HeartbeatMS: int64(f.cfg.Heartbeat / time.Millisecond),
+		ActiveSolve: active,
+		Draining:    draining,
 	})
 }
 
@@ -565,6 +880,13 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 
 	f.mu.Lock()
 	ws := f.touch(req.WorkerID, req.Name)
+	if ws.draining {
+		// No new work for a draining worker: it finishes what it holds,
+		// releases the rest, and exits.
+		f.mu.Unlock()
+		writeJSON(w, LeaseResponse{None: true, Drain: true, RetryMS: int64(f.cfg.RetryAfter / time.Millisecond), Incumbent: int64(taskgraph.Infinity)})
+		return
+	}
 	s := f.cur
 	if s == nil || s.finished {
 		f.mu.Unlock()
@@ -582,6 +904,7 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 	if len(granted) == 0 {
 		// Work stealing: take the tail of the most-loaded worker's batch —
 		// the slices it has not started yet — and leave it at least one.
+		// Joiners re-shard a running solve through exactly this path.
 		if victim, n := f.stealVictim(s, ws.id); victim != 0 {
 			owned := s.owned[victim]
 			steal := owned[n-1]
@@ -607,9 +930,11 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.HaveSolve != s.id {
 		resp.Graph = s.graphRaw
 	}
+	now := time.Now()
 	for _, sl := range granted {
 		s.status[sl] = sliceLeased
 		s.owned[ws.id] = append(s.owned[ws.id], sl)
+		s.dispatched[sl] = now
 		resp.Slices = append(resp.Slices, WireSlice{ID: sl, Prefix: s.slices[sl].Prefix})
 	}
 	f.mu.Unlock()
@@ -643,11 +968,12 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	validated := f.validateClaim(req.SolveID, taskgraph.Time(req.Cost), req.Placements)
 	f.mu.Lock()
-	f.touch(req.WorkerID, "")
+	ws := f.touch(req.WorkerID, "")
 	s := f.cur
 	if s == nil || s.id != req.SolveID {
+		drain := ws.draining
 		f.mu.Unlock()
-		writeJSON(w, ReportResponse{Accepted: false, Abandon: true, Incumbent: int64(taskgraph.Infinity)})
+		writeJSON(w, ReportResponse{Accepted: false, Abandon: true, Drain: drain, Incumbent: int64(taskgraph.Infinity)})
 		return
 	}
 	if req.SliceID < 0 || req.SliceID >= len(s.slices) {
@@ -668,6 +994,11 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.status[req.SliceID] = sliceDone
 		s.pending--
 		dequeue(s, req.SliceID)
+		if d := s.dispatched[req.SliceID]; !d.IsZero() {
+			service := time.Since(d)
+			s.noteService(service)
+			ws.noteService(service)
+		}
 		s.stats.Generated += req.Stats.Generated
 		s.stats.Expanded += req.Stats.Expanded
 		s.stats.Goals += req.Stats.Goals
@@ -688,6 +1019,11 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 		if validated {
 			f.adoptValidated(s, taskgraph.Time(req.Cost), req.Placements)
 		}
+		// Journal AFTER any adoption: a slice may become durably done only
+		// once every incumbent it carried is durable (see journal.go).
+		f.appendCheckpoint(s, CheckpointRecord{Kind: checkpointKindSlice, Slice: &SliceCheckpoint{
+			SolveID: s.id, ID: req.SliceID, Exhausted: req.Exhausted, Reason: req.Reason, Stats: req.Stats,
+		}})
 		if s.pending == 0 && !s.finished {
 			s.finished = true
 			close(s.done)
@@ -695,6 +1031,7 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Incumbent = int64(s.best)
 	resp.Abandon = s.finished
+	resp.Drain = ws.draining
 	f.mu.Unlock()
 	writeJSON(w, resp)
 }
@@ -710,6 +1047,17 @@ func dropOwned(s *activeSolve, worker int64, slice int) {
 	}
 }
 
+// ownsSlice reports whether the worker currently holds the slice.
+// Callers hold f.mu.
+func ownsSlice(s *activeSolve, worker int64, slice int) bool {
+	for _, sl := range s.owned[worker] {
+		if sl == slice {
+			return true
+		}
+	}
+	return false
+}
+
 // dequeue removes a slice from the dispatch queue if still present (a
 // slice reported by a slow former owner can complete while re-queued).
 // Callers hold f.mu.
@@ -720,6 +1068,18 @@ func dequeue(s *activeSolve, slice int) {
 			return
 		}
 	}
+}
+
+// inQueue reports whether the slice is already awaiting dispatch — the
+// guard that keeps eviction, speculation, and release from ever queueing
+// one slice twice. Callers hold f.mu.
+func inQueue(s *activeSolve, slice int) bool {
+	for _, sl := range s.queue {
+		if sl == slice {
+			return true
+		}
+	}
+	return false
 }
 
 func (f *Fleet) handleIncumbent(w http.ResponseWriter, r *http.Request) {
@@ -750,9 +1110,9 @@ func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.mu.Lock()
-	f.touch(req.WorkerID, "")
+	ws := f.touch(req.WorkerID, "")
 	s := f.cur
-	resp := HeartbeatResponse{Incumbent: int64(taskgraph.Infinity)}
+	resp := HeartbeatResponse{Incumbent: int64(taskgraph.Infinity), Drain: ws.draining}
 	if s != nil && s.id == req.SolveID && !s.finished {
 		resp.Incumbent = int64(s.best)
 	} else {
@@ -760,4 +1120,76 @@ func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	f.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// handleDrain marks one worker (by ID or name) as draining: it gets no
+// new leases, is told to finish its in-flight slice, hand back the rest,
+// and exit. An external supervisor shrinks the fleet with this; growth
+// is just more joins (the steal path re-shards onto joiners).
+func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[DrainRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	var ws *workerState
+	if req.WorkerID > 0 {
+		ws = f.workers[req.WorkerID]
+	} else if req.Name != "" {
+		for _, cand := range f.workers {
+			if cand.name == req.Name {
+				ws = cand
+				break
+			}
+		}
+	}
+	if ws == nil {
+		f.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such worker")
+		return
+	}
+	if !ws.draining {
+		ws.draining = true
+		f.counters.Drains.Add(1)
+	}
+	owned := 0
+	if f.cur != nil {
+		owned = len(f.cur.owned[ws.id])
+	}
+	f.mu.Unlock()
+	f.logf("dist: draining worker %d (%s): %d slices in flight", ws.id, ws.name, owned)
+	writeJSON(w, DrainResponse{WorkerID: ws.id, Draining: true, Owned: owned})
+}
+
+// handleRelease takes back slices a draining (or terminating) worker
+// never started and re-queues them immediately — the voluntary twin of
+// eviction, without waiting out the lease TTL.
+func (f *Fleet) handleRelease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[ReleaseRequest](w, r)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.touch(req.WorkerID, "")
+	s := f.cur
+	requeued := 0
+	if s != nil && s.id == req.SolveID && !s.finished {
+		for _, sl := range req.Slices {
+			if sl < 0 || sl >= len(s.slices) || !ownsSlice(s, req.WorkerID, sl) {
+				continue
+			}
+			dropOwned(s, req.WorkerID, sl)
+			if s.status[sl] == sliceLeased && !inQueue(s, sl) {
+				s.status[sl] = sliceQueued
+				s.queue = append(s.queue, sl)
+				requeued++
+			}
+		}
+		f.counters.Released.Add(int64(requeued))
+	}
+	f.mu.Unlock()
+	if requeued > 0 {
+		f.logf("dist: worker %d released %d slices back to the queue", req.WorkerID, requeued)
+	}
+	writeJSON(w, ReleaseResponse{Requeued: requeued})
 }

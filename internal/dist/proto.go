@@ -144,18 +144,27 @@ func wireStats(st core.Stats) WireStats {
 	}
 }
 
-// JoinRequest registers a worker with the coordinator.
+// JoinRequest registers a worker with the coordinator. WorkerID is zero
+// on first join; a worker rejoining (e.g. after a coordinator restart
+// against its journal) carries its old identity so ownership and load
+// accounting survive.
 type JoinRequest struct {
-	Name string `json:"name,omitempty"`
+	Name     string `json:"name,omitempty"`
+	WorkerID int64  `json:"worker_id,omitempty"`
 }
 
 // JoinResponse assigns the worker its identity and the fabric's timing
 // contract: miss heartbeats for longer than lease_ttl_ms and the
-// coordinator evicts you and re-dispatches your slices.
+// coordinator evicts you and re-dispatches your slices. ActiveSolve
+// names the solve in flight (0 = idle) so a joiner knows it will be
+// re-sharding live work; Draining tells a rejoining worker it was
+// already marked for drain.
 type JoinResponse struct {
-	WorkerID    int64 `json:"worker_id"`
-	LeaseTTLMS  int64 `json:"lease_ttl_ms"`
-	HeartbeatMS int64 `json:"heartbeat_ms"`
+	WorkerID    int64  `json:"worker_id"`
+	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	ActiveSolve uint64 `json:"active_solve,omitempty"`
+	Draining    bool   `json:"draining,omitempty"`
 }
 
 // LeaseRequest asks for work. HaveSolve names the solve whose graph the
@@ -171,9 +180,11 @@ type LeaseRequest struct {
 // LeaseResponse grants zero or more slices of the active solve. None
 // means there is nothing to do right now; poll again after RetryMS.
 // Graph is the canonical graph encoding, present only when SolveID
-// differs from the request's HaveSolve.
+// differs from the request's HaveSolve. Drain means this worker gets no
+// more work: finish up, release, exit.
 type LeaseResponse struct {
 	None          bool        `json:"none,omitempty"`
+	Drain         bool        `json:"drain,omitempty"`
 	RetryMS       int64       `json:"retry_ms,omitempty"`
 	SolveID       uint64      `json:"solve_id,omitempty"`
 	Graph         []byte      `json:"graph,omitempty"`
@@ -207,6 +218,7 @@ type ReportResponse struct {
 	Accepted  bool  `json:"accepted"`
 	Incumbent int64 `json:"incumbent"`
 	Abandon   bool  `json:"abandon,omitempty"`
+	Drain     bool  `json:"drain,omitempty"`
 }
 
 // IncumbentRequest publishes an improvement mid-slice. The coordinator
@@ -233,10 +245,45 @@ type HeartbeatRequest struct {
 
 // HeartbeatResponse carries the freshest incumbent back. Abandon tells
 // the worker its solve is gone (finished or canceled): drop the leased
-// slices and lease anew.
+// slices and lease anew. Drain tells it to wind down after the current
+// slice.
 type HeartbeatResponse struct {
 	Incumbent int64 `json:"incumbent"`
 	Abandon   bool  `json:"abandon,omitempty"`
+	Drain     bool  `json:"drain,omitempty"`
+}
+
+// DrainRequest asks the coordinator to drain one worker, addressed by ID
+// or (when ID is zero) by name. Draining is sticky: the worker gets no
+// further leases, finishes its in-flight slice, releases the rest, and
+// exits with ErrDrained.
+type DrainRequest struct {
+	WorkerID int64  `json:"worker_id,omitempty"`
+	Name     string `json:"name,omitempty"`
+}
+
+// DrainResponse confirms the drain and reports how many slices the
+// worker still holds (they come back via /dist/v1/release or its final
+// reports).
+type DrainResponse struct {
+	WorkerID int64 `json:"worker_id"`
+	Draining bool  `json:"draining"`
+	Owned    int   `json:"owned"`
+}
+
+// ReleaseRequest hands unstarted leased slices back to the coordinator —
+// the voluntary counterpart of lease-TTL eviction, used by draining or
+// terminating workers so their slices re-queue immediately.
+type ReleaseRequest struct {
+	WorkerID int64  `json:"worker_id"`
+	SolveID  uint64 `json:"solve_id"`
+	Slices   []int  `json:"slices"`
+}
+
+// ReleaseResponse reports how many of the slices actually re-queued
+// (already-reported or stolen slices are skipped).
+type ReleaseResponse struct {
+	Requeued int `json:"requeued"`
 }
 
 // ErrorResponse mirrors the server package's error envelope.

@@ -36,6 +36,13 @@ type WorkerConfig struct {
 	// Client is the HTTP client to use (default: 10s timeout).
 	Client *http.Client
 
+	// SliceDelay, when positive, sleeps before each leased slice is
+	// solved. It exists for experiments: one delayed worker turns a
+	// homogeneous loopback fleet into a straggler scenario, so the
+	// coordinator's speculative re-dispatch can be measured against a
+	// static assignment.
+	SliceDelay time.Duration
+
 	// Logf, when non-nil, receives worker diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +68,10 @@ type Worker struct {
 	// coordinator response and lowered by local improvements. The solver
 	// polls it through the IncumbentLink.
 	best atomic.Int64
+
+	// draining latches once any coordinator response carries the drain
+	// flag: finish the in-flight slice, release the rest, exit.
+	draining atomic.Bool
 
 	// SlicesSolved counts completed slice solves (test/diagnostic hook).
 	SlicesSolved atomic.Int64
@@ -123,17 +134,21 @@ func (w *Worker) lowerBest(cost int64) {
 	}
 }
 
-// Run joins the coordinator and processes leases until ctx is canceled.
-// Transient coordinator failures are retried; Run only returns on ctx
-// cancellation.
+// Run joins the coordinator and processes leases until ctx is canceled
+// or the coordinator drains this worker. Transient coordinator failures
+// are retried; Run returns ctx.Err() on cancellation and ErrDrained
+// after a clean drain (in-flight slice finished, remainder released).
 func (w *Worker) Run(ctx context.Context) error {
 	for {
 		var join JoinResponse
-		err := w.post(ctx, "/dist/v1/join", JoinRequest{Name: w.cfg.Name}, &join)
+		err := w.post(ctx, "/dist/v1/join", JoinRequest{Name: w.cfg.Name, WorkerID: w.id}, &join)
 		if err == nil {
 			w.id = join.WorkerID
 			if join.HeartbeatMS > 0 {
 				w.heartbeat = time.Duration(join.HeartbeatMS) * time.Millisecond
+			}
+			if join.Draining {
+				w.draining.Store(true)
 			}
 			w.logf("dist: joined %s as worker %d (heartbeat %v)", w.cfg.Coordinator, w.id, w.heartbeat)
 			break
@@ -150,6 +165,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if w.draining.Load() {
+			w.logf("dist: worker %d drained", w.id)
+			return ErrDrained
+		}
 		var lease LeaseResponse
 		err := w.post(ctx, "/dist/v1/lease", LeaseRequest{
 			WorkerID: w.id, Name: w.cfg.Name, HaveSolve: w.solveID, Max: w.cfg.MaxLease,
@@ -159,7 +178,13 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.sleep(ctx, w.cfg.Poll)
 			continue
 		}
+		if lease.Drain {
+			w.draining.Store(true)
+		}
 		if lease.None {
+			if w.draining.Load() {
+				continue // top of loop exits with ErrDrained
+			}
 			wait := w.cfg.Poll
 			if retry := time.Duration(lease.RetryMS) * time.Millisecond; retry > wait {
 				wait = retry
@@ -174,13 +199,42 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		w.best.Store(lease.Incumbent)
 		abandon := false
-		for _, sl := range lease.Slices {
-			if abandon || ctx.Err() != nil {
+		for i, sl := range lease.Slices {
+			if abandon {
+				break
+			}
+			if ctx.Err() != nil || w.draining.Load() {
+				// Canceled or draining before starting this slice: hand the
+				// rest of the batch back so it re-queues immediately instead
+				// of waiting out the lease TTL.
+				w.release(lease.Slices[i:])
 				break
 			}
 			abandon = w.solveSlice(ctx, sl)
 		}
 	}
+}
+
+// release hands unstarted slices back to the coordinator. Best-effort
+// with its own short deadline: the worker may be exiting because its own
+// ctx is already canceled, and a failed release just means the slices
+// come back via lease-TTL eviction instead.
+func (w *Worker) release(slices []WireSlice) {
+	if len(slices) == 0 {
+		return
+	}
+	ids := make([]int, len(slices))
+	for i, sl := range slices {
+		ids[i] = sl.ID
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var resp ReleaseResponse
+	if err := w.post(ctx, "/dist/v1/release", ReleaseRequest{WorkerID: w.id, SolveID: w.solveID, Slices: ids}, &resp); err != nil {
+		w.logf("dist: release of %d slices failed (TTL eviction will recover them): %v", len(ids), err)
+		return
+	}
+	w.logf("dist: released %d slices (%d re-queued)", len(ids), resp.Requeued)
 }
 
 // adoptLease installs the lease's solve (decoding the graph when it
@@ -217,6 +271,12 @@ func (w *Worker) adoptLease(lease *LeaseResponse) error {
 // incumbent and reports the outcome. Returns true when the coordinator
 // abandoned the solve (stop working on this lease).
 func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
+	if w.cfg.SliceDelay > 0 {
+		w.sleep(ctx, w.cfg.SliceDelay)
+		if ctx.Err() != nil {
+			return false
+		}
+	}
 	slCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -267,6 +327,9 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 				err := w.post(slCtx, "/dist/v1/heartbeat", HeartbeatRequest{WorkerID: w.id, SolveID: w.solveID}, &resp)
 				if err != nil {
 					continue
+				}
+				if resp.Drain {
+					w.draining.Store(true) // finish this slice, then wind down
 				}
 				if resp.Abandon {
 					cancel()
@@ -323,6 +386,9 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 	if err := w.post(ctx, "/dist/v1/report", report, &resp); err != nil {
 		w.logf("dist: report for slice %d failed: %v", sl.ID, err)
 		return false
+	}
+	if resp.Drain {
+		w.draining.Store(true)
 	}
 	w.lowerBest(resp.Incumbent)
 	return resp.Abandon

@@ -1,17 +1,20 @@
 package exp
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
+
+	"repro/internal/journal"
 )
 
 // Journal makes experiment sweeps crash-safe. Each completed sweep
 // position (one x-value, all variants, all runs) is appended to a JSONL
 // file and fsynced; a resumed run looks every position up by a
-// deterministic key and skips the ones already journaled.
+// deterministic key and skips the ones already journaled. The append/
+// torn-tail mechanics live in internal/journal (shared with the
+// distributed coordinator's checkpoints); this layer adds the keyed
+// position store on top.
 //
 // Correctness of the skip relies on two properties of the runner: every
 // sweep position seeds its own generator independently (cfg.Seed + j·7919),
@@ -22,8 +25,7 @@ import (
 // Together they make an interrupted-and-resumed sweep byte-identical to an
 // uninterrupted one.
 type Journal struct {
-	path    string
-	f       *os.File
+	a       *journal.Appender
 	entries map[string][]Point
 	hits    int
 }
@@ -38,57 +40,29 @@ type journalEntry struct {
 // truncated trailing line — the signature of a crash mid-append — is
 // tolerated and dropped.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	j := &Journal{path: path, entries: make(map[string][]Point)}
+	j := &Journal{entries: make(map[string][]Point)}
 	if resume {
-		if err := j.load(); err != nil {
-			return nil, err
+		records, err := journal.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
 		}
-	}
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if !resume {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("exp: open journal: %w", err)
-	}
-	j.f = f
-	return j, nil
-}
-
-func (j *Journal) load() error {
-	data, err := os.ReadFile(j.path)
-	if os.IsNotExist(err) {
-		return nil // nothing to resume from
-	}
-	if err != nil {
-		return fmt.Errorf("exp: read journal: %w", err)
-	}
-	// Parse intact lines; a torn tail — no trailing newline or malformed
-	// JSON, the signature of a crash mid-append — is dropped AND truncated
-	// away, so subsequent appends start on a clean line boundary.
-	intact := 0
-	for intact < len(data) {
-		nl := bytes.IndexByte(data[intact:], '\n')
-		if nl < 0 {
-			break // torn tail without newline
-		}
-		line := data[intact : intact+nl]
-		if len(line) > 0 {
+		for _, line := range records {
 			var e journalEntry
 			if err := json.Unmarshal(line, &e); err != nil {
-				break // torn or corrupt line; recompute from here on
+				// A valid-JSON line that is not a journal entry means the
+				// file is not ours; recompute from here on rather than
+				// trusting anything after it.
+				break
 			}
 			j.entries[e.Key] = e.Points
 		}
-		intact += nl + 1
 	}
-	if intact < len(data) {
-		if err := os.Truncate(j.path, int64(intact)); err != nil {
-			return fmt.Errorf("exp: truncate torn journal tail: %w", err)
-		}
+	a, err := journal.OpenAppend(path, resume)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
 	}
-	return nil
+	j.a = a
+	return j, nil
 }
 
 // Lookup returns the journaled points for the key, if any, and counts the
@@ -104,16 +78,8 @@ func (j *Journal) Lookup(key string) ([]Point, bool) {
 // Record journals one completed position: append a line, then fsync, so a
 // crash immediately after never loses it.
 func (j *Journal) Record(key string, pts []Point) error {
-	line, err := json.Marshal(journalEntry{Key: key, Points: pts})
-	if err != nil {
-		return fmt.Errorf("exp: journal encode: %w", err)
-	}
-	line = append(line, '\n')
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("exp: journal append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("exp: journal sync: %w", err)
+	if err := j.a.Append(journalEntry{Key: key, Points: pts}); err != nil {
+		return fmt.Errorf("exp: %w", err)
 	}
 	j.entries[key] = pts
 	return nil
@@ -124,14 +90,7 @@ func (j *Journal) Record(key string, pts []Point) error {
 func (j *Journal) Hits() int { return j.hits }
 
 // Close closes the underlying file. The journal stays usable for Lookup.
-func (j *Journal) Close() error {
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
-}
+func (j *Journal) Close() error { return j.a.Close() }
 
 // positionKey fingerprints one sweep position: the run protocol, every
 // variant's full parameter tuple, and the position's workload/platform.

@@ -1,0 +1,116 @@
+// Package journal is the crash-safe append-only JSONL substrate shared
+// by the experiment runner (internal/exp) and the distributed fabric's
+// coordinator checkpoints (internal/dist). One record is one JSON value
+// on one line; every append is fsynced before it is acknowledged, so a
+// record either survives a crash whole or was never acknowledged at all.
+//
+// The torn-tail rule makes replay deterministic: a trailing line without
+// a newline, or one that no longer parses as JSON — the signature of a
+// crash mid-append — is dropped AND truncated away on load, so the next
+// append starts on a clean line boundary and a resumed process sees
+// exactly the acknowledged prefix.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Load reads the intact records of the journal at path, truncating a
+// torn tail in place. A missing file yields (nil, nil): nothing to
+// resume from is not an error.
+func Load(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	var records [][]byte
+	intact := 0
+	for intact < len(data) {
+		nl := bytes.IndexByte(data[intact:], '\n')
+		if nl < 0 {
+			break // torn tail without newline
+		}
+		line := data[intact : intact+nl]
+		if len(line) > 0 {
+			if !json.Valid(line) {
+				break // torn or corrupt line; everything after is suspect
+			}
+			records = append(records, append([]byte(nil), line...))
+		}
+		intact += nl + 1
+	}
+	if intact < len(data) {
+		if err := os.Truncate(path, int64(intact)); err != nil {
+			return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	return records, nil
+}
+
+// Appender is the write side: open once, Append records, Close. It is
+// not safe for concurrent use; callers serialize (both current users
+// append under a mutex or from a single goroutine).
+type Appender struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// OpenAppend opens the journal at path for appending. With resume false
+// the file is truncated first (a fresh run); with resume true appends
+// continue after the existing acknowledged records — call Load first so
+// a torn tail has already been cut off.
+func OpenAppend(path string, resume bool) (*Appender, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close() // open failed half-way; nothing to report beyond err
+		return nil, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+	return &Appender{path: path, f: f, size: st.Size()}, nil
+}
+
+// Append marshals v, writes it as one line, and fsyncs. The record is
+// durable when Append returns nil.
+func (a *Appender) Append(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := a.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", a.path, err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", a.path, err)
+	}
+	a.size += int64(len(line))
+	return nil
+}
+
+// Size reports the journal's current byte size (acknowledged records
+// plus any pre-existing content when opened with resume).
+func (a *Appender) Size() int64 { return a.size }
+
+// Close closes the underlying file. Further Appends fail.
+func (a *Appender) Close() error {
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}

@@ -1,0 +1,101 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	K string `json:"k"`
+	N int    `json:"n"`
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	a, err := OpenAppend(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Append(rec{K: "r", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Size() == 0 {
+		t.Fatal("size not tracked")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("got %d records, want 5", len(records))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	records, err := Load(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || records != nil {
+		t.Fatalf("missing file: got %v records, err %v", records, err)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial final line;
+// Load must drop it, truncate the file, and leave appends resumable on a
+// clean boundary.
+func TestTornTailTruncated(t *testing.T) {
+	for _, tail := range []string{`{"k":"torn","n":`, `{"k":"torn"`, "\xff\xfe garbage\n", `{"k":"no-newline","n":9}`} {
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		a, err := OpenAppend(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Append(rec{K: "ok", N: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(tail); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		records, err := Load(path)
+		if err != nil {
+			t.Fatalf("tail %q: %v", tail, err)
+		}
+		if len(records) != 1 {
+			t.Fatalf("tail %q: got %d records, want the 1 intact one", tail, len(records))
+		}
+
+		// The torn bytes are gone: appending resumes on a clean boundary.
+		a, err = OpenAppend(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Append(rec{K: "ok", N: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		records, err = Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(records) != 2 {
+			t.Fatalf("tail %q: after resume append got %d records, want 2", tail, len(records))
+		}
+	}
+}

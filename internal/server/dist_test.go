@@ -84,6 +84,22 @@ func TestDistributedSolveEndpoint(t *testing.T) {
 	if snap.Fleet.Solves != 1 || snap.Fleet.SlicesDispatched == 0 {
 		t.Fatalf("fleet counters: %+v", *snap.Fleet)
 	}
+	// The fleet gauges added for elasticity: the finished solve is no
+	// longer active, nothing was drained, and the per-worker load signal
+	// covers both workers with their accepted-report counts.
+	if snap.Fleet.ActiveSolves != 0 || snap.Fleet.WorkersDraining != 0 || snap.Fleet.DrainsRequested != 0 {
+		t.Fatalf("fleet gauges after a finished solve: %+v", *snap.Fleet)
+	}
+	if len(snap.Fleet.Load) != 2 {
+		t.Fatalf("fleet load gauge has %d workers, want 2: %+v", len(snap.Fleet.Load), snap.Fleet.Load)
+	}
+	var reports int64
+	for _, wl := range snap.Fleet.Load {
+		reports += wl.Reports
+	}
+	if reports == 0 {
+		t.Fatalf("no accepted reports in the load gauge: %+v", snap.Fleet.Load)
+	}
 	if ep, ok := snap.Endpoints["dist"]; !ok || ep.Requests != 2 || ep.CacheHits != 1 {
 		t.Fatalf("dist endpoint metrics: %+v", snap.Endpoints["dist"])
 	}

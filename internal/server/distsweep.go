@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -25,6 +26,11 @@ func init() {
 var (
 	distSweepWorkers = []int{1, 2, 4, 8}
 	distSweepSeeds   = []int64{903, 931}
+
+	// distSweepStragglerDelay slows one worker per fabric (when there is
+	// more than one) by this much per slice, so the static-vs-mitigated
+	// comparison has an actual straggler to mitigate.
+	distSweepStragglerDelay = 120 * time.Millisecond
 )
 
 // distSweepCombos are the parameter combinations swept. Both are exact,
@@ -42,12 +48,19 @@ var distSweepCombos = []struct {
 // (paper-default workloads whose sequential search floods an Lmax
 // plateau) are solved by a loopback coordinator/worker fleet swept over
 // 1, 2, 4 and 8 workers, against a single-node core.Solve baseline.
+// Each parameter combo runs twice — a "static" fabric (speculative
+// re-dispatch off) and a "spec" fabric (on) — with one artificial
+// straggler worker per multi-worker fleet, so the pair measures what
+// latency-quantile speculation buys against a slow machine.
 //
 // The figure's columns are re-purposed: Vertices holds the wall-clock
 // speedup (sequential wall / distributed wall, >1 means the fabric wins),
 // Lateness the searched-vertex ratio (distributed expanded / sequential
 // expanded — the redundancy the frontier split pays, or the pruning it
-// gains), MaxAS the incumbent broadcasts the coordinator validated.
+// gains), MaxAS the Lively-style load-balance signal: the spread between
+// the busiest and idlest worker's busy fraction (0 = perfectly balanced,
+// →1 = one worker does everything while others starve). Per-worker slice
+// service-time quantiles and broadcast/speculation counters go to Logf.
 //
 // On a single-CPU host any speedup is a branch-and-bound search-order
 // anomaly, not parallelism: every frontier slice starts from the EDF
@@ -69,14 +82,16 @@ func DistSweep(cfg exp.Config) (exp.Figure, error) {
 		wall time.Duration
 		res  core.Result
 	}
+	modes := []struct {
+		name     string
+		mitigate bool
+	}{
+		{"static", false},
+		{"spec", true},
+	}
 
-	series := make([]exp.Series, len(distSweepCombos))
-	for ci, combo := range distSweepCombos {
-		series[ci] = exp.Series{Variant: combo.name, Points: make([]exp.Point, len(distSweepWorkers))}
-		for j, w := range distSweepWorkers {
-			series[ci].Points[j] = exp.Point{Variant: combo.name, X: float64(w)}
-		}
-
+	series := make([]exp.Series, 0, len(distSweepCombos)*len(modes))
+	for _, combo := range distSweepCombos {
 		p := combo.p
 		p.Resources.TimeLimit = cfg.TimeLimit
 
@@ -99,53 +114,86 @@ func DistSweep(cfg exp.Config) (exp.Figure, error) {
 			}
 		}
 
-		for j, workers := range distSweepWorkers {
-			pt := &series[ci].Points[j]
-			for ii, base := range bases {
-				res, wall, broadcasts, err := distSolve(base.g, base.plat, p, workers)
-				if err != nil {
-					return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d: %v", combo.name, workers, err)
-				}
-				if res.Cost != base.res.Cost {
-					return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d seed %d: distributed cost %d != sequential %d",
-						combo.name, workers, distSweepSeeds[ii], res.Cost, base.res.Cost)
-				}
-				pt.Vertices.Add(base.wall.Seconds() / wall.Seconds())
-				pt.Lateness.Add(float64(res.Stats.Expanded) / float64(base.res.Stats.Expanded))
-				pt.MaxAS.AddInt(broadcasts)
-				pt.Runs++
-				if cfg.Logf != nil {
-					cfg.Logf("exp: dist-sweep %s w=%d seed=%d: speedup %.2f, vertex ratio %.2f (%v)",
-						combo.name, workers, distSweepSeeds[ii],
-						base.wall.Seconds()/wall.Seconds(),
-						float64(res.Stats.Expanded)/float64(base.res.Stats.Expanded),
-						wall.Round(time.Millisecond))
+		for _, mode := range modes {
+			variant := combo.name + " " + mode.name
+			s := exp.Series{Variant: variant, Points: make([]exp.Point, len(distSweepWorkers))}
+			for j, workers := range distSweepWorkers {
+				pt := &s.Points[j]
+				*pt = exp.Point{Variant: variant, X: float64(workers)}
+				for ii, base := range bases {
+					res, wall, load, err := distSolve(base.g, base.plat, p, workers, mode.mitigate)
+					if err != nil {
+						return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d: %v", variant, workers, err)
+					}
+					if res.Cost != base.res.Cost {
+						return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d seed %d: distributed cost %d != sequential %d",
+							variant, workers, distSweepSeeds[ii], res.Cost, base.res.Cost)
+					}
+					pt.Vertices.Add(base.wall.Seconds() / wall.Seconds())
+					pt.Lateness.Add(float64(res.Stats.Expanded) / float64(base.res.Stats.Expanded))
+					pt.MaxAS.Add(load.spread)
+					pt.Runs++
+					if cfg.Logf != nil {
+						cfg.Logf("exp: dist-sweep %s w=%d seed=%d: speedup %.2f, vertex ratio %.2f, busy spread %.2f, broadcasts %d, speculated %d, re-dispatched %d (%v)",
+							variant, workers, distSweepSeeds[ii],
+							base.wall.Seconds()/wall.Seconds(),
+							float64(res.Stats.Expanded)/float64(base.res.Stats.Expanded),
+							load.spread, load.broadcasts, load.speculated, load.redispatched,
+							wall.Round(time.Millisecond))
+						for _, wl := range load.workers {
+							cfg.Logf("exp: dist-sweep %s w=%d seed=%d:   worker %q busy=%.2f service p50=%.1fms p90=%.1fms reports=%d",
+								variant, workers, distSweepSeeds[ii],
+								wl.Name, wl.BusyFraction, wl.ServiceP50MS, wl.ServiceP90MS, wl.Reports)
+						}
+					}
 				}
 			}
+			series = append(series, s)
 		}
 	}
 
 	return exp.Figure{
 		ID:     "dist-sweep",
-		Title:  "distributed B&B fabric: speedup and search overhead vs worker count",
+		Title:  "distributed B&B fabric: speedup, search overhead and load balance vs worker count",
 		XLabel: "workers",
 		Series: series,
 
 		VertexLabel:   "speedup (seq wall / dist wall)",
 		LatenessLabel: "searched-vertex ratio (dist / seq)",
-		ASLabel:       "incumbent broadcasts",
+		ASLabel:       "busy-fraction spread (max - min)",
 		RunsLabel:     "instances",
 	}, nil
 }
 
+// distLoad is the per-solve load-balance readout distSolve extracts from
+// the fleet before tearing it down.
+type distLoad struct {
+	spread       float64 // busiest minus idlest worker busy fraction
+	broadcasts   int64
+	speculated   int64
+	redispatched int64
+	workers      []dist.WorkerLoad
+}
+
 // distSolve stands up a fresh coordinator on a loopback socket plus
 // `workers` fleet workers, runs one distributed solve, and tears
-// everything down.
-func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, workers int) (core.Result, time.Duration, int64, error) {
-	fleet := dist.NewFleet(dist.Config{RetryAfter: 2 * time.Millisecond})
+// everything down. With more than one worker the first is an artificial
+// straggler (distSweepStragglerDelay per slice); mitigate toggles the
+// coordinator's speculative re-dispatch against it.
+func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, workers int, mitigate bool) (core.Result, time.Duration, distLoad, error) {
+	fleet := dist.NewFleet(dist.Config{
+		RetryAfter:    2 * time.Millisecond,
+		NoSpeculation: !mitigate,
+		// The janitor (eviction + speculation) ticks at Heartbeat; the
+		// default (LeaseTTL/3 = 1s) never fires inside these sub-second
+		// solves, so speculation could not trigger at all. A tight
+		// heartbeat lets the coordinator notice the straggler mid-solve
+		// while the default 3s LeaseTTL keeps live workers unevicted.
+		Heartbeat: 5 * time.Millisecond,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return core.Result{}, 0, 0, err
+		return core.Result{}, 0, distLoad{}, err
 	}
 	hs := &http.Server{Handler: fleet.Handler()}
 	serveErr := make(chan error, 1)
@@ -154,11 +202,16 @@ func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, worker
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		w := dist.NewWorker(dist.WorkerConfig{
+		wcfg := dist.WorkerConfig{
 			Coordinator: "http://" + ln.Addr().String(),
-			Name:        "sweep",
+			Name:        fmt.Sprintf("sweep-%d", i),
 			Poll:        2 * time.Millisecond,
-		})
+		}
+		if i == 0 && workers > 1 {
+			wcfg.Name = "straggler"
+			wcfg.SliceDelay = distSweepStragglerDelay
+		}
+		w := dist.NewWorker(wcfg)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -170,12 +223,30 @@ func distSolve(g *taskgraph.Graph, plat platform.Platform, p core.Params, worker
 	res, err := fleet.Solve(context.Background(), g, plat, p)
 	wall := time.Since(t0)
 
+	// Read the load signal before teardown so busy fractions reflect the
+	// solve window, not the idle tail.
+	snap := fleet.Snapshot()
+	load := distLoad{
+		broadcasts:   snap.IncumbentBroadcasts,
+		speculated:   snap.SlicesSpeculated,
+		redispatched: snap.SlicesRedispatched,
+		workers:      snap.Load,
+	}
+	if len(snap.Load) > 0 {
+		lo, hi := snap.Load[0].BusyFraction, snap.Load[0].BusyFraction
+		for _, wl := range snap.Load[1:] {
+			lo = math.Min(lo, wl.BusyFraction)
+			hi = math.Max(hi, wl.BusyFraction)
+		}
+		load.spread = hi - lo
+	}
+
 	cancel()
 	wg.Wait()
 	_ = hs.Close() // loopback listener teardown
 	<-serveErr
 	if err != nil {
-		return core.Result{}, 0, 0, err
+		return core.Result{}, 0, distLoad{}, err
 	}
-	return res, wall, fleet.Snapshot().IncumbentBroadcasts, nil
+	return res, wall, load, nil
 }

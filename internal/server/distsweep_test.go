@@ -21,10 +21,11 @@ func TestDistSweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real solves over loopback HTTP")
 	}
-	oldW, oldS := distSweepWorkers, distSweepSeeds
+	oldW, oldS, oldD := distSweepWorkers, distSweepSeeds, distSweepStragglerDelay
 	distSweepWorkers = []int{1, 2}
 	distSweepSeeds = []int64{931}
-	defer func() { distSweepWorkers, distSweepSeeds = oldW, oldS }()
+	distSweepStragglerDelay = 20 * time.Millisecond
+	defer func() { distSweepWorkers, distSweepSeeds, distSweepStragglerDelay = oldW, oldS, oldD }()
 
 	cfg := exp.Quick()
 	cfg.TimeLimit = 30 * time.Second
@@ -34,7 +35,8 @@ func TestDistSweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DistSweep: %v", err)
 	}
-	if fig.ID != "dist-sweep" || len(fig.Series) != len(distSweepCombos) {
+	// One "static" plus one "spec" (speculation-enabled) series per combo.
+	if fig.ID != "dist-sweep" || len(fig.Series) != 2*len(distSweepCombos) {
 		t.Fatalf("unexpected figure shape: %+v", fig)
 	}
 	for _, s := range fig.Series {

@@ -275,7 +275,11 @@ func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Ti
 		m.rejected.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg)))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
-	case errors.Is(err, errDraining), errors.Is(err, context.Canceled):
+	case errors.Is(err, errDraining), errors.Is(err, context.Canceled), errors.Is(err, dist.ErrResumable):
+		// A resumable distributed solve was interrupted (coordinator
+		// shutdown mid-search): the journal keeps the work, so the client
+		// should retry against the restarted coordinator rather than treat
+		// this as a solver failure.
 		m.errors.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 	default:

@@ -16,9 +16,12 @@
 # and failing if the lifo-df vertices/sec gate is not met.
 #
 # The dist form gates the distributed fabric alone: race-enabled
-# internal/dist tests (frontier equivalence, steal/evict robustness) plus
-# the loopback multi-process e2e (re-exec'd coordinator, two bbworker
-# processes, a SIGKILL'd worker recovered through lease eviction).
+# internal/dist tests (frontier equivalence, steal/evict robustness,
+# journal resume, drain, speculative re-dispatch) plus the race-enabled
+# loopback multi-process e2e (re-exec'd coordinator, real bbworker
+# processes, a SIGKILL'd worker recovered through lease eviction, and a
+# SIGKILL'd coordinator resumed from its checkpoint journal with
+# byte-identical results).
 #
 # The vet form is the static-analysis contract: the full bbvet suite
 # (per-package analyzers plus the whole-program lockorder, goleak,
@@ -44,8 +47,8 @@ if [ "${1:-}" = "dist" ]; then
     go run ./cmd/bbvet ./internal/dist ./cmd/bbworker
     echo "==> go test -race ./internal/dist"
     go test -race ./internal/dist
-    echo "==> go test ./cmd/bbworker (loopback multi-process e2e)"
-    go test ./cmd/bbworker
+    echo "==> go test -race ./cmd/bbworker (loopback multi-process e2e, incl. crash-resume)"
+    go test -race ./cmd/bbworker
     echo "==> dist checks passed"
     exit 0
 fi
