@@ -7,8 +7,12 @@
 //
 //	bbload [flags]
 //
-//	-url string      base URL of a running bbserved (default "http://127.0.0.1:8080")
+//	-url string      base URL(s) of running bbserved replicas, comma-separated;
+//	                 requests round-robin across them (default "http://127.0.0.1:8080")
 //	-endpoint string solve|anytime|list|analyze|recover|mix (default "solve")
+//	-tenants string  mixed-workload mode: comma-separated tenant names (weight
+//	                 suffixes as in bbserved -tenants are accepted and ignored);
+//	                 requests cycle the X-Tenant header across them
 //	-n int           total requests (default 64)
 //	-c int           concurrent clients (default 4)
 //	-graphs int      distinct workload instances in the replay pool (default 16)
@@ -26,6 +30,13 @@
 // of overrunning it, so the report measures sustainable throughput.
 // Requests cycle through the instance pool; with -n larger than -graphs
 // the tail of the run exercises the server's result cache.
+//
+// With -tenants the run becomes a fairness probe against a bbserved
+// started with matching -tenants classes: request i carries the i-th
+// tenant name (mod the list) in its X-Tenant header, and the report adds
+// per-tenant ok counts, latency percentiles, throughput, and the
+// max/min tenant-throughput ratio — under saturation that ratio should
+// approach the configured weight ratio.
 //
 // A 429 rejection is retried up to -retries times, sleeping the server's
 // Retry-After with ±50% jitter so released clients do not re-arrive in
@@ -53,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -60,6 +72,7 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -68,6 +81,7 @@ import (
 	"repro/internal/deadline"
 	"repro/internal/dist"
 	"repro/internal/gen"
+	"repro/internal/grid"
 	"repro/internal/listsched"
 	"repro/internal/platform"
 	"repro/internal/server"
@@ -90,8 +104,9 @@ func main() {
 	}
 
 	var (
-		baseURL     = flag.String("url", "http://127.0.0.1:8080", "base URL of a running bbserved")
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "comma-separated base URLs of running bbserved replicas")
 		endpoint    = flag.String("endpoint", "solve", "solve|anytime|list|analyze|recover|mix")
+		tenantsFlag = flag.String("tenants", "", "mixed-workload mode: comma-separated tenant names to cycle X-Tenant across")
 		n           = flag.Int("n", 64, "total requests")
 		c           = flag.Int("c", 4, "concurrent clients")
 		graphs      = flag.Int("graphs", 16, "distinct workload instances")
@@ -122,6 +137,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	urls := splitList(*baseURL)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "bbload: -url must name at least one server")
+		os.Exit(2)
+	}
+	tenantSpec, err := grid.ParseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
+		os.Exit(2)
+	}
+	tenants := make([]string, len(tenantSpec))
+	for i, t := range tenantSpec {
+		tenants[i] = t.Name
+	}
+
 	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
@@ -130,11 +160,14 @@ func main() {
 	if !*quiet {
 		fmt.Printf("bbload: endpoint=%s n=%d c=%d graphs=%d procs=%d budget=%s url=%s\n",
 			*endpoint, *n, *c, *graphs, *procs, *budget, *baseURL)
+		if len(tenants) > 0 {
+			fmt.Printf("bbload: tenants=%s\n", strings.Join(tenants, ","))
+		}
 	}
 
 	var fleet *workerFleet
 	if *distributed && *distWorkers > 0 {
-		fleet, err = spawnWorkers(*baseURL, *distWorkers)
+		fleet, err = spawnWorkers(urls[0], *distWorkers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bbload: spawn workers: %v\n", err)
 			os.Exit(1)
@@ -156,7 +189,7 @@ func main() {
 		}()
 	}
 
-	rep := run(*baseURL, reqs, *n, *c, *retries)
+	rep := run(urls, tenants, reqs, *n, *c, *retries)
 	if churnCancel != nil {
 		churnCancel()
 	}
@@ -359,16 +392,48 @@ type report struct {
 	retried   atomic.Int64 // 429s absorbed by the retry loop
 	server5xx atomic.Int64 // 5xx responses
 	errored   atomic.Int64 // transport errors and remaining non-2xx
-	cacheHits atomic.Int64
+	cacheHits atomic.Int64 // X-Cache hit or peer
+	peerHits  atomic.Int64 // the peer-served subset of cacheHits
 
 	mu        sync.Mutex
 	latencies []time.Duration
+	tenants   map[string]*tenantStat
 }
 
-func (r *report) observe(d time.Duration) {
+// tenantStat is one tenant's slice of the run (guarded by report.mu).
+type tenantStat struct {
+	ok        int64
+	latencies []time.Duration
+}
+
+func (r *report) observe(tenant string, d time.Duration) {
 	r.mu.Lock()
 	r.latencies = append(r.latencies, d)
+	if tenant != "" {
+		r.tenantLocked(tenant).latencies = append(r.tenantLocked(tenant).latencies, d)
+	}
 	r.mu.Unlock()
+}
+
+func (r *report) tenantOK(tenant string) {
+	if tenant == "" {
+		return
+	}
+	r.mu.Lock()
+	r.tenantLocked(tenant).ok++
+	r.mu.Unlock()
+}
+
+func (r *report) tenantLocked(name string) *tenantStat {
+	if r.tenants == nil {
+		r.tenants = map[string]*tenantStat{}
+	}
+	ts := r.tenants[name]
+	if ts == nil {
+		ts = &tenantStat{}
+		r.tenants[name] = ts
+	}
+	return ts
 }
 
 func (r *report) failed() bool {
@@ -391,6 +456,9 @@ func (r *report) print(w io.Writer) {
 	total := r.ok.Load() + r.rejected.Load() + r.server5xx.Load() + r.errored.Load()
 	fmt.Fprintf(w, "bbload: %d requests: %d ok, %d rejected (429), %d server errors (5xx), %d other errors, %d cache hits\n",
 		total, r.ok.Load(), r.rejected.Load(), r.server5xx.Load(), r.errored.Load(), r.cacheHits.Load())
+	if n := r.peerHits.Load(); n > 0 {
+		fmt.Fprintf(w, "bbload: %d of the cache hits were peer-served (grid fill)\n", n)
+	}
 	if n := r.retried.Load(); n > 0 {
 		fmt.Fprintf(w, "bbload: %d 429s absorbed by retries (Retry-After honored, jittered)\n", n)
 	}
@@ -406,6 +474,31 @@ func (r *report) print(w io.Writer) {
 			quantile(r.latencies, 0.90).Round(time.Microsecond),
 			quantile(r.latencies, 0.99).Round(time.Microsecond),
 			r.latencies[n-1].Round(time.Microsecond))
+	}
+	if len(r.tenants) > 0 {
+		names := make([]string, 0, len(r.tenants))
+		for name := range r.tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		minTP, maxTP := math.Inf(1), 0.0
+		for _, name := range names {
+			ts := r.tenants[name]
+			sort.Slice(ts.latencies, func(i, j int) bool { return ts.latencies[i] < ts.latencies[j] })
+			var tp float64
+			if secs > 0 {
+				tp = float64(ts.ok) / secs
+			}
+			minTP, maxTP = math.Min(minTP, tp), math.Max(maxTP, tp)
+			fmt.Fprintf(w, "bbload: tenant %s: %d ok, %.1f req/s, latency p50=%s p90=%s p99=%s\n",
+				name, ts.ok, tp,
+				quantile(ts.latencies, 0.50).Round(time.Microsecond),
+				quantile(ts.latencies, 0.90).Round(time.Microsecond),
+				quantile(ts.latencies, 0.99).Round(time.Microsecond))
+		}
+		if len(names) > 1 && minTP > 0 {
+			fmt.Fprintf(w, "bbload: tenant throughput fairness max/min = %.2f\n", maxTP/minTP)
+		}
 	}
 	r.mu.Unlock()
 }
@@ -427,9 +520,24 @@ func backoff(retryAfter string, attempt int, rng *rand.Rand) time.Duration {
 
 // run drives the closed loop: c clients drain a shared ticket counter,
 // each retrying 429s up to the retry budget before counting a rejection.
-func run(baseURL string, reqs []request, n, c, retries int) *report {
+// Request i goes to urls[i mod len(urls)] and, in mixed-workload mode,
+// carries tenants[i mod len(tenants)] in its X-Tenant header — both
+// assignments are per-ticket, so every server and tenant sees the same
+// request mix regardless of client scheduling.
+func run(urls, tenants []string, reqs []request, n, c, retries int) *report {
 	rep := &report{}
 	client := &http.Client{}
+	post := func(url, tenant string, body []byte) (*http.Response, error) {
+		hr, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			hr.Header.Set("X-Tenant", tenant)
+		}
+		return client.Do(hr)
+	}
 	var next atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -444,11 +552,16 @@ func run(baseURL string, reqs []request, n, c, retries int) *report {
 					return
 				}
 				req := reqs[i%len(reqs)]
+				url := urls[i%len(urls)]
+				tenant := ""
+				if len(tenants) > 0 {
+					tenant = tenants[i%len(tenants)]
+				}
 				t0 := time.Now()
 				var resp *http.Response
 				var err error
 				for attempt := 0; ; attempt++ {
-					resp, err = client.Post(baseURL+req.path, "application/json", bytes.NewReader(req.body))
+					resp, err = post(url+req.path, tenant, req.body)
 					if err != nil || resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
 						break
 					}
@@ -464,14 +577,19 @@ func run(baseURL string, reqs []request, n, c, retries int) *report {
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				_ = resp.Body.Close()
-				rep.observe(time.Since(t0))
+				rep.observe(tenant, time.Since(t0))
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rep.rejected.Add(1)
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					rep.ok.Add(1)
-					if resp.Header.Get("X-Cache") == "hit" {
+					rep.tenantOK(tenant)
+					switch resp.Header.Get("X-Cache") {
+					case "hit":
 						rep.cacheHits.Add(1)
+					case "peer":
+						rep.cacheHits.Add(1)
+						rep.peerHits.Add(1)
 					}
 				case resp.StatusCode >= 500:
 					rep.server5xx.Add(1)
@@ -484,4 +602,15 @@ func run(baseURL string, reqs []request, n, c, retries int) *report {
 	wg.Wait()
 	rep.wall = time.Since(start)
 	return rep
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/grid"
 	"repro/internal/server"
 )
 
@@ -185,6 +186,90 @@ func TestServerErrorsCountedSeparately(t *testing.T) {
 	}
 	if !strings.Contains(out, "0 ok, 0 rejected (429), 2 server errors (5xx), 0 other errors") {
 		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+// TestTenantsMixedWorkload: -tenants cycles the X-Tenant header across
+// the listed classes against a server configured with matching quotas,
+// and the report adds per-tenant percentiles plus the fairness ratio.
+func TestTenantsMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	s := server.New(server.Config{
+		Workers:       2,
+		DefaultBudget: 2 * time.Second,
+		Tenants: []grid.Tenant{
+			{Name: "gold", Weight: 2},
+			{Name: "free", Weight: 1},
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "8",
+		"-graphs", "2", "-c", "2", "-tenants", "gold:2,free", "-quiet")
+	if err != nil {
+		t.Fatalf("bbload -tenants: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"8 ok",
+		"bbload: tenant free: 4 ok",
+		"bbload: tenant gold: 4 ok",
+		"bbload: tenant throughput fairness max/min = ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// The server's admission classes must be visible in /metrics even
+	// when the cheap cached endpoint never queued (counts stay zero).
+	names := map[string]bool{}
+	for _, ten := range s.Metrics().Tenants {
+		names[ten.Name] = true
+	}
+	if !names["gold"] || !names["free"] {
+		t.Errorf("server metrics lack the configured tenants: %v", names)
+	}
+}
+
+// TestTenantsUnknownRejected: a tenant the server does not know is a
+// terminal 400 per request — the run fails and counts them as errors.
+func TestTenantsUnknownRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts, _ := startServer(t) // default-tenant-only server
+	out, err := bbload(t, "-url", ts.URL, "-endpoint", "analyze", "-n", "2",
+		"-graphs", "1", "-c", "1", "-tenants", "nosuch", "-quiet")
+	if err == nil {
+		t.Fatalf("bbload against unknown tenant succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "0 ok, 0 rejected (429), 0 server errors (5xx), 2 other errors") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+// TestMultiURLRoundRobin: a comma-separated -url list spreads the run
+// across servers per-ticket, so each backend sees an equal share.
+func TestMultiURLRoundRobin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	ts0, s0 := startServer(t)
+	ts1, s1 := startServer(t)
+	out, err := bbload(t, "-url", ts0.URL+","+ts1.URL, "-endpoint", "analyze",
+		"-n", "8", "-graphs", "4", "-c", "2", "-quiet")
+	if err != nil {
+		t.Fatalf("bbload multi-url: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "8 ok") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	n0 := s0.Metrics().Endpoints["analyze"].Requests
+	n1 := s1.Metrics().Endpoints["analyze"].Requests
+	if n0 != 4 || n1 != 4 {
+		t.Fatalf("request split = %d/%d, want 4/4", n0, n1)
 	}
 }
 

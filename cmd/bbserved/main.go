@@ -18,13 +18,28 @@
 //	-frontier int     frontier slices per distributed solve (default 64)
 //	-lease-ttl dur    worker lease/heartbeat deadline (default 3s)
 //	-journal string   durable checkpoint journal for distributed solves
+//	-peers urls       comma-separated base URLs of the other replicas (cache grid)
+//	-advertise url    this replica's base URL on the ring (default http://<listen addr>)
+//	-tenants spec     admission classes: name[:weight[:queuecap]],... (weighted fair queueing)
 //	-v                per-request logging to stderr
 //
-// Endpoints: POST /v1/{solve,anytime,list,analyze,recover}, GET /healthz,
-// GET /metrics. With -distributed the worker-facing fabric API is mounted
-// under POST /dist/v1/ — point bbworker processes at this address — and
-// solve requests carrying "distributed": true are sharded across the
-// fleet instead of solved in-process.
+// Endpoints: POST /v1/{solve,anytime,list,analyze,recover,batch}, GET
+// /healthz, GET /metrics. With -distributed the worker-facing fabric API
+// is mounted under POST /dist/v1/ — point bbworker processes at this
+// address — and solve requests carrying "distributed": true are sharded
+// across the fleet instead of solved in-process.
+//
+// With -peers the daemon joins a replica cache grid: the canonical
+// cache-key space is consistent-hashed across the fleet, each key's ring
+// owner serves read-through gets with a single-flight fill claim (an
+// isomorphism class is solved once fleet-wide), and replicas that solve
+// on an owner's behalf fill the result back. The peer API is mounted
+// under POST /grid/v1/. Every replica must be started with the same
+// member set (its own -advertise URL plus the -peers list). With
+// -tenants, requests carrying an X-Tenant header are admitted through
+// per-tenant queues under weighted fair queueing instead of one global
+// queue; each tenant's 429 Retry-After tracks its live backlog and
+// service rate.
 //
 // With -journal every distributed solve checkpoints its frontier,
 // incumbents, and slice completions to an fsynced JSONL file. If the
@@ -49,10 +64,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/grid"
 	"repro/internal/server"
 )
 
@@ -69,6 +86,9 @@ func main() {
 		frontier    = flag.Int("frontier", 0, "frontier slices per distributed solve (default 64)")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "worker lease/heartbeat deadline (default 3s)")
 		journalPath = flag.String("journal", "", "durable checkpoint journal for distributed solves")
+		peers       = flag.String("peers", "", "comma-separated base URLs of the other cache-grid replicas")
+		advertise   = flag.String("advertise", "", "this replica's base URL on the ring (default http://<listen addr>)")
+		tenants     = flag.String("tenants", "", "admission classes: name[:weight[:queuecap]],...")
 		verbose     = flag.Bool("v", false, "per-request logging")
 	)
 	flag.Parse()
@@ -86,6 +106,16 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = log.New(os.Stderr, "bbserved: ", log.LstdFlags).Printf
+	}
+	ts, err := grid.ParseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbserved: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Tenants = ts
+	if *advertise != "" && *peers == "" {
+		fmt.Fprintln(os.Stderr, "bbserved: -advertise requires -peers")
+		os.Exit(2)
 	}
 	var fleet *dist.Fleet
 	if *distributed {
@@ -109,15 +139,35 @@ func main() {
 	// before any serving machinery starts.
 	baseline := runtime.NumGoroutine()
 
-	srv := server.New(cfg)
+	// The listener comes up before the server so a grid replica knows its
+	// ring identity: with -peers and no -advertise, the bound address is
+	// the advertised self URL.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbserved: %v\n", err)
 		os.Exit(1)
 	}
+	var node *grid.Node
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		node = grid.NewNode(grid.NodeConfig{
+			Self:  self,
+			Peers: splitList(*peers),
+			Logf:  cfg.Logf,
+		})
+		cfg.Grid = node
+	}
+
+	srv := server.New(cfg)
 	fmt.Printf("bbserved: listening on %s\n", ln.Addr())
 	if *distributed {
 		fmt.Printf("bbserved: coordinating a worker fleet: bbworker -coordinator http://%s\n", ln.Addr())
+	}
+	if node != nil {
+		fmt.Printf("bbserved: cache-grid replica %s, %d configured peers\n", node.Self(), len(splitList(*peers)))
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}
@@ -177,6 +227,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbserved: shutdown: %v\n", err)
 	}
 	srv.Close()
+	if node != nil {
+		node.Close()
+	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "bbserved: serve: %v\n", err)
 	}
@@ -195,4 +248,15 @@ func main() {
 	if leaked > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -134,6 +134,10 @@ func TestLayeringDistFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/dist", "repro/internal/dist", false)
 }
 
+func TestLayeringGridFixture(t *testing.T) {
+	runFixture(t, LayeringAnalyzer, "testdata/layering/grid", "repro/internal/grid", false)
+}
+
 func TestLayeringUnknownPackageFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/unknown", "repro/internal/mystery", false)
 }

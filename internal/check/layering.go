@@ -38,10 +38,13 @@ var layerAllowed = map[string][]string{
 	// the crash-safe JSONL substrate shared by the experiment runner and
 	// the distributed coordinator's checkpoints — pure encoding + fsync,
 	// so it sits at the bottom.
+	// internal/peer is the shared JSON/HTTP + membership substrate of the
+	// replicated subsystems (dist, grid) — stdlib only, policy-free.
 	"internal/taskgraph": {},
 	"internal/stats":     {},
 	"internal/check":     {},
 	"internal/journal":   {},
+	"internal/peer":      {},
 
 	// Layer 1: directly above the task model.
 	"internal/platform":   {"internal/taskgraph"},
@@ -74,9 +77,16 @@ var layerAllowed = map[string][]string{
 	// pure (graph + prefix + rules), with no experiment or service state
 	// on the wire.
 	"internal/dist": {
-		"internal/core", "internal/journal", "internal/platform", "internal/sched",
-		"internal/taskgraph",
+		"internal/core", "internal/journal", "internal/peer", "internal/platform",
+		"internal/sched", "internal/taskgraph",
 	},
+
+	// internal/grid is the multi-tenant serving fabric: consistent-hash
+	// cache peering + weighted-fair-queueing admission. It is transport
+	// and queueing policy only — it moves opaque cached bytes and admits
+	// requests, so it may NOT touch the solver stack (core/sched/...);
+	// the serving daemon composes grid with the solvers.
+	"internal/grid": {"internal/peer"},
 	"internal/trace": {"internal/core", "internal/taskgraph"},
 	"internal/rescue": {
 		"internal/core", "internal/dispatch", "internal/faults", "internal/listsched",
@@ -109,9 +119,9 @@ var layerAllowed = map[string][]string{
 	// no library or facade code can grow a dependency on the service.
 	"internal/server": {
 		"internal/analysis", "internal/core", "internal/deadline", "internal/dist",
-		"internal/exp", "internal/faults", "internal/gen", "internal/listsched",
-		"internal/platform", "internal/portfolio", "internal/rescue", "internal/sched",
-		"internal/taskgraph",
+		"internal/exp", "internal/faults", "internal/gen", "internal/grid",
+		"internal/listsched", "internal/peer", "internal/platform", "internal/portfolio",
+		"internal/rescue", "internal/sched", "internal/taskgraph",
 	},
 }
 

@@ -1,0 +1,15 @@
+// Package grid impersonates repro/internal/grid so the fixture can pin
+// the multi-tenant serving fabric's position in the DAG: it is transport
+// and queueing policy over internal/peer only — opaque cached bytes,
+// keys, and tenant names. It must never see the solver stack (the daemon
+// composes grid with the solvers), and like everything else it may not
+// reach into the serving daemon.
+package grid
+
+import (
+	_ "repro/internal/core"      // want "layering violation: internal/grid may not import internal/core"
+	_ "repro/internal/peer"      // allowed: the shared JSON/HTTP + membership substrate
+	_ "repro/internal/sched"     // want "layering violation: internal/grid may not import internal/sched"
+	_ "repro/internal/server"    // want "internal/server may only be imported by cmd binaries"
+	_ "repro/internal/taskgraph" // want "layering violation: internal/grid may not import internal/taskgraph"
+)

@@ -29,10 +29,12 @@ var WireSchemaAnalyzer = &ProgramAnalyzer{
 	Run:  runWireSchema,
 }
 
-// wireSchemaDefaultPackages is the default wire surface: the two
-// protocol packages plus the types they carry by value.
+// wireSchemaDefaultPackages is the default wire surface: the protocol
+// packages plus the types they carry by value.
 var wireSchemaDefaultPackages = []string{
 	"internal/dist",
+	"internal/grid",
+	"internal/peer",
 	"internal/sched",
 	"internal/server",
 	"internal/taskgraph",

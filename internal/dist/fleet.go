@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/peer"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
@@ -163,61 +164,9 @@ type WorkerLoad struct {
 	ServiceP90MS float64 `json:"service_p90_ms"`
 }
 
-// workerSampleCap bounds the per-worker service-time ring.
-const workerSampleCap = 64
-
 // solveSampleCap bounds the per-solve service-time ring feeding the
 // straggler trigger.
 const solveSampleCap = 256
-
-type workerState struct {
-	id       int64
-	name     string
-	lastSeen time.Time
-	joinedAt time.Time
-	draining bool
-
-	// Last-report latency samples: service seconds of this worker's
-	// accepted slices (ring), total busy time, and accepted-report count.
-	// Heartbeats refresh only lastSeen; reports land here.
-	samples    []float64
-	sampleNext int
-	busy       time.Duration
-	reports    int64
-}
-
-// noteService records one accepted slice's service time.
-func (ws *workerState) noteService(d time.Duration) {
-	sec := d.Seconds()
-	if len(ws.samples) < workerSampleCap {
-		ws.samples = append(ws.samples, sec)
-	} else {
-		ws.samples[ws.sampleNext] = sec
-		ws.sampleNext = (ws.sampleNext + 1) % workerSampleCap
-	}
-	ws.busy += d
-	ws.reports++
-}
-
-// quantileOf returns the q-quantile of xs by linear interpolation
-// (xs is copied, not mutated). Zero when empty.
-func quantileOf(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0]
-	}
-	pos := q * float64(len(s)-1)
-	lo := int(pos)
-	if lo >= len(s)-1 {
-		return s[len(s)-1]
-	}
-	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[lo+1]*frac
-}
 
 type sliceStatus uint8
 
@@ -293,28 +242,27 @@ type Fleet struct {
 
 	solveMu sync.Mutex // serializes Solve and Resume
 
-	mu         sync.Mutex
-	nextWorker int64
-	nextSolve  uint64
-	workers    map[int64]*workerState
-	cur        *activeSolve
+	mu        sync.Mutex
+	nextSolve uint64
+	reg       *peer.Registry // worker membership, guarded by mu
+	cur       *activeSolve
 }
 
 // NewFleet returns an idle coordinator.
 func NewFleet(cfg Config) *Fleet {
-	return &Fleet{cfg: cfg.withDefaults(), workers: map[int64]*workerState{}}
+	return &Fleet{cfg: cfg.withDefaults(), reg: peer.NewRegistry()}
 }
 
 // Snapshot returns the fleet counters and gauges.
 func (f *Fleet) Snapshot() CountersSnapshot {
 	f.mu.Lock()
-	n := len(f.workers)
+	n := f.reg.Len()
 	draining := 0
-	for _, ws := range f.workers {
-		if ws.draining {
+	f.reg.Each(func(m *peer.Member) {
+		if m.Draining {
 			draining++
 		}
-	}
+	})
 	active := 0
 	if f.cur != nil && !f.cur.finished {
 		active = 1
@@ -349,21 +297,21 @@ func (f *Fleet) WorkerLoads() []WorkerLoad {
 }
 
 func (f *Fleet) workerLoadsLocked() []WorkerLoad {
-	if len(f.workers) == 0 {
+	if f.reg.Len() == 0 {
 		return nil
 	}
-	loads := make([]WorkerLoad, 0, len(f.workers))
-	for _, ws := range f.workers {
+	loads := make([]WorkerLoad, 0, f.reg.Len())
+	f.reg.Each(func(m *peer.Member) {
 		wl := WorkerLoad{
-			ID: ws.id, Name: ws.name, Draining: ws.draining, Reports: ws.reports,
-			ServiceP50MS: quantileOf(ws.samples, 0.5) * 1000,
-			ServiceP90MS: quantileOf(ws.samples, 0.9) * 1000,
+			ID: m.ID, Name: m.Name, Draining: m.Draining, Reports: m.Reports,
+			ServiceP50MS: m.ServiceQuantile(0.5) * 1000,
+			ServiceP90MS: m.ServiceQuantile(0.9) * 1000,
 		}
-		if alive := time.Since(ws.joinedAt); alive > 0 {
-			wl.BusyFraction = ws.busy.Seconds() / alive.Seconds()
+		if alive := time.Since(m.JoinedAt); alive > 0 {
+			wl.BusyFraction = m.Busy.Seconds() / alive.Seconds()
 		}
 		loads = append(loads, wl)
-	}
+	})
 	sort.Slice(loads, func(i, j int) bool { return loads[i].ID < loads[j].ID })
 	return loads
 }
@@ -372,7 +320,7 @@ func (f *Fleet) workerLoadsLocked() []WorkerLoad {
 func (f *Fleet) WorkerCount() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.workers)
+	return f.reg.Len()
 }
 
 func (f *Fleet) logf(format string, args ...any) {
@@ -382,23 +330,8 @@ func (f *Fleet) logf(format string, args ...any) {
 }
 
 // touch registers or refreshes a worker. Callers hold f.mu.
-func (f *Fleet) touch(id int64, name string) *workerState {
-	w, ok := f.workers[id]
-	if !ok {
-		if id <= 0 {
-			f.nextWorker++
-			id = f.nextWorker
-		} else if id > f.nextWorker {
-			f.nextWorker = id
-		}
-		w = &workerState{id: id, name: name, joinedAt: time.Now()}
-		f.workers[id] = w
-	}
-	if name != "" {
-		w.name = name
-	}
-	w.lastSeen = time.Now()
-	return w
+func (f *Fleet) touch(id int64, name string) *peer.Member {
+	return f.reg.Touch(id, name)
 }
 
 // Solve distributes one branch-and-bound run across the registered
@@ -666,10 +599,10 @@ func (f *Fleet) maintain(s *activeSolve) {
 // expired. Callers hold f.mu.
 func (f *Fleet) evictStaleLocked(s *activeSolve) {
 	cutoff := time.Now().Add(-f.cfg.LeaseTTL)
-	for id, w := range f.workers {
-		slices := s.owned[id]
-		if len(slices) == 0 || w.lastSeen.After(cutoff) {
-			continue
+	f.reg.Each(func(m *peer.Member) {
+		slices := s.owned[m.ID]
+		if len(slices) == 0 || m.LastSeen.After(cutoff) {
+			return
 		}
 		requeued := 0
 		for _, sl := range slices {
@@ -679,11 +612,11 @@ func (f *Fleet) evictStaleLocked(s *activeSolve) {
 				requeued++
 			}
 		}
-		delete(s.owned, id)
+		delete(s.owned, m.ID)
 		f.counters.Evictions.Add(1)
 		f.counters.Redispatched.Add(int64(requeued))
-		f.logf("dist: evicted worker %d (%s): re-dispatching %d slices", id, w.name, requeued)
-	}
+		f.logf("dist: evicted worker %d (%s): re-dispatching %d slices", m.ID, m.Name, requeued)
+	})
 }
 
 // speculateLocked re-queues leased slices that have been in flight far
@@ -696,7 +629,7 @@ func (f *Fleet) speculateLocked(s *activeSolve) {
 	if f.cfg.NoSpeculation || len(s.svc) < f.cfg.StragglerMinSamples {
 		return
 	}
-	threshold := quantileOf(s.svc, f.cfg.StragglerQuantile) * f.cfg.StragglerFactor
+	threshold := peer.Quantile(s.svc, f.cfg.StragglerQuantile) * f.cfg.StragglerFactor
 	if threshold <= 0 {
 		return
 	}
@@ -814,31 +747,19 @@ func (f *Fleet) Handler() http.Handler {
 	return mux
 }
 
+// The JSON envelope (POST-only, unknown fields rejected, size-capped,
+// typed error body) lives in internal/peer; these aliases keep the
+// handler bodies on the fabric's own vocabulary.
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
-	var req T
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return req, false
-	}
-	body := http.MaxBytesReader(w, r.Body, 32<<20)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return req, false
-	}
-	return req, true
+	return peer.DecodeJSON[T](w, r)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	peer.WriteJSON(w, v)
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	peer.WriteError(w, code, msg)
 }
 
 func (f *Fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -852,11 +773,11 @@ func (f *Fleet) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if f.cur != nil && !f.cur.finished {
 		active = f.cur.id
 	}
-	draining := ws.draining
+	draining := ws.Draining
 	f.mu.Unlock()
-	f.logf("dist: worker %d (%s) joined", ws.id, ws.name)
+	f.logf("dist: worker %d (%s) joined", ws.ID, ws.Name)
 	writeJSON(w, JoinResponse{
-		WorkerID:    ws.id,
+		WorkerID:    ws.ID,
 		LeaseTTLMS:  int64(f.cfg.LeaseTTL / time.Millisecond),
 		HeartbeatMS: int64(f.cfg.Heartbeat / time.Millisecond),
 		ActiveSolve: active,
@@ -880,7 +801,7 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 
 	f.mu.Lock()
 	ws := f.touch(req.WorkerID, req.Name)
-	if ws.draining {
+	if ws.Draining {
 		// No new work for a draining worker: it finishes what it holds,
 		// releases the rest, and exits.
 		f.mu.Unlock()
@@ -905,7 +826,7 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 		// Work stealing: take the tail of the most-loaded worker's batch —
 		// the slices it has not started yet — and leave it at least one.
 		// Joiners re-shard a running solve through exactly this path.
-		if victim, n := f.stealVictim(s, ws.id); victim != 0 {
+		if victim, n := f.stealVictim(s, ws.ID); victim != 0 {
 			owned := s.owned[victim]
 			steal := owned[n-1]
 			s.owned[victim] = owned[:n-1]
@@ -933,7 +854,7 @@ func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	for _, sl := range granted {
 		s.status[sl] = sliceLeased
-		s.owned[ws.id] = append(s.owned[ws.id], sl)
+		s.owned[ws.ID] = append(s.owned[ws.ID], sl)
 		s.dispatched[sl] = now
 		resp.Slices = append(resp.Slices, WireSlice{ID: sl, Prefix: s.slices[sl].Prefix})
 	}
@@ -971,7 +892,7 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 	ws := f.touch(req.WorkerID, "")
 	s := f.cur
 	if s == nil || s.id != req.SolveID {
-		drain := ws.draining
+		drain := ws.Draining
 		f.mu.Unlock()
 		writeJSON(w, ReportResponse{Accepted: false, Abandon: true, Drain: drain, Incumbent: int64(taskgraph.Infinity)})
 		return
@@ -997,7 +918,7 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 		if d := s.dispatched[req.SliceID]; !d.IsZero() {
 			service := time.Since(d)
 			s.noteService(service)
-			ws.noteService(service)
+			ws.NoteService(service)
 		}
 		s.stats.Generated += req.Stats.Generated
 		s.stats.Expanded += req.Stats.Expanded
@@ -1031,7 +952,7 @@ func (f *Fleet) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Incumbent = int64(s.best)
 	resp.Abandon = s.finished
-	resp.Drain = ws.draining
+	resp.Drain = ws.Draining
 	f.mu.Unlock()
 	writeJSON(w, resp)
 }
@@ -1112,7 +1033,7 @@ func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	f.mu.Lock()
 	ws := f.touch(req.WorkerID, "")
 	s := f.cur
-	resp := HeartbeatResponse{Incumbent: int64(taskgraph.Infinity), Drain: ws.draining}
+	resp := HeartbeatResponse{Incumbent: int64(taskgraph.Infinity), Drain: ws.Draining}
 	if s != nil && s.id == req.SolveID && !s.finished {
 		resp.Incumbent = int64(s.best)
 	} else {
@@ -1132,33 +1053,28 @@ func (f *Fleet) handleDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.mu.Lock()
-	var ws *workerState
+	var ws *peer.Member
 	if req.WorkerID > 0 {
-		ws = f.workers[req.WorkerID]
+		ws = f.reg.Find(req.WorkerID)
 	} else if req.Name != "" {
-		for _, cand := range f.workers {
-			if cand.name == req.Name {
-				ws = cand
-				break
-			}
-		}
+		ws = f.reg.FindName(req.Name)
 	}
 	if ws == nil {
 		f.mu.Unlock()
 		writeError(w, http.StatusNotFound, "no such worker")
 		return
 	}
-	if !ws.draining {
-		ws.draining = true
+	if !ws.Draining {
+		ws.Draining = true
 		f.counters.Drains.Add(1)
 	}
 	owned := 0
 	if f.cur != nil {
-		owned = len(f.cur.owned[ws.id])
+		owned = len(f.cur.owned[ws.ID])
 	}
 	f.mu.Unlock()
-	f.logf("dist: draining worker %d (%s): %d slices in flight", ws.id, ws.name, owned)
-	writeJSON(w, DrainResponse{WorkerID: ws.id, Draining: true, Owned: owned})
+	f.logf("dist: draining worker %d (%s): %d slices in flight", ws.ID, ws.Name, owned)
+	writeJSON(w, DrainResponse{WorkerID: ws.ID, Draining: true, Owned: owned})
 }
 
 // handleRelease takes back slices a draining (or terminating) worker

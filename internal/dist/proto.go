@@ -286,7 +286,5 @@ type ReleaseResponse struct {
 	Requeued int `json:"requeued"`
 }
 
-// ErrorResponse mirrors the server package's error envelope.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
+// The error envelope lives in internal/peer (peer.ErrorResponse); both
+// the fabric and the serving grid speak it.

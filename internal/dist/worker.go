@@ -1,17 +1,16 @@
 package dist
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/peer"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
@@ -53,6 +52,7 @@ type WorkerConfig struct {
 // reports every slice outcome back.
 type Worker struct {
 	cfg       WorkerConfig
+	rpc       *peer.Client
 	id        int64
 	heartbeat time.Duration
 
@@ -85,7 +85,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Worker{cfg: cfg, heartbeat: time.Second}
+	return &Worker{
+		cfg:       cfg,
+		rpc:       &peer.Client{Base: cfg.Coordinator, HTTP: cfg.Client},
+		heartbeat: time.Second,
+	}
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -96,32 +100,7 @@ func (w *Worker) logf(format string, args ...any) {
 
 // post sends one JSON request to the coordinator.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close() //bbvet:ignore errcheck — close on a fully-read response body
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e ErrorResponse
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("dist: %s: %s", path, e.Error)
-		}
-		return fmt.Errorf("dist: %s: HTTP %d", path, resp.StatusCode)
-	}
-	return json.Unmarshal(raw, out)
+	return w.rpc.Post(ctx, path, in, out)
 }
 
 // lowerBest lowers the incumbent mirror to cost if it improves it.

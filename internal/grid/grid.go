@@ -1,0 +1,83 @@
+// Package grid turns a set of bbserved replicas into one logical
+// multi-tenant service. It has three parts, each usable alone:
+//
+//   - a consistent-hash ring (ring.go) that partitions the canonical
+//     SHA-256 cache-key space across replicas with minimal key movement
+//     on membership change;
+//   - a cache peer protocol (node.go) layered on internal/peer: the
+//     ring owner of a key serves read-through gets, registers a
+//     single-flight claim so an isomorphism class is solved once across
+//     the whole fleet, and accepts fill-backs from the replica that
+//     solved on the owner's behalf;
+//   - weighted fair queueing admission (wfq.go) that replaces the
+//     single global worker pool with per-tenant queues, budget quotas,
+//     per-tenant 429/Retry-After computed from live queue depth and
+//     service rate, and per-tenant metrics.
+//
+// The package is policy-only: it never sees a task graph or a schedule,
+// just opaque cached bodies, keys, and tenant names. The serving daemon
+// (internal/server) composes it with the solver stack.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tenant configures one admission class.
+type Tenant struct {
+	// Name is the tenant label requests carry in the X-Tenant header.
+	Name string
+
+	// Weight is the tenant's relative service share under contention
+	// (default 1). A weight-2 tenant drains its queue twice as fast as a
+	// weight-1 tenant when both are saturated.
+	Weight float64
+
+	// QueueCap bounds this tenant's waiting requests — its budget quota
+	// of the server's backlog. Arrivals beyond it are rejected with 429.
+	// 0 picks the admission default.
+	QueueCap int
+}
+
+// ParseTenants parses a -tenants flag: a comma-separated list of
+// name:weight or name:weight:queuecap entries, e.g. "gold:2,free:1" or
+// "gold:2:64,free:1:16". A bare name gets weight 1.
+func ParseTenants(spec string) ([]Tenant, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	seen := map[string]bool{}
+	for _, ent := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(ent), ":")
+		t := Tenant{Name: strings.TrimSpace(parts[0]), Weight: 1}
+		if t.Name == "" {
+			return nil, fmt.Errorf("grid: empty tenant name in %q", spec)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("grid: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("grid: tenant entry %q: want name[:weight[:queuecap]]", ent)
+		}
+		if len(parts) >= 2 {
+			w, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("grid: tenant %q: bad weight %q", t.Name, parts[1])
+			}
+			t.Weight = w
+		}
+		if len(parts) == 3 {
+			c, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("grid: tenant %q: bad queue cap %q", t.Name, parts[2])
+			}
+			t.QueueCap = c
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member. 96 points per
+// replica keeps the max/min key-share imbalance within roughly ±30% for
+// small fleets while membership changes stay cheap to apply.
+const DefaultVNodes = 96
+
+// Ring is an immutable consistent-hash ring: each member contributes
+// VNodes pseudo-random points on a 64-bit circle, and a key belongs to
+// the member owning the first point at or clockwise of the key's hash.
+//
+// Invariants (tested in ring_test.go):
+//
+//   - Determinism: the same member set (any order) builds the same ring,
+//     so every replica computes the same owner for every key without
+//     coordination.
+//   - Minimal movement: adding a member reassigns only keys that move TO
+//     the joiner; removing one reassigns only the keys it owned. Keys
+//     never shuffle between surviving members.
+//   - Balance: with v vnodes per member the expected share is 1/n, with
+//     spread shrinking as v grows.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the member names (base URLs). vnodes <= 0
+// picks DefaultVNodes. Duplicate members collapse; an empty member set
+// yields a ring whose Owner is always "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := map[string]bool{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by name so every replica
+		// still agrees on the owner.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return r.points[i].member
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. Raw FNV on the short,
+// highly similar member#vnode strings leaves enough structure in the
+// high bits to skew point placement badly; the finalizer's avalanche
+// restores a uniform scatter. Cache keys already embed a SHA-256, so
+// the ring hash only needs to scatter, not to resist collisions.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

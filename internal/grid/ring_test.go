@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// The real key space embeds a SHA-256; pseudo-random strings are
+		// representative enough for share measurement.
+		keys[i] = fmt.Sprintf("solve|%016x|m=3", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrderInvariant(t *testing.T) {
+	a := NewRing([]string{"r1", "r2", "r3"}, 64)
+	b := NewRing([]string{"r3", "r1", "r2", "r1"}, 64)
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("member order changed ownership of %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	one := NewRing([]string{"only"}, 0)
+	for _, k := range ringKeys(100) {
+		if one.Owner(k) != "only" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+}
+
+// TestRingBalance checks the share bounds across N replicas: with the
+// default vnode count no member's share may stray past a factor of 2
+// from the ideal 1/N, and the max/min spread stays under 2x.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://replica-%d:8080", i)
+		}
+		r := NewRing(members, 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		ideal := float64(len(keys)) / float64(n)
+		lo, hi := len(keys), 0
+		for m, c := range counts {
+			if share := float64(c) / ideal; share < 0.5 || share > 2.0 {
+				t.Errorf("n=%d: member %s share %.2fx ideal, outside [0.5, 2.0]", n, m, share)
+			}
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if spread := float64(hi) / float64(lo); spread > 2.0 {
+			t.Errorf("n=%d: max/min share spread %.2f > 2.0", n, spread)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing contract: a join
+// moves keys only TO the joiner (roughly its fair share), a leave moves
+// only the leaver's keys, and no key ever shuffles between surviving
+// members.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(10000)
+	base := []string{"http://a", "http://b", "http://c"}
+	before := NewRing(base, 0)
+
+	joined := NewRing(append(append([]string(nil), base...), "http://d"), 0)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Owner(k), joined.Owner(k)
+		if was != now {
+			moved++
+			if now != "http://d" {
+				t.Fatalf("join: key %q moved %s -> %s, not to the joiner", k, was, now)
+			}
+		}
+	}
+	if frac := float64(moved) / float64(len(keys)); frac < 0.10 || frac > 0.45 {
+		t.Errorf("join moved %.1f%% of keys; expected near the fair share 25%%", 100*frac)
+	}
+
+	left := NewRing([]string{"http://a", "http://b"}, 0)
+	moved = 0
+	for _, k := range keys {
+		was, now := before.Owner(k), left.Owner(k)
+		if was == "http://c" {
+			moved++
+			continue // the leaver's keys must land somewhere among survivors
+		}
+		if was != now {
+			t.Fatalf("leave: surviving key %q shuffled %s -> %s", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("leave: leaver owned no keys?")
+	}
+}

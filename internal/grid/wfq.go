@@ -1,0 +1,456 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/peer"
+)
+
+// ErrOverload is returned by Acquire when the tenant's queue quota is
+// full; the HTTP layer maps it to 429 + a live Retry-After.
+var ErrOverload = errors.New("grid: overloaded: tenant queue full")
+
+// ErrDraining is returned to queued work when the server starts
+// draining; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("grid: draining: not accepting queued work")
+
+// ErrUnknownTenant is returned for a tenant name outside the configured
+// set; the HTTP layer maps it to 400.
+var ErrUnknownTenant = errors.New("grid: unknown tenant")
+
+// DefaultTenant is the admission class of requests that carry no
+// X-Tenant header. It always exists (weight 1 unless configured).
+const DefaultTenant = "default"
+
+// Rings bounding per-tenant history: queue-wait samples and completion
+// timestamps (the live service-rate estimate behind Retry-After).
+const (
+	waitSampleCap = 64
+	doneSampleCap = 64
+
+	// rateWindow is how far back completions count toward a tenant's
+	// live service rate.
+	rateWindow = 30 * time.Second
+
+	// retryAfterMax caps the Retry-After hint; beyond this the client
+	// should treat the tenant as effectively down, not schedule a retry.
+	retryAfterMax = 600
+)
+
+// WFQConfig tunes the admission layer.
+type WFQConfig struct {
+	// Workers is the number of concurrent service slots (default 1).
+	Workers int
+
+	// Tenants are the admission classes. A DefaultTenant entry is added
+	// automatically when absent so untagged requests always have a home.
+	Tenants []Tenant
+
+	// DefaultQueueCap is the per-tenant waiting-line quota applied when
+	// a Tenant.QueueCap is zero (default 64).
+	DefaultQueueCap int
+
+	// FallbackRetryS is the Retry-After hint (seconds) used before a
+	// tenant has any observed service rate (default 1).
+	FallbackRetryS int
+}
+
+// WFQ is weighted fair queueing over per-tenant request queues —
+// start-time fair queueing with unit request cost. Each arriving
+// request gets a virtual start tag max(V, lastFinish(tenant)) and a
+// finish tag start + 1/weight; free slots always serve the queued
+// request with the smallest finish tag, and V advances to the start tag
+// of the request entering service. Under saturation tenant throughputs
+// converge to the weight ratio regardless of arrival order; an idle
+// tenant's backlog is bounded by its own queue quota, never by another
+// tenant's burst.
+type WFQ struct {
+	cfg WFQConfig
+
+	mu       sync.Mutex
+	virtual  float64
+	running  int
+	draining bool
+	tenants  map[string]*tenantState
+	names    []string // snapshot/scan order: config order, default last if implicit
+
+	started time.Time
+	busy    time.Duration // total in-service time across tenants
+}
+
+type tenantState struct {
+	cfg      Tenant
+	queueCap int
+
+	lastFinish float64
+	queue      []*waiter
+	running    int
+
+	admitted int64
+	served   int64
+	rejected int64
+	busy     time.Duration
+
+	waits    []float64 // queue-wait seconds, ring
+	waitNext int
+	done     []time.Time // completion timestamps, ring
+	doneNext int
+}
+
+type waiter struct {
+	ts            *tenantState
+	start, finish float64
+	enqueued      time.Time
+	grantedAt     time.Time
+	granted       bool
+	err           error // set before ready closes on drain rejection
+	ready         chan struct{}
+}
+
+// NewWFQ builds the admission layer. Zero-value config fields pick the
+// documented defaults.
+func NewWFQ(cfg WFQConfig) *WFQ {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.DefaultQueueCap <= 0 {
+		cfg.DefaultQueueCap = 64
+	}
+	if cfg.FallbackRetryS <= 0 {
+		cfg.FallbackRetryS = 1
+	}
+	q := &WFQ{cfg: cfg, tenants: map[string]*tenantState{}, started: time.Now()}
+	for _, t := range cfg.Tenants {
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		if _, dup := q.tenants[t.Name]; dup || t.Name == "" {
+			continue
+		}
+		ts := &tenantState{cfg: t, queueCap: t.QueueCap}
+		if ts.queueCap <= 0 {
+			ts.queueCap = cfg.DefaultQueueCap
+		}
+		q.tenants[t.Name] = ts
+		q.names = append(q.names, t.Name)
+	}
+	if _, ok := q.tenants[DefaultTenant]; !ok {
+		q.tenants[DefaultTenant] = &tenantState{
+			cfg:      Tenant{Name: DefaultTenant, Weight: 1},
+			queueCap: cfg.DefaultQueueCap,
+		}
+		q.names = append(q.names, DefaultTenant)
+	}
+	return q
+}
+
+// Resolve maps a request's tenant header to an admission class: the
+// empty string is the default tenant, anything else must be configured.
+func (q *WFQ) Resolve(name string) (string, bool) {
+	if name == "" {
+		return DefaultTenant, true
+	}
+	q.mu.Lock()
+	_, ok := q.tenants[name]
+	q.mu.Unlock()
+	return name, ok
+}
+
+// Acquire claims a service slot for the tenant, waiting in its bounded
+// queue when all slots are busy. The returned release function must be
+// called exactly once. Errors: ErrUnknownTenant, ErrOverload (quota
+// full), ErrDraining, or ctx's error.
+func (q *WFQ) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return nil, ErrDraining
+	}
+	ts := q.tenants[tenant]
+	if ts == nil {
+		q.mu.Unlock()
+		return nil, ErrUnknownTenant
+	}
+	ts.admitted++
+	if len(ts.queue) >= ts.queueCap {
+		ts.rejected++
+		q.mu.Unlock()
+		return nil, ErrOverload
+	}
+	w := &waiter{ts: ts, enqueued: time.Now(), ready: make(chan struct{})}
+	w.start = math.Max(q.virtual, ts.lastFinish)
+	w.finish = w.start + 1/ts.cfg.Weight
+	ts.lastFinish = w.finish
+	ts.queue = append(ts.queue, w)
+	q.dispatchLocked()
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return q.releaseFunc(w), nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if !w.granted {
+			// Still queued: withdraw. The tenant's lastFinish stays
+			// advanced — a canceled request forfeits its slot in virtual
+			// time, which only ever penalizes the canceling tenant.
+			for i, qa := range ts.queue {
+				if qa == w {
+					ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+					break
+				}
+			}
+			q.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		q.mu.Unlock()
+		// Granted in the race with cancellation: give the slot back.
+		q.releaseFunc(w)()
+		return nil, ctx.Err()
+	}
+}
+
+// dispatchLocked fills free slots with the smallest-finish-tag queued
+// request across tenants. Callers hold q.mu.
+func (q *WFQ) dispatchLocked() {
+	for q.running < q.cfg.Workers {
+		var best *tenantState
+		for _, name := range q.names {
+			ts := q.tenants[name]
+			if len(ts.queue) == 0 {
+				continue
+			}
+			if best == nil || ts.queue[0].finish < best.queue[0].finish {
+				best = ts
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		w.granted = true
+		w.grantedAt = time.Now()
+		if w.start > q.virtual {
+			q.virtual = w.start
+		}
+		q.running++
+		best.running++
+		sec := w.grantedAt.Sub(w.enqueued).Seconds()
+		if len(best.waits) < waitSampleCap {
+			best.waits = append(best.waits, sec)
+		} else {
+			best.waits[best.waitNext] = sec
+			best.waitNext = (best.waitNext + 1) % waitSampleCap
+		}
+		close(w.ready)
+	}
+}
+
+func (q *WFQ) releaseFunc(w *waiter) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			now := time.Now()
+			q.mu.Lock()
+			d := now.Sub(w.grantedAt)
+			ts := w.ts
+			q.running--
+			ts.running--
+			ts.served++
+			ts.busy += d
+			q.busy += d
+			if len(ts.done) < doneSampleCap {
+				ts.done = append(ts.done, now)
+			} else {
+				ts.done[ts.doneNext] = now
+				ts.doneNext = (ts.doneNext + 1) % doneSampleCap
+			}
+			q.dispatchLocked()
+			q.mu.Unlock()
+		})
+	}
+}
+
+// Drain rejects all queued and future waiters with ErrDraining; running
+// work is untouched.
+func (q *WFQ) Drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return
+	}
+	q.draining = true
+	for _, name := range q.names {
+		ts := q.tenants[name]
+		for _, w := range ts.queue {
+			w.err = ErrDraining
+			close(w.ready)
+		}
+		ts.queue = nil
+	}
+}
+
+// rateLocked estimates the tenant's live service rate (completions per
+// second) from its completion-timestamp ring over rateWindow. Zero
+// until anything completed recently. Callers hold q.mu.
+func (ts *tenantState) rateLocked(now time.Time) float64 {
+	cutoff := now.Add(-rateWindow)
+	n := 0
+	oldest := now
+	for _, t := range ts.done {
+		if t.After(cutoff) {
+			n++
+			if t.Before(oldest) {
+				oldest = t
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span < 0.001 {
+		span = 0.001
+	}
+	return float64(n) / span
+}
+
+// RetryAfterSeconds is the live Retry-After hint for one tenant: its
+// current queue depth divided by its observed service rate — how long
+// until a retry would actually find room — instead of a static
+// config-derived constant. Falls back to FallbackRetryS before any
+// completion has been observed.
+func (q *WFQ) RetryAfterSeconds(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts := q.tenants[tenant]
+	if ts == nil {
+		return q.cfg.FallbackRetryS
+	}
+	rate := ts.rateLocked(time.Now())
+	if rate <= 0 {
+		return q.cfg.FallbackRetryS
+	}
+	secs := int(math.Ceil(float64(len(ts.queue)+ts.running) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > retryAfterMax {
+		secs = retryAfterMax
+	}
+	return secs
+}
+
+// TenantSnapshot is one tenant's admission gauges in /metrics.
+type TenantSnapshot struct {
+	Name        string  `json:"name"`
+	Weight      float64 `json:"weight"`
+	QueueCap    int     `json:"queue_cap"`
+	Admitted    int64   `json:"admitted"`
+	Served      int64   `json:"served"`
+	Rejected    int64   `json:"rejected"`
+	Queued      int     `json:"queued"`
+	Running     int     `json:"running"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	WaitP50MS   float64 `json:"wait_p50_ms"`
+	WaitP90MS   float64 `json:"wait_p90_ms"`
+	BusyMS      int64   `json:"busy_ms"`
+	RetryAfterS int     `json:"retry_after_s"`
+}
+
+// Tenants returns per-tenant snapshots in configuration order.
+func (q *WFQ) Tenants() []TenantSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	out := make([]TenantSnapshot, 0, len(q.names))
+	for _, name := range q.names {
+		ts := q.tenants[name]
+		rate := ts.rateLocked(now)
+		snap := TenantSnapshot{
+			Name:       name,
+			Weight:     ts.cfg.Weight,
+			QueueCap:   ts.queueCap,
+			Admitted:   ts.admitted,
+			Served:     ts.served,
+			Rejected:   ts.rejected,
+			Queued:     len(ts.queue),
+			Running:    ts.running,
+			RatePerSec: rate,
+			WaitP50MS:  peer.Quantile(ts.waits, 0.5) * 1000,
+			WaitP90MS:  peer.Quantile(ts.waits, 0.9) * 1000,
+			BusyMS:     ts.busy.Milliseconds(),
+		}
+		if rate > 0 {
+			snap.RetryAfterS = int(math.Ceil(float64(len(ts.queue)+ts.running) / rate))
+			if snap.RetryAfterS < 1 {
+				snap.RetryAfterS = 1
+			}
+			if snap.RetryAfterS > retryAfterMax {
+				snap.RetryAfterS = retryAfterMax
+			}
+		} else {
+			snap.RetryAfterS = q.cfg.FallbackRetryS
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// Pool-compatible gauges for /metrics.
+
+// Workers returns the number of service slots.
+func (q *WFQ) Workers() int { return q.cfg.Workers }
+
+// Busy returns the number of slots currently serving.
+func (q *WFQ) Busy() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
+}
+
+// QueueDepth returns the total number of queued requests across tenants.
+func (q *WFQ) QueueDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, name := range q.names {
+		n += len(q.tenants[name].queue)
+	}
+	return n
+}
+
+// QueueLimit returns the total queue quota across tenants.
+func (q *WFQ) QueueLimit() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, name := range q.names {
+		n += q.tenants[name].queueCap
+	}
+	return n
+}
+
+// Utilization is busy worker-time over elapsed worker-time since startup.
+func (q *WFQ) Utilization() float64 {
+	q.mu.Lock()
+	busy := q.busy
+	q.mu.Unlock()
+	elapsed := time.Since(q.started).Seconds() * float64(q.cfg.Workers)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := busy.Seconds() / elapsed
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,66 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a blocking JSON-over-HTTP RPC client for one peer: the
+// dist worker talking to its coordinator, or a grid replica talking to
+// a cache owner. Post is safe for concurrent use.
+type Client struct {
+	// Base is the peer's base URL, e.g. "http://host:9091".
+	Base string
+
+	// HTTP is the underlying client (default: 10s timeout). Callers
+	// with long-blocking RPCs (grid flight waits) pass their own client
+	// and bound each call through ctx instead.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the peer at base with a default
+// 10-second per-call timeout.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Post sends in as a JSON POST to base+path and decodes the 200
+// response into out. Non-200 responses decode the ErrorResponse
+// envelope into the returned error.
+func (c *Client) Post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //bbvet:ignore errcheck — close on a fully-read response body
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("peer: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("peer: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,63 @@
+// Package peer is the shared JSON/HTTP substrate of the repository's
+// replicated subsystems. It carries the idioms the distributed B&B
+// fabric (internal/dist) grew — a POST-only strict JSON envelope, a
+// typed error body, a small blocking RPC client, and a caller-locked
+// membership registry with per-member service-time sampling — so that
+// dist and the multi-tenant serving grid (internal/grid) consume one
+// implementation instead of two copies.
+//
+// The package is deliberately policy-free: it knows nothing about
+// solves, slices, tenants, or cache keys. Registries do not lock
+// themselves — every current consumer already serializes membership
+// under its own mutex alongside other state, and a second internal lock
+// would only manufacture lock-order hazards.
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// MaxBodyBytes bounds every request and response body this package
+// reads. Canonical graph encodings are the largest payloads on any of
+// our wires; 32 MiB leaves an order of magnitude of headroom.
+const MaxBodyBytes = 32 << 20
+
+// ErrorResponse is the error envelope every peer endpoint returns on
+// non-200 status codes.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeJSON decodes a POST body into T with unknown fields rejected
+// and the size capped at MaxBodyBytes. On failure it writes the error
+// response itself and returns ok=false — handlers just return.
+func DecodeJSON[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var req T
+	if r.Method != http.MethodPost {
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
+		return req, false
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return req, false
+	}
+	return req, true
+}
+
+// WriteJSON writes v as a 200 JSON response.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the ErrorResponse envelope with the given status.
+func WriteError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}

@@ -1,0 +1,145 @@
+package peer
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClientPostRoundTrip(t *testing.T) {
+	type ping struct {
+		N int `json:"n"`
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, ok := DecodeJSON[ping](w, r)
+		if !ok {
+			return
+		}
+		WriteJSON(w, ping{N: req.N + 1})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	var out ping
+	if err := c.Post(context.Background(), "/", ping{N: 41}, &out); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if out.N != 42 {
+		t.Fatalf("round trip: got %d, want 42", out.N)
+	}
+}
+
+func TestClientPostErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusTeapot, "no coffee here")
+	}))
+	defer srv.Close()
+
+	var out struct{}
+	err := NewClient(srv.URL).Post(context.Background(), "/x", struct{}{}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no coffee here") {
+		t.Fatalf("want decoded error envelope, got %v", err)
+	}
+}
+
+func TestDecodeJSONRejectsGetAndUnknownFields(t *testing.T) {
+	type ping struct {
+		N int `json:"n"`
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := DecodeJSON[ping](w, r); ok {
+			WriteJSON(w, ping{})
+		}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: got %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL, "application/json", strings.NewReader(`{"n":1,"bogus":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRegistryTouchIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Touch(0, "a")
+	b := r.Touch(0, "b")
+	if a.ID == b.ID {
+		t.Fatalf("two fresh members share ID %d", a.ID)
+	}
+	if got := r.Touch(a.ID, ""); got != a {
+		t.Fatalf("Touch(%d) returned a different member", a.ID)
+	}
+	if a.Name != "a" {
+		t.Fatalf("empty name overwrote label: %q", a.Name)
+	}
+	// A rejoin with a high explicit ID must not let future zero-ID joins
+	// collide with it.
+	r.Touch(100, "old")
+	c := r.Touch(0, "c")
+	if c.ID <= 100 {
+		t.Fatalf("fresh ID %d collides with rejoined ID space", c.ID)
+	}
+	if r.FindName("old") == nil || r.FindName("nope") != nil {
+		t.Fatal("FindName lookup wrong")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	r.Remove(c.ID)
+	if r.Find(c.ID) != nil {
+		t.Fatal("Remove left the member behind")
+	}
+}
+
+func TestMemberServiceSampling(t *testing.T) {
+	m := &Member{JoinedAt: time.Now()}
+	for i := 0; i < 3*memberSampleCap; i++ {
+		m.NoteService(10 * time.Millisecond)
+	}
+	if len(m.samples) != memberSampleCap {
+		t.Fatalf("ring grew to %d", len(m.samples))
+	}
+	if m.Reports != int64(3*memberSampleCap) {
+		t.Fatalf("Reports = %d", m.Reports)
+	}
+	if got := m.ServiceQuantile(0.5); math.Abs(got-0.010) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.010", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("q0.5 = %v, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

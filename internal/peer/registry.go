@@ -1,0 +1,138 @@
+package peer
+
+import (
+	"sort"
+	"time"
+)
+
+// memberSampleCap bounds the per-member service-time ring.
+const memberSampleCap = 64
+
+// Member is one registered peer: a fabric worker or a grid replica.
+// Heartbeats refresh only LastSeen; accepted work lands in the
+// service-time ring through NoteService. All fields are guarded by the
+// owning subsystem's mutex (see Registry).
+type Member struct {
+	ID       int64
+	Name     string
+	LastSeen time.Time
+	JoinedAt time.Time
+	Draining bool
+
+	// Busy is the total time spent inside accepted work items; Reports
+	// counts them. BusyFraction-style gauges divide Busy by the time
+	// since JoinedAt.
+	Busy    time.Duration
+	Reports int64
+
+	samples    []float64 // service seconds, ring of memberSampleCap
+	sampleNext int
+}
+
+// NoteService records one accepted work item's service time.
+func (m *Member) NoteService(d time.Duration) {
+	sec := d.Seconds()
+	if len(m.samples) < memberSampleCap {
+		m.samples = append(m.samples, sec)
+	} else {
+		m.samples[m.sampleNext] = sec
+		m.sampleNext = (m.sampleNext + 1) % memberSampleCap
+	}
+	m.Busy += d
+	m.Reports++
+}
+
+// ServiceQuantile returns the q-quantile of the member's recent service
+// times, in seconds. Zero with no samples yet.
+func (m *Member) ServiceQuantile(q float64) float64 {
+	return Quantile(m.samples, q)
+}
+
+// Registry is a membership table keyed by member ID. It is deliberately
+// NOT self-locking: every consumer already guards membership together
+// with adjacent state (the dist coordinator's active solve, the grid
+// node's ring) under one mutex, and callers hold that mutex across
+// every Registry call.
+type Registry struct {
+	members map[int64]*Member
+	nextID  int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{members: map[int64]*Member{}}
+}
+
+// Touch registers or refreshes a member. A zero ID allocates the next
+// identity; a rejoining member carries its old positive ID so load
+// accounting survives restarts. A non-empty name updates the label.
+func (r *Registry) Touch(id int64, name string) *Member {
+	m, ok := r.members[id]
+	if !ok {
+		if id <= 0 {
+			r.nextID++
+			id = r.nextID
+		} else if id > r.nextID {
+			r.nextID = id
+		}
+		m = &Member{ID: id, Name: name, JoinedAt: time.Now()}
+		r.members[id] = m
+	}
+	if name != "" {
+		m.Name = name
+	}
+	m.LastSeen = time.Now()
+	return m
+}
+
+// Find returns the member with the given ID, or nil.
+func (r *Registry) Find(id int64) *Member {
+	return r.members[id]
+}
+
+// FindName returns some member with the given name, or nil.
+func (r *Registry) FindName(name string) *Member {
+	for _, m := range r.members {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Remove drops a member from the registry.
+func (r *Registry) Remove(id int64) {
+	delete(r.members, id)
+}
+
+// Len returns the number of registered members.
+func (r *Registry) Len() int {
+	return len(r.members)
+}
+
+// Each calls fn for every member, in unspecified order.
+func (r *Registry) Each(fn func(*Member)) {
+	for _, m := range r.members {
+		fn(m)
+	}
+}
+
+// Quantile returns the q-quantile of xs by linear interpolation (xs is
+// copied, not mutated). Zero when empty.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

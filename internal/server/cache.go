@@ -120,6 +120,44 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() ([]byte, err
 	return fl.body, false, fl.err
 }
 
+// Get returns the cached body for key without engaging singleflight;
+// it is the read side of the grid.Store contract (the owner replica
+// answering peer gets).
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		sh.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).body, true
+	}
+	return nil, false
+}
+
+// Put inserts a body filled back by a peer replica (the write side of
+// grid.Store). A no-op when retention is disabled — peers can still
+// read through this replica, it just never holds for them. Overwrites
+// are benign: bodies are deterministic functions of the key.
+func (c *resultCache) Put(key string, body []byte) {
+	if c.perShard <= 0 {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.items[key] = sh.lru.PushFront(&cacheEntry{key: key, body: body})
+	for sh.lru.Len() > c.perShard {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
 // len returns the resident entry count across shards.
 func (c *resultCache) len() int {
 	n := 0

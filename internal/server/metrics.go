@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/grid"
 )
 
 // latency histogram: power-of-two buckets in microseconds. Bucket i counts
@@ -124,9 +125,17 @@ type MetricsSnapshot struct {
 	CacheLimit  int   `json:"cache_limit"`  // configured capacity
 	SharedWaits int64 `json:"shared_waits"` // callers served by another caller's in-flight solve
 
+	// Tenants are the per-admission-class gauges (always at least the
+	// default tenant).
+	Tenants []grid.TenantSnapshot `json:"tenants,omitempty"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 
 	// Fleet holds the distributed-fabric counters when the server was
 	// configured with one (bbserved -distributed); omitted otherwise.
 	Fleet *dist.CountersSnapshot `json:"fleet,omitempty"`
+
+	// Grid holds the cache-grid node counters when the server runs as a
+	// replica (bbserved -peers); omitted otherwise.
+	Grid *grid.NodeSnapshot `json:"grid,omitempty"`
 }

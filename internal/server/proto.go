@@ -163,6 +163,26 @@ func solveResponse(res core.Result) SolveResponse {
 	return out
 }
 
+// BatchRequest solves a set of graphs as one request. Members that are
+// relabeled copies of one instance (same platform, parameters, and
+// budget) share a single kernel solve through their canonical cache
+// key; every member still receives a schedule in its own task IDs.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchResponse carries one SolveResponse per batch member, in request
+// order, plus the dedup accounting: Classes distinct solves covered the
+// batch, Deduped members rode along on another member's class, and
+// CacheHits classes were served without a new solve (local or peer
+// cache).
+type BatchResponse struct {
+	Results   []SolveResponse `json:"results"`
+	Classes   int             `json:"classes"`
+	Deduped   int             `json:"deduped"`
+	CacheHits int             `json:"cache_hits"`
+}
+
 // AnytimeRequest drives the portfolio pipeline (bounds → greedy → local
 // search → warm-started exact search).
 type AnytimeRequest struct {

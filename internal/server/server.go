@@ -13,12 +13,21 @@
 //     are translated back to the requester's numbering before responding.
 //     A sharded LRU serves repeats and singleflight collapses concurrent
 //     identical misses into one solve;
-//   - admission control: a bounded worker pool with a bounded wait queue;
-//     overload yields an immediate 429 with Retry-After instead of a
-//     latency collapse, and every solve runs under a budget enforced both
-//     by context and by the solver's own TimeLimit;
+//   - admission control: weighted fair queueing over per-tenant bounded
+//     queues (internal/grid.WFQ); overload yields an immediate 429 with a
+//     live Retry-After computed from the tenant's queue depth and observed
+//     service rate, and every solve runs under a budget enforced both by
+//     context and by the solver's own TimeLimit;
 //   - graceful drain: Drain stops admitting work while in-flight solves
 //     finish (or hit their budgets), so SIGTERM never truncates a result.
+//
+// With a grid.Node configured the server becomes one replica of a cache
+// grid: the canonical key space is consistent-hashed across replicas,
+// cache misses read through the key's owner (single-flight per key
+// fleet-wide), and freshly solved bodies are filled back to the owner.
+// /v1/batch solves a set of graphs as one request, collapsing
+// isomorphic members onto a single kernel solve through the same
+// canonical keys.
 package server
 
 import (
@@ -29,6 +38,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faults"
+	"repro/internal/grid"
 	"repro/internal/listsched"
 	"repro/internal/platform"
 	"repro/internal/portfolio"
@@ -73,6 +84,18 @@ type Config struct {
 	// and /metrics reports the fleet counters.
 	Fleet *dist.Fleet
 
+	// Tenants are the admission classes for weighted fair queueing.
+	// Requests select theirs via the X-Tenant header; untagged requests
+	// use the always-present "default" tenant. Empty means single-tenant
+	// (default only), which reproduces the plain bounded-pool behavior.
+	Tenants []grid.Tenant
+
+	// Grid, when non-nil, joins this server to a replicated cache grid:
+	// the node's peer protocol is mounted under /grid/v1/, the result
+	// cache becomes the node's store, and cacheable endpoints read
+	// through the ring owner of each canonical key.
+	Grid *grid.Node
+
 	// Logf receives one line per served request; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -105,11 +128,12 @@ func (c Config) withDefaults() Config {
 // Server is the service instance. Create with New, mount via Handler,
 // stop with Drain (graceful) and Close (hard).
 type Server struct {
-	cfg     Config
-	pool    *pool
-	cache   *resultCache
-	mux     *http.ServeMux
-	started time.Time
+	cfg      Config
+	adm      *grid.WFQ
+	gridNode *grid.Node
+	cache    *resultCache
+	mux      *http.ServeMux
+	started  time.Time
 
 	// baseCtx parents every solve so budgets survive client disconnects
 	// (a flight's result is shared; the leader's peer going away must not
@@ -131,16 +155,26 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheEntries),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
-		baseCtx: ctx,
-		cancel:  cancel,
-		solveFn: defaultSolve,
+		cfg: cfg,
+		adm: grid.NewWFQ(grid.WFQConfig{
+			Workers: cfg.Workers,
+			Tenants: cfg.Tenants,
+			// The default tenant's quota is the configured queue depth, so a
+			// single-tenant deployment keeps the exact workers+queue+1 → 429
+			// admission contract of the plain pool.
+			DefaultQueueCap: cfg.QueueDepth,
+			FallbackRetryS:  retryAfterSeconds(cfg),
+		}),
+		gridNode: cfg.Grid,
+		cache:    newResultCache(cfg.CacheEntries),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		solveFn:  defaultSolve,
 		metrics: map[string]*endpointMetrics{
 			"solve":   {},
+			"batch":   {},
 			"anytime": {},
 			"list":    {},
 			"analyze": {},
@@ -149,6 +183,7 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/anytime", s.handleAnytime)
 	s.mux.HandleFunc("POST /v1/list", s.handleList)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -157,6 +192,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Fleet != nil {
 		s.mux.Handle("POST /dist/v1/", cfg.Fleet.Handler())
+	}
+	if s.gridNode != nil {
+		s.gridNode.Bind(s.cache)
+		s.mux.Handle("POST /grid/v1/", s.gridNode.Handler())
 	}
 	return s
 }
@@ -176,7 +215,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // solves run to completion (or to their budgets).
 func (s *Server) Drain() {
 	s.draining.Store(true)
-	s.pool.drain()
+	s.adm.Drain()
 }
 
 // Close hard-stops the server: every in-flight solve's context is
@@ -195,20 +234,25 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeMS:          time.Since(s.started).Milliseconds(),
 		Draining:          s.draining.Load(),
-		Workers:           s.pool.workers(),
-		BusyWorkers:       s.pool.busy(),
-		QueueDepth:        s.pool.queueDepth(),
-		QueueLimit:        s.cfg.QueueDepth,
-		WorkerUtilization: s.pool.utilization(),
+		Workers:           s.adm.Workers(),
+		BusyWorkers:       s.adm.Busy(),
+		QueueDepth:        s.adm.QueueDepth(),
+		QueueLimit:        s.adm.QueueLimit(),
+		WorkerUtilization: s.adm.Utilization(),
 		Solves:            s.cache.solves.Load(),
 		CacheSize:         s.cache.len(),
 		CacheLimit:        s.cfg.CacheEntries,
 		SharedWaits:       s.cache.sharedHit.Load(),
+		Tenants:           s.adm.Tenants(),
 		Endpoints:         eps,
 	}
 	if s.cfg.Fleet != nil {
 		fs := s.cfg.Fleet.Snapshot()
 		snap.Fleet = &fs
+	}
+	if s.gridNode != nil {
+		gs := s.gridNode.Snapshot()
+		snap.Grid = &gs
 	}
 	return snap
 }
@@ -236,12 +280,15 @@ func (s *Server) badRequest(w http.ResponseWriter, m *endpointMetrics, start tim
 
 // cacheState records how a response body was obtained, for the X-Cache
 // header and the per-endpoint hit/miss counters. Deliberately uncached
-// endpoints report cacheBypass, which increments neither counter.
+// endpoints report cacheBypass, which increments neither counter;
+// cachePeer marks a body served from another replica's cache (counted
+// as a hit — no local solve was charged).
 type cacheState uint8
 
 const (
 	cacheMiss cacheState = iota
 	cacheHit
+	cachePeer
 	cacheBypass
 )
 
@@ -253,9 +300,11 @@ func stateOf(hit bool) cacheState {
 	return cacheMiss
 }
 
-// finish writes the outcome of a cache.do round-trip, mapping admission
-// errors to their status codes.
-func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Time, body []byte, state cacheState, err error) {
+// finish writes the outcome of a cache round-trip, mapping admission
+// errors to their status codes. tenant names the request's admission
+// class: a 429's Retry-After is that tenant's live hint (queue depth
+// over observed service rate), not a static constant.
+func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Time, tenant string, body []byte, state cacheState, err error) {
 	m.latency.observe(time.Since(start))
 	switch {
 	case err == nil:
@@ -263,6 +312,9 @@ func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Ti
 		case cacheHit:
 			m.cacheHits.Add(1)
 			w.Header().Set("X-Cache", "hit")
+		case cachePeer:
+			m.cacheHits.Add(1)
+			w.Header().Set("X-Cache", "peer")
 		case cacheMiss:
 			m.cacheMisses.Add(1)
 			w.Header().Set("X-Cache", "miss")
@@ -271,11 +323,11 @@ func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Ti
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
-	case errors.Is(err, errOverload):
+	case errors.Is(err, grid.ErrOverload):
 		m.rejected.Add(1)
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg)))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.adm.RetryAfterSeconds(tenant)))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
-	case errors.Is(err, errDraining), errors.Is(err, context.Canceled), errors.Is(err, dist.ErrResumable):
+	case errors.Is(err, grid.ErrDraining), errors.Is(err, context.Canceled), errors.Is(err, dist.ErrResumable):
 		// A resumable distributed solve was interrupted (coordinator
 		// shutdown mid-search): the journal keeps the work, so the client
 		// should retry against the restarted coordinator rather than treat
@@ -288,8 +340,10 @@ func (s *Server) finish(w http.ResponseWriter, m *endpointMetrics, start time.Ti
 	}
 }
 
-// retryAfterSeconds advises clients to back off for roughly one solve
-// budget: the queue can only have moved once a worker slot turned over.
+// retryAfterSeconds is the cold-start Retry-After fallback — roughly
+// one solve budget, the interval over which a worker slot can have
+// turned over. Once a tenant has an observed service rate the WFQ's
+// live hint replaces it.
 func retryAfterSeconds(cfg Config) int {
 	sec := int(cfg.DefaultBudget / time.Second)
 	if sec < 1 {
@@ -298,16 +352,59 @@ func retryAfterSeconds(cfg Config) int {
 	return sec
 }
 
-// admit front-gates a request: during drain nothing new is accepted.
-func (s *Server) admit(w http.ResponseWriter, m *endpointMetrics, start time.Time) bool {
+// admit front-gates a request: during drain nothing new is accepted,
+// and the X-Tenant header must name a configured admission class (empty
+// means the default tenant).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, m *endpointMetrics, start time.Time) (tenant string, ok bool) {
 	m.requests.Add(1)
 	if s.draining.Load() {
 		m.errors.Add(1)
 		m.latency.observe(time.Since(start))
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: errDraining.Error()})
-		return false
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: grid.ErrDraining.Error()})
+		return "", false
 	}
-	return true
+	tenant, ok = s.adm.Resolve(r.Header.Get("X-Tenant"))
+	if !ok {
+		m.errors.Add(1)
+		m.latency.observe(time.Since(start))
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown tenant %q", r.Header.Get("X-Tenant"))})
+		return "", false
+	}
+	return tenant, true
+}
+
+// do routes one cacheable unit of work: local cache, then the key's
+// ring owner (read-through), then a local solve whose body is filled
+// back to the owner. Without a grid — or when this replica owns the
+// key — it is exactly the local singleflight cache.
+func (s *Server) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, cacheState, error) {
+	n := s.gridNode
+	if n == nil {
+		body, hit, err := s.cache.do(ctx, key, fn)
+		return body, stateOf(hit), err
+	}
+	owner := n.Owner(key)
+	if owner == "" || owner == n.Self() {
+		body, hit, err := s.cache.do(ctx, key, fn)
+		return body, stateOf(hit), err
+	}
+	// Not the owner: a local copy (from an earlier fill or solve) still
+	// short-circuits the network.
+	if body, ok := s.cache.Get(key); ok {
+		return body, cacheHit, nil
+	}
+	if body, ok := n.Fetch(ctx, owner, key); ok {
+		s.cache.Put(key, body)
+		return body, cachePeer, nil
+	}
+	// Peer miss: this replica holds the fill claim (or the owner is
+	// down). Solve locally and ship the body back so the owner serves
+	// every other replica's next miss.
+	body, hit, err := s.cache.do(ctx, key, fn)
+	if err == nil && !hit {
+		n.FillBack(owner, key, body)
+	}
+	return body, stateOf(hit), err
 }
 
 // ---- canonical cache identity -----------------------------------------
@@ -377,6 +474,47 @@ func remapBody[R any](cg canonGraph, body []byte, placements func(*R) []sched.Pl
 
 // ---- endpoints --------------------------------------------------------
 
+// solveKey is the canonical cache identity of one exact-solve class:
+// graph digest plus every parameter that changes the answer bytes.
+// /v1/solve and /v1/batch share it, so their cache lines are one.
+func solveKey(cg canonGraph, plat platform.Platform, params core.Params, req SolveRequest, budget time.Duration) string {
+	distKey := 0
+	if req.Distributed {
+		distKey = 1
+	}
+	return fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d",
+		cg.key, plat.M,
+		params.Selection, params.Branching, params.Bound, params.BR,
+		req.Workers, budget, distKey)
+}
+
+// solveClass returns the singleflight body function for one solve
+// class: acquire a slot in the tenant's queue, run the kernel under its
+// budget, marshal the canonical-numbering response.
+func (s *Server) solveClass(tenant string, cg canonGraph, plat platform.Platform, params core.Params, req SolveRequest, budget time.Duration) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		release, err := s.adm.Acquire(s.baseCtx, tenant)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
+		defer cancel()
+		var res core.Result
+		if req.Distributed {
+			// The fleet re-canonicalizes internally; cg.g is already
+			// canonical so that pass is the identity permutation.
+			res, err = s.cfg.Fleet.Solve(ctx, cg.g, plat, params)
+		} else {
+			res, err = s.solveFn(ctx, cg.g, plat, params, req.Workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(solveResponse(res))
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SolveRequest
@@ -390,7 +528,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Distributed {
 		m = s.metrics["dist"]
 	}
-	if !s.admit(w, m, start) {
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
 		return
 	}
 	if req.Distributed {
@@ -422,49 +561,139 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	cg, err := canonicalize(req.Graph)
 	if err != nil {
-		s.finish(w, m, start, nil, cacheBypass, err)
+		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
-	distKey := 0
-	if req.Distributed {
-		distKey = 1
-	}
-	key := fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d",
-		cg.key, plat.M,
-		params.Selection, params.Branching, params.Bound, params.BR,
-		req.Workers, budget, distKey)
-	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
-		release, err := s.pool.acquire(s.baseCtx)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
-		defer cancel()
-		var res core.Result
-		if req.Distributed {
-			// The fleet re-canonicalizes internally; cg.g is already
-			// canonical so that pass is the identity permutation.
-			res, err = s.cfg.Fleet.Solve(ctx, cg.g, plat, params)
-		} else {
-			res, err = s.solveFn(ctx, cg.g, plat, params, req.Workers)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(solveResponse(res))
-	})
+	key := solveKey(cg, plat, params, req, budget)
+	body, state, err := s.do(r.Context(), key, s.solveClass(tenant, cg, plat, params, req, budget))
 	if err == nil {
 		body, err = remapBody(cg, body, func(r *SolveResponse) []sched.Placement { return r.Schedule })
 	}
-	s.finish(w, m, start, body, stateOf(hit), err)
-	s.cfg.Logf("solve m=%d n=%d dist=%v hit=%v %v", plat.M, req.Graph.NumTasks(), req.Distributed, hit, time.Since(start))
+	s.finish(w, m, start, tenant, body, state, err)
+	s.cfg.Logf("solve m=%d n=%d dist=%v hit=%v %v", plat.M, req.Graph.NumTasks(), req.Distributed, state != cacheMiss, time.Since(start))
+}
+
+// maxBatchMembers bounds one /v1/batch request; beyond this the client
+// should split the batch (each chunk still dedupes against the shared
+// cache, so nothing is lost).
+const maxBatchMembers = 256
+
+// handleBatch solves a set of graphs as one request. Members reduce to
+// their canonical cache keys and group into isomorphism classes; each
+// class runs through the grid/cache path exactly once, and every member
+// receives the class answer remapped into its own task numbering. One
+// failed class fails the whole batch with that class's status.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics["batch"]
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.badRequest(w, m, start, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Requests) > maxBatchMembers {
+		s.badRequest(w, m, start, fmt.Errorf("batch has %d members, limit %d", len(req.Requests), maxBatchMembers))
+		return
+	}
+
+	type class struct {
+		rep int // first member index, for error attribution
+		fn  func() ([]byte, error)
+	}
+	memberCG := make([]canonGraph, len(req.Requests))
+	memberKey := make([]string, len(req.Requests))
+	classes := map[string]*class{}
+	var order []string
+	for i := range req.Requests {
+		mr := &req.Requests[i]
+		if mr.Distributed {
+			s.badRequest(w, m, start, fmt.Errorf("member %d: distributed solves are not batchable", i))
+			return
+		}
+		plat, err := mr.platform()
+		if err != nil {
+			s.badRequest(w, m, start, fmt.Errorf("member %d: %w", i, err))
+			return
+		}
+		params, err := mr.params()
+		if err != nil {
+			s.badRequest(w, m, start, fmt.Errorf("member %d: %w", i, err))
+			return
+		}
+		budget, err := budgetFrom(mr.BudgetMS, s.cfg)
+		if err != nil {
+			s.badRequest(w, m, start, fmt.Errorf("member %d: %w", i, err))
+			return
+		}
+		params.Resources.TimeLimit = budget
+		cg, err := canonicalize(mr.Graph)
+		if err != nil {
+			s.finish(w, m, start, tenant, nil, cacheBypass, fmt.Errorf("member %d: %w", i, err))
+			return
+		}
+		memberCG[i] = cg
+		memberKey[i] = solveKey(cg, plat, params, *mr, budget)
+		if _, seen := classes[memberKey[i]]; !seen {
+			classes[memberKey[i]] = &class{rep: i, fn: s.solveClass(tenant, cg, plat, params, *mr, budget)}
+			order = append(order, memberKey[i])
+		}
+	}
+	// Deterministic class order: every replica receiving a permutation of
+	// the same batch walks the keys identically.
+	sort.Strings(order)
+
+	hits := 0
+	bodies := make(map[string][]byte, len(order))
+	for _, key := range order {
+		c := classes[key]
+		body, state, err := s.do(r.Context(), key, c.fn)
+		if err != nil {
+			s.finish(w, m, start, tenant, nil, cacheBypass, fmt.Errorf("member %d: %w", c.rep, err))
+			return
+		}
+		if state == cacheHit || state == cachePeer {
+			hits++
+		}
+		bodies[key] = body
+	}
+
+	results := make([]SolveResponse, len(req.Requests))
+	for i := range req.Requests {
+		body, err := remapBody(memberCG[i], bodies[memberKey[i]], func(r *SolveResponse) []sched.Placement { return r.Schedule })
+		if err != nil {
+			s.finish(w, m, start, tenant, nil, cacheBypass, err)
+			return
+		}
+		if err := json.Unmarshal(body, &results[i]); err != nil {
+			s.finish(w, m, start, tenant, nil, cacheBypass, err)
+			return
+		}
+	}
+	m.cacheHits.Add(int64(hits))
+	m.cacheMisses.Add(int64(len(order) - hits))
+	m.latency.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		Classes:   len(order),
+		Deduped:   len(req.Requests) - len(order),
+		CacheHits: hits,
+	})
+	s.cfg.Logf("batch members=%d classes=%d hits=%d %v", len(req.Requests), len(order), hits, time.Since(start))
 }
 
 func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	m := s.metrics["anytime"]
-	if !s.admit(w, m, start) {
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
 		return
 	}
 	var req AnytimeRequest
@@ -489,13 +718,13 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 
 	cg, err := canonicalize(req.Graph)
 	if err != nil {
-		s.finish(w, m, start, nil, cacheBypass, err)
+		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
 	key := fmt.Sprintf("anytime|%s|m=%d|i=%d|seed=%d|w=%d|t=%d",
 		cg.key, plat.M, req.ImproveIters, req.Seed, req.Workers, budget)
-	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
-		release, err := s.pool.acquire(s.baseCtx)
+	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
+		release, err := s.adm.Acquire(s.baseCtx, tenant)
 		if err != nil {
 			return nil, err
 		}
@@ -516,14 +745,15 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		body, err = remapBody(cg, body, func(r *AnytimeResponse) []sched.Placement { return r.Schedule })
 	}
-	s.finish(w, m, start, body, stateOf(hit), err)
-	s.cfg.Logf("anytime m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+	s.finish(w, m, start, tenant, body, state, err)
+	s.cfg.Logf("anytime m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), state != cacheMiss, time.Since(start))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	m := s.metrics["list"]
-	if !s.admit(w, m, start) {
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
 		return
 	}
 	var req ListRequest
@@ -546,11 +776,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	// through the worker pool — a list schedule costs less than queueing.
 	cg, err := canonicalize(req.Graph)
 	if err != nil {
-		s.finish(w, m, start, nil, cacheBypass, err)
+		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
 	key := fmt.Sprintf("list|%s|m=%d|p=%d|x=%v", cg.key, plat.M, pol, explicit)
-	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
 		var res listsched.Result
 		var err error
 		if explicit {
@@ -571,14 +801,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		body, err = remapBody(cg, body, func(r *ListResponse) []sched.Placement { return r.Schedule })
 	}
-	s.finish(w, m, start, body, stateOf(hit), err)
-	s.cfg.Logf("list m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+	s.finish(w, m, start, tenant, body, state, err)
+	s.cfg.Logf("list m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), state != cacheMiss, time.Since(start))
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	m := s.metrics["analyze"]
-	if !s.admit(w, m, start) {
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
 		return
 	}
 	var req AnalyzeRequest
@@ -598,11 +829,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// whose critical paths differ.
 	cg, err := canonicalize(req.Graph)
 	if err != nil {
-		s.finish(w, m, start, nil, cacheBypass, err)
+		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
 	key := fmt.Sprintf("analyze|%s|m=%d", cg.key, plat.M)
-	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
 		rep, err := analysis.Analyze(cg.g, plat)
 		if err != nil {
 			return nil, err
@@ -617,14 +848,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			Infeasible:   rep.Infeasible(),
 		})
 	})
-	s.finish(w, m, start, body, stateOf(hit), err)
-	s.cfg.Logf("analyze m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), hit, time.Since(start))
+	s.finish(w, m, start, tenant, body, state, err)
+	s.cfg.Logf("analyze m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), state != cacheMiss, time.Since(start))
 }
 
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	m := s.metrics["recover"]
-	if !s.admit(w, m, start) {
+	tenant, ok := s.admit(w, r, m, start)
+	if !ok {
 		return
 	}
 	var req RecoverRequest
@@ -670,7 +902,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	// through admission control but not the cache — finish gets cacheBypass
 	// so the endpoint perturbs neither the hit nor the miss counter.
 	var body []byte
-	release, err := s.pool.acquire(s.baseCtx)
+	release, err := s.adm.Acquire(s.baseCtx, tenant)
 	if err == nil {
 		func() {
 			defer release()
@@ -686,7 +918,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 	}
-	s.finish(w, m, start, body, cacheBypass, err)
+	s.finish(w, m, start, tenant, body, cacheBypass, err)
 	s.cfg.Logf("recover m=%d n=%d faults=%d %v", plat.M, req.Graph.NumTasks(), len(fs), time.Since(start))
 }
 

@@ -471,11 +471,11 @@ func TestOverloadRejects429(t *testing.T) {
 	// Wait until one solve is running and the queue is full.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if entered.Load() == int64(workers) && s.pool.queueDepth() == queue {
+		if entered.Load() == int64(workers) && s.adm.QueueDepth() == queue {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("pool never saturated: entered=%d queued=%d", entered.Load(), s.pool.queueDepth())
+			t.Fatalf("pool never saturated: entered=%d queued=%d", entered.Load(), s.adm.QueueDepth())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -527,10 +527,10 @@ func TestDrain(t *testing.T) {
 	}()
 
 	deadline := time.Now().Add(5 * time.Second)
-	for entered.Load() != 1 || s.pool.queueDepth() != 1 {
+	for entered.Load() != 1 || s.adm.QueueDepth() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatalf("never reached 1 running + 1 queued: entered=%d queued=%d",
-				entered.Load(), s.pool.queueDepth())
+				entered.Load(), s.adm.QueueDepth())
 		}
 		time.Sleep(time.Millisecond)
 	}

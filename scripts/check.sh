@@ -9,6 +9,7 @@
 # Usage: scripts/check.sh [package patterns...]   (default: ./...)
 #        scripts/check.sh bench [out.json]
 #        scripts/check.sh dist
+#        scripts/check.sh grid
 #        scripts/check.sh vet
 #
 # The bench form skips the static/race gates and runs the before/after
@@ -22,6 +23,14 @@
 # processes, a SIGKILL'd worker recovered through lease eviction, and a
 # SIGKILL'd coordinator resumed from its checkpoint journal with
 # byte-identical results).
+#
+# The grid form gates the multi-tenant serving tier alone: race-enabled
+# internal/grid tests (ring balance and minimal movement, WFQ fairness,
+# single-flight fill claims), the race-enabled in-process multi-replica
+# e2e in internal/server (a replica killed mid-load with survivors
+# re-owning its key range, batch isomorphism dedup, tenant isolation),
+# and the race-enabled CLI e2e (two peered bbserved processes with
+# tenant classes and zero-leak shutdown; bbload mixed-workload mode).
 #
 # The vet form is the static-analysis contract: the full bbvet suite
 # (per-package analyzers plus the whole-program lockorder, goleak,
@@ -50,6 +59,21 @@ if [ "${1:-}" = "dist" ]; then
     echo "==> go test -race ./cmd/bbworker (loopback multi-process e2e, incl. crash-resume)"
     go test -race ./cmd/bbworker
     echo "==> dist checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "grid" ]; then
+    echo "==> go vet ./internal/grid ./internal/peer ./cmd/bbserved ./cmd/bbload"
+    go vet ./internal/grid ./internal/peer ./cmd/bbserved ./cmd/bbload
+    echo "==> bbvet ./internal/grid ./internal/peer ./cmd/bbserved ./cmd/bbload"
+    go run ./cmd/bbvet ./internal/grid ./internal/peer ./cmd/bbserved ./cmd/bbload
+    echo "==> go test -race ./internal/grid ./internal/peer"
+    go test -race ./internal/grid ./internal/peer
+    echo "==> go test -race ./internal/server (incl. multi-replica kill-mid-load e2e)"
+    go test -race ./internal/server
+    echo "==> go test -race ./cmd/bbserved ./cmd/bbload (peered-process e2e, mixed-workload harness)"
+    go test -race ./cmd/bbserved ./cmd/bbload
+    echo "==> grid checks passed"
     exit 0
 fi
 
