@@ -10,11 +10,19 @@
 // understands. Each case also records the optimal cost it found, so a
 // merge fails loudly if an "optimization" changed any answer.
 //
+// The *-dedup cases re-run a pinned case with the transposition table on
+// (Params.Dedup, set through reflection so this source still compiles
+// against pre-knob facades — a base build without the field skips them).
+// Their searched-vertex reduction, table hit-rate, and memory gauges are
+// compared against the no-dedup twin *within the after report*, gated by
+// -dedup-gate; a cost mismatch or a table over its byte budget fails the
+// merge unconditionally.
+//
 // Modes:
 //
 //	bbbench -label after -commit <sha> -out after.json
-//	bbbench -merge before.json,after.json -out BENCH_PR4.json \
-//	        -gate lifo-df=2.0
+//	bbbench -merge before.json,after.json -out BENCH_PR9.json \
+//	        -gate lifo-df=2.0 -dedup-gate lifo-df-wide-dedup=10
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -37,7 +46,15 @@ type benchCase struct {
 	BytesPerOp     int64   `json:"bytes_per_op"`
 	VerticesPerOp  float64 `json:"vertices_per_op"`
 	VerticesPerSec float64 `json:"vertices_per_sec"`
+	ExpandedPerOp  float64 `json:"expanded_per_op,omitempty"`
 	Cost           int64   `json:"cost"`
+
+	// Duplicate-detection gauges, present only on *-dedup cases (and only
+	// from builds whose facade has the knob).
+	DedupPrunedPerOp float64 `json:"dedup_pruned_per_op,omitempty"`
+	TableHitRate     float64 `json:"table_hit_rate,omitempty"` // probe hits per generated vertex
+	TableBytes       int64   `json:"table_bytes,omitempty"`
+	TableBudget      int64   `json:"table_budget,omitempty"`
 }
 
 type report struct {
@@ -58,12 +75,28 @@ type mergedCase struct {
 	CostMatch       bool      `json:"cost_match"`
 }
 
+// dedupComparison pairs one *-dedup case with its no-dedup twin from the
+// SAME (after) report: the base build may predate the knob entirely, so
+// the duplicate-detection win is measured within one binary, not across
+// the before/after pair.
+type dedupComparison struct {
+	Name             string  `json:"name"`     // the *-dedup case
+	Baseline         string  `json:"baseline"` // its no-dedup twin
+	ExpandedBaseline float64 `json:"expanded_baseline_per_op"`
+	ExpandedDedup    float64 `json:"expanded_dedup_per_op"`
+	Reduction        float64 `json:"searched_vertex_reduction"` // baseline / dedup expansions
+	TableHitRate     float64 `json:"table_hit_rate"`
+	CostMatch        bool    `json:"cost_match"`
+	WithinBudget     bool    `json:"within_budget"`
+}
+
 type mergedReport struct {
-	BeforeCommit string       `json:"before_commit,omitempty"`
-	AfterCommit  string       `json:"after_commit,omitempty"`
-	GoOS         string       `json:"goos"`
-	GoArch       string       `json:"goarch"`
-	Cases        []mergedCase `json:"cases"`
+	BeforeCommit string            `json:"before_commit,omitempty"`
+	AfterCommit  string            `json:"after_commit,omitempty"`
+	GoOS         string            `json:"goos"`
+	GoArch       string            `json:"goarch"`
+	Cases        []mergedCase      `json:"cases"`
+	Dedup        []dedupComparison `json:"dedup,omitempty"`
 }
 
 // workload returns the named pinned instance. Shapes are chosen to cover
@@ -77,6 +110,12 @@ func workload(name string) (*parabb.Graph, error) {
 	case "wide24":
 		p.NMin, p.NMax = 24, 24
 		p.DepthMin, p.DepthMax = 4, 5
+	case "wide14":
+		// Wider still (14 tasks over 3–4 levels): large ready sets make
+		// transposition duplicates — the same task set split across
+		// processors in a different order — the dominant search cost.
+		p.NMin, p.NMax = 14, 14
+		p.DepthMin, p.DepthMax = 3, 4
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
@@ -88,15 +127,47 @@ type solveCase struct {
 	workload string
 	params   parabb.Params
 	ida      bool
+	dedup    bool
 }
 
 // cases is the pinned suite. lifo-df is the acceptance gate's benchmark.
+// Each *-dedup case re-runs its no-dedup twin (same name minus the
+// suffix) with the transposition table on; the merge step compares the
+// two *within one report*, since a base build whose facade predates the
+// knob skips them entirely.
 var cases = []solveCase{
 	{name: "lifo-df", workload: "deep16", params: parabb.Params{Branching: parabb.BranchDF}},
 	{name: "lifo-df-wide", workload: "wide24", params: parabb.Params{Branching: parabb.BranchDF}},
 	{name: "lifo-bfn", workload: "deep16", params: parabb.Params{}},
 	{name: "llb", workload: "deep16", params: parabb.Params{Selection: parabb.SelectLLB}},
 	{name: "ida-df", workload: "deep16", params: parabb.Params{Branching: parabb.BranchDF}, ida: true},
+	{name: "lifo-bfn-wide", workload: "wide14", params: parabb.Params{}},
+	{name: "lifo-df-wide-dedup", workload: "wide24", params: parabb.Params{Branching: parabb.BranchDF}, dedup: true},
+	{name: "lifo-bfn-dedup", workload: "deep16", params: parabb.Params{}, dedup: true},
+	{name: "lifo-bfn-wide-dedup", workload: "wide14", params: parabb.Params{}, dedup: true},
+}
+
+// setDedup turns on duplicate detection through reflection, so this one
+// source file still compiles against facade revisions that predate the
+// knob (scripts/bench.sh grafts it into the base worktree). A build whose
+// Params has no Dedup field reports false and the caller skips the case.
+func setDedup(p *parabb.Params) bool {
+	f := reflect.ValueOf(p).Elem().FieldByName("Dedup")
+	if !f.IsValid() || f.Kind() != reflect.Bool || !f.CanSet() {
+		return false
+	}
+	f.SetBool(true)
+	return true
+}
+
+// statInt reads one int64 counter from Stats by name, zero when the
+// field does not exist in this build's facade.
+func statInt(st parabb.Stats, name string) int64 {
+	f := reflect.ValueOf(st).FieldByName(name)
+	if !f.IsValid() || f.Kind() != reflect.Int64 {
+		return 0
+	}
+	return f.Int()
 }
 
 func runSuite(label, commit string) (report, error) {
@@ -107,43 +178,65 @@ func runSuite(label, commit string) (report, error) {
 		if err != nil {
 			return report{}, err
 		}
-		var vertices uint64
+		params := c.params
+		if c.dedup && !setDedup(&params) {
+			fmt.Fprintf(os.Stderr, "%-18s skipped (this build's facade has no Dedup knob)\n", c.name)
+			continue
+		}
+		var vertices, expanded, pruned, hits uint64
 		var iters int
-		var cost int64
+		var cost, tableBytes, tableBudget int64
 		solveErr := error(nil)
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			vertices, iters = 0, b.N
+			vertices, expanded, pruned, hits, iters = 0, 0, 0, 0, b.N
 			for i := 0; i < b.N; i++ {
 				var r parabb.Result
 				var err error
 				if c.ida {
-					r, err = parabb.SolveIDA(g, plat, c.params)
+					r, err = parabb.SolveIDA(g, plat, params)
 				} else {
-					r, err = parabb.Solve(g, plat, c.params)
+					r, err = parabb.Solve(g, plat, params)
 				}
 				if err != nil {
 					solveErr = err
 					b.FailNow()
 				}
 				vertices += uint64(r.Stats.Generated)
+				expanded += uint64(r.Stats.Expanded)
 				cost = int64(r.Cost)
+				if c.dedup {
+					pruned += uint64(statInt(r.Stats, "DedupPruned"))
+					hits += uint64(statInt(r.Stats, "TableHits"))
+					tableBytes = statInt(r.Stats, "TableBytesInUse")
+					tableBudget = statInt(r.Stats, "TableBudget")
+				}
 			}
 		})
 		if solveErr != nil {
 			return report{}, fmt.Errorf("case %s: %w", c.name, solveErr)
 		}
 		nsOp := float64(res.T.Nanoseconds()) / float64(res.N)
-		rep.Cases = append(rep.Cases, benchCase{
+		bc := benchCase{
 			Name:           c.name,
 			NsPerOp:        nsOp,
 			AllocsPerOp:    res.AllocsPerOp(),
 			BytesPerOp:     res.AllocedBytesPerOp(),
 			VerticesPerOp:  float64(vertices) / float64(iters),
 			VerticesPerSec: float64(vertices) / res.T.Seconds(),
+			ExpandedPerOp:  float64(expanded) / float64(iters),
 			Cost:           cost,
-		})
-		fmt.Fprintf(os.Stderr, "%-14s %12.0f ns/op %10.0f vertices/s %8d allocs/op\n",
+		}
+		if c.dedup {
+			bc.DedupPrunedPerOp = float64(pruned) / float64(iters)
+			if vertices > 0 {
+				bc.TableHitRate = float64(hits) / float64(vertices)
+			}
+			bc.TableBytes = tableBytes
+			bc.TableBudget = tableBudget
+		}
+		rep.Cases = append(rep.Cases, bc)
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %10.0f vertices/s %8d allocs/op\n",
 			c.name, nsOp, float64(vertices)/res.T.Seconds(), res.AllocsPerOp())
 	}
 	return rep, nil
@@ -162,8 +255,10 @@ func readReport(path string) (report, error) {
 }
 
 // merge combines a before and an after report and enforces the gates.
-// gates maps case name → minimum vertices/sec speedup.
-func merge(beforePath, afterPath string, gates map[string]float64) (mergedReport, error) {
+// gates maps case name → minimum vertices/sec speedup; dedupGates maps a
+// *-dedup case name → minimum searched-vertex reduction against its
+// no-dedup twin in the after report.
+func merge(beforePath, afterPath string, gates, dedupGates map[string]float64) (mergedReport, error) {
 	before, err := readReport(beforePath)
 	if err != nil {
 		return mergedReport{}, err
@@ -202,6 +297,53 @@ func merge(beforePath, afterPath string, gates map[string]float64) (mergedReport
 		}
 		out.Cases = append(out.Cases, m)
 	}
+
+	// The dedup comparisons live entirely inside the after report.
+	afterByName := make(map[string]benchCase, len(after.Cases))
+	for _, c := range after.Cases {
+		afterByName[c.Name] = c
+	}
+	for _, c := range after.Cases {
+		base, isDedup := strings.CutSuffix(c.Name, "-dedup")
+		if !isDedup {
+			continue
+		}
+		twin, ok := afterByName[base]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("dedup case %s: no-dedup twin %q missing", c.Name, base))
+			continue
+		}
+		d := dedupComparison{
+			Name: c.Name, Baseline: base,
+			ExpandedBaseline: twin.ExpandedPerOp,
+			ExpandedDedup:    c.ExpandedPerOp,
+			TableHitRate:     c.TableHitRate,
+			CostMatch:        c.Cost == twin.Cost,
+			WithinBudget:     c.TableBytes <= c.TableBudget,
+		}
+		if c.ExpandedPerOp > 0 {
+			d.Reduction = twin.ExpandedPerOp / c.ExpandedPerOp
+		}
+		if !d.CostMatch {
+			failures = append(failures, fmt.Sprintf("dedup case %s: cost %d != twin %s cost %d",
+				c.Name, c.Cost, base, twin.Cost))
+		}
+		if !d.WithinBudget {
+			failures = append(failures, fmt.Sprintf("dedup case %s: table bytes %d over budget %d",
+				c.Name, c.TableBytes, c.TableBudget))
+		}
+		if min, gated := dedupGates[c.Name]; gated && d.Reduction < min {
+			failures = append(failures, fmt.Sprintf("dedup case %s: %.2fx searched-vertex reduction, gate requires %.2fx",
+				c.Name, d.Reduction, min))
+		}
+		out.Dedup = append(out.Dedup, d)
+	}
+	for name := range dedupGates {
+		if _, ok := afterByName[name]; !ok {
+			failures = append(failures, fmt.Sprintf("dedup gate on %s, but the after report has no such case", name))
+		}
+	}
+
 	if len(failures) > 0 {
 		return out, fmt.Errorf("bench gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
@@ -247,6 +389,7 @@ func main() {
 		commit    = flag.String("commit", "", "commit hash to record in the report")
 		mergeArg  = flag.String("merge", "", "merge mode: before.json,after.json")
 		gatesArg  = flag.String("gate", "", "merge gates, e.g. lifo-df=2.0,llb=1.5")
+		dedupArg  = flag.String("dedup-gate", "", "within-after dedup gates, e.g. lifo-df-wide-dedup=10")
 		listCases = flag.Bool("list", false, "list case names and exit")
 	)
 	flag.Parse()
@@ -268,7 +411,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bbbench:", err)
 			os.Exit(2)
 		}
-		merged, err := merge(beforePath, afterPath, gates)
+		dedupGates, err := parseGates(*dedupArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbbench:", err)
+			os.Exit(2)
+		}
+		merged, err := merge(beforePath, afterPath, gates, dedupGates)
 		if werr := writeJSON(*out, merged); werr != nil {
 			fmt.Fprintln(os.Stderr, "bbbench:", werr)
 			os.Exit(1)

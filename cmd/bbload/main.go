@@ -23,6 +23,10 @@
 //	-distributed     mark solve requests distributed and spawn a worker fleet
 //	-dist-workers    re-exec'd worker processes with -distributed (default 2)
 //	-churn dur       with -distributed: drain and replace one worker at this interval
+//	-dedup           solve requests request duplicate detection; after the run
+//	                 the harness asserts every replica's /metrics transpose
+//	                 high-water stayed within the table budget
+//	-dedup-budget b  per-table byte budget for -dedup (0 = server default)
 //	-quiet           suppress the per-run header
 //
 // Closed loop means each client issues its next request only after the
@@ -53,6 +57,12 @@
 // it finishes its in-flight slice, hands leased work back, and exits —
 // and a fresh worker is spawned in its place, so the run exercises the
 // coordinator's join/drain autoscaling path under load.
+//
+// With -dedup every solve request turns on the transposition table, and
+// the run ends with a memory assertion: each replica's /metrics transpose
+// block must report table_bytes_high_water within table_budget. A server
+// whose tables outgrew their hard budget under sustained load fails the
+// run even if every request succeeded.
 //
 // Exit status: 0 when every request succeeded (2xx), 1 otherwise.
 package main
@@ -117,6 +127,8 @@ func main() {
 		distributed = flag.Bool("distributed", false, "mark solve requests distributed and spawn a worker fleet")
 		distWorkers = flag.Int("dist-workers", 2, "worker processes to spawn with -distributed")
 		churn       = flag.Duration("churn", 0, "with -distributed: drain and replace one worker at this interval")
+		dedup       = flag.Bool("dedup", false, "request duplicate detection on solves and assert the table budget via /metrics")
+		dedupBudget = flag.Int64("dedup-budget", 0, "per-table byte budget for -dedup (0 = server default)")
 		quiet       = flag.Bool("quiet", false, "suppress the per-run header")
 	)
 	flag.Parse()
@@ -136,6 +148,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbload: -churn requires -distributed with -dist-workers >= 1")
 		os.Exit(2)
 	}
+	if *dedup && *endpoint != "solve" && *endpoint != "mix" {
+		fmt.Fprintln(os.Stderr, "bbload: -dedup applies only to -endpoint solve or mix")
+		os.Exit(2)
+	}
+	if *dedupBudget != 0 && !*dedup {
+		fmt.Fprintln(os.Stderr, "bbload: -dedup-budget requires -dedup")
+		os.Exit(2)
+	}
 
 	urls := splitList(*baseURL)
 	if len(urls) == 0 {
@@ -152,7 +172,7 @@ func main() {
 		tenants[i] = t.Name
 	}
 
-	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed)
+	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed, *dedup, *dedupBudget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
 		os.Exit(2)
@@ -198,9 +218,57 @@ func main() {
 		fleet.stop()
 	}
 	rep.print(os.Stdout)
-	if rep.failed() {
+	failed := rep.failed()
+	if *dedup && !assertDedupBudget(urls, *quiet) {
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// assertDedupBudget reads every replica's /metrics transpose block after a
+// -dedup run and checks the memory bound: the high-water bytes-in-use of
+// any table must stay within the configured hard budget. Returns false
+// (failing the run) on a violation, an unreachable replica, or a replica
+// that never ran a dedup solve.
+func assertDedupBudget(urls []string, quiet bool) bool {
+	client := &http.Client{Timeout: 5 * time.Second}
+	ok := true
+	for _, u := range urls {
+		resp, err := client.Get(u + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbload: dedup assertion: %s: %v\n", u, err)
+			ok = false
+			continue
+		}
+		var ms server.MetricsSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&ms)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbload: dedup assertion: %s: decode /metrics: %v\n", u, err)
+			ok = false
+			continue
+		}
+		tp := ms.Transpose
+		if tp == nil || tp.Solves == 0 {
+			fmt.Fprintf(os.Stderr, "bbload: dedup assertion: %s: no dedup solves recorded in /metrics\n", u)
+			ok = false
+			continue
+		}
+		if tp.BytesHighWater > tp.TableBudget {
+			fmt.Fprintf(os.Stderr, "bbload: dedup assertion FAILED: %s: table high-water %d bytes > budget %d\n",
+				u, tp.BytesHighWater, tp.TableBudget)
+			ok = false
+			continue
+		}
+		if !quiet {
+			fmt.Printf("bbload: dedup assertion: %s: %d dedup solves, %d pruned, table high-water %d/%d bytes\n",
+				u, tp.Solves, tp.DedupPruned, tp.BytesHighWater, tp.TableBudget)
+		}
+	}
+	return ok
 }
 
 // workerFleet manages the re-exec'd worker processes of a -distributed
@@ -329,7 +397,7 @@ type request struct {
 
 // buildRequests prepares the replay pool: one request per generated
 // instance (cycling endpoints when endpoint is "mix").
-func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64, distributed bool) ([]request, error) {
+func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64, distributed, dedup bool, dedupBudget int64) ([]request, error) {
 	endpoints := []string{endpoint}
 	if endpoint == "mix" {
 		endpoints = []string{"solve", "anytime", "list", "analyze", "recover"}
@@ -350,7 +418,10 @@ func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int6
 		)
 		switch ep {
 		case "solve":
-			payload = server.SolveRequest{GraphRequest: gr, BudgetMS: budgetMS, Distributed: distributed}
+			payload = server.SolveRequest{
+				GraphRequest: gr, BudgetMS: budgetMS, Distributed: distributed,
+				Dedup: dedup, DedupBudget: dedupBudget,
+			}
 		case "anytime":
 			payload = server.AnytimeRequest{GraphRequest: gr, BudgetMS: budgetMS, Seed: seed}
 		case "list":

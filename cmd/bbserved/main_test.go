@@ -151,17 +151,17 @@ func TestDaemonLifecycle(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	// Read stdout to EOF before reaping: cmd.Wait closes the pipe and
+	// would race the scanner goroutine out of the final shutdown lines.
+	var tail string
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("bbserved exited non-zero: %v", err)
-		}
+	case tail = <-rest:
 	case <-time.After(30 * time.Second):
 		t.Fatalf("bbserved did not exit after SIGTERM")
 	}
-	tail := <-rest
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("bbserved exited non-zero: %v", err)
+	}
 	if !strings.Contains(tail, "draining") {
 		t.Errorf("shutdown output lacks drain announcement:\n%s", tail)
 	}

@@ -138,6 +138,10 @@ func TestLayeringGridFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/grid", "repro/internal/grid", false)
 }
 
+func TestLayeringTransposeFixture(t *testing.T) {
+	runFixture(t, LayeringAnalyzer, "testdata/layering/transpose", "repro/internal/transpose", false)
+}
+
 func TestLayeringUnknownPackageFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/unknown", "repro/internal/mystery", false)
 }

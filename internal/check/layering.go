@@ -40,11 +40,16 @@ var layerAllowed = map[string][]string{
 	// so it sits at the bottom.
 	// internal/peer is the shared JSON/HTTP + membership substrate of the
 	// replicated subsystems (dist, grid) — stdlib only, policy-free.
+	// internal/transpose is the sharded, memory-bounded transposition
+	// table behind duplicate detection — pure data structure (stdlib
+	// sync only), keyed by opaque 128-bit signatures, so it sits at the
+	// bottom beneath the search layers that probe it.
 	"internal/taskgraph": {},
 	"internal/stats":     {},
 	"internal/check":     {},
 	"internal/journal":   {},
 	"internal/peer":      {},
+	"internal/transpose": {},
 
 	// Layer 1: directly above the task model.
 	"internal/platform":   {"internal/taskgraph"},
@@ -69,7 +74,7 @@ var layerAllowed = map[string][]string{
 
 	// Layer 4: the branch-and-bound engine. Deliberately excludes
 	// internal/gen, internal/exp, internal/report and the other solvers.
-	"internal/core": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph"},
+	"internal/core": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph", "internal/transpose"},
 
 	// Layer 5: harnesses over the engine. internal/dist — the distributed
 	// fabric — may use the engine and substrate but never the experiment
@@ -78,7 +83,7 @@ var layerAllowed = map[string][]string{
 	// on the wire.
 	"internal/dist": {
 		"internal/core", "internal/journal", "internal/peer", "internal/platform",
-		"internal/sched", "internal/taskgraph",
+		"internal/sched", "internal/taskgraph", "internal/transpose",
 	},
 
 	// internal/grid is the multi-tenant serving fabric: consistent-hash

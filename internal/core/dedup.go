@@ -1,0 +1,33 @@
+package core
+
+import (
+	"repro/internal/transpose"
+)
+
+// dedupTable resolves the transposition table for a run with Params.Dedup:
+// the externally supplied one, or a private table sized by DedupBudget.
+// Returns nil when dedup is off.
+func dedupTable(p Params) *transpose.Table {
+	if !p.Dedup {
+		return nil
+	}
+	if p.DedupTable != nil {
+		return p.DedupTable
+	}
+	return transpose.New(p.DedupBudget)
+}
+
+// fillTableStats copies the table gauges into the run's Stats. For shared
+// tables the numbers are cumulative across all users of the table (see the
+// Stats field docs).
+func fillTableStats(stats *Stats, tt *transpose.Table) {
+	if tt == nil {
+		return
+	}
+	s := tt.Snapshot()
+	stats.TableHits = s.Hits
+	stats.TableEvictions = s.Evictions
+	stats.TableStale = s.Stale
+	stats.TableBytesInUse = s.BytesInUse
+	stats.TableBudget = s.Budget
+}

@@ -1,0 +1,11 @@
+//go:build bbdebug
+
+package core
+
+// dedupHeavyBuild reports that sched's O(n)-per-mutation invariant
+// assertions are compiled in. scripts/check.sh runs this package with
+// -race -tags bbdebug, which multiplies every Place/Undo by roughly two
+// orders of magnitude; the dedup soundness tests shrink their search
+// trees accordingly (see dedupSuiteScale) while asserting the same
+// properties.
+const dedupHeavyBuild = true

@@ -1,0 +1,7 @@
+//go:build !bbdebug
+
+package core
+
+// dedupHeavyBuild is false in normal builds: the dedup tests run their
+// full-size wide workloads.
+const dedupHeavyBuild = false

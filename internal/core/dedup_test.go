@@ -1,0 +1,253 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deadline"
+	"repro/internal/gen"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+	"repro/internal/transpose"
+)
+
+// wideWorkloads returns deadline-assigned graphs biased toward width (a low
+// depth for the task count), the regime where the plain search re-expands
+// permutations of the same partial schedule and dedup pays off most.
+func wideWorkloads(t testing.TB, count, n int, seed int64) []*taskgraph.Graph {
+	t.Helper()
+	p := gen.Defaults()
+	p.NMin, p.NMax = n, n
+	p.DepthMin, p.DepthMax = 3, 4
+	g := gen.New(p, seed)
+	out := make([]*taskgraph.Graph, count)
+	for i := range out {
+		tg := g.Graph()
+		if err := deadline.Assign(tg, 1.5, deadline.EqualSlack); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tg
+	}
+	return out
+}
+
+// dedupSuiteScale picks workload sizes for the expensive dedup tests.
+// The assertions are size-independent; the instrumented bbdebug+race gate
+// (scripts/check.sh vet) pays ~100× per vertex, so it runs the same
+// checks on smaller trees to stay inside the go-test timeout.
+func dedupSuiteScale() (graphs, n int, ms []int) {
+	if dedupHeavyBuild {
+		return 2, 10, []int{3}
+	}
+	return 3, 11, []int{2, 3}
+}
+
+// TestDedupIdenticalCostAcrossRules is the core soundness statement: for a
+// spread of rule combinations, turning Dedup on must leave the final cost,
+// optimality flags and termination reason untouched while never generating
+// more vertices than the plain search.
+func TestDedupIdenticalCostAcrossRules(t *testing.T) {
+	count, n, ms := dedupSuiteScale()
+	graphs := wideWorkloads(t, count, n, 101)
+	combos := []Params{
+		{}, // paper default: LIFO/BFn/LB1/EDF
+		{Selection: SelectLLB},
+		{Selection: SelectLLB, LLBTie: TieDeepest},
+		{Branching: BranchDF},
+		{Branching: BranchBF1, Bound: BoundLB0},
+		{Bound: BoundLB0, ChildOrder: ChildrenAsGenerated},
+		{BR: 0.1},
+		{UpperBound: UpperBoundFixed, FixedUpperBound: taskgraph.Infinity},
+	}
+	for gi, g := range graphs {
+		for _, m := range ms {
+			plat := platform.New(m)
+			for ci, base := range combos {
+				off := mustSolve(t, g, plat, base)
+				on := base
+				on.Dedup = true
+				res := mustSolve(t, g, plat, on)
+				if res.Cost != off.Cost {
+					t.Fatalf("graph %d m=%d combo %d (%v): dedup cost %d != plain %d",
+						gi, m, ci, base, res.Cost, off.Cost)
+				}
+				if res.Optimal != off.Optimal || res.Guarantee != off.Guarantee {
+					t.Errorf("graph %d m=%d combo %d: flags (%v,%v) != (%v,%v)",
+						gi, m, ci, res.Optimal, res.Guarantee, off.Optimal, off.Guarantee)
+				}
+				if res.Reason != off.Reason {
+					t.Errorf("graph %d m=%d combo %d: reason %v != %v",
+						gi, m, ci, res.Reason, off.Reason)
+				}
+				if res.Stats.Generated > off.Stats.Generated {
+					t.Errorf("graph %d m=%d combo %d: dedup generated %d > plain %d",
+						gi, m, ci, res.Stats.Generated, off.Stats.Generated)
+				}
+				if res.Schedule != nil {
+					if err := res.Schedule.Check(); err != nil {
+						t.Errorf("graph %d m=%d combo %d: invalid schedule: %v", gi, m, ci, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDedupPrunesOnWideInstance pins down that the machinery actually fires:
+// a wide instance on m=3 must record duplicate prunes and a searched-vertex
+// reduction, and the table gauges must be populated and within budget.
+func TestDedupPrunesOnWideInstance(t *testing.T) {
+	g := wideWorkloads(t, 1, 14, 7)[0]
+	plat := platform.New(3)
+	off := mustSolve(t, g, plat, Params{})
+	on := mustSolve(t, g, plat, Params{Dedup: true})
+	if on.Cost != off.Cost {
+		t.Fatalf("dedup cost %d != plain %d", on.Cost, off.Cost)
+	}
+	if on.Stats.DedupPruned == 0 {
+		t.Fatalf("wide instance recorded no duplicate prunes (expanded=%d)", on.Stats.Expanded)
+	}
+	if on.Stats.Expanded >= off.Stats.Expanded {
+		t.Errorf("dedup expanded %d >= plain %d", on.Stats.Expanded, off.Stats.Expanded)
+	}
+	if on.Stats.TableBudget == 0 || on.Stats.TableBytesInUse == 0 {
+		t.Errorf("table gauges not populated: %+v", on.Stats)
+	}
+	if on.Stats.TableBytesInUse > on.Stats.TableBudget {
+		t.Errorf("table over budget: %d > %d", on.Stats.TableBytesInUse, on.Stats.TableBudget)
+	}
+	if off.Stats.DedupPruned != 0 || off.Stats.TableBudget != 0 {
+		t.Errorf("plain run leaked dedup stats: %+v", off.Stats)
+	}
+}
+
+// TestDedupObserverSeesDuplicates checks the event stream: duplicate prunes
+// are reported as EventDuplicate and their count matches Stats.DedupPruned.
+func TestDedupObserverSeesDuplicates(t *testing.T) {
+	g := wideWorkloads(t, 1, 12, 13)[0]
+	plat := platform.New(3)
+	var dups int64
+	p := Params{Dedup: true, Observer: func(e Event) {
+		if e.Kind == EventDuplicate {
+			dups++
+		}
+	}}
+	res := mustSolve(t, g, plat, p)
+	if dups != res.Stats.DedupPruned {
+		t.Fatalf("observer saw %d duplicates, stats say %d", dups, res.Stats.DedupPruned)
+	}
+	if dups == 0 {
+		t.Fatal("no duplicate events on a wide instance")
+	}
+}
+
+// TestDedupParallelAndIDAMatchSequential: the concurrent shared-table path
+// and the per-iteration-reset IDA path must both land on the plain
+// sequential optimum.
+func TestDedupParallelAndIDAMatchSequential(t *testing.T) {
+	count, n, _ := dedupSuiteScale()
+	graphs := wideWorkloads(t, count, n, 23)
+	for gi, g := range graphs {
+		plat := platform.New(3)
+		want := mustSolve(t, g, plat, Params{}).Cost
+
+		par, err := SolveParallel(g, plat, ParallelParams{
+			Params: Params{Dedup: true}, Workers: 4,
+		})
+		if err != nil {
+			t.Fatalf("graph %d: parallel: %v", gi, err)
+		}
+		if par.Cost != want {
+			t.Fatalf("graph %d: parallel dedup cost %d != %d", gi, par.Cost, want)
+		}
+		if !par.Optimal {
+			t.Errorf("graph %d: parallel dedup not optimal", gi)
+		}
+
+		ida, err := SolveIDA(g, plat, Params{Dedup: true})
+		if err != nil {
+			t.Fatalf("graph %d: IDA: %v", gi, err)
+		}
+		if ida.Cost != want {
+			t.Fatalf("graph %d: IDA dedup cost %d != %d", gi, ida.Cost, want)
+		}
+		if !ida.Optimal {
+			t.Errorf("graph %d: IDA dedup not optimal", gi)
+		}
+	}
+}
+
+// TestDedupSharedExternalTable: a second run over a warm table must carry
+// the first run's incumbent (DedupTable's soundness contract) — that is the
+// distributed fleet's slice-to-slice reuse, where the global incumbent
+// exchange plays the seeding role. The warm run still lands on the optimum
+// and actually hits the table.
+func TestDedupSharedExternalTable(t *testing.T) {
+	n := 12
+	if dedupHeavyBuild {
+		n = 10
+	}
+	g := wideWorkloads(t, 1, n, 31)[0]
+	plat := platform.New(3)
+	want := mustSolve(t, g, plat, Params{}).Cost
+	tt := transpose.New(1 << 20)
+	first := mustSolve(t, g, plat, Params{Dedup: true, DedupTable: tt})
+	if first.Cost != want {
+		t.Fatalf("cold shared-table cost %d != %d", first.Cost, want)
+	}
+	warm := mustSolve(t, g, plat, Params{
+		Dedup: true, DedupTable: tt,
+		UpperBound: UpperBoundSeeded, SeedSchedule: first.Schedule,
+	})
+	if warm.Cost != want {
+		t.Fatalf("warm shared-table cost %d != %d", warm.Cost, want)
+	}
+	if s := tt.Snapshot(); s.Hits == 0 {
+		t.Error("second run over a warm shared table recorded no hits")
+	}
+}
+
+// TestDedupTinyBudgetStaysCorrect: a table at the minimum size thrashes with
+// evictions yet must never change the answer (a miss only costs re-search).
+func TestDedupTinyBudgetStaysCorrect(t *testing.T) {
+	n := 13
+	if dedupHeavyBuild {
+		n = 11
+	}
+	g := wideWorkloads(t, 1, n, 41)[0]
+	plat := platform.New(3)
+	want := mustSolve(t, g, plat, Params{}).Cost
+	res := mustSolve(t, g, plat, Params{Dedup: true, DedupBudget: transpose.MinBudget})
+	if res.Cost != want {
+		t.Fatalf("tiny-budget cost %d != %d", res.Cost, want)
+	}
+	if res.Stats.TableBytesInUse > res.Stats.TableBudget {
+		t.Errorf("tiny table over budget: %d > %d",
+			res.Stats.TableBytesInUse, res.Stats.TableBudget)
+	}
+}
+
+// TestDedupValidation covers the parameter-combination rejections.
+func TestDedupValidation(t *testing.T) {
+	g := wideWorkloads(t, 1, 10, 47)[0]
+	plat := platform.New(2)
+	cases := []struct {
+		name string
+		p    Params
+		want string
+	}{
+		{"negative budget", Params{Dedup: true, DedupBudget: -1}, "negative dedup budget"},
+		{"budget without dedup", Params{DedupBudget: 1 << 20}, "without Dedup"},
+		{"table without dedup", Params{DedupTable: transpose.New(0)}, "without Dedup"},
+	}
+	for _, c := range cases {
+		if _, err := Solve(g, plat, c.p); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want %q", c.name, err, c.want)
+		}
+	}
+	// IDA additionally refuses an external table: it resets per iteration.
+	_, err := SolveIDA(g, plat, Params{Dedup: true, DedupTable: transpose.New(0)})
+	if err == nil || !strings.Contains(err.Error(), "private dedup table") {
+		t.Errorf("IDA with DedupTable: got %v", err)
+	}
+}

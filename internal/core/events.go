@@ -29,6 +29,10 @@ const (
 	// EventDrop: a vertex was discarded by a resource bound
 	// (MAXSZAS/MAXSZDB).
 	EventDrop
+	// EventDuplicate: a child vertex was discarded by duplicate detection
+	// (Params.Dedup): a previously expanded state with the same canonical
+	// signature subsumes it.
+	EventDuplicate
 )
 
 func (k EventKind) String() string {
@@ -47,6 +51,8 @@ func (k EventKind) String() string {
 		return "incumbent"
 	case EventDrop:
 		return "drop"
+	case EventDuplicate:
+		return "duplicate"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

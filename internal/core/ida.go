@@ -8,6 +8,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // SolveIDA is a third exact search regime beside LIFO and LLB: cost-bounded
@@ -62,12 +63,23 @@ func SolveIDA(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, err
 	if p.Prefix != nil || p.Link != nil {
 		return Result{}, fmt.Errorf("core: iterative deepening does not support Prefix or Link")
 	}
+	if p.DedupTable != nil {
+		return Result{}, fmt.Errorf("core: iterative deepening manages a private dedup table (it is reset per threshold iteration); DedupTable is not supported")
+	}
 
 	s := &idaSolver{
 		g: g, plat: plat, p: p,
 		st:  sched.NewState(g, plat),
 		bnd: newBounder(g, p.Bound),
 		br:  newBrancher(g, p.Branching),
+	}
+	if p.Dedup {
+		// Dedup trades the headline O(n) memory guarantee for a
+		// memory-BOUNDED table: duplicates are pruned within one threshold
+		// iteration. The table resets between iterations — every state
+		// must be re-expandable under the next, looser threshold.
+		s.tt = dedupTable(p)
+		s.st.EnableSignature()
 	}
 	switch p.UpperBound {
 	case UpperBoundEDF:
@@ -94,6 +106,7 @@ func SolveIDA(g *taskgraph.Graph, plat platform.Platform, p Params) (Result, err
 		s.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	s.run()
+	fillTableStats(&s.stats, s.tt)
 	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 	return s.result()
 }
@@ -106,6 +119,7 @@ type idaSolver struct {
 	st  *sched.State
 	bnd *bounder
 	br  *brancher
+	tt  *transpose.Table // duplicate detection within one threshold iteration
 
 	incCost taskgraph.Time
 	incSeq  []sched.Placement
@@ -151,6 +165,12 @@ func (s *idaSolver) run() {
 	for {
 		if s.threshold >= s.pruneLimit() {
 			return // the incumbent is within allowance of every completion
+		}
+		if s.tt != nil {
+			// Entries are only valid within one threshold iteration: a
+			// state pruned as a duplicate last iteration must be
+			// re-expandable now that the threshold grew.
+			s.tt.Reset()
 		}
 		s.nextThr = taskgraph.Infinity
 		s.stats.Expanded++ // the root probe
@@ -219,12 +239,22 @@ func (s *idaSolver) probe() bool {
 			case lb >= s.pruneLimit():
 				s.stats.PrunedChildren++
 			case lb > s.threshold:
-				// Deferred to the next iteration.
+				// Deferred to the next iteration. Never dedup-pruned: the
+				// nextThr bookkeeping must see exactly what the reference
+				// search would defer.
 				s.stats.PrunedChildren++
 				if lb < s.nextThr {
 					s.nextThr = lb
 				}
 			default:
+				if s.tt != nil {
+					slo, shi := s.st.Signature()
+					if s.tt.Probe(slo, shi, int32(s.st.NumPlaced()), int64(lb)) {
+						s.stats.DedupPruned++
+						s.st.Undo()
+						continue
+					}
+				}
 				kids = append(kids, idaChild{id: id, q: platform.Proc(q), lb: lb})
 			}
 			s.st.Undo()
@@ -245,6 +275,10 @@ func (s *idaSolver) probe() bool {
 			continue
 		}
 		s.st.Place(k.id, k.q)
+		if s.tt != nil {
+			slo, shi := s.st.Signature()
+			s.tt.Store(slo, shi, int32(s.st.NumPlaced()), int64(k.lb))
+		}
 		s.stats.Expanded++
 		timedOut := s.probe()
 		s.st.Undo()

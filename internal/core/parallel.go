@@ -13,6 +13,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // ParallelParams configures SolveParallel. The embedded Params keep their
@@ -93,6 +94,13 @@ func SolveParallelContext(ctx context.Context, g *taskgraph.Graph, plat platform
 	}
 
 	ps := &parSolver{g: g, plat: plat, p: p, ctx: ctx, workers: workers}
+	if p.Dedup {
+		// One table shared by every worker: the striped locks keep probe
+		// and store contention per-bucket, and a duplicate pruned by any
+		// worker cites a state some worker has already committed to
+		// exploring fully.
+		ps.tt = dedupTable(p)
+	}
 	switch p.UpperBound {
 	case UpperBoundEDF:
 		cost, schedule, err := edf.UpperBound(g, plat)
@@ -120,6 +128,7 @@ func SolveParallelContext(ctx context.Context, g *taskgraph.Graph, plat platform
 		ps.deadline = start.Add(p.Resources.TimeLimit)
 	}
 	err := ps.run()
+	fillTableStats(&ps.stats, ps.tt)
 	ps.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 	if err != nil {
 		// Salvage the incumbent: the search machinery failed, but every
@@ -148,6 +157,8 @@ type parSolver struct {
 	incSeq  []sched.Placement
 	edfInc  *sched.Schedule
 
+	tt *transpose.Table // shared duplicate-detection table; nil when off
+
 	pool     []*vertex
 	poolMu   sync.Mutex
 	poolCond *sync.Cond
@@ -163,6 +174,7 @@ type parSolver struct {
 	expanded  atomic.Int64
 	goals     atomic.Int64
 	prunedCh  atomic.Int64
+	dupPruned atomic.Int64
 	updates   atomic.Int64
 }
 
@@ -270,13 +282,17 @@ type parWorker struct {
 // without an atomic counter on the hot path. Each worker would need to
 // generate 2^48 vertices to collide.
 func newParWorker(ps *parSolver, idx int) *parWorker {
-	return &parWorker{
+	w := &parWorker{
 		ps:  ps,
 		st:  sched.NewState(ps.g, ps.plat),
 		bnd: newBounder(ps.g, ps.p.Bound),
 		br:  newBrancher(ps.g, ps.p.Branching),
 		seq: uint64(idx) << 48,
 	}
+	if ps.tt != nil {
+		w.st.EnableSignature()
+	}
+	return w
 }
 
 // emit reports an event to a (necessarily concurrency-safe) observer. The
@@ -323,6 +339,14 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 		w.chainBuf = materialize(w.st, v, w.chainBuf)
 	}
 	ps.expanded.Add(1)
+	if ps.tt != nil {
+		// Store on expansion (see the sequential solver): a concurrent
+		// duplicate pruned against this entry relies on this worker's
+		// dive — and everything it donates — being fully processed, which
+		// termination guarantees whenever the run ends TermExhausted.
+		lo, hi := w.st.Signature()
+		ps.tt.Store(lo, hi, v.level, int64(v.lb))
+	}
 	var parentSeq uint64
 	if v.parent != nil {
 		parentSeq = v.parent.seq
@@ -361,6 +385,15 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 				ps.emit(EventPrune, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 				w.st.Undo()
 				continue
+			}
+			if ps.tt != nil {
+				slo, shi := w.st.Signature()
+				if ps.tt.Probe(slo, shi, v.level+1, int64(lb)) {
+					ps.dupPruned.Add(1)
+					ps.emit(EventDuplicate, w.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+					w.st.Undo()
+					continue
+				}
 			}
 			var k *vertex
 			if ref {
@@ -516,6 +549,7 @@ func (ps *parSolver) result() (Result, error) {
 	ps.stats.Expanded = ps.expanded.Load()
 	ps.stats.Goals = ps.goals.Load()
 	ps.stats.PrunedChildren = ps.prunedCh.Load()
+	ps.stats.DedupPruned = ps.dupPruned.Load()
 	ps.stats.IncumbentUpdates = int(ps.updates.Load())
 	ps.stats.TimedOut = ps.timedOut.Load()
 

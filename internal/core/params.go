@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // SelectionRule is the vertex selection rule S: which active vertex the
@@ -317,6 +318,40 @@ type Params struct {
 	// it is provided as an extension and defaults off.
 	Dominance bool
 
+	// Dedup enables duplicate detection: the search maintains an
+	// incremental 128-bit canonical signature of the partial schedule
+	// (processor-permutation-invariant; see internal/sched) and a
+	// memory-bounded transposition table (internal/transpose). Every
+	// expanded vertex stores its signature; a generated child whose
+	// signature, depth, and an equal-or-better stored bound match a table
+	// entry is pruned as a duplicate (Stats.DedupPruned, EventDuplicate).
+	// The search tree the paper describes re-expands states once per
+	// arrival order, so wide instances see order-of-magnitude
+	// searched-vertex reductions with an identical final cost. Off (the
+	// default) the kernel is event-identical to a run without the knob.
+	Dedup bool
+
+	// DedupBudget caps the transposition table's memory in bytes; 0 picks
+	// transpose.DefaultBudget (64 MiB). The table never allocates past the
+	// budget: beyond it, replacement (depth-preferred) evicts.
+	DedupBudget int64
+
+	// DedupTable, when non-nil, supplies the transposition table instead
+	// of a private one — the distributed fleet shares one table across the
+	// slices a worker solves, and callers may pre-seed a table with peer
+	// digests. Requires Dedup; DedupBudget is ignored (the table owns its
+	// budget). Rejected by SolveIDA, which must reset its table between
+	// threshold iterations and therefore always builds a private one.
+	//
+	// Soundness contract for a table that is warm from an earlier run:
+	// pruning a child as a duplicate discards solutions the EARLIER run
+	// explored against the EARLIER run's incumbent. The later run must
+	// therefore start from an upper bound that already accounts for every
+	// solution the earlier run found — seed it (UpperBoundSeeded) with the
+	// earlier result, or share a Link incumbent exchange, as the fleet
+	// does. A warm table with a cold incumbent silently loses solutions.
+	DedupTable *transpose.Table
+
 	// ReferenceKernel selects the naive, obviously-correct hot path — a
 	// full ancestor-chain replay per expansion, a full-graph bound sweep
 	// per generated child, and one heap allocation per surviving child —
@@ -395,6 +430,12 @@ func (p Params) Validate() error {
 	}
 	if p.Resources.TimeLimit < 0 || p.Resources.MaxActiveSet < 0 || p.Resources.MaxChildren < 0 {
 		return fmt.Errorf("core: negative resource bound %+v", p.Resources)
+	}
+	if p.DedupBudget < 0 {
+		return fmt.Errorf("core: negative dedup budget %d", p.DedupBudget)
+	}
+	if !p.Dedup && (p.DedupBudget != 0 || p.DedupTable != nil) {
+		return fmt.Errorf("core: DedupBudget/DedupTable set without Dedup")
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // Stats records the search-effort quantities the paper reports, plus the
@@ -38,6 +39,21 @@ type Stats struct {
 	// DominancePruned counts children eliminated by the optional vertex
 	// domination rule D.
 	DominancePruned int64
+
+	// DedupPruned counts children eliminated by duplicate detection
+	// (Params.Dedup): their canonical state signature matched an already
+	// expanded state with an equal-or-better bound.
+	DedupPruned int64
+
+	// The transposition-table gauges below are a snapshot taken when the
+	// run ends; with a shared table (Params.DedupTable, SolveParallel,
+	// the fleet) they are cumulative across everything the table served,
+	// not per-run. All zero when Dedup is off.
+	TableHits       int64 // probes answered by a subsuming entry
+	TableEvictions  int64 // live entries displaced by replacement
+	TableStale      int64 // dead (epoch-expired) entries touched
+	TableBytesInUse int64 // live entry bytes (≤ TableBudget always)
+	TableBudget     int64 // configured byte budget
 
 	// Dropped counts vertices lost to the resource bounds MAXSZAS/MAXSZDB.
 	// A nonzero value voids the optimality proof.
@@ -104,6 +120,7 @@ type solver struct {
 	br  *brancher
 	as  activeSet
 	dom *domTable
+	tt  *transpose.Table // duplicate detection (Params.Dedup); nil when off
 
 	incCost  taskgraph.Time
 	incSeq   []sched.Placement // nil ⇒ incumbent is the EDF seed (or nothing)
@@ -179,6 +196,10 @@ func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platfor
 	if p.Dominance {
 		s.dom = newDomTable(g.NumTasks())
 	}
+	if p.Dedup {
+		s.tt = dedupTable(p)
+		s.st.EnableSignature()
+	}
 
 	// Step 1–2: initialize the incumbent ("best vertex") with the
 	// upper-bound solution cost U.
@@ -208,6 +229,7 @@ func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platfor
 	}
 	s.runRecovering()
 	s.arena.release() // the search tree is dead; drop its slabs wholesale
+	fillTableStats(&s.stats, s.tt)
 	s.stats.Elapsed = time.Since(start) //bbvet:ignore nondet (reporting only)
 
 	res, err := s.result()
@@ -335,6 +357,14 @@ func (s *solver) run() {
 			s.chainBuf = materialize(s.st, v, s.chainBuf)
 		}
 		s.stats.Expanded++
+		if s.tt != nil {
+			// Store on expansion: from here on, this state's subtree is
+			// fully accounted for (explored, pruned against the incumbent
+			// allowance, or — with resource drops — flagged lossy), so any
+			// later arrival at the same canonical state is redundant.
+			lo, hi := s.st.Signature()
+			s.tt.Store(lo, hi, v.level, int64(v.lb))
+		}
 		var parentSeq uint64
 		if v.parent != nil {
 			parentSeq = v.parent.seq
@@ -386,6 +416,15 @@ func (s *solver) run() {
 					s.emit(EventDominated, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
 					s.st.Undo()
 					continue
+				}
+				if s.tt != nil {
+					slo, shi := s.st.Signature()
+					if s.tt.Probe(slo, shi, v.level+1, int64(lb)) {
+						s.stats.DedupPruned++
+						s.emit(EventDuplicate, s.seq, v.seq, id, platform.Proc(q), v.level+1, lb)
+						s.st.Undo()
+						continue
+					}
 				}
 				var k *vertex
 				if ref {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/platform"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // pinnedInstance reproduces the fuzzcheck kernel campaign's instance
@@ -258,5 +259,53 @@ func TestSpecRoundTrip(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDistributedDedupMatchesSequential: the fleet with Dedup on must land
+// on the plain sequential cost at every worker count, report duplicate
+// prunes and table gauges within budget, and — with more than one worker —
+// actually move signature digests through the coordinator log.
+func TestDistributedDedupMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		fleet := startFabric(t, testConfig(), workers)
+		for i := 0; i < 4; i++ {
+			seed := 6100 + int64(i)
+			g, plat := pinnedInstance(t, seed)
+			seq, err := core.Solve(g, plat, core.Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			res, err := fleet.Solve(ctx, g, plat, core.Params{Dedup: true, DedupBudget: 1 << 20})
+			cancel()
+			if err != nil {
+				t.Fatalf("workers=%d seed=%d: %v", workers, seed, err)
+			}
+			if res.Cost != seq.Cost || res.Optimal != seq.Optimal {
+				t.Fatalf("workers=%d seed=%d: dist dedup (cost=%d opt=%v) != seq (cost=%d opt=%v)",
+					workers, seed, res.Cost, res.Optimal, seq.Cost, seq.Optimal)
+			}
+			if res.Stats.TableBytesInUse > res.Stats.TableBudget {
+				t.Errorf("workers=%d seed=%d: table over budget: %d > %d",
+					workers, seed, res.Stats.TableBytesInUse, res.Stats.TableBudget)
+			}
+		}
+		snap := fleet.Snapshot()
+		if workers > 1 && snap.DigestEntries == 0 {
+			t.Errorf("workers=%d: no digest entries reached the coordinator log", workers)
+		}
+	}
+}
+
+// TestRejectsExternalDedupTable: the workers own their tables; a caller
+// supplying one is a layering mistake the coordinator must refuse.
+func TestRejectsExternalDedupTable(t *testing.T) {
+	g := taskgraph.Diamond()
+	plat := platform.New(2)
+	fleet := NewFleet(Config{})
+	p := core.Params{Dedup: true, DedupTable: transpose.New(0)}
+	if _, err := fleet.Solve(context.Background(), g, plat, p); err == nil {
+		t.Fatal("expected rejection of an external DedupTable")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgraph"
+	"repro/internal/transpose"
 )
 
 // WorkerConfig tunes one worker process.
@@ -64,6 +65,18 @@ type Worker struct {
 	params  core.Params
 	budget  time.Duration
 
+	// Dedup state, present only when the solve's params carry Dedup: one
+	// transposition table per solve shared across this worker's slices
+	// (created fresh in adoptLease — signatures are solve-specific), the
+	// last cumulative table snapshot (reports carry per-slice deltas), a
+	// digest scratch buffer, and the digest-log cursor. The cursor is
+	// atomic because the heartbeat goroutine imports digests while the
+	// main goroutine reports.
+	tt         *transpose.Table
+	ttPrev     transpose.Stats
+	digestBuf  []transpose.Entry
+	digestSeen atomic.Uint64
+
 	// best mirrors the globally best incumbent cost; refreshed by every
 	// coordinator response and lowered by local improvements. The solver
 	// polls it through the IncumbentLink.
@@ -75,6 +88,28 @@ type Worker struct {
 
 	// SlicesSolved counts completed slice solves (test/diagnostic hook).
 	SlicesSolved atomic.Int64
+}
+
+// digestCollectCap bounds how many fresh table entries one slice solve
+// buffers for the digest exchange; overflow is counted, not shipped.
+const digestCollectCap = 2048
+
+// importDigest folds a digest-log tail from a coordinator response into
+// the local table and advances the cursor. Safe from any goroutine: the
+// table takes stripe locks and the cursor is atomic.
+func (w *Worker) importDigest(entries []WireDigestEntry, version uint64) {
+	if w.tt == nil {
+		return
+	}
+	if len(entries) > 0 {
+		w.tt.Import(digestEntries(entries))
+	}
+	for {
+		cur := w.digestSeen.Load()
+		if version <= cur || w.digestSeen.CompareAndSwap(cur, version) {
+			return
+		}
+	}
 }
 
 // NewWorker returns an unconnected worker.
@@ -242,6 +277,12 @@ func (w *Worker) adoptLease(lease *LeaseResponse) error {
 	}
 	w.solveID, w.g, w.plat, w.params = lease.SolveID, g, plat, p
 	w.budget = time.Duration(lease.SliceBudgetMS) * time.Millisecond
+	w.tt, w.ttPrev = nil, transpose.Stats{}
+	w.digestSeen.Store(0)
+	if p.Dedup {
+		w.tt = transpose.New(p.DedupBudget)
+		w.tt.SetCollect(digestCollectCap)
+	}
 	w.logf("dist: solve %d: %d tasks on %d procs, params %v", lease.SolveID, g.NumTasks(), lease.Procs, p)
 	return nil
 }
@@ -286,9 +327,11 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 				if req == nil {
 					continue
 				}
+				req.DigestSeen = w.digestSeen.Load()
 				var resp IncumbentResponse
 				if err := w.post(slCtx, "/dist/v1/incumbent", req, &resp); err == nil {
 					w.lowerBest(resp.Incumbent)
+					w.importDigest(resp.Digest, resp.DigestVersion)
 				}
 			}
 		}
@@ -303,7 +346,9 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 				return
 			case <-tick.C:
 				var resp HeartbeatResponse
-				err := w.post(slCtx, "/dist/v1/heartbeat", HeartbeatRequest{WorkerID: w.id, SolveID: w.solveID}, &resp)
+				err := w.post(slCtx, "/dist/v1/heartbeat", HeartbeatRequest{
+					WorkerID: w.id, SolveID: w.solveID, DigestSeen: w.digestSeen.Load(),
+				}, &resp)
 				if err != nil {
 					continue
 				}
@@ -314,7 +359,11 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 					cancel()
 					return
 				}
+				// Incumbent first, digest second: a digest entry may only
+				// prune once the solutions its subtree held are reflected in
+				// the bound we prune against.
 				w.lowerBest(resp.Incumbent)
+				w.importDigest(resp.Digest, resp.DigestVersion)
 			}
 		}
 	}()
@@ -324,6 +373,9 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 	p.UpperBound = core.UpperBoundFixed
 	p.FixedUpperBound = taskgraph.Time(w.best.Load())
 	p.Resources.TimeLimit = w.budget
+	if w.tt != nil {
+		p.DedupTable = w.tt // per-solve table, warm across this worker's slices
+	}
 	p.Link = &core.IncumbentLink{
 		Best: func() taskgraph.Time { return taskgraph.Time(w.best.Load()) },
 		Publish: func(cost taskgraph.Time, pls []sched.Placement) {
@@ -361,6 +413,25 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 			report.Placements = lastSeq
 		}
 	}
+	if w.tt != nil {
+		report.DigestSeen = w.digestSeen.Load()
+		w.digestBuf = w.tt.DrainCollected(w.digestBuf[:0])
+		if report.Exhausted {
+			report.Digest = wireDigest(w.digestBuf)
+		}
+		cur := w.tt.Snapshot()
+		report.Stats.TableHits = cur.Hits - w.ttPrev.Hits
+		report.Stats.TableEvictions = cur.Evictions - w.ttPrev.Evictions
+		report.Stats.TableStale = cur.Stale - w.ttPrev.Stale
+		report.Stats.TableBytes = cur.BytesInUse
+		w.ttPrev = cur
+		if !report.Exhausted {
+			// An aborted slice stored signatures whose subtrees nobody
+			// finished exploring: they must neither be shared (Digest stays
+			// empty above) nor survive locally to prune a later slice.
+			w.tt.Reset()
+		}
+	}
 	var resp ReportResponse
 	if err := w.post(ctx, "/dist/v1/report", report, &resp); err != nil {
 		w.logf("dist: report for slice %d failed: %v", sl.ID, err)
@@ -370,6 +441,7 @@ func (w *Worker) solveSlice(ctx context.Context, sl WireSlice) bool {
 		w.draining.Store(true)
 	}
 	w.lowerBest(resp.Incumbent)
+	w.importDigest(resp.Digest, resp.DigestVersion)
 	return resp.Abandon
 }
 

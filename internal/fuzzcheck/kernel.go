@@ -86,7 +86,9 @@ func RunKernel(cfg KernelConfig) (Result, error) {
 			return res, fmt.Errorf("fuzzcheck: kernel seed %d: %w", seed, err)
 		}
 		res.Checked += checked
-		res.Skipped += len(kernelCombos) + 1 - checked
+		// Each combo can contribute a trajectory pair and a dedup pair;
+		// IDA contributes one of each.
+		res.Skipped += 2*len(kernelCombos) + 2 - checked
 		if cfg.Logf != nil {
 			cfg.Logf("fuzzcheck: kernel seed %d done (%d checked, %d skipped)", seed, res.Checked, res.Skipped)
 		}
@@ -140,6 +142,27 @@ func checkKernelInstance(cfg KernelConfig, seed int64) (int, error) {
 			return checked, fmt.Errorf("%s: %w", combo.name, err)
 		}
 		checked++
+
+		// Dedup leg: duplicate pruning reshapes the vertex counts but must
+		// never touch the outcome — identical cost, flags, and termination
+		// reason against the reference kernel. Resource-loss pairs are
+		// skipped: WHICH vertices overflow MAXSZAS/MAXSZDB depends on
+		// exploration order, so a dropped-vertex run is only comparable to
+		// itself.
+		if a.Stats.Dropped == 0 && b.Stats.Dropped == 0 {
+			dd := opt
+			dd.Dedup = true
+			c, err := core.Solve(g, plat, dd)
+			if err != nil {
+				return checked, fmt.Errorf("%s dedup: %w", combo.name, err)
+			}
+			if !c.Stats.TimedOut {
+				if err := dedupOutcomeEqual(c, b); err != nil {
+					return checked, fmt.Errorf("%s dedup: %w", combo.name, err)
+				}
+				checked++
+			}
+		}
 	}
 
 	// The iterative-deepening regime shares the bounder; check it too.
@@ -160,7 +183,36 @@ func checkKernelInstance(cfg KernelConfig, seed int64) (int, error) {
 		}
 		checked++
 	}
+	dd := opt
+	dd.Dedup = true
+	c, err := core.SolveIDA(g, plat, dd)
+	if err != nil {
+		return checked, fmt.Errorf("ida dedup: %w", err)
+	}
+	if !b.Stats.TimedOut && !c.Stats.TimedOut {
+		if err := dedupOutcomeEqual(c, b); err != nil {
+			return checked, fmt.Errorf("ida dedup: %w", err)
+		}
+		checked++
+	}
 	return checked, nil
+}
+
+// dedupOutcomeEqual is the dedup campaign's weaker contract: duplicate
+// pruning legitimately changes Generated/Expanded (that is the whole
+// point), but the outcome — cost, optimality flags, termination reason —
+// must be bit-identical to the reference kernel. The signature's
+// processor-permutation invariance itself is quick-checked in
+// internal/sched (TestSignatureProcessorPermutationInvariant).
+func dedupOutcomeEqual(a, b core.Result) error {
+	if a.Cost != b.Cost {
+		return fmt.Errorf("cost %d != reference %d", a.Cost, b.Cost)
+	}
+	if a.Optimal != b.Optimal || a.Guarantee != b.Guarantee || a.Reason != b.Reason {
+		return fmt.Errorf("outcome (%v,%v,%v) != reference (%v,%v,%v)",
+			a.Optimal, a.Guarantee, a.Reason, b.Optimal, b.Guarantee, b.Reason)
+	}
+	return nil
 }
 
 // kernelResultsEqual demands bit-identical search trajectories: outcome

@@ -116,4 +116,22 @@ func (s *State) checkInvariants() {
 	if s.lmax != want {
 		panic(fmt.Sprintf("sched: bbdebug: lmax=%d, recomputed %d", s.lmax, want))
 	}
+
+	// (g) incremental canonical signature (when enabled): the O(1) updates
+	// must agree with the from-scratch definition.
+	if s.sig.on {
+		lo, hi := s.sig.lo, s.sig.hi
+		gLo := append([]uint64(nil), s.sig.groupLo...)
+		gHi := append([]uint64(nil), s.sig.groupHi...)
+		s.recomputeSignature()
+		if lo != s.sig.lo || hi != s.sig.hi {
+			panic(fmt.Sprintf("sched: bbdebug: incremental signature %016x%016x, recomputed %016x%016x",
+				hi, lo, s.sig.hi, s.sig.lo))
+		}
+		for q := range gLo {
+			if gLo[q] != s.sig.groupLo[q] || gHi[q] != s.sig.groupHi[q] {
+				panic(fmt.Sprintf("sched: bbdebug: incremental group hash drift on p%d", q))
+			}
+		}
+	}
 }

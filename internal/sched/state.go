@@ -45,6 +45,11 @@ type State struct {
 
 	// trail records the information needed to revert each Place.
 	trail []trailEntry
+
+	// sig is the optional incremental canonical signature (signature.go);
+	// sig.on is false until EnableSignature, keeping the default Place/Undo
+	// instruction stream untouched.
+	sig stateSig
 }
 
 type trailEntry struct {
@@ -107,6 +112,9 @@ func (s *State) Reset() {
 	s.lmax = taskgraph.MinTime
 	s.placed = 0
 	s.trail = s.trail[:0]
+	if s.sig.on {
+		s.recomputeSignature()
+	}
 }
 
 // NumPlaced returns the number of placed tasks (the vertex level).
@@ -213,6 +221,9 @@ func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	if lat := finish - s.absDl[id]; lat > s.lmax {
 		s.lmax = lat
 	}
+	if s.sig.on {
+		s.sigPlace(id, q, s.trail[len(s.trail)-1].prevProcFree, finish)
+	}
 	if debugAsserts {
 		s.checkInvariants()
 	}
@@ -224,6 +235,9 @@ func (s *State) Undo() {
 	last := s.trail[len(s.trail)-1]
 	s.trail = s.trail[:len(s.trail)-1]
 
+	if s.sig.on {
+		s.sigUnplace(last.task, last.proc, last.prevProcFree, s.finish[last.task])
+	}
 	s.proc[last.task] = platform.NoProc
 	s.procFree[last.proc] = last.prevProcFree
 	s.lmax = last.prevLmax

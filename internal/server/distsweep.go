@@ -48,16 +48,21 @@ var distSweepCombos = []struct {
 // (paper-default workloads whose sequential search floods an Lmax
 // plateau) are solved by a loopback coordinator/worker fleet swept over
 // 1, 2, 4 and 8 workers, against a single-node core.Solve baseline.
-// Each parameter combo runs twice — a "static" fabric (speculative
-// re-dispatch off) and a "spec" fabric (on) — with one artificial
-// straggler worker per multi-worker fleet, so the pair measures what
-// latency-quantile speculation buys against a slow machine.
+// Each parameter combo runs three times — a "static" fabric (speculative
+// re-dispatch off), a "spec" fabric (on), and a "dedup" fabric (spec plus
+// per-worker transposition tables with digest exchange) — with one
+// artificial straggler worker per multi-worker fleet, so the trio
+// measures what latency-quantile speculation buys against a slow machine
+// and what duplicate detection removes from the distributed search.
 //
 // The figure's columns are re-purposed: Vertices holds the wall-clock
 // speedup (sequential wall / distributed wall, >1 means the fabric wins),
 // Lateness the searched-vertex ratio (distributed expanded / sequential
 // expanded — the redundancy the frontier split pays, or the pruning it
-// gains), MaxAS the Lively-style load-balance signal: the spread between
+// gains; comparing the "dedup" series against "spec" at each worker
+// count reads off the transposition table's reduction directly, since
+// both share the one no-dedup sequential baseline), MaxAS the
+// Lively-style load-balance signal: the spread between
 // the busiest and idlest worker's busy fraction (0 = perfectly balanced,
 // →1 = one worker does everything while others starve). Per-worker slice
 // service-time quantiles and broadcast/speculation counters go to Logf.
@@ -85,9 +90,15 @@ func DistSweep(cfg exp.Config) (exp.Figure, error) {
 	modes := []struct {
 		name     string
 		mitigate bool
+		dedup    bool
 	}{
-		{"static", false},
-		{"spec", true},
+		{"static", false, false},
+		{"spec", true, false},
+		// Dedup keeps speculation on (the production configuration) and
+		// turns on the workers' transposition tables, so its searched-vertex
+		// ratio against the same sequential baseline isolates what duplicate
+		// detection removes from the distributed search.
+		{"dedup", true, true},
 	}
 
 	series := make([]exp.Series, 0, len(distSweepCombos)*len(modes))
@@ -116,12 +127,16 @@ func DistSweep(cfg exp.Config) (exp.Figure, error) {
 
 		for _, mode := range modes {
 			variant := combo.name + " " + mode.name
+			mp := p
+			if mode.dedup {
+				mp.Dedup = true
+			}
 			s := exp.Series{Variant: variant, Points: make([]exp.Point, len(distSweepWorkers))}
 			for j, workers := range distSweepWorkers {
 				pt := &s.Points[j]
 				*pt = exp.Point{Variant: variant, X: float64(workers)}
 				for ii, base := range bases {
-					res, wall, load, err := distSolve(base.g, base.plat, p, workers, mode.mitigate)
+					res, wall, load, err := distSolve(base.g, base.plat, mp, workers, mode.mitigate)
 					if err != nil {
 						return exp.Figure{}, fmt.Errorf("server: dist sweep %s w=%d: %v", variant, workers, err)
 					}
@@ -140,6 +155,11 @@ func DistSweep(cfg exp.Config) (exp.Figure, error) {
 							float64(res.Stats.Expanded)/float64(base.res.Stats.Expanded),
 							load.spread, load.broadcasts, load.speculated, load.redispatched,
 							wall.Round(time.Millisecond))
+						if mode.dedup {
+							cfg.Logf("exp: dist-sweep %s w=%d seed=%d:   dedup pruned %d, table hits %d, bytes high-water %d",
+								variant, workers, distSweepSeeds[ii],
+								res.Stats.DedupPruned, res.Stats.TableHits, res.Stats.TableBytesInUse)
+						}
 						for _, wl := range load.workers {
 							cfg.Logf("exp: dist-sweep %s w=%d seed=%d:   worker %q busy=%.2f service p50=%.1fms p90=%.1fms reports=%d",
 								variant, workers, distSweepSeeds[ii],

@@ -35,8 +35,9 @@ func TestDistSweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DistSweep: %v", err)
 	}
-	// One "static" plus one "spec" (speculation-enabled) series per combo.
-	if fig.ID != "dist-sweep" || len(fig.Series) != 2*len(distSweepCombos) {
+	// One "static", one "spec" (speculation-enabled) and one "dedup"
+	// (speculation + transposition tables) series per combo.
+	if fig.ID != "dist-sweep" || len(fig.Series) != 3*len(distSweepCombos) {
 		t.Fatalf("unexpected figure shape: %+v", fig)
 	}
 	for _, s := range fig.Series {

@@ -143,7 +143,8 @@ type Server struct {
 
 	draining atomic.Bool
 
-	metrics map[string]*endpointMetrics
+	metrics   map[string]*endpointMetrics
+	transpose transposeMetrics
 
 	// solveFn is the exact-solver seam; tests substitute slow or counting
 	// solvers to exercise admission control without real search workloads.
@@ -245,6 +246,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 		SharedWaits:       s.cache.sharedHit.Load(),
 		Tenants:           s.adm.Tenants(),
 		Endpoints:         eps,
+	}
+	if s.transpose.solves.Load() > 0 {
+		ts := s.transpose.snapshot()
+		snap.Transpose = &ts
 	}
 	if s.cfg.Fleet != nil {
 		fs := s.cfg.Fleet.Snapshot()
@@ -482,10 +487,14 @@ func solveKey(cg canonGraph, plat platform.Platform, params core.Params, req Sol
 	if req.Distributed {
 		distKey = 1
 	}
-	return fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d",
+	dedupKey := int64(0)
+	if params.Dedup {
+		dedupKey = 1 + params.DedupBudget // Stats in the answer bytes depend on it
+	}
+	return fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d|dd=%d",
 		cg.key, plat.M,
 		params.Selection, params.Branching, params.Bound, params.BR,
-		req.Workers, budget, distKey)
+		req.Workers, budget, distKey, dedupKey)
 }
 
 // solveClass returns the singleflight body function for one solve
@@ -511,6 +520,7 @@ func (s *Server) solveClass(tenant string, cg canonGraph, plat platform.Platform
 		if err != nil {
 			return nil, err
 		}
+		s.transpose.note(res.Stats)
 		return json.Marshal(solveResponse(res))
 	}
 }

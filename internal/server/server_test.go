@@ -709,3 +709,90 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("CacheEntries=-1 should disable the cache, got %d", d.CacheEntries)
 	}
 }
+
+// TestSolveDedupKnob: the dedup knob changes only the search effort, never
+// the answer; its stats and the /metrics transpose block must surface, and
+// the cache must keep dedup and plain solves on separate keys.
+func TestSolveDedupKnob(t *testing.T) {
+	s := New(Config{Workers: 2, DefaultBudget: 5 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := testGraph(t, 7)
+	plain := solveReq(g, 3, 5000)
+	resp, body := postJSON(t, ts.URL+"/v1/solve", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain solve: %d %s", resp.StatusCode, body)
+	}
+	var pr SolveResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stats.TableBudget != 0 || pr.Stats.DedupPruned != 0 {
+		t.Fatalf("plain solve leaked dedup stats: %+v", pr.Stats)
+	}
+
+	dedup := plain
+	dedup.Dedup = true
+	dedup.DedupBudget = 1 << 20
+	resp, body = postJSON(t, ts.URL+"/v1/solve", dedup)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedup solve: %d %s", resp.StatusCode, body)
+	}
+	var dr SolveResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Lmax != pr.Lmax || dr.Optimal != pr.Optimal || dr.Reason != pr.Reason {
+		t.Fatalf("dedup changed the answer: plain (lmax=%d opt=%v %s) dedup (lmax=%d opt=%v %s)",
+			pr.Lmax, pr.Optimal, pr.Reason, dr.Lmax, dr.Optimal, dr.Reason)
+	}
+	if dr.Stats.TableBudget != 1<<20 {
+		t.Fatalf("dedup stats missing: %+v", dr.Stats)
+	}
+	if dr.Stats.TableBytes > dr.Stats.TableBudget {
+		t.Fatalf("table over budget: %d > %d", dr.Stats.TableBytes, dr.Stats.TableBudget)
+	}
+	if dr.Stats.Generated > pr.Stats.Generated {
+		t.Fatalf("dedup generated more vertices (%d) than plain (%d)",
+			dr.Stats.Generated, pr.Stats.Generated)
+	}
+
+	// The two requests differ only in the dedup knob: distinct cache keys,
+	// so the server ran two solves and neither was a hit.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms MetricsSnapshot
+	err = json.NewDecoder(mresp.Body).Decode(&ms)
+	_ = mresp.Body.Close() //bbvet:ignore errcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Solves != 2 {
+		t.Fatalf("want 2 solver executions (separate cache keys), got %d", ms.Solves)
+	}
+	if ms.Transpose == nil {
+		t.Fatal("metrics: transpose block absent after a dedup solve")
+	}
+	if ms.Transpose.Solves != 1 || ms.Transpose.TableBudget != 1<<20 {
+		t.Fatalf("transpose gauges: %+v", ms.Transpose)
+	}
+	if ms.Transpose.BytesHighWater > ms.Transpose.TableBudget {
+		t.Fatalf("transpose high-water %d exceeds budget %d",
+			ms.Transpose.BytesHighWater, ms.Transpose.TableBudget)
+	}
+
+	// Validation: a budget without the knob, and a negative budget.
+	for _, bad := range []SolveRequest{
+		{GraphRequest: GraphRequest{Graph: g, Procs: 3}, DedupBudget: 1 << 20},
+		{GraphRequest: GraphRequest{Graph: g, Procs: 3}, Dedup: true, DedupBudget: -1},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad dedup request accepted: %d %s", resp.StatusCode, body)
+		}
+	}
+}

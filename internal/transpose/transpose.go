@@ -1,0 +1,326 @@
+// Package transpose implements a sharded, memory-bounded transposition
+// table for duplicate detection in the branch-and-bound search.
+//
+// The paper's algorithm explores a TREE of partial schedules, so one state
+// — reachable by many placement orders and processor relabelings — is
+// re-expanded once per arrival path. Orr & Sinnen (duplicate-free task
+// scheduling state spaces) showed pruning those re-arrivals yields
+// order-of-magnitude searched-vertex reductions; Akram/Maas/Sanders showed
+// the win survives parallel search when the table is sharded and its
+// memory hard-bounded. This package is that table, kept deliberately
+// dependency-free: keys are the 128-bit canonical signatures computed by
+// internal/sched (processor-permutation-invariant), values are the depth
+// and lower bound of the first expansion.
+//
+// Design:
+//
+//   - A power-of-two array of 64-byte buckets (two 32-byte slots each, one
+//     cache line), sized from a hard byte budget at construction. The
+//     allocation never grows, so bytes-in-use ≤ budget holds structurally.
+//   - Striped locks: bucket index → one of 128 stripes, each with its own
+//     mutex and counters, so concurrent workers (SolveParallel) rarely
+//     contend.
+//   - Replacement: slot 0 is depth-preferred — shallower entries (larger
+//     subtrees, more valuable to dedup) displace deeper ones, the loser
+//     falls to slot 1; slot 1 is always-replace. Overwriting a live entry
+//     counts as an eviction.
+//   - Reset is O(#stripes): a global epoch is bumped and entries from old
+//     epochs are treated as absent (counted stale when touched) and
+//     reclaimed lazily. SolveIDA resets between threshold iterations;
+//     fleet workers reset between solves and after non-exhausted slices.
+//
+// Subsumption: Probe reports a hit only for an entry with the same key AND
+// depth whose stored bound is ≤ the probing child's bound. True duplicates
+// have equal bounds (the bound is a function of the state); the depth and
+// bound comparisons are collision guards layered on the 128-bit key, so a
+// hash accident must also match depth and present a not-worse bound before
+// it can prune anything.
+package transpose
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is the exportable form of one table record, used for the fleet's
+// signature-digest exchange (see internal/dist).
+type Entry struct {
+	Lo    uint64
+	Hi    uint64
+	Depth int32
+	LB    int64
+}
+
+// slot is one stored state: 32 bytes, two per cache-line-sized bucket.
+type slot struct {
+	lo    uint64
+	hi    uint64
+	lb    int64
+	depth int32
+	epoch uint32 // 0 = never used; live iff epoch == table epoch
+}
+
+type bucket [2]slot
+
+const (
+	slotBytes   = 32
+	bucketBytes = 64
+	numStripes  = 128
+
+	// MinBudget is the smallest accepted byte budget (64 buckets); New
+	// clamps smaller requests up so the table always holds something.
+	MinBudget = 64 * bucketBytes
+
+	// DefaultBudget is the budget used when a caller passes 0: 64 MiB,
+	// roughly two million states.
+	DefaultBudget = 64 << 20
+)
+
+// stripe is one lock shard with its counters, padded to a cache line so
+// neighbouring stripes do not false-share.
+type stripe struct {
+	mu        sync.Mutex
+	hits      int64
+	misses    int64
+	stores    int64
+	evictions int64
+	stale     int64
+	live      int64 // slots holding a current-epoch entry
+	_         [2]uint64
+}
+
+// Stats is a point-in-time snapshot of the table counters and sizing.
+type Stats struct {
+	Hits      int64 // Probe found a subsuming entry
+	Misses    int64 // Probe found nothing usable
+	Stores    int64 // Store calls (including overwrites)
+	Evictions int64 // live entries displaced by replacement
+	Stale     int64 // old-epoch entries touched (counted once per touch)
+	Dropped   int64 // collected entries discarded because the digest buffer was full
+
+	Buckets    int   // bucket count (power of two)
+	Budget     int64 // configured byte budget
+	BytesCap   int64 // bytes actually allocated for buckets (≤ Budget)
+	BytesInUse int64 // live entries × 32 bytes (≤ BytesCap)
+}
+
+// Table is the sharded transposition table. All methods are safe for
+// concurrent use.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+	budget  int64
+	epoch   uint32 // written under ALL stripe locks, read under any one
+	stripes [numStripes]stripe
+
+	// digest collection (fleet mode): bounded buffer of recent stores.
+	// collectCap is atomic so the store fast path can skip the buffer
+	// lock entirely when collection is off.
+	collectCap     atomic.Int64
+	collectMu      sync.Mutex
+	collect        []Entry
+	collectDropped int64
+}
+
+// New builds a table holding the largest power-of-two bucket count whose
+// allocation fits budgetBytes (0 picks DefaultBudget; smaller than
+// MinBudget is clamped up to it).
+func New(budgetBytes int64) *Table {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	if budgetBytes < MinBudget {
+		budgetBytes = MinBudget
+	}
+	n := 1
+	for int64(n*2)*bucketBytes <= budgetBytes {
+		n *= 2
+	}
+	return &Table{
+		buckets: make([]bucket, n),
+		mask:    uint64(n - 1),
+		budget:  budgetBytes,
+		epoch:   1,
+	}
+}
+
+// Budget returns the configured byte budget.
+func (t *Table) Budget() int64 { return t.budget }
+
+func (t *Table) stripeFor(idx uint64) *stripe {
+	return &t.stripes[idx&(numStripes-1)]
+}
+
+// Probe reports whether a stored entry subsumes the state (same key, same
+// depth, stored bound ≤ lb): the caller may prune the state as a
+// duplicate.
+func (t *Table) Probe(lo, hi uint64, depth int32, lb int64) bool {
+	idx := (lo ^ hi*0x9e3779b97f4a7c15) & t.mask
+	st := t.stripeFor(idx)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	b := &t.buckets[idx]
+	for i := range b {
+		s := &b[i]
+		if s.lo != lo || s.hi != hi || s.depth != depth {
+			continue
+		}
+		if s.epoch != t.epoch {
+			if s.epoch != 0 {
+				st.stale++
+			}
+			continue
+		}
+		if s.lb <= lb {
+			st.hits++
+			return true
+		}
+	}
+	st.misses++
+	return false
+}
+
+// Store records an expanded state. Same-key entries are refreshed;
+// otherwise dead (old-epoch or never-used) slots are claimed first, then
+// the depth-preferred replacement runs: a new entry at depth ≤ slot 0's
+// displaces it into slot 1; deeper entries replace slot 1 only.
+func (t *Table) Store(lo, hi uint64, depth int32, lb int64) {
+	idx := (lo ^ hi*0x9e3779b97f4a7c15) & t.mask
+	st := t.stripeFor(idx)
+	st.mu.Lock()
+	b := &t.buckets[idx]
+	st.stores++
+	entry := slot{lo: lo, hi: hi, lb: lb, depth: depth, epoch: t.epoch}
+	rec := Entry{Lo: lo, Hi: hi, Depth: depth, LB: lb}
+
+	// Refresh an existing record of the same state.
+	for i := range b {
+		s := &b[i]
+		if s.lo == lo && s.hi == hi && s.depth == depth && s.epoch == t.epoch {
+			if lb < s.lb {
+				s.lb = lb
+			}
+			st.mu.Unlock()
+			return
+		}
+	}
+	// Tier placement. Slot 0 is the depth-preferred tier: a dead slot 0 is
+	// claimed outright, and a new entry no deeper than the resident one
+	// displaces it (the resident falls to slot 1). Everything else lands in
+	// the always-replace slot 1.
+	switch {
+	case b[0].epoch != t.epoch:
+		b[0] = entry
+		st.live++
+	case depth <= b[0].depth:
+		if b[1].epoch != t.epoch {
+			st.live++
+		} else {
+			st.evictions++
+		}
+		b[1] = b[0]
+		b[0] = entry
+	default:
+		if b[1].epoch != t.epoch {
+			st.live++
+		} else {
+			st.evictions++
+		}
+		b[1] = entry
+	}
+	st.mu.Unlock()
+	t.collected(rec)
+}
+
+// StoreEntry is Store over the exported record form.
+func (t *Table) StoreEntry(e Entry) { t.Store(e.Lo, e.Hi, e.Depth, e.LB) }
+
+// Import bulk-loads entries (a digest received from a peer).
+func (t *Table) Import(entries []Entry) {
+	for _, e := range entries {
+		t.Store(e.Lo, e.Hi, e.Depth, e.LB)
+	}
+}
+
+// Reset invalidates every entry in O(#stripes) by bumping the epoch. Old
+// entries are reclaimed lazily as their slots are touched.
+func (t *Table) Reset() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+	}
+	t.epoch++
+	if t.epoch == 0 { // uint32 wrap: 0 is the never-used sentinel
+		t.epoch = 1
+		for i := range t.buckets {
+			t.buckets[i] = bucket{}
+		}
+	}
+	for i := range t.stripes {
+		t.stripes[i].live = 0
+		t.stripes[i].mu.Unlock()
+	}
+	t.collectMu.Lock()
+	t.collect = t.collect[:0]
+	t.collectMu.Unlock()
+}
+
+// SetCollect turns on digest collection: up to cap of the next stores are
+// buffered for DrainCollected; beyond that they are counted as dropped.
+// cap 0 disables collection and clears the buffer.
+func (t *Table) SetCollect(capEntries int) {
+	t.collectMu.Lock()
+	t.collectCap.Store(int64(capEntries))
+	t.collect = t.collect[:0]
+	t.collectMu.Unlock()
+}
+
+// collected buffers a fresh store for the digest exchange when collection
+// is on. Refreshes of existing records are deliberately not re-collected.
+func (t *Table) collected(e Entry) {
+	if t.collectCap.Load() == 0 {
+		return
+	}
+	t.collectMu.Lock()
+	if max := int(t.collectCap.Load()); max > 0 {
+		if len(t.collect) < max {
+			t.collect = append(t.collect, e)
+		} else {
+			t.collectDropped++
+		}
+	}
+	t.collectMu.Unlock()
+}
+
+// DrainCollected appends the buffered stores to buf, clears the buffer,
+// and returns the result.
+func (t *Table) DrainCollected(buf []Entry) []Entry {
+	t.collectMu.Lock()
+	buf = append(buf, t.collect...)
+	t.collect = t.collect[:0]
+	t.collectMu.Unlock()
+	return buf
+}
+
+// Snapshot aggregates the per-stripe counters.
+func (t *Table) Snapshot() Stats {
+	out := Stats{
+		Buckets:  len(t.buckets),
+		Budget:   t.budget,
+		BytesCap: int64(len(t.buckets)) * bucketBytes,
+	}
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		out.Hits += st.hits
+		out.Misses += st.misses
+		out.Stores += st.stores
+		out.Evictions += st.evictions
+		out.Stale += st.stale
+		out.BytesInUse += st.live * slotBytes
+		st.mu.Unlock()
+	}
+	t.collectMu.Lock()
+	out.Dropped = t.collectDropped
+	t.collectMu.Unlock()
+	return out
+}

@@ -1,0 +1,180 @@
+package transpose
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSizingRespectsBudget(t *testing.T) {
+	for _, budget := range []int64{0, 1, MinBudget, MinBudget + 1, 100_000, 1 << 20, (1 << 20) + 13} {
+		tb := New(budget)
+		s := tb.Snapshot()
+		if s.Buckets&(s.Buckets-1) != 0 {
+			t.Fatalf("budget %d: bucket count %d not a power of two", budget, s.Buckets)
+		}
+		if s.BytesCap > s.Budget {
+			t.Fatalf("budget %d: allocated %d bytes over budget %d", budget, s.BytesCap, s.Budget)
+		}
+		if s.BytesCap*2 <= s.Budget && s.Budget >= 2*MinBudget {
+			t.Fatalf("budget %d: allocated only %d bytes (not the largest fitting power of two)", budget, s.BytesCap)
+		}
+	}
+}
+
+func TestProbeStoreSubsumption(t *testing.T) {
+	tb := New(MinBudget)
+	if tb.Probe(1, 2, 3, 10) {
+		t.Fatal("empty table produced a hit")
+	}
+	tb.Store(1, 2, 3, 10)
+	if !tb.Probe(1, 2, 3, 10) {
+		t.Fatal("equal-bound duplicate not subsumed")
+	}
+	if !tb.Probe(1, 2, 3, 11) {
+		t.Fatal("worse-bound duplicate not subsumed")
+	}
+	if tb.Probe(1, 2, 3, 9) {
+		t.Fatal("better-bound state wrongly subsumed")
+	}
+	if tb.Probe(1, 2, 4, 10) {
+		t.Fatal("depth mismatch wrongly subsumed")
+	}
+	if tb.Probe(1, 3, 3, 10) {
+		t.Fatal("key mismatch wrongly subsumed")
+	}
+	// Refresh lowers the stored bound.
+	tb.Store(1, 2, 3, 7)
+	if !tb.Probe(1, 2, 3, 7) {
+		t.Fatal("refreshed bound not applied")
+	}
+	s := tb.Snapshot()
+	if s.Hits != 3 || s.Misses != 4 {
+		t.Fatalf("counters hits=%d misses=%d, want 3/4", s.Hits, s.Misses)
+	}
+	if s.BytesInUse != slotBytes {
+		t.Fatalf("BytesInUse = %d, want %d (one live slot)", s.BytesInUse, slotBytes)
+	}
+}
+
+func TestDepthPreferredReplacement(t *testing.T) {
+	tb := New(MinBudget)
+	nb := uint64(len(tb.buckets))
+	// Three keys colliding into one bucket (same low bits).
+	k1, k2, k3 := uint64(5), uint64(5+nb), uint64(5+2*nb)
+	tb.Store(k1, 0, 8, 100) // depth 8
+	tb.Store(k2, 0, 4, 200) // depth 4 → shallower, takes slot 0
+	tb.Store(k3, 0, 6, 300) // bucket full: deeper than slot 0 → replaces slot 1
+	if tb.Probe(k1, 0, 8, 100) {
+		t.Fatal("deepest entry should have been evicted")
+	}
+	if !tb.Probe(k2, 0, 4, 200) || !tb.Probe(k3, 0, 6, 300) {
+		t.Fatal("surviving entries lost")
+	}
+	s := tb.Snapshot()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.BytesInUse > s.BytesCap {
+		t.Fatalf("BytesInUse %d exceeds BytesCap %d", s.BytesInUse, s.BytesCap)
+	}
+}
+
+func TestResetInvalidatesAndCountsStale(t *testing.T) {
+	tb := New(MinBudget)
+	tb.Store(1, 2, 3, 10)
+	tb.Reset()
+	if tb.Probe(1, 2, 3, 10) {
+		t.Fatal("entry survived Reset")
+	}
+	s := tb.Snapshot()
+	if s.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", s.Stale)
+	}
+	if s.BytesInUse != 0 {
+		t.Fatalf("BytesInUse = %d after Reset, want 0", s.BytesInUse)
+	}
+	// The slot is reclaimed by the next store.
+	tb.Store(9, 9, 1, 1)
+	if !tb.Probe(9, 9, 1, 1) {
+		t.Fatal("post-reset store lost")
+	}
+}
+
+func TestCollectionDrainAndDrop(t *testing.T) {
+	tb := New(MinBudget)
+	tb.SetCollect(2)
+	tb.Store(1, 0, 1, 1)
+	tb.Store(2, 0, 1, 1)
+	tb.Store(3, 0, 1, 1) // over cap → dropped
+	tb.Store(1, 0, 1, 1) // refresh → not re-collected
+	got := tb.DrainCollected(nil)
+	if len(got) != 2 || got[0].Lo != 1 || got[1].Lo != 2 {
+		t.Fatalf("drained %v", got)
+	}
+	if s := tb.Snapshot(); s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Dropped)
+	}
+	if again := tb.DrainCollected(nil); len(again) != 0 {
+		t.Fatalf("second drain returned %v", again)
+	}
+	tb2 := New(MinBudget)
+	tb2.Import(got)
+	if !tb2.Probe(1, 0, 1, 1) || !tb2.Probe(2, 0, 1, 1) {
+		t.Fatal("import lost entries")
+	}
+}
+
+// TestConcurrentMixedUse hammers the table from many goroutines (run under
+// -race by the standard test invocation of scripts/check.sh).
+func TestConcurrentMixedUse(t *testing.T) {
+	tb := New(1 << 16)
+	tb.SetCollect(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				lo, hi := rng.Uint64(), rng.Uint64()
+				switch i % 8 {
+				case 0:
+					tb.Reset()
+				case 1:
+					tb.Snapshot()
+				case 2:
+					tb.DrainCollected(nil)
+				default:
+					tb.Store(lo, hi, int32(i%30), int64(i))
+					tb.Probe(lo, hi, int32(i%30), int64(i))
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := tb.Snapshot()
+	if s.BytesInUse > s.BytesCap || s.BytesCap > s.Budget {
+		t.Fatalf("memory accounting violated: inUse=%d cap=%d budget=%d", s.BytesInUse, s.BytesCap, s.Budget)
+	}
+}
+
+// TestBytesInUseNeverExceedsBudget fills the table far past capacity and
+// checks the structural bound the bbload assertion relies on.
+func TestBytesInUseNeverExceedsBudget(t *testing.T) {
+	tb := New(MinBudget) // 64 buckets = 128 slots
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10_000; i++ {
+		tb.Store(rng.Uint64(), rng.Uint64(), int32(i%40), int64(i))
+	}
+	s := tb.Snapshot()
+	if s.BytesInUse > s.BytesCap || s.BytesCap > s.Budget {
+		t.Fatalf("memory accounting violated: inUse=%d cap=%d budget=%d", s.BytesInUse, s.BytesCap, s.Budget)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("overfill produced no evictions")
+	}
+	if s.BytesInUse != s.BytesCap {
+		t.Fatalf("overfilled table not fully live: inUse=%d cap=%d", s.BytesInUse, s.BytesCap)
+	}
+}

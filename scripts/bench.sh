@@ -7,21 +7,30 @@
 # the honest number: it builds cmd/bbbench (facade-only, so the same source
 # compiles against older revisions) twice — once in a detached worktree at
 # the base commit, once from the working tree — runs the identical pinned
-# suite with both binaries, and merges the two reports into BENCH_PR4.json
-# with per-case speedups and cost-match checks.
+# suite with both binaries, and merges the two reports into one JSON
+# artifact with per-case speedups and cost-match checks.
 #
-# Usage: scripts/bench.sh [out.json]        (default: BENCH_PR4.json)
+# The *-dedup cases (duplicate detection through the transposition table)
+# only exist in builds whose facade has the knob: the before binary skips
+# them, and the merge compares dedup against its no-dedup twin inside the
+# after report, gated on searched-vertex reduction, cost equality, and
+# the table byte budget.
+#
+# Usage: scripts/bench.sh [out.json]        (default: BENCH_PR9.json)
 # Env:   BENCH_BASE=<rev>   base revision to build "before" at (default: the
 #                           last commit that predates cmd/bbbench, falling
 #                           back to HEAD)
 #        BENCH_GATE=<spec>  bbbench -gate spec (default: lifo-df=2.0)
+#        BENCH_DEDUP_GATE=<spec>  bbbench -dedup-gate spec
+#                           (default: lifo-bfn-wide-dedup=10)
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR9.json}"
 gate="${BENCH_GATE:-lifo-df=2.0}"
+dedup_gate="${BENCH_DEDUP_GATE:-lifo-bfn-wide-dedup=10}"
 
 # Default the base to the newest commit that does NOT contain cmd/bbbench:
 # the last pre-PR state of the kernel. Explicit BENCH_BASE always wins.
@@ -61,7 +70,8 @@ echo "==> running before suite"
 echo "==> running after suite"
 "$tmp/bbbench-after" -label after -commit "$head_sha" -out "$tmp/after.json"
 
-echo "==> merging into $out (gate: $gate)"
-"$tmp/bbbench-after" -merge "$tmp/before.json,$tmp/after.json" -gate "$gate" -out "$out"
+echo "==> merging into $out (gate: $gate, dedup gate: $dedup_gate)"
+"$tmp/bbbench-after" -merge "$tmp/before.json,$tmp/after.json" \
+    -gate "$gate" -dedup-gate "$dedup_gate" -out "$out"
 
 echo "==> bench gate passed; report written to $out"
