@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gantt"
 	"repro/internal/gen"
+	"repro/internal/hetero"
 	"repro/internal/improve"
 	"repro/internal/listsched"
 	"repro/internal/periodic"
@@ -226,6 +227,40 @@ func DefaultPeriodic() PeriodicParams { return gen.DefaultPeriodic() }
 
 // Utilization returns Σ c_i/T_i over a graph's periodic tasks.
 func Utilization(g *Graph) float64 { return gen.Utilization(g) }
+
+// Heterogeneous-platform scenario types. A Platform's Speed and Affinity
+// tables (nil = the paper's homogeneous model) are threaded through every
+// solver; these wrap the scenario layer's own entry points.
+type (
+	// ReleaseParams specifies jittered or sporadic release generation
+	// (WorkloadGenerator.Releases).
+	ReleaseParams = gen.ReleaseParams
+	// PartitionedOptions bounds a partitioned solve.
+	PartitionedOptions = hetero.Options
+	// PartitionedResult is a partitioned solve's outcome.
+	PartitionedResult = hetero.Result
+	// PlatformSpecError is a structured platform-validation failure.
+	PlatformSpecError = hetero.SpecError
+)
+
+// ValidatePlatformSpec checks a platform's speed-factor and affinity
+// tables against an n-task graph; violations are *PlatformSpecError.
+func ValidatePlatformSpec(p Platform, n int) error { return hetero.ValidateSpec(p, n) }
+
+// UnrollReleases expands a periodic task graph over an explicit release
+// plan (one absolute-release list per task, e.g. from
+// WorkloadGenerator.Releases) into an ordinary one-shot graph.
+func UnrollReleases(g *Graph, releases [][]Time) (*PeriodicExpansion, error) {
+	return periodic.UnrollReleases(g, releases)
+}
+
+// SolvePartitioned runs the partitioned-scheduling mode: branch-and-bound
+// over task→processor assignments with per-processor EDF dispatch.
+// Cancellation or a time/node limit returns the best incumbent with
+// Optimal=false.
+func SolvePartitioned(ctx context.Context, g *Graph, p Platform, opt PartitionedOptions) (PartitionedResult, error) {
+	return hetero.SolvePartitioned(ctx, g, p, opt)
+}
 
 // DefaultExperiment returns the paper's §5 experiment protocol;
 // QuickExperiment a reduced one for smoke runs.

@@ -3,6 +3,7 @@ package parabb_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -120,8 +121,8 @@ func TestFacadePeriodic(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := parabb.Experiments()
-	if len(ids) != 10 {
-		t.Fatalf("expected 10 experiments, got %v", ids)
+	if len(ids) != 11 {
+		t.Fatalf("expected 11 experiments, got %v", ids)
 	}
 	cfg := parabb.QuickExperiment()
 	cfg.Runs = 2
@@ -289,5 +290,48 @@ func TestFacadeCancellation(t *testing.T) {
 	}
 	if res.Schedule == nil {
 		t.Fatal("anytime contract broken: no incumbent returned on cancellation")
+	}
+}
+
+func TestFacadeScenarioMatrix(t *testing.T) {
+	g := buildPipeline(t)
+	plat := parabb.NewPlatform(2)
+	plat.Speed = []float64{1, 2}
+	plat.Affinity = []uint64{3, 3, 1}
+	if err := parabb.ValidatePlatformSpec(plat, g.NumTasks()); err != nil {
+		t.Fatal(err)
+	}
+	bad := plat
+	bad.Speed = []float64{1, 0}
+	var spec *parabb.PlatformSpecError
+	if err := parabb.ValidatePlatformSpec(bad, g.NumTasks()); !errors.As(err, &spec) || spec.Code != "speed_factor" {
+		t.Fatalf("zero speed factor: got %v", err)
+	}
+
+	global, err := parabb.Solve(g, plat, parabb.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := parabb.SolvePartitioned(context.Background(), g, plat, parabb.PartitionedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Optimal || part.Cost < global.Cost {
+		t.Fatalf("partitioned Lmax %d (optimal=%v) vs global %d", part.Cost, part.Optimal, global.Cost)
+	}
+
+	// Sporadic releases through the facade: plan, unroll, solve.
+	ps := parabb.NewGraph(1)
+	ps.AddTask(parabb.Task{Name: "p", Exec: 2, Deadline: 8, Period: 10})
+	rel, err := parabb.NewWorkload(parabb.DefaultWorkload(), 7).Releases(ps, parabb.ReleaseParams{Horizon: 30, StretchFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := parabb.UnrollReleases(ps, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Graph.NumTasks() != len(rel[0]) {
+		t.Fatalf("unrolled %d invocations, plan has %d", ex.Graph.NumTasks(), len(rel[0]))
 	}
 }

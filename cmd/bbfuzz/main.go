@@ -8,10 +8,16 @@
 // construction plus the recovered plan are property-checked (coverage,
 // dead processors, channel delivery, non-overlap, deterministic replay).
 //
+// With -hetero the campaign targets the heterogeneous scenario matrix:
+// global and partitioned solves on random speed-factor/affinity platforms
+// are cross-validated against their brute-force oracles, and explicit
+// unit/universal specs are checked bit-identical to the legacy reference
+// kernel.
+//
 // Usage:
 //
 //	bbfuzz [-n instances] [-seed base] [-tasks max] [-procs max]
-//	       [-budget dur] [-residual] [-v]
+//	       [-budget dur] [-residual] [-hetero] [-v]
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		procs    = flag.Int("procs", 3, "max processors")
 		budget   = flag.Duration("budget", 5*time.Second, "per-solve budget")
 		residual = flag.Bool("residual", false, "fuzz fault recovery instead of the solvers")
+		hetero   = flag.Bool("hetero", false, "fuzz the heterogeneous/partitioned scenario matrix")
 		v        = flag.Bool("v", false, "per-instance progress")
 	)
 	flag.Parse()
@@ -45,6 +52,9 @@ func main() {
 	campaign, run := "differential", fuzzcheck.Run
 	if *residual {
 		campaign, run = "fault-recovery", fuzzcheck.RunResidual
+	}
+	if *hetero {
+		campaign, run = "heterogeneous", fuzzcheck.RunHetero
 	}
 	fmt.Printf("bbfuzz: %d %s instances from seed %d (tasks<=%d, procs<=%d)\n",
 		*n, campaign, *seed, *tasks, *procs)

@@ -27,6 +27,9 @@
 //	                 the harness asserts every replica's /metrics transpose
 //	                 high-water stayed within the table budget
 //	-dedup-budget b  per-table byte budget for -dedup (0 = server default)
+//	-hetero          mixed-scenario mode: solve requests cycle legacy
+//	                 homogeneous, heterogeneous (speed factors + affinity
+//	                 masks), and partitioned-mode scenarios
 //	-quiet           suppress the per-run header
 //
 // Closed loop means each client issues its next request only after the
@@ -63,6 +66,16 @@
 // block must report table_bytes_high_water within table_budget. A server
 // whose tables outgrew their hard budget under sustained load fails the
 // run even if every request succeeded.
+//
+// With -hetero the replay pool becomes the scenario matrix: instance i
+// is a legacy homogeneous solve (i%3 == 0), a heterogeneous global solve
+// with per-processor speed factors and restricted affinity masks
+// (i%3 == 1), or a partitioned-mode solve on the same heterogeneous
+// platform (i%3 == 2). All three hit distinct cache lines, so the run
+// exercises platform canonicalization and both solve modes side by
+// side. -hetero supports only -endpoint solve, without -distributed
+// (heterogeneous platforms cannot be distributed) and without -dedup
+// (partitioned mode rejects the knob).
 //
 // Exit status: 0 when every request succeeded (2xx), 1 otherwise.
 package main
@@ -129,6 +142,7 @@ func main() {
 		churn       = flag.Duration("churn", 0, "with -distributed: drain and replace one worker at this interval")
 		dedup       = flag.Bool("dedup", false, "request duplicate detection on solves and assert the table budget via /metrics")
 		dedupBudget = flag.Int64("dedup-budget", 0, "per-table byte budget for -dedup (0 = server default)")
+		hetero      = flag.Bool("hetero", false, "mixed-scenario mode: cycle legacy, heterogeneous, and partitioned solves")
 		quiet       = flag.Bool("quiet", false, "suppress the per-run header")
 	)
 	flag.Parse()
@@ -156,6 +170,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbload: -dedup-budget requires -dedup")
 		os.Exit(2)
 	}
+	if *hetero && (*endpoint != "solve" || *distributed || *dedup) {
+		fmt.Fprintln(os.Stderr, "bbload: -hetero supports only -endpoint solve, without -distributed or -dedup")
+		os.Exit(2)
+	}
+	if *hetero && (*procs < 2 || *procs > 64) {
+		fmt.Fprintln(os.Stderr, "bbload: -hetero needs 2 <= -procs <= 64 (affinity masks)")
+		os.Exit(2)
+	}
 
 	urls := splitList(*baseURL)
 	if len(urls) == 0 {
@@ -172,7 +194,7 @@ func main() {
 		tenants[i] = t.Name
 	}
 
-	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed, *dedup, *dedupBudget)
+	reqs, err := buildRequests(*endpoint, *graphs, *procs, budget.Milliseconds(), *seed, *distributed, *dedup, *dedupBudget, *hetero)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbload: %v\n", err)
 		os.Exit(2)
@@ -396,8 +418,9 @@ type request struct {
 }
 
 // buildRequests prepares the replay pool: one request per generated
-// instance (cycling endpoints when endpoint is "mix").
-func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64, distributed, dedup bool, dedupBudget int64) ([]request, error) {
+// instance (cycling endpoints when endpoint is "mix", and scenario cells
+// when hetero is set).
+func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int64, distributed, dedup bool, dedupBudget int64, hetero bool) ([]request, error) {
 	endpoints := []string{endpoint}
 	if endpoint == "mix" {
 		endpoints = []string{"solve", "anytime", "list", "analyze", "recover"}
@@ -412,6 +435,27 @@ func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int6
 		}
 		ep := endpoints[i%len(endpoints)]
 		gr := server.GraphRequest{Graph: g, Procs: procs}
+		mode := ""
+		if hetero && i%3 != 0 {
+			// Scenario cells 1 and 2 run on a fast/slow platform where a
+			// quarter of the tasks are pinned away from processor 0; cell 2
+			// additionally switches to partitioned mode.
+			universe := uint64(1)<<procs - 1
+			gr.SpeedFactors = make([]float64, procs)
+			for q := range gr.SpeedFactors {
+				gr.SpeedFactors[q] = float64(1 + q&1)
+			}
+			gr.Affinities = make([]uint64, g.NumTasks())
+			for id := range gr.Affinities {
+				gr.Affinities[id] = universe
+				if id%4 == 3 {
+					gr.Affinities[id] = universe &^ 1
+				}
+			}
+			if i%3 == 2 {
+				mode = "partitioned"
+			}
+		}
 		var (
 			payload any
 			path    = "/v1/" + ep
@@ -420,7 +464,7 @@ func buildRequests(endpoint string, graphs, procs int, budgetMS int64, seed int6
 		case "solve":
 			payload = server.SolveRequest{
 				GraphRequest: gr, BudgetMS: budgetMS, Distributed: distributed,
-				Dedup: dedup, DedupBudget: dedupBudget,
+				Dedup: dedup, DedupBudget: dedupBudget, Mode: mode,
 			}
 		case "anytime":
 			payload = server.AnytimeRequest{GraphRequest: gr, BudgetMS: budgetMS, Seed: seed}

@@ -28,6 +28,7 @@ package analysis
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/platform"
@@ -67,7 +68,7 @@ func (r *Report) Infeasible() bool { return r.Lower > 0 }
 
 // Analyze computes the report.
 func Analyze(g *taskgraph.Graph, p platform.Platform) (*Report, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
 		return nil, err
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -87,8 +88,20 @@ func Analyze(g *taskgraph.Graph, p platform.Platform) (*Report, error) {
 			span = t.AbsDeadline()
 		}
 	}
+	// scap is the platform's aggregate processing rate in nominal demand
+	// units per time unit: m for identical processors, Σ speed_q under the
+	// related-machines model (ExecCost = ceil(c/s) processes at most s
+	// nominal units per time unit, so scap OVERestimates capacity, which is
+	// the admissible direction for a lower bound).
+	scap := float64(p.M)
+	if p.Speed != nil {
+		scap = 0
+		for _, s := range p.Speed {
+			scap += s
+		}
+	}
 	if span > 0 {
-		rep.Utilization = float64(rep.TotalWork) / (float64(p.M) * float64(span))
+		rep.Utilization = float64(rep.TotalWork) / (scap * float64(span))
 	}
 
 	// Interval demand bound over window-endpoint pairs.
@@ -108,6 +121,16 @@ func Analyze(g *taskgraph.Graph, p platform.Platform) (*Report, error) {
 
 	rep.DemandLmax = taskgraph.MinTime
 	m := taskgraph.Time(p.M)
+	uniform := p.Uniform()
+	// Heterogeneous denominators: capacity ceil(scap·len) overestimates
+	// what the platform can process inside the interval, and the lateness
+	// divisor ceil(scap) overestimates the drain rate past b — both keep
+	// the bound admissible, and both reduce to the exact integer formulas
+	// when every speed factor is 1 (the branch below is then never taken).
+	denom := m
+	if !uniform {
+		denom = taskgraph.Time(math.Ceil(scap))
+	}
 	for _, a := range starts {
 		var demand taskgraph.Time
 		// Sweep deadlines in ascending order, accumulating demand of
@@ -121,11 +144,16 @@ func Analyze(g *taskgraph.Graph, p platform.Platform) (*Report, error) {
 			if b <= a {
 				continue
 			}
-			overflow := demand - m*(b-a)
+			var overflow taskgraph.Time
+			if uniform {
+				overflow = demand - m*(b-a)
+			} else {
+				overflow = demand - taskgraph.Time(math.Ceil(scap*float64(b-a)))
+			}
 			if overflow <= 0 {
 				continue
 			}
-			late := (overflow + m - 1) / m // ceil
+			late := (overflow + denom - 1) / denom // ceil
 			if late > rep.DemandLmax {
 				rep.DemandLmax = late
 				rep.CriticalInterval = [2]taskgraph.Time{a, b}
@@ -152,14 +180,19 @@ func Analyze(g *taskgraph.Graph, p platform.Platform) (*Report, error) {
 	fhat := make([]taskgraph.Time, n)
 	for _, id := range order {
 		t := g.Task(id)
-		est := t.Arrival() + t.Exec
+		// Under the related-machines model a task might run entirely on
+		// its fastest allowed processor, so the admissible per-task demand
+		// is the minimum execution cost over the affinity mask (identical
+		// to Exec on homogeneous platforms).
+		c := p.MinExecCost(id, t.Exec)
+		est := t.Arrival() + c
 		for _, pred := range g.Preds(id) {
 			ready := fhat[pred]
 			if ready < t.Arrival() {
 				ready = t.Arrival()
 			}
-			if ready+t.Exec > est {
-				est = ready + t.Exec
+			if ready+c > est {
+				est = ready + c
 			}
 		}
 		fhat[id] = est

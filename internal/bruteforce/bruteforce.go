@@ -42,7 +42,7 @@ const Limit = 200_000_000
 
 // Solve exhaustively enumerates the solution space and returns the optimum.
 func Solve(g *taskgraph.Graph, p platform.Platform) (Result, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
 		return Result{}, err
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -77,6 +77,9 @@ func Solve(g *taskgraph.Graph, p platform.Platform) (Result, error) {
 		ready := st.ReadyTasks(nil)
 		for _, id := range ready {
 			for q := 0; q < p.M; q++ {
+				if !p.Allows(id, platform.Proc(q)) {
+					continue
+				}
 				st.Place(id, platform.Proc(q))
 				rec()
 				st.Undo()

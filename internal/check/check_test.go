@@ -134,6 +134,10 @@ func TestLayeringDistFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/dist", "repro/internal/dist", false)
 }
 
+func TestLayeringHeteroFixture(t *testing.T) {
+	runFixture(t, LayeringAnalyzer, "testdata/layering/hetero", "repro/internal/hetero", false)
+}
+
 func TestLayeringGridFixture(t *testing.T) {
 	runFixture(t, LayeringAnalyzer, "testdata/layering/grid", "repro/internal/grid", false)
 }

@@ -76,6 +76,14 @@ var layerAllowed = map[string][]string{
 	// internal/gen, internal/exp, internal/report and the other solvers.
 	"internal/core": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph", "internal/transpose"},
 
+	// internal/hetero is the heterogeneous-platform scenario layer: spec
+	// validation, canonical platform encoding, and the partitioned
+	// (assign-then-EDF) search mode. It branches over assignments and
+	// evaluates them through the EDF simulation, so it sits beside core —
+	// above the substrate and schedulers, below the harnesses — and like
+	// core it must never see workload generation or drivers.
+	"internal/hetero": {"internal/edf", "internal/platform", "internal/sched", "internal/taskgraph"},
+
 	// Layer 5: harnesses over the engine. internal/dist — the distributed
 	// fabric — may use the engine and substrate but never the experiment
 	// drivers or the serving daemon's internals: subproblems must stay
@@ -99,14 +107,15 @@ var layerAllowed = map[string][]string{
 	},
 	"internal/exp": {
 		"internal/core", "internal/deadline", "internal/edf", "internal/faults",
-		"internal/gen", "internal/journal", "internal/listsched", "internal/platform",
-		"internal/rescue", "internal/stats", "internal/taskgraph",
+		"internal/gen", "internal/hetero", "internal/journal", "internal/listsched",
+		"internal/periodic", "internal/platform", "internal/rescue", "internal/stats",
+		"internal/taskgraph",
 	},
 	"internal/fuzzcheck": {
 		"internal/analysis", "internal/bruteforce", "internal/core", "internal/deadline",
 		"internal/dispatch", "internal/edf", "internal/faults", "internal/gen",
-		"internal/improve", "internal/listsched", "internal/platform", "internal/rescue",
-		"internal/sched", "internal/taskgraph",
+		"internal/hetero", "internal/improve", "internal/listsched", "internal/platform",
+		"internal/rescue", "internal/sched", "internal/taskgraph",
 	},
 	"internal/portfolio": {
 		"internal/analysis", "internal/core", "internal/improve", "internal/listsched",
@@ -125,8 +134,8 @@ var layerAllowed = map[string][]string{
 	"internal/server": {
 		"internal/analysis", "internal/core", "internal/deadline", "internal/dist",
 		"internal/exp", "internal/faults", "internal/gen", "internal/grid",
-		"internal/listsched", "internal/peer", "internal/platform", "internal/portfolio",
-		"internal/rescue", "internal/sched", "internal/taskgraph",
+		"internal/hetero", "internal/listsched", "internal/peer", "internal/platform",
+		"internal/portfolio", "internal/rescue", "internal/sched", "internal/taskgraph",
 	},
 }
 

@@ -1,0 +1,17 @@
+// Package hetero impersonates repro/internal/hetero so the fixture can
+// pin the scenario layer's position in the DAG: it branches over
+// assignments and evaluates them through the EDF simulation, so it may
+// use the substrate and the schedulers — but like the engine it must
+// never see workload generation, the experiment drivers, or the engine
+// itself (core composes with hetero only through the serving layer).
+package hetero
+
+import (
+	_ "repro/internal/core"      // want "layering violation: internal/hetero may not import internal/core"
+	_ "repro/internal/edf"       // allowed: the partitioned dispatch policy
+	_ "repro/internal/gen"       // want "layering violation: internal/hetero may not import internal/gen"
+	_ "repro/internal/platform"  // allowed: substrate
+	_ "repro/internal/sched"     // allowed: substrate
+	_ "repro/internal/server"    // want "internal/server may only be imported by cmd binaries"
+	_ "repro/internal/taskgraph" // allowed: foundation
+)

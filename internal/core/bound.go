@@ -166,6 +166,9 @@ func (b *bounder) bound(st *sched.State) taskgraph.Time {
 	if b.mode == BoundNone {
 		return l
 	}
+	if st.Hetero() {
+		return b.boundHetero(st, l)
+	}
 
 	var lmin taskgraph.Time
 	if b.mode == BoundLB1 {
@@ -200,13 +203,56 @@ func (b *bounder) bound(st *sched.State) taskgraph.Time {
 	return l
 }
 
+// boundHetero is the heterogeneous-platform generalization of the sweep:
+// LB1's single ℓ_min becomes a per-task ℓ_i — the earliest free time over
+// the processors the task's affinity mask allows — and each task's
+// execution demand relaxes to its minimum over those processors. Both
+// substitutions only lower individual terms relative to any real schedule,
+// so the bound stays admissible; with unit speeds and universal affinities
+// this function is never reached (State.Hetero() is false) and the
+// homogeneous sweep runs untouched.
+func (b *bounder) boundHetero(st *sched.State, l taskgraph.Time) taskgraph.Time {
+	lb1 := b.mode == BoundLB1
+	for _, id := range b.topo {
+		if st.Placed(id) {
+			b.fhat[id] = st.Finish(id)
+			continue
+		}
+		floor := b.arr[id]
+		if lb1 {
+			if li := st.EarliestProcFreeFor(id); li > floor {
+				floor = li
+			}
+		}
+		c := st.MinExec(id)
+		est := floor + c
+		for _, pred := range b.g.Preds(id) {
+			ready := b.fhat[pred]
+			if ready < floor {
+				ready = floor
+			}
+			if ready+c > est {
+				est = ready + c
+			}
+		}
+		b.fhat[id] = est
+		if lat := est - b.dl[id]; lat > l {
+			l = lat
+		}
+	}
+	return l
+}
+
 // beginExpand brings the (base, chain) parent snapshot up to date with the
 // materialized state and opens a new expansion epoch for the rest caches.
 // It must be called once per expansion before any boundChild call of that
 // expansion.
 func (b *bounder) beginExpand(st *sched.State) {
 	b.epoch++
-	if b.mode == BoundNone {
+	if b.mode == BoundNone || st.Hetero() {
+		// Heterogeneous platforms skip the cone machinery entirely:
+		// boundChild falls back to the generalized full sweep, so no
+		// snapshots are ever needed.
 		return
 	}
 	n := b.g.NumTasks()
@@ -336,6 +382,9 @@ func (b *bounder) boundChild(st *sched.State, placed taskgraph.TaskID) taskgraph
 	l := st.Lmax()
 	if b.mode == BoundNone {
 		return l
+	}
+	if st.Hetero() {
+		return b.boundHetero(st, l)
 	}
 	lb1 := b.mode == BoundLB1
 	var lmin taskgraph.Time

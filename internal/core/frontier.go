@@ -146,6 +146,9 @@ func EnumerateFrontier(g *taskgraph.Graph, plat platform.Platform, p Params, tar
 		readyBuf = br.tasks(st, readyBuf[:0])
 		for _, id := range readyBuf {
 			for q := 0; q < plat.M; q++ {
+				if !plat.Allows(id, platform.Proc(q)) {
+					continue
+				}
 				pl := st.Place(id, platform.Proc(q))
 				lb := bnd.bound(st)
 				f.Stats.Generated++

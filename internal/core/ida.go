@@ -216,6 +216,9 @@ func (s *idaSolver) probe() bool {
 	kids := s.kidBufs[depth][:0]
 	for _, id := range tasks {
 		for q := 0; q < s.plat.M; q++ {
+			if !s.plat.Allows(id, platform.Proc(q)) {
+				continue
+			}
 			s.st.Place(id, platform.Proc(q))
 			var lb taskgraph.Time
 			if ref {

@@ -361,6 +361,9 @@ func (w *parWorker) expand(v *vertex) ([]*vertex, error) {
 	w.readyBuf = w.br.tasks(w.st, w.readyBuf[:0])
 	for _, id := range w.readyBuf {
 		for q := 0; q < ps.plat.M; q++ {
+			if !ps.plat.Allows(id, platform.Proc(q)) {
+				continue
+			}
 			pl := w.st.Place(id, platform.Proc(q))
 			var lb taskgraph.Time
 			if ref {

@@ -169,7 +169,7 @@ func SolveContext(ctx context.Context, g *taskgraph.Graph, plat platform.Platfor
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := plat.Validate(); err != nil {
+	if err := plat.ValidateFor(g.NumTasks()); err != nil {
 		return Result{}, err
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -383,6 +383,12 @@ func (s *solver) run() {
 		s.readyBuf = s.br.tasks(s.st, s.readyBuf[:0])
 		for _, id := range s.readyBuf {
 			for q := 0; q < s.plat.M; q++ {
+				// Affinity-infeasible children are pruned at generation:
+				// they are never created, counted, or emitted. Universal
+				// affinity makes this loop the legacy one.
+				if !s.plat.Allows(id, platform.Proc(q)) {
+					continue
+				}
 				pl := s.st.Place(id, platform.Proc(q))
 				var lb taskgraph.Time
 				if ref {

@@ -40,7 +40,7 @@ type Result struct {
 // schedule always exists for a valid DAG because the operation never rejects
 // a placement — deadline misses surface as positive lateness, not errors.
 func Schedule(g *taskgraph.Graph, p platform.Platform) (Result, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
 		return Result{}, err
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -62,12 +62,19 @@ func Schedule(g *taskgraph.Graph, p platform.Platform) (Result, error) {
 				best = id
 			}
 		}
-		// Earliest start over processors, smallest index on ties.
-		bestProc := platform.Proc(0)
-		bestStart := st.EST(best, 0)
-		for q := 1; q < p.M; q++ {
-			if s := st.EST(best, platform.Proc(q)); s < bestStart {
-				bestStart, bestProc = s, platform.Proc(q)
+		// Earliest finish over allowed processors, smallest index on ties.
+		// On homogeneous platforms every processor finishes EST+c, so this
+		// is exactly the paper's earliest-start rule; with speed factors
+		// the finish time is the quantity the greedy should minimize, and
+		// affinity masks restrict the candidates.
+		bestProc := platform.NoProc
+		bestFinish := taskgraph.Infinity
+		for q := 0; q < p.M; q++ {
+			if !p.Allows(best, platform.Proc(q)) {
+				continue
+			}
+			if f := st.EST(best, platform.Proc(q)) + st.ExecOn(best, platform.Proc(q)); f < bestFinish {
+				bestFinish, bestProc = f, platform.Proc(q)
 			}
 		}
 		st.Place(best, bestProc)

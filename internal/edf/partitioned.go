@@ -1,0 +1,68 @@
+package edf
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// SchedulePartitioned runs the EDF heuristic under a fixed task→processor
+// assignment: the partitioned-scheduling execution model, where a
+// partitioning algorithm (the hetero branch-and-bound, a first-fit
+// heuristic, ...) decides WHERE every task runs and per-processor EDF
+// decides WHEN. At each step the earliest-absolute-deadline ready task
+// (smallest ID on ties) is appended to its assigned processor via the §4.3
+// operation — which orders every processor's local queue by deadline among
+// its ready tasks while still honouring cross-processor precedence and
+// communication. The simulation is fully deterministic, so an assignment
+// has exactly one cost: the evaluation function the partitioned search
+// optimizes.
+func SchedulePartitioned(g *taskgraph.Graph, p platform.Platform, assign []platform.Proc) (Result, error) {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+	n := g.NumTasks()
+	if len(assign) != n {
+		return Result{}, fmt.Errorf("edf: %d assignments for %d tasks", len(assign), n)
+	}
+	for id, q := range assign {
+		if q < 0 || int(q) >= p.M {
+			return Result{}, fmt.Errorf("edf: task %d assigned to invalid processor %d", id, q)
+		}
+		if !p.Allows(taskgraph.TaskID(id), q) {
+			return Result{}, fmt.Errorf("edf: task %d assigned to processor %d excluded by its affinity mask", id, q)
+		}
+	}
+	st := sched.NewState(g, p)
+	PartitionedLmax(st, assign, make([]taskgraph.TaskID, 0, n))
+	return Result{Schedule: st.Snapshot(), Lmax: st.Lmax(), Steps: n}, nil
+}
+
+// PartitionedLmax runs the partitioned-EDF simulation on a caller-provided
+// state (Reset + n Places, no allocation beyond the ready buffer's growth)
+// and returns the schedule's maximum lateness. It is the evaluation
+// function the partitioned branch-and-bound calls once per complete
+// assignment; SchedulePartitioned is its validating, allocating wrapper.
+// The assignment must be complete and affinity-feasible — st.Place panics
+// otherwise, which is the search-layer-bug contract of the substrate.
+func PartitionedLmax(st *sched.State, assign []platform.Proc, ready []taskgraph.TaskID) taskgraph.Time {
+	g := st.G
+	st.Reset()
+	n := g.NumTasks()
+	for step := 0; step < n; step++ {
+		ready = st.ReadyTasks(ready[:0])
+		best := ready[0]
+		for _, id := range ready[1:] {
+			if g.Task(id).AbsDeadline() < g.Task(best).AbsDeadline() {
+				best = id
+			}
+		}
+		st.Place(best, assign[best])
+	}
+	return st.Lmax()
+}

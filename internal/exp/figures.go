@@ -255,6 +255,8 @@ func builtin(id string) func(Config) (Figure, error) {
 		return DiscussionMemory
 	case "fault-sweep":
 		return FaultSweep
+	case "partition-sweep":
+		return PartitionSweep
 	}
 	return nil
 }
@@ -264,6 +266,6 @@ func builtin(id string) func(Config) (Figure, error) {
 func All() []string {
 	ids := []string{"fig3a", "fig3b", "fig3c", "fig3c-scaled", "fig3a-tie",
 		"disc-parallelism", "disc-ccr", "disc-upperbound", "disc-memory",
-		"fault-sweep"}
+		"fault-sweep", "partition-sweep"}
 	return append(ids, extensions()...)
 }

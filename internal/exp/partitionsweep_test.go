@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPartitionSweepQuick(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 3
+	cfg.Procs = []int{2}
+	cfg.TimeLimit = 5 * time.Second
+
+	fig, err := PartitionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "partition-sweep" || len(fig.Series) != 4 {
+		t.Fatalf("figure shape: %s with %d series", fig.ID, len(fig.Series))
+	}
+	for _, family := range []string{"dag", "sporadic"} {
+		glob, ok1 := fig.SeriesByName("global / " + family)
+		part, ok2 := fig.SeriesByName("partitioned / " + family)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing %s series", family)
+		}
+		for j := range glob.Points {
+			gp, pp := glob.Points[j], part.Points[j]
+			if gp.Runs == 0 || pp.Runs == 0 {
+				t.Fatalf("%s position %d: no uncensored runs (%d/%d)", family, j, gp.Runs, pp.Runs)
+			}
+			// A partitioned schedule is a migration-free global schedule,
+			// so on paired instances the partitioned optimum cannot beat
+			// the global one on average (both exhausted at this size).
+			if gp.Censored == 0 && pp.Censored == 0 && pp.Lateness.Mean() < gp.Lateness.Mean()-1e-9 {
+				t.Fatalf("%s position %d: partitioned Lmax %.2f beats global %.2f",
+					family, j, pp.Lateness.Mean(), gp.Lateness.Mean())
+			}
+		}
+	}
+}
+
+func TestPartitionSweepJournaled(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Runs = 2
+	cfg.Procs = []int{2}
+	cfg.TimeLimit = 5 * time.Second
+	path := filepath.Join(t.TempDir(), "partition.jsonl")
+
+	run := func(resume bool) (string, int) {
+		j, err := OpenJournal(path, resume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		c := cfg
+		c.Journal = j
+		fig, err := PartitionSweep(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Table() + fig.CSV(), j.Hits()
+	}
+	want, hits := run(false)
+	if hits != 0 {
+		t.Fatalf("fresh run had %d journal hits", hits)
+	}
+	got, hits := run(true)
+	if hits != 1 {
+		t.Fatalf("resumed run served %d positions from the journal, want 1", hits)
+	}
+	if got != want {
+		t.Fatal("journaled partition sweep not byte-identical")
+	}
+}

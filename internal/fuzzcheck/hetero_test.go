@@ -1,0 +1,26 @@
+package fuzzcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHeteroCampaignClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instances = 25
+	cfg.Seed = 7000
+	cfg.Budget = 5 * time.Second
+	res, err := RunHetero(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked < 20 {
+		t.Fatalf("only %d of 25 instances fully checked (%d skipped)", res.Checked, res.Skipped)
+	}
+}
+
+func TestHeteroBadConfigRejected(t *testing.T) {
+	if _, err := RunHetero(Config{Instances: 0, MaxTasks: 8, Procs: 2}); err == nil {
+		t.Error("bad hetero config accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// ReleaseParams describes how concrete invocation release times deviate
+// from strict periodicity over a finite horizon. Two classic real-time
+// arrival models are covered:
+//
+//   - jittered periodic: invocation k of task i is released at
+//     a_i^k + U[0, JitterFrac·T_i) — the nominal periodic arrival plus a
+//     bounded random release jitter;
+//   - sporadic: T_i is only the MINIMUM inter-arrival time, and each gap
+//     stretches to T_i + U[0, StretchFrac·T_i).
+//
+// Setting both fractions to zero reproduces the strict periodic releases
+// of periodic.Unroll exactly. The result is a plain per-task slice of
+// release times — deliberately a neutral representation, so the generator
+// and its consumer (periodic.UnrollReleases) need no dependency on one
+// another.
+type ReleaseParams struct {
+	// Horizon is the plan length: releases strictly before Horizon are
+	// generated. Must be positive; one hyperperiod is the natural choice.
+	Horizon taskgraph.Time
+
+	// JitterFrac bounds the per-invocation release jitter to
+	// [0, JitterFrac·T_i), in [0, 1]. Mutually exclusive with
+	// StretchFrac.
+	JitterFrac float64
+
+	// StretchFrac makes arrivals sporadic: inter-arrival times are drawn
+	// from [T_i, (1+StretchFrac)·T_i). In [0, 1]. Mutually exclusive with
+	// JitterFrac.
+	StretchFrac float64
+}
+
+// Validate reports whether the parameters describe a generatable plan.
+func (p ReleaseParams) Validate() error {
+	switch {
+	case p.Horizon < 1:
+		return fmt.Errorf("gen: release horizon %d < 1", p.Horizon)
+	case p.JitterFrac < 0 || p.JitterFrac > 1:
+		return fmt.Errorf("gen: jitter fraction %v outside [0,1]", p.JitterFrac)
+	case p.StretchFrac < 0 || p.StretchFrac > 1:
+		return fmt.Errorf("gen: stretch fraction %v outside [0,1]", p.StretchFrac)
+	case p.JitterFrac > 0 && p.StretchFrac > 0:
+		return fmt.Errorf("gen: jitter and stretch are mutually exclusive arrival models")
+	}
+	return nil
+}
+
+// Releases draws one concrete release plan for the periodic tasks of g:
+// releases[i] lists the absolute release times of task i's invocations
+// whose NOMINAL arrival lies in [φ_i, Horizon), in increasing order (a
+// jittered release itself can slip past the horizon by its jitter). Aperiodic tasks (Period 0)
+// release exactly once, at their phase. Every plan is strictly increasing
+// per task and respects the sporadic minimum-separation contract
+// (consecutive releases at least T_i apart) under StretchFrac; under
+// JitterFrac consecutive releases can come closer than T_i but never
+// reorder.
+func (g *Generator) Releases(tg *taskgraph.Graph, p ReleaseParams) ([][]taskgraph.Time, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tg.Validate(); err != nil {
+		return nil, err
+	}
+	releases := make([][]taskgraph.Time, tg.NumTasks())
+	for _, t := range tg.Tasks() {
+		if t.Period < 0 {
+			return nil, fmt.Errorf("gen: task %d has negative period %d", t.ID, t.Period)
+		}
+		if t.Period == 0 {
+			releases[t.ID] = []taskgraph.Time{t.Phase}
+			continue
+		}
+		var rs []taskgraph.Time
+		nominal := t.Phase // next strict-periodic arrival (jitter base / sporadic floor)
+		for nominal < p.Horizon {
+			r := nominal
+			if p.JitterFrac > 0 {
+				if j := int64(p.JitterFrac * float64(t.Period)); j > 0 {
+					r += taskgraph.Time(g.rng.Int63n(j))
+				}
+				// Jitter windows of consecutive invocations may overlap
+				// when JitterFrac is large; releases must still be ordered.
+				if k := len(rs); k > 0 && r <= rs[k-1] {
+					r = rs[k-1] + 1
+				}
+			}
+			rs = append(rs, r)
+			if p.StretchFrac > 0 {
+				gap := t.Period
+				if s := int64(p.StretchFrac * float64(t.Period)); s > 0 {
+					gap += taskgraph.Time(g.rng.Int63n(s))
+				}
+				nominal = r + gap
+			} else {
+				nominal += t.Period
+			}
+		}
+		if len(rs) == 0 {
+			// The horizon ends before the first arrival: the task still
+			// exists, as a single invocation at its phase.
+			rs = []taskgraph.Time{t.Phase}
+		}
+		releases[t.ID] = rs
+	}
+	return releases, nil
+}

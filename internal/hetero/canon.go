@@ -1,0 +1,141 @@
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+// Canonicalize reduces a platform specification to its canonical form for
+// caching, in the canonical task numbering produced by the graph
+// canonicalization (inv maps canonical task ID → requester task ID).
+//
+// It returns:
+//
+//   - canon: the platform the solver should actually run on — affinity
+//     masks re-indexed to canonical task IDs, processors re-ordered into a
+//     canonical sequence (sorted by speed factor, then by their column
+//     across all affinity masks), and homogeneous-universal specs
+//     normalized to the legacy nil-table form so they take exactly the
+//     legacy code paths;
+//   - invProc: canonical processor index → requester processor index, for
+//     translating cached placements back to the requester's numbering
+//     (nil when the processor order is unchanged);
+//   - key: the canonical cache-key fragment. Homogeneous-universal specs
+//     encode as exactly the legacy "m=<M>", so their cache identity is
+//     continuous with every key written before heterogeneity existed.
+//
+// Processor re-ordering is sound because two processors with equal speed
+// and equal affinity columns are interchangeable, and the returned invProc
+// undoes the reordering for non-interchangeable ones; consequently two
+// requests that differ only by a processor permutation (speed factors and
+// affinity bit positions permuted together) share one key and one cache
+// line.
+func Canonicalize(p platform.Platform, inv []taskgraph.TaskID) (canon platform.Platform, invProc []platform.Proc, key string) {
+	canon = platform.Platform{M: p.M, CommDelay: p.CommDelay}
+	if !p.Heterogeneous() {
+		// Includes explicit unit speeds and explicit universal masks:
+		// normalized away entirely (cache continuity with the legacy
+		// encoding).
+		return canon, nil, fmt.Sprintf("m=%d", p.M)
+	}
+
+	n := len(inv)
+	// Affinity masks in canonical task order, over requester processor
+	// indices.
+	aff := make([]uint64, n)
+	for t := 0; t < n; t++ {
+		aff[t] = p.AllowedMask(inv[t])
+	}
+
+	// Canonical processor order: sort by (speed, affinity column). The
+	// column is processor q's bit across all masks in canonical task
+	// order, so it is itself invariant under requester task renumbering.
+	type procKey struct {
+		q     int
+		speed float64
+		col   string
+	}
+	keys := make([]procKey, p.M)
+	colBuf := make([]byte, n)
+	for q := 0; q < p.M; q++ {
+		speed := 1.0
+		if p.Speed != nil {
+			speed = p.Speed[q]
+		}
+		for t := 0; t < n; t++ {
+			colBuf[t] = byte(aff[t] >> uint(q) & 1)
+		}
+		keys[q] = procKey{q: q, speed: speed, col: string(colBuf)}
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].speed != keys[j].speed {
+			return keys[i].speed < keys[j].speed
+		}
+		return keys[i].col < keys[j].col
+	})
+
+	identity := true
+	invProc = make([]platform.Proc, p.M)
+	for newQ, k := range keys {
+		invProc[newQ] = platform.Proc(k.q)
+		if k.q != newQ {
+			identity = false
+		}
+	}
+
+	if !p.Uniform() {
+		canon.Speed = make([]float64, p.M)
+		for newQ, k := range keys {
+			canon.Speed[newQ] = k.speed
+		}
+	}
+	if !p.UniversalAffinity() {
+		canon.Affinity = make([]uint64, n)
+		for t := 0; t < n; t++ {
+			var mask uint64
+			for newQ, k := range keys {
+				mask |= (aff[t] >> uint(k.q) & 1) << uint(newQ)
+			}
+			canon.Affinity[t] = mask
+		}
+	}
+	if identity {
+		invProc = nil
+	}
+	return canon, invProc, Key(canon)
+}
+
+// Key encodes an already-canonical platform as a cache-key fragment:
+// "m=<M>" for homogeneous-universal platforms (the legacy encoding,
+// byte-identical for cache continuity), extended with "|sp=<bits>,..."
+// (IEEE-754 bit patterns of the speed factors, exact) and
+// "|af=<mask>,..." (hex affinity masks in canonical task order) when the
+// respective table is present.
+func Key(p platform.Platform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d", p.M)
+	if p.Speed != nil && !p.Uniform() {
+		b.WriteString("|sp=")
+		for q, s := range p.Speed {
+			if q > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%x", math.Float64bits(s))
+		}
+	}
+	if p.Affinity != nil && !p.UniversalAffinity() {
+		b.WriteString("|af=")
+		for t, mask := range p.Affinity {
+			if t > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%x", mask)
+		}
+	}
+	return b.String()
+}

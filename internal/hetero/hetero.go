@@ -1,0 +1,105 @@
+// Package hetero is the heterogeneous-platform scenario layer: it owns the
+// structured validation and canonical encoding of platform specifications
+// (per-processor speed factors, per-task affinity masks) and the
+// partitioned-scheduling search mode.
+//
+// The platform model generalizes the paper's m identical processors to
+// uniform "related machines" (Lupu et al.; Funk et al.): processor q runs
+// at speed factor s_q, so a task with nominal demand c executes in
+// ceil(c/s_q) time units there, and each task carries an affinity bitmask
+// of processors it may run on. The generalized model is threaded through
+// internal/platform, internal/sched and internal/core — EST, both lower
+// bounds (LB1's single ℓ_min becomes a per-task ℓ_i over the allowed
+// processors, with per-task minimum execution costs as the demand floor),
+// and generation-time pruning of affinity-infeasible children — behind the
+// exact-bounds contract: with unit speed factors and universal affinities
+// every solver event stream is bit-identical to the legacy homogeneous
+// kernel.
+//
+// On top of the model, SolvePartitioned implements the partitioned
+// execution mode: branch-and-bound over task→processor assignments with
+// per-processor EDF (internal/edf) ordering execution, the classic
+// partitioned alternative to the paper's global time-driven search.
+package hetero
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// SpecError is the structured validation failure for a platform
+// specification: the serving tier maps it to a 400 with a structured error
+// body, so clients can see WHICH field of the spec is malformed.
+type SpecError struct {
+	// Code classifies the failure: "proc_count", "speed_count",
+	// "speed_factor", "affinity_count", "affinity_empty",
+	// "affinity_range".
+	Code string
+	// Field names the offending request field, e.g. "speed_factors[2]"
+	// or "affinities[7]".
+	Field string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("invalid platform spec: %s (%s: %s)", e.Detail, e.Code, e.Field)
+}
+
+// ValidateSpec validates a platform specification against a task count,
+// returning a *SpecError describing the first violation:
+//
+//   - processor count outside [1, 127] (or >64 with affinity masks);
+//   - speed-factor table of the wrong length, or any factor that is zero,
+//     negative, NaN or infinite;
+//   - affinity table of the wrong length, any EMPTY mask (a task that can
+//     run nowhere), or any mask naming a processor index >= m.
+//
+// It is the error-returning counterpart of platform.ValidateFor with
+// field-level attribution.
+func ValidateSpec(p platform.Platform, n int) error {
+	if p.M < 1 || p.M > 127 {
+		return &SpecError{Code: "proc_count", Field: "procs",
+			Detail: fmt.Sprintf("processor count %d outside [1, 127]", p.M)}
+	}
+	if p.Affinity != nil && p.M > 64 {
+		return &SpecError{Code: "proc_count", Field: "procs",
+			Detail: fmt.Sprintf("affinity masks support at most 64 processors, have %d", p.M)}
+	}
+	if p.Speed != nil && len(p.Speed) != p.M {
+		return &SpecError{Code: "speed_count", Field: "speed_factors",
+			Detail: fmt.Sprintf("%d speed factors for %d processors", len(p.Speed), p.M)}
+	}
+	for q, s := range p.Speed {
+		// NaN fails s > 0, so the single comparison covers zero, negative
+		// and NaN; infinities are excluded explicitly.
+		if !(s > 0) || s > maxSpeed {
+			return &SpecError{Code: "speed_factor", Field: fmt.Sprintf("speed_factors[%d]", q),
+				Detail: fmt.Sprintf("speed factor %g is not in (0, %g]", s, float64(maxSpeed))}
+		}
+	}
+	if p.Affinity != nil {
+		if len(p.Affinity) != n {
+			return &SpecError{Code: "affinity_count", Field: "affinities",
+				Detail: fmt.Sprintf("%d affinity masks for %d tasks", len(p.Affinity), n)}
+		}
+		universe := uint64(1)<<uint(p.M) - 1
+		for id, mask := range p.Affinity {
+			if mask == 0 {
+				return &SpecError{Code: "affinity_empty", Field: fmt.Sprintf("affinities[%d]", id),
+					Detail: fmt.Sprintf("task %d has an empty affinity mask (no processor can run it)", id)}
+			}
+			if mask&^universe != 0 {
+				return &SpecError{Code: "affinity_range", Field: fmt.Sprintf("affinities[%d]", id),
+					Detail: fmt.Sprintf("task %d's affinity mask names a processor index >= m=%d", id, p.M)}
+			}
+		}
+	}
+	return nil
+}
+
+// maxSpeed bounds accepted speed factors: fast enough that any plausible
+// spec fits, small enough that ceil(c/s) arithmetic stays far from
+// overflow territory.
+const maxSpeed = 1 << 20

@@ -1,0 +1,341 @@
+package hetero
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/edf"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgraph"
+)
+
+// Partitioned scheduling splits the problem the classic way (Lupu et al.):
+// a partitioning algorithm decides WHERE every task runs, and a local
+// per-processor policy decides WHEN. Here the partitioning algorithm is a
+// branch-and-bound over complete task→processor assignments, and the local
+// policy is EDF — a full assignment is evaluated by the deterministic
+// partitioned-EDF simulation of internal/edf, so each assignment has
+// exactly one cost and the search minimizes max lateness over assignments.
+//
+// The search branches over tasks in topological order, assigning each to
+// one of its allowed processors. A partial assignment is bounded by two
+// admissible relaxations of every completion's EDF simulation:
+//
+//   - a critical-path sweep where assigned tasks cost their exact
+//     ExecCost on their processor (plus interprocessor communication on
+//     arcs whose BOTH endpoints are assigned, to distinct processors) and
+//     unassigned tasks cost their affinity-minimum execution time;
+//   - a per-processor load bound: the tasks already assigned to q cannot
+//     all finish before minArrival + Σ exec, so some task assigned to q is
+//     at least that far past the latest deadline among them.
+//
+// Both under-estimate every valid completion (the EDF simulation included),
+// so pruning against the incumbent cost is exact: an uninterrupted run
+// returns the optimal partitioned cost.
+
+// Options bounds a partitioned solve.
+type Options struct {
+	// TimeLimit caps the wall-clock search time (0 = none).
+	TimeLimit time.Duration
+	// NodeLimit caps the number of visited assignment vertices (0 = none).
+	NodeLimit int64
+}
+
+// Stats counts the partitioned search's work.
+type Stats struct {
+	Visited          int64 // assignment-tree vertices visited
+	Pruned           int64 // subtrees cut by the lower bound
+	Evaluated        int64 // complete assignments simulated
+	IncumbentUpdates int64
+	Elapsed          time.Duration
+	TimedOut         bool
+}
+
+// Result is the outcome of a partitioned solve.
+type Result struct {
+	// Assign is the best task→processor assignment found.
+	Assign []platform.Proc
+	// Schedule is its partitioned-EDF schedule.
+	Schedule *sched.Schedule
+	// Cost is the schedule's maximum lateness.
+	Cost taskgraph.Time
+	// Lower is the root lower bound on any partitioned cost.
+	Lower taskgraph.Time
+	// Optimal reports an exhausted search: Cost is the minimum over all
+	// affinity-feasible assignments. False after a time/node-limit or
+	// cancellation exit, where Cost is the best incumbent found.
+	Optimal bool
+	Stats   Stats
+}
+
+type psolver struct {
+	g    *taskgraph.Graph
+	p    platform.Platform
+	ctx  context.Context
+	opt  Options
+	topo []taskgraph.TaskID
+
+	cur    []platform.Proc // partial assignment, NoProc = unassigned
+	arr    []taskgraph.Time
+	exec   []taskgraph.Time
+	dl     []taskgraph.Time
+	fhat   []taskgraph.Time
+	loadQ  []taskgraph.Time // per-proc Σ exec of assigned tasks (scratch)
+	minAQ  []taskgraph.Time
+	maxDQ  []taskgraph.Time
+	st     *sched.State
+	ready  []taskgraph.TaskID
+	incBuf []platform.Proc
+
+	incCost  taskgraph.Time
+	deadline time.Time
+	stopped  bool
+	stats    Stats
+}
+
+// SolvePartitioned finds the assignment minimizing the partitioned-EDF
+// maximum lateness. The anytime contract matches the global solver's: a
+// bounded exit (time limit, node limit, cancellation) still returns the
+// best incumbent with Optimal=false; the incumbent is seeded from the
+// global EDF heuristic's induced assignment, so a result always exists.
+func SolvePartitioned(ctx context.Context, g *taskgraph.Graph, p platform.Platform, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := g.NumTasks()
+	if n == 0 {
+		return Result{}, fmt.Errorf("hetero: empty task graph")
+	}
+	if err := p.ValidateFor(n); err != nil {
+		return Result{}, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+
+	s := &psolver{
+		g: g, p: p, ctx: ctx, opt: opt, topo: topo,
+		cur:    make([]platform.Proc, n),
+		arr:    make([]taskgraph.Time, n),
+		exec:   make([]taskgraph.Time, n),
+		dl:     make([]taskgraph.Time, n),
+		fhat:   make([]taskgraph.Time, n),
+		loadQ:  make([]taskgraph.Time, p.M),
+		minAQ:  make([]taskgraph.Time, p.M),
+		maxDQ:  make([]taskgraph.Time, p.M),
+		st:     sched.NewState(g, p),
+		ready:  make([]taskgraph.TaskID, 0, n),
+		incBuf: make([]platform.Proc, n),
+	}
+	for i := 0; i < n; i++ {
+		t := g.Task(taskgraph.TaskID(i))
+		s.arr[i], s.dl[i] = t.Arrival(), t.AbsDeadline()
+		s.exec[i] = t.Exec
+		s.cur[i] = platform.NoProc
+	}
+
+	// Incumbent seed: the global EDF heuristic's induced assignment,
+	// re-evaluated under the partitioned simulation.
+	seed, err := edf.Schedule(g, p)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < n; i++ {
+		s.incBuf[i] = seed.Schedule.Proc(taskgraph.TaskID(i))
+	}
+	s.incCost = edf.PartitionedLmax(s.st, s.incBuf, s.ready)
+	res := Result{Assign: append([]platform.Proc(nil), s.incBuf...)}
+
+	start := time.Now()
+	if opt.TimeLimit > 0 {
+		s.deadline = start.Add(opt.TimeLimit)
+	}
+	res.Lower = s.bound()
+	s.dfs(0)
+	s.stats.Elapsed = time.Since(start)
+
+	res.Cost = s.incCost
+	res.Optimal = !s.stopped
+	res.Stats = s.stats
+	copy(res.Assign, s.incBuf)
+	final, err := edf.SchedulePartitioned(g, p, res.Assign)
+	if err != nil {
+		return Result{}, fmt.Errorf("hetero: incumbent re-evaluation: %w", err)
+	}
+	if final.Lmax != res.Cost {
+		return Result{}, fmt.Errorf("hetero: incumbent cost drift: search says %d, re-simulation says %d", res.Cost, final.Lmax)
+	}
+	res.Schedule = final.Schedule
+	if res.Lower > res.Cost {
+		return Result{}, fmt.Errorf("hetero: root bound %d exceeds optimal cost %d (bound not admissible)", res.Lower, res.Cost)
+	}
+	return res, nil
+}
+
+// dfs assigns the k-th task in topological order to every allowed
+// processor, bounding and pruning each child.
+func (s *psolver) dfs(k int) {
+	if s.stopped {
+		return
+	}
+	s.stats.Visited++
+	if s.stats.Visited&1023 == 0 {
+		if s.opt.NodeLimit > 0 && s.stats.Visited > s.opt.NodeLimit {
+			s.stopped, s.stats.TimedOut = true, true
+			return
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.stopped, s.stats.TimedOut = true, true
+			return
+		}
+		select {
+		case <-s.ctx.Done():
+			s.stopped = true
+			return
+		default:
+		}
+	}
+	if k == len(s.topo) {
+		s.stats.Evaluated++
+		cost := edf.PartitionedLmax(s.st, s.cur, s.ready)
+		if cost < s.incCost {
+			s.incCost = cost
+			copy(s.incBuf, s.cur)
+			s.stats.IncumbentUpdates++
+		}
+		return
+	}
+	id := s.topo[k]
+	for mask := s.p.AllowedMask(id); mask != 0; mask &= mask - 1 {
+		q := platform.Proc(bits.TrailingZeros64(mask))
+		s.cur[id] = q
+		if lb := s.bound(); lb >= s.incCost {
+			s.stats.Pruned++
+		} else {
+			s.dfs(k + 1)
+		}
+		s.cur[id] = platform.NoProc
+		if s.stopped {
+			return
+		}
+	}
+}
+
+// bound computes the admissible lower bound of the current partial
+// assignment (see the package section comment above) in one O(V+E+M)
+// pass.
+func (s *psolver) bound() taskgraph.Time {
+	l := taskgraph.MinTime
+	for q := 0; q < s.p.M; q++ {
+		s.loadQ[q] = 0
+		s.minAQ[q] = taskgraph.Infinity
+		s.maxDQ[q] = taskgraph.MinTime
+	}
+	for _, id := range s.topo {
+		q := s.cur[id]
+		var c taskgraph.Time
+		if q == platform.NoProc {
+			c = s.p.MinExecCost(id, s.exec[id])
+		} else {
+			c = s.p.ExecCost(s.exec[id], q)
+			s.loadQ[q] += c
+			if s.arr[id] < s.minAQ[q] {
+				s.minAQ[q] = s.arr[id]
+			}
+			if s.dl[id] > s.maxDQ[q] {
+				s.maxDQ[q] = s.dl[id]
+			}
+		}
+		floor := s.arr[id]
+		est := floor + c
+		for _, pred := range s.g.Preds(id) {
+			ready := s.fhat[pred]
+			if pq := s.cur[pred]; pq != platform.NoProc && q != platform.NoProc {
+				ready += s.p.CommCost(pq, q, s.g.MessageSize(pred, id))
+			}
+			if ready < floor {
+				ready = floor
+			}
+			if ready+c > est {
+				est = ready + c
+			}
+		}
+		s.fhat[id] = est
+		if lat := est - s.dl[id]; lat > l {
+			l = lat
+		}
+	}
+	for q := 0; q < s.p.M; q++ {
+		if s.loadQ[q] == 0 {
+			continue
+		}
+		if lat := s.minAQ[q] + s.loadQ[q] - s.maxDQ[q]; lat > l {
+			l = lat
+		}
+	}
+	return l
+}
+
+// BruteLimit bounds the assignment vectors a BruteForcePartitioned call
+// may enumerate.
+const BruteLimit = 5_000_000
+
+// BruteForcePartitioned enumerates EVERY affinity-feasible assignment,
+// evaluates each with the partitioned-EDF simulation, and returns the
+// optimum — the ground-truth oracle the partitioned branch-and-bound is
+// cross-validated against on small instances.
+func BruteForcePartitioned(g *taskgraph.Graph, p platform.Platform) (Result, error) {
+	n := g.NumTasks()
+	if n == 0 {
+		return Result{}, fmt.Errorf("hetero: empty task graph")
+	}
+	if err := p.ValidateFor(n); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, err
+	}
+	st := sched.NewState(g, p)
+	ready := make([]taskgraph.TaskID, 0, n)
+	assign := make([]platform.Proc, n)
+	res := Result{Cost: taskgraph.Infinity, Optimal: true}
+
+	var overflow bool
+	var rec func(id int)
+	rec = func(id int) {
+		if overflow {
+			return
+		}
+		if id == n {
+			res.Stats.Evaluated++
+			if res.Stats.Evaluated > BruteLimit {
+				overflow = true
+				return
+			}
+			cost := edf.PartitionedLmax(st, assign, ready)
+			if cost < res.Cost {
+				res.Cost = cost
+				res.Assign = append(res.Assign[:0], assign...)
+			}
+			return
+		}
+		for mask := p.AllowedMask(taskgraph.TaskID(id)); mask != 0; mask &= mask - 1 {
+			assign[id] = platform.Proc(bits.TrailingZeros64(mask))
+			rec(id + 1)
+		}
+	}
+	rec(0)
+	if overflow {
+		return Result{}, fmt.Errorf("hetero: assignment space exceeds %d vectors", BruteLimit)
+	}
+	final, err := edf.SchedulePartitioned(g, p, res.Assign)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Schedule, res.Lower = final.Schedule, res.Cost
+	return res, nil
+}

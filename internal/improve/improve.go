@@ -145,10 +145,11 @@ func Improve(s *sched.Schedule, opts Options) (Result, error) {
 			if res.Moves >= opts.MaxIters {
 				break
 			}
-			// Reassign task at position i to a random different processor.
+			// Reassign task at position i to a random different processor
+			// (skipped when the task's affinity mask excludes the draw).
 			if plat.M > 1 {
 				q := platform.Proc(rng.Intn(plat.M))
-				if q != cur.proc[i] {
+				if q != cur.proc[i] && plat.Allows(cur.order[i], q) {
 					old := cur.proc[i]
 					cur.proc[i] = q
 					res.Moves++
@@ -190,7 +191,9 @@ func Improve(s *sched.Schedule, opts Options) (Result, error) {
 		for k := 0; k < opts.KickLength; k++ {
 			i := rng.Intn(n)
 			if plat.M > 1 && rng.Intn(2) == 0 {
-				cur.proc[i] = platform.Proc(rng.Intn(plat.M))
+				if q := platform.Proc(rng.Intn(plat.M)); plat.Allows(cur.order[i], q) {
+					cur.proc[i] = q
+				}
 			} else if i+1 < n && !g.HasPath(cur.order[i], cur.order[i+1]) {
 				cur.order[i], cur.order[i+1] = cur.order[i+1], cur.order[i]
 				cur.proc[i], cur.proc[i+1] = cur.proc[i+1], cur.proc[i]

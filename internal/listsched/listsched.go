@@ -65,7 +65,7 @@ type Result struct {
 
 // Schedule runs the list scheduler with the given policy.
 func Schedule(g *taskgraph.Graph, p platform.Platform, pol Policy) (Result, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
 		return Result{}, err
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -101,11 +101,16 @@ func Schedule(g *taskgraph.Graph, p platform.Platform, pol Policy) (Result, erro
 				best = id
 			}
 		}
-		bestProc := platform.Proc(0)
-		bestStart := st.EST(best, 0)
-		for q := 1; q < p.M; q++ {
-			if s := st.EST(best, platform.Proc(q)); s < bestStart {
-				bestStart, bestProc = s, platform.Proc(q)
+		// Earliest finish over allowed processors, smallest index on ties
+		// (identical to earliest-start on homogeneous platforms).
+		bestProc := platform.NoProc
+		bestFinish := taskgraph.Infinity
+		for q := 0; q < p.M; q++ {
+			if !p.Allows(best, platform.Proc(q)) {
+				continue
+			}
+			if f := st.EST(best, platform.Proc(q)) + st.ExecOn(best, platform.Proc(q)); f < bestFinish {
+				bestFinish, bestProc = f, platform.Proc(q)
 			}
 		}
 		st.Place(best, bestProc)

@@ -1,0 +1,101 @@
+package periodic
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// UnrollReleases expands a periodic task graph over an EXPLICIT release
+// plan instead of strict periodicity: releases[i] lists the absolute
+// release times of task i's invocations in increasing order (the neutral
+// representation produced by gen's sporadic/jittered release generator).
+// Invocation k of task i arrives at releases[i][k-1] and keeps the task's
+// relative deadline, so the expanded graph is the one-shot image of one
+// concrete sporadic (or jittered-periodic) arrival sequence.
+//
+// The precedence semantics match Unroll: arc (τ_i, τ_j) is replicated
+// same-iteration for the iterations both endpoints have, and consecutive
+// invocations of one task are chained so a non-preemptive schedule can
+// never reorder them. Unlike Unroll, connected tasks need not share a
+// period — the plan already fixes every arrival, so mixed invocation
+// counts simply truncate arc replication at the shorter side.
+func UnrollReleases(g *taskgraph.Graph, releases [][]taskgraph.Time) (*Expansion, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	if len(releases) != n {
+		return nil, fmt.Errorf("periodic: release plan covers %d tasks, graph has %d", len(releases), n)
+	}
+	horizon := taskgraph.Time(0)
+	total := 0
+	for id, rs := range releases {
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("periodic: task %d has no releases", id)
+		}
+		t := g.Task(taskgraph.TaskID(id))
+		for k, r := range rs {
+			if r < 0 {
+				return nil, fmt.Errorf("periodic: task %d release %d is negative (%d)", id, k+1, r)
+			}
+			if k > 0 && r <= rs[k-1] {
+				return nil, fmt.Errorf("periodic: task %d releases not strictly increasing at invocation %d (%d after %d)",
+					id, k+1, r, rs[k-1])
+			}
+			if d := r + t.Deadline; d > horizon {
+				horizon = d
+			}
+		}
+		total += len(rs)
+	}
+
+	ex := &Expansion{
+		// For an explicit plan the "hyperperiod" is the schedule-table
+		// length: the latest absolute deadline of any invocation.
+		Hyperperiod: horizon,
+		IDs:         make([][]taskgraph.TaskID, n),
+	}
+	ng := taskgraph.New(total)
+	for _, t := range g.Tasks() {
+		rs := releases[t.ID]
+		ex.IDs[t.ID] = make([]taskgraph.TaskID, len(rs))
+		for i, r := range rs {
+			id := ng.AddTask(taskgraph.Task{
+				Name:     fmt.Sprintf("%s#%d", nameOf(t), i+1),
+				Exec:     t.Exec,
+				Phase:    r,
+				Deadline: t.Deadline,
+			})
+			ex.IDs[t.ID][i] = id
+			ex.Of = append(ex.Of, Invocation{Orig: t.ID, K: i + 1})
+		}
+	}
+
+	// Same-iteration arcs, truncated to the shorter endpoint.
+	for _, c := range g.Channels() {
+		k := len(ex.IDs[c.Src])
+		if kd := len(ex.IDs[c.Dst]); kd < k {
+			k = kd
+		}
+		for i := 0; i < k; i++ {
+			if err := ng.AddEdge(ex.IDs[c.Src][i], ex.IDs[c.Dst][i], c.Size); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Iteration chains.
+	for _, ids := range ex.IDs {
+		for i := 0; i+1 < len(ids); i++ {
+			if err := ng.AddEdge(ids[i], ids[i+1], 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("periodic: unrolled graph invalid: %w", err)
+	}
+	ex.Graph = ng
+	return ex, nil
+}

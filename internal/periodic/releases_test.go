@@ -1,0 +1,109 @@
+package periodic
+
+import (
+	"testing"
+
+	"repro/internal/taskgraph"
+)
+
+func periodicPair(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.New(2)
+	a := g.AddTask(taskgraph.Task{Exec: 3, Deadline: 10, Period: 10})
+	b := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 10, Period: 10})
+	if err := g.AddEdge(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// A strict-periodic plan must reproduce Unroll's expansion exactly:
+// same arrivals, deadlines, arcs and invocation mapping.
+func TestUnrollReleasesMatchesUnrollOnStrictPlan(t *testing.T) {
+	g := periodicPair(t)
+	want, err := Unroll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := Hyperperiod(g)
+	releases := make([][]taskgraph.Time, g.NumTasks())
+	for _, task := range g.Tasks() {
+		for k := 1; k <= int(h/task.Period); k++ {
+			releases[task.ID] = append(releases[task.ID], task.ArrivalK(k))
+		}
+	}
+	got, err := UnrollReleases(g, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumTasks() != want.Graph.NumTasks() {
+		t.Fatalf("%d expanded tasks, want %d", got.Graph.NumTasks(), want.Graph.NumTasks())
+	}
+	for id := 0; id < want.Graph.NumTasks(); id++ {
+		wt, gt := want.Graph.Task(taskgraph.TaskID(id)), got.Graph.Task(taskgraph.TaskID(id))
+		if wt.Phase != gt.Phase || wt.Deadline != gt.Deadline || wt.Exec != gt.Exec {
+			t.Fatalf("task %d: got (φ=%d d=%d c=%d), want (φ=%d d=%d c=%d)",
+				id, gt.Phase, gt.Deadline, gt.Exec, wt.Phase, wt.Deadline, wt.Exec)
+		}
+		if want.Of[id] != got.Of[id] {
+			t.Fatalf("task %d: invocation map %+v, want %+v", id, got.Of[id], want.Of[id])
+		}
+	}
+	if len(got.Graph.Channels()) != len(want.Graph.Channels()) {
+		t.Fatalf("%d arcs, want %d", len(got.Graph.Channels()), len(want.Graph.Channels()))
+	}
+}
+
+func TestUnrollReleasesSporadicPlan(t *testing.T) {
+	g := periodicPair(t)
+	// Sporadic arrivals: gaps >= the period of 10, different counts per
+	// task (the horizon cut one invocation of task 1 off).
+	releases := [][]taskgraph.Time{
+		{0, 12, 25},
+		{2, 14},
+	}
+	ex, err := UnrollReleases(g, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Graph.NumTasks() != 5 {
+		t.Fatalf("%d expanded tasks, want 5", ex.Graph.NumTasks())
+	}
+	// Arrivals and relative deadlines carried verbatim.
+	if a := ex.Graph.Task(ex.IDs[0][1]).Arrival(); a != 12 {
+		t.Fatalf("invocation 2 of task 0 arrives at %d, want 12", a)
+	}
+	if d := ex.Graph.Task(ex.IDs[0][2]).AbsDeadline(); d != 35 {
+		t.Fatalf("invocation 3 of task 0 due at %d, want 35", d)
+	}
+	// Hyperperiod = latest absolute deadline.
+	if ex.Hyperperiod != 35 {
+		t.Fatalf("table length %d, want 35", ex.Hyperperiod)
+	}
+	// Same-iteration arcs truncated to 2; plus 2+1 chain arcs.
+	if len(ex.Graph.Channels()) != 5 {
+		t.Fatalf("%d arcs, want 5 (2 same-iteration + 3 chains)", len(ex.Graph.Channels()))
+	}
+	// Chains keep iterations ordered.
+	if !ex.Graph.HasPath(ex.IDs[0][0], ex.IDs[0][2]) {
+		t.Fatal("iteration chain missing for task 0")
+	}
+}
+
+func TestUnrollReleasesRejectsBadPlans(t *testing.T) {
+	g := periodicPair(t)
+	cases := []struct {
+		name string
+		plan [][]taskgraph.Time
+	}{
+		{"wrong task count", [][]taskgraph.Time{{0}}},
+		{"empty releases", [][]taskgraph.Time{{0}, {}}},
+		{"negative release", [][]taskgraph.Time{{-1}, {0}}},
+		{"non-increasing", [][]taskgraph.Time{{0, 10, 10}, {0}}},
+	}
+	for _, tc := range cases {
+		if _, err := UnrollReleases(g, tc.plan); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package platform
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/taskgraph"
 )
@@ -33,6 +34,20 @@ type Platform struct {
 	// strategy of the underlying interconnection network. The paper's
 	// shared bus has CommDelay = 1.
 	CommDelay taskgraph.Time
+
+	// Speed, when non-nil, holds one positive speed factor per processor
+	// (the uniform "related machines" model): executing a task with
+	// nominal demand c on processor q takes ExecCost(c, q) =
+	// ceil(c / Speed[q]) time units. nil (or all factors exactly 1) is the
+	// paper's homogeneous model, and every code path then reduces to the
+	// identical-processor behaviour bit for bit.
+	Speed []float64
+
+	// Affinity, when non-nil, holds one processor bitmask per task
+	// (indexed by TaskID): bit q set means the task may execute on
+	// processor q. nil (or all masks universal) means unrestricted
+	// placement. Affinity restricts M to at most 64 processors.
+	Affinity []uint64
 }
 
 // New returns a shared-bus platform with m processors and the paper's
@@ -56,7 +71,130 @@ func (p Platform) Validate() error {
 	if p.CommDelay < 0 {
 		return fmt.Errorf("platform: negative nominal delay %d", p.CommDelay)
 	}
+	if p.Speed != nil && len(p.Speed) != p.M {
+		return fmt.Errorf("platform: %d speed factors for %d processors", len(p.Speed), p.M)
+	}
+	for q, s := range p.Speed {
+		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+			return fmt.Errorf("platform: speed factor %g for processor %d is not positive and finite", s, q)
+		}
+	}
+	if p.Affinity != nil {
+		if p.M > 64 {
+			return fmt.Errorf("platform: affinity masks support at most 64 processors, have %d", p.M)
+		}
+		universe := uint64(1)<<uint(p.M) - 1
+		for id, mask := range p.Affinity {
+			if mask == 0 {
+				return fmt.Errorf("platform: empty affinity mask for task %d", id)
+			}
+			if mask&^universe != 0 {
+				return fmt.Errorf("platform: affinity mask for task %d names a processor >= m=%d", id, p.M)
+			}
+		}
+	}
 	return nil
+}
+
+// ValidateFor validates the platform against a concrete task count: on top
+// of Validate, a non-nil Affinity table must cover exactly n tasks.
+func (p Platform) ValidateFor(n int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Affinity != nil && len(p.Affinity) != n {
+		return fmt.Errorf("platform: %d affinity masks for %d tasks", len(p.Affinity), n)
+	}
+	return nil
+}
+
+// Uniform reports whether every processor runs at unit speed (including the
+// nil Speed table), i.e. the paper's identical-processors model.
+func (p Platform) Uniform() bool {
+	for _, s := range p.Speed {
+		if s != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// UniversalAffinity reports whether every task may run on every processor
+// (including the nil Affinity table).
+func (p Platform) UniversalAffinity() bool {
+	if p.Affinity == nil {
+		return true
+	}
+	universe := uint64(1)<<uint(p.M) - 1
+	for _, mask := range p.Affinity {
+		if mask&universe != universe {
+			return false
+		}
+	}
+	return true
+}
+
+// Heterogeneous reports whether the platform deviates from the paper's
+// model in either dimension: non-unit speed factors or restricted
+// affinities. Homogeneous-universal platforms take exactly the legacy code
+// paths everywhere heterogeneity is threaded through.
+func (p Platform) Heterogeneous() bool {
+	return !p.Uniform() || !p.UniversalAffinity()
+}
+
+// Allows reports whether the task may execute on processor q.
+func (p Platform) Allows(id taskgraph.TaskID, q Proc) bool {
+	if p.Affinity == nil || int(id) >= len(p.Affinity) {
+		return true
+	}
+	return p.Affinity[id]>>uint(q)&1 == 1
+}
+
+// AllowedMask returns the bitmask of processors the task may execute on
+// (all M bits set under universal affinity).
+func (p Platform) AllowedMask(id taskgraph.TaskID) uint64 {
+	universe := uint64(1)<<uint(p.M) - 1
+	if p.M > 64 {
+		universe = ^uint64(0)
+	}
+	if p.Affinity == nil || int(id) >= len(p.Affinity) {
+		return universe
+	}
+	return p.Affinity[id] & universe
+}
+
+// ExecCost returns the execution time of a task with nominal demand c on
+// processor q: ceil(c / Speed[q]), or c itself on a unit-speed processor.
+// The ceiling keeps times integral; a zero-demand task stays zero-demand
+// on every processor.
+func (p Platform) ExecCost(c taskgraph.Time, q Proc) taskgraph.Time {
+	if p.Speed == nil {
+		return c
+	}
+	s := p.Speed[q]
+	if s == 1 || c == 0 {
+		return c
+	}
+	return taskgraph.Time(math.Ceil(float64(c) / s))
+}
+
+// MinExecCost returns the smallest execution time of a task with nominal
+// demand c over the processors its affinity mask allows. This is the
+// admissible per-task demand floor used by the heterogeneous lower bounds.
+func (p Platform) MinExecCost(id taskgraph.TaskID, c taskgraph.Time) taskgraph.Time {
+	if p.Speed == nil {
+		return c
+	}
+	min := taskgraph.Infinity
+	for q := 0; q < p.M; q++ {
+		if !p.Allows(id, Proc(q)) {
+			continue
+		}
+		if e := p.ExecCost(c, Proc(q)); e < min {
+			min = e
+		}
+	}
+	return min
 }
 
 // CommCost returns the worst-case cost of transferring size data items from
@@ -77,5 +215,8 @@ func (p Platform) MessageCost(size taskgraph.Time) taskgraph.Time {
 }
 
 func (p Platform) String() string {
+	if p.Heterogeneous() {
+		return fmt.Sprintf("platform{m=%d, delay=%d, hetero}", p.M, p.CommDelay)
+	}
 	return fmt.Sprintf("platform{m=%d, delay=%d}", p.M, p.CommDelay)
 }

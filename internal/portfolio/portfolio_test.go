@@ -155,3 +155,49 @@ func TestBoundMatchTerminatesEarly(t *testing.T) {
 		t.Fatalf("bound-match did not terminate the search early: %d vertices", res.Search.Generated)
 	}
 }
+
+// TestPipelineHeterogeneousPlatform runs the whole pipeline on a
+// fast/slow platform with restricted affinities: every stage (analysis
+// bound, list portfolio, local search, exact search) must thread the
+// speed factors and masks, the result must match the brute-force hetero
+// optimum, and the final schedule must respect both tables.
+func TestPipelineHeterogeneousPlatform(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := smallWorkload(t, seed)
+		plat := platform.New(3)
+		plat.Speed = []float64{1, 2, 0.5}
+		plat.Affinity = make([]uint64, g.NumTasks())
+		for id := range plat.Affinity {
+			plat.Affinity[id] = 0b111
+			if id%3 == 1 {
+				plat.Affinity[id] = 0b011 // pinned off the slow processor
+			}
+		}
+		want, err := bruteforce.Solve(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(g, plat, Options{Budget: 5 * time.Second, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Cost != want.Cost {
+			t.Fatalf("seed %d: pipeline Lmax %d, brute force %d", seed, res.Cost, want.Cost)
+		}
+		if !res.Optimal {
+			t.Fatalf("seed %d: exhausted exact stage not marked optimal: %s", seed, res)
+		}
+		if res.Lower > res.Cost {
+			t.Fatalf("seed %d: certified bound %d above optimum %d", seed, res.Lower, res.Cost)
+		}
+		for _, task := range g.Tasks() {
+			q := res.Schedule.Proc(task.ID)
+			if !plat.Allows(task.ID, q) {
+				t.Fatalf("seed %d: task %d placed on forbidden processor %d", seed, task.ID, q)
+			}
+			if got, want := res.Schedule.Finish(task.ID)-res.Schedule.Start(task.ID), plat.ExecCost(task.Exec, q); got != want {
+				t.Fatalf("seed %d: task %d runs %d ticks on proc %d, want %d", seed, task.ID, got, q, want)
+			}
+		}
+	}
+}

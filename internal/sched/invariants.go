@@ -51,12 +51,15 @@ func (s *State) checkInvariants() {
 		if int(s.proc[id]) >= s.P.M {
 			panic(fmt.Sprintf("sched: bbdebug: task %d on processor %d, platform has %d", id, s.proc[id], s.P.M))
 		}
+		if !s.P.Allows(tid, s.proc[id]) {
+			panic(fmt.Sprintf("sched: bbdebug: task %d on processor %d excluded by its affinity mask", id, s.proc[id]))
+		}
 		t := s.G.Task(tid)
 		if s.start[id] < t.Arrival() {
 			panic(fmt.Sprintf("sched: bbdebug: task %d starts at %d before arrival %d", id, s.start[id], t.Arrival()))
 		}
-		if s.finish[id] != s.start[id]+t.Exec {
-			panic(fmt.Sprintf("sched: bbdebug: task %d finish %d != start %d + exec %d", id, s.finish[id], s.start[id], t.Exec))
+		if exec := s.P.ExecCost(t.Exec, s.proc[id]); s.finish[id] != s.start[id]+exec {
+			panic(fmt.Sprintf("sched: bbdebug: task %d finish %d != start %d + exec %d", id, s.finish[id], s.start[id], exec))
 		}
 		for _, pred := range s.G.Preds(tid) {
 			if s.proc[pred] == platform.NoProc {

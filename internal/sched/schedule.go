@@ -73,7 +73,11 @@ func (s *Schedule) Set(id taskgraph.TaskID, proc platform.Proc, start taskgraph.
 	}
 	s.proc[id] = proc
 	s.start[id] = start
-	s.finish[id] = start + s.Graph.Task(id).Exec
+	if proc == platform.NoProc {
+		s.finish[id] = start + s.Graph.Task(id).Exec
+	} else {
+		s.finish[id] = start + s.Platform.ExecCost(s.Graph.Task(id).Exec, proc)
+	}
 }
 
 // Placed reports whether the task has been assigned a processor.
@@ -178,12 +182,15 @@ func (s *Schedule) Check() error {
 		if int(s.proc[id]) >= p.M {
 			return fmt.Errorf("sched: task %d on processor %d, platform has %d", id, s.proc[id], p.M)
 		}
+		if !p.Allows(tid, s.proc[id]) {
+			return fmt.Errorf("sched: task %d on processor %d excluded by its affinity mask", id, s.proc[id])
+		}
 		t := g.Task(tid)
 		if s.start[id] < t.Arrival() {
 			return fmt.Errorf("sched: task %d starts at %d before its arrival %d", id, s.start[id], t.Arrival())
 		}
-		if s.finish[id] != s.start[id]+t.Exec {
-			return fmt.Errorf("sched: task %d has finish %d != start %d + exec %d", id, s.finish[id], s.start[id], t.Exec)
+		if want := s.start[id] + p.ExecCost(t.Exec, s.proc[id]); s.finish[id] != want {
+			return fmt.Errorf("sched: task %d has finish %d != start %d + exec %d", id, s.finish[id], s.start[id], want-s.start[id])
 		}
 		for _, pred := range g.Preds(tid) {
 			if s.proc[pred] == platform.NoProc {

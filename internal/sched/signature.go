@@ -43,11 +43,22 @@ const (
 )
 
 // stateSig is the incremental signature state embedded in State.
+//
+// On heterogeneous platforms processor renaming is only an equivalence
+// within classes of processors that share a speed factor and are treated
+// identically by every task's affinity mask. salt, when non-nil, holds one
+// per-processor value that is equal exactly within such interchangeability
+// classes and is XORed into the pair-term seeds, so permuting
+// non-interchangeable processors changes the signature (soundness) while
+// permuting interchangeable ones still does not. On homogeneous-universal
+// platforms salt is nil and the arithmetic is bit-identical to the legacy
+// signature.
 type stateSig struct {
 	on      bool
 	lo, hi  uint64
 	groupLo []uint64 // per-processor Σ task-term (lo stream)
 	groupHi []uint64
+	salt    []uint64
 }
 
 // sigMix is the splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
@@ -83,7 +94,52 @@ func (s *State) EnableSignature() {
 	s.sig.on = true
 	s.sig.groupLo = make([]uint64, s.P.M)
 	s.sig.groupHi = make([]uint64, s.P.M)
+	s.sig.salt = procSalts(s.P)
 	s.recomputeSignature()
+}
+
+// procSalts returns per-processor seed salts for the signature, or nil on a
+// homogeneous-universal platform. Processors receive equal salts exactly
+// when they are interchangeable: same speed factor and the same column in
+// every task's affinity mask. Class numbering follows first appearance in
+// processor order, so the salts are a deterministic function of the
+// platform and signatures remain comparable across States (and across
+// fleet slices) solving the same instance.
+func procSalts(p platform.Platform) []uint64 {
+	if !p.Heterogeneous() {
+		return nil
+	}
+	type class struct {
+		speed  float64
+		column string
+	}
+	salts := make([]uint64, p.M)
+	var classes []class
+	for q := 0; q < p.M; q++ {
+		speed := 1.0
+		if p.Speed != nil {
+			speed = p.Speed[q]
+		}
+		// The affinity column of processor q: one byte per task.
+		col := make([]byte, len(p.Affinity))
+		for id, mask := range p.Affinity {
+			col[id] = byte(mask >> uint(q) & 1)
+		}
+		c := class{speed: speed, column: string(col)}
+		idx := -1
+		for i, have := range classes {
+			if have == c {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(classes)
+			classes = append(classes, c)
+		}
+		salts[q] = sigMix(uint64(idx) + 0x5851f42d4c957f2d)
+	}
+	return salts
 }
 
 // SignatureEnabled reports whether EnableSignature was called.
@@ -118,31 +174,44 @@ func (s *State) recomputeSignature() {
 	s.sig.lo, s.sig.hi = 0, 0
 	for q := range s.sig.groupLo {
 		free := s.procFree[q]
-		s.sig.lo += sigPair(s.sig.groupLo[q], free, sigSeedLo)
-		s.sig.hi += sigPair(s.sig.groupHi[q], free, sigSeedHi)
+		lo, hi := s.sigSeeds(platform.Proc(q))
+		s.sig.lo += sigPair(s.sig.groupLo[q], free, lo)
+		s.sig.hi += sigPair(s.sig.groupHi[q], free, hi)
 	}
+}
+
+// sigSeeds returns the pair-term seeds for processor q: the global seeds,
+// XORed with the processor's interchangeability-class salt on
+// heterogeneous platforms.
+func (s *State) sigSeeds(q platform.Proc) (lo, hi uint64) {
+	if s.sig.salt == nil {
+		return sigSeedLo, sigSeedHi
+	}
+	return sigSeedLo ^ s.sig.salt[q], sigSeedHi ^ s.sig.salt[q]
 }
 
 // sigPlace folds one placement into the signature: processor q's pair term
 // is swapped for the updated one. oldFree is q's frontier before the
 // placement; the placed task's finish is q's new frontier.
 func (s *State) sigPlace(id taskgraph.TaskID, q platform.Proc, oldFree, finish taskgraph.Time) {
-	s.sig.lo -= sigPair(s.sig.groupLo[q], oldFree, sigSeedLo)
-	s.sig.hi -= sigPair(s.sig.groupHi[q], oldFree, sigSeedHi)
+	seedLo, seedHi := s.sigSeeds(q)
+	s.sig.lo -= sigPair(s.sig.groupLo[q], oldFree, seedLo)
+	s.sig.hi -= sigPair(s.sig.groupHi[q], oldFree, seedHi)
 	s.sig.groupLo[q] += sigTask(id, finish, sigSeedLo)
 	s.sig.groupHi[q] += sigTask(id, finish, sigSeedHi)
-	s.sig.lo += sigPair(s.sig.groupLo[q], finish, sigSeedLo)
-	s.sig.hi += sigPair(s.sig.groupHi[q], finish, sigSeedHi)
+	s.sig.lo += sigPair(s.sig.groupLo[q], finish, seedLo)
+	s.sig.hi += sigPair(s.sig.groupHi[q], finish, seedHi)
 }
 
 // sigUnplace is the exact inverse of sigPlace.
 func (s *State) sigUnplace(id taskgraph.TaskID, q platform.Proc, prevFree, finish taskgraph.Time) {
-	s.sig.lo -= sigPair(s.sig.groupLo[q], finish, sigSeedLo)
-	s.sig.hi -= sigPair(s.sig.groupHi[q], finish, sigSeedHi)
+	seedLo, seedHi := s.sigSeeds(q)
+	s.sig.lo -= sigPair(s.sig.groupLo[q], finish, seedLo)
+	s.sig.hi -= sigPair(s.sig.groupHi[q], finish, seedHi)
 	s.sig.groupLo[q] -= sigTask(id, finish, sigSeedLo)
 	s.sig.groupHi[q] -= sigTask(id, finish, sigSeedHi)
-	s.sig.lo += sigPair(s.sig.groupLo[q], prevFree, sigSeedLo)
-	s.sig.hi += sigPair(s.sig.groupHi[q], prevFree, sigSeedHi)
+	s.sig.lo += sigPair(s.sig.groupLo[q], prevFree, seedLo)
+	s.sig.hi += sigPair(s.sig.groupHi[q], prevFree, seedHi)
 }
 
 //go:noinline

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/platform"
 	"repro/internal/taskgraph"
@@ -43,6 +44,16 @@ type State struct {
 	exec    []taskgraph.Time
 	absDl   []taskgraph.Time
 
+	// Heterogeneous-platform caches, all nil on homogeneous-universal
+	// platforms so the hot path stays byte-for-byte the legacy one.
+	// hetExec is the per-(processor, task) execution time flattened
+	// q-major (hetExec[q*n+id]); minExec is the per-task minimum over
+	// allowed processors (the admissible bound floor); aff mirrors the
+	// platform's affinity masks.
+	hetExec []taskgraph.Time
+	minExec []taskgraph.Time
+	aff     []uint64
+
 	// trail records the information needed to revert each Place.
 	trail []trailEntry
 
@@ -63,7 +74,7 @@ type trailEntry struct {
 // be validated (acyclic) beforehand; NewState panics otherwise, since every
 // search layer depends on a consistent readiness relation.
 func NewState(g *taskgraph.Graph, p platform.Platform) *State {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(g.NumTasks()); err != nil {
 		panic(fmt.Errorf("sched: NewState on invalid platform: %w", err))
 	}
 	if _, err := g.TopoOrder(); err != nil {
@@ -96,9 +107,35 @@ func NewState(g *taskgraph.Graph, p platform.Platform) *State {
 		}
 		s.predMsg[id] = msgs
 	}
+	if p.Heterogeneous() {
+		if !p.Uniform() {
+			s.hetExec = make([]taskgraph.Time, p.M*n)
+			for q := 0; q < p.M; q++ {
+				for id := 0; id < n; id++ {
+					s.hetExec[q*n+id] = p.ExecCost(s.exec[id], platform.Proc(q))
+				}
+			}
+		}
+		s.minExec = make([]taskgraph.Time, n)
+		for id := 0; id < n; id++ {
+			s.minExec[id] = p.MinExecCost(taskgraph.TaskID(id), s.exec[id])
+		}
+		if !p.UniversalAffinity() {
+			s.aff = make([]uint64, n)
+			for id := 0; id < n; id++ {
+				s.aff[id] = p.AllowedMask(taskgraph.TaskID(id))
+			}
+		}
+	}
 	s.Reset()
 	return s
 }
+
+// Hetero reports whether the state runs on a heterogeneous platform
+// (non-unit speed factors and/or restricted affinities). Search layers use
+// it to route between the optimized homogeneous bound machinery and the
+// generalized heterogeneous sweep.
+func (s *State) Hetero() bool { return s.hetExec != nil || s.aff != nil }
 
 // Reset returns the state to the empty schedule.
 func (s *State) Reset() {
@@ -152,6 +189,60 @@ func (s *State) EarliestProcFree() taskgraph.Time {
 	return min
 }
 
+// EarliestProcFreeFor returns ℓ_i: the earliest time at which the task can
+// be scheduled on any processor its affinity mask allows. This is the
+// per-processor generalization of LB1's ℓ_min term — under universal
+// affinity it degenerates to EarliestProcFree.
+func (s *State) EarliestProcFreeFor(id taskgraph.TaskID) taskgraph.Time {
+	if s.aff == nil {
+		return s.EarliestProcFree()
+	}
+	min := taskgraph.Infinity
+	for mask := s.aff[id]; mask != 0; mask &= mask - 1 {
+		q := bits.TrailingZeros64(mask)
+		if s.procFree[q] < min {
+			min = s.procFree[q]
+		}
+	}
+	return min
+}
+
+// ExecOn returns the task's execution time on processor q: the nominal
+// demand scaled by the processor's speed factor (identical to Exec on a
+// homogeneous platform).
+func (s *State) ExecOn(id taskgraph.TaskID, q platform.Proc) taskgraph.Time {
+	if s.hetExec == nil {
+		return s.exec[id]
+	}
+	return s.hetExec[int(q)*len(s.exec)+int(id)]
+}
+
+// MinExec returns the smallest execution time of the task over the
+// processors its affinity mask allows — the admissible demand floor used by
+// the heterogeneous lower bounds.
+func (s *State) MinExec(id taskgraph.TaskID) taskgraph.Time {
+	if s.minExec == nil {
+		return s.exec[id]
+	}
+	return s.minExec[id]
+}
+
+// Allows reports whether the task may execute on processor q.
+func (s *State) Allows(id taskgraph.TaskID, q platform.Proc) bool {
+	return s.aff == nil || s.aff[id]>>uint(q)&1 == 1
+}
+
+// AllowedMask returns the bitmask of processors the task may execute on.
+func (s *State) AllowedMask(id taskgraph.TaskID) uint64 {
+	if s.aff == nil {
+		if s.P.M >= 64 {
+			return ^uint64(0)
+		}
+		return uint64(1)<<uint(s.P.M) - 1
+	}
+	return s.aff[id]
+}
+
 // Ready reports whether the task is ready: unplaced with every direct
 // predecessor placed.
 func (s *State) Ready(id taskgraph.TaskID) bool {
@@ -194,8 +285,9 @@ func (s *State) EST(id taskgraph.TaskID, q platform.Proc) taskgraph.Time {
 }
 
 // Place schedules a ready task on processor q at its earliest start time and
-// returns the placement. It panics when the task is not ready or q is out
-// of range — both indicate search-layer bugs that must not be masked.
+// returns the placement. It panics when the task is not ready, q is out of
+// range, or the task's affinity mask excludes q — all indicate search-layer
+// bugs that must not be masked.
 func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	if !s.Ready(id) {
 		panicNonReady(id, s.Placed(id), s.remPreds[id])
@@ -203,8 +295,15 @@ func (s *State) Place(id taskgraph.TaskID, q platform.Proc) Placement {
 	if q < 0 || int(q) >= s.P.M {
 		panicBadProc(id, q)
 	}
+	if s.aff != nil && s.aff[id]>>uint(q)&1 == 0 {
+		panicAffinity(id, q)
+	}
 	start := s.EST(id, q)
-	finish := start + s.exec[id]
+	exec := s.exec[id]
+	if s.hetExec != nil {
+		exec = s.hetExec[int(q)*len(s.exec)+int(id)]
+	}
+	finish := start + exec
 
 	s.trail = append(s.trail, trailEntry{
 		task: id, proc: q, prevProcFree: s.procFree[q], prevLmax: s.lmax,
@@ -297,6 +396,11 @@ func panicNonReady(id taskgraph.TaskID, placed bool, rem int32) {
 //go:noinline
 func panicBadProc(id taskgraph.TaskID, q platform.Proc) {
 	panic(fmt.Sprintf("sched: Place(%d) on invalid processor %d", id, q))
+}
+
+//go:noinline
+func panicAffinity(id taskgraph.TaskID, q platform.Proc) {
+	panic(fmt.Sprintf("sched: Place(%d) on processor %d excluded by the task's affinity mask", id, q))
 }
 
 //go:noinline

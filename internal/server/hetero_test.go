@@ -1,0 +1,280 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/hetero"
+	"repro/internal/platform"
+	"repro/internal/taskgraph"
+)
+
+func heteroTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := New(Config{Workers: 2, DefaultBudget: 2 * time.Second})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// smallGraph is a 4-task diamond small enough for every mode to solve
+// exactly within the test budget.
+func smallGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g := taskgraph.New(4)
+	a := g.AddTask(taskgraph.Task{Exec: 4, Deadline: 30})
+	b := g.AddTask(taskgraph.Task{Exec: 6, Deadline: 30})
+	c := g.AddTask(taskgraph.Task{Exec: 2, Deadline: 30})
+	d := g.AddTask(taskgraph.Task{Exec: 5, Deadline: 30})
+	for _, e := range [][2]taskgraph.TaskID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// Malformed platform specs must produce a 400 whose body carries the
+// structured code and field, on every endpoint sharing GraphRequest.
+func TestMalformedPlatformSpecStructured400(t *testing.T) {
+	ts := heteroTestServer(t)
+	g := smallGraph(t)
+
+	cases := []struct {
+		name        string
+		req         SolveRequest
+		code, field string
+	}{
+		{
+			"zero speed factor",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, SpeedFactors: []float64{1, 0}}},
+			"speed_factor", "speed_factors[1]",
+		},
+		{
+			"negative speed factor",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, SpeedFactors: []float64{-2, 1}}},
+			"speed_factor", "speed_factors[0]",
+		},
+		{
+			"speed table length",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 3, SpeedFactors: []float64{1, 2}}},
+			"speed_count", "speed_factors",
+		},
+		{
+			"empty affinity mask",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, Affinities: []uint64{3, 0, 3, 3}}},
+			"affinity_empty", "affinities[1]",
+		},
+		{
+			"affinity index >= m",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, Affinities: []uint64{3, 3, 4, 3}}},
+			"affinity_range", "affinities[2]",
+		},
+		{
+			"affinity table length",
+			SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, Affinities: []uint64{3}}},
+			"affinity_count", "affinities",
+		},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("%s: decode error body: %v", tc.name, err)
+		}
+		if er.Code != tc.code || er.Field != tc.field {
+			t.Fatalf("%s: got (code=%q, field=%q), want (%q, %q): %s",
+				tc.name, er.Code, er.Field, tc.code, tc.field, body)
+		}
+		if er.Error == "" {
+			t.Fatalf("%s: empty error message", tc.name)
+		}
+	}
+
+	// The same validation guards /v1/analyze (and every GraphRequest
+	// consumer).
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		GraphRequest: GraphRequest{Graph: g, Procs: 2, SpeedFactors: []float64{0, 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("analyze: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != "speed_factor" {
+		t.Fatalf("analyze: structured code missing: %s (%v)", body, err)
+	}
+}
+
+// A heterogeneous solve returns a schedule that honours affinity masks and
+// speed-scaled execution times.
+func TestHeteroSolveRespectsSpec(t *testing.T) {
+	ts := heteroTestServer(t)
+	g := smallGraph(t)
+	req := SolveRequest{GraphRequest: GraphRequest{
+		Graph:        g,
+		Procs:        2,
+		SpeedFactors: []float64{1, 2},
+		Affinities:   []uint64{1, 3, 3, 2}, // task 0 pinned to proc 0, task 3 to proc 1
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Feasible || !sr.Optimal {
+		t.Fatalf("expected optimal feasible solve: %s", body)
+	}
+	plat := platform.Platform{M: 2, CommDelay: 1, Speed: []float64{1, 2}, Affinity: []uint64{1, 3, 3, 2}}
+	for _, pl := range sr.Schedule {
+		if !plat.Allows(pl.Task, pl.Proc) {
+			t.Fatalf("task %d placed on excluded processor %d: %s", pl.Task, pl.Proc, body)
+		}
+		want := plat.ExecCost(g.Task(pl.Task).Exec, pl.Proc)
+		if pl.Finish-pl.Start != want {
+			t.Fatalf("task %d on proc %d ran %d ticks, want %d: %s",
+				pl.Task, pl.Proc, pl.Finish-pl.Start, want, body)
+		}
+	}
+}
+
+// mode=partitioned returns the assignment-optimal partitioned-EDF
+// schedule; it must match hetero.SolvePartitioned run directly, and reject
+// the global-searcher knobs.
+func TestPartitionedMode(t *testing.T) {
+	ts := heteroTestServer(t)
+	g := smallGraph(t)
+	plat := platform.Platform{M: 2, CommDelay: 1, Speed: []float64{1, 2}}
+
+	req := SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2, SpeedFactors: []float64{1, 2}}, Mode: "partitioned"}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned solve: %d %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hetero.SolvePartitioned(nil, g, plat, hetero.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Feasible || !sr.Optimal || sr.Lmax != want.Cost {
+		t.Fatalf("partitioned response lmax=%d optimal=%v, direct solve %d: %s",
+			sr.Lmax, sr.Optimal, want.Cost, body)
+	}
+	if sr.Reason != "exhausted" {
+		t.Fatalf("reason %q, want exhausted", sr.Reason)
+	}
+
+	// The partitioned searcher has no global knobs.
+	for name, bad := range map[string]SolveRequest{
+		"select":      {GraphRequest: GraphRequest{Graph: g, Procs: 2}, Mode: "partitioned", Select: "llb"},
+		"dedup":       {GraphRequest: GraphRequest{Graph: g, Procs: 2}, Mode: "partitioned", Dedup: true},
+		"distributed": {GraphRequest: GraphRequest{Graph: g, Procs: 2}, Mode: "partitioned", Distributed: true},
+		"workers":     {GraphRequest: GraphRequest{Graph: g, Procs: 2}, Mode: "partitioned", Workers: 4},
+		"bad mode":    {GraphRequest: GraphRequest{Graph: g, Procs: 2}, Mode: "edf"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// Global and partitioned solves of one spec must occupy distinct cache
+// lines: same graph, same platform, different mode, different answers
+// allowed.
+func TestModeSplitsCacheLines(t *testing.T) {
+	ts := heteroTestServer(t)
+	g := smallGraph(t)
+	gr := GraphRequest{Graph: g, Procs: 2, SpeedFactors: []float64{1, 2}}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: gr})
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first global solve X-Cache %q, want miss", got)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: gr, Mode: "partitioned"})
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first partitioned solve X-Cache %q, want miss (mode must split the key)", got)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: gr, Mode: "partitioned"})
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat partitioned solve X-Cache %q, want hit", got)
+	}
+}
+
+// An explicit unit-speed/universal-affinity spec must share the legacy
+// platform's cache line (the canonical key normalizes it away), and a
+// processor permutation of a heterogeneous spec must share the canonical
+// spec's line with placements translated back to the requester's
+// processor numbering.
+func TestPlatformCanonicalizationCacheContinuity(t *testing.T) {
+	ts := heteroTestServer(t)
+	g := smallGraph(t)
+
+	// Legacy first, explicit-unit second: the second must HIT.
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: GraphRequest{Graph: g, Procs: 2}})
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("legacy solve X-Cache %q, want miss", got)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: GraphRequest{
+		Graph: g, Procs: 2, SpeedFactors: []float64{1, 1}, Affinities: []uint64{3, 3, 3, 3},
+	}})
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("explicit unit spec X-Cache %q, want hit (legacy cache continuity)", got)
+	}
+
+	// Heterogeneous spec, then its processor permutation: HIT, with procs
+	// translated back.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: GraphRequest{
+		Graph: g, Procs: 2, SpeedFactors: []float64{1, 4}, Affinities: []uint64{1, 3, 3, 3},
+	}})
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("hetero spec X-Cache %q, want miss: %s", got, body)
+	}
+	var first SolveResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{GraphRequest: GraphRequest{
+		Graph: g, Procs: 2, SpeedFactors: []float64{4, 1}, Affinities: []uint64{2, 3, 3, 3},
+	}})
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("permuted hetero spec X-Cache %q, want hit (processor-permutation invariance)", got)
+	}
+	var second SolveResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Lmax != second.Lmax {
+		t.Fatalf("permuted spec lmax %d != original %d", second.Lmax, first.Lmax)
+	}
+	// Task 0 is pinned to proc 0 in the first spec's numbering and proc 1
+	// in the permuted one; each response must honour ITS requester's
+	// numbering.
+	procOf := func(sr SolveResponse, id taskgraph.TaskID) platform.Proc {
+		for _, pl := range sr.Schedule {
+			if pl.Task == id {
+				return pl.Proc
+			}
+		}
+		t.Fatalf("task %d missing from schedule", id)
+		return platform.NoProc
+	}
+	if q := procOf(first, 0); q != 0 {
+		t.Fatalf("first spec pinned task 0 to proc 0, response has %d", q)
+	}
+	if q := procOf(second, 0); q != 1 {
+		t.Fatalf("permuted spec pinned task 0 to proc 1, response has %d", q)
+	}
+}

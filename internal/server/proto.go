@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/hetero"
 	"repro/internal/listsched"
 	"repro/internal/platform"
 	"repro/internal/portfolio"
@@ -20,10 +21,19 @@ import (
 // document. Budgets are request-scoped milliseconds, clamped to the
 // server's MaxBudget; zero means the server's DefaultBudget.
 
-// GraphRequest is the part every request shares.
+// GraphRequest is the part every request shares. The optional platform
+// tables select the heterogeneous scenario matrix: speed_factors gives one
+// positive factor per processor (the uniform related-machines model —
+// nominal demand c runs in ceil(c/s_q) on processor q), affinities gives
+// one bitmask per task (bit q set: the task may run on processor q).
+// Omitting both is exactly the paper's homogeneous platform, and explicit
+// unit factors / universal masks are normalized to it, cache lines
+// included.
 type GraphRequest struct {
-	Graph *taskgraph.Graph `json:"graph"`
-	Procs int              `json:"procs"`
+	Graph        *taskgraph.Graph `json:"graph"`
+	Procs        int              `json:"procs"`
+	SpeedFactors []float64        `json:"speed_factors,omitempty"`
+	Affinities   []uint64         `json:"affinities,omitempty"`
 }
 
 func (r *GraphRequest) platform() (platform.Platform, error) {
@@ -33,7 +43,13 @@ func (r *GraphRequest) platform() (platform.Platform, error) {
 	if r.Procs < 1 || r.Procs > 127 {
 		return platform.Platform{}, fmt.Errorf("procs %d outside [1,127]", r.Procs)
 	}
-	return platform.New(r.Procs), nil
+	p := platform.New(r.Procs)
+	p.Speed = r.SpeedFactors
+	p.Affinity = r.Affinities
+	if err := hetero.ValidateSpec(p, r.Graph.NumTasks()); err != nil {
+		return platform.Platform{}, err
+	}
+	return p, nil
 }
 
 // budget clamps a request's budget_ms to the server limits.
@@ -57,6 +73,13 @@ func budgetFrom(ms int64, cfg Config) (time.Duration, error) {
 // recommended defaults.
 type SolveRequest struct {
 	GraphRequest
+	// Mode selects the execution model: "" or "global" is the paper's
+	// time-driven search over (task, processor, time) placements;
+	// "partitioned" branches over task→processor assignments with
+	// per-processor EDF ordering execution (internal/hetero). The
+	// partitioned searcher has no strategy knobs: select/branch/bound/br,
+	// workers, distributed and dedup must all be absent.
+	Mode     string  `json:"mode,omitempty"`
 	Select   string  `json:"select,omitempty"`
 	Branch   string  `json:"branch,omitempty"`
 	Bound    string  `json:"bound,omitempty"`
@@ -73,6 +96,30 @@ type SolveRequest struct {
 	// DedupBudget caps the table bytes (0 = transpose.DefaultBudget).
 	Dedup       bool  `json:"dedup,omitempty"`
 	DedupBudget int64 `json:"dedup_budget,omitempty"`
+}
+
+// partitioned resolves the request mode, rejecting knobs the partitioned
+// searcher does not have.
+func (r *SolveRequest) partitioned() (bool, error) {
+	switch r.Mode {
+	case "", "global":
+		return false, nil
+	case "partitioned":
+		if r.Select != "" || r.Branch != "" || r.Bound != "" || r.BR != 0 {
+			return false, fmt.Errorf("mode=partitioned has no select/branch/bound/br knobs")
+		}
+		if r.Workers > 1 {
+			return false, fmt.Errorf("mode=partitioned is single-threaded; workers must be absent")
+		}
+		if r.Distributed {
+			return false, fmt.Errorf("mode=partitioned cannot be distributed")
+		}
+		if r.Dedup {
+			return false, fmt.Errorf("mode=partitioned has no duplicate detection")
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown mode %q", r.Mode)
 }
 
 func (r *SolveRequest) params() (core.Params, error) {
@@ -188,6 +235,38 @@ func solveResponse(res core.Result) SolveResponse {
 		out.Schedule = res.Schedule.Placements()
 	}
 	return out
+}
+
+// partitionedResponse maps a partitioned-mode solve onto the shared
+// SolveResponse shape. The counters translate as: Generated = assignment
+// vertices considered (visited + bound-pruned children), Expanded =
+// vertices visited, Goals = complete assignments simulated.
+func partitionedResponse(res hetero.Result) SolveResponse {
+	return SolveResponse{
+		Feasible: true, // the EDF-seeded incumbent always exists
+		Lmax:     res.Cost,
+		Makespan: res.Schedule.Makespan(),
+		Optimal:  res.Optimal,
+		Reason:   partitionedReason(res),
+		Stats: SearchStats{
+			Generated: res.Stats.Visited + res.Stats.Pruned,
+			Expanded:  res.Stats.Visited,
+			Goals:     res.Stats.Evaluated,
+			TimedOut:  res.Stats.TimedOut,
+		},
+		Schedule: res.Schedule.Placements(),
+	}
+}
+
+func partitionedReason(res hetero.Result) string {
+	switch {
+	case res.Optimal:
+		return "exhausted"
+	case res.Stats.TimedOut:
+		return "time-limit"
+	default:
+		return "canceled"
+	}
 }
 
 // BatchRequest solves a set of graphs as one request. Members that are
@@ -349,9 +428,14 @@ func parseListPolicy(name string) (listsched.Policy, bool, error) {
 	return 0, false, fmt.Errorf("unknown list policy %q", name)
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body. Code and Field are present only
+// for structured validation failures (malformed platform specs): Code
+// classifies the violation and Field names the offending request field, so
+// clients can attribute the 400 without parsing the message.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+	Field string `json:"field,omitempty"`
 }
 
 // HealthResponse is the /healthz body.

@@ -47,6 +47,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/grid"
+	"repro/internal/hetero"
 	"repro/internal/listsched"
 	"repro/internal/platform"
 	"repro/internal/portfolio"
@@ -276,11 +277,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone is not actionable
 }
 
-// badRequest reports a pre-admission validation failure.
+// badRequest reports a pre-admission validation failure. Structured spec
+// errors (malformed platform specifications) carry their classification
+// into the body so clients see WHICH field is wrong.
 func (s *Server) badRequest(w http.ResponseWriter, m *endpointMetrics, start time.Time, err error) {
 	m.errors.Add(1)
 	m.latency.observe(time.Since(start))
-	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	resp := ErrorResponse{Error: err.Error()}
+	var spec *hetero.SpecError
+	if errors.As(err, &spec) {
+		resp.Code, resp.Field = spec.Code, spec.Field
+	}
+	writeJSON(w, http.StatusBadRequest, resp)
 }
 
 // cacheState records how a response body was obtained, for the X-Cache
@@ -455,13 +463,25 @@ func canonicalize(g *taskgraph.Graph) (canonGraph, error) {
 	return cg, nil
 }
 
+// canonPlatform reduces the request platform to canonical form over the
+// canonical task numbering: homogeneous-universal specs normalize to the
+// legacy nil-table platform and the legacy "m=<M>" key fragment (cache
+// continuity), heterogeneous ones get their affinity masks re-indexed via
+// cg.inv and their processors sorted into a canonical order. invProc maps
+// canonical processor indices back to the requester's numbering (nil when
+// unchanged); the solver runs on the canonical platform and remapBody
+// undoes both renumberings.
+func canonPlatform(cg canonGraph, plat platform.Platform) (platform.Platform, []platform.Proc, string) {
+	return hetero.Canonicalize(plat, cg.inv)
+}
+
 // remapBody translates a cached response body — whose schedule placements
-// are in canonical task numbering — back to the requester's numbering.
-// placements selects the schedule slice inside the decoded response. For an
-// identity permutation the cached bytes are returned untouched, so the
-// common path stays zero-copy.
-func remapBody[R any](cg canonGraph, body []byte, placements func(*R) []sched.Placement) ([]byte, error) {
-	if cg.identity || body == nil {
+// are in canonical task AND processor numbering — back to the requester's
+// numbering. placements selects the schedule slice inside the decoded
+// response. For identity permutations the cached bytes are returned
+// untouched, so the common path stays zero-copy.
+func remapBody[R any](cg canonGraph, invProc []platform.Proc, body []byte, placements func(*R) []sched.Placement) ([]byte, error) {
+	if (cg.identity && invProc == nil) || body == nil {
 		return body, nil
 	}
 	var resp R
@@ -471,18 +491,32 @@ func remapBody[R any](cg canonGraph, body []byte, placements func(*R) []sched.Pl
 	pls := placements(&resp)
 	for i := range pls {
 		pls[i].Task = cg.inv[pls[i].Task]
+		if invProc != nil {
+			pls[i].Proc = invProc[pls[i].Proc]
+		}
 	}
-	// Placements stay sorted by (proc, start); task IDs never tie-break
-	// there because two tasks cannot start together on one processor.
+	// Restore the wire order (proc, start): a processor renumbering
+	// perturbs it. Task IDs never tie-break within one processor because
+	// two tasks cannot start together there.
+	if invProc != nil {
+		sort.Slice(pls, func(i, j int) bool {
+			if pls[i].Proc != pls[j].Proc {
+				return pls[i].Proc < pls[j].Proc
+			}
+			return pls[i].Start < pls[j].Start
+		})
+	}
 	return json.Marshal(resp)
 }
 
 // ---- endpoints --------------------------------------------------------
 
 // solveKey is the canonical cache identity of one exact-solve class:
-// graph digest plus every parameter that changes the answer bytes.
-// /v1/solve and /v1/batch share it, so their cache lines are one.
-func solveKey(cg canonGraph, plat platform.Platform, params core.Params, req SolveRequest, budget time.Duration) string {
+// graph digest plus the canonical platform fragment (hetero.Key — exactly
+// the legacy "m=<M>" for homogeneous-universal platforms) plus every
+// parameter that changes the answer bytes. /v1/solve and /v1/batch share
+// it, so their cache lines are one.
+func solveKey(cg canonGraph, platKey string, params core.Params, req SolveRequest, partitioned bool, budget time.Duration) string {
 	distKey := 0
 	if req.Distributed {
 		distKey = 1
@@ -491,16 +525,21 @@ func solveKey(cg canonGraph, plat platform.Platform, params core.Params, req Sol
 	if params.Dedup {
 		dedupKey = 1 + params.DedupBudget // Stats in the answer bytes depend on it
 	}
-	return fmt.Sprintf("solve|%s|m=%d|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d|dd=%d",
-		cg.key, plat.M,
+	modeKey := 0
+	if partitioned {
+		modeKey = 1
+	}
+	return fmt.Sprintf("solve|%s|%s|s=%d|b=%d|l=%d|r=%g|w=%d|t=%d|d=%d|dd=%d|md=%d",
+		cg.key, platKey,
 		params.Selection, params.Branching, params.Bound, params.BR,
-		req.Workers, budget, distKey, dedupKey)
+		req.Workers, budget, distKey, dedupKey, modeKey)
 }
 
 // solveClass returns the singleflight body function for one solve
-// class: acquire a slot in the tenant's queue, run the kernel under its
-// budget, marshal the canonical-numbering response.
-func (s *Server) solveClass(tenant string, cg canonGraph, plat platform.Platform, params core.Params, req SolveRequest, budget time.Duration) func() ([]byte, error) {
+// class: acquire a slot in the tenant's queue, run the kernel (or the
+// partitioned searcher) under its budget, marshal the canonical-numbering
+// response.
+func (s *Server) solveClass(tenant string, cg canonGraph, plat platform.Platform, params core.Params, req SolveRequest, partitioned bool, budget time.Duration) func() ([]byte, error) {
 	return func() ([]byte, error) {
 		release, err := s.adm.Acquire(s.baseCtx, tenant)
 		if err != nil {
@@ -509,6 +548,13 @@ func (s *Server) solveClass(tenant string, cg canonGraph, plat platform.Platform
 		defer release()
 		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 		defer cancel()
+		if partitioned {
+			res, err := hetero.SolvePartitioned(ctx, cg.g, plat, hetero.Options{TimeLimit: budget})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(partitionedResponse(res))
+		}
 		var res core.Result
 		if req.Distributed {
 			// The fleet re-canonicalizes internally; cg.g is already
@@ -557,6 +603,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, m, start, err)
 		return
 	}
+	if req.Distributed && plat.Heterogeneous() {
+		// The fleet's lease protocol carries only a processor count.
+		s.badRequest(w, m, start, fmt.Errorf("heterogeneous platforms cannot be distributed"))
+		return
+	}
+	partitioned, err := req.partitioned()
+	if err != nil {
+		s.badRequest(w, m, start, err)
+		return
+	}
 	params, err := req.params()
 	if err != nil {
 		s.badRequest(w, m, start, err)
@@ -574,10 +630,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
-	key := solveKey(cg, plat, params, req, budget)
-	body, state, err := s.do(r.Context(), key, s.solveClass(tenant, cg, plat, params, req, budget))
+	cp, invProc, platKey := canonPlatform(cg, plat)
+	key := solveKey(cg, platKey, params, req, partitioned, budget)
+	body, state, err := s.do(r.Context(), key, s.solveClass(tenant, cg, cp, params, req, partitioned, budget))
 	if err == nil {
-		body, err = remapBody(cg, body, func(r *SolveResponse) []sched.Placement { return r.Schedule })
+		body, err = remapBody(cg, invProc, body, func(r *SolveResponse) []sched.Placement { return r.Schedule })
 	}
 	s.finish(w, m, start, tenant, body, state, err)
 	s.cfg.Logf("solve m=%d n=%d dist=%v hit=%v %v", plat.M, req.Graph.NumTasks(), req.Distributed, state != cacheMiss, time.Since(start))
@@ -620,6 +677,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	memberCG := make([]canonGraph, len(req.Requests))
 	memberKey := make([]string, len(req.Requests))
+	memberInvProc := make([][]platform.Proc, len(req.Requests))
 	classes := map[string]*class{}
 	var order []string
 	for i := range req.Requests {
@@ -629,6 +687,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		plat, err := mr.platform()
+		if err != nil {
+			s.badRequest(w, m, start, fmt.Errorf("member %d: %w", i, err))
+			return
+		}
+		partitioned, err := mr.partitioned()
 		if err != nil {
 			s.badRequest(w, m, start, fmt.Errorf("member %d: %w", i, err))
 			return
@@ -649,10 +712,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.finish(w, m, start, tenant, nil, cacheBypass, fmt.Errorf("member %d: %w", i, err))
 			return
 		}
+		cp, invProc, platKey := canonPlatform(cg, plat)
 		memberCG[i] = cg
-		memberKey[i] = solveKey(cg, plat, params, *mr, budget)
+		memberInvProc[i] = invProc
+		memberKey[i] = solveKey(cg, platKey, params, *mr, partitioned, budget)
 		if _, seen := classes[memberKey[i]]; !seen {
-			classes[memberKey[i]] = &class{rep: i, fn: s.solveClass(tenant, cg, plat, params, *mr, budget)}
+			classes[memberKey[i]] = &class{rep: i, fn: s.solveClass(tenant, cg, cp, params, *mr, partitioned, budget)}
 			order = append(order, memberKey[i])
 		}
 	}
@@ -677,7 +742,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]SolveResponse, len(req.Requests))
 	for i := range req.Requests {
-		body, err := remapBody(memberCG[i], bodies[memberKey[i]], func(r *SolveResponse) []sched.Placement { return r.Schedule })
+		body, err := remapBody(memberCG[i], memberInvProc[i], bodies[memberKey[i]], func(r *SolveResponse) []sched.Placement { return r.Schedule })
 		if err != nil {
 			s.finish(w, m, start, tenant, nil, cacheBypass, err)
 			return
@@ -731,8 +796,9 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
-	key := fmt.Sprintf("anytime|%s|m=%d|i=%d|seed=%d|w=%d|t=%d",
-		cg.key, plat.M, req.ImproveIters, req.Seed, req.Workers, budget)
+	cp, invProc, platKey := canonPlatform(cg, plat)
+	key := fmt.Sprintf("anytime|%s|%s|i=%d|seed=%d|w=%d|t=%d",
+		cg.key, platKey, req.ImproveIters, req.Seed, req.Workers, budget)
 	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
 		release, err := s.adm.Acquire(s.baseCtx, tenant)
 		if err != nil {
@@ -741,7 +807,7 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		ctx, cancel := context.WithTimeout(s.baseCtx, budget)
 		defer cancel()
-		res, err := portfolio.SolveContext(ctx, cg.g, plat, portfolio.Options{
+		res, err := portfolio.SolveContext(ctx, cg.g, cp, portfolio.Options{
 			Budget:       budget,
 			ImproveIters: req.ImproveIters,
 			Workers:      req.Workers,
@@ -753,7 +819,7 @@ func (s *Server) handleAnytime(w http.ResponseWriter, r *http.Request) {
 		return json.Marshal(anytimeResponse(res))
 	})
 	if err == nil {
-		body, err = remapBody(cg, body, func(r *AnytimeResponse) []sched.Placement { return r.Schedule })
+		body, err = remapBody(cg, invProc, body, func(r *AnytimeResponse) []sched.Placement { return r.Schedule })
 	}
 	s.finish(w, m, start, tenant, body, state, err)
 	s.cfg.Logf("anytime m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), state != cacheMiss, time.Since(start))
@@ -789,14 +855,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
-	key := fmt.Sprintf("list|%s|m=%d|p=%d|x=%v", cg.key, plat.M, pol, explicit)
+	cp, invProc, platKey := canonPlatform(cg, plat)
+	key := fmt.Sprintf("list|%s|%s|p=%d|x=%v", cg.key, platKey, pol, explicit)
 	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
 		var res listsched.Result
 		var err error
 		if explicit {
-			res, err = listsched.Schedule(cg.g, plat, pol)
+			res, err = listsched.Schedule(cg.g, cp, pol)
 		} else {
-			res, err = listsched.Best(cg.g, plat)
+			res, err = listsched.Best(cg.g, cp)
 		}
 		if err != nil {
 			return nil, err
@@ -809,7 +876,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if err == nil {
-		body, err = remapBody(cg, body, func(r *ListResponse) []sched.Placement { return r.Schedule })
+		body, err = remapBody(cg, invProc, body, func(r *ListResponse) []sched.Placement { return r.Schedule })
 	}
 	s.finish(w, m, start, tenant, body, state, err)
 	s.cfg.Logf("list m=%d n=%d hit=%v %v", plat.M, req.Graph.NumTasks(), state != cacheMiss, time.Since(start))
@@ -842,9 +909,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, m, start, tenant, nil, cacheBypass, err)
 		return
 	}
-	key := fmt.Sprintf("analyze|%s|m=%d", cg.key, plat.M)
+	cp, _, platKey := canonPlatform(cg, plat)
+	key := fmt.Sprintf("analyze|%s|%s", cg.key, platKey)
 	body, state, err := s.do(r.Context(), key, func() ([]byte, error) {
-		rep, err := analysis.Analyze(cg.g, plat)
+		rep, err := analysis.Analyze(cg.g, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -877,6 +945,12 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	plat, err := req.platform()
 	if err != nil {
 		s.badRequest(w, m, start, err)
+		return
+	}
+	if plat.Heterogeneous() {
+		// The rescue pipeline replans on the original platform; its
+		// residual construction is not heterogeneity-aware yet.
+		s.badRequest(w, m, start, fmt.Errorf("heterogeneous platforms are not supported on /v1/recover"))
 		return
 	}
 	if req.Workers < 0 || req.Workers > 256 {

@@ -10,6 +10,7 @@
 #        scripts/check.sh bench [out.json]
 #        scripts/check.sh dist
 #        scripts/check.sh grid
+#        scripts/check.sh hetero
 #        scripts/check.sh vet
 #
 # The bench form skips the static/race gates and runs the before/after
@@ -31,6 +32,15 @@
 # re-owning its key range, batch isomorphism dedup, tenant isolation),
 # and the race-enabled CLI e2e (two peered bbserved processes with
 # tenant classes and zero-leak shutdown; bbload mixed-workload mode).
+#
+# The hetero form gates the heterogeneous/partitioned scenario matrix
+# alone: race-enabled internal/hetero and internal/edf tests (the
+# partitioned search and its dispatch policy), the race-enabled
+# scenario-matrix server tests (structured platform 400s, partitioned
+# mode, cache continuity), and the bbfuzz cross-validation campaign —
+# global and partitioned solves on random speed-factor/affinity
+# platforms against their brute-force oracles, plus the bit-identical
+# legacy leg for explicit unit/universal specs.
 #
 # The vet form is the static-analysis contract: the full bbvet suite
 # (per-package analyzers plus the whole-program lockorder, goleak,
@@ -74,6 +84,21 @@ if [ "${1:-}" = "grid" ]; then
     echo "==> go test -race ./cmd/bbserved ./cmd/bbload (peered-process e2e, mixed-workload harness)"
     go test -race ./cmd/bbserved ./cmd/bbload
     echo "==> grid checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "hetero" ]; then
+    echo "==> go vet ./internal/hetero ./internal/edf ./internal/fuzzcheck ./cmd/bbfuzz"
+    go vet ./internal/hetero ./internal/edf ./internal/fuzzcheck ./cmd/bbfuzz
+    echo "==> bbvet ./internal/hetero ./internal/edf ./internal/fuzzcheck ./cmd/bbfuzz"
+    go run ./cmd/bbvet ./internal/hetero ./internal/edf ./internal/fuzzcheck ./cmd/bbfuzz
+    echo "==> go test -race ./internal/hetero ./internal/edf ./internal/periodic (partitioned mode, dispatch policy, release plans)"
+    go test -race ./internal/hetero ./internal/edf ./internal/periodic
+    echo "==> go test -race ./internal/server -run 'Hetero|Partitioned|Malformed|ModeSplits|PlatformCanonicalization'"
+    go test -race ./internal/server -run 'Hetero|Partitioned|Malformed|ModeSplits|PlatformCanonicalization'
+    echo "==> bbfuzz -hetero cross-validation campaign (200 instances)"
+    go run ./cmd/bbfuzz -hetero -n 200 -seed 1997
+    echo "==> hetero checks passed"
     exit 0
 fi
 
